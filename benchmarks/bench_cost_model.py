@@ -1,0 +1,124 @@
+"""Section 1.2 / Example 1.1 — the cluster cost model and optimal reducer size.
+
+Reproduces the "how the tradeoff can be used" discussion: given cluster
+prices (a per unit of replication, b per unit of reducer size, optionally c
+per unit of single-reducer running time), find the q that minimizes
+a·f(q) + b·q (+ c·q²) along a problem's tradeoff curve, and show how the
+optimum moves as the price ratio changes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.lower_bounds import hamming1_recipe, matmul_recipe
+from repro.core import AlgorithmPoint, ClusterCostModel, TradeoffCurve
+from repro.schemas import splitting_points
+
+B = 24
+N_MATMUL = 500
+
+
+def price_sweep():
+    recipe = hamming1_recipe(B)
+    curve = TradeoffCurve.from_recipe(recipe)
+    rows = []
+    for comm_price in (0.1, 1.0, 10.0, 100.0, 1000.0):
+        model = ClusterCostModel(communication_rate=comm_price, processing_rate=1.0)
+        best = curve.optimize_cost(model, q_min=2.0, q_max=2.0 ** B)
+        rows.append(
+            {
+                "a (comm price)": comm_price,
+                "b (proc price)": 1.0,
+                "optimal q": best.q,
+                "log2 q": math.log2(best.q),
+                "r at optimum": best.replication_rate,
+                "total cost": best.total,
+            }
+        )
+    return rows
+
+
+def algorithm_selection():
+    curve = TradeoffCurve(
+        problem_name=f"hamming-1(b={B})",
+        lower_bound=lambda q: max(1.0, B / math.log2(q)),
+    )
+    for c, log_q, rate in splitting_points(B):
+        curve.add_algorithm(AlgorithmPoint(f"splitting-c={c}", q=2.0 ** log_q, replication_rate=rate))
+    rows = []
+    for comm_price, proc_price in [(1e8, 1.0), (1e2, 1.0), (1.0, 1.0), (1.0, 1e2), (1.0, 1e4)]:
+        model = ClusterCostModel(communication_rate=comm_price, processing_rate=proc_price)
+        point, breakdown = curve.optimize_cost_over_algorithms(model)
+        rows.append(
+            {
+                "a": comm_price,
+                "b": proc_price,
+                "chosen algorithm": point.name,
+                "q": point.q,
+                "r": point.replication_rate,
+                "total cost": breakdown.total,
+            }
+        )
+    return rows
+
+
+def wall_clock_example():
+    """Example 1.1: adding the c·q² single-reducer time term."""
+    recipe = matmul_recipe(N_MATMUL)
+    curve = TradeoffCurve.from_recipe(recipe)
+    rows = []
+    for wall_clock_rate in (0.0, 1e-6, 1e-4):
+        model = ClusterCostModel(
+            communication_rate=10.0, processing_rate=0.01, wall_clock_rate=wall_clock_rate
+        )
+        best = curve.optimize_cost(model, q_min=2.0 * N_MATMUL, q_max=2.0 * N_MATMUL ** 2)
+        rows.append(
+            {
+                "c (wall-clock price)": wall_clock_rate,
+                "optimal q": best.q,
+                "r at optimum": best.replication_rate,
+                "total cost": best.total,
+            }
+        )
+    return rows
+
+
+def test_optimal_q_moves_with_prices(benchmark, table_printer):
+    rows = benchmark(price_sweep)
+    table_printer(
+        f"Section 1.2: optimal reducer size vs communication price (Hamming-1, b={B})",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    optima = [row["optimal q"] for row in rows]
+    assert optima == sorted(optima), "pricier communication pushes towards larger reducers"
+
+
+def test_algorithm_selection_follows_prices(benchmark, table_printer):
+    rows = benchmark(algorithm_selection)
+    table_printer(
+        f"Section 1.2: algorithm chosen from the Fig. 1 dots per price point (b={B})",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    replication = [row["r"] for row in rows]
+    assert replication == sorted(replication), (
+        "as processing becomes relatively pricier the optimizer picks smaller "
+        "reducers and accepts more replication"
+    )
+    assert rows[0]["chosen algorithm"] == "splitting-c=1"
+    assert rows[-1]["chosen algorithm"] == f"splitting-c={B}"
+
+
+def test_wall_clock_term_shrinks_reducers(benchmark, table_printer):
+    rows = benchmark(wall_clock_example)
+    table_printer(
+        f"Example 1.1: adding the c·q² wall-clock term (matrix multiplication, n={N_MATMUL})",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    optima = [row["optimal q"] for row in rows]
+    assert optima == sorted(optima, reverse=True), "a pricier wall-clock term shrinks the optimal q"

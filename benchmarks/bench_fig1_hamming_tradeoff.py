@@ -1,0 +1,83 @@
+"""Figure 1 — the Hamming-distance-1 replication/reducer-size tradeoff.
+
+Reproduces the hyperbola r = b / log2(q) and the dots where known algorithms
+(the Splitting family) sit exactly on it, and confirms the match by actually
+running each algorithm on the simulated engine and measuring its replication
+rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.lower_bounds import hamming1_lower_bound
+from repro.mapreduce import MapReduceEngine
+from repro.schemas import SplittingSchema, splitting_points
+
+B_ANALYTIC = 24  # the curve is printed for 24-bit strings
+B_EXECUTED = 8   # algorithms are actually executed on the full 2^8 universe
+
+
+def build_curve():
+    series = []
+    for c, log_q, rate in splitting_points(B_ANALYTIC):
+        series.append(
+            {
+                "c": c,
+                "log2_q": log_q,
+                "algorithm_r": rate,
+                "lower_bound_r": hamming1_lower_bound(B_ANALYTIC, 2.0 ** log_q),
+            }
+        )
+    return series
+
+
+def run_algorithms_on_engine():
+    engine = MapReduceEngine()
+    words = list(range(2 ** B_EXECUTED))
+    measured = []
+    for c, log_q, _ in splitting_points(B_EXECUTED):
+        family = SplittingSchema(B_EXECUTED, c)
+        result = engine.run(family.job(), words)
+        measured.append(
+            {
+                "c": c,
+                "log2_q": log_q,
+                "measured_r": result.replication_rate,
+                "lower_bound_r": hamming1_lower_bound(B_EXECUTED, 2.0 ** log_q),
+                "max_reducer_size": result.metrics.shuffle.max_reducer_size,
+            }
+        )
+    return measured
+
+
+def test_fig1_lower_bound_curve(benchmark, table_printer):
+    series = benchmark(build_curve)
+    table_printer(
+        f"Figure 1: r = b/log2 q hyperbola and Splitting-algorithm dots (b={B_ANALYTIC})",
+        ["c", "log2 q", "algorithm r", "lower bound r"],
+        [[row["c"], row["log2_q"], row["algorithm_r"], row["lower_bound_r"]] for row in series],
+    )
+    # Every Splitting dot sits exactly on the hyperbola.
+    for row in series:
+        assert row["algorithm_r"] == pytest.approx(row["lower_bound_r"])
+    # The curve is a decreasing function of q.
+    rates = [row["lower_bound_r"] for row in sorted(series, key=lambda r: r["log2_q"])]
+    assert rates == sorted(rates, reverse=True)
+
+
+def test_fig1_measured_on_engine(benchmark, table_printer):
+    measured = benchmark(run_algorithms_on_engine)
+    table_printer(
+        f"Figure 1 (measured): Splitting algorithms executed on the engine (b={B_EXECUTED})",
+        ["c", "log2 q", "measured r", "lower bound r", "max reducer size"],
+        [
+            [row["c"], row["log2_q"], row["measured_r"], row["lower_bound_r"], row["max_reducer_size"]]
+            for row in measured
+        ],
+    )
+    for row in measured:
+        assert row["measured_r"] == pytest.approx(row["lower_bound_r"])
+        assert row["max_reducer_size"] <= 2 ** int(row["log2_q"])

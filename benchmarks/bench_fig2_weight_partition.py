@@ -1,0 +1,129 @@
+"""Figure 2 / Sections 3.4–3.5 — weight-partition algorithms for large q.
+
+Reproduces the claim that for reducer sizes close to the whole input (log2 q
+near b) there are algorithms with replication rate strictly below 2:
+r = 1 + 2/k for the two-dimensional algorithm and 1 + d/k for the
+d-dimensional generalization.  The exact replication rate (computed from the
+binomial weight distribution and verified against an explicit schema) is
+compared with the asymptotic formula, and the reducer sizes are placed on
+the log2 q axis of Fig. 1.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.mapreduce import MapReduceEngine
+from repro.problems import HammingDistanceProblem
+from repro.schemas import HypercubeWeightSchema, WeightPartitionSchema
+
+B_ANALYTIC = 32
+B_EXECUTED = 10
+
+
+def sweep_cell_width():
+    # k stays well below the half-length b/2 = 16: the 1 + 2/k estimate
+    # assumes "k much smaller than b/d" (Section 3.5).
+    rows = []
+    for k in (1, 2, 4):
+        family = WeightPartitionSchema(B_ANALYTIC, k)
+        rows.append(
+            {
+                "k": k,
+                "formula_r": family.replication_rate_formula(),
+                "exact_r": family.exact_replication_rate(),
+                "log2_q": math.log2(family.max_reducer_size_formula()),
+                "b": B_ANALYTIC,
+            }
+        )
+    return rows
+
+
+def sweep_dimensions():
+    rows = []
+    for d in (2, 4, 8):
+        family = HypercubeWeightSchema(B_ANALYTIC, d, 2)
+        rows.append(
+            {
+                "d": d,
+                "k": 2,
+                "formula_r": family.replication_rate_formula(),
+                "exact_r": family.exact_replication_rate(),
+                "log2_q": math.log2(family.max_reducer_size_formula()),
+            }
+        )
+    return rows
+
+
+def run_on_engine():
+    engine = MapReduceEngine()
+    problem = HammingDistanceProblem(B_EXECUTED)
+    words = list(range(2 ** B_EXECUTED))
+    rows = []
+    for k in (1, 5):
+        family = WeightPartitionSchema(B_EXECUTED, k)
+        result = engine.run(family.job(), words)
+        expected_pairs = problem.num_outputs
+        rows.append(
+            {
+                "k": k,
+                "measured_r": result.replication_rate,
+                "exact_r": family.exact_replication_rate(),
+                "pairs_found": len(result.outputs),
+                "pairs_expected": expected_pairs,
+            }
+        )
+    return rows
+
+
+def test_fig2_two_dimensional_sweep(benchmark, table_printer):
+    rows = benchmark(sweep_cell_width)
+    table_printer(
+        f"Section 3.4: weight-partition algorithm, b={B_ANALYTIC}",
+        ["k", "r = 1+2/k", "exact r", "log2 q"],
+        [[row["k"], row["formula_r"], row["exact_r"], row["log2_q"]] for row in rows],
+    )
+    for row in rows:
+        # The exact rate is near the 1 + 2/k asymptotic estimate (the binomial
+        # mass near the centre makes border weights slightly more likely than
+        # 1/k, so a small excess over the estimate is expected) and is well
+        # below 2 for k >= 2; the reducer size sits close to — but not exactly
+        # at — the right end of Fig. 1.
+        assert 1.0 <= row["exact_r"] <= row["formula_r"] * 1.1
+        assert row["exact_r"] < 2.0 or row["k"] == 1
+        assert row["log2_q"] < B_ANALYTIC
+        assert row["log2_q"] > B_ANALYTIC - math.log2(B_ANALYTIC) - 4
+    # Larger cells mean less replication.
+    exact = [row["exact_r"] for row in rows]
+    assert exact == sorted(exact, reverse=True)
+
+
+def test_fig2_d_dimensional_sweep(benchmark, table_printer):
+    rows = benchmark(sweep_dimensions)
+    table_printer(
+        f"Section 3.5: d-dimensional weight grid, b={B_ANALYTIC}, k=2",
+        ["d", "k", "r = 1+d/k", "exact r", "log2 q"],
+        [[row["d"], row["k"], row["formula_r"], row["exact_r"], row["log2_q"]] for row in rows],
+    )
+    # More dimensions shrink the reducers but raise the replication rate.
+    log_qs = [row["log2_q"] for row in rows]
+    rates = [row["exact_r"] for row in rows]
+    assert log_qs == sorted(log_qs, reverse=True)
+    assert rates == sorted(rates)
+
+
+def test_fig2_measured_on_engine(benchmark, table_printer):
+    rows = benchmark(run_on_engine)
+    table_printer(
+        f"Section 3.4 (measured): all distance-1 pairs of the full {2**B_EXECUTED}-string universe",
+        ["k", "measured r", "exact r", "pairs found", "pairs expected"],
+        [
+            [row["k"], row["measured_r"], row["exact_r"], row["pairs_found"], row["pairs_expected"]]
+            for row in rows
+        ],
+    )
+    for row in rows:
+        assert row["pairs_found"] == row["pairs_expected"]
+        assert row["measured_r"] == pytest.approx(row["exact_r"])

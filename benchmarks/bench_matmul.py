@@ -1,0 +1,167 @@
+"""Section 6 — matrix multiplication.
+
+Figure 3 / Sections 6.1–6.2: the one-round lower bound r >= 2n²/q and the
+square-tiling algorithm that matches it exactly, measured on the engine.
+
+Figures 4–5 / Section 6.3: the two-phase algorithm — total communication
+4n³/√q versus the one-phase 4n⁴/q, the q = n² crossover, and the 2:1 aspect
+ratio optimum — both in closed form and measured end-to-end on the engine.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.lower_bounds import matmul_lower_bound
+from repro.datagen import integer_matrix, multiplication_records, records_to_matrix
+from repro.mapreduce import MapReduceEngine
+from repro.schemas import (
+    OnePhaseTilingSchema,
+    TwoPhaseMatMulAlgorithm,
+    communication_crossover_q,
+    one_phase_total_communication,
+    two_phase_total_communication,
+)
+
+N_ANALYTIC = 1000
+N_EXECUTED = 12
+
+
+def one_phase_sweep():
+    rows = []
+    for s in (1, 10, 100, 500, 1000):
+        family = OnePhaseTilingSchema(N_ANALYTIC, s)
+        q = family.max_reducer_size_formula()
+        rows.append(
+            {
+                "s": s,
+                "q = 2sn": q,
+                "upper r = n/s": family.replication_rate_formula(),
+                "lower r = 2n^2/q": matmul_lower_bound(N_ANALYTIC, q),
+            }
+        )
+    return rows
+
+
+def two_phase_sweep():
+    rows = []
+    for q in (2e3, 2e4, 2e5, 1e6, 4e6):
+        rows.append(
+            {
+                "q": q,
+                "one-phase comm 4n^4/q": one_phase_total_communication(N_ANALYTIC, q),
+                "two-phase comm 4n^3/sqrt(q)": two_phase_total_communication(N_ANALYTIC, q),
+                "two-phase wins": two_phase_total_communication(N_ANALYTIC, q)
+                < one_phase_total_communication(N_ANALYTIC, q),
+            }
+        )
+    return rows
+
+
+def execute_both_methods():
+    engine = MapReduceEngine()
+    n = N_EXECUTED
+    left = integer_matrix(n, seed=71, low=1, high=5)
+    right = integer_matrix(n, seed=72, low=1, high=5)
+    records = multiplication_records(left, right)
+    expected = left @ right
+    rows = []
+    for q in (24, 48, 96):
+        one = OnePhaseTilingSchema.for_reducer_size(n, q)
+        one_result = engine.run(one.job(), records)
+        two = TwoPhaseMatMulAlgorithm.optimal_for_reducer_size(n, q)
+        two_result = engine.run_chain(two.chain(), records)
+        rows.append(
+            {
+                "q": q,
+                "one-phase comm": one_result.communication_cost,
+                "two-phase comm": two_result.total_communication,
+                "one-phase r": one_result.replication_rate,
+                "lower r": matmul_lower_bound(n, one.max_reducer_size_formula()),
+                "one correct": bool(
+                    np.allclose(records_to_matrix(one_result.outputs, n, n), expected)
+                ),
+                "two correct": bool(
+                    np.allclose(records_to_matrix(two_result.outputs, n, n), expected)
+                ),
+            }
+        )
+    return rows
+
+
+def aspect_ratio_sweep():
+    n, q = 24, 36
+    rows = []
+    for s in (2, 3, 4, 6, 8, 12):
+        if q % (2 * s) != 0:
+            continue
+        t = q // (2 * s)
+        if t < 1 or n % s != 0 or n % t != 0:
+            continue
+        algorithm = TwoPhaseMatMulAlgorithm(n, s, t)
+        rows.append(
+            {
+                "s": s,
+                "t": t,
+                "aspect s/t": s / t,
+                "total comm": algorithm.total_communication(),
+            }
+        )
+    return rows
+
+
+def test_fig3_one_phase_matches_lower_bound(benchmark, table_printer):
+    rows = benchmark(one_phase_sweep)
+    table_printer(
+        f"Section 6.1/6.2: one-round matrix multiplication, n={N_ANALYTIC}",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        assert row["upper r = n/s"] == pytest.approx(row["lower r = 2n^2/q"])
+
+
+def test_fig4_two_phase_crossover(benchmark, table_printer):
+    rows = benchmark(two_phase_sweep)
+    table_printer(
+        f"Section 6.3: one-phase vs two-phase communication, n={N_ANALYTIC}",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    crossover = communication_crossover_q(N_ANALYTIC)
+    assert crossover == N_ANALYTIC ** 2
+    for row in rows:
+        expected_winner = row["q"] < crossover
+        assert row["two-phase wins"] == expected_winner
+    # At the crossover the costs coincide.
+    assert one_phase_total_communication(N_ANALYTIC, crossover) == pytest.approx(
+        two_phase_total_communication(N_ANALYTIC, crossover)
+    )
+
+
+def test_fig5_aspect_ratio_optimum(benchmark, table_printer):
+    rows = benchmark(aspect_ratio_sweep)
+    table_printer(
+        "Section 6.3: total communication vs first-phase cube aspect ratio (n=24, q=48)",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    best = min(rows, key=lambda row: row["total comm"])
+    assert best["aspect s/t"] == pytest.approx(2.0)
+
+
+def test_both_methods_executed(benchmark, table_printer):
+    rows = benchmark(execute_both_methods)
+    table_printer(
+        f"Section 6 (measured): n={N_EXECUTED} product on the engine",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        assert row["one correct"] and row["two correct"]
+        assert row["one-phase r"] == pytest.approx(row["lower r"])
+        # Every q in the sweep is below n², so the two-phase method ships less.
+        assert row["two-phase comm"] < row["one-phase comm"]

@@ -1,0 +1,133 @@
+"""Section 5.5 — multiway joins: chain joins and star joins.
+
+Chain joins: the lower bound (n/√q)^{N-1} and the matching Shares upper
+bound, swept over the number of relations N and the reducer size q, plus an
+end-to-end execution of the Shares algorithm on random relation instances.
+
+Star joins: the Section 5.5.2 lower and upper bounds as a function of q for
+a large fact table and smaller dimension tables.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.fractional_cover import fractional_edge_cover
+from repro.analysis.lower_bounds import chain_join_lower_bound, star_join_lower_bound
+from repro.analysis.upper_bounds import chain_join_upper_bound, star_join_upper_bound
+from repro.datagen import chain_join_instance, multiway_join_oracle
+from repro.mapreduce import MapReduceEngine
+from repro.problems import JoinQuery
+from repro.schemas import SharesSchema, chain_join_shares
+
+N_DOMAIN = 1000
+
+
+def chain_sweep():
+    rows = []
+    for num_relations in (3, 5, 7):
+        query = JoinQuery.chain(num_relations)
+        rho = fractional_edge_cover(query).value
+        for q in (10_000, 100_000):
+            rows.append(
+                {
+                    "N": num_relations,
+                    "rho": rho,
+                    "q": q,
+                    "lower (n/sqrt(q))^(N-1)": chain_join_lower_bound(N_DOMAIN, num_relations, q),
+                    "upper (shares)": chain_join_upper_bound(N_DOMAIN, num_relations, q),
+                }
+            )
+    return rows
+
+
+def star_sweep():
+    fact_size, dimension_size = 1e6, 1e3
+    rows = []
+    for num_dimensions in (2, 3, 4):
+        for q in (2e3, 2e4, 2e5):
+            rows.append(
+                {
+                    "N dims": num_dimensions,
+                    "q": q,
+                    "lower": star_join_lower_bound(fact_size, dimension_size, num_dimensions, q),
+                    "upper": star_join_upper_bound(fact_size, dimension_size, num_dimensions, q),
+                }
+            )
+    return rows
+
+
+def execute_chain_join():
+    engine = MapReduceEngine()
+    query = JoinQuery.chain(3)
+    relations = chain_join_instance(3, 40, 8, seed=909)
+    rows = []
+    for reducers in (1, 8, 27):
+        schema = SharesSchema(query, chain_join_shares(3, reducers), domain_size=8)
+        records = SharesSchema.input_records(relations)
+        result = engine.run(schema.job(relations), records)
+        _, expected = multiway_join_oracle(relations)
+        rows.append(
+            {
+                "grid reducers": schema.num_reducers,
+                "measured r": result.replication_rate,
+                "formula r": schema.replication_rate_formula(),
+                "max reducer size": result.metrics.shuffle.max_reducer_size,
+                "join tuples": len(result.outputs),
+                "correct": sorted(result.outputs) == sorted(expected),
+            }
+        )
+    return rows
+
+
+def test_chain_join_bounds(benchmark, table_printer):
+    rows = benchmark(chain_sweep)
+    table_printer(
+        f"Section 5.5: chain joins over a domain of n={N_DOMAIN}",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        # The paper's chain-join upper bound from [1] matches the lower bound.
+        assert row["upper (shares)"] == pytest.approx(row["lower (n/sqrt(q))^(N-1)"])
+        # rho of a chain of N binary relations is ceil((N+1)/2).
+        assert row["rho"] == pytest.approx(math.ceil((row["N"] + 1) / 2))
+    # Longer chains need more replication at the same q.
+    at_q = [row for row in rows if row["q"] == 10_000]
+    bounds = [row["lower (n/sqrt(q))^(N-1)"] for row in sorted(at_q, key=lambda r: r["N"])]
+    assert bounds == sorted(bounds)
+
+
+def test_star_join_bounds(benchmark, table_printer):
+    rows = benchmark(star_sweep)
+    table_printer(
+        "Section 5.5.2: star join (f=1e6, d0=1e3)",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        assert row["upper"] >= row["lower"] - 1e-9
+    # Bounds decrease as reducers grow (within each N).
+    for dims in (2, 3, 4):
+        subset = [row for row in rows if row["N dims"] == dims]
+        lowers = [row["lower"] for row in subset]
+        assert lowers == sorted(lowers, reverse=True)
+
+
+def test_chain_join_executed(benchmark, table_printer):
+    rows = benchmark(execute_chain_join)
+    table_printer(
+        "Section 5.5 (measured): 3-relation chain join on the engine",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        assert row["correct"]
+        assert row["measured r"] == pytest.approx(row["formula r"])
+    # More reducers (finer grid) means more replication and smaller reducers.
+    measured = [row["measured r"] for row in rows]
+    max_sizes = [row["max reducer size"] for row in rows]
+    assert measured == sorted(measured)
+    assert max_sizes == sorted(max_sizes, reverse=True)

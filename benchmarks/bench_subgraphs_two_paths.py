@@ -1,0 +1,166 @@
+"""Sections 5.2–5.4 — Alon-class sample graphs and paths of length two.
+
+The Alon sweep evaluates the lower bound Ω((n/√q)^{s-2}) (and its edge form)
+for several sample graphs, verifying Alon-class membership with the
+partition checker.  The 2-path experiment runs the [u, {i, j}] schema on the
+engine and compares its measured replication rate with the 2n/q lower bound
+(the construction is within a factor of two).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.lower_bounds import (
+    alon_lower_bound,
+    alon_lower_bound_edges,
+    two_path_lower_bound,
+)
+from repro.analysis.upper_bounds import alon_upper_bound_edges, two_path_upper_bound
+from repro.datagen import enumerate_two_paths_oracle, gnm_random_graph
+from repro.mapreduce import MapReduceEngine
+from repro.problems import SampleGraph, SampleGraphProblem, TwoPathProblem
+from repro.schemas import (
+    PartitionSampleGraphSchema,
+    TwoPathSchema,
+    enumerate_sample_graph_oracle,
+)
+
+N_ANALYTIC = 1000
+M_ANALYTIC = 100_000
+N_EXECUTED = 30
+
+
+def alon_sweep():
+    samples = [
+        SampleGraph.triangle(),
+        SampleGraph.cycle(4),
+        SampleGraph.cycle(5),
+        SampleGraph.clique(4),
+        SampleGraph.path(3),
+    ]
+    rows = []
+    for sample in samples:
+        problem = SampleGraphProblem(N_ANALYTIC, sample)
+        for q in (10_000, 100_000):
+            rows.append(
+                {
+                    "sample": sample.name,
+                    "s": sample.num_nodes,
+                    "alon": sample.is_in_alon_class(),
+                    "q": q,
+                    "lower (n/sqrt(q))^(s-2)": alon_lower_bound(N_ANALYTIC, sample.num_nodes, q),
+                    "lower edges (sqrt(m/q))^(s-2)": alon_lower_bound_edges(
+                        M_ANALYTIC, sample.num_nodes, q
+                    ),
+                    "upper edges": alon_upper_bound_edges(M_ANALYTIC, sample.num_nodes, q),
+                }
+            )
+    return rows
+
+
+def two_path_sweep_and_run():
+    engine = MapReduceEngine()
+    edges = gnm_random_graph(N_EXECUTED, 120, seed=55)
+    rows = []
+    for k in (2, 3, 5, 10):
+        family = TwoPathSchema(N_EXECUTED, k)
+        result = engine.run(family.job(), edges)
+        q = family.max_reducer_size_formula()
+        rows.append(
+            {
+                "k": k,
+                "q = 2n/k": q,
+                "upper r = 2(k-1)": family.replication_rate_formula(),
+                "lower r = 2n/q": two_path_lower_bound(N_EXECUTED, q),
+                "measured r": result.replication_rate,
+                "correct": set(result.outputs) == enumerate_two_paths_oracle(edges),
+            }
+        )
+    return rows
+
+
+def sample_graph_run():
+    """Run the generalized partition schema for several sample graphs."""
+    engine = MapReduceEngine()
+    n = 14
+    edges = gnm_random_graph(n, 40, seed=56)
+    rows = []
+    for sample, k in [
+        (SampleGraph.triangle(), 3),
+        (SampleGraph.cycle(4), 2),
+        (SampleGraph.clique(4), 3),
+    ]:
+        family = PartitionSampleGraphSchema(n, sample, k)
+        result = engine.run(family.job(), edges)
+        oracle = enumerate_sample_graph_oracle(edges, sample)
+        rows.append(
+            {
+                "sample": sample.name,
+                "k": k,
+                "formula r": family.replication_rate_formula(),
+                "measured r": result.replication_rate,
+                "instances": len(result.outputs),
+                "correct": set(result.outputs) == set(oracle),
+            }
+        )
+    return rows
+
+
+def test_sample_graphs_executed(benchmark, table_printer):
+    rows = benchmark(sample_graph_run)
+    table_printer(
+        "Section 5.2 (measured): partition schema for sample graphs (n=14, m=40)",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        assert row["correct"]
+        assert row["measured r"] == pytest.approx(row["formula r"])
+    # The replication rate grows with the sample-graph size s at fixed-ish k,
+    # the (n/√q)^{s-2} qualitative shape.
+    assert rows[0]["formula r"] <= rows[2]["formula r"]
+
+
+def test_alon_class_lower_bounds(benchmark, table_printer):
+    rows = benchmark(alon_sweep)
+    table_printer(
+        f"Section 5.2/5.3: Alon-class sample graphs, n={N_ANALYTIC}, m={M_ANALYTIC}",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        assert row["alon"], "every sample graph in the sweep is in the Alon class"
+        # The edge-based upper bound from [2] matches the edge-based lower
+        # bound up to the constants both sides drop.
+        assert row["upper edges"] == pytest.approx(row["lower edges (sqrt(m/q))^(s-2)"])
+    # Larger sample graphs have (weakly) larger replication requirements.
+    by_q = [row for row in rows if row["q"] == 10_000]
+    ordered = sorted(by_q, key=lambda row: row["s"])
+    bounds = [row["lower (n/sqrt(q))^(s-2)"] for row in ordered]
+    assert bounds == sorted(bounds)
+
+
+def test_non_alon_graph_detected(benchmark):
+    """The 2-path sample graph is the paper's canonical non-Alon example."""
+
+    def check():
+        return SampleGraph.path(2).is_in_alon_class()
+
+    assert benchmark(check) is False
+
+
+def test_two_path_tradeoff_and_execution(benchmark, table_printer):
+    rows = benchmark(two_path_sweep_and_run)
+    table_printer(
+        f"Section 5.4: 2-paths on n={N_EXECUTED} nodes (m=120 random edges)",
+        list(rows[0].keys()),
+        [list(row.values()) for row in rows],
+    )
+    for row in rows:
+        assert row["correct"]
+        assert row["measured r"] == pytest.approx(row["upper r = 2(k-1)"])
+        lower = row["lower r = 2n/q"]
+        assert lower - 1e-9 <= row["upper r = 2(k-1)"] <= 2.0 * lower + 1e-9

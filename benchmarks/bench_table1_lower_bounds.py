@@ -1,0 +1,72 @@
+"""Table 1 — lower bounds on replication rate for every problem.
+
+Regenerates the six rows of Table 1 (|I|, |O|, g(q), lower bound on r) with
+concrete parameters and evaluates each lower bound over a reducer-size
+sweep.  Also cross-checks that the generic 4-step recipe reproduces each
+closed form.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lower_bounds as lb
+from repro.analysis.tables import table1_rows
+
+Q_SWEEP = [2 ** 4, 2 ** 8, 2 ** 12, 2 ** 16]
+
+
+def build_table1():
+    rows = table1_rows(
+        b=20,
+        n_triangle=1000,
+        n_sample=1000,
+        sample_nodes=4,
+        n_two_path=1000,
+        n_join=100,
+        join_attributes=4,
+        join_rho=2.0,
+        n_matmul=100,
+    )
+    evaluated = []
+    for row in rows:
+        record = row.as_dict()
+        for q in Q_SWEEP:
+            record[f"r_lower(q=2^{q.bit_length() - 1})"] = row.evaluate(float(q))
+        evaluated.append(record)
+    return rows, evaluated
+
+
+def test_table1_rows(benchmark, table_printer):
+    rows, evaluated = benchmark(build_table1)
+    header = list(evaluated[0].keys())
+    table_printer("Table 1: lower bounds on replication rate", header, [list(r.values()) for r in evaluated])
+    assert len(rows) == 6
+    # Every bound decreases (weakly) as reducers grow.
+    for row in rows:
+        values = [row.evaluate(float(q)) for q in Q_SWEEP]
+        assert all(earlier >= later - 1e-9 for earlier, later in zip(values, values[1:]))
+
+
+def test_recipe_reproduces_closed_forms(benchmark):
+    """The generic recipe and the Table 1 closed forms agree at every q."""
+
+    def check():
+        mismatches = 0
+        for q in Q_SWEEP:
+            pairs = [
+                (lb.hamming1_recipe(20).bound_at(q).replication_rate_bound,
+                 lb.hamming1_lower_bound(20, q)),
+                (lb.triangle_recipe(1000).bound_at(q).replication_rate_bound,
+                 lb.triangle_lower_bound(1000, q)),
+                (lb.two_path_recipe(1000).bound_at(q).replication_rate_bound,
+                 lb.two_path_lower_bound(1000, q)),
+                (lb.matmul_recipe(100).bound_at(q).replication_rate_bound,
+                 lb.matmul_lower_bound(100, q)),
+            ]
+            for recipe_value, closed_form in pairs:
+                if abs(recipe_value - closed_form) > 1e-6 * max(closed_form, 1.0):
+                    mismatches += 1
+        return mismatches
+
+    assert benchmark(check) == 0

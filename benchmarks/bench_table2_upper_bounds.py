@@ -1,0 +1,82 @@
+"""Table 2 — representative upper bounds on replication rate.
+
+Regenerates the Table 2 rows and verifies the headline qualitative claims:
+the Hamming-1 and matrix-multiplication upper bounds equal their lower
+bounds, and the graph/join upper bounds exceed their lower bounds by at most
+a small constant factor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lower_bounds as lb
+from repro.analysis import upper_bounds as ub
+from repro.analysis.tables import table2_rows
+
+Q_SWEEP = [2 ** 6, 2 ** 10, 2 ** 14]
+
+
+def build_table2():
+    rows = table2_rows(
+        b=20,
+        n_triangle=1000,
+        m_sample=100_000,
+        sample_nodes=4,
+        n_two_path=1000,
+        n_chain=100,
+        chain_relations=3,
+        star_fact_size=1e6,
+        star_dimension_size=1e3,
+        star_dimensions=3,
+        n_matmul=100,
+    )
+    evaluated = []
+    for row in rows:
+        record = row.as_dict()
+        for q in Q_SWEEP:
+            record[f"r_upper(q=2^{q.bit_length() - 1})"] = row.evaluate(float(q))
+        evaluated.append(record)
+    return rows, evaluated
+
+
+def test_table2_rows(benchmark, table_printer):
+    rows, evaluated = benchmark(build_table2)
+    header = list(evaluated[0].keys())
+    table_printer("Table 2: upper bounds on replication rate", header, [list(r.values()) for r in evaluated])
+    assert len(rows) == 6
+
+
+def test_upper_to_lower_gaps(benchmark, table_printer):
+    """Gap (upper / lower) per problem: 1.0 for Hamming-1 and matmul, a small
+    constant for triangles and 2-paths — the paper's matching claims."""
+
+    def compute():
+        gaps = []
+        for q in Q_SWEEP:
+            gaps.append(
+                {
+                    "q": q,
+                    "hamming1": ub.hamming1_upper_bound(20, q) / lb.hamming1_lower_bound(20, q),
+                    "triangles": ub.triangle_upper_bound(1000, q) / lb.triangle_lower_bound(1000, q),
+                    "two_paths": ub.two_path_upper_bound(1000, q) / lb.two_path_lower_bound(1000, q),
+                    "chain_join_3": ub.chain_join_upper_bound(100, 3, q)
+                    / lb.chain_join_lower_bound(100, 3, q),
+                    "matmul": ub.matmul_upper_bound(100, max(q, 200))
+                    / lb.matmul_lower_bound(100, max(q, 200)),
+                }
+            )
+        return gaps
+
+    gaps = benchmark(compute)
+    table_printer(
+        "Upper/lower bound gap per problem",
+        ["q", "hamming1", "triangles", "two_paths", "chain_join_3", "matmul"],
+        [[g["q"], g["hamming1"], g["triangles"], g["two_paths"], g["chain_join_3"], g["matmul"]] for g in gaps],
+    )
+    for gap in gaps:
+        assert gap["hamming1"] == pytest.approx(1.0)
+        assert gap["matmul"] == pytest.approx(1.0)
+        assert gap["chain_join_3"] == pytest.approx(1.0)
+        assert 1.0 <= gap["triangles"] <= 3.1
+        assert 1.0 <= gap["two_paths"] <= 2.1

@@ -1,0 +1,47 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module regenerates one table or figure of the paper: it
+computes the analytic bounds, runs the constructive algorithm on the
+simulated engine where feasible, prints the rows/series the paper reports,
+and asserts the qualitative shape (who wins, by roughly what factor, where
+crossovers fall).  The timing side of pytest-benchmark measures the cost of
+the reproduction itself (schema construction / engine execution), which is
+useful for regression tracking but not part of the paper's claims.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    """Print an aligned text table for a reproduced paper table/figure."""
+    materialized = [[_format(cell) for cell in row] for row in rows]
+    widths = [len(column) for column in header]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    print()
+    print(f"=== {title} ===")
+    print("  ".join(name.ljust(widths[index]) for index, name in enumerate(header)))
+    print("  ".join("-" * widths[index] for index in range(len(header))))
+    for row in materialized:
+        print("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+
+
+def _format(value: object) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if value >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture exposing the table printer to benchmark tests."""
+    return print_table

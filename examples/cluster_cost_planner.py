@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Choosing the reducer size for a priced cluster (Section 1.2 / Example 1.1).
+
+Scenario: the similarity-join and join workloads of the previous examples
+are to be run on a rented cluster (the paper's EC2 discussion).  Given
+
+* a — the cost per unit of replication (communication),
+* b — the cost per unit of reducer size (processor rental), and
+* optionally c — a wall-clock penalty proportional to the per-reducer
+  running time (q² for all-pairs reducers, Example 1.1),
+
+the planner minimizes a·f(q) + b·q (+ c·q²) along each problem's tradeoff
+curve and reports which concrete algorithm to run.
+
+Run with:  python examples/cluster_cost_planner.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.lower_bounds import hamming1_recipe, triangle_recipe
+from repro.core import AlgorithmPoint, ClusterCostModel, TradeoffCurve
+from repro.schemas import PartitionTriangleSchema, splitting_points
+
+
+def hamming_curve(b: int) -> TradeoffCurve:
+    curve = TradeoffCurve.from_recipe(hamming1_recipe(b))
+    for c, log_q, rate in splitting_points(b):
+        curve.add_algorithm(
+            AlgorithmPoint(name=f"splitting(c={c})", q=2.0 ** log_q, replication_rate=rate)
+        )
+    return curve
+
+
+def triangle_curve(n: int) -> TradeoffCurve:
+    curve = TradeoffCurve.from_recipe(triangle_recipe(n))
+    for k in (2, 4, 8, 16, 32, 64):
+        family = PartitionTriangleSchema(n, min(k, n))
+        curve.add_algorithm(
+            AlgorithmPoint(
+                name=family.name,
+                q=family.max_reducer_size_formula(),
+                replication_rate=family.replication_rate_formula(),
+            )
+        )
+    return curve
+
+
+def plan(title: str, curve: TradeoffCurve, scenarios) -> None:
+    print(f"\n== {title} ==")
+    header = f"{'scenario':<28} {'a':>10} {'b':>10} {'c':>10} {'chosen algorithm':<28} {'q':>12} {'r':>8} {'cost':>12}"
+    print(header)
+    print("-" * len(header))
+    for name, a, b_rate, c_rate in scenarios:
+        model = ClusterCostModel(
+            communication_rate=a, processing_rate=b_rate, wall_clock_rate=c_rate
+        )
+        point, breakdown = curve.optimize_cost_over_algorithms(model)
+        print(
+            f"{name:<28} {a:>10g} {b_rate:>10g} {c_rate:>10g} {point.name:<28} "
+            f"{point.q:>12.0f} {point.replication_rate:>8.2f} {breakdown.total:>12.1f}"
+        )
+
+
+def main() -> None:
+    # Similarity join on 24-bit signatures.
+    b = 24
+    scenarios = [
+        ("cheap network, pricey CPUs", 0.001, 10.0, 0.0),
+        ("balanced pricing", 1.0, 1.0, 0.0),
+        ("pricey network", 1000.0, 1.0, 0.0),
+        ("wall-clock sensitive", 1.0, 0.0, 0.0005),
+    ]
+    plan(f"Hamming-distance-1 similarity join (b={b})", hamming_curve(b), scenarios)
+
+    # Triangle analytics over a 4096-node graph domain.
+    n = 4096
+    plan(f"Triangle finding (n={n})", triangle_curve(n), scenarios)
+
+    # The continuous optimum of Section 1.2 for the similarity join, showing
+    # how the best q moves as the network gets pricier.
+    print("\ncontinuous optimum along the lower-bound curve (similarity join):")
+    curve = hamming_curve(b)
+    print(f"  {'a (network price)':>18} {'optimal q':>14} {'log2 q':>8} {'r':>7}")
+    for a in (0.1, 1.0, 10.0, 100.0, 1000.0):
+        model = ClusterCostModel(communication_rate=a, processing_rate=1.0)
+        best = curve.optimize_cost(model, q_min=2.0, q_max=2.0 ** b)
+        print(
+            f"  {a:>18g} {best.q:>14.0f} {math.log2(best.q):>8.2f} "
+            f"{best.replication_rate:>7.2f}"
+        )
+    print(
+        "\nSection 1.2 takeaway: the dearer the network relative to processors, "
+        "the larger the reducers you should use (less replication, less "
+        "parallelism), and vice versa."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""One-phase vs two-phase distributed matrix multiplication (Section 6).
+
+Scenario: an analytics pipeline multiplies two dense n×n matrices with a
+map-reduce cluster whose reducers can take at most q input elements.  The
+script runs both strategies on the simulated engine for a sweep of q:
+
+* the one-round tiling schema, whose replication rate 2n²/q matches the
+  Section 6.1 lower bound exactly, and
+* the two-round algorithm of Section 6.3 with the 2:1 aspect-ratio optimum,
+  whose total communication is 4n³/√q.
+
+It verifies both against numpy and shows the crossover at q = n².
+
+Run with:  python examples/matrix_pipeline.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datagen import integer_matrix, multiplication_records, records_to_matrix
+from repro.mapreduce import MapReduceEngine
+from repro.problems import MatrixMultiplicationProblem
+from repro.schemas import (
+    OnePhaseTilingSchema,
+    TwoPhaseMatMulAlgorithm,
+    one_phase_total_communication,
+    two_phase_total_communication,
+)
+
+
+def main() -> None:
+    n = 12
+    engine = MapReduceEngine()
+    problem = MatrixMultiplicationProblem(n)
+    left = integer_matrix(n, seed=5, low=0, high=9)
+    right = integer_matrix(n, seed=6, low=0, high=9)
+    records = multiplication_records(left, right)
+    expected = left @ right
+    print(f"multiplying two {n}x{n} matrices ({len(records)} element records)")
+    print(f"crossover reducer size q = n^2 = {problem.crossover_q():.0f}\n")
+
+    header = (
+        f"{'q':>6} {'1-phase r':>10} {'1-phase comm':>13} {'2-phase comm':>13} "
+        f"{'winner':>8} {'both correct':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+
+    for q in (24, 48, 96, 144, 288):
+        one = OnePhaseTilingSchema.for_reducer_size(n, q)
+        one_result = engine.run(one.job(), records)
+        one_ok = np.allclose(records_to_matrix(one_result.outputs, n, n), expected)
+
+        two = TwoPhaseMatMulAlgorithm.optimal_for_reducer_size(n, q)
+        two_result = engine.run_chain(two.chain(), records)
+        two_ok = np.allclose(records_to_matrix(two_result.outputs, n, n), expected)
+
+        winner = "2-phase" if two_result.total_communication < one_result.communication_cost else "1-phase"
+        print(
+            f"{q:>6} {one_result.replication_rate:>10.2f} {one_result.communication_cost:>13} "
+            f"{two_result.total_communication:>13} {winner:>8} {str(one_ok and two_ok):>13}"
+        )
+
+    print("\nclosed-form totals for a larger matrix (n = 1000):")
+    big_n = 1000
+    print(f"  {'q':>10} {'1-phase 4n^4/q':>16} {'2-phase 4n^3/sqrt(q)':>21}")
+    for q in (1e4, 1e5, 1e6, 2e6):
+        print(
+            f"  {q:>10.0f} {one_phase_total_communication(big_n, q):>16.3e} "
+            f"{two_phase_total_communication(big_n, q):>21.3e}"
+        )
+    print(
+        "\nSection 6.3 takeaway: for any reducer size below n^2 (i.e. any real "
+        "parallelism) the two-phase method ships strictly less data, and the "
+        "optimal first-phase cube has aspect ratio s = 2t."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Fuzzy / similarity join on bit-string signatures (Sections 3.3–3.6).
+
+Scenario: a deduplication pipeline has hashed records into b-bit signatures
+and wants every pair of records whose signatures differ in at most d bits.
+The reducer-size budget q is fixed by worker memory, and the question is
+which algorithm to use and what communication it will cost.
+
+The script compares, for the same data set:
+
+* the Splitting algorithm at several segment counts (distance 1),
+* the weight-partition algorithm with large reducers (distance 1),
+* the segment-deletion and Ball-2 algorithms for distance 2,
+
+reporting measured replication rate, shuffled pairs, reducer sizes and the
+Section 3 lower bound for each.
+
+Run with:  python examples/similarity_join.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.lower_bounds import hamming1_lower_bound
+from repro.datagen import all_pairs_at_distance, bernoulli_bitstrings
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.schemas import (
+    BallTwoSchema,
+    SegmentDeletionSchema,
+    SplittingSchema,
+    WeightPartitionSchema,
+)
+
+
+def run_algorithm(engine, family, job, words, expected_pairs):
+    result = engine.run(job, words)
+    correct = sorted(result.outputs) == sorted(expected_pairs)
+    return {
+        "algorithm": family.name,
+        "replication": result.replication_rate,
+        "pairs": len(result.outputs),
+        "correct": correct,
+        "max_reducer": result.metrics.shuffle.max_reducer_size,
+        "reducers": result.metrics.shuffle.num_reducers,
+    }
+
+
+def print_rows(title, rows):
+    print(f"\n== {title} ==")
+    header = f"{'algorithm':<34} {'r':>7} {'pairs':>7} {'max q_i':>8} {'reducers':>9} {'ok':>4}"
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        print(
+            f"{row['algorithm']:<34} {row['replication']:>7.3f} {row['pairs']:>7} "
+            f"{row['max_reducer']:>8} {row['reducers']:>9} {str(row['correct']):>4}"
+        )
+
+
+def main() -> None:
+    b = 12
+    engine = MapReduceEngine(ClusterConfig(num_workers=16))
+    words = bernoulli_bitstrings(b, probability=0.05, seed=2026)
+    print(f"signatures: {len(words)} present strings of b={b} bits")
+
+    # ---------------- distance 1 ----------------
+    expected_d1 = all_pairs_at_distance(words, 1)
+    rows = []
+    for c in (2, 3, 4, 6):
+        family = SplittingSchema(b, c)
+        rows.append(run_algorithm(engine, family, family.job(), words, expected_d1))
+    weight_family = WeightPartitionSchema(b, cell_width=2)
+    rows.append(run_algorithm(engine, weight_family, weight_family.job(), words, expected_d1))
+    print_rows("Hamming distance 1", rows)
+    for c in (2, 3, 4, 6):
+        q = 2 ** (b // c)
+        print(
+            f"  lower bound at q=2^{b // c}: r >= {hamming1_lower_bound(b, q):.2f} "
+            f"(Splitting with c={c} matches it exactly)"
+        )
+
+    # ---------------- distance 2 ----------------
+    expected_d2 = all_pairs_at_distance(words, 2)
+    rows = []
+    seg_family = SegmentDeletionSchema(b, num_segments=4, distance=2)
+    rows.append(
+        run_algorithm(engine, seg_family, seg_family.job(emit_distance=2), words, expected_d2)
+    )
+    ball_family = BallTwoSchema(b)
+    expected_d12 = sorted(expected_d2 + expected_d1)
+    rows.append(run_algorithm(engine, ball_family, ball_family.job(), words, expected_d12))
+    print_rows("Hamming distance 2 (Ball-2 also emits distance-1 pairs)", rows)
+    print(
+        "\nSection 3.6 takeaway: for distance 2 the segment-deletion schema "
+        f"costs r = C(4,2) = {seg_family.replication_rate_formula():.0f} with reducers of "
+        f"{seg_family.max_reducer_size_formula():.0f} potential strings, while Ball-2 costs "
+        f"r = b+1 = {ball_family.replication_rate_formula():.0f} with tiny reducers; no tight "
+        "lower bound is known because one reducer can cover O(q^2) outputs."
+    )
+
+
+if __name__ == "__main__":
+    main()

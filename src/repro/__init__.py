@@ -1,0 +1,66 @@
+"""repro — reproduction of "Upper and Lower Bounds on the Cost of a Map-Reduce Computation".
+
+Afrati, Das Sarma, Salihoglu, Ullman (VLDB 2013 / arXiv:1206.4377).
+
+The package is organized as follows:
+
+* :mod:`repro.core` — the input/output problem model, mapping schemas, the
+  generic lower-bound recipe, tradeoff curves and the cluster cost model;
+* :mod:`repro.mapreduce` — the simulated single/multi-round map-reduce
+  engine on which schemas execute and are measured;
+* :mod:`repro.problems` — concrete problems (Hamming distance, triangles,
+  sample graphs, 2-paths, joins, matrix multiplication, word count,
+  grouping);
+* :mod:`repro.schemas` — the constructive algorithms (upper bounds);
+* :mod:`repro.analysis` — closed-form bounds, Table 1/2 regeneration,
+  fractional edge covers, sparse-data scaling, approximations;
+* :mod:`repro.datagen` — synthetic workload generators.
+"""
+
+from repro.core import (
+    AlgorithmPoint,
+    ClusterCostModel,
+    ExplicitProblem,
+    LowerBoundRecipe,
+    MappingSchema,
+    Problem,
+    SchemaFamily,
+    TradeoffCurve,
+)
+from repro.exceptions import (
+    BoundDerivationError,
+    ConfigurationError,
+    ExecutionError,
+    ProblemDomainError,
+    ReducerCapacityExceededError,
+    ReproError,
+    SchemaViolationError,
+    UncoveredOutputError,
+)
+from repro.mapreduce import ClusterConfig, JobChain, MapReduceEngine, MapReduceJob
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AlgorithmPoint",
+    "BoundDerivationError",
+    "ClusterConfig",
+    "ClusterCostModel",
+    "ConfigurationError",
+    "ExecutionError",
+    "ExplicitProblem",
+    "JobChain",
+    "LowerBoundRecipe",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "MappingSchema",
+    "Problem",
+    "ProblemDomainError",
+    "ReducerCapacityExceededError",
+    "ReproError",
+    "SchemaFamily",
+    "SchemaViolationError",
+    "TradeoffCurve",
+    "UncoveredOutputError",
+    "__version__",
+]

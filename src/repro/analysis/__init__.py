@@ -1,0 +1,57 @@
+"""Bound formulas, table regeneration, fractional edge covers, sparse scaling."""
+
+from repro.analysis.approximations import (
+    approx_equal,
+    binomial_tail,
+    central_binomial_approx,
+    central_binomial_exact,
+    falling_factorial,
+    log2_binomial,
+    stirling_factorial,
+)
+from repro.analysis.fractional_cover import (
+    FractionalEdgeCover,
+    agm_output_bound,
+    edge_cover_integral,
+    fractional_edge_cover,
+)
+from repro.analysis.sparse import (
+    edge_target_reducer_size,
+    overload_probability,
+    presence_probability,
+    safety_margin_for_confidence,
+    sparse_replication_lower_bound,
+    target_reducer_size,
+)
+from repro.analysis.tables import (
+    Table1Row,
+    Table2Row,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+
+__all__ = [
+    "FractionalEdgeCover",
+    "Table1Row",
+    "Table2Row",
+    "agm_output_bound",
+    "approx_equal",
+    "binomial_tail",
+    "central_binomial_approx",
+    "central_binomial_exact",
+    "edge_cover_integral",
+    "edge_target_reducer_size",
+    "falling_factorial",
+    "format_table",
+    "fractional_edge_cover",
+    "log2_binomial",
+    "overload_probability",
+    "presence_probability",
+    "safety_margin_for_confidence",
+    "sparse_replication_lower_bound",
+    "stirling_factorial",
+    "table1_rows",
+    "table2_rows",
+    "target_reducer_size",
+]

@@ -1,0 +1,83 @@
+"""Numerical approximations the paper leans on (Stirling, binomials).
+
+Section 3.4 uses Stirling's approximation of the central binomial
+coefficient to estimate how many strings fall in the most populous weight
+cell; Section 3.6 uses Stirling's factorial approximation to simplify the
+``C(k, d)`` replication rate.  These helpers expose both the exact and the
+approximate forms so tests can verify the approximation quality the paper
+implicitly assumes.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def stirling_factorial(n: float) -> float:
+    """Stirling's approximation ``n! ≈ √(2πn) · (n/e)^n``."""
+    if n < 0:
+        raise ConfigurationError("factorial approximation needs n >= 0")
+    if n == 0:
+        return 1.0
+    return math.sqrt(2.0 * math.pi * n) * (n / math.e) ** n
+
+
+def central_binomial_approx(n: int) -> float:
+    """Stirling form of ``C(n, n/2) ≈ 2^n / √(πn/2)`` (the paper's 2^n/√(2πn)·... form).
+
+    The paper states the count of weight-``n/2`` strings among ``2^n`` as
+    ``2^n / √(2π·n)·√2``; algebraically ``C(n, n/2) ≈ 2^n·√(2/(πn))``.
+    """
+    if n <= 0:
+        raise ConfigurationError("central binomial approximation needs n > 0")
+    return 2.0 ** n * math.sqrt(2.0 / (math.pi * n))
+
+
+def central_binomial_exact(n: int) -> int:
+    """Exact central binomial coefficient ``C(n, floor(n/2))``."""
+    if n < 0:
+        raise ConfigurationError("binomial coefficient needs n >= 0")
+    return math.comb(n, n // 2)
+
+
+def binomial_tail(n: int, low: int, high: int) -> int:
+    """Sum of binomial coefficients ``C(n, w)`` for ``low <= w <= high``."""
+    if n < 0:
+        raise ConfigurationError("binomial sums need n >= 0")
+    low = max(low, 0)
+    high = min(high, n)
+    if high < low:
+        return 0
+    return sum(math.comb(n, w) for w in range(low, high + 1))
+
+
+def log2_binomial(n: int, k: int) -> float:
+    """``log2 C(n, k)`` computed stably via lgamma."""
+    if k < 0 or k > n:
+        return float("-inf")
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    ) / math.log(2.0)
+
+
+def falling_factorial(n: int, k: int) -> int:
+    """``n · (n-1) · ... · (n-k+1)`` — the number of injective k-tuples."""
+    if k < 0:
+        raise ConfigurationError("falling factorial needs k >= 0")
+    result = 1
+    for offset in range(k):
+        result *= n - offset
+    return result
+
+
+def approx_equal(actual: float, expected: float, relative_tolerance: float = 0.1) -> bool:
+    """Whether two positive quantities agree within a relative tolerance.
+
+    Used by tests that check "same to within a constant factor"-style claims
+    with an explicit tolerance rather than an asymptotic argument.
+    """
+    if expected == 0:
+        return abs(actual) <= relative_tolerance
+    return abs(actual - expected) <= relative_tolerance * abs(expected)

@@ -1,0 +1,209 @@
+"""Closed-form lower bounds on replication rate: every row of Table 1.
+
+Each function returns the lower bound on ``r`` as a function of the reducer
+size ``q`` and the problem parameters, exactly as printed in Table 1 of the
+paper.  Where useful a companion function builds the corresponding
+:class:`~repro.core.recipe.LowerBoundRecipe` so the bound can also be derived
+generically from |I|, |O| and g(q) — tests check the two paths agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.core.recipe import LowerBoundRecipe
+from repro.exceptions import ConfigurationError
+from repro.problems.hamming import hamming_g
+from repro.problems.joins import JoinQuery
+from repro.problems.matmul import matmul_g
+from repro.problems.triangles import triangle_g
+
+
+# ----------------------------------------------------------------------
+# Hamming distance 1 (Section 3.2, Table 1 row 1)
+# ----------------------------------------------------------------------
+def hamming1_lower_bound(b: int, q: float) -> float:
+    """``r >= b / log2 q`` for the Hamming-distance-1 problem."""
+    if b <= 0:
+        raise ConfigurationError("b must be positive")
+    if q < 2:
+        return float("inf")
+    return max(1.0, b / math.log2(q))
+
+
+def hamming1_recipe(b: int) -> LowerBoundRecipe:
+    """Recipe with |I| = 2^b, |O| = (b/2)·2^b, g(q) = (q/2)·log2 q."""
+    return LowerBoundRecipe(
+        problem_name=f"hamming-distance-1(b={b})",
+        num_inputs=2.0 ** b,
+        num_outputs=(b / 2.0) * 2.0 ** b,
+        g=hamming_g,
+    )
+
+
+# ----------------------------------------------------------------------
+# Triangles (Section 4.1, Table 1 row 2)
+# ----------------------------------------------------------------------
+def triangle_lower_bound(n: int, q: float) -> float:
+    """``r >= n / √(2q)`` for triangle finding over n nodes."""
+    if n < 3:
+        raise ConfigurationError("triangle finding needs n >= 3")
+    if q <= 0:
+        return float("inf")
+    return max(1.0, n / math.sqrt(2.0 * q))
+
+
+def triangle_recipe(n: int) -> LowerBoundRecipe:
+    """Recipe with |I| = n²/2, |O| = n³/6, g(q) = (√2/3)·q^{3/2}."""
+    return LowerBoundRecipe(
+        problem_name=f"triangles(n={n})",
+        num_inputs=n * n / 2.0,
+        num_outputs=n ** 3 / 6.0,
+        g=triangle_g,
+    )
+
+
+def triangle_lower_bound_sparse(m: int, q: float) -> float:
+    """Section 4.2's sparse form ``r = Ω(√(m/q))`` for m-edge data graphs."""
+    if q <= 0:
+        return float("inf")
+    return max(1.0, math.sqrt(m / q))
+
+
+# ----------------------------------------------------------------------
+# Alon-class sample graphs (Section 5.2, Table 1 row 3)
+# ----------------------------------------------------------------------
+def alon_lower_bound(n: int, s: int, q: float) -> float:
+    """``r = Ω((n/√q)^{s-2})`` for an s-node Alon-class sample graph."""
+    if s < 2:
+        raise ConfigurationError("sample graphs need at least 2 nodes")
+    if q <= 0:
+        return float("inf")
+    return max(1.0, (n / math.sqrt(q)) ** (s - 2))
+
+
+def alon_lower_bound_edges(m: int, s: int, q: float) -> float:
+    """Section 5.3's edge form ``r = Ω((√(m/q))^{s-2})``."""
+    if q <= 0:
+        return float("inf")
+    return max(1.0, math.sqrt(m / q) ** (s - 2))
+
+
+def alon_recipe(n: int, s: int) -> LowerBoundRecipe:
+    """Recipe with |I| = C(n,2), |O| = n^s (order), g(q) = q^{s/2}."""
+    return LowerBoundRecipe(
+        problem_name=f"alon-sample-graph(n={n}, s={s})",
+        num_inputs=n * (n - 1) / 2.0,
+        num_outputs=float(n) ** s,
+        g=lambda q: float(q) ** (s / 2.0),
+    )
+
+
+# ----------------------------------------------------------------------
+# 2-paths (Section 5.4.1, Table 1 row 4)
+# ----------------------------------------------------------------------
+def two_path_lower_bound(n: int, q: float) -> float:
+    """``r >= 2n/q``, replaced by the trivial bound 1 when it dips below 1."""
+    if n < 3:
+        raise ConfigurationError("2-path finding needs n >= 3")
+    if q <= 0:
+        return float("inf")
+    return max(1.0, 2.0 * n / q)
+
+
+def two_path_recipe(n: int) -> LowerBoundRecipe:
+    """Recipe with |I| = n²/2, |O| = n³/2, g(q) = q²/2."""
+    return LowerBoundRecipe(
+        problem_name=f"two-paths(n={n})",
+        num_inputs=n * n / 2.0,
+        num_outputs=n ** 3 / 2.0,
+        g=lambda q: q * q / 2.0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Multiway joins (Section 5.5.1, Table 1 row 5)
+# ----------------------------------------------------------------------
+def multiway_join_lower_bound(
+    n: int, num_attributes: int, rho: float, q: float
+) -> float:
+    """``r >= n^{m-2} / q^{ρ-1}`` for a join with m attributes over domain n."""
+    if num_attributes < 2:
+        raise ConfigurationError("a join needs at least 2 attributes")
+    if rho < 1:
+        raise ConfigurationError("the fractional edge cover value is at least 1")
+    if q <= 0:
+        return float("inf")
+    return max(1.0, n ** (num_attributes - 2) / q ** (rho - 1.0))
+
+
+def chain_join_lower_bound(n: int, num_relations: int, q: float) -> float:
+    """Chain-join specialization ``r >= (n/√q)^{N-1}`` (Section 5.5.2)."""
+    if num_relations < 2:
+        raise ConfigurationError("a chain join needs at least two relations")
+    if q <= 0:
+        return float("inf")
+    return max(1.0, (n / math.sqrt(q)) ** (num_relations - 1))
+
+
+def uniform_arity_join_lower_bound(
+    n: int, num_attributes: int, num_atoms: int, arity: int, q: float
+) -> float:
+    """``r >= n^{m-α} / q^{s/α - 1}`` for joins of s relations of equal arity α."""
+    if arity < 2:
+        raise ConfigurationError("relations must have arity at least 2")
+    if q <= 0:
+        return float("inf")
+    rho = num_atoms / arity
+    return max(1.0, n ** (num_attributes - arity) / q ** (rho - 1.0))
+
+
+def star_join_lower_bound(
+    fact_size: float, dimension_size: float, num_dimensions: int, q: float
+) -> float:
+    """Section 5.5.2's star-join bound ``N·d0·(N·d0/q)^{N-1} / (f + N·d0)``."""
+    if num_dimensions < 1:
+        raise ConfigurationError("a star join needs at least one dimension table")
+    if q <= 0:
+        return float("inf")
+    N = num_dimensions
+    d0 = dimension_size
+    return N * d0 * (N * d0 / q) ** (N - 1) / (fact_size + N * d0)
+
+
+def multiway_join_recipe(query: JoinQuery, domain_size: int, rho: Optional[float] = None) -> LowerBoundRecipe:
+    """Recipe with |I| ≈ n², |O| = n^m, g(q) = q^ρ (constant factors dropped)."""
+    if rho is None:
+        from repro.analysis.fractional_cover import fractional_edge_cover
+
+        rho = fractional_edge_cover(query).value
+    m = query.num_attributes
+    return LowerBoundRecipe(
+        problem_name=f"{query.name}(n={domain_size})",
+        num_inputs=float(domain_size) ** 2,
+        num_outputs=float(domain_size) ** m,
+        g=lambda q, rho=rho: float(q) ** rho,
+    )
+
+
+# ----------------------------------------------------------------------
+# Matrix multiplication (Section 6.1, Table 1 row 6)
+# ----------------------------------------------------------------------
+def matmul_lower_bound(n: int, q: float) -> float:
+    """``r >= 2n²/q`` for one-round n×n matrix multiplication."""
+    if n <= 0:
+        raise ConfigurationError("matrix dimension must be positive")
+    if q <= 0:
+        return float("inf")
+    return max(1.0, 2.0 * n * n / q)
+
+
+def matmul_recipe(n: int) -> LowerBoundRecipe:
+    """Recipe with |I| = 2n², |O| = n², g(q) = q²/(4n²)."""
+    return LowerBoundRecipe(
+        problem_name=f"matrix-multiplication(n={n})",
+        num_inputs=2.0 * n * n,
+        num_outputs=float(n * n),
+        g=lambda q: matmul_g(q, n),
+    )

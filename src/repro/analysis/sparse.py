@@ -1,0 +1,108 @@
+"""Sparse-data adjustments (Sections 2.3, 4.2 and 5.3).
+
+The model's bounds are stated over the *complete* input domain.  When only a
+random fraction of the potential inputs is actually present, a reducer
+assigned ``q_t`` potential inputs receives about ``q_t · x`` actual inputs,
+where ``x`` is the presence probability.  The paper exploits this to restate
+the graph bounds in terms of the number of present edges ``m``: choosing the
+target ``q_t = q·n(n-1)/(2m)`` makes the expected actual load ``q``.
+
+This module packages those conversions plus a concentration check that the
+paper waves at ("a vanishingly small chance of significant deviation for
+large q"): a Chernoff-style tail bound on the probability that a reducer
+exceeds its intended actual load.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def presence_probability(num_present: int, num_potential: int) -> float:
+    """Fraction ``x`` of potential inputs that are actually present."""
+    if num_potential <= 0:
+        raise ConfigurationError("the potential-input count must be positive")
+    if not 0 <= num_present <= num_potential:
+        raise ConfigurationError(
+            f"present count {num_present} outside [0, {num_potential}]"
+        )
+    return num_present / num_potential
+
+
+def target_reducer_size(q_actual: float, presence: float) -> float:
+    """``q_t = q / x``: potential inputs to assign so the expected load is q.
+
+    Section 2.3: "if we know the probability of an input being present is x,
+    and we can tolerate q1 real inputs at a reducer, then we can use
+    q = q1/x".
+    """
+    if q_actual <= 0:
+        raise ConfigurationError("q must be positive")
+    if not 0.0 < presence <= 1.0:
+        raise ConfigurationError("presence probability must be in (0, 1]")
+    return q_actual / presence
+
+
+def edge_target_reducer_size(q_actual: float, n: int, m: int) -> float:
+    """Section 4.2's ``q_t = q·n(n-1)/(2m)`` for m-edge graphs on n nodes."""
+    possible = n * (n - 1) / 2.0
+    if m <= 0 or m > possible:
+        raise ConfigurationError(f"edge count m={m} outside (0, {possible}]")
+    return target_reducer_size(q_actual, m / possible)
+
+
+def sparse_replication_lower_bound(
+    dense_bound_at, q_actual: float, presence: float
+) -> float:
+    """Re-evaluate a dense-domain bound at the scaled target reducer size.
+
+    ``dense_bound_at`` is the bound as a function of the *potential* reducer
+    size; the sparse bound is its value at ``q_t = q/x``.  For the triangle
+    bound ``n/√(2·q_t)`` this reproduces the ``Ω(√(m/q))`` form.
+    """
+    return float(dense_bound_at(target_reducer_size(q_actual, presence)))
+
+
+def overload_probability(q_target_actual: float, tolerance_factor: float) -> float:
+    """Chernoff upper bound on P[actual load > tolerance_factor · expected].
+
+    For a reducer whose expected actual load is ``μ = q_target_actual`` and a
+    tolerance ``(1+δ) = tolerance_factor``, the multiplicative Chernoff bound
+    gives ``P <= exp(-δ²μ / (2+δ))``.  The paper's "lower the target by a
+    factor of 2" remark corresponds to ``tolerance_factor = 2``.
+    """
+    if q_target_actual <= 0:
+        raise ConfigurationError("the expected load must be positive")
+    if tolerance_factor <= 1.0:
+        return 1.0
+    delta = tolerance_factor - 1.0
+    exponent = -(delta * delta) * q_target_actual / (2.0 + delta)
+    return math.exp(exponent)
+
+
+def safety_margin_for_confidence(q_actual: float, failure_probability: float) -> float:
+    """Factor by which to lower the target so overload is unlikely.
+
+    Solves the Chernoff bound for δ given the desired failure probability,
+    returning ``1/(1+δ)`` — multiply the target ``q_t`` by this factor so
+    that the chance any single reducer exceeds ``q_actual`` is at most the
+    requested probability.
+    """
+    if q_actual <= 0:
+        raise ConfigurationError("q must be positive")
+    if not 0.0 < failure_probability < 1.0:
+        raise ConfigurationError("failure probability must be in (0, 1)")
+    # Solve delta^2 * mu / (2 + delta) = ln(1/p) for delta, where the mean
+    # after scaling is mu = q_actual / (1 + delta).  A few fixed-point
+    # iterations on the closed-form quadratic solution converge quickly.
+    log_term = math.log(1.0 / failure_probability)
+    mu = float(q_actual)
+    delta = 0.0
+    for _ in range(8):
+        # Quadratic in delta: mu*delta^2 - log_term*delta - 2*log_term = 0.
+        discriminant = log_term * log_term + 8.0 * mu * log_term
+        delta = (log_term + math.sqrt(discriminant)) / (2.0 * mu)
+        mu = q_actual / (1.0 + delta)
+    return 1.0 / (1.0 + delta)

@@ -1,0 +1,171 @@
+"""The cluster cost model of Section 1.2 / Example 1.1.
+
+Once the tradeoff function ``r = f(q)`` of a problem is known, running an
+instance on a concrete cluster costs
+
+    cost(q) = a * f(q) + b * q            (total computation cost)
+
+or, when wall-clock time matters and the reducer runs an algorithm whose
+time is some function ``t(q)`` (e.g. ``q^2`` for all-pairs reducers),
+
+    cost(q) = a * f(q) + b * q + c * t(q)
+
+The constants ``a``, ``b`` and ``c`` encode what the cluster provider (the
+paper's EC2 example) charges for communication and processor rental.  This
+module finds the ``q`` minimizing such expressions over either a continuous
+range (golden-section search — the functions involved are unimodal for every
+problem in the paper) or an explicit candidate set.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Cost of running the job with a particular reducer size ``q``."""
+
+    q: float
+    replication_rate: float
+    communication_cost: float
+    processing_cost: float
+    wall_clock_cost: float
+
+    @property
+    def total(self) -> float:
+        return self.communication_cost + self.processing_cost + self.wall_clock_cost
+
+
+class ClusterCostModel:
+    """Section 1.2 cost model ``a·r(q) + b·q (+ c·t(q))``.
+
+    Parameters
+    ----------
+    communication_rate:
+        The constant ``a`` — cost per unit of replication rate (it already
+        folds in the data size, as the paper notes).
+    processing_rate:
+        The constant ``b`` — cost per unit of reducer size ``q`` (total
+        processor cost is proportional to ``q`` when per-reducer work is
+        quadratic and the reducer count is inversely proportional to ``q``,
+        as in Example 1.1).
+    wall_clock_rate:
+        The constant ``c`` of the optional single-reducer execution-time
+        term.  Defaults to 0 (ignore wall-clock).
+    reducer_time:
+        The function ``t(q)`` multiplied by ``c``; defaults to ``q^2`` which
+        is the all-pairs comparison cost used in Example 1.1.
+    """
+
+    def __init__(
+        self,
+        communication_rate: float,
+        processing_rate: float,
+        wall_clock_rate: float = 0.0,
+        reducer_time: Callable[[float], float] = lambda q: q * q,
+    ) -> None:
+        if communication_rate < 0 or processing_rate < 0 or wall_clock_rate < 0:
+            raise ConfigurationError("cost-rate constants must be non-negative")
+        self.communication_rate = communication_rate
+        self.processing_rate = processing_rate
+        self.wall_clock_rate = wall_clock_rate
+        self.reducer_time = reducer_time
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def cost_at(self, q: float, replication: Callable[[float], float]) -> CostBreakdown:
+        """Evaluate the full cost expression at reducer size ``q``."""
+        if q <= 0:
+            raise ConfigurationError(f"q must be positive, got {q}")
+        rate = float(replication(q))
+        communication = self.communication_rate * rate
+        processing = self.processing_rate * q
+        wall_clock = (
+            self.wall_clock_rate * float(self.reducer_time(q))
+            if self.wall_clock_rate
+            else 0.0
+        )
+        return CostBreakdown(
+            q=float(q),
+            replication_rate=rate,
+            communication_cost=communication,
+            processing_cost=processing,
+            wall_clock_cost=wall_clock,
+        )
+
+    def total_cost(self, q: float, replication: Callable[[float], float]) -> float:
+        return self.cost_at(q, replication).total
+
+    # ------------------------------------------------------------------
+    # Optimization
+    # ------------------------------------------------------------------
+    def optimal_q_continuous(
+        self,
+        replication: Callable[[float], float],
+        q_min: float,
+        q_max: float,
+        tolerance: float = 1e-6,
+        max_iterations: int = 500,
+    ) -> CostBreakdown:
+        """Golden-section search for the cost-minimizing ``q`` in [q_min, q_max].
+
+        All the ``f(q)`` curves in the paper are convex and decreasing while
+        the ``b·q`` and ``c·t(q)`` terms are increasing, so the sum is
+        unimodal and golden-section search converges to the global minimum.
+        """
+        if q_min <= 0 or q_max <= q_min:
+            raise ConfigurationError(
+                f"invalid search interval [{q_min}, {q_max}] for optimal q"
+            )
+        inverse_golden = (math.sqrt(5.0) - 1.0) / 2.0
+        low, high = float(q_min), float(q_max)
+        left = high - inverse_golden * (high - low)
+        right = low + inverse_golden * (high - low)
+        cost_left = self.total_cost(left, replication)
+        cost_right = self.total_cost(right, replication)
+        iterations = 0
+        while high - low > tolerance and iterations < max_iterations:
+            if cost_left <= cost_right:
+                high, right, cost_right = right, left, cost_left
+                left = high - inverse_golden * (high - low)
+                cost_left = self.total_cost(left, replication)
+            else:
+                low, left, cost_left = left, right, cost_right
+                right = low + inverse_golden * (high - low)
+                cost_right = self.total_cost(right, replication)
+            iterations += 1
+        best_q = (low + high) / 2.0
+        return self.cost_at(best_q, replication)
+
+    def optimal_q_discrete(
+        self,
+        replication: Callable[[float], float],
+        candidates: Iterable[float],
+    ) -> CostBreakdown:
+        """Pick the best ``q`` from an explicit candidate list.
+
+        Useful when only specific reducer sizes are achievable by known
+        algorithms (the dots on Fig. 1 rather than the whole hyperbola).
+        """
+        best: Optional[CostBreakdown] = None
+        for q in candidates:
+            breakdown = self.cost_at(q, replication)
+            if best is None or breakdown.total < best.total:
+                best = breakdown
+        if best is None:
+            raise ConfigurationError("candidate list for optimal q is empty")
+        return best
+
+    def sweep(
+        self,
+        replication: Callable[[float], float],
+        q_values: Sequence[float],
+    ) -> List[CostBreakdown]:
+        """Evaluate the cost model over a sweep of reducer sizes."""
+        return [self.cost_at(q, replication) for q in q_values]

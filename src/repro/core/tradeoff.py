@@ -1,0 +1,180 @@
+"""Tradeoff curves: replication rate as a function of reducer size.
+
+This module ties together the lower-bound recipe and the constructive
+algorithms (schema families) for a problem into a single
+:class:`TradeoffCurve` object that can:
+
+* evaluate the lower bound ``r >= f(q)`` over a sweep of ``q``,
+* place the known algorithms as (q, r) points (the dots of Fig. 1),
+* report the gap between upper and lower bound at each achievable point,
+* feed the Section 1.2 cost model to select the best algorithm for given
+  cluster prices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.cost import ClusterCostModel, CostBreakdown
+from repro.core.recipe import LowerBoundRecipe
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AlgorithmPoint:
+    """A known algorithm plotted on the tradeoff plane.
+
+    Attributes
+    ----------
+    name:
+        Algorithm / schema-family name.
+    q:
+        Maximum reducer input size the algorithm uses.
+    replication_rate:
+        The replication rate it achieves.
+    """
+
+    name: str
+    q: float
+    replication_rate: float
+
+
+@dataclass(frozen=True)
+class TradeoffPoint:
+    """One point of the tradeoff report: bound vs. best known algorithm."""
+
+    q: float
+    lower_bound: float
+    upper_bound: Optional[float]
+    algorithm: Optional[str]
+
+    @property
+    def gap(self) -> Optional[float]:
+        """Multiplicative gap upper/lower (1.0 means the bounds match)."""
+        if self.upper_bound is None or self.lower_bound <= 0:
+            return None
+        return self.upper_bound / self.lower_bound
+
+
+class TradeoffCurve:
+    """The replication-rate / reducer-size tradeoff for one problem."""
+
+    def __init__(
+        self,
+        problem_name: str,
+        lower_bound: Callable[[float], float],
+        recipe: Optional[LowerBoundRecipe] = None,
+    ) -> None:
+        self.problem_name = problem_name
+        self._lower_bound = lower_bound
+        self.recipe = recipe
+        self._points: List[AlgorithmPoint] = []
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_recipe(cls, recipe: LowerBoundRecipe) -> "TradeoffCurve":
+        """Build a curve whose lower bound comes from the 4-step recipe."""
+        return cls(
+            problem_name=recipe.problem_name,
+            lower_bound=lambda q: recipe.bound_at(q).replication_rate_bound,
+            recipe=recipe,
+        )
+
+    def add_algorithm(self, point: AlgorithmPoint) -> None:
+        """Register a known algorithm as an achievable (q, r) point."""
+        if point.q <= 0:
+            raise ConfigurationError(f"algorithm {point.name!r} has non-positive q")
+        if point.replication_rate < 0:
+            raise ConfigurationError(
+                f"algorithm {point.name!r} has negative replication rate"
+            )
+        self._points.append(point)
+
+    def add_algorithms(self, points: Iterable[AlgorithmPoint]) -> None:
+        for point in points:
+            self.add_algorithm(point)
+
+    @property
+    def algorithms(self) -> Tuple[AlgorithmPoint, ...]:
+        return tuple(self._points)
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def lower_bound_at(self, q: float) -> float:
+        """Evaluate the lower bound ``f(q)``."""
+        return float(self._lower_bound(q))
+
+    def best_algorithm_at(self, q: float) -> Optional[AlgorithmPoint]:
+        """The lowest-replication registered algorithm usable with limit q.
+
+        An algorithm is usable if its maximum reducer size does not exceed
+        the limit.
+        """
+        usable = [point for point in self._points if point.q <= q + 1e-9]
+        if not usable:
+            return None
+        return min(usable, key=lambda point: point.replication_rate)
+
+    def report(self, q_values: Sequence[float]) -> List[TradeoffPoint]:
+        """Tabulate lower bound vs best known algorithm over a q sweep."""
+        rows: List[TradeoffPoint] = []
+        for q in q_values:
+            best = self.best_algorithm_at(q)
+            rows.append(
+                TradeoffPoint(
+                    q=float(q),
+                    lower_bound=self.lower_bound_at(q),
+                    upper_bound=None if best is None else best.replication_rate,
+                    algorithm=None if best is None else best.name,
+                )
+            )
+        return rows
+
+    def matching_points(self, relative_tolerance: float = 1e-6) -> List[AlgorithmPoint]:
+        """Algorithms whose replication rate equals the lower bound at their q."""
+        matches: List[AlgorithmPoint] = []
+        for point in self._points:
+            bound = self.lower_bound_at(point.q)
+            if bound <= 0:
+                continue
+            if abs(point.replication_rate - bound) <= relative_tolerance * bound:
+                matches.append(point)
+        return matches
+
+    # ------------------------------------------------------------------
+    # Cost-model integration (Section 1.2)
+    # ------------------------------------------------------------------
+    def optimize_cost(
+        self,
+        cost_model: ClusterCostModel,
+        q_min: float,
+        q_max: float,
+    ) -> CostBreakdown:
+        """Minimize ``a·f(q) + b·q (+ c·t(q))`` using the lower-bound curve.
+
+        This answers the paper's "which algorithm along the curve should be
+        selected for this job" question under the optimistic assumption that
+        an algorithm matching the lower bound exists at the optimum.
+        """
+        return cost_model.optimal_q_continuous(self.lower_bound_at, q_min, q_max)
+
+    def optimize_cost_over_algorithms(
+        self, cost_model: ClusterCostModel
+    ) -> Tuple[AlgorithmPoint, CostBreakdown]:
+        """Pick the registered algorithm minimizing the cluster cost."""
+        if not self._points:
+            raise ConfigurationError(
+                "no algorithms registered on this tradeoff curve"
+            )
+        best_point: Optional[AlgorithmPoint] = None
+        best_cost: Optional[CostBreakdown] = None
+        for point in self._points:
+            breakdown = cost_model.cost_at(point.q, lambda _q: point.replication_rate)
+            if best_cost is None or breakdown.total < best_cost.total:
+                best_point, best_cost = point, breakdown
+        assert best_point is not None and best_cost is not None
+        return best_point, best_cost

@@ -1,0 +1,88 @@
+"""Workload generators: bit strings, graphs, matrices and relations.
+
+Everything here is synthetic and seeded, replacing the real data sets
+(social graphs, production relations) the paper's motivating applications
+would use, per the substitution policy in DESIGN.md.
+"""
+
+from repro.datagen.bitstrings import (
+    all_bitstrings,
+    all_pairs_at_distance,
+    bernoulli_bitstrings,
+    from_text,
+    hamming_distance,
+    join_segments,
+    neighbors_at_distance_one,
+    random_bitstrings,
+    split_segments,
+    to_text,
+    weight,
+)
+from repro.datagen.graphs import (
+    complete_graph_edges,
+    count_triangles_oracle,
+    cycle_graph_edges,
+    enumerate_triangles_oracle,
+    enumerate_two_paths_oracle,
+    gnm_random_graph,
+    gnp_random_graph,
+    node_degrees,
+    normalize_edge,
+    skewed_graph,
+    to_networkx,
+)
+from repro.datagen.matrices import (
+    ElementRecord,
+    integer_matrix,
+    matrix_to_records,
+    multiplication_records,
+    random_matrix,
+    records_to_matrix,
+)
+from repro.datagen.relations import (
+    RelationInstance,
+    binary_join_instance,
+    chain_join_instance,
+    multiway_join_oracle,
+    natural_join_oracle,
+    random_relation,
+    star_join_instance,
+)
+
+__all__ = [
+    "ElementRecord",
+    "RelationInstance",
+    "all_bitstrings",
+    "all_pairs_at_distance",
+    "bernoulli_bitstrings",
+    "binary_join_instance",
+    "chain_join_instance",
+    "complete_graph_edges",
+    "count_triangles_oracle",
+    "cycle_graph_edges",
+    "enumerate_triangles_oracle",
+    "enumerate_two_paths_oracle",
+    "from_text",
+    "gnm_random_graph",
+    "gnp_random_graph",
+    "hamming_distance",
+    "integer_matrix",
+    "join_segments",
+    "matrix_to_records",
+    "multiplication_records",
+    "multiway_join_oracle",
+    "natural_join_oracle",
+    "neighbors_at_distance_one",
+    "node_degrees",
+    "normalize_edge",
+    "random_bitstrings",
+    "random_matrix",
+    "random_relation",
+    "records_to_matrix",
+    "skewed_graph",
+    "split_segments",
+    "star_join_instance",
+    "to_networkx",
+    "to_text",
+    "weight",
+]

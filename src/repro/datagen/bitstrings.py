@@ -1,0 +1,135 @@
+"""Bit-string universes and samples for the Hamming-distance problems.
+
+Bit strings are represented as plain Python integers in ``range(2**b)``;
+helper functions convert to and from ``'0'``/``'1'`` text when a printable
+form is needed.  Integer representation keeps the universe of all ``2^b``
+strings cheap to enumerate and makes Hamming-distance computation a popcount
+of an XOR.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+
+def all_bitstrings(b: int) -> Iterator[int]:
+    """Yield every bit string of length ``b`` as an integer in [0, 2^b)."""
+    if b < 0:
+        raise ConfigurationError(f"bit-string length must be non-negative, got {b}")
+    return iter(range(1 << b))
+
+
+def random_bitstrings(b: int, count: int, seed: int | None = None) -> List[int]:
+    """Sample ``count`` distinct bit strings of length ``b`` uniformly.
+
+    Raises :class:`ConfigurationError` if more strings are requested than
+    exist in the universe.
+    """
+    universe_size = 1 << b
+    if count > universe_size:
+        raise ConfigurationError(
+            f"cannot sample {count} distinct strings from a universe of {universe_size}"
+        )
+    rng = random.Random(seed)
+    if count > universe_size // 2:
+        population = list(range(universe_size))
+        rng.shuffle(population)
+        return population[:count]
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        chosen.add(rng.randrange(universe_size))
+    return sorted(chosen)
+
+
+def bernoulli_bitstrings(b: int, probability: float, seed: int | None = None) -> List[int]:
+    """Include each of the ``2^b`` strings independently with ``probability``.
+
+    This matches the independence assumption of Section 2.3, where each
+    potential input is present with a fixed probability.
+    """
+    if not 0.0 <= probability <= 1.0:
+        raise ConfigurationError(f"probability must be in [0, 1], got {probability}")
+    rng = random.Random(seed)
+    return [word for word in range(1 << b) if rng.random() < probability]
+
+
+def hamming_distance(x: int, y: int) -> int:
+    """Hamming distance between two same-length bit strings (as integers)."""
+    return (x ^ y).bit_count()
+
+
+def neighbors_at_distance_one(word: int, b: int) -> Iterator[int]:
+    """Yield the ``b`` strings at Hamming distance exactly 1 from ``word``."""
+    for position in range(b):
+        yield word ^ (1 << position)
+
+
+def weight(word: int) -> int:
+    """Number of 1 bits in the string (its weight, Section 3.4)."""
+    return word.bit_count()
+
+
+def split_segments(word: int, b: int, num_segments: int) -> Tuple[int, ...]:
+    """Split a ``b``-bit string into ``num_segments`` equal-length segments.
+
+    Segment 0 holds the most-significant ``b / num_segments`` bits, matching
+    the "first half / second half" wording of Section 3.3.  ``num_segments``
+    must divide ``b`` evenly.
+    """
+    if num_segments <= 0:
+        raise ConfigurationError("num_segments must be positive")
+    if b % num_segments != 0:
+        raise ConfigurationError(
+            f"num_segments={num_segments} must divide the string length b={b}"
+        )
+    segment_length = b // num_segments
+    mask = (1 << segment_length) - 1
+    segments = []
+    for index in range(num_segments):
+        shift = (num_segments - 1 - index) * segment_length
+        segments.append((word >> shift) & mask)
+    return tuple(segments)
+
+
+def join_segments(segments: Sequence[int], segment_length: int) -> int:
+    """Inverse of :func:`split_segments`: concatenate segments into a string."""
+    word = 0
+    for segment in segments:
+        if segment < 0 or segment >= (1 << segment_length):
+            raise ConfigurationError(
+                f"segment {segment} does not fit in {segment_length} bits"
+            )
+        word = (word << segment_length) | segment
+    return word
+
+
+def to_text(word: int, b: int) -> str:
+    """Render an integer bit string as a '0'/'1' text string of length b."""
+    if word < 0 or word >= (1 << b):
+        raise ConfigurationError(f"{word} is not a {b}-bit string")
+    return format(word, f"0{b}b")
+
+
+def from_text(text: str) -> int:
+    """Parse a '0'/'1' text string into its integer representation."""
+    if not text or any(char not in "01" for char in text):
+        raise ConfigurationError(f"{text!r} is not a binary string")
+    return int(text, 2)
+
+
+def all_pairs_at_distance(words: Sequence[int], distance: int) -> List[Tuple[int, int]]:
+    """Serial oracle: all unordered pairs of ``words`` at exactly ``distance``.
+
+    Quadratic in the number of words; used by tests and benchmarks to verify
+    the map-reduce similarity-join algorithms.
+    """
+    pairs: List[Tuple[int, int]] = []
+    ordered = sorted(set(words))
+    for index, first in enumerate(ordered):
+        for second in ordered[index + 1 :]:
+            if hamming_distance(first, second) == distance:
+                pairs.append((first, second))
+    return pairs

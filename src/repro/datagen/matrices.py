@@ -1,0 +1,76 @@
+"""Matrix workload generators for the matrix-multiplication experiments.
+
+The map-reduce matrix-multiplication algorithms operate on *element records*
+``("R", i, j, value)`` / ``("S", j, k, value)`` rather than on dense arrays,
+because the unit of communication in the paper's model is one matrix
+element.  Helpers convert between dense numpy arrays and element records.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: An element record: (matrix name, row index, column index, value).
+ElementRecord = Tuple[str, int, int, float]
+
+
+def random_matrix(n: int, seed: int | None = None, low: float = -1.0, high: float = 1.0) -> np.ndarray:
+    """A dense n×n matrix with uniform random entries (reproducible by seed)."""
+    if n <= 0:
+        raise ConfigurationError(f"matrix dimension must be positive, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.uniform(low, high, size=(n, n))
+
+
+def integer_matrix(n: int, seed: int | None = None, low: int = 0, high: int = 10) -> np.ndarray:
+    """A dense n×n integer matrix; exact arithmetic makes test comparisons easy."""
+    if n <= 0:
+        raise ConfigurationError(f"matrix dimension must be positive, got {n}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(low, high, size=(n, n)).astype(float)
+
+
+def matrix_to_records(matrix: np.ndarray, name: str) -> List[ElementRecord]:
+    """Flatten a dense matrix into element records tagged with ``name``."""
+    if matrix.ndim != 2:
+        raise ConfigurationError("matrix_to_records expects a 2-D array")
+    rows, cols = matrix.shape
+    records: List[ElementRecord] = []
+    for i in range(rows):
+        for j in range(cols):
+            records.append((name, i, j, float(matrix[i, j])))
+    return records
+
+
+def multiplication_records(
+    left: np.ndarray, right: np.ndarray, left_name: str = "R", right_name: str = "S"
+) -> List[ElementRecord]:
+    """Element records for both operands of a product ``left @ right``."""
+    if left.shape[1] != right.shape[0]:
+        raise ConfigurationError(
+            f"inner dimensions do not match: {left.shape} @ {right.shape}"
+        )
+    return matrix_to_records(left, left_name) + matrix_to_records(right, right_name)
+
+
+def records_to_matrix(
+    records: Iterable[Tuple[int, int, float]], n_rows: int, n_cols: int
+) -> np.ndarray:
+    """Assemble ``(i, k, value)`` output records into a dense matrix.
+
+    Missing entries default to zero, which is the correct completion for
+    sparse products; duplicate entries are summed (partial sums from the
+    two-phase algorithm can be fed directly).
+    """
+    result = np.zeros((n_rows, n_cols))
+    for i, k, value in records:
+        if not (0 <= i < n_rows and 0 <= k < n_cols):
+            raise ConfigurationError(
+                f"output record ({i}, {k}) outside a {n_rows}x{n_cols} matrix"
+            )
+        result[i, k] += value
+    return result

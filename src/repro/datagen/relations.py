@@ -1,0 +1,194 @@
+"""Relation generators for the join experiments (Sections 2.1 and 5.5).
+
+Relations are lists of tuples over small integer attribute domains.  The
+generators cover the three join shapes the paper analyses:
+
+* the binary natural join R(A,B) ⋈ S(B,C) of Example 2.1,
+* chain joins R1(A0,A1) ⋈ R2(A1,A2) ⋈ ... ⋈ RN(A_{N-1},A_N),
+* star joins of a large fact table with N smaller dimension tables.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+Tuple_ = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class RelationInstance:
+    """A named relation: attribute names plus a list of tuples."""
+
+    name: str
+    attributes: Tuple[str, ...]
+    tuples: Tuple[Tuple_, ...]
+
+    @property
+    def arity(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def size(self) -> int:
+        return len(self.tuples)
+
+    def project(self, attribute: str) -> List[int]:
+        """Values of one attribute across all tuples (with duplicates)."""
+        try:
+            index = self.attributes.index(attribute)
+        except ValueError as error:
+            raise ConfigurationError(
+                f"relation {self.name!r} has no attribute {attribute!r}"
+            ) from error
+        return [row[index] for row in self.tuples]
+
+
+def random_relation(
+    name: str,
+    attributes: Sequence[str],
+    size: int,
+    domain_size: int,
+    seed: int | None = None,
+) -> RelationInstance:
+    """A relation with ``size`` distinct random tuples over [0, domain_size)."""
+    if size < 0:
+        raise ConfigurationError("relation size must be non-negative")
+    if domain_size <= 0:
+        raise ConfigurationError("domain size must be positive")
+    max_tuples = domain_size ** len(attributes)
+    if size > max_tuples:
+        raise ConfigurationError(
+            f"cannot build {size} distinct tuples over a domain of {max_tuples}"
+        )
+    rng = random.Random(seed)
+    rows: set[Tuple_] = set()
+    while len(rows) < size:
+        rows.add(tuple(rng.randrange(domain_size) for _ in attributes))
+    return RelationInstance(name=name, attributes=tuple(attributes), tuples=tuple(sorted(rows)))
+
+
+def binary_join_instance(
+    size_r: int, size_s: int, domain_size: int, seed: int | None = None
+) -> Tuple[RelationInstance, RelationInstance]:
+    """R(A,B) and S(B,C) instances for the Example 2.1 natural join."""
+    r = random_relation("R", ("A", "B"), size_r, domain_size, seed=seed)
+    s = random_relation("S", ("B", "C"), size_s, domain_size, seed=None if seed is None else seed + 1)
+    return r, s
+
+
+def chain_join_instance(
+    num_relations: int,
+    size_each: int,
+    domain_size: int,
+    seed: int | None = None,
+) -> List[RelationInstance]:
+    """Relations R1(A0,A1) ... RN(A_{N-1},A_N) of a chain join."""
+    if num_relations < 2:
+        raise ConfigurationError("a chain join needs at least 2 relations")
+    relations = []
+    for index in range(num_relations):
+        relation_seed = None if seed is None else seed + index
+        relations.append(
+            random_relation(
+                name=f"R{index + 1}",
+                attributes=(f"A{index}", f"A{index + 1}"),
+                size=size_each,
+                domain_size=domain_size,
+                seed=relation_seed,
+            )
+        )
+    return relations
+
+
+def star_join_instance(
+    num_dimensions: int,
+    fact_size: int,
+    dimension_size: int,
+    domain_size: int,
+    seed: int | None = None,
+) -> Tuple[RelationInstance, List[RelationInstance]]:
+    """A fact table F(K1..KN) plus N dimension tables Di(Ki, Vi).
+
+    Dimension tables pairwise share no attributes (as the paper assumes);
+    each shares exactly its key attribute with the fact table.
+    """
+    if num_dimensions < 1:
+        raise ConfigurationError("a star join needs at least one dimension table")
+    fact_attributes = tuple(f"K{i + 1}" for i in range(num_dimensions))
+    fact = random_relation("F", fact_attributes, fact_size, domain_size, seed=seed)
+    dimensions = []
+    for index in range(num_dimensions):
+        dim_seed = None if seed is None else seed + 100 + index
+        dimensions.append(
+            random_relation(
+                name=f"D{index + 1}",
+                attributes=(f"K{index + 1}", f"V{index + 1}"),
+                size=dimension_size,
+                domain_size=domain_size,
+                seed=dim_seed,
+            )
+        )
+    return fact, dimensions
+
+
+def natural_join_oracle(
+    left: RelationInstance, right: RelationInstance
+) -> List[Tuple_]:
+    """Serial hash-join oracle producing the natural join of two relations.
+
+    The output tuple layout is the left tuple followed by the right tuple's
+    non-shared attributes, in attribute order.
+    """
+    shared = [attr for attr in left.attributes if attr in right.attributes]
+    if not shared:
+        raise ConfigurationError(
+            f"relations {left.name!r} and {right.name!r} share no attributes"
+        )
+    left_indices = [left.attributes.index(attr) for attr in shared]
+    right_indices = [right.attributes.index(attr) for attr in shared]
+    right_keep = [
+        index for index, attr in enumerate(right.attributes) if attr not in shared
+    ]
+    table: Dict[Tuple_, List[Tuple_]] = {}
+    for row in right.tuples:
+        key = tuple(row[i] for i in right_indices)
+        table.setdefault(key, []).append(row)
+    joined: List[Tuple_] = []
+    for row in left.tuples:
+        key = tuple(row[i] for i in left_indices)
+        for match in table.get(key, []):
+            joined.append(row + tuple(match[i] for i in right_keep))
+    return joined
+
+
+def multiway_join_oracle(relations: Sequence[RelationInstance]) -> Tuple[List[str], List[Tuple_]]:
+    """Serial left-to-right multiway natural join oracle.
+
+    Returns the output attribute order and the joined tuples.  Intended for
+    verifying the Shares algorithm on small instances, not for performance.
+    """
+    if not relations:
+        raise ConfigurationError("multiway join needs at least one relation")
+    attributes = list(relations[0].attributes)
+    rows = [tuple(row) for row in relations[0].tuples]
+    for relation in relations[1:]:
+        shared = [attr for attr in attributes if attr in relation.attributes]
+        new_attrs = [attr for attr in relation.attributes if attr not in attributes]
+        rel_shared_idx = [relation.attributes.index(attr) for attr in shared]
+        rel_new_idx = [relation.attributes.index(attr) for attr in new_attrs]
+        acc_shared_idx = [attributes.index(attr) for attr in shared]
+        table: Dict[Tuple_, List[Tuple_]] = {}
+        for row in relation.tuples:
+            key = tuple(row[i] for i in rel_shared_idx)
+            table.setdefault(key, []).append(row)
+        next_rows: List[Tuple_] = []
+        for row in rows:
+            key = tuple(row[i] for i in acc_shared_idx)
+            for match in table.get(key, []):
+                next_rows.append(row + tuple(match[i] for i in rel_new_idx))
+        rows = next_rows
+        attributes.extend(new_attrs)
+    return attributes, rows

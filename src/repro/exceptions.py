@@ -1,0 +1,71 @@
+"""Exception hierarchy shared by every ``repro`` subpackage.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch any problem originating from this package with a single ``except``
+clause while still being able to distinguish configuration mistakes from
+schema violations or execution failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class SchemaViolationError(ReproError):
+    """A mapping schema violates one of the two constraints of the model.
+
+    Constraint (1): no reducer may be assigned more than ``q`` inputs.
+    Constraint (2): every output must be covered by at least one reducer.
+    """
+
+
+class ReducerCapacityExceededError(SchemaViolationError):
+    """A reducer was assigned more than ``q`` inputs (constraint 1)."""
+
+    def __init__(self, reducer_id: object, assigned: int, limit: int) -> None:
+        self.reducer_id = reducer_id
+        self.assigned = assigned
+        self.limit = limit
+        super().__init__(
+            f"reducer {reducer_id!r} assigned {assigned} inputs, "
+            f"exceeding the reducer-size limit q={limit}"
+        )
+
+
+class UncoveredOutputError(SchemaViolationError):
+    """An output is not covered by any reducer (constraint 2)."""
+
+    def __init__(self, output: object, missing_count: int = 1) -> None:
+        self.output = output
+        self.missing_count = missing_count
+        super().__init__(
+            f"output {output!r} is not covered by any reducer "
+            f"({missing_count} uncovered output(s) in total)"
+        )
+
+
+class ExecutionError(ReproError):
+    """A simulated map-reduce job failed during execution."""
+
+
+class InvalidJobError(ExecutionError):
+    """A job specification is malformed (missing mapper/reducer, bad types)."""
+
+
+class BoundDerivationError(ReproError):
+    """The lower-bound recipe could not be applied.
+
+    Typically raised when ``g(q)/q`` is not monotonically increasing over the
+    requested range, which is a precondition of the manipulation trick in
+    Section 2.4 of the paper.
+    """
+
+
+class ProblemDomainError(ReproError):
+    """A problem instance refers to inputs or outputs outside its domain."""

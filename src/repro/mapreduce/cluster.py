@@ -1,0 +1,86 @@
+"""Simulated cluster configuration.
+
+The cluster abstraction is deliberately small: the paper's analysis only
+needs (i) a reducer-size limit ``q``, (ii) a number of reduce workers over
+which reducers (reduce keys) are spread, and (iii) rate constants used by
+the Section 1.2 cost model.  Everything else about a physical cluster
+(network topology, disk, stragglers) is irrelevant to the quantities the
+paper studies and is intentionally not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.partitioner import HashPartitioner, Partitioner
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of the simulated execution environment.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of simulated reduce workers.  Reduce keys are spread across
+        the workers by ``partitioner``.  This does not affect replication
+        rate, only the worker-load statistics.
+    reducer_capacity:
+        Optional global reducer-size limit ``q``.  Jobs may override it with
+        their own ``reducer_capacity``.
+    enforce_capacity:
+        If True, exceeding the effective capacity raises
+        :class:`repro.exceptions.ReducerCapacityExceededError`; if False the
+        violation is only recorded in the job metrics.
+    partitioner:
+        Strategy for mapping reduce keys to workers.
+    communication_cost_per_record:
+        Cost charged per shuffled key-value pair by the Section 1.2 cost
+        model (the constant of proportionality of the ``a·r`` term).
+    worker_cost_per_unit:
+        Cost charged per unit of reducer computation (the ``b·q`` term).
+    """
+
+    num_workers: int = 4
+    reducer_capacity: Optional[int] = None
+    enforce_capacity: bool = False
+    partitioner: Partitioner = field(default_factory=HashPartitioner)
+    communication_cost_per_record: float = 1.0
+    worker_cost_per_unit: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {self.num_workers}"
+            )
+        if self.reducer_capacity is not None and self.reducer_capacity <= 0:
+            raise ConfigurationError(
+                f"reducer_capacity must be positive, got {self.reducer_capacity}"
+            )
+        if self.communication_cost_per_record < 0:
+            raise ConfigurationError("communication_cost_per_record must be >= 0")
+        if self.worker_cost_per_unit < 0:
+            raise ConfigurationError("worker_cost_per_unit must be >= 0")
+
+    def effective_capacity(self, job_capacity: Optional[int]) -> Optional[int]:
+        """Resolve the reducer-size limit for a job.
+
+        A job-level limit overrides the cluster-level one; if neither is set
+        the capacity is unbounded (``None``).
+        """
+        if job_capacity is not None:
+            return job_capacity
+        return self.reducer_capacity
+
+    def with_capacity(self, q: Optional[int]) -> "ClusterConfig":
+        """Return a copy of this configuration with a different ``q``."""
+        return ClusterConfig(
+            num_workers=self.num_workers,
+            reducer_capacity=q,
+            enforce_capacity=self.enforce_capacity,
+            partitioner=self.partitioner,
+            communication_cost_per_record=self.communication_cost_per_record,
+            worker_cost_per_unit=self.worker_cost_per_unit,
+        )

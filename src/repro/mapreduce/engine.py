@@ -1,0 +1,237 @@
+"""Deterministic in-memory execution engine for simulated map-reduce jobs.
+
+The engine is the substrate that replaces Hadoop in this reproduction.  It
+executes :class:`~repro.mapreduce.job.MapReduceJob` specifications over an
+in-memory list of input records and produces both the outputs and a complete
+:class:`~repro.mapreduce.metrics.JobMetrics` cost report.  The shuffle is
+modelled exactly: every key-value pair emitted by a mapper is counted as one
+unit of communication, pairs are grouped by key, and each group is handed to
+the reduce function.
+
+Determinism matters for reproducibility of the benchmarks: reduce keys are
+processed in sorted order of their stable hash (falling back to insertion
+order when hashing ties), and no randomness is used anywhere in the engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ExecutionError, ReducerCapacityExceededError
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.job import JobChain, MapReduceJob
+from repro.mapreduce.metrics import (
+    JobMetrics,
+    PipelineMetrics,
+    ShuffleStats,
+    WorkerStats,
+)
+from repro.mapreduce.partitioner import stable_hash
+from repro.mapreduce.types import ensure_key_value
+
+
+@dataclass
+class JobResult:
+    """Outputs plus metrics of a single executed job."""
+
+    outputs: List[Any]
+    metrics: JobMetrics
+
+    @property
+    def replication_rate(self) -> float:
+        return self.metrics.replication_rate
+
+    @property
+    def communication_cost(self) -> int:
+        return self.metrics.communication_cost
+
+
+@dataclass
+class PipelineResult:
+    """Outputs plus metrics of an executed multi-round job chain."""
+
+    outputs: List[Any]
+    metrics: PipelineMetrics
+    round_results: List[JobResult] = field(default_factory=list)
+
+    @property
+    def total_communication(self) -> int:
+        return self.metrics.total_communication
+
+
+class MapReduceEngine:
+    """Executes jobs and job chains on a simulated cluster.
+
+    Parameters
+    ----------
+    config:
+        Cluster configuration.  A default configuration (4 workers, no
+        reducer-size limit) is used when omitted.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+
+    # ------------------------------------------------------------------
+    # Single-round execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        reducer_cost: Optional[Callable[[int], float]] = None,
+    ) -> JobResult:
+        """Execute ``job`` over ``inputs`` and return outputs plus metrics.
+
+        Parameters
+        ----------
+        job:
+            The job specification.
+        inputs:
+            Input records; consumed once.
+        reducer_cost:
+            Optional function from a reducer's input size ``q_i`` to its
+            computation cost.  The summed cost over all reducers is reported
+            as ``reducer_compute_cost`` in the metrics (e.g. pass
+            ``lambda q: q * q`` for the all-pairs reducers of Example 1.1).
+        """
+        materialized_inputs = list(inputs)
+        grouped, num_pairs = self._map_and_shuffle(job, materialized_inputs)
+        capacity = self.config.effective_capacity(job.reducer_capacity)
+        self._check_capacity(job, grouped, capacity)
+
+        outputs: List[Any] = []
+        compute_cost = 0.0
+        for key in self._ordered_keys(grouped):
+            values = grouped[key]
+            if reducer_cost is not None:
+                compute_cost += float(reducer_cost(len(values)))
+            try:
+                produced = job.reducer(key, values)
+            except Exception as error:  # pragma: no cover - defensive re-wrap
+                raise ExecutionError(
+                    f"reducer of job {job.name!r} failed on key {key!r}: {error}"
+                ) from error
+            if produced is not None:
+                outputs.extend(produced)
+
+        shuffle = ShuffleStats(
+            num_inputs=len(materialized_inputs),
+            num_key_value_pairs=num_pairs,
+            reducer_sizes={key: len(values) for key, values in grouped.items()},
+        )
+        workers = self._worker_stats(grouped)
+        metrics = JobMetrics(
+            job_name=job.name,
+            shuffle=shuffle,
+            workers=workers,
+            num_outputs=len(outputs),
+            reducer_compute_cost=compute_cost,
+        )
+        return JobResult(outputs=outputs, metrics=metrics)
+
+    # ------------------------------------------------------------------
+    # Multi-round execution
+    # ------------------------------------------------------------------
+    def run_chain(
+        self,
+        chain: JobChain,
+        inputs: Iterable[Any],
+        reducer_costs: Optional[Sequence[Optional[Callable[[int], float]]]] = None,
+    ) -> PipelineResult:
+        """Execute a multi-round :class:`JobChain`.
+
+        The outputs of each round feed the next round's mappers.  Rounds
+        listed in ``chain.colocated_rounds`` are assumed to read their input
+        locally (no extra transfer is modelled between rounds; the only
+        communication counted is each round's own shuffle, which matches the
+        paper's two-phase accounting).
+        """
+        if reducer_costs is not None and len(reducer_costs) != len(chain.jobs):
+            raise ExecutionError(
+                "reducer_costs must have one entry per job in the chain"
+            )
+        current_inputs = list(inputs)
+        round_results: List[JobResult] = []
+        for index, job in enumerate(chain.jobs):
+            cost_fn = reducer_costs[index] if reducer_costs is not None else None
+            result = self.run(job, current_inputs, reducer_cost=cost_fn)
+            round_results.append(result)
+            current_inputs = result.outputs
+        metrics = PipelineMetrics(
+            chain_name=chain.name,
+            rounds=[result.metrics for result in round_results],
+            colocated_rounds=chain.colocated_rounds,
+        )
+        return PipelineResult(
+            outputs=round_results[-1].outputs,
+            metrics=metrics,
+            round_results=round_results,
+        )
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _map_and_shuffle(
+        self, job: MapReduceJob, inputs: Sequence[Any]
+    ) -> Tuple[Dict[Hashable, List[Any]], int]:
+        """Run the map phase and group emissions by key.
+
+        Returns the grouped intermediate data and the number of key-value
+        pairs crossing the map → reduce boundary (after the combiner, if one
+        is configured, since a combiner reduces actual communication).
+        """
+        emitted: Dict[Hashable, List[Any]] = {}
+        for record in inputs:
+            try:
+                pairs = job.mapper(record)
+            except Exception as error:
+                raise ExecutionError(
+                    f"mapper of job {job.name!r} failed on record {record!r}: {error}"
+                ) from error
+            if pairs is None:
+                continue
+            for item in pairs:
+                pair = ensure_key_value(item)
+                emitted.setdefault(pair.key, []).append(pair.value)
+
+        if job.combiner is None:
+            grouped = emitted
+        else:
+            grouped = {}
+            for key, values in emitted.items():
+                combined_pairs = job.combiner(key, values)
+                for item in combined_pairs:
+                    pair = ensure_key_value(item)
+                    grouped.setdefault(pair.key, []).append(pair.value)
+
+        num_pairs = sum(len(values) for values in grouped.values())
+        return grouped, num_pairs
+
+    def _check_capacity(
+        self,
+        job: MapReduceJob,
+        grouped: Dict[Hashable, List[Any]],
+        capacity: Optional[int],
+    ) -> None:
+        if capacity is None or not self.config.enforce_capacity:
+            return
+        for key, values in grouped.items():
+            if len(values) > capacity:
+                raise ReducerCapacityExceededError(key, len(values), capacity)
+
+    def _worker_stats(self, grouped: Dict[Hashable, List[Any]]) -> WorkerStats:
+        stats = WorkerStats()
+        for key, values in grouped.items():
+            worker = self.config.partitioner.assign(key, self.config.num_workers)
+            stats.keys_per_worker[worker] = stats.keys_per_worker.get(worker, 0) + 1
+            stats.values_per_worker[worker] = (
+                stats.values_per_worker.get(worker, 0) + len(values)
+            )
+        return stats
+
+    @staticmethod
+    def _ordered_keys(grouped: Dict[Hashable, List[Any]]) -> List[Hashable]:
+        """Deterministic reduce-key processing order (stable-hash order)."""
+        return sorted(grouped.keys(), key=lambda key: (stable_hash(key), repr(key)))

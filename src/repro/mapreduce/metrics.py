@@ -1,0 +1,195 @@
+"""Measurement of the cost quantities studied by the paper.
+
+The two central quantities are:
+
+* **communication cost** — the number of key-value pairs shipped from the
+  map phase to the reduce phase (optionally weighted by a per-record size);
+* **replication rate** — communication cost divided by the number of input
+  records, i.e. the average number of reducers each input reaches.
+
+The metrics layer also records the full distribution of reducer input sizes
+(the paper's ``q_i``), which the skew analyses and the reducer-capacity
+checks rely on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+
+@dataclass
+class ShuffleStats:
+    """Statistics of one map → reduce shuffle."""
+
+    num_inputs: int
+    num_key_value_pairs: int
+    reducer_sizes: Dict[Hashable, int]
+    bytes_shuffled: Optional[int] = None
+
+    @property
+    def num_reducers(self) -> int:
+        """Number of distinct reduce keys that received at least one value."""
+        return len(self.reducer_sizes)
+
+    @property
+    def replication_rate(self) -> float:
+        """Average number of key-value pairs produced per input record."""
+        if self.num_inputs == 0:
+            return 0.0
+        return self.num_key_value_pairs / self.num_inputs
+
+    @property
+    def max_reducer_size(self) -> int:
+        """The largest observed reducer input size (``max q_i``)."""
+        if not self.reducer_sizes:
+            return 0
+        return max(self.reducer_sizes.values())
+
+    @property
+    def mean_reducer_size(self) -> float:
+        """Average reducer input size across non-empty reducers."""
+        if not self.reducer_sizes:
+            return 0.0
+        return self.num_key_value_pairs / len(self.reducer_sizes)
+
+    def size_histogram(self) -> Dict[int, int]:
+        """Histogram ``{reducer size: number of reducers with that size}``."""
+        histogram: Dict[int, int] = {}
+        for size in self.reducer_sizes.values():
+            histogram[size] = histogram.get(size, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    def skew(self) -> float:
+        """Ratio of the maximum reducer size to the mean reducer size.
+
+        A value of 1.0 means perfectly balanced reducers; large values signal
+        the "curse of the last reducer" the related work discusses.
+        """
+        mean = self.mean_reducer_size
+        if mean == 0:
+            return 0.0
+        return self.max_reducer_size / mean
+
+
+@dataclass
+class WorkerStats:
+    """Load seen by each simulated reduce worker."""
+
+    keys_per_worker: Dict[int, int] = field(default_factory=dict)
+    values_per_worker: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.values_per_worker)
+
+    @property
+    def max_worker_load(self) -> int:
+        if not self.values_per_worker:
+            return 0
+        return max(self.values_per_worker.values())
+
+    def load_imbalance(self) -> float:
+        """Max worker load divided by mean worker load (1.0 = balanced)."""
+        if not self.values_per_worker:
+            return 0.0
+        loads = list(self.values_per_worker.values())
+        mean = sum(loads) / len(loads)
+        if mean == 0:
+            return 0.0
+        return max(loads) / mean
+
+
+@dataclass
+class JobMetrics:
+    """Full cost report for one executed map-reduce job."""
+
+    job_name: str
+    shuffle: ShuffleStats
+    workers: WorkerStats
+    num_outputs: int
+    reducer_compute_cost: float = 0.0
+
+    @property
+    def replication_rate(self) -> float:
+        return self.shuffle.replication_rate
+
+    @property
+    def communication_cost(self) -> int:
+        return self.shuffle.num_key_value_pairs
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary of headline numbers, convenient for reports."""
+        return {
+            "inputs": float(self.shuffle.num_inputs),
+            "outputs": float(self.num_outputs),
+            "key_value_pairs": float(self.shuffle.num_key_value_pairs),
+            "replication_rate": self.replication_rate,
+            "reducers": float(self.shuffle.num_reducers),
+            "max_reducer_size": float(self.shuffle.max_reducer_size),
+            "mean_reducer_size": self.shuffle.mean_reducer_size,
+            "skew": self.shuffle.skew(),
+            "reducer_compute_cost": self.reducer_compute_cost,
+        }
+
+
+@dataclass
+class PipelineMetrics:
+    """Aggregated cost report for a multi-round computation."""
+
+    chain_name: str
+    rounds: List[JobMetrics]
+    colocated_rounds: Tuple[int, ...] = ()
+
+    @property
+    def total_communication(self) -> int:
+        """Total key-value pairs shipped across all non-colocated rounds.
+
+        Rounds whose mappers are co-located with the previous round's
+        reducers read their input locally; the communication they incur is
+        their own map → reduce shuffle, which *is* counted.  What is *not*
+        added is any transfer of the previous round's output to the next
+        round's mappers, mirroring Section 6.3's accounting.
+        """
+        return sum(round_metrics.communication_cost for round_metrics in self.rounds)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def final_outputs(self) -> int:
+        if not self.rounds:
+            return 0
+        return self.rounds[-1].num_outputs
+
+    def per_round_communication(self) -> List[int]:
+        return [round_metrics.communication_cost for round_metrics in self.rounds]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "rounds": float(self.num_rounds),
+            "total_communication": float(self.total_communication),
+            "final_outputs": float(self.final_outputs),
+        }
+
+
+def reducer_size_quantiles(
+    sizes: Mapping[Hashable, int], quantiles: Sequence[float] = (0.5, 0.9, 0.99)
+) -> Dict[float, int]:
+    """Return selected quantiles of the reducer-size distribution.
+
+    Quantiles are computed with the nearest-rank method on the sorted sizes,
+    which keeps the result an actually-observed integer size.
+    """
+    if not sizes:
+        return {quantile: 0 for quantile in quantiles}
+    ordered = sorted(sizes.values())
+    result: Dict[float, int] = {}
+    for quantile in quantiles:
+        if not 0.0 <= quantile <= 1.0:
+            raise ValueError(f"quantile {quantile} outside [0, 1]")
+        rank = min(len(ordered) - 1, max(0, math.ceil(quantile * len(ordered)) - 1))
+        result[quantile] = ordered[rank]
+    return result

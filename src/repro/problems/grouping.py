@@ -1,0 +1,95 @@
+"""Grouping and aggregation (Example 2.4): SELECT A, SUM(B) GROUP BY A.
+
+This example illustrates outputs whose value is *computed from* whichever of
+their associated inputs are actually present: the output for a group key
+``a`` exists as soon as any tuple with A-value ``a`` is present, and its
+value is the sum of the B-values that are present.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Tuple
+
+from repro.core.problem import InputId, OutputId, Problem
+from repro.exceptions import ConfigurationError, ProblemDomainError
+from repro.mapreduce.job import MapReduceJob
+
+
+class GroupByAggregationProblem(Problem):
+    """Group-by-and-sum over a relation R(A, B) with finite domains.
+
+    Inputs are all possible tuples ``(a, b)`` with ``a`` in the A-domain and
+    ``b`` in the B-domain; outputs are one aggregate per A-value.  Each
+    output depends on the full set of tuples sharing its A-value.
+    """
+
+    def __init__(self, a_domain_size: int, b_domain_size: int) -> None:
+        if a_domain_size <= 0 or b_domain_size <= 0:
+            raise ConfigurationError("both attribute domains must be non-empty")
+        self.a_domain_size = a_domain_size
+        self.b_domain_size = b_domain_size
+        self.name = f"group-by-sum(|A|={a_domain_size}, |B|={b_domain_size})"
+
+    def inputs(self) -> Iterator[InputId]:
+        for a in range(self.a_domain_size):
+            for b in range(self.b_domain_size):
+                yield (a, b)
+
+    def outputs(self) -> Iterator[OutputId]:
+        return iter(range(self.a_domain_size))
+
+    def inputs_of(self, output: OutputId) -> FrozenSet[InputId]:
+        if not isinstance(output, int) or not (0 <= output < self.a_domain_size):
+            raise ProblemDomainError(
+                f"group key {output!r} outside the A-domain of size {self.a_domain_size}"
+            )
+        return frozenset((output, b) for b in range(self.b_domain_size))
+
+    @property
+    def num_inputs(self) -> int:
+        return self.a_domain_size * self.b_domain_size
+
+    @property
+    def num_outputs(self) -> int:
+        return self.a_domain_size
+
+    def max_outputs_covered(self, q: float) -> float:
+        """A reducer with q tuple inputs covers at most ``q / |B|`` groups
+        fully, but because a group's aggregate only needs the *present*
+        tuples, the appropriate g(q) for the covering argument is the number
+        of distinct A-values among q tuples, which is at most q.
+
+        As with word count, the recipe then yields only the trivial bound,
+        reflecting that grouping/aggregation is embarrassingly parallel when
+        combiners are allowed.
+        """
+        return max(0.0, float(q))
+
+    def aggregate_oracle(self, tuples: List[Tuple[int, int]]) -> Dict[int, int]:
+        """Serial oracle: SUM(B) per A over the actually-present tuples."""
+        sums: Dict[int, int] = {}
+        for a, b in tuples:
+            if not (0 <= a < self.a_domain_size and 0 <= b < self.b_domain_size):
+                raise ProblemDomainError(f"tuple ({a}, {b}) outside the declared domains")
+            sums[a] = sums.get(a, 0) + b
+        return sums
+
+    def job(self, use_combiner: bool = True) -> MapReduceJob:
+        """Map-reduce job computing SELECT A, SUM(B) GROUP BY A."""
+
+        def mapper(record: Tuple[int, int]):
+            a, b = record
+            yield (a, b)
+
+        def reducer(a: int, values: List[int]):
+            yield (a, sum(values))
+
+        def combiner(a: int, values: List[int]):
+            yield (a, sum(values))
+
+        return MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            combiner=combiner if use_combiner else None,
+            name="group-by-sum",
+        )

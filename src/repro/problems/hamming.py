@@ -1,0 +1,147 @@
+"""The Hamming-distance problems (Example 2.3 and Section 3).
+
+Inputs are the ``2^b`` bit strings of a fixed length ``b``; outputs are the
+unordered pairs of strings at Hamming distance exactly ``d``.  For ``d = 1``
+the paper proves the tight bound ``g(q) = (q/2) * log2 q`` on the number of
+outputs a reducer with ``q`` inputs can cover, giving the exact lower bound
+``r >= b / log2 q``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.core.problem import InputId, OutputId, Problem
+from repro.datagen.bitstrings import hamming_distance
+from repro.exceptions import ConfigurationError, ProblemDomainError
+
+
+def hamming_g(q: float) -> float:
+    """Lemma 3.1's bound ``g(q) = (q/2)·log2 q`` for distance 1.
+
+    Defined as 0 for ``q <= 1`` (a single input can cover no pair output).
+    """
+    if q <= 1:
+        return 0.0
+    return (q / 2.0) * math.log2(q)
+
+
+class HammingDistanceProblem(Problem):
+    """Find all pairs of ``b``-bit strings at Hamming distance exactly ``d``.
+
+    Parameters
+    ----------
+    b:
+        Bit-string length.  The input domain is all ``2^b`` strings.
+    distance:
+        The target Hamming distance ``d``; the classic Section 3 analysis is
+        for ``d = 1``, and Section 3.6 discusses larger distances.
+    """
+
+    def __init__(self, b: int, distance: int = 1) -> None:
+        if b <= 0:
+            raise ConfigurationError(f"bit-string length b must be positive, got {b}")
+        if distance <= 0 or distance > b:
+            raise ConfigurationError(
+                f"distance must be in [1, b]={b}, got {distance}"
+            )
+        self.b = b
+        self.distance = distance
+        self.name = f"hamming-distance-{distance}(b={b})"
+
+    # ------------------------------------------------------------------
+    # Domain
+    # ------------------------------------------------------------------
+    def inputs(self) -> Iterator[InputId]:
+        return iter(range(1 << self.b))
+
+    def outputs(self) -> Iterator[OutputId]:
+        """Yield each unordered pair (u, v), u < v, at the target distance.
+
+        Enumeration cost is O(2^b · C(b, d)); fine for the small ``b`` used
+        in validation and tests.
+        """
+        for word in range(1 << self.b):
+            for positions in itertools.combinations(range(self.b), self.distance):
+                flipped = word
+                for position in positions:
+                    flipped ^= 1 << position
+                if flipped > word:
+                    yield (word, flipped)
+
+    def inputs_of(self, output: OutputId) -> FrozenSet[InputId]:
+        self.validate_output(output)
+        return frozenset(output)
+
+    # ------------------------------------------------------------------
+    # Counts and g(q)
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return 1 << self.b
+
+    @property
+    def num_outputs(self) -> int:
+        """``C(b, d) · 2^b / 2`` pairs; for d=1 this is ``(b/2)·2^b``."""
+        return math.comb(self.b, self.distance) * (1 << self.b) // 2
+
+    def max_outputs_covered(self, q: float) -> float:
+        """``g(q)``: tight for d = 1 (Lemma 3.1); for d >= 2 the best known
+        general bound is the trivial all-pairs bound ``C(q, 2)`` (the paper
+        notes the distance-2 bound is Ω(q²), so no stronger bound is sound).
+        """
+        if self.distance == 1:
+            return hamming_g(q)
+        return q * (q - 1) / 2.0
+
+    # ------------------------------------------------------------------
+    # Validation / helpers
+    # ------------------------------------------------------------------
+    def validate_output(self, output: OutputId) -> None:
+        if (
+            not isinstance(output, tuple)
+            or len(output) != 2
+            or not all(isinstance(word, int) for word in output)
+        ):
+            raise ProblemDomainError(
+                f"{output!r} is not a pair of integer bit strings"
+            )
+        u, v = output
+        limit = 1 << self.b
+        if not (0 <= u < limit and 0 <= v < limit):
+            raise ProblemDomainError(
+                f"pair {output!r} contains values outside the {self.b}-bit universe"
+            )
+        if u >= v:
+            raise ProblemDomainError(
+                f"pair {output!r} must be ordered with the smaller string first"
+            )
+        if hamming_distance(u, v) != self.distance:
+            raise ProblemDomainError(
+                f"pair {output!r} is at distance {hamming_distance(u, v)}, "
+                f"not {self.distance}"
+            )
+
+    def is_output(self, u: int, v: int) -> bool:
+        """Whether the unordered pair {u, v} is an output of the problem."""
+        limit = 1 << self.b
+        if not (0 <= u < limit and 0 <= v < limit) or u == v:
+            return False
+        return hamming_distance(u, v) == self.distance
+
+    def lower_bound(self, q: float) -> float:
+        """Theorem 3.2's closed form ``r >= b / log2 q`` (distance 1 only)."""
+        if self.distance != 1:
+            raise ConfigurationError(
+                "the closed-form lower bound b/log2(q) only holds for distance 1"
+            )
+        if q < 2:
+            return float("inf")
+        return max(1.0, self.b / math.log2(q))
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update({"b": self.b, "distance": self.distance})
+        return info

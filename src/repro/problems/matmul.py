@@ -1,0 +1,122 @@
+"""Matrix multiplication as a map-reduce problem (Section 6).
+
+Inputs are the ``2n²`` elements of the two ``n × n`` operand matrices R and
+S; outputs are the ``n²`` elements of the product T.  Output ``t_ik``
+depends on the ``2n`` inputs forming row ``i`` of R and column ``k`` of S.
+The reducer-coverage bound is ``g(q) = q² / (4n²)``, achieved when a reducer
+receives an equal number of full rows and full columns.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.core.problem import InputId, OutputId, Problem
+from repro.exceptions import ConfigurationError, ProblemDomainError
+
+
+def matmul_g(q: float, n: int) -> float:
+    """Section 6.1's ``g(q) = q² / (4n²)``."""
+    if q <= 0:
+        return 0.0
+    return q * q / (4.0 * n * n)
+
+
+class MatrixMultiplicationProblem(Problem):
+    """Compute T = R·S for n×n matrices in one round of map-reduce.
+
+    Inputs are identified as ``("R", i, j)`` and ``("S", j, k)``; outputs as
+    ``("T", i, k)``.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"matrix dimension must be positive, got {n}")
+        self.n = n
+        self.name = f"matrix-multiplication(n={n})"
+
+    # ------------------------------------------------------------------
+    # Domain
+    # ------------------------------------------------------------------
+    def inputs(self) -> Iterator[InputId]:
+        for i, j in itertools.product(range(self.n), repeat=2):
+            yield ("R", i, j)
+        for j, k in itertools.product(range(self.n), repeat=2):
+            yield ("S", j, k)
+
+    def outputs(self) -> Iterator[OutputId]:
+        for i, k in itertools.product(range(self.n), repeat=2):
+            yield ("T", i, k)
+
+    def inputs_of(self, output: OutputId) -> FrozenSet[InputId]:
+        self.validate_output(output)
+        _, i, k = output
+        row = {("R", i, j) for j in range(self.n)}
+        column = {("S", j, k) for j in range(self.n)}
+        return frozenset(row | column)
+
+    # ------------------------------------------------------------------
+    # Counts and g(q)
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return 2 * self.n * self.n
+
+    @property
+    def num_outputs(self) -> int:
+        return self.n * self.n
+
+    def max_outputs_covered(self, q: float) -> float:
+        return matmul_g(q, self.n)
+
+    # ------------------------------------------------------------------
+    # Validation / bounds
+    # ------------------------------------------------------------------
+    def validate_output(self, output: OutputId) -> None:
+        if (
+            not isinstance(output, tuple)
+            or len(output) != 3
+            or output[0] != "T"
+            or not all(isinstance(index, int) for index in output[1:])
+        ):
+            raise ProblemDomainError(f"{output!r} is not a product element ('T', i, k)")
+        _, i, k = output
+        if not (0 <= i < self.n and 0 <= k < self.n):
+            raise ProblemDomainError(
+                f"product element {output!r} outside an {self.n}x{self.n} matrix"
+            )
+
+    def lower_bound(self, q: float) -> float:
+        """Section 6.1's one-round bound ``r >= 2n² / q``."""
+        if q <= 0:
+            return float("inf")
+        return max(1.0, 2.0 * self.n * self.n / q)
+
+    def one_round_communication(self, q: float) -> float:
+        """Total one-round communication ``r · |I| = 4n⁴ / q`` (Section 6.3)."""
+        return self.lower_bound(q) * self.num_inputs
+
+    def two_round_communication(self, q: float) -> float:
+        """Optimal two-round total communication ``4n³ / √q`` (Section 6.3).
+
+        Derived with ``s = √q`` rows/columns and ``t = √q / 2`` values of j
+        per first-round reducer (the aspect-ratio-2:1 optimum).
+        """
+        if q <= 0:
+            return float("inf")
+        return 4.0 * self.n ** 3 / math.sqrt(q)
+
+    def crossover_q(self) -> float:
+        """Reducer size above which one round beats two rounds: ``q = n²``.
+
+        For ``q > n²`` the one-phase method ships fewer bytes; for all
+        ``q < n²`` (i.e. any real parallelism) the two-phase method wins.
+        """
+        return float(self.n * self.n)
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update({"n": self.n})
+        return info

@@ -1,0 +1,121 @@
+"""Triangle finding (Example 2.2 and Section 4).
+
+Inputs are the ``C(n, 2)`` possible edges of a graph on ``n`` nodes; outputs
+are the ``C(n, 3)`` node triples, each depending on its three edges.  The
+paper's bound on coverable outputs is ``g(q) = (√2/3)·q^{3/2}``, obtained by
+giving a reducer all edges among ``k = √(2q)`` nodes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import FrozenSet, Iterator, Tuple
+
+from repro.core.problem import InputId, OutputId, Problem
+from repro.exceptions import ConfigurationError, ProblemDomainError
+
+
+def triangle_g(q: float) -> float:
+    """Section 4.1's ``g(q) = (√2 / 3) · q^(3/2)``."""
+    if q <= 0:
+        return 0.0
+    return (math.sqrt(2.0) / 3.0) * q ** 1.5
+
+
+class TriangleProblem(Problem):
+    """Find all triangles in a graph over a node domain of size ``n``."""
+
+    def __init__(self, n: int) -> None:
+        if n < 3:
+            raise ConfigurationError(f"triangle finding needs n >= 3 nodes, got {n}")
+        self.n = n
+        self.name = f"triangles(n={n})"
+
+    # ------------------------------------------------------------------
+    # Domain
+    # ------------------------------------------------------------------
+    def inputs(self) -> Iterator[InputId]:
+        """Each input is a potential edge (u, v) with u < v."""
+        return iter(itertools.combinations(range(self.n), 2))
+
+    def outputs(self) -> Iterator[OutputId]:
+        """Each output is a node triple (u, v, w) with u < v < w."""
+        return iter(itertools.combinations(range(self.n), 3))
+
+    def inputs_of(self, output: OutputId) -> FrozenSet[InputId]:
+        self.validate_output(output)
+        u, v, w = output
+        return frozenset({(u, v), (u, w), (v, w)})
+
+    # ------------------------------------------------------------------
+    # Counts and g(q)
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return math.comb(self.n, 2)
+
+    @property
+    def num_outputs(self) -> int:
+        return math.comb(self.n, 3)
+
+    def max_outputs_covered(self, q: float) -> float:
+        return triangle_g(q)
+
+    def max_outputs_covered_exact(self, q: int) -> int:
+        """Exact extremal count: all triangles among the densest q-edge set.
+
+        Picking the largest ``k`` with ``C(k, 2) <= q`` and taking all edges
+        among those ``k`` nodes (plus leftover edges to one more node)
+        maximizes the triangle count; used by tests to confirm the analytic
+        ``g(q)`` really is an upper bound.
+        """
+        if q <= 2:
+            return 0
+        k = 2
+        while math.comb(k + 1, 2) <= q:
+            k += 1
+        triangles = math.comb(k, 3)
+        leftover = q - math.comb(k, 2)
+        if leftover > 0:
+            # Each extra edge to a new node closes a triangle with each of
+            # the previously attached neighbours of that node.
+            triangles += math.comb(leftover, 2)
+        return triangles
+
+    # ------------------------------------------------------------------
+    # Validation / bounds
+    # ------------------------------------------------------------------
+    def validate_output(self, output: OutputId) -> None:
+        if (
+            not isinstance(output, tuple)
+            or len(output) != 3
+            or not all(isinstance(node, int) for node in output)
+        ):
+            raise ProblemDomainError(f"{output!r} is not a node triple")
+        u, v, w = output
+        if not (0 <= u < v < w < self.n):
+            raise ProblemDomainError(
+                f"triple {output!r} is not strictly increasing within [0, {self.n})"
+            )
+
+    def lower_bound(self, q: float) -> float:
+        """Section 4.1's closed form ``r >= n / √(2q)``."""
+        if q <= 0:
+            return float("inf")
+        return max(1.0, self.n / math.sqrt(2.0 * q))
+
+    def lower_bound_sparse(self, q: float, m: int) -> float:
+        """Section 4.2's sparse-graph form ``r = Ω(√(m / q))``.
+
+        ``m`` is the number of edges actually present; ``q`` the limit on
+        *actual* edges per reducer.
+        """
+        if q <= 0:
+            return float("inf")
+        return max(1.0, math.sqrt(m / q))
+
+    def describe(self) -> dict:
+        info = super().describe()
+        info.update({"n": self.n})
+        return info

@@ -1,0 +1,88 @@
+"""Word count (Example 2.5): the embarrassingly parallel corner of the model.
+
+The subtlety the paper points out is the choice of what counts as an input.
+If inputs are *word occurrences* rather than documents, each input produces
+exactly one key-value pair, the replication rate is identically 1 and there
+is no tradeoff with reducer size.  This module models both views so the
+example can be demonstrated and tested.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+
+from repro.core.problem import InputId, OutputId, Problem
+from repro.exceptions import ConfigurationError, ProblemDomainError
+from repro.mapreduce.job import MapReduceJob
+
+
+class WordCountProblem(Problem):
+    """Count occurrences of each word over a finite vocabulary.
+
+    Inputs are word *occurrences* ``(position, word)`` — the paper's
+    preferred modelling — over a given corpus; outputs are one count per
+    vocabulary word that appears at least once somewhere in the domain.
+    """
+
+    def __init__(self, corpus: Sequence[Sequence[str]]) -> None:
+        if not corpus:
+            raise ConfigurationError("word count needs a non-empty corpus")
+        self.corpus = [list(document) for document in corpus]
+        self.name = f"word-count(documents={len(self.corpus)})"
+        self._occurrences: List[Tuple[int, int, str]] = []
+        for doc_index, document in enumerate(self.corpus):
+            for word_index, word in enumerate(document):
+                self._occurrences.append((doc_index, word_index, word))
+        if not self._occurrences:
+            raise ConfigurationError("word count corpus contains no words")
+
+    def inputs(self) -> Iterator[InputId]:
+        return iter(self._occurrences)
+
+    def outputs(self) -> Iterator[OutputId]:
+        vocabulary = sorted({word for _, _, word in self._occurrences})
+        return iter(vocabulary)
+
+    def inputs_of(self, output: OutputId) -> FrozenSet[InputId]:
+        occurrences = frozenset(
+            occurrence for occurrence in self._occurrences if occurrence[2] == output
+        )
+        if not occurrences:
+            raise ProblemDomainError(f"word {output!r} does not occur in the corpus")
+        return occurrences
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._occurrences)
+
+    def max_outputs_covered(self, q: float) -> float:
+        """A reducer with q occurrence inputs covers at most q word outputs.
+
+        (Each occurrence belongs to exactly one word.)  With g(q) = q the
+        recipe gives r >= |O|·q / (q·|I|) = |O|/|I| <= 1, i.e. only the
+        trivial bound — confirming the problem is embarrassingly parallel.
+        """
+        return max(0.0, float(q))
+
+    def word_counts(self) -> Dict[str, int]:
+        """Serial oracle: the expected output of the map-reduce job."""
+        counts: Dict[str, int] = {}
+        for _, _, word in self._occurrences:
+            counts[word] = counts.get(word, 0) + 1
+        return counts
+
+    def job(self) -> MapReduceJob:
+        """The canonical word-count job over occurrence inputs.
+
+        Each occurrence maps to exactly one ``(word, 1)`` pair, so the job's
+        measured replication rate is exactly 1 whatever the reducer limit.
+        """
+
+        def mapper(occurrence: Tuple[int, int, str]):
+            _, _, word = occurrence
+            yield (word, 1)
+
+        def reducer(word: str, ones: List[int]):
+            yield (word, sum(ones))
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name="word-count")

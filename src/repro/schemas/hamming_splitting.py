@@ -1,0 +1,262 @@
+"""Schemas for Hamming distance 1: the Splitting algorithm and the extremes.
+
+Section 3.3 describes three constructions that meet the ``b / log2 q`` lower
+bound exactly:
+
+* ``q = 2``: one reducer per potential output pair, replication rate ``b``;
+* ``q = 2^b``: a single reducer holding the whole universe, rate 1;
+* the Splitting algorithm: for any ``c`` dividing ``b``, split each string
+  into ``c`` segments; a reducer corresponds to a (group index, remaining
+  bits) pair obtained by deleting one segment.  Reducer size is ``2^{b/c}``
+  and the replication rate is exactly ``c = b / log2 q``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.core.mapping_schema import MappingSchema, SchemaFamily
+from repro.core.problem import Problem
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.job import MapReduceJob
+from repro.problems.hamming import HammingDistanceProblem
+
+
+def _check_problem(problem: Problem) -> HammingDistanceProblem:
+    if not isinstance(problem, HammingDistanceProblem):
+        raise ConfigurationError(
+            "Hamming-distance schemas require a HammingDistanceProblem, "
+            f"got {type(problem).__name__}"
+        )
+    if problem.distance != 1:
+        raise ConfigurationError(
+            "the Splitting schema as implemented targets Hamming distance 1; "
+            "use HammingDistanceDSchema for larger distances"
+        )
+    return problem
+
+
+class SplittingSchema(SchemaFamily):
+    """The Splitting algorithm with ``c`` segments (Section 3.3).
+
+    Parameters
+    ----------
+    b:
+        Bit-string length.
+    num_segments:
+        The parameter ``c``; must divide ``b``.  ``c = 1`` degenerates to the
+        single-reducer schema, ``c = b`` to the one-reducer-per-pair schema.
+    """
+
+    def __init__(self, b: int, num_segments: int) -> None:
+        if b <= 0:
+            raise ConfigurationError(f"b must be positive, got {b}")
+        if num_segments <= 0 or b % num_segments != 0:
+            raise ConfigurationError(
+                f"num_segments={num_segments} must be positive and divide b={b}"
+            )
+        self.b = b
+        self.num_segments = num_segments
+        self.segment_length = b // num_segments
+        self.name = f"splitting(b={b}, c={num_segments})"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def reducers_for(self, word: int) -> Iterator[Tuple[int, int]]:
+        """Yield the ``c`` reducer ids an input string is sent to.
+
+        Reducer ids are ``(group index i, residual bits)`` where the residual
+        is the string with its i-th segment deleted.
+        """
+        for group in range(self.num_segments):
+            yield (group, self._delete_segment(word, group))
+
+    def _delete_segment(self, word: int, group: int) -> int:
+        """Remove the ``group``-th segment (counting from the most significant)."""
+        seg_len = self.segment_length
+        total = self.b
+        # Bits above the deleted segment (more significant side).
+        high_shift = total - group * seg_len
+        high = word >> high_shift if group > 0 else 0
+        # Bits below the deleted segment (less significant side).
+        low_bits = total - (group + 1) * seg_len
+        low = word & ((1 << low_bits) - 1) if low_bits > 0 else 0
+        return (high << low_bits) | low
+
+    def emitting_group(self, u: int, v: int) -> int:
+        """The unique group index at which the pair {u, v} is emitted.
+
+        Strings at distance 1 differ in exactly one segment; the reducer of
+        that group covers the pair, and we designate it as the one that
+        emits, so every output is produced exactly once.
+        """
+        difference = u ^ v
+        highest = difference.bit_length() - 1
+        position_from_left = self.b - 1 - highest
+        return position_from_left // self.segment_length
+
+    # ------------------------------------------------------------------
+    # SchemaFamily interface
+    # ------------------------------------------------------------------
+    def build(self, problem: Problem) -> MappingSchema:
+        hamming = _check_problem(problem)
+        if hamming.b != self.b:
+            raise ConfigurationError(
+                f"schema built for b={self.b} cannot serve a problem with b={hamming.b}"
+            )
+        schema = MappingSchema(
+            problem, q=int(self.max_reducer_size_formula()), name=self.name
+        )
+        for word in problem.inputs():
+            for reducer_id in self.reducers_for(word):
+                schema.assign_one(reducer_id, word)
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        """Each input is sent to exactly ``c`` reducers."""
+        return float(self.num_segments)
+
+    def max_reducer_size_formula(self) -> float:
+        """Each reducer receives the ``2^{b/c}`` strings sharing its residual."""
+        return float(2 ** self.segment_length)
+
+    # ------------------------------------------------------------------
+    # Executable job
+    # ------------------------------------------------------------------
+    def job(self) -> MapReduceJob:
+        """Map-reduce job finding all distance-1 pairs among present inputs.
+
+        The mapper routes each string to its ``c`` reducers; each reducer
+        compares the strings it received and emits a pair only if it is that
+        pair's designated emitting group, so outputs are produced exactly
+        once across the whole job.
+        """
+        schema = self
+
+        def mapper(word: int):
+            for reducer_id in schema.reducers_for(word):
+                yield (reducer_id, word)
+
+        def reducer(reducer_id: Tuple[int, int], words: List[int]):
+            group, _ = reducer_id
+            ordered = sorted(set(words))
+            for index, first in enumerate(ordered):
+                for second in ordered[index + 1 :]:
+                    if (first ^ second).bit_count() != 1:
+                        continue
+                    if schema.emitting_group(first, second) == group:
+                        yield (first, second)
+
+        return MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            name=self.name,
+            reducer_capacity=int(self.max_reducer_size_formula()),
+        )
+
+
+class PairReducersSchema(SchemaFamily):
+    """The ``q = 2`` extreme: one reducer per potential distance-1 pair.
+
+    Every string is sent to the ``b`` reducers of the pairs it belongs to, so
+    the replication rate is exactly ``b``, matching ``b / log2 2``.
+    """
+
+    def __init__(self, b: int) -> None:
+        if b <= 0:
+            raise ConfigurationError(f"b must be positive, got {b}")
+        self.b = b
+        self.name = f"pair-reducers(b={b})"
+
+    def reducers_for(self, word: int) -> Iterator[Tuple[int, int]]:
+        for position in range(self.b):
+            other = word ^ (1 << position)
+            yield (min(word, other), max(word, other))
+
+    def build(self, problem: Problem) -> MappingSchema:
+        hamming = _check_problem(problem)
+        if hamming.b != self.b:
+            raise ConfigurationError(
+                f"schema built for b={self.b} cannot serve a problem with b={hamming.b}"
+            )
+        schema = MappingSchema(problem, q=2, name=self.name)
+        for word in problem.inputs():
+            for reducer_id in self.reducers_for(word):
+                schema.assign_one(reducer_id, word)
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        return float(self.b)
+
+    def max_reducer_size_formula(self) -> float:
+        return 2.0
+
+    def job(self) -> MapReduceJob:
+        """Executable job: each pair-reducer emits its pair if both arrived."""
+        schema = self
+
+        def mapper(word: int):
+            for reducer_id in schema.reducers_for(word):
+                yield (reducer_id, word)
+
+        def reducer(reducer_id: Tuple[int, int], words: List[int]):
+            present = set(words)
+            first, second = reducer_id
+            if first in present and second in present:
+                yield (first, second)
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name, reducer_capacity=2)
+
+
+class SingleReducerSchema(SchemaFamily):
+    """The ``q = 2^b`` extreme: the whole universe at one reducer (r = 1)."""
+
+    def __init__(self, b: int) -> None:
+        if b <= 0:
+            raise ConfigurationError(f"b must be positive, got {b}")
+        self.b = b
+        self.name = f"single-reducer(b={b})"
+
+    def build(self, problem: Problem) -> MappingSchema:
+        hamming = _check_problem(problem)
+        if hamming.b != self.b:
+            raise ConfigurationError(
+                f"schema built for b={self.b} cannot serve a problem with b={hamming.b}"
+            )
+        schema = MappingSchema(problem, q=1 << self.b, name=self.name)
+        schema.assign("all", problem.inputs())
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        return 1.0
+
+    def max_reducer_size_formula(self) -> float:
+        return float(1 << self.b)
+
+    def job(self) -> MapReduceJob:
+        def mapper(word: int):
+            yield ("all", word)
+
+        def reducer(_key: str, words: List[int]):
+            ordered = sorted(set(words))
+            for index, first in enumerate(ordered):
+                for second in ordered[index + 1 :]:
+                    if (first ^ second).bit_count() == 1:
+                        yield (first, second)
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+
+
+def splitting_points(b: int) -> List[Tuple[int, float, float]]:
+    """The Fig. 1 dots: (c, log2 q, r) for every c dividing b.
+
+    Returns tuples ``(c, log2 q = b / c, replication rate = c)``; these are
+    the known algorithms matching the lower bound on replication rate.
+    """
+    points = []
+    for c in range(1, b + 1):
+        if b % c == 0:
+            points.append((c, b / c, float(c)))
+    return points

@@ -1,0 +1,237 @@
+"""Weight-based schemas for Hamming distance 1 with large reducers.
+
+Sections 3.4 and 3.5 give algorithms whose reducer size is close to the
+whole universe (``log2 q`` near ``b``) but whose replication rate is strictly
+below 2:
+
+* the 2-dimensional algorithm partitions each string's left and right halves
+  by weight ranges of width ``k``; only strings on the *lower border* of a
+  weight range need to be replicated to the neighbouring cell, giving a
+  replication rate of ``1 + 2/k``;
+* the d-dimensional generalization splits strings into ``d`` pieces and uses
+  a d-dimensional grid of weight cells, giving ``1 + d/k``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.mapping_schema import MappingSchema, SchemaFamily
+from repro.core.problem import Problem
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.job import MapReduceJob
+from repro.problems.hamming import HammingDistanceProblem
+
+Cell = Tuple[int, ...]
+
+
+class HypercubeWeightSchema(SchemaFamily):
+    """The d-dimensional weight-partition algorithm of Section 3.5.
+
+    The 2-dimensional algorithm of Section 3.4 is the special case ``d = 2``
+    (see :class:`WeightPartitionSchema`).
+
+    Parameters
+    ----------
+    b:
+        Bit-string length; must be divisible by ``num_pieces``.
+    num_pieces:
+        The dimension ``d`` of the weight grid.
+    cell_width:
+        The weight-range width ``k``; must divide ``b / d``.  The last range
+        in each dimension absorbs the extra weight ``b/d`` exactly as in the
+        paper.
+    """
+
+    def __init__(self, b: int, num_pieces: int, cell_width: int) -> None:
+        if b <= 0:
+            raise ConfigurationError(f"b must be positive, got {b}")
+        if num_pieces <= 0 or b % num_pieces != 0:
+            raise ConfigurationError(
+                f"num_pieces={num_pieces} must be positive and divide b={b}"
+            )
+        piece_length = b // num_pieces
+        if cell_width <= 0 or piece_length % cell_width != 0:
+            raise ConfigurationError(
+                f"cell_width={cell_width} must be positive and divide b/d={piece_length}"
+            )
+        self.b = b
+        self.num_pieces = num_pieces
+        self.piece_length = piece_length
+        self.cell_width = cell_width
+        self.groups_per_dimension = piece_length // cell_width
+        self.name = f"weight-grid(b={b}, d={num_pieces}, k={cell_width})"
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def piece_weights(self, word: int) -> Tuple[int, ...]:
+        """Weights (popcounts) of the ``d`` pieces of a string."""
+        weights = []
+        mask = (1 << self.piece_length) - 1
+        for piece_index in range(self.num_pieces):
+            shift = (self.num_pieces - 1 - piece_index) * self.piece_length
+            weights.append(((word >> shift) & mask).bit_count())
+        return tuple(weights)
+
+    def weight_group(self, piece_weight: int) -> int:
+        """Index of the weight range containing ``piece_weight``.
+
+        The final group absorbs the extra top weight ``b/d``.
+        """
+        return min(piece_weight // self.cell_width, self.groups_per_dimension - 1)
+
+    def home_cell(self, word: int) -> Cell:
+        """The cell a string primarily belongs to."""
+        return tuple(self.weight_group(weight) for weight in self.piece_weights(word))
+
+    def is_lower_border(self, piece_weight: int) -> bool:
+        """Whether a piece weight sits on the lower border of its range.
+
+        Strings on a lower border must also be replicated to the neighbouring
+        cell below in that dimension (unless already in the lowest range).
+        """
+        group = self.weight_group(piece_weight)
+        return group > 0 and piece_weight == group * self.cell_width
+
+    def reducers_for(self, word: int) -> Iterator[Cell]:
+        """The home cell plus one neighbour per lower-border dimension."""
+        weights = self.piece_weights(word)
+        home = tuple(self.weight_group(weight) for weight in weights)
+        yield home
+        for dimension, weight in enumerate(weights):
+            if self.is_lower_border(weight):
+                neighbour = list(home)
+                neighbour[dimension] -= 1
+                yield tuple(neighbour)
+
+    # ------------------------------------------------------------------
+    # SchemaFamily interface
+    # ------------------------------------------------------------------
+    def build(self, problem: Problem) -> MappingSchema:
+        if not isinstance(problem, HammingDistanceProblem) or problem.distance != 1:
+            raise ConfigurationError(
+                "weight-partition schemas serve the Hamming-distance-1 problem"
+            )
+        if problem.b != self.b:
+            raise ConfigurationError(
+                f"schema built for b={self.b} cannot serve a problem with b={problem.b}"
+            )
+        schema = MappingSchema(problem, q=None, name=self.name)
+        for word in problem.inputs():
+            for cell in self.reducers_for(word):
+                schema.assign_one(cell, word)
+        schema.q = schema.max_reducer_size()
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        """The paper's asymptotic rate ``1 + d/k``."""
+        return 1.0 + self.num_pieces / self.cell_width
+
+    def max_reducer_size_formula(self) -> float:
+        """Population of the most populous cell, via Stirling (Section 3.5).
+
+        ``k^d · 2^b / (b^{d/2} · (2π/d)^{d/2})`` — the cell whose every piece
+        has weight near ``b/(2d)``.
+        """
+        d = self.num_pieces
+        return (
+            self.cell_width ** d
+            * 2.0 ** self.b
+            / (self.b ** (d / 2.0) * (2.0 * math.pi / d) ** (d / 2.0))
+        )
+
+    def exact_replication_rate(self) -> float:
+        """Exact average replication over the full universe of 2^b strings.
+
+        Computed from the binomial weight distribution of each piece rather
+        than by enumerating strings, so it stays cheap for any ``b``.
+        The rate is ``1 + Σ_dim P(piece weight on a lower border)``.
+        """
+        piece_total = 2 ** self.piece_length
+        border_probability = (
+            sum(
+                math.comb(self.piece_length, weight)
+                for weight in range(self.piece_length + 1)
+                if self.is_lower_border(weight)
+            )
+            / piece_total
+        )
+        return 1.0 + self.num_pieces * border_probability
+
+    def exact_max_reducer_size(self) -> int:
+        """Exact population of the most populous cell (binomial sums)."""
+        per_group_counts = []
+        for group in range(self.groups_per_dimension):
+            low = group * self.cell_width
+            high = (group + 1) * self.cell_width - 1
+            if group == self.groups_per_dimension - 1:
+                high = self.piece_length
+            per_group_counts.append(
+                sum(math.comb(self.piece_length, weight) for weight in range(low, high + 1))
+            )
+        densest_group = max(per_group_counts)
+        base = densest_group ** self.num_pieces
+        # Border strings of neighbouring cells also land here; bound their
+        # contribution by one extra border weight per dimension.
+        border_extra = 0
+        for dimension in range(self.num_pieces):
+            boundary_weight = None
+            for group in range(1, self.groups_per_dimension):
+                boundary_weight = group * self.cell_width
+            if boundary_weight is not None:
+                border_extra += math.comb(self.piece_length, boundary_weight) * (
+                    densest_group ** (self.num_pieces - 1)
+                )
+        return base + border_extra
+
+    # ------------------------------------------------------------------
+    # Executable job
+    # ------------------------------------------------------------------
+    def job(self) -> MapReduceJob:
+        """Job that finds all distance-1 pairs among the present strings.
+
+        Deduplication rule: a pair {u, v} (with u the string of lower total
+        weight) is emitted only at u's home cell, where both strings are
+        guaranteed to be present.
+        """
+        schema = self
+
+        def mapper(word: int):
+            for cell in schema.reducers_for(word):
+                yield (cell, word)
+
+        def reducer(cell: Cell, words: List[int]):
+            ordered = sorted(set(words))
+            present = set(ordered)
+            for word in ordered:
+                # Consider only neighbours obtained by clearing a set bit:
+                # then `other` has lower weight and `word` is the heavier one.
+                for position in range(schema.b):
+                    if not word & (1 << position):
+                        continue
+                    other = word ^ (1 << position)
+                    if other not in present:
+                        continue
+                    if schema.home_cell(other) == cell:
+                        pair = (other, word) if other < word else (word, other)
+                        yield pair
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+
+
+class WeightPartitionSchema(HypercubeWeightSchema):
+    """The 2-dimensional (left half / right half) algorithm of Section 3.4."""
+
+    def __init__(self, b: int, cell_width: int) -> None:
+        super().__init__(b, num_pieces=2, cell_width=cell_width)
+        self.name = f"weight-partition(b={b}, k={cell_width})"
+
+    def replication_rate_formula(self) -> float:
+        """Section 3.4's ``1 + 2/k``."""
+        return 1.0 + 2.0 / self.cell_width
+
+    def max_reducer_size_formula(self) -> float:
+        """Section 3.4's ``k² · 2^b / (π b)``."""
+        return self.cell_width ** 2 * 2.0 ** self.b / (math.pi * self.b)

@@ -1,0 +1,327 @@
+"""The Shares algorithm for multiway joins (Section 5.5 upper bounds).
+
+The Shares algorithm [Afrati–Ullman, ref. 1 in the paper] assigns each
+attribute ``A`` of the join a *share* ``s_A``; the reducers form a grid with
+one coordinate per attribute, the coordinate for ``A`` ranging over
+``s_A`` hash buckets.  A tuple of relation ``R_e`` (with attribute set
+``A_e``) knows the coordinates of the attributes it contains and must be
+replicated to every combination of the remaining coordinates, i.e. to
+``Π_{A ∉ A_e} s_A`` reducers.
+
+The module provides:
+
+* a generic :class:`SharesSchema` that works for any join query and share
+  vector, can build an explicit mapping schema over the model's full input
+  domain, and produces an executable job joining real relation instances;
+* share-vector constructors for the two query shapes the paper analyses
+  (chain joins and star joins) plus the closed-form replication rates used
+  in Table 2.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.mapping_schema import MappingSchema, SchemaFamily
+from repro.core.problem import Problem
+from repro.datagen.relations import RelationInstance, multiway_join_oracle
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioner import stable_hash
+from repro.problems.joins import JoinQuery, MultiwayJoinProblem
+
+GridPoint = Tuple[int, ...]
+
+
+class SharesSchema(SchemaFamily):
+    """Grid-of-reducers schema defined by a share per join attribute.
+
+    Parameters
+    ----------
+    query:
+        The join query (hypergraph).
+    shares:
+        Mapping from attribute name to its integer share (>= 1).  Attributes
+        omitted from the mapping get share 1 (no partitioning on them).
+    domain_size:
+        Domain size ``n`` used for the closed-form replication-rate and
+        reducer-size formulas over the model's full input domain.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        shares: Mapping[str, int],
+        domain_size: int,
+    ) -> None:
+        if domain_size <= 0:
+            raise ConfigurationError("domain_size must be positive")
+        unknown = set(shares) - set(query.attributes)
+        if unknown:
+            raise ConfigurationError(
+                f"shares given for attributes not in the query: {sorted(unknown)}"
+            )
+        self.query = query
+        self.domain_size = domain_size
+        self.shares: Dict[str, int] = {}
+        for attribute in query.attributes:
+            share = int(shares.get(attribute, 1))
+            if share < 1:
+                raise ConfigurationError(
+                    f"share for attribute {attribute!r} must be >= 1, got {share}"
+                )
+            self.shares[attribute] = share
+        share_text = ",".join(f"{a}={s}" for a, s in self.shares.items())
+        self.name = f"shares[{query.name}]({share_text})"
+
+    # ------------------------------------------------------------------
+    # Grid geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_reducers(self) -> int:
+        """Total number of grid points ``Π_A s_A`` (the paper's ``p``)."""
+        product = 1
+        for share in self.shares.values():
+            product *= share
+        return product
+
+    def bucket_of(self, attribute: str, value: int) -> int:
+        """Hash bucket of an attribute value within that attribute's share."""
+        share = self.shares[attribute]
+        if share == 1:
+            return 0
+        return stable_hash((attribute, value)) % share
+
+    def reducers_for(
+        self, relation_name: str, values: Sequence[int]
+    ) -> Iterator[GridPoint]:
+        """Grid points a tuple of the named relation is replicated to."""
+        relation = self._relation(relation_name)
+        if len(values) != relation.arity:
+            raise ConfigurationError(
+                f"tuple {values!r} does not match the arity of {relation_name!r}"
+            )
+        assignment = dict(zip(relation.attributes, values))
+        coordinate_choices: List[range | List[int]] = []
+        for attribute in self.query.attributes:
+            if attribute in assignment:
+                coordinate_choices.append([self.bucket_of(attribute, assignment[attribute])])
+            else:
+                coordinate_choices.append(range(self.shares[attribute]))
+        for point in itertools.product(*coordinate_choices):
+            yield tuple(point)
+
+    def reducer_of_output(self, assignment: Mapping[str, int]) -> GridPoint:
+        """The unique grid point responsible for a full attribute assignment."""
+        return tuple(
+            self.bucket_of(attribute, assignment[attribute])
+            for attribute in self.query.attributes
+        )
+
+    def _relation(self, relation_name: str):
+        for relation in self.query.relations:
+            if relation.name == relation_name:
+                return relation
+        raise ConfigurationError(
+            f"relation {relation_name!r} is not part of query {self.query.name!r}"
+        )
+
+    def replication_of(self, relation_name: str) -> int:
+        """Number of reducers one tuple of the named relation reaches."""
+        relation = self._relation(relation_name)
+        product = 1
+        for attribute in self.query.attributes:
+            if attribute not in relation.attributes:
+                product *= self.shares[attribute]
+        return product
+
+    # ------------------------------------------------------------------
+    # SchemaFamily interface
+    # ------------------------------------------------------------------
+    def build(self, problem: Problem) -> MappingSchema:
+        if not isinstance(problem, MultiwayJoinProblem):
+            raise ConfigurationError("SharesSchema serves MultiwayJoinProblem instances")
+        if problem.query is not self.query and problem.query.name != self.query.name:
+            raise ConfigurationError(
+                "schema and problem were built for different join queries"
+            )
+        if problem.domain_size != self.domain_size:
+            raise ConfigurationError(
+                "schema and problem were built for different domain sizes"
+            )
+        schema = MappingSchema(problem, q=None, name=self.name)
+        for input_id in problem.inputs():
+            relation_name, values = input_id
+            for point in self.reducers_for(relation_name, values):
+                schema.assign_one(point, input_id)
+        schema.q = schema.max_reducer_size()
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        """Average replication over the model's full input domain.
+
+        Each relation contributes ``n^arity`` inputs each replicated to
+        ``Π_{A ∉ relation} s_A`` reducers.
+        """
+        n = self.domain_size
+        total_inputs = 0
+        total_pairs = 0
+        for relation in self.query.relations:
+            relation_inputs = n ** relation.arity
+            total_inputs += relation_inputs
+            total_pairs += relation_inputs * self.replication_of(relation.name)
+        return total_pairs / total_inputs
+
+    def max_reducer_size_formula(self) -> float:
+        """Expected inputs per reducer over the full domain.
+
+        Relation ``R_e`` spreads its ``n^arity`` tuples over
+        ``Π_{A ∈ A_e} s_A`` distinct coordinate combinations, so each grid
+        point receives about ``n^arity / Π_{A ∈ A_e} s_A`` of them.
+        """
+        n = self.domain_size
+        expected = 0.0
+        for relation in self.query.relations:
+            covered_shares = 1
+            for attribute in relation.attributes:
+                covered_shares *= self.shares[attribute]
+            expected += n ** relation.arity / covered_shares
+        return expected
+
+    # ------------------------------------------------------------------
+    # Executable job over real relation instances
+    # ------------------------------------------------------------------
+    def job(self, relations: Sequence[RelationInstance]) -> MapReduceJob:
+        """Join the given relation instances with one round of map-reduce.
+
+        Input records are ``(relation name, tuple)``.  Each reducer joins its
+        local fragments with the serial oracle and emits only the result
+        tuples whose full attribute assignment hashes to that reducer,
+        guaranteeing each join result is emitted exactly once.
+        """
+        by_name = {relation.name: relation for relation in relations}
+        for relation in self.query.relations:
+            if relation.name not in by_name:
+                raise ConfigurationError(
+                    f"no instance supplied for relation {relation.name!r}"
+                )
+        schema = self
+        query = self.query
+
+        def mapper(record: Tuple[str, Tuple[int, ...]]):
+            relation_name, values = record
+            for point in schema.reducers_for(relation_name, values):
+                yield (point, record)
+
+        def reducer(point: GridPoint, records: List[Tuple[str, Tuple[int, ...]]]):
+            fragments: Dict[str, set] = {
+                relation.name: set() for relation in query.relations
+            }
+            for relation_name, values in records:
+                fragments[relation_name].add(tuple(values))
+            local_instances = []
+            for relation in query.relations:
+                local_instances.append(
+                    RelationInstance(
+                        name=relation.name,
+                        attributes=relation.attributes,
+                        tuples=tuple(sorted(fragments[relation.name])),
+                    )
+                )
+            attributes, rows = multiway_join_oracle(local_instances)
+            for row in rows:
+                assignment = dict(zip(attributes, row))
+                if schema.reducer_of_output(assignment) == point:
+                    yield tuple(assignment[attribute] for attribute in query.attributes)
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+
+    @staticmethod
+    def input_records(relations: Sequence[RelationInstance]) -> List[Tuple[str, Tuple[int, ...]]]:
+        """Flatten relation instances into the job's input records."""
+        records: List[Tuple[str, Tuple[int, ...]]] = []
+        for relation in relations:
+            for row in relation.tuples:
+                records.append((relation.name, tuple(row)))
+        return records
+
+
+# ----------------------------------------------------------------------
+# Share-vector constructors and closed forms for the paper's query shapes
+# ----------------------------------------------------------------------
+def chain_join_shares(num_relations: int, reducers: int) -> Dict[str, int]:
+    """Balanced shares for a chain join with ``num_relations`` relations.
+
+    The interior attributes ``A1 .. A_{N-1}`` each receive share
+    ``⌈reducers^{1/(N-1)}⌉`` and the two endpoint attributes share 1.  This
+    is the share shape that realizes the ``(n/√q)^{N-1}`` upper bound the
+    paper quotes from [1] (up to the low-order factor the paper also drops).
+    """
+    if num_relations < 2:
+        raise ConfigurationError("a chain join needs at least two relations")
+    if reducers < 1:
+        raise ConfigurationError("the number of reducers must be at least 1")
+    interior = num_relations - 1
+    share = max(1, round(reducers ** (1.0 / interior)))
+    shares = {f"A{index}": share for index in range(1, num_relations)}
+    shares[f"A{0}"] = 1
+    shares[f"A{num_relations}"] = 1
+    return shares
+
+
+def star_join_shares(num_dimensions: int, reducers: int) -> Dict[str, int]:
+    """Shares for a star join: ``p^{1/N}`` per fact-table key, 1 elsewhere.
+
+    Matches Section 5.5.2: the share for attributes not in the fact table is
+    1 while each fact-table attribute receives share ``p^{1/N}``.
+    """
+    if num_dimensions < 1:
+        raise ConfigurationError("a star join needs at least one dimension table")
+    if reducers < 1:
+        raise ConfigurationError("the number of reducers must be at least 1")
+    key_share = max(1, round(reducers ** (1.0 / num_dimensions)))
+    shares: Dict[str, int] = {}
+    for index in range(1, num_dimensions + 1):
+        shares[f"K{index}"] = key_share
+        shares[f"V{index}"] = 1
+    return shares
+
+
+def chain_join_replication_upper_bound(domain_size: int, q: float, num_relations: int) -> float:
+    """Closed form ``r = (n / √q)^{N-1}`` for chain joins (Section 5.5.2)."""
+    if q <= 0:
+        return float("inf")
+    return max(1.0, (domain_size / math.sqrt(q)) ** (num_relations - 1))
+
+
+def star_join_replication_upper_bound(
+    fact_size: float, dimension_size: float, q: float, num_dimensions: int
+) -> float:
+    """Section 5.5.2's star-join upper bound on the replication rate.
+
+    ``r = (f + N·d0·(N·d0/(e·q))^{N-1}) / (f + N·d0)`` with the paper's
+    simplifying assumption ``f/p = (1-e)·q``; we use ``e = 1/2`` which the
+    paper treats as "not very small or very large".
+    """
+    if q <= 0:
+        return float("inf")
+    e = 0.5
+    N = num_dimensions
+    d0 = dimension_size
+    f = fact_size
+    numerator = f + N * d0 * (N * d0 / (e * q)) ** (N - 1)
+    return max(1.0, numerator / (f + N * d0))
+
+
+def star_join_replication_lower_bound(
+    fact_size: float, dimension_size: float, q: float, num_dimensions: int
+) -> float:
+    """Section 5.5.2's star-join lower bound ``N·d0·(N·d0/q)^{N-1} / (f + N·d0)``."""
+    if q <= 0:
+        return float("inf")
+    N = num_dimensions
+    d0 = dimension_size
+    f = fact_size
+    return N * d0 * (N * d0 / q) ** (N - 1) / (f + N * d0)

@@ -1,0 +1,166 @@
+"""One-round matrix multiplication by output tiling (Section 6.2).
+
+Let ``s`` divide ``n``.  Partition the rows of R into ``n/s`` groups of
+``s`` rows and the columns of S into ``n/s`` groups of ``s`` columns.  One
+reducer exists per (row group, column group) pair; it receives the ``2sn``
+elements of its rows and columns and produces the ``s²`` product elements of
+its output tile.  Every input element is needed by the ``n/s`` reducers
+pairing its group with each opposite-side group, so the replication rate is
+``n/s = 2n²/q`` — exactly the Section 6.1 lower bound.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, List, Tuple
+
+from repro.core.mapping_schema import MappingSchema, SchemaFamily
+from repro.core.problem import Problem
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.job import MapReduceJob
+from repro.problems.matmul import MatrixMultiplicationProblem
+
+ElementRecord = Tuple[str, int, int, float]
+TileId = Tuple[int, int]
+
+
+class OnePhaseTilingSchema(SchemaFamily):
+    """Square output tiling with group size ``s`` (rows of R / columns of S).
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension; ``group_size`` must divide it.
+    group_size:
+        The parameter ``s``; reducer size is ``q = 2sn`` and replication rate
+        ``n/s``.
+    """
+
+    def __init__(self, n: int, group_size: int) -> None:
+        if n <= 0:
+            raise ConfigurationError(f"matrix dimension must be positive, got {n}")
+        if group_size <= 0 or n % group_size != 0:
+            raise ConfigurationError(
+                f"group_size={group_size} must be positive and divide n={n}"
+            )
+        self.n = n
+        self.group_size = group_size
+        self.num_groups = n // group_size
+        self.name = f"one-phase-tiling(n={n}, s={group_size})"
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def row_group(self, i: int) -> int:
+        return i // self.group_size
+
+    def column_group(self, k: int) -> int:
+        return k // self.group_size
+
+    def reducers_for_element(self, matrix: str, i: int, j: int) -> Iterator[TileId]:
+        """Reducers (tiles) needing element ``(i, j)`` of matrix R or S."""
+        if matrix == "R":
+            row = self.row_group(i)
+            for column in range(self.num_groups):
+                yield (row, column)
+        elif matrix == "S":
+            column = self.column_group(j)
+            for row in range(self.num_groups):
+                yield (row, column)
+        else:
+            raise ConfigurationError(f"unknown matrix tag {matrix!r}; expected 'R' or 'S'")
+
+    # ------------------------------------------------------------------
+    # SchemaFamily interface
+    # ------------------------------------------------------------------
+    def build(self, problem: Problem) -> MappingSchema:
+        if not isinstance(problem, MatrixMultiplicationProblem):
+            raise ConfigurationError(
+                "OnePhaseTilingSchema serves MatrixMultiplicationProblem instances"
+            )
+        if problem.n != self.n:
+            raise ConfigurationError(
+                f"schema built for n={self.n} cannot serve a problem with n={problem.n}"
+            )
+        schema = MappingSchema(problem, q=int(self.max_reducer_size_formula()), name=self.name)
+        for input_id in problem.inputs():
+            matrix, i, j = input_id
+            for tile in self.reducers_for_element(matrix, i, j):
+                schema.assign_one(tile, input_id)
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        """``r = n / s = 2n² / q`` — matches the lower bound exactly."""
+        return float(self.num_groups)
+
+    def max_reducer_size_formula(self) -> float:
+        """``q = 2sn``: s full rows of R plus s full columns of S."""
+        return 2.0 * self.group_size * self.n
+
+    # ------------------------------------------------------------------
+    # Executable job
+    # ------------------------------------------------------------------
+    def job(self) -> MapReduceJob:
+        """Job computing the product from element records.
+
+        Input records are ``("R", i, j, value)`` / ``("S", j, k, value)``;
+        output records are ``(i, k, value)`` with each product element
+        produced by exactly one reducer (its tile).
+        """
+        schema = self
+
+        def mapper(record: ElementRecord):
+            matrix, i, j, value = record
+            for tile in schema.reducers_for_element(matrix, i, j):
+                yield (tile, record)
+
+        def reducer(tile: TileId, records: List[ElementRecord]):
+            row_elements: dict[Tuple[int, int], float] = {}
+            column_elements: dict[Tuple[int, int], float] = {}
+            for matrix, i, j, value in records:
+                if matrix == "R":
+                    row_elements[(i, j)] = value
+                else:
+                    column_elements[(i, j)] = value
+            row_start = tile[0] * schema.group_size
+            column_start = tile[1] * schema.group_size
+            for i in range(row_start, row_start + schema.group_size):
+                for k in range(column_start, column_start + schema.group_size):
+                    total = 0.0
+                    for j in range(schema.n):
+                        left = row_elements.get((i, j))
+                        right = column_elements.get((j, k))
+                        if left is not None and right is not None:
+                            total += left * right
+                    yield (i, k, total)
+
+        return MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            name=self.name,
+            reducer_capacity=int(self.max_reducer_size_formula()),
+        )
+
+    # ------------------------------------------------------------------
+    # Sizing helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_reducer_size(cls, n: int, q: float) -> "OnePhaseTilingSchema":
+        """The largest tiling that fits reducers of ``q`` inputs (``s = q/2n``).
+
+        Requires ``q >= 2n`` (below that no reducer can produce any output,
+        as Section 6.2 notes) and rounds ``s`` down to a divisor of ``n``.
+        """
+        if q < 2 * n:
+            raise ConfigurationError(
+                f"one-round matrix multiplication needs q >= 2n = {2 * n}, got {q}"
+            )
+        target = min(n, int(q // (2 * n)))
+        for s in range(target, 0, -1):
+            if n % s == 0:
+                return cls(n, s)
+        return cls(n, 1)
+
+    def total_communication(self) -> float:
+        """Total shuffled elements ``r · |I| = (n/s) · 2n²`` (Section 6.3's 4n⁴/q)."""
+        return self.replication_rate_formula() * 2.0 * self.n * self.n

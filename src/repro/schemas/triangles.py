@@ -1,0 +1,155 @@
+"""The partition-based triangle-finding schema (Section 4 upper bound).
+
+Nodes are hashed into ``k`` buckets; there is one reducer for every multiset
+``{a, b, c}`` of bucket indices (``a <= b <= c``).  An edge is sent to every
+reducer whose multiset contains the buckets of both its endpoints, which is
+exactly ``k`` reducers, so the replication rate is ``k``.  A reducer holds
+the edges among (up to) three buckets — about ``4.5 n²/k²`` potential edges —
+and can therefore emit every triangle whose three nodes hash into its bucket
+multiset.  Solving ``q ≈ 4.5 n²/k²`` for ``k`` gives ``r = O(n/√q)``,
+matching the Section 4.1 lower bound ``n/√(2q)`` to within a constant factor
+(the ratio is 3, as recorded in EXPERIMENTS.md).
+
+This is the algorithm of Suri–Vassilvitskii [21] and Afrati–Fotakis–Ullman
+[2] restated in the paper's vocabulary.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterator, List, Tuple
+
+from repro.core.mapping_schema import MappingSchema, SchemaFamily
+from repro.core.problem import Problem
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioner import stable_hash
+from repro.problems.triangles import TriangleProblem
+
+Edge = Tuple[int, int]
+BucketTriple = Tuple[int, int, int]
+
+
+class PartitionTriangleSchema(SchemaFamily):
+    """Bucket-triple triangle finding with ``k`` node buckets.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes in the data-graph domain.
+    num_buckets:
+        The parameter ``k``; replication rate equals ``k`` exactly.
+    hash_nodes:
+        If True nodes are assigned to buckets by a stable hash; if False they
+        are assigned contiguously (node // ceil(n/k)), which makes reducer
+        loads deterministic and is convenient in tests.
+    """
+
+    def __init__(self, n: int, num_buckets: int, hash_nodes: bool = False) -> None:
+        if n < 3:
+            raise ConfigurationError(f"triangle finding needs n >= 3, got {n}")
+        if num_buckets < 1 or num_buckets > n:
+            raise ConfigurationError(
+                f"num_buckets must be in [1, n={n}], got {num_buckets}"
+            )
+        self.n = n
+        self.num_buckets = num_buckets
+        self.hash_nodes = hash_nodes
+        self.name = f"partition-triangles(n={n}, k={num_buckets})"
+
+    # ------------------------------------------------------------------
+    # Bucketing and routing
+    # ------------------------------------------------------------------
+    def bucket_of(self, node: int) -> int:
+        """Bucket index of a node (hash-based or contiguous)."""
+        if self.hash_nodes:
+            return stable_hash(node) % self.num_buckets
+        group_size = math.ceil(self.n / self.num_buckets)
+        return min(node // group_size, self.num_buckets - 1)
+
+    def reducers_for(self, edge: Edge) -> Iterator[BucketTriple]:
+        """The ``k`` reducers (bucket multisets) an edge is sent to."""
+        u, v = edge
+        bucket_u, bucket_v = self.bucket_of(u), self.bucket_of(v)
+        for third in range(self.num_buckets):
+            yield tuple(sorted((bucket_u, bucket_v, third)))
+
+    def triangle_reducer(self, u: int, v: int, w: int) -> BucketTriple:
+        """The unique reducer designated to emit the triangle {u, v, w}."""
+        return tuple(sorted((self.bucket_of(u), self.bucket_of(v), self.bucket_of(w))))
+
+    # ------------------------------------------------------------------
+    # SchemaFamily interface
+    # ------------------------------------------------------------------
+    def build(self, problem: Problem) -> MappingSchema:
+        if not isinstance(problem, TriangleProblem):
+            raise ConfigurationError(
+                "PartitionTriangleSchema serves TriangleProblem instances"
+            )
+        if problem.n != self.n:
+            raise ConfigurationError(
+                f"schema built for n={self.n} cannot serve a problem with n={problem.n}"
+            )
+        schema = MappingSchema(problem, q=None, name=self.name)
+        for edge in problem.inputs():
+            for reducer_id in self.reducers_for(edge):
+                schema.assign_one(reducer_id, edge)
+        schema.q = schema.max_reducer_size()
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        """Each edge reaches exactly ``k`` reducers."""
+        return float(self.num_buckets)
+
+    def max_reducer_size_formula(self) -> float:
+        """Edges among the three buckets of a reducer: ``C(3n/k, 2) ≈ 4.5 n²/k²``."""
+        nodes_per_reducer = 3.0 * self.n / self.num_buckets
+        return nodes_per_reducer * (nodes_per_reducer - 1.0) / 2.0
+
+    # ------------------------------------------------------------------
+    # Executable job
+    # ------------------------------------------------------------------
+    def job(self) -> MapReduceJob:
+        """Triangle-enumeration job over the edges actually present.
+
+        Each reducer builds the subgraph induced by its edges and emits every
+        triangle whose bucket multiset equals the reducer's id, so each
+        triangle is produced exactly once across the job.
+        """
+        schema = self
+
+        def mapper(edge: Edge):
+            for reducer_id in schema.reducers_for(edge):
+                yield (reducer_id, edge)
+
+        def reducer(reducer_id: BucketTriple, edges: List[Edge]):
+            adjacency: dict[int, set[int]] = {}
+            edge_set = set(edges)
+            for u, v in edge_set:
+                adjacency.setdefault(u, set()).add(v)
+                adjacency.setdefault(v, set()).add(u)
+            for u, v in sorted(edge_set):
+                common = adjacency[u] & adjacency[v]
+                for w in sorted(common):
+                    if w <= v:
+                        continue
+                    if schema.triangle_reducer(u, v, w) == reducer_id:
+                        yield (u, v, w)
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+
+    # ------------------------------------------------------------------
+    # Sizing helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_reducer_size(cls, n: int, q: float, hash_nodes: bool = False) -> "PartitionTriangleSchema":
+        """Pick the largest ``k`` whose reducers stay within ``q`` edges.
+
+        Inverts ``q ≈ 4.5 n² / k²``: ``k = ceil(n·√(4.5/q))``, clamped to
+        [1, n].  This is the knob the Section 4 benchmark sweeps.
+        """
+        if q <= 0:
+            raise ConfigurationError("q must be positive")
+        k = max(1, math.ceil(n * math.sqrt(4.5 / q)))
+        return cls(n, min(k, n), hash_nodes=hash_nodes)

@@ -1,0 +1,142 @@
+"""The 2-path schema of Section 5.4.2.
+
+Nodes are hashed into ``k`` buckets.  Reducers are pairs ``[u, {i, j}]`` of a
+middle node ``u`` and an unordered pair of bucket indices ``{i, j}`` with
+``i != j``.  An edge ``(a, b)`` is sent to the ``2(k-1)`` reducers
+``[b, {h(a), *}]`` and ``[a, {*, h(b)}]``, so the replication rate is
+``2(k-1)``.  Each reducer receives roughly ``q = 2n/k`` edges, and the lower
+bound ``2n/q = k`` is therefore within a factor of two of this construction.
+
+The emission rule of the paper guarantees each 2-path is produced exactly
+once: reducer ``[u, {i, j}]`` emits ``v-u-w`` if the endpoint buckets are
+``{i, j}``, or if both endpoints hash to ``i`` and ``j = i + 1 (mod k)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterator, List, Tuple
+
+from repro.core.mapping_schema import MappingSchema, SchemaFamily
+from repro.core.problem import Problem
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.partitioner import stable_hash
+from repro.problems.subgraphs import TwoPathProblem
+
+Edge = Tuple[int, int]
+ReducerId = Tuple[int, FrozenSet[int]]
+
+
+class TwoPathSchema(SchemaFamily):
+    """Middle-node / bucket-pair schema for finding all paths of length two.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes in the data-graph domain.
+    num_buckets:
+        The hash-bucket count ``k``; must be at least 2 so that bucket pairs
+        exist.  ``k`` controls the tradeoff: ``q ≈ 2n/k`` and ``r = 2(k-1)``.
+    hash_nodes:
+        Hash-based bucketing (True) or contiguous bucketing (False).
+    """
+
+    def __init__(self, n: int, num_buckets: int, hash_nodes: bool = False) -> None:
+        if n < 3:
+            raise ConfigurationError(f"2-path finding needs n >= 3, got {n}")
+        if num_buckets < 2 or num_buckets > n:
+            raise ConfigurationError(
+                f"num_buckets must be in [2, n={n}], got {num_buckets}"
+            )
+        self.n = n
+        self.num_buckets = num_buckets
+        self.hash_nodes = hash_nodes
+        self.name = f"two-path(n={n}, k={num_buckets})"
+
+    # ------------------------------------------------------------------
+    # Bucketing and routing
+    # ------------------------------------------------------------------
+    def bucket_of(self, node: int) -> int:
+        if self.hash_nodes:
+            return stable_hash(node) % self.num_buckets
+        group_size = math.ceil(self.n / self.num_buckets)
+        return min(node // group_size, self.num_buckets - 1)
+
+    def reducers_for(self, edge: Edge) -> Iterator[ReducerId]:
+        """The ``2(k-1)`` reducers an edge (a, b) is sent to."""
+        a, b = edge
+        bucket_a, bucket_b = self.bucket_of(a), self.bucket_of(b)
+        for other in range(self.num_buckets):
+            if other != bucket_a:
+                yield (b, frozenset((bucket_a, other)))
+            if other != bucket_b:
+                yield (a, frozenset((bucket_b, other)))
+
+    def emitting_reducer(self, v: int, u: int, w: int) -> ReducerId:
+        """The reducer designated to emit the 2-path ``v - u - w``."""
+        bucket_v, bucket_w = self.bucket_of(v), self.bucket_of(w)
+        if bucket_v != bucket_w:
+            return (u, frozenset((bucket_v, bucket_w)))
+        neighbour = (bucket_v + 1) % self.num_buckets
+        return (u, frozenset((bucket_v, neighbour)))
+
+    # ------------------------------------------------------------------
+    # SchemaFamily interface
+    # ------------------------------------------------------------------
+    def build(self, problem: Problem) -> MappingSchema:
+        if not isinstance(problem, TwoPathProblem):
+            raise ConfigurationError("TwoPathSchema serves TwoPathProblem instances")
+        if problem.n != self.n:
+            raise ConfigurationError(
+                f"schema built for n={self.n} cannot serve a problem with n={problem.n}"
+            )
+        schema = MappingSchema(problem, q=None, name=self.name)
+        for edge in problem.inputs():
+            for reducer_id in self.reducers_for(edge):
+                schema.assign_one(reducer_id, edge)
+        schema.q = schema.max_reducer_size()
+        return schema
+
+    def replication_rate_formula(self) -> float:
+        """Each edge reaches exactly ``2(k-1)`` reducers."""
+        return 2.0 * (self.num_buckets - 1)
+
+    def max_reducer_size_formula(self) -> float:
+        """Approximately ``2n/k`` edges per reducer (Section 5.4.2)."""
+        return 2.0 * self.n / self.num_buckets
+
+    # ------------------------------------------------------------------
+    # Executable job
+    # ------------------------------------------------------------------
+    def job(self) -> MapReduceJob:
+        """Job emitting every present 2-path exactly once."""
+        schema = self
+
+        def mapper(edge: Edge):
+            for reducer_id in schema.reducers_for(edge):
+                yield (reducer_id, edge)
+
+        def reducer(reducer_id: ReducerId, edges: List[Edge]):
+            middle, _buckets = reducer_id
+            neighbours = set()
+            for a, b in set(edges):
+                if a == middle:
+                    neighbours.add(b)
+                elif b == middle:
+                    neighbours.add(a)
+            ordered = sorted(neighbours)
+            for index, v in enumerate(ordered):
+                for w in ordered[index + 1 :]:
+                    if schema.emitting_reducer(v, middle, w) == reducer_id:
+                        yield (v, middle, w)
+
+        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+
+    @classmethod
+    def for_reducer_size(cls, n: int, q: float, hash_nodes: bool = False) -> "TwoPathSchema":
+        """Pick ``k`` so that reducers receive about ``q`` edges (``k = 2n/q``)."""
+        if q <= 0:
+            raise ConfigurationError("q must be positive")
+        k = max(2, math.ceil(2.0 * n / q))
+        return cls(n, min(k, n), hash_nodes=hash_nodes)

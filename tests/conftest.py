@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.problems import (
+    HammingDistanceProblem,
+    MatrixMultiplicationProblem,
+    TriangleProblem,
+    TwoPathProblem,
+)
+
+
+@pytest.fixture
+def engine() -> MapReduceEngine:
+    """A default simulated engine (4 workers, no capacity enforcement)."""
+    return MapReduceEngine()
+
+
+@pytest.fixture
+def strict_engine() -> MapReduceEngine:
+    """An engine that raises when a reducer exceeds its declared capacity."""
+    return MapReduceEngine(ClusterConfig(num_workers=4, enforce_capacity=True))
+
+
+@pytest.fixture
+def hamming6() -> HammingDistanceProblem:
+    """Hamming-distance-1 problem on 6-bit strings (64 inputs, 192 outputs)."""
+    return HammingDistanceProblem(6)
+
+
+@pytest.fixture
+def hamming8() -> HammingDistanceProblem:
+    """Hamming-distance-1 problem on 8-bit strings (256 inputs)."""
+    return HammingDistanceProblem(8)
+
+
+@pytest.fixture
+def triangles10() -> TriangleProblem:
+    """Triangle problem over a 10-node domain."""
+    return TriangleProblem(10)
+
+
+@pytest.fixture
+def two_paths8() -> TwoPathProblem:
+    """2-path problem over an 8-node domain."""
+    return TwoPathProblem(8)
+
+
+@pytest.fixture
+def matmul4() -> MatrixMultiplicationProblem:
+    """4x4 matrix-multiplication problem (32 inputs, 16 outputs)."""
+    return MatrixMultiplicationProblem(4)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """A seeded random generator for deterministic sampled instances."""
+    return random.Random(20260614)

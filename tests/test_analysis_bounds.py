@@ -1,0 +1,216 @@
+"""Unit tests for the closed-form bounds (Tables 1 and 2) and their consistency."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import lower_bounds as lb
+from repro.analysis import upper_bounds as ub
+from repro.analysis.tables import format_table, table1_rows, table2_rows
+from repro.exceptions import ConfigurationError
+
+
+class TestHammingBounds:
+    def test_lower_bound_closed_form(self):
+        assert lb.hamming1_lower_bound(20, 2 ** 5) == pytest.approx(4.0)
+        assert lb.hamming1_lower_bound(20, 2 ** 20) == pytest.approx(1.0)
+        assert lb.hamming1_lower_bound(20, 1) == float("inf")
+
+    def test_lower_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            lb.hamming1_lower_bound(0, 4)
+
+    def test_recipe_agrees_with_closed_form(self):
+        recipe = lb.hamming1_recipe(16)
+        for exponent in (2, 4, 8, 16):
+            q = 2 ** exponent
+            assert recipe.bound_at(q).replication_rate_bound == pytest.approx(
+                lb.hamming1_lower_bound(16, q)
+            )
+
+    def test_upper_bound_matches_lower_bound(self):
+        for exponent in (2, 4, 5, 10, 20):
+            q = 2 ** exponent
+            assert ub.hamming1_upper_bound(20, q) == pytest.approx(
+                lb.hamming1_lower_bound(20, q)
+            )
+
+    def test_achievable_upper_bound_uses_divisors(self):
+        # b = 12, q = 2^5: the largest feasible segment count is c = 3
+        # (reducer size 2^4 <= 32); c = 2 would need reducers of 2^6 > 32.
+        assert ub.hamming1_achievable_upper_bound(12, 2 ** 5) == 3.0
+        assert ub.hamming1_achievable_upper_bound(12, 2 ** 12) == 1.0
+        assert ub.hamming1_achievable_upper_bound(12, 1) == float("inf")
+
+    def test_achievable_never_beats_ideal(self):
+        for q in (4, 10, 100, 5000):
+            assert ub.hamming1_achievable_upper_bound(12, q) >= ub.hamming1_upper_bound(12, q) - 1e-9
+
+    def test_weight_partition_upper_bound(self):
+        assert ub.weight_partition_upper_bound(32, 4) == pytest.approx(1.5)
+        assert ub.weight_partition_upper_bound(32, 4, dimensions=4) == pytest.approx(2.0)
+        with pytest.raises(ConfigurationError):
+            ub.weight_partition_upper_bound(32, 0)
+
+    def test_hamming_d_upper_bound(self):
+        assert ub.hamming_d_upper_bound(10, 2) == pytest.approx(45.0)
+        with pytest.raises(ConfigurationError):
+            ub.hamming_d_upper_bound(3, 3)
+
+
+class TestTriangleAndSubgraphBounds:
+    def test_triangle_lower_bound(self):
+        assert lb.triangle_lower_bound(100, 50) == pytest.approx(10.0)
+        assert lb.triangle_lower_bound(100, 0) == float("inf")
+        with pytest.raises(ConfigurationError):
+            lb.triangle_lower_bound(2, 10)
+
+    def test_triangle_recipe_agrees(self):
+        recipe = lb.triangle_recipe(100)
+        for q in (8, 50, 200, 5000):
+            assert recipe.bound_at(q).replication_rate_bound == pytest.approx(
+                lb.triangle_lower_bound(100, q), rel=1e-9
+            )
+
+    def test_triangle_sparse_bound(self):
+        assert lb.triangle_lower_bound_sparse(10_000, 100) == pytest.approx(10.0)
+
+    def test_triangle_upper_vs_lower_constant(self):
+        for q in (50, 500, 5000):
+            upper = ub.triangle_upper_bound(1000, q)
+            lower = lb.triangle_lower_bound(1000, q)
+            assert 1.0 <= upper / lower <= 3.01
+
+    def test_triangle_upper_bound_edges(self):
+        assert ub.triangle_upper_bound_edges(20_000, 100) > 1.0
+
+    def test_alon_bounds(self):
+        assert lb.alon_lower_bound(100, 4, 100) == pytest.approx(100.0)
+        assert lb.alon_lower_bound_edges(10_000, 4, 100) == pytest.approx(100.0)
+        assert ub.alon_upper_bound_edges(10_000, 4, 100) == pytest.approx(100.0)
+        with pytest.raises(ConfigurationError):
+            lb.alon_lower_bound(10, 1, 5)
+
+    def test_alon_recipe_matches_order(self):
+        recipe = lb.alon_recipe(100, 3)
+        # For triangles (s = 3) the recipe with |O| = n^s, |I| = C(n,2)
+        # reproduces the (n/√q)^{s-2} shape up to its constant.
+        value = recipe.bound_at(200).replication_rate_bound
+        shape = lb.alon_lower_bound(100, 3, 200)
+        assert 0.1 < value / shape < 10.0
+
+    def test_two_path_bounds(self):
+        assert lb.two_path_lower_bound(100, 10) == pytest.approx(20.0)
+        assert lb.two_path_lower_bound(100, 10 ** 6) == 1.0
+        upper = ub.two_path_upper_bound(100, 10)
+        assert upper == pytest.approx(2 * (20 - 1))
+        with pytest.raises(ConfigurationError):
+            lb.two_path_lower_bound(2, 5)
+
+    def test_two_path_recipe_agrees(self):
+        recipe = lb.two_path_recipe(100)
+        assert recipe.bound_at(10).replication_rate_bound == pytest.approx(20.0)
+
+
+class TestJoinBounds:
+    def test_multiway_join_lower_bound(self):
+        assert lb.multiway_join_lower_bound(10, 4, 2.0, 10) == pytest.approx(10.0)
+        with pytest.raises(ConfigurationError):
+            lb.multiway_join_lower_bound(10, 1, 2.0, 10)
+        with pytest.raises(ConfigurationError):
+            lb.multiway_join_lower_bound(10, 4, 0.5, 10)
+
+    def test_chain_join_bounds_match(self):
+        for N in (3, 5):
+            for q in (25, 100):
+                lower = lb.chain_join_lower_bound(50, N, q)
+                upper = ub.chain_join_upper_bound(50, N, q)
+                assert upper == pytest.approx(lower)
+
+    def test_uniform_arity_bound(self):
+        # s = m special case of Section 5.5.1: r >= n^{m-α} q^{1-m/α}.
+        value = lb.uniform_arity_join_lower_bound(10, 4, 4, 2, 100)
+        assert value == pytest.approx(10 ** 2 / 100 ** 1)
+
+    def test_star_join_lower_bound(self):
+        value = lb.star_join_lower_bound(1e6, 1e3, 3, 1e4)
+        assert value > 0
+        with pytest.raises(ConfigurationError):
+            lb.star_join_lower_bound(1e6, 1e3, 0, 1e4)
+
+    def test_multiway_join_recipe_uses_rho(self):
+        from repro.problems import JoinQuery
+
+        recipe = lb.multiway_join_recipe(JoinQuery.chain(3), 10)
+        # chain-3: rho = 2, m = 4 -> bound n^m q / (q^rho n^2) = n^2/q.
+        assert recipe.bound_at(10).replication_rate_bound == pytest.approx(10.0)
+
+
+class TestMatmulBounds:
+    def test_lower_bound(self):
+        assert lb.matmul_lower_bound(100, 2000) == pytest.approx(10.0)
+        assert lb.matmul_lower_bound(100, 0) == float("inf")
+        with pytest.raises(ConfigurationError):
+            lb.matmul_lower_bound(0, 10)
+
+    def test_recipe_agrees(self):
+        recipe = lb.matmul_recipe(100)
+        for q in (200, 2000, 20000):
+            assert recipe.bound_at(q).replication_rate_bound == pytest.approx(
+                lb.matmul_lower_bound(100, q)
+            )
+
+    def test_upper_matches_lower_in_valid_range(self):
+        for q in (200, 2000, 20000):
+            assert ub.matmul_upper_bound(100, q) == pytest.approx(
+                lb.matmul_lower_bound(100, q)
+            )
+
+    def test_upper_infinite_below_2n(self):
+        assert ub.matmul_upper_bound(100, 100) == float("inf")
+        with pytest.raises(ConfigurationError):
+            ub.matmul_upper_bound(0, 100)
+
+
+class TestTables:
+    def test_table1_has_six_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        assert all("Problem" in row.as_dict() for row in rows)
+
+    def test_table1_rows_evaluate(self):
+        rows = table1_rows(b=16, n_triangle=100, n_matmul=50)
+        for row in rows:
+            value = row.evaluate(64.0)
+            assert value >= 1.0 or value == float("inf")
+
+    def test_table2_has_six_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 6
+
+    def test_table2_rows_evaluate(self):
+        rows = table2_rows(b=16, n_triangle=100, n_matmul=50)
+        for row in rows:
+            value = row.evaluate(256.0)
+            assert value >= 1.0 or value == float("inf")
+
+    def test_format_table_renders_every_row(self):
+        rows = table1_rows()
+        text = format_table(rows, q_values=[64, 1024])
+        assert text.count("q=64") == len(rows)
+        assert "Hamming" in text
+
+    def test_lower_bounds_never_exceed_upper_bounds(self):
+        """Row-by-row, the Table 2 value is >= the Table 1 value at the same q
+        (for parameters where both are finite)."""
+        table1 = table1_rows(b=20, n_triangle=1000, n_two_path=1000, n_matmul=100)
+        table2 = table2_rows(b=20, n_triangle=1000, n_two_path=1000, n_matmul=100)
+        # Matching rows by position: hamming, triangles, ..., matmul.
+        for index in (0, 1, 5):
+            for q in (2 ** 10, 2 ** 14):
+                lower = table1[index].evaluate(q)
+                upper = table2[index].evaluate(q)
+                if math.isfinite(upper):
+                    assert upper >= lower - 1e-9

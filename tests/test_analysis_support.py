@@ -1,0 +1,197 @@
+"""Unit tests for fractional edge covers, sparse scaling, and approximations."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    agm_output_bound,
+    approx_equal,
+    binomial_tail,
+    central_binomial_approx,
+    central_binomial_exact,
+    edge_cover_integral,
+    edge_target_reducer_size,
+    falling_factorial,
+    fractional_edge_cover,
+    log2_binomial,
+    overload_probability,
+    presence_probability,
+    safety_margin_for_confidence,
+    sparse_replication_lower_bound,
+    stirling_factorial,
+    target_reducer_size,
+)
+from repro.analysis.fractional_cover import _solve_exact
+from repro.exceptions import BoundDerivationError, ConfigurationError
+from repro.problems import JoinQuery, RelationSchema
+
+
+class TestFractionalEdgeCover:
+    def test_binary_join_rho_two(self):
+        cover = fractional_edge_cover(JoinQuery.binary_join())
+        assert cover.value == pytest.approx(2.0)
+
+    @pytest.mark.parametrize("n_relations,expected", [(2, 1.0 + 1.0), (3, 2.0), (4, 2.0), (5, 3.0)])
+    def test_chain_join_rho_is_ceil_half(self, n_relations, expected):
+        """For a chain of N binary relations over N+1 attributes the optimal
+        fractional edge cover is ⌈(N+1)/2⌉ = the paper's (N+1)/2 for odd N."""
+        cover = fractional_edge_cover(JoinQuery.chain(n_relations))
+        assert cover.value == pytest.approx(math.ceil((n_relations + 1) / 2))
+
+    def test_triangle_query_rho_three_halves(self):
+        cover = fractional_edge_cover(JoinQuery.cycle(3))
+        assert cover.value == pytest.approx(1.5)
+        assert all(weight == pytest.approx(0.5) for weight in cover.weights.values())
+
+    def test_star_join_rho(self):
+        # Each dimension table must be fully taken to cover its V attribute,
+        # and those already cover the fact keys: rho = N.
+        cover = fractional_edge_cover(JoinQuery.star(3))
+        assert cover.value == pytest.approx(3.0)
+
+    def test_exact_solver_agrees_with_scipy(self):
+        for query in (JoinQuery.binary_join(), JoinQuery.cycle(3), JoinQuery.chain(3)):
+            scipy_cover = fractional_edge_cover(query, solver="scipy")
+            exact_cover = fractional_edge_cover(query, solver="exact")
+            assert exact_cover.value == pytest.approx(scipy_cover.value, abs=1e-6)
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(BoundDerivationError):
+            fractional_edge_cover(JoinQuery.binary_join(), solver="magic")
+
+    def test_cover_weights_are_feasible(self):
+        query = JoinQuery.cycle(5)
+        cover = fractional_edge_cover(query)
+        for attribute in query.attributes:
+            coverage = sum(
+                cover.weights[relation.name]
+                for relation in query.relations
+                if attribute in relation.attributes
+            )
+            assert coverage >= 1.0 - 1e-6
+
+    def test_as_row(self):
+        row = fractional_edge_cover(JoinQuery.binary_join()).as_row()
+        assert row["rho"] == pytest.approx(2.0)
+        assert "x[R]" in row
+
+    def test_agm_output_bound_binary_join(self):
+        query = JoinQuery.binary_join()
+        bound = agm_output_bound(query, {"R": 100.0, "S": 400.0})
+        assert bound == pytest.approx(100.0 * 400.0)
+
+    def test_agm_output_bound_triangle(self):
+        query = JoinQuery.cycle(3)
+        bound = agm_output_bound(query, {name: 100.0 for name in ("R1", "R2", "R3")})
+        assert bound == pytest.approx(100.0 ** 1.5)
+
+    def test_agm_requires_all_sizes(self):
+        with pytest.raises(BoundDerivationError):
+            agm_output_bound(JoinQuery.binary_join(), {"R": 10.0})
+
+    def test_integral_edge_cover(self):
+        assert edge_cover_integral(JoinQuery.binary_join()) == 2
+        assert edge_cover_integral(JoinQuery.cycle(3)) == 2
+        assert edge_cover_integral(JoinQuery.star(3)) == 3
+
+    def test_exact_solver_grid(self):
+        cover = _solve_exact(JoinQuery.cycle(3), grid=2)
+        assert cover.value == pytest.approx(1.5)
+
+
+class TestSparseScaling:
+    def test_presence_probability(self):
+        assert presence_probability(50, 200) == pytest.approx(0.25)
+        with pytest.raises(ConfigurationError):
+            presence_probability(5, 0)
+        with pytest.raises(ConfigurationError):
+            presence_probability(10, 5)
+
+    def test_target_reducer_size(self):
+        assert target_reducer_size(100, 0.25) == pytest.approx(400.0)
+        with pytest.raises(ConfigurationError):
+            target_reducer_size(0, 0.5)
+        with pytest.raises(ConfigurationError):
+            target_reducer_size(10, 0.0)
+
+    def test_edge_target_matches_paper_formula(self):
+        n, m, q = 100, 990, 10
+        expected = q * n * (n - 1) / (2 * m)
+        assert edge_target_reducer_size(q, n, m) == pytest.approx(expected)
+        with pytest.raises(ConfigurationError):
+            edge_target_reducer_size(q, 10, 1000)
+
+    def test_sparse_bound_reproduces_sqrt_m_over_q(self):
+        """Scaling the dense triangle bound by the presence probability yields
+        the √(m/q) form of Section 4.2 (up to its constant)."""
+        n, m, q = 200, 2000, 50
+        presence = m / (n * (n - 1) / 2)
+        dense_bound = lambda qt: n / math.sqrt(2 * qt)
+        sparse = sparse_replication_lower_bound(dense_bound, q, presence)
+        expected_shape = math.sqrt(m / q)
+        assert sparse == pytest.approx(expected_shape, rel=0.05)
+
+    def test_overload_probability_decreases_with_margin(self):
+        p_tight = overload_probability(100, 1.1)
+        p_loose = overload_probability(100, 2.0)
+        assert 0.0 < p_loose < p_tight < 1.0
+        assert overload_probability(100, 1.0) == 1.0
+        with pytest.raises(ConfigurationError):
+            overload_probability(0, 2.0)
+
+    def test_safety_margin_bounds(self):
+        margin = safety_margin_for_confidence(1000, 1e-6)
+        assert 0.0 < margin < 1.0
+        # Applying the margin should drive the overload probability below target.
+        scaled_mean = 1000 * margin
+        assert overload_probability(scaled_mean, 1.0 / margin) <= 1e-6 * 1.01
+        with pytest.raises(ConfigurationError):
+            safety_margin_for_confidence(0, 0.1)
+        with pytest.raises(ConfigurationError):
+            safety_margin_for_confidence(10, 0.0)
+
+
+class TestApproximations:
+    def test_stirling_factorial_accuracy(self):
+        for n in (5, 10, 20):
+            exact = math.factorial(n)
+            assert abs(stirling_factorial(n) - exact) / exact < 0.02
+        assert stirling_factorial(0) == 1.0
+        with pytest.raises(ConfigurationError):
+            stirling_factorial(-1)
+
+    def test_central_binomial(self):
+        for n in (10, 20, 30):
+            approx = central_binomial_approx(n)
+            exact = central_binomial_exact(n)
+            assert abs(approx - exact) / exact < 0.05
+        with pytest.raises(ConfigurationError):
+            central_binomial_approx(0)
+        with pytest.raises(ConfigurationError):
+            central_binomial_exact(-1)
+
+    def test_binomial_tail(self):
+        assert binomial_tail(4, 0, 4) == 16
+        assert binomial_tail(4, 2, 2) == 6
+        assert binomial_tail(4, 5, 9) == 0
+        assert binomial_tail(4, -3, 0) == 1
+        with pytest.raises(ConfigurationError):
+            binomial_tail(-1, 0, 0)
+
+    def test_log2_binomial(self):
+        assert log2_binomial(10, 5) == pytest.approx(math.log2(math.comb(10, 5)))
+        assert log2_binomial(10, 20) == float("-inf")
+
+    def test_falling_factorial(self):
+        assert falling_factorial(5, 3) == 60
+        assert falling_factorial(5, 0) == 1
+        with pytest.raises(ConfigurationError):
+            falling_factorial(5, -1)
+
+    def test_approx_equal(self):
+        assert approx_equal(105, 100, relative_tolerance=0.1)
+        assert not approx_equal(150, 100, relative_tolerance=0.1)
+        assert approx_equal(0.05, 0.0, relative_tolerance=0.1)

@@ -1,0 +1,223 @@
+"""Unit tests for the lower-bound recipe, cost model, and tradeoff curves."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    AlgorithmPoint,
+    ClusterCostModel,
+    LowerBoundRecipe,
+    TradeoffCurve,
+    covering_inequality_holds,
+)
+from repro.exceptions import BoundDerivationError, ConfigurationError
+
+
+class TestLowerBoundRecipe:
+    def hamming_recipe(self, b: int = 10) -> LowerBoundRecipe:
+        return LowerBoundRecipe(
+            problem_name="hamming",
+            num_inputs=2.0 ** b,
+            num_outputs=(b / 2.0) * 2.0 ** b,
+            g=lambda q: (q / 2.0) * math.log2(q) if q > 1 else 0.0,
+        )
+
+    def test_rejects_bad_counts(self):
+        with pytest.raises(BoundDerivationError):
+            LowerBoundRecipe("x", 0, 1, lambda q: q)
+        with pytest.raises(BoundDerivationError):
+            LowerBoundRecipe("x", 1, -1, lambda q: q)
+
+    def test_bound_matches_closed_form(self):
+        recipe = self.hamming_recipe(b=10)
+        for exponent in (1, 2, 5, 10):
+            q = 2 ** exponent
+            expected = 10 / exponent
+            assert recipe.bound_at(q).replication_rate_bound == pytest.approx(
+                max(1.0, expected)
+            )
+
+    def test_bound_requires_positive_q(self):
+        with pytest.raises(BoundDerivationError):
+            self.hamming_recipe().bound_at(0)
+
+    def test_trivial_floor_applied(self):
+        recipe = LowerBoundRecipe("2path", 100 * 100 / 2, 100 ** 3 / 2, lambda q: q * q / 2)
+        # For q far above 2n the raw bound 2n/q drops below 1 and is floored.
+        assert recipe.bound_at(10_000).replication_rate_bound == pytest.approx(1.0)
+
+    def test_zero_g_gives_infinite_bound(self):
+        recipe = self.hamming_recipe()
+        assert recipe.bound_at(1).replication_rate_bound == float("inf")
+
+    def test_monotonicity_check_passes_for_hamming(self):
+        recipe = self.hamming_recipe()
+        assert recipe.check_monotonicity([2, 4, 8, 16, 1024])
+
+    def test_monotonicity_check_fails_for_decreasing_ratio(self):
+        recipe = LowerBoundRecipe("bad", 10, 10, g=lambda q: math.sqrt(q))
+        assert not recipe.check_monotonicity([1, 4, 16, 64])
+
+    def test_enforce_monotonicity_raises(self):
+        recipe = LowerBoundRecipe("bad", 10, 10, g=lambda q: math.sqrt(q))
+        with pytest.raises(BoundDerivationError):
+            recipe.bound_at(16, enforce_monotonicity=True)
+
+    def test_curve_evaluates_each_point(self):
+        recipe = self.hamming_recipe()
+        curve = recipe.curve([4, 16, 256])
+        assert [point.q for point in curve] == [4.0, 16.0, 256.0]
+        assert all(point.replication_rate_bound >= 1.0 for point in curve)
+
+    def test_from_problem(self, hamming6):
+        recipe = LowerBoundRecipe.from_problem(hamming6)
+        assert recipe.bound_at(4).replication_rate_bound == pytest.approx(3.0)
+
+    def test_as_row(self):
+        result = self.hamming_recipe().bound_at(4)
+        row = result.as_row()
+        assert row["problem"] == "hamming"
+        assert row["q"] == 4.0
+        assert row["r_lower"] > 1.0
+
+
+class TestCoveringInequality:
+    def test_valid_schema_satisfies_inequality(self, hamming6):
+        # The splitting schema with c=3 has 2^(6-2)=16 reducers of size 4 ... use
+        # its reducer sizes: 3 groups of 2^4 = 16 reducers each of size 4.
+        sizes = [4] * (3 * 16)
+        assert covering_inequality_holds(
+            sizes, hamming6.max_outputs_covered, hamming6.num_outputs
+        )
+
+    def test_insufficient_reducers_fail(self, hamming6):
+        sizes = [4] * 3
+        assert not covering_inequality_holds(
+            sizes, hamming6.max_outputs_covered, hamming6.num_outputs
+        )
+
+
+class TestClusterCostModel:
+    def test_rejects_negative_rates(self):
+        with pytest.raises(ConfigurationError):
+            ClusterCostModel(-1.0, 1.0)
+
+    def test_cost_breakdown(self):
+        model = ClusterCostModel(communication_rate=2.0, processing_rate=3.0)
+        breakdown = model.cost_at(10.0, replication=lambda q: 5.0)
+        assert breakdown.communication_cost == pytest.approx(10.0)
+        assert breakdown.processing_cost == pytest.approx(30.0)
+        assert breakdown.wall_clock_cost == 0.0
+        assert breakdown.total == pytest.approx(40.0)
+
+    def test_wall_clock_term(self):
+        model = ClusterCostModel(1.0, 0.0, wall_clock_rate=0.5)
+        breakdown = model.cost_at(4.0, replication=lambda q: 1.0)
+        assert breakdown.wall_clock_cost == pytest.approx(8.0)
+
+    def test_cost_requires_positive_q(self):
+        model = ClusterCostModel(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.cost_at(0.0, replication=lambda q: 1.0)
+
+    def test_continuous_optimum_of_known_function(self):
+        # cost(q) = a * (C/q) + b * q is minimized at q = sqrt(a*C/b).
+        a, b_const, C = 4.0, 1.0, 100.0
+        model = ClusterCostModel(communication_rate=a, processing_rate=b_const)
+        best = model.optimal_q_continuous(lambda q: C / q, q_min=1.0, q_max=1000.0)
+        assert best.q == pytest.approx(math.sqrt(a * C / b_const), rel=1e-3)
+
+    def test_continuous_optimum_rejects_bad_interval(self):
+        model = ClusterCostModel(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.optimal_q_continuous(lambda q: 1.0, q_min=10.0, q_max=5.0)
+
+    def test_discrete_optimum(self):
+        model = ClusterCostModel(communication_rate=1.0, processing_rate=1.0)
+        best = model.optimal_q_discrete(lambda q: 100.0 / q, candidates=[1, 10, 100])
+        assert best.q == 10.0
+
+    def test_discrete_optimum_empty_candidates(self):
+        model = ClusterCostModel(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            model.optimal_q_discrete(lambda q: 1.0, candidates=[])
+
+    def test_sweep(self):
+        model = ClusterCostModel(1.0, 1.0)
+        rows = model.sweep(lambda q: 10.0 / q, [1.0, 2.0, 5.0])
+        assert len(rows) == 3
+        assert rows[0].total == pytest.approx(11.0)
+
+
+class TestTradeoffCurve:
+    def curve(self, b: int = 12) -> TradeoffCurve:
+        curve = TradeoffCurve(
+            problem_name="hamming",
+            lower_bound=lambda q: max(1.0, b / math.log2(q)),
+        )
+        for c in (1, 2, 3, 4, 6, 12):
+            curve.add_algorithm(
+                AlgorithmPoint(name=f"splitting-{c}", q=2 ** (b // c), replication_rate=float(c))
+            )
+        return curve
+
+    def test_best_algorithm_respects_q(self):
+        curve = self.curve()
+        best = curve.best_algorithm_at(2 ** 4)
+        assert best is not None
+        assert best.name == "splitting-3"
+
+    def test_no_algorithm_for_tiny_q(self):
+        curve = self.curve()
+        assert curve.best_algorithm_at(1) is None
+
+    def test_matching_points_all_match(self):
+        curve = self.curve()
+        assert len(curve.matching_points()) == 6
+
+    def test_report_includes_gap(self):
+        curve = self.curve()
+        rows = curve.report([2 ** 4, 2 ** 6])
+        assert rows[0].gap == pytest.approx(1.0)
+        assert rows[0].algorithm == "splitting-3"
+
+    def test_add_algorithm_validation(self):
+        curve = self.curve()
+        with pytest.raises(ConfigurationError):
+            curve.add_algorithm(AlgorithmPoint("bad", q=0, replication_rate=1.0))
+        with pytest.raises(ConfigurationError):
+            curve.add_algorithm(AlgorithmPoint("bad", q=2, replication_rate=-1.0))
+
+    def test_optimize_cost_over_algorithms(self):
+        curve = self.curve()
+        # Expensive communication favours large reducers (small r).
+        model = ClusterCostModel(communication_rate=1_000.0, processing_rate=0.001)
+        point, breakdown = curve.optimize_cost_over_algorithms(model)
+        assert point.name == "splitting-1"
+        assert breakdown.replication_rate == 1.0
+        # Expensive processors favour small reducers (large r).
+        model = ClusterCostModel(communication_rate=0.001, processing_rate=1_000.0)
+        point, _ = curve.optimize_cost_over_algorithms(model)
+        assert point.name == "splitting-12"
+
+    def test_optimize_cost_over_algorithms_requires_points(self):
+        curve = TradeoffCurve("empty", lower_bound=lambda q: 1.0)
+        model = ClusterCostModel(1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            curve.optimize_cost_over_algorithms(model)
+
+    def test_from_recipe(self):
+        recipe = LowerBoundRecipe(
+            "matmul", num_inputs=2 * 100, num_outputs=100, g=lambda q: q * q / 400.0
+        )
+        curve = TradeoffCurve.from_recipe(recipe)
+        assert curve.lower_bound_at(20) == pytest.approx(recipe.bound_at(20).replication_rate_bound)
+
+    def test_optimize_cost_continuous(self):
+        curve = self.curve()
+        model = ClusterCostModel(communication_rate=100.0, processing_rate=1.0)
+        best = curve.optimize_cost(model, q_min=2.0, q_max=4096.0)
+        assert 2.0 <= best.q <= 4096.0

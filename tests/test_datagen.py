@@ -1,0 +1,307 @@
+"""Unit tests for the workload generators (bit strings, graphs, matrices, relations)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    all_bitstrings,
+    all_pairs_at_distance,
+    bernoulli_bitstrings,
+    binary_join_instance,
+    chain_join_instance,
+    complete_graph_edges,
+    count_triangles_oracle,
+    cycle_graph_edges,
+    enumerate_triangles_oracle,
+    enumerate_two_paths_oracle,
+    from_text,
+    gnm_random_graph,
+    gnp_random_graph,
+    hamming_distance,
+    integer_matrix,
+    join_segments,
+    matrix_to_records,
+    multiplication_records,
+    multiway_join_oracle,
+    natural_join_oracle,
+    neighbors_at_distance_one,
+    node_degrees,
+    normalize_edge,
+    random_bitstrings,
+    random_matrix,
+    random_relation,
+    records_to_matrix,
+    skewed_graph,
+    split_segments,
+    star_join_instance,
+    to_text,
+    weight,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestBitstrings:
+    def test_all_bitstrings_count(self):
+        assert len(list(all_bitstrings(5))) == 32
+
+    def test_all_bitstrings_negative_length(self):
+        with pytest.raises(ConfigurationError):
+            list(all_bitstrings(-1))
+
+    def test_random_bitstrings_distinct(self):
+        sample = random_bitstrings(8, 100, seed=1)
+        assert len(sample) == 100
+        assert len(set(sample)) == 100
+        assert all(0 <= word < 256 for word in sample)
+
+    def test_random_bitstrings_too_many(self):
+        with pytest.raises(ConfigurationError):
+            random_bitstrings(3, 100)
+
+    def test_random_bitstrings_full_universe(self):
+        sample = random_bitstrings(4, 16, seed=2)
+        assert sorted(sample) == list(range(16))
+
+    def test_bernoulli_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            bernoulli_bitstrings(4, 1.5)
+
+    def test_bernoulli_extremes(self):
+        assert bernoulli_bitstrings(4, 0.0, seed=1) == []
+        assert len(bernoulli_bitstrings(4, 1.0, seed=1)) == 16
+
+    def test_hamming_distance(self):
+        assert hamming_distance(0b1010, 0b1010) == 0
+        assert hamming_distance(0b1010, 0b0010) == 1
+        assert hamming_distance(0b1111, 0b0000) == 4
+
+    def test_neighbors_at_distance_one(self):
+        neighbours = list(neighbors_at_distance_one(0b000, 3))
+        assert sorted(neighbours) == [0b001, 0b010, 0b100]
+
+    def test_weight(self):
+        assert weight(0b1011) == 3
+
+    def test_split_and_join_segments(self):
+        word = from_text("101100")
+        segments = split_segments(word, 6, 3)
+        assert segments == (0b10, 0b11, 0b00)
+        assert join_segments(segments, 2) == word
+
+    def test_split_segments_requires_divisibility(self):
+        with pytest.raises(ConfigurationError):
+            split_segments(0b1010, 4, 3)
+
+    def test_join_segments_rejects_oversize(self):
+        with pytest.raises(ConfigurationError):
+            join_segments([4], 2)
+
+    def test_text_round_trip(self):
+        assert to_text(from_text("0101"), 4) == "0101"
+
+    def test_to_text_range_check(self):
+        with pytest.raises(ConfigurationError):
+            to_text(16, 4)
+
+    def test_from_text_rejects_garbage(self):
+        with pytest.raises(ConfigurationError):
+            from_text("10a1")
+
+    def test_all_pairs_at_distance_oracle(self):
+        words = [0b00, 0b01, 0b10, 0b11]
+        pairs = all_pairs_at_distance(words, 1)
+        assert len(pairs) == 4
+        assert all(hamming_distance(u, v) == 1 for u, v in pairs)
+        assert all(u < v for u, v in pairs)
+
+
+class TestGraphs:
+    def test_normalize_edge(self):
+        assert normalize_edge(3, 1) == (1, 3)
+
+    def test_normalize_edge_rejects_self_loop(self):
+        with pytest.raises(ConfigurationError):
+            normalize_edge(2, 2)
+
+    def test_complete_graph_edge_count(self):
+        assert len(complete_graph_edges(6)) == 15
+
+    def test_gnm_exact_edge_count(self):
+        edges = gnm_random_graph(10, 20, seed=3)
+        assert len(edges) == 20
+        assert len(set(edges)) == 20
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ConfigurationError):
+            gnm_random_graph(4, 10)
+
+    def test_gnp_probability_bounds(self):
+        with pytest.raises(ConfigurationError):
+            gnp_random_graph(5, -0.1)
+
+    def test_gnp_extremes(self):
+        assert gnp_random_graph(5, 0.0, seed=1) == []
+        assert len(gnp_random_graph(5, 1.0, seed=1)) == 10
+
+    def test_skewed_graph_has_hubs(self):
+        edges = skewed_graph(50, 120, hub_fraction=0.05, seed=4)
+        degrees = node_degrees(edges)
+        hub_degree = max(degrees.get(node, 0) for node in range(3))
+        median_degree = sorted(degrees.values())[len(degrees) // 2]
+        assert hub_degree > median_degree
+
+    def test_skewed_graph_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            skewed_graph(10, 5, hub_fraction=0.0)
+
+    def test_cycle_graph(self):
+        edges = cycle_graph_edges(5)
+        assert len(edges) == 5
+        degrees = node_degrees(edges)
+        assert all(degree == 2 for degree in degrees.values())
+
+    def test_cycle_graph_too_small(self):
+        with pytest.raises(ConfigurationError):
+            cycle_graph_edges(2)
+
+    def test_triangle_oracles_agree(self):
+        edges = gnm_random_graph(12, 30, seed=5)
+        assert count_triangles_oracle(edges) == len(enumerate_triangles_oracle(edges))
+
+    def test_complete_graph_triangle_count(self):
+        edges = complete_graph_edges(7)
+        assert count_triangles_oracle(edges) == math.comb(7, 3)
+
+    def test_two_path_oracle_on_path_graph(self):
+        edges = [(0, 1), (1, 2)]
+        assert enumerate_two_paths_oracle(edges) == {(0, 1, 2)}
+
+    def test_two_path_oracle_counts_on_complete_graph(self):
+        edges = complete_graph_edges(5)
+        assert len(enumerate_two_paths_oracle(edges)) == 3 * math.comb(5, 3)
+
+
+class TestMatrices:
+    def test_random_matrix_shape_and_determinism(self):
+        first = random_matrix(5, seed=1)
+        second = random_matrix(5, seed=1)
+        assert first.shape == (5, 5)
+        assert np.array_equal(first, second)
+
+    def test_random_matrix_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            random_matrix(0)
+
+    def test_integer_matrix_values(self):
+        matrix = integer_matrix(4, seed=2, low=0, high=3)
+        assert matrix.min() >= 0 and matrix.max() < 3
+
+    def test_matrix_to_records_round_trip(self):
+        matrix = integer_matrix(3, seed=3)
+        records = matrix_to_records(matrix, "R")
+        assert len(records) == 9
+        rebuilt = records_to_matrix(
+            [(i, j, value) for _, i, j, value in records], 3, 3
+        )
+        assert np.allclose(rebuilt, matrix)
+
+    def test_matrix_to_records_rejects_vector(self):
+        with pytest.raises(ConfigurationError):
+            matrix_to_records(np.zeros(4), "R")
+
+    def test_multiplication_records_counts(self):
+        left = integer_matrix(3, seed=4)
+        right = integer_matrix(3, seed=5)
+        records = multiplication_records(left, right)
+        assert len(records) == 18
+        assert {name for name, *_ in records} == {"R", "S"}
+
+    def test_multiplication_records_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            multiplication_records(np.zeros((2, 3)), np.zeros((2, 3)))
+
+    def test_records_to_matrix_sums_duplicates(self):
+        matrix = records_to_matrix([(0, 0, 1.0), (0, 0, 2.0)], 1, 1)
+        assert matrix[0, 0] == pytest.approx(3.0)
+
+    def test_records_to_matrix_range_check(self):
+        with pytest.raises(ConfigurationError):
+            records_to_matrix([(5, 0, 1.0)], 2, 2)
+
+
+class TestRelations:
+    def test_random_relation_distinct_tuples(self):
+        relation = random_relation("R", ("A", "B"), 20, 10, seed=1)
+        assert relation.size == 20
+        assert len(set(relation.tuples)) == 20
+        assert relation.arity == 2
+
+    def test_random_relation_too_large(self):
+        with pytest.raises(ConfigurationError):
+            random_relation("R", ("A",), 100, 10)
+
+    def test_project(self):
+        relation = random_relation("R", ("A", "B"), 5, 4, seed=2)
+        values = relation.project("A")
+        assert len(values) == 5
+        with pytest.raises(ConfigurationError):
+            relation.project("Z")
+
+    def test_binary_join_oracle_matches_nested_loop(self):
+        r, s = binary_join_instance(15, 15, 5, seed=3)
+        joined = natural_join_oracle(r, s)
+        expected = [
+            ra + (sc,)
+            for ra in r.tuples
+            for sb, sc in s.tuples
+            if ra[1] == sb
+        ]
+        assert sorted(joined) == sorted(expected)
+
+    def test_natural_join_requires_shared_attribute(self):
+        r = random_relation("R", ("A", "B"), 3, 3, seed=1)
+        s = random_relation("S", ("C", "D"), 3, 3, seed=2)
+        with pytest.raises(ConfigurationError):
+            natural_join_oracle(r, s)
+
+    def test_chain_join_instance_schemas(self):
+        relations = chain_join_instance(4, 10, 5, seed=4)
+        assert [relation.name for relation in relations] == ["R1", "R2", "R3", "R4"]
+        assert relations[0].attributes == ("A0", "A1")
+        assert relations[3].attributes == ("A3", "A4")
+
+    def test_chain_join_instance_needs_two_relations(self):
+        with pytest.raises(ConfigurationError):
+            chain_join_instance(1, 5, 5)
+
+    def test_star_join_instance_schemas(self):
+        fact, dimensions = star_join_instance(3, 20, 5, 6, seed=5)
+        assert fact.attributes == ("K1", "K2", "K3")
+        assert [dim.attributes for dim in dimensions] == [
+            ("K1", "V1"),
+            ("K2", "V2"),
+            ("K3", "V3"),
+        ]
+
+    def test_multiway_join_oracle_matches_pairwise(self):
+        relations = chain_join_instance(3, 12, 4, seed=6)
+        attributes, rows = multiway_join_oracle(relations)
+        assert attributes == ["A0", "A1", "A2", "A3"]
+        # Cross-check against composing two binary joins.
+        first = natural_join_oracle(relations[0], relations[1])
+        expected = []
+        lookup = {}
+        for a2, a3 in relations[2].tuples:
+            lookup.setdefault(a2, []).append(a3)
+        for a0, a1, a2 in first:
+            for a3 in lookup.get(a2, []):
+                expected.append((a0, a1, a2, a3))
+        assert sorted(rows) == sorted(expected)
+
+    def test_multiway_join_oracle_requires_relations(self):
+        with pytest.raises(ConfigurationError):
+            multiway_join_oracle([])

@@ -1,0 +1,258 @@
+"""Unit tests for the simulated map-reduce engine, jobs, and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    ExecutionError,
+    InvalidJobError,
+    ReducerCapacityExceededError,
+)
+from repro.mapreduce import (
+    ClusterConfig,
+    JobChain,
+    KeyValue,
+    MapReduceEngine,
+    MapReduceJob,
+    collecting_reducer,
+    ensure_key_value,
+    identity_reducer,
+    make_filtering_mapper,
+)
+
+
+def word_count_job() -> MapReduceJob:
+    def mapper(document: str):
+        for word in document.split():
+            yield (word, 1)
+
+    def reducer(word: str, counts):
+        yield (word, sum(counts))
+
+    return MapReduceJob(mapper=mapper, reducer=reducer, name="wc")
+
+
+class TestJobValidation:
+    def test_mapper_must_be_callable(self):
+        with pytest.raises(InvalidJobError):
+            MapReduceJob(mapper="not-callable", reducer=identity_reducer)
+
+    def test_reducer_must_be_callable(self):
+        with pytest.raises(InvalidJobError):
+            MapReduceJob(mapper=lambda x: [], reducer=None)
+
+    def test_combiner_must_be_callable_when_given(self):
+        with pytest.raises(InvalidJobError):
+            MapReduceJob(mapper=lambda x: [], reducer=identity_reducer, combiner=5)
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(InvalidJobError):
+            MapReduceJob(
+                mapper=lambda x: [], reducer=identity_reducer, reducer_capacity=0
+            )
+
+    def test_with_capacity_returns_copy(self):
+        job = word_count_job()
+        capped = job.with_capacity(10)
+        assert capped.reducer_capacity == 10
+        assert job.reducer_capacity is None
+        assert capped.mapper is job.mapper
+
+
+class TestKeyValueNormalization:
+    def test_tuple_accepted(self):
+        pair = ensure_key_value(("k", 1))
+        assert pair.key == "k" and pair.value == 1
+
+    def test_keyvalue_passthrough(self):
+        original = KeyValue("k", 2)
+        assert ensure_key_value(original) is original
+
+    def test_as_tuple_round_trip(self):
+        assert KeyValue("a", 3).as_tuple() == ("a", 3)
+
+    def test_bad_emission_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_key_value("just-a-string")
+
+    def test_triple_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_key_value(("k", 1, 2))
+
+
+class TestSingleRoundExecution:
+    def test_word_count_outputs(self, engine):
+        result = engine.run(word_count_job(), ["a b a", "b c"])
+        assert dict(result.outputs) == {"a": 2, "b": 2, "c": 1}
+
+    def test_word_count_metrics(self, engine):
+        result = engine.run(word_count_job(), ["a b a", "b c"])
+        assert result.metrics.shuffle.num_inputs == 2
+        assert result.metrics.communication_cost == 5
+        assert result.metrics.replication_rate == pytest.approx(2.5)
+        assert result.metrics.num_outputs == 3
+
+    def test_reducer_sizes_recorded(self, engine):
+        result = engine.run(word_count_job(), ["a b a", "b c"])
+        sizes = result.metrics.shuffle.reducer_sizes
+        assert sizes == {"a": 2, "b": 2, "c": 1}
+        assert result.metrics.shuffle.max_reducer_size == 2
+
+    def test_empty_input(self, engine):
+        result = engine.run(word_count_job(), [])
+        assert result.outputs == []
+        assert result.metrics.replication_rate == 0.0
+
+    def test_mapper_returning_none_is_skipped(self, engine):
+        job = MapReduceJob(
+            mapper=lambda record: None, reducer=identity_reducer, name="noop"
+        )
+        result = engine.run(job, [1, 2, 3])
+        assert result.outputs == []
+        assert result.metrics.communication_cost == 0
+
+    def test_mapper_error_is_wrapped(self, engine):
+        def bad_mapper(record):
+            raise ValueError("boom")
+
+        job = MapReduceJob(mapper=bad_mapper, reducer=identity_reducer)
+        with pytest.raises(ExecutionError, match="boom"):
+            engine.run(job, [1])
+
+    def test_reducer_cost_function(self, engine):
+        result = engine.run(
+            word_count_job(), ["a b a", "b c"], reducer_cost=lambda q: q * q
+        )
+        # reducer sizes are 2, 2, 1 -> cost 4 + 4 + 1 = 9
+        assert result.metrics.reducer_compute_cost == pytest.approx(9.0)
+
+    def test_deterministic_output_order(self, engine):
+        first = engine.run(word_count_job(), ["a b c d", "e f g h"])
+        second = engine.run(word_count_job(), ["a b c d", "e f g h"])
+        assert first.outputs == second.outputs
+
+    def test_combiner_reduces_communication(self, engine):
+        def mapper(document: str):
+            for word in document.split():
+                yield (word, 1)
+
+        def combiner(word, counts):
+            yield (word, sum(counts))
+
+        def reducer(word, counts):
+            yield (word, sum(counts))
+
+        plain = MapReduceJob(mapper=mapper, reducer=reducer, name="plain")
+        combined = MapReduceJob(
+            mapper=mapper, reducer=reducer, combiner=combiner, name="combined"
+        )
+        docs = ["a a a a", "a a b b"]
+        plain_result = engine.run(plain, docs)
+        combined_result = engine.run(combined, docs)
+        assert dict(plain_result.outputs) == dict(combined_result.outputs)
+        assert combined_result.communication_cost < plain_result.communication_cost
+
+
+class TestCapacityEnforcement:
+    def test_capacity_violation_raises_when_enforced(self, strict_engine):
+        job = word_count_job().with_capacity(1)
+        with pytest.raises(ReducerCapacityExceededError):
+            strict_engine.run(job, ["a a a"])
+
+    def test_capacity_violation_ignored_when_not_enforced(self, engine):
+        job = word_count_job().with_capacity(1)
+        result = engine.run(job, ["a a a"])
+        assert dict(result.outputs) == {"a": 3}
+
+    def test_cluster_level_capacity_applies(self):
+        engine = MapReduceEngine(
+            ClusterConfig(num_workers=2, reducer_capacity=1, enforce_capacity=True)
+        )
+        with pytest.raises(ReducerCapacityExceededError):
+            engine.run(word_count_job(), ["a a"])
+
+    def test_job_capacity_overrides_cluster(self):
+        engine = MapReduceEngine(
+            ClusterConfig(num_workers=2, reducer_capacity=1, enforce_capacity=True)
+        )
+        job = word_count_job().with_capacity(10)
+        result = engine.run(job, ["a a"])
+        assert dict(result.outputs) == {"a": 2}
+
+
+class TestFilteringMapper:
+    def test_routes_record_to_all_keys(self, engine):
+        mapper = make_filtering_mapper(lambda record: [record % 2, "all"])
+        job = MapReduceJob(mapper=mapper, reducer=collecting_reducer)
+        result = engine.run(job, [1, 2, 3])
+        groups = dict(result.outputs)
+        assert sorted(groups["all"]) == [1, 2, 3]
+        assert sorted(groups[0]) == [2]
+        assert sorted(groups[1]) == [1, 3]
+        assert result.metrics.replication_rate == pytest.approx(2.0)
+
+
+class TestJobChain:
+    def test_chain_needs_jobs(self):
+        with pytest.raises(InvalidJobError):
+            JobChain(jobs=[])
+
+    def test_colocated_round_zero_invalid(self):
+        with pytest.raises(InvalidJobError):
+            JobChain(jobs=[word_count_job()], colocated_rounds=(0,))
+
+    def test_colocated_round_out_of_range(self):
+        with pytest.raises(InvalidJobError):
+            JobChain(jobs=[word_count_job(), word_count_job()], colocated_rounds=(2,))
+
+    def test_two_round_pipeline(self, engine):
+        """Round 1 counts words per document; round 2 sums counts per word."""
+
+        def mapper1(record):
+            doc_id, text = record
+            for word in text.split():
+                yield ((doc_id, word), 1)
+
+        def reducer1(key, counts):
+            yield (key, sum(counts))
+
+        def mapper2(record):
+            (doc_id, word), count = record
+            yield (word, count)
+
+        def reducer2(word, counts):
+            yield (word, sum(counts))
+
+        chain = JobChain(
+            jobs=[
+                MapReduceJob(mapper=mapper1, reducer=reducer1, name="per-doc"),
+                MapReduceJob(mapper=mapper2, reducer=reducer2, name="global"),
+            ],
+            colocated_rounds=(1,),
+        )
+        result = engine.run_chain(chain, [(0, "a b a"), (1, "a c")])
+        assert dict(result.outputs) == {"a": 3, "b": 1, "c": 1}
+        assert result.metrics.num_rounds == 2
+        assert result.metrics.total_communication == sum(
+            result.metrics.per_round_communication()
+        )
+
+    def test_reducer_costs_length_checked(self, engine):
+        chain = JobChain(jobs=[word_count_job()])
+        with pytest.raises(ExecutionError):
+            engine.run_chain(chain, ["a"], reducer_costs=[None, None])
+
+
+class TestWorkerStats:
+    def test_workers_cover_all_reducers(self):
+        engine = MapReduceEngine(ClusterConfig(num_workers=3))
+        result = engine.run(word_count_job(), ["a b c d e f g h i j"])
+        stats = result.metrics.workers
+        assert sum(stats.keys_per_worker.values()) == result.metrics.shuffle.num_reducers
+        assert sum(stats.values_per_worker.values()) == result.metrics.communication_cost
+
+    def test_load_imbalance_at_least_one(self):
+        engine = MapReduceEngine(ClusterConfig(num_workers=2))
+        result = engine.run(word_count_job(), ["a b c d e f"])
+        assert result.metrics.workers.load_imbalance() >= 1.0

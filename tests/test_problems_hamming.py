@@ -1,0 +1,159 @@
+"""Unit tests for the Hamming-distance problem family and Lemma 3.1's g(q)."""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import pytest
+
+from repro.datagen import hamming_distance
+from repro.exceptions import ConfigurationError, ProblemDomainError
+from repro.problems import HammingDistanceProblem, hamming_g
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_b(self):
+        with pytest.raises(ConfigurationError):
+            HammingDistanceProblem(0)
+
+    def test_rejects_bad_distance(self):
+        with pytest.raises(ConfigurationError):
+            HammingDistanceProblem(4, distance=0)
+        with pytest.raises(ConfigurationError):
+            HammingDistanceProblem(4, distance=5)
+
+    def test_name_and_describe(self):
+        problem = HammingDistanceProblem(5, distance=2)
+        assert "5" in problem.name and "2" in problem.name
+        info = problem.describe()
+        assert info["b"] == 5 and info["distance"] == 2
+
+
+class TestDomainCounts:
+    @pytest.mark.parametrize("b", [1, 2, 3, 4, 6, 8])
+    def test_num_inputs(self, b):
+        assert HammingDistanceProblem(b).num_inputs == 2 ** b
+
+    @pytest.mark.parametrize("b", [2, 3, 4, 6])
+    def test_num_outputs_distance_one(self, b):
+        problem = HammingDistanceProblem(b)
+        # (b/2)·2^b as in Example 2.3.
+        assert problem.num_outputs == b * 2 ** b // 2
+
+    def test_num_outputs_matches_enumeration(self):
+        problem = HammingDistanceProblem(6)
+        assert problem.num_outputs == sum(1 for _ in problem.outputs())
+
+    def test_num_outputs_distance_two(self):
+        problem = HammingDistanceProblem(5, distance=2)
+        assert problem.num_outputs == math.comb(5, 2) * 2 ** 5 // 2
+        assert problem.num_outputs == sum(1 for _ in problem.outputs())
+
+    def test_outputs_are_valid_pairs(self):
+        problem = HammingDistanceProblem(4)
+        for u, v in problem.outputs():
+            assert u < v
+            assert hamming_distance(u, v) == 1
+
+
+class TestDependencies:
+    def test_inputs_of_pair(self):
+        problem = HammingDistanceProblem(4)
+        assert problem.inputs_of((0b0000, 0b0001)) == frozenset({0b0000, 0b0001})
+
+    def test_inputs_of_rejects_unordered_pair(self):
+        problem = HammingDistanceProblem(4)
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of((0b0001, 0b0000))
+
+    def test_inputs_of_rejects_wrong_distance(self):
+        problem = HammingDistanceProblem(4)
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of((0b0000, 0b0011))
+
+    def test_inputs_of_rejects_out_of_range(self):
+        problem = HammingDistanceProblem(3)
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of((7, 8))
+
+    def test_is_output(self):
+        problem = HammingDistanceProblem(4)
+        assert problem.is_output(0b0000, 0b1000)
+        assert not problem.is_output(0b0000, 0b0000)
+        assert not problem.is_output(0b0000, 0b0011)
+        assert not problem.is_output(0, 16)
+
+
+class TestLemma31:
+    """g(q) = (q/2) log2 q really bounds the outputs coverable by q inputs."""
+
+    def test_g_small_values(self):
+        assert hamming_g(1) == 0.0
+        assert hamming_g(2) == pytest.approx(1.0)
+        assert hamming_g(4) == pytest.approx(4.0)
+
+    def test_g_monotone_ratio(self):
+        ratios = [hamming_g(q) / q for q in (2, 4, 8, 16, 64, 1024)]
+        assert ratios == sorted(ratios)
+
+    def test_subcube_meets_bound_exactly(self):
+        """A full subcube of dimension k has q = 2^k inputs covering exactly
+        k·2^{k-1} = (q/2)·log2 q outputs, so the bound is tight there."""
+        problem = HammingDistanceProblem(6)
+        for k in range(1, 5):
+            subcube = list(range(2 ** k))  # vary the low k bits only
+            covered = problem.outputs_covered_by(subcube)
+            assert len(covered) == k * 2 ** (k - 1)
+            assert len(covered) == pytest.approx(hamming_g(2 ** k))
+
+    @pytest.mark.parametrize("size", [2, 3, 4, 5, 6, 8])
+    def test_exhaustive_small_sets_respect_bound(self, size):
+        """No q-subset of the 4-bit universe covers more than g(q) outputs."""
+        problem = HammingDistanceProblem(4)
+        best = 0
+        universe = list(range(16))
+        for subset in itertools.combinations(universe, size):
+            covered = problem.outputs_covered_by(subset)
+            best = max(best, len(covered))
+        assert best <= hamming_g(size) + 1e-9
+
+    def test_random_sets_respect_bound(self, rng):
+        problem = HammingDistanceProblem(8)
+        universe = list(range(256))
+        for _ in range(50):
+            size = rng.randint(2, 64)
+            subset = rng.sample(universe, size)
+            covered = problem.outputs_covered_by(subset)
+            assert len(covered) <= hamming_g(size) + 1e-9
+
+
+class TestGForLargerDistance:
+    def test_distance_two_uses_all_pairs_bound(self):
+        problem = HammingDistanceProblem(5, distance=2)
+        assert problem.max_outputs_covered(10) == pytest.approx(45.0)
+
+    def test_ball_construction_shows_quadratic_coverage(self):
+        """The Ball-2 reducer (a string plus its b neighbours) covers C(b,2)
+        distance-2 outputs with q = b + 1 inputs — the Ω(q²) behaviour that
+        blocks a strong lower bound (Section 3.6)."""
+        b = 6
+        problem = HammingDistanceProblem(b, distance=2)
+        anchor = 0
+        ball = [anchor] + [anchor ^ (1 << i) for i in range(b)]
+        covered = problem.outputs_covered_by(ball)
+        assert len(covered) == math.comb(b, 2)
+
+
+class TestClosedFormLowerBound:
+    def test_matches_theorem(self):
+        problem = HammingDistanceProblem(12)
+        assert problem.lower_bound(2 ** 4) == pytest.approx(3.0)
+        assert problem.lower_bound(2 ** 12) == pytest.approx(1.0)
+
+    def test_infinite_below_two(self):
+        assert HammingDistanceProblem(4).lower_bound(1) == float("inf")
+
+    def test_rejected_for_distance_two(self):
+        with pytest.raises(ConfigurationError):
+            HammingDistanceProblem(4, distance=2).lower_bound(4)

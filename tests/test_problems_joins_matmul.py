@@ -1,0 +1,263 @@
+"""Unit tests for the join problems, matrix multiplication, word count, grouping."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError, ProblemDomainError
+from repro.problems import (
+    GroupByAggregationProblem,
+    JoinQuery,
+    MatrixMultiplicationProblem,
+    MultiwayJoinProblem,
+    NaturalJoinProblem,
+    RelationSchema,
+    WordCountProblem,
+    matmul_g,
+)
+
+
+class TestJoinQuery:
+    def test_binary_join_shape(self):
+        query = JoinQuery.binary_join()
+        assert query.num_relations == 2
+        assert query.attributes == ("A", "B", "C")
+
+    def test_chain_shape(self):
+        query = JoinQuery.chain(4)
+        assert query.num_relations == 4
+        assert query.attributes == ("A0", "A1", "A2", "A3", "A4")
+
+    def test_chain_needs_two_relations(self):
+        with pytest.raises(ConfigurationError):
+            JoinQuery.chain(1)
+
+    def test_star_shape(self):
+        query = JoinQuery.star(3)
+        assert query.num_relations == 4
+        assert query.relations[0].name == "F"
+        assert query.relations[0].arity == 3
+
+    def test_cycle_shape(self):
+        query = JoinQuery.cycle(3)
+        assert query.num_relations == 3
+        assert query.num_attributes == 3
+
+    def test_cycle_needs_three(self):
+        with pytest.raises(ConfigurationError):
+            JoinQuery.cycle(2)
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JoinQuery([RelationSchema("R", ("A",)), RelationSchema("R", ("B",))])
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JoinQuery([])
+
+    def test_hyperedges(self):
+        query = JoinQuery.binary_join()
+        assert query.hyperedges() == [frozenset({"A", "B"}), frozenset({"B", "C"})]
+
+
+class TestMultiwayJoinProblem:
+    def test_rejects_bad_domain(self):
+        with pytest.raises(ConfigurationError):
+            MultiwayJoinProblem(JoinQuery.binary_join(), 0)
+
+    def test_counts_binary_join(self):
+        problem = NaturalJoinProblem(3)
+        # |I| = 2 * 3^2, |O| = 3^3.
+        assert problem.num_inputs == 18
+        assert problem.num_outputs == 27
+        assert problem.num_inputs == sum(1 for _ in problem.inputs())
+        assert problem.num_outputs == sum(1 for _ in problem.outputs())
+
+    def test_inputs_of_assignment(self):
+        problem = NaturalJoinProblem(3)
+        # Output (a, b, c) = (1, 2, 0) depends on R(1,2) and S(2,0).
+        assert problem.inputs_of((1, 2, 0)) == frozenset({("R", (1, 2)), ("S", (2, 0))})
+
+    def test_inputs_of_rejects_bad_assignment(self):
+        problem = NaturalJoinProblem(3)
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of((1, 2))
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of((1, 2, 5))
+
+    def test_rho_binary_join(self):
+        problem = NaturalJoinProblem(4)
+        assert problem.rho == pytest.approx(2.0)
+
+    def test_rho_can_be_overridden(self):
+        problem = MultiwayJoinProblem(JoinQuery.chain(3), 4, rho=1.5)
+        assert problem.rho == 1.5
+        assert problem.max_outputs_covered(4) == pytest.approx(4 ** 1.5)
+
+    def test_g_formula(self):
+        problem = MultiwayJoinProblem(JoinQuery.chain(3), 4)
+        # chain of 3 relations has rho = 2.
+        assert problem.max_outputs_covered(5) == pytest.approx(25.0)
+        assert problem.max_outputs_covered(0) == 0.0
+
+    def test_exhaustive_coverage_respects_g(self, rng):
+        """Random q-subsets of join inputs never produce more than q^rho outputs."""
+        problem = NaturalJoinProblem(3)
+        all_inputs = list(problem.inputs())
+        for _ in range(20):
+            size = rng.randint(2, 10)
+            subset = rng.sample(all_inputs, size)
+            covered = problem.outputs_covered_by(subset)
+            assert len(covered) <= problem.max_outputs_covered(size) + 1e-9
+
+    def test_lower_bound_formulas(self):
+        problem = MultiwayJoinProblem(JoinQuery.chain(3), 10)
+        # m = 4 attributes, rho = 2: r >= n^2 / q.
+        assert problem.lower_bound(10) == pytest.approx(10.0)
+        assert problem.chain_lower_bound(25) == pytest.approx((10 / 5.0) ** 2)
+        assert problem.lower_bound(0) == float("inf")
+
+    def test_describe(self):
+        info = MultiwayJoinProblem(JoinQuery.star(2), 3).describe()
+        assert info["relations"] == 3
+        assert info["rho"] >= 1.0
+
+
+class TestMatrixMultiplicationProblem:
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ConfigurationError):
+            MatrixMultiplicationProblem(0)
+
+    def test_counts(self):
+        problem = MatrixMultiplicationProblem(4)
+        assert problem.num_inputs == 32
+        assert problem.num_outputs == 16
+        assert problem.num_inputs == sum(1 for _ in problem.inputs())
+        assert problem.num_outputs == sum(1 for _ in problem.outputs())
+
+    def test_inputs_of_output(self):
+        problem = MatrixMultiplicationProblem(3)
+        needed = problem.inputs_of(("T", 1, 2))
+        assert ("R", 1, 0) in needed and ("R", 1, 2) in needed
+        assert ("S", 0, 2) in needed and ("S", 2, 2) in needed
+        assert len(needed) == 6
+
+    def test_inputs_of_rejects_bad_output(self):
+        problem = MatrixMultiplicationProblem(3)
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of(("X", 0, 0))
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of(("T", 0, 3))
+
+    def test_g_formula(self):
+        assert matmul_g(20, 5) == pytest.approx(400 / 100.0)
+        assert matmul_g(0, 5) == 0.0
+
+    def test_rectangle_coverage_matches_g(self):
+        """A reducer with w full rows and h full columns covers w·h outputs;
+        the square case w = h = q/(2n) attains g(q) = q²/(4n²)."""
+        n = 4
+        problem = MatrixMultiplicationProblem(n)
+        for w, h in [(1, 1), (2, 2), (1, 3), (2, 4)]:
+            inputs = [("R", i, j) for i in range(w) for j in range(n)]
+            inputs += [("S", j, k) for j in range(n) for k in range(h)]
+            covered = problem.outputs_covered_by(inputs)
+            assert len(covered) == w * h
+            q = len(inputs)
+            if w == h:
+                assert len(covered) == pytest.approx(matmul_g(q, n))
+            else:
+                assert len(covered) <= matmul_g(q, n) + 1e-9
+
+    def test_lower_bound(self):
+        problem = MatrixMultiplicationProblem(10)
+        assert problem.lower_bound(40) == pytest.approx(5.0)
+        assert problem.lower_bound(0) == float("inf")
+
+    def test_communication_formulas_and_crossover(self):
+        problem = MatrixMultiplicationProblem(10)
+        assert problem.one_round_communication(200) == pytest.approx(200 * 1.0)
+        assert problem.two_round_communication(100) == pytest.approx(4 * 1000 / 10.0)
+        assert problem.crossover_q() == 100.0
+        # At the crossover the two costs coincide.
+        q = problem.crossover_q()
+        assert problem.one_round_communication(q) == pytest.approx(
+            problem.two_round_communication(q)
+        )
+        # Below the crossover two rounds win.
+        assert problem.two_round_communication(q / 4) < problem.one_round_communication(q / 4)
+
+
+class TestWordCount:
+    def test_requires_corpus(self):
+        with pytest.raises(ConfigurationError):
+            WordCountProblem([])
+        with pytest.raises(ConfigurationError):
+            WordCountProblem([[]])
+
+    def test_counts_and_outputs(self):
+        problem = WordCountProblem([["a", "b", "a"], ["c"]])
+        assert problem.num_inputs == 4
+        assert sorted(problem.outputs()) == ["a", "b", "c"]
+        assert problem.word_counts() == {"a": 2, "b": 1, "c": 1}
+
+    def test_inputs_of_word(self):
+        problem = WordCountProblem([["a", "b", "a"]])
+        occurrences = problem.inputs_of("a")
+        assert len(occurrences) == 2
+
+    def test_inputs_of_unknown_word(self):
+        problem = WordCountProblem([["a"]])
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of("z")
+
+    def test_g_is_linear(self):
+        problem = WordCountProblem([["a", "b"]])
+        assert problem.max_outputs_covered(5) == 5.0
+
+    def test_job_replication_rate_is_one(self, engine):
+        problem = WordCountProblem([["a", "b", "a"], ["b", "c"]])
+        result = engine.run(problem.job(), list(problem.inputs()))
+        assert result.replication_rate == pytest.approx(1.0)
+        assert dict(result.outputs) == problem.word_counts()
+
+
+class TestGroupByAggregation:
+    def test_requires_nonempty_domains(self):
+        with pytest.raises(ConfigurationError):
+            GroupByAggregationProblem(0, 3)
+
+    def test_counts(self):
+        problem = GroupByAggregationProblem(3, 4)
+        assert problem.num_inputs == 12
+        assert problem.num_outputs == 3
+
+    def test_inputs_of_group(self):
+        problem = GroupByAggregationProblem(3, 4)
+        assert problem.inputs_of(1) == frozenset((1, b) for b in range(4))
+        with pytest.raises(ProblemDomainError):
+            problem.inputs_of(5)
+
+    def test_oracle_and_job_agree(self, engine):
+        problem = GroupByAggregationProblem(4, 10)
+        tuples = [(0, 3), (0, 5), (1, 2), (3, 9), (3, 1)]
+        expected = problem.aggregate_oracle(tuples)
+        result = engine.run(problem.job(), tuples)
+        assert dict(result.outputs) == expected
+        # With a combiner each present (a, ·) group produces one shuffled pair
+        # per distinct key, never more than the input count.
+        assert result.communication_cost <= len(tuples)
+
+    def test_oracle_rejects_out_of_domain(self):
+        problem = GroupByAggregationProblem(2, 2)
+        with pytest.raises(ProblemDomainError):
+            problem.aggregate_oracle([(5, 0)])
+
+    def test_job_without_combiner(self, engine):
+        problem = GroupByAggregationProblem(4, 10)
+        tuples = [(0, 3), (0, 5), (1, 2)]
+        result = engine.run(problem.job(use_combiner=False), tuples)
+        assert dict(result.outputs) == problem.aggregate_oracle(tuples)
+        assert result.communication_cost == len(tuples)

@@ -1,0 +1,136 @@
+"""Property-based tests for the join and matrix-multiplication algorithms.
+
+The invariant under test is the same as for the graph schemas: for arbitrary
+present-input subsets, the executable jobs must reproduce the serial oracle
+exactly, and their shuffle statistics must obey the closed forms of the
+constructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import RelationInstance, multiway_join_oracle, records_to_matrix
+from repro.mapreduce import MapReduceEngine
+from repro.problems import JoinQuery
+from repro.schemas import OnePhaseTilingSchema, SharesSchema, TwoPhaseMatMulAlgorithm
+
+ENGINE = MapReduceEngine()
+CHAIN_QUERY = JoinQuery.chain(3)
+DOMAIN = 4
+
+
+@st.composite
+def chain_relation_instances(draw):
+    """Three random chain-join relations over a small shared domain."""
+    relations = []
+    for index in range(3):
+        tuples = draw(
+            st.sets(
+                st.tuples(
+                    st.integers(min_value=0, max_value=DOMAIN - 1),
+                    st.integers(min_value=0, max_value=DOMAIN - 1),
+                ),
+                max_size=12,
+            )
+        )
+        relations.append(
+            RelationInstance(
+                name=f"R{index + 1}",
+                attributes=(f"A{index}", f"A{index + 1}"),
+                tuples=tuple(sorted(tuples)),
+            )
+        )
+    return relations
+
+
+@st.composite
+def share_vectors(draw):
+    """Random shares over the chain query's interior attributes."""
+    return {
+        "A1": draw(st.integers(min_value=1, max_value=3)),
+        "A2": draw(st.integers(min_value=1, max_value=3)),
+        "A3": draw(st.integers(min_value=1, max_value=2)),
+    }
+
+
+class TestSharesJobProperties:
+    @given(chain_relation_instances(), share_vectors())
+    @settings(max_examples=40, deadline=None)
+    def test_join_matches_oracle_exactly_once(self, relations, shares):
+        schema = SharesSchema(CHAIN_QUERY, shares, domain_size=DOMAIN)
+        records = SharesSchema.input_records(relations)
+        result = ENGINE.run(schema.job(relations), records)
+        _, expected = multiway_join_oracle(relations)
+        assert sorted(result.outputs) == sorted(expected)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    @given(chain_relation_instances(), share_vectors())
+    @settings(max_examples=30, deadline=None)
+    def test_replication_matches_per_relation_fanout(self, relations, shares):
+        """Every tuple of relation R_e is shipped to exactly Π_{A∉e} s_A reducers."""
+        schema = SharesSchema(CHAIN_QUERY, shares, domain_size=DOMAIN)
+        records = SharesSchema.input_records(relations)
+        result = ENGINE.run(schema.job(relations), records)
+        expected_pairs = sum(
+            relation.size * schema.replication_of(relation.name) for relation in relations
+        )
+        assert result.communication_cost == expected_pairs
+
+
+@st.composite
+def small_matrices(draw):
+    n = draw(st.sampled_from([2, 3, 4, 6]))
+    values = draw(
+        st.lists(
+            st.integers(min_value=-3, max_value=3),
+            min_size=2 * n * n,
+            max_size=2 * n * n,
+        )
+    )
+    left = np.array(values[: n * n], dtype=float).reshape(n, n)
+    right = np.array(values[n * n :], dtype=float).reshape(n, n)
+    return n, left, right
+
+
+class TestMatmulJobProperties:
+    @given(small_matrices())
+    @settings(max_examples=40, deadline=None)
+    def test_one_phase_equals_numpy(self, data):
+        n, left, right = data
+        from repro.datagen import multiplication_records
+
+        divisors = [s for s in range(1, n + 1) if n % s == 0]
+        family = OnePhaseTilingSchema(n, divisors[len(divisors) // 2])
+        result = ENGINE.run(family.job(), multiplication_records(left, right))
+        product = records_to_matrix(result.outputs, n, n)
+        assert np.allclose(product, left @ right)
+        assert result.replication_rate == family.replication_rate_formula()
+
+    @given(small_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_two_phase_equals_numpy(self, data):
+        n, left, right = data
+        from repro.datagen import multiplication_records
+
+        divisors = [value for value in range(1, n + 1) if n % value == 0]
+        algorithm = TwoPhaseMatMulAlgorithm(n, divisors[-1], divisors[0])
+        result = ENGINE.run_chain(algorithm.chain(), multiplication_records(left, right))
+        product = records_to_matrix(result.outputs, n, n)
+        assert np.allclose(product, left @ right)
+
+    @given(small_matrices())
+    @settings(max_examples=20, deadline=None)
+    def test_two_phase_first_round_capacity_respected(self, data):
+        n, left, right = data
+        from repro.datagen import multiplication_records
+
+        algorithm = TwoPhaseMatMulAlgorithm(n, 1, 1)
+        result = ENGINE.run_chain(algorithm.chain(), multiplication_records(left, right))
+        first_round = result.round_results[0]
+        assert (
+            first_round.metrics.shuffle.max_reducer_size
+            <= algorithm.first_phase_reducer_size
+        )

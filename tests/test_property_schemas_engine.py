@@ -1,0 +1,163 @@
+"""Property-based tests on the constructive schemas and the engine.
+
+For arbitrary present-input subsets, each schema's executable job must emit
+exactly the outputs a serial oracle computes — no duplicates, nothing missing
+— and its measured replication rate must equal the closed-form rate of the
+construction (because mappers route every present input identically whatever
+else is present).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import (
+    all_pairs_at_distance,
+    enumerate_triangles_oracle,
+    enumerate_two_paths_oracle,
+)
+from repro.mapreduce import MapReduceEngine
+from repro.schemas import (
+    PartitionTriangleSchema,
+    SplittingSchema,
+    TwoPathSchema,
+    WeightPartitionSchema,
+)
+
+ENGINE = MapReduceEngine()
+
+
+@st.composite
+def word_sets(draw, bits: int = 6):
+    universe = list(range(2 ** bits))
+    return draw(st.sets(st.sampled_from(universe), min_size=0, max_size=40))
+
+
+@st.composite
+def graph_edge_sets(draw, n: int = 10):
+    universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return draw(st.sets(st.sampled_from(universe), min_size=0, max_size=30))
+
+
+class TestSplittingJobProperties:
+    @given(word_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_match_oracle_exactly(self, words):
+        family = SplittingSchema(6, 3)
+        result = ENGINE.run(family.job(), sorted(words))
+        expected = all_pairs_at_distance(sorted(words), 1)
+        assert sorted(result.outputs) == sorted(expected)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    @given(word_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_replication_rate_is_exactly_c(self, words):
+        family = SplittingSchema(6, 2)
+        result = ENGINE.run(family.job(), sorted(words))
+        if words:
+            assert result.replication_rate == 2.0
+
+    @given(word_sets())
+    @settings(max_examples=40, deadline=None)
+    def test_reducer_capacity_never_exceeded(self, words):
+        family = SplittingSchema(6, 3)
+        result = ENGINE.run(family.job(), sorted(words))
+        limit = family.max_reducer_size_formula()
+        assert result.metrics.shuffle.max_reducer_size <= limit
+
+
+class TestWeightPartitionJobProperties:
+    @given(word_sets(bits=8))
+    @settings(max_examples=40, deadline=None)
+    def test_outputs_match_oracle_exactly(self, words):
+        family = WeightPartitionSchema(8, 2)
+        result = ENGINE.run(family.job(), sorted(words))
+        expected = all_pairs_at_distance(sorted(words), 1)
+        assert sorted(result.outputs) == sorted(expected)
+
+    @given(word_sets(bits=8))
+    @settings(max_examples=40, deadline=None)
+    def test_per_string_replication_at_most_one_plus_d(self, words):
+        """Any individual string is replicated to at most 1 + d cells (its
+        home cell plus one neighbour per bordered dimension); the 1 + 2/k
+        average only holds over the full universe, which the unit tests check."""
+        family = WeightPartitionSchema(8, 2)
+        result = ENGINE.run(family.job(), sorted(words))
+        if words:
+            assert result.replication_rate <= 1.0 + family.num_pieces
+
+
+class TestTriangleJobProperties:
+    @given(graph_edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_match_oracle_exactly(self, edges):
+        family = PartitionTriangleSchema(10, 3)
+        result = ENGINE.run(family.job(), sorted(edges))
+        assert set(result.outputs) == enumerate_triangles_oracle(edges)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    @given(graph_edge_sets(), st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_replication_rate_is_exactly_k(self, edges, k):
+        family = PartitionTriangleSchema(10, k)
+        result = ENGINE.run(family.job(), sorted(edges))
+        if edges:
+            assert result.replication_rate == float(k)
+
+
+class TestTwoPathJobProperties:
+    @given(graph_edge_sets())
+    @settings(max_examples=60, deadline=None)
+    def test_outputs_match_oracle_exactly(self, edges):
+        family = TwoPathSchema(10, 3)
+        result = ENGINE.run(family.job(), sorted(edges))
+        assert set(result.outputs) == enumerate_two_paths_oracle(edges)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    @given(graph_edge_sets(), st.integers(min_value=2, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_replication_rate_is_exactly_2k_minus_2(self, edges, k):
+        family = TwoPathSchema(10, k)
+        result = ENGINE.run(family.job(), sorted(edges))
+        if edges:
+            assert result.replication_rate == 2.0 * (k - 1)
+
+
+class TestEngineProperties:
+    @given(st.lists(st.text(alphabet="abcde ", min_size=0, max_size=20), max_size=10))
+    @settings(max_examples=60, deadline=None)
+    def test_word_count_matches_python_counter(self, documents):
+        from collections import Counter
+
+        def mapper(document):
+            for word in document.split():
+                yield (word, 1)
+
+        def reducer(word, counts):
+            yield (word, sum(counts))
+
+        from repro.mapreduce import MapReduceJob
+
+        result = ENGINE.run(MapReduceJob(mapper=mapper, reducer=reducer), documents)
+        expected = Counter(word for document in documents for word in document.split())
+        assert dict(result.outputs) == dict(expected)
+
+    @given(st.lists(st.integers(min_value=0, max_value=50), max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_communication_equals_sum_of_reducer_sizes(self, values):
+        from repro.mapreduce import MapReduceJob
+
+        def mapper(value):
+            yield (value % 7, value)
+            if value % 2 == 0:
+                yield ("even", value)
+
+        def reducer(key, group):
+            yield (key, len(group))
+
+        result = ENGINE.run(MapReduceJob(mapper=mapper, reducer=reducer), values)
+        sizes = result.metrics.shuffle.reducer_sizes
+        assert sum(sizes.values()) == result.communication_cost
+        if values:
+            assert result.replication_rate >= 1.0

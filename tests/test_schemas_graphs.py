@@ -1,0 +1,191 @@
+"""Unit tests for the triangle-partition and 2-path schemas."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datagen import (
+    complete_graph_edges,
+    enumerate_triangles_oracle,
+    enumerate_two_paths_oracle,
+    gnm_random_graph,
+)
+from repro.exceptions import ConfigurationError
+from repro.problems import HammingDistanceProblem, TriangleProblem, TwoPathProblem
+from repro.schemas import PartitionTriangleSchema, TwoPathSchema
+
+
+class TestPartitionTriangleSchema:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            PartitionTriangleSchema(2, 1)
+        with pytest.raises(ConfigurationError):
+            PartitionTriangleSchema(5, 0)
+        with pytest.raises(ConfigurationError):
+            PartitionTriangleSchema(5, 6)
+
+    def test_wrong_problem_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PartitionTriangleSchema(6, 2).build(HammingDistanceProblem(4))
+        with pytest.raises(ConfigurationError):
+            PartitionTriangleSchema(6, 2).build(TriangleProblem(8))
+
+    @pytest.mark.parametrize("n,k", [(6, 1), (6, 2), (9, 3), (10, 4), (12, 5)])
+    def test_schema_valid_and_replication_exact(self, n, k):
+        problem = TriangleProblem(n)
+        family = PartitionTriangleSchema(n, k)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.replication_rate() == pytest.approx(float(k))
+
+    def test_hash_bucketing_also_valid(self):
+        problem = TriangleProblem(9)
+        schema = PartitionTriangleSchema(9, 3, hash_nodes=True).build(problem)
+        assert schema.validate().valid
+
+    def test_reducers_for_edge_count(self):
+        family = PartitionTriangleSchema(9, 3)
+        reducers = list(family.reducers_for((0, 5)))
+        assert len(set(reducers)) == 3
+
+    def test_max_reducer_size_close_to_formula(self):
+        n, k = 12, 3
+        family = PartitionTriangleSchema(n, k)
+        schema = family.build(TriangleProblem(n))
+        measured = schema.max_reducer_size()
+        formula = family.max_reducer_size_formula()
+        assert measured <= formula + 1
+        assert measured >= 0.5 * formula
+
+    def test_upper_bound_within_constant_of_lower_bound(self):
+        """r_upper / r_lower stays below ~3.1 across a q sweep (Section 4)."""
+        n = 60
+        problem = TriangleProblem(n)
+        for k in (3, 4, 6, 10):
+            family = PartitionTriangleSchema(n, k)
+            q = family.max_reducer_size_formula()
+            upper = family.replication_rate_formula()
+            lower = problem.lower_bound(q)
+            assert upper >= lower - 1e-9
+            assert upper <= 3.2 * lower
+
+    def test_job_enumerates_triangles_exactly_once(self, engine):
+        family = PartitionTriangleSchema(15, 4)
+        edges = gnm_random_graph(15, 45, seed=21)
+        result = engine.run(family.job(), edges)
+        assert set(result.outputs) == enumerate_triangles_oracle(edges)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    def test_job_on_complete_graph(self, engine):
+        n, k = 10, 3
+        family = PartitionTriangleSchema(n, k)
+        edges = complete_graph_edges(n)
+        result = engine.run(family.job(), edges)
+        assert len(result.outputs) == math.comb(n, 3)
+        assert result.replication_rate == pytest.approx(float(k))
+
+    def test_job_with_hash_bucketing(self, engine):
+        family = PartitionTriangleSchema(12, 3, hash_nodes=True)
+        edges = gnm_random_graph(12, 40, seed=22)
+        result = engine.run(family.job(), edges)
+        assert set(result.outputs) == enumerate_triangles_oracle(edges)
+
+    def test_for_reducer_size_inverts_q(self):
+        family = PartitionTriangleSchema.for_reducer_size(100, q=450)
+        assert family.num_buckets == math.ceil(100 * math.sqrt(4.5 / 450))
+        with pytest.raises(ConfigurationError):
+            PartitionTriangleSchema.for_reducer_size(100, q=0)
+
+    def test_single_bucket_degenerates_to_single_reducer(self):
+        family = PartitionTriangleSchema(8, 1)
+        schema = family.build(TriangleProblem(8))
+        assert schema.num_reducers == 1
+        assert schema.replication_rate() == pytest.approx(1.0)
+
+
+class TestTwoPathSchema:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoPathSchema(2, 2)
+        with pytest.raises(ConfigurationError):
+            TwoPathSchema(6, 1)
+        with pytest.raises(ConfigurationError):
+            TwoPathSchema(6, 7)
+
+    def test_wrong_problem_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TwoPathSchema(6, 2).build(TriangleProblem(6))
+        with pytest.raises(ConfigurationError):
+            TwoPathSchema(6, 2).build(TwoPathProblem(8))
+
+    @pytest.mark.parametrize("n,k", [(6, 2), (8, 2), (8, 4), (9, 3), (10, 5)])
+    def test_schema_valid_and_replication_exact(self, n, k):
+        problem = TwoPathProblem(n)
+        family = TwoPathSchema(n, k)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.replication_rate() == pytest.approx(2.0 * (k - 1))
+
+    def test_hash_bucketing_also_valid(self):
+        problem = TwoPathProblem(8)
+        schema = TwoPathSchema(8, 3, hash_nodes=True).build(problem)
+        assert schema.validate().valid
+
+    def test_reducers_for_edge_count(self):
+        family = TwoPathSchema(9, 3)
+        reducers = set(family.reducers_for((0, 5)))
+        assert len(reducers) == 2 * (3 - 1)
+
+    def test_reducer_size_close_to_2n_over_k(self):
+        n, k = 12, 3
+        family = TwoPathSchema(n, k)
+        schema = family.build(TwoPathProblem(n))
+        # The formula counts edges incident to the middle node landing in the
+        # two buckets of the reducer, about 2n/k.
+        assert schema.max_reducer_size() <= 2 * math.ceil(n / k) + 2
+
+    def test_upper_bound_about_twice_lower_bound(self):
+        n = 100
+        problem = TwoPathProblem(n)
+        for k in (2, 4, 5, 10):
+            family = TwoPathSchema(n, k)
+            q = family.max_reducer_size_formula()
+            upper = family.replication_rate_formula()
+            lower = problem.lower_bound(q)
+            assert upper >= lower - 1e-9
+            assert upper <= 2.0 * lower + 1e-9
+
+    def test_job_enumerates_two_paths_exactly_once(self, engine):
+        family = TwoPathSchema(12, 3)
+        edges = gnm_random_graph(12, 30, seed=23)
+        result = engine.run(family.job(), edges)
+        assert set(result.outputs) == enumerate_two_paths_oracle(edges)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    def test_job_with_hash_bucketing(self, engine):
+        family = TwoPathSchema(10, 4, hash_nodes=True)
+        edges = gnm_random_graph(10, 25, seed=24)
+        result = engine.run(family.job(), edges)
+        assert set(result.outputs) == enumerate_two_paths_oracle(edges)
+
+    def test_job_measured_replication_matches_formula(self, engine):
+        n, k = 10, 3
+        family = TwoPathSchema(n, k)
+        edges = complete_graph_edges(n)
+        result = engine.run(family.job(), edges)
+        assert result.replication_rate == pytest.approx(2.0 * (k - 1))
+
+    def test_for_reducer_size(self):
+        family = TwoPathSchema.for_reducer_size(100, q=20)
+        assert family.num_buckets == 10
+        with pytest.raises(ConfigurationError):
+            TwoPathSchema.for_reducer_size(100, q=0)
+
+    def test_emitting_reducer_same_bucket_rule(self):
+        family = TwoPathSchema(9, 3)
+        # Nodes 0 and 1 share bucket 0 (contiguous bucketing, group size 3).
+        reducer = family.emitting_reducer(0, 4, 1)
+        assert reducer[0] == 4
+        assert reducer[1] == frozenset({0, 1})

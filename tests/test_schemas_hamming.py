@@ -1,0 +1,294 @@
+"""Unit tests for the Hamming-distance schemas (Splitting, weight-based, distance-d)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datagen import all_pairs_at_distance, random_bitstrings
+from repro.exceptions import ConfigurationError
+from repro.problems import HammingDistanceProblem, TriangleProblem
+from repro.schemas import (
+    BallTwoSchema,
+    HypercubeWeightSchema,
+    PairReducersSchema,
+    SegmentDeletionSchema,
+    SingleReducerSchema,
+    SplittingSchema,
+    WeightPartitionSchema,
+    splitting_points,
+)
+
+
+class TestSplittingSchema:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SplittingSchema(0, 1)
+        with pytest.raises(ConfigurationError):
+            SplittingSchema(6, 4)  # 4 does not divide 6
+        with pytest.raises(ConfigurationError):
+            SplittingSchema(6, 0)
+
+    def test_wrong_problem_type_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SplittingSchema(6, 2).build(TriangleProblem(5))
+
+    def test_wrong_b_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SplittingSchema(6, 2).build(HammingDistanceProblem(8))
+
+    def test_distance_two_problem_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SplittingSchema(6, 2).build(HammingDistanceProblem(6, distance=2))
+
+    @pytest.mark.parametrize("b,c", [(4, 2), (6, 2), (6, 3), (8, 4), (6, 6)])
+    def test_schema_is_valid_and_matches_formulas(self, b, c):
+        problem = HammingDistanceProblem(b)
+        family = SplittingSchema(b, c)
+        schema = family.build(problem)
+        report = schema.validate()
+        assert report.valid, (report.overfull_reducers, report.uncovered_outputs[:3])
+        assert schema.replication_rate() == pytest.approx(family.replication_rate_formula())
+        assert schema.max_reducer_size() == family.max_reducer_size_formula()
+
+    def test_replication_matches_lower_bound_exactly(self):
+        """The Splitting algorithm sits exactly on the b/log2(q) hyperbola."""
+        for b, c in [(8, 2), (8, 4), (12, 3), (12, 6)]:
+            family = SplittingSchema(b, c)
+            q = family.max_reducer_size_formula()
+            lower = b / math.log2(q)
+            assert family.replication_rate_formula() == pytest.approx(lower)
+
+    def test_reducers_for_count(self):
+        family = SplittingSchema(6, 3)
+        assert len(list(family.reducers_for(0b101010))) == 3
+
+    def test_emitting_group_identifies_differing_segment(self):
+        family = SplittingSchema(6, 3)
+        # Strings differing in the middle segment (bits 2-3).
+        u, v = 0b000000, 0b000100
+        assert family.emitting_group(u, v) == 1
+        # Differ in the first (most significant) segment.
+        assert family.emitting_group(0b000000, 0b100000) == 0
+        # Differ in the last segment.
+        assert family.emitting_group(0b000000, 0b000001) == 2
+
+    def test_job_finds_all_pairs_exactly_once(self, engine, rng):
+        family = SplittingSchema(8, 4)
+        words = random_bitstrings(8, 120, seed=7)
+        result = engine.run(family.job(), words)
+        oracle = all_pairs_at_distance(words, 1)
+        assert sorted(result.outputs) == sorted(oracle)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    def test_job_measured_replication_matches_formula(self, engine):
+        family = SplittingSchema(8, 2)
+        words = list(range(256))
+        result = engine.run(family.job(), words)
+        assert result.replication_rate == pytest.approx(2.0)
+
+    def test_splitting_points_cover_divisors(self):
+        points = splitting_points(12)
+        cs = [c for c, _, _ in points]
+        assert cs == [1, 2, 3, 4, 6, 12]
+        for c, log_q, rate in points:
+            assert log_q == pytest.approx(12 / c)
+            assert rate == float(c)
+
+
+class TestExtremeSchemas:
+    def test_pair_reducers_schema(self):
+        problem = HammingDistanceProblem(5)
+        family = PairReducersSchema(5)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.replication_rate() == pytest.approx(5.0)
+        assert schema.max_reducer_size() == 2
+
+    def test_pair_reducers_job(self, engine):
+        family = PairReducersSchema(6)
+        words = random_bitstrings(6, 40, seed=3)
+        result = engine.run(family.job(), words)
+        assert sorted(result.outputs) == sorted(all_pairs_at_distance(words, 1))
+
+    def test_single_reducer_schema(self, engine):
+        problem = HammingDistanceProblem(5)
+        family = SingleReducerSchema(5)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.replication_rate() == pytest.approx(1.0)
+        words = random_bitstrings(5, 20, seed=4)
+        result = engine.run(family.job(), words)
+        assert sorted(result.outputs) == sorted(all_pairs_at_distance(words, 1))
+        assert result.replication_rate == pytest.approx(1.0)
+
+    def test_validation_errors(self):
+        with pytest.raises(ConfigurationError):
+            PairReducersSchema(0)
+        with pytest.raises(ConfigurationError):
+            SingleReducerSchema(-1)
+        with pytest.raises(ConfigurationError):
+            PairReducersSchema(4).build(HammingDistanceProblem(6))
+        with pytest.raises(ConfigurationError):
+            SingleReducerSchema(4).build(HammingDistanceProblem(6))
+
+
+class TestWeightPartitionSchema:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            WeightPartitionSchema(7, 2)  # 2 pieces need even b
+        with pytest.raises(ConfigurationError):
+            WeightPartitionSchema(8, 3)  # 3 does not divide b/2 = 4
+        with pytest.raises(ConfigurationError):
+            HypercubeWeightSchema(8, 3, 1)  # 3 does not divide 8
+
+    def test_schema_covers_all_outputs(self):
+        problem = HammingDistanceProblem(8)
+        family = WeightPartitionSchema(8, 2)
+        schema = family.build(problem)
+        assert schema.validate().valid
+
+    def test_exact_replication_rate_matches_explicit_schema(self):
+        problem = HammingDistanceProblem(10)
+        family = WeightPartitionSchema(10, 1)
+        schema = family.build(problem)
+        assert schema.replication_rate() == pytest.approx(family.exact_replication_rate())
+
+    def test_replication_rate_below_two_and_near_formula(self):
+        """For k >= 2 the rate is strictly below 2 (the whole point of §3.4)."""
+        family = WeightPartitionSchema(12, 2)
+        problem = HammingDistanceProblem(12)
+        schema = family.build(problem)
+        rate = schema.replication_rate()
+        assert 1.0 < rate < 2.0
+        # The asymptotic formula 1 + 2/k = 2.0 is an upper estimate; the exact
+        # rate is below it because only border weights are replicated.
+        assert rate <= family.replication_rate_formula() + 1e-9
+
+    def test_hypercube_three_dimensions_valid(self):
+        problem = HammingDistanceProblem(9)
+        family = HypercubeWeightSchema(9, 3, 1)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.replication_rate() == pytest.approx(family.exact_replication_rate())
+
+    def test_home_cell_and_borders(self):
+        family = WeightPartitionSchema(8, 2)
+        # word with left half weight 2, right half weight 0 -> cell (1, 0).
+        word = 0b11000000
+        assert family.piece_weights(word) == (2, 0)
+        assert family.home_cell(word) == (1, 0)
+        assert family.is_lower_border(2)
+        assert not family.is_lower_border(0)
+        assert not family.is_lower_border(3)
+        reducers = list(family.reducers_for(word))
+        assert (1, 0) in reducers and (0, 0) in reducers
+
+    def test_job_finds_all_pairs_exactly_once(self, engine):
+        family = WeightPartitionSchema(8, 2)
+        words = random_bitstrings(8, 150, seed=9)
+        result = engine.run(family.job(), words)
+        oracle = all_pairs_at_distance(words, 1)
+        assert sorted(result.outputs) == sorted(oracle)
+
+    def test_max_reducer_size_formula_is_reasonable(self):
+        """The paper's Stirling estimate of the densest cell has the right
+        order of magnitude (it uses the loose 2^n/√(2πn) form of the central
+        binomial coefficient, so it underestimates by a small constant)."""
+        family = WeightPartitionSchema(16, 2)
+        estimate = family.max_reducer_size_formula()
+        exact = family.exact_max_reducer_size()
+        assert 0.1 * exact < estimate < 10.0 * exact
+
+
+class TestSegmentDeletionSchema:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SegmentDeletionSchema(6, 4, 2)  # 4 does not divide 6
+        with pytest.raises(ConfigurationError):
+            SegmentDeletionSchema(6, 3, 3)  # need d < k
+        with pytest.raises(ConfigurationError):
+            SegmentDeletionSchema(6, 3, 0)
+
+    def test_schema_covers_distance_two(self):
+        problem = HammingDistanceProblem(6, distance=2)
+        family = SegmentDeletionSchema(6, 3, 2)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.replication_rate() == pytest.approx(3.0)
+
+    def test_schema_also_covers_distance_one(self):
+        problem = HammingDistanceProblem(6, distance=1)
+        family = SegmentDeletionSchema(6, 3, 2)
+        schema = family.build(problem)
+        assert schema.validate().valid
+
+    def test_cannot_serve_larger_distance(self):
+        with pytest.raises(ConfigurationError):
+            SegmentDeletionSchema(6, 3, 1).build(HammingDistanceProblem(6, distance=2))
+
+    def test_replication_formulas(self):
+        family = SegmentDeletionSchema(12, 6, 2)
+        assert family.replication_rate_formula() == pytest.approx(math.comb(6, 2))
+        assert family.max_reducer_size_formula() == 2 ** 4
+        # The Stirling form (ek/d)^d upper-bounds C(k,d); for k/d as small as
+        # 3 it is loose, but stays within a single order of magnitude.
+        assert family.approximate_replication_rate() >= family.replication_rate_formula()
+        assert family.approximate_replication_rate() < 10 * family.replication_rate_formula()
+
+    def test_job_finds_distance_two_pairs(self, engine):
+        family = SegmentDeletionSchema(8, 4, 2)
+        words = random_bitstrings(8, 80, seed=11)
+        result = engine.run(family.job(emit_distance=2), words)
+        assert sorted(result.outputs) == sorted(all_pairs_at_distance(words, 2))
+
+    def test_job_without_filter_emits_all_distances_up_to_d(self, engine):
+        family = SegmentDeletionSchema(6, 3, 2)
+        words = random_bitstrings(6, 40, seed=12)
+        result = engine.run(family.job(), words)
+        expected = sorted(
+            all_pairs_at_distance(words, 1) + all_pairs_at_distance(words, 2)
+        )
+        assert sorted(result.outputs) == expected
+
+    def test_emitting_reducer_rejects_far_pairs(self):
+        family = SegmentDeletionSchema(6, 3, 1)
+        with pytest.raises(ConfigurationError):
+            family.emitting_reducer(0b000000, 0b011011)
+
+
+class TestBallTwoSchema:
+    def test_covers_distance_two_problem(self):
+        problem = HammingDistanceProblem(5, distance=2)
+        family = BallTwoSchema(5)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.max_reducer_size() == 6
+        assert schema.replication_rate() == pytest.approx(6.0)
+
+    def test_covers_distance_one_problem(self):
+        problem = HammingDistanceProblem(5, distance=1)
+        schema = BallTwoSchema(5).build(problem)
+        assert schema.validate().valid
+
+    def test_rejects_distance_three(self):
+        class FakeDistance3(HammingDistanceProblem):
+            pass
+
+        problem = FakeDistance3(5, distance=3)
+        with pytest.raises(ConfigurationError):
+            BallTwoSchema(5).build(problem)
+
+    def test_outputs_covered_per_reducer(self):
+        assert BallTwoSchema(6).outputs_covered_per_reducer() == math.comb(6, 2)
+
+    def test_job_emits_distance_one_and_two_pairs_once(self, engine):
+        family = BallTwoSchema(6)
+        words = random_bitstrings(6, 40, seed=13)
+        result = engine.run(family.job(), words)
+        expected = sorted(
+            all_pairs_at_distance(words, 1) + all_pairs_at_distance(words, 2)
+        )
+        assert sorted(result.outputs) == expected
+        assert len(result.outputs) == len(set(result.outputs))

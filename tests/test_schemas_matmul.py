@@ -1,0 +1,184 @@
+"""Unit tests for the one-phase and two-phase matrix-multiplication algorithms."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datagen import integer_matrix, multiplication_records, records_to_matrix
+from repro.exceptions import ConfigurationError
+from repro.problems import MatrixMultiplicationProblem, TriangleProblem
+from repro.schemas import (
+    OnePhaseTilingSchema,
+    TwoPhaseMatMulAlgorithm,
+    communication_crossover_q,
+    one_phase_total_communication,
+    two_phase_total_communication,
+)
+from repro.schemas.matmul_two_phase import _nearest_divisor
+
+
+class TestOnePhaseTilingSchema:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            OnePhaseTilingSchema(0, 1)
+        with pytest.raises(ConfigurationError):
+            OnePhaseTilingSchema(6, 4)  # 4 does not divide 6
+        with pytest.raises(ConfigurationError):
+            OnePhaseTilingSchema(6, 0)
+
+    def test_wrong_problem_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OnePhaseTilingSchema(4, 2).build(TriangleProblem(5))
+        with pytest.raises(ConfigurationError):
+            OnePhaseTilingSchema(4, 2).build(MatrixMultiplicationProblem(6))
+
+    @pytest.mark.parametrize("n,s", [(4, 1), (4, 2), (4, 4), (6, 2), (6, 3)])
+    def test_schema_valid_and_matches_formulas(self, n, s):
+        problem = MatrixMultiplicationProblem(n)
+        family = OnePhaseTilingSchema(n, s)
+        schema = family.build(problem)
+        assert schema.validate().valid
+        assert schema.replication_rate() == pytest.approx(n / s)
+        assert schema.max_reducer_size() == 2 * s * n
+
+    def test_replication_matches_lower_bound_exactly(self):
+        """r = n/s with q = 2sn gives exactly 2n²/q — the Section 6.1 bound."""
+        problem = MatrixMultiplicationProblem(12)
+        for s in (1, 2, 3, 4, 6, 12):
+            family = OnePhaseTilingSchema(12, s)
+            q = family.max_reducer_size_formula()
+            assert family.replication_rate_formula() == pytest.approx(problem.lower_bound(q))
+
+    def test_reducers_for_element(self):
+        family = OnePhaseTilingSchema(6, 2)
+        r_tiles = list(family.reducers_for_element("R", 1, 4))
+        s_tiles = list(family.reducers_for_element("S", 1, 4))
+        assert len(r_tiles) == 3 and all(tile[0] == 0 for tile in r_tiles)
+        assert len(s_tiles) == 3 and all(tile[1] == 2 for tile in s_tiles)
+        with pytest.raises(ConfigurationError):
+            list(family.reducers_for_element("X", 0, 0))
+
+    def test_job_computes_exact_product(self, engine):
+        n = 6
+        left = integer_matrix(n, seed=41)
+        right = integer_matrix(n, seed=42)
+        family = OnePhaseTilingSchema(n, 3)
+        result = engine.run(family.job(), multiplication_records(left, right))
+        product = records_to_matrix(result.outputs, n, n)
+        assert np.allclose(product, left @ right)
+        assert len(result.outputs) == n * n
+
+    def test_job_measured_replication_matches_formula(self, engine):
+        n, s = 8, 2
+        family = OnePhaseTilingSchema(n, s)
+        left = integer_matrix(n, seed=43)
+        right = integer_matrix(n, seed=44)
+        result = engine.run(family.job(), multiplication_records(left, right))
+        assert result.replication_rate == pytest.approx(n / s)
+        assert result.communication_cost == family.total_communication()
+
+    def test_for_reducer_size(self):
+        family = OnePhaseTilingSchema.for_reducer_size(12, q=2 * 3 * 12)
+        assert family.group_size == 3
+        family = OnePhaseTilingSchema.for_reducer_size(12, q=2 * 5 * 12)
+        assert family.group_size == 4  # rounded down to a divisor of 12
+        with pytest.raises(ConfigurationError):
+            OnePhaseTilingSchema.for_reducer_size(12, q=10)
+
+
+class TestTwoPhaseAlgorithm:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            TwoPhaseMatMulAlgorithm(0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseMatMulAlgorithm(6, 4, 1)
+        with pytest.raises(ConfigurationError):
+            TwoPhaseMatMulAlgorithm(6, 2, 4)
+
+    def test_geometry_counts(self):
+        algorithm = TwoPhaseMatMulAlgorithm(6, 2, 3)
+        assert algorithm.num_row_groups == 3
+        assert algorithm.num_middle_groups == 2
+        assert algorithm.num_first_phase_reducers == 3 * 3 * 2
+        assert algorithm.first_phase_reducer_size == 2 * 2 * 3
+
+    def test_communication_formulas(self):
+        n, s, t = 12, 4, 2
+        algorithm = TwoPhaseMatMulAlgorithm(n, s, t)
+        assert algorithm.first_phase_communication() == pytest.approx(2 * n ** 3 / s)
+        assert algorithm.second_phase_communication() == pytest.approx(n ** 3 / t)
+        assert algorithm.total_communication() == pytest.approx(
+            2 * n ** 3 / s + n ** 3 / t
+        )
+
+    def test_optimal_aspect_ratio_is_two_to_one(self):
+        """Among all (s, t) with 2st = q, the minimum communication has s = 2t."""
+        n, q = 12, 36
+        best = None
+        for s in range(1, n + 1):
+            if n % s != 0 or q % (2 * s) != 0:
+                continue
+            t = q // (2 * s)
+            if t < 1 or t > n or n % t != 0:
+                continue
+            algorithm = TwoPhaseMatMulAlgorithm(n, s, t)
+            if best is None or algorithm.total_communication() < best.total_communication():
+                best = algorithm
+        assert best is not None
+        assert best.s == 2 * best.t
+
+    def test_optimal_for_reducer_size(self):
+        algorithm = TwoPhaseMatMulAlgorithm.optimal_for_reducer_size(12, q=16)
+        assert algorithm.s == 4 and algorithm.t == 2
+        with pytest.raises(ConfigurationError):
+            TwoPhaseMatMulAlgorithm.optimal_for_reducer_size(12, q=1)
+
+    def test_nearest_divisor(self):
+        assert _nearest_divisor(12, 3.4) == 3
+        assert _nearest_divisor(12, 5.0) == 4
+        assert _nearest_divisor(12, 100.0) == 12
+
+    def test_chain_computes_exact_product(self, engine):
+        n = 6
+        left = integer_matrix(n, seed=45)
+        right = integer_matrix(n, seed=46)
+        algorithm = TwoPhaseMatMulAlgorithm(n, 2, 3)
+        result = engine.run_chain(algorithm.chain(), multiplication_records(left, right))
+        product = records_to_matrix(result.outputs, n, n)
+        assert np.allclose(product, left @ right)
+
+    def test_chain_communication_matches_closed_form(self, engine):
+        """Measured phase-1 and phase-2 shuffles equal 2n³/s and n³/t for dense
+        inputs (every partial sum is produced)."""
+        n, s, t = 6, 2, 3
+        left = integer_matrix(n, seed=47, low=1, high=5)
+        right = integer_matrix(n, seed=48, low=1, high=5)
+        algorithm = TwoPhaseMatMulAlgorithm(n, s, t)
+        result = engine.run_chain(algorithm.chain(), multiplication_records(left, right))
+        per_round = result.metrics.per_round_communication()
+        assert per_round[0] == algorithm.first_phase_communication()
+        assert per_round[1] == algorithm.second_phase_communication()
+        assert result.total_communication == algorithm.total_communication()
+
+    def test_two_phase_never_worse_than_one_phase(self):
+        n = 30
+        for q in (60, 120, 300, 900):
+            assert two_phase_total_communication(n, q) <= one_phase_total_communication(n, q) + 1e-9
+
+    def test_crossover_at_n_squared(self):
+        n = 20
+        crossover = communication_crossover_q(n)
+        assert crossover == n * n
+        assert one_phase_total_communication(n, crossover) == pytest.approx(
+            two_phase_total_communication(n, crossover)
+        )
+        assert one_phase_total_communication(n, crossover * 2) < two_phase_total_communication(
+            n, crossover * 2
+        )
+
+    def test_communication_formulas_handle_zero_q(self):
+        assert one_phase_total_communication(5, 0) == float("inf")
+        assert two_phase_total_communication(5, 0) == float("inf")

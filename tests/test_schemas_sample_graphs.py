@@ -1,0 +1,147 @@
+"""Unit tests for the generalized partition schema for sample-graph finding."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.datagen import complete_graph_edges, enumerate_triangles_oracle, gnm_random_graph
+from repro.exceptions import ConfigurationError
+from repro.problems import SampleGraph, SampleGraphProblem, TriangleProblem
+from repro.schemas import PartitionSampleGraphSchema, enumerate_sample_graph_oracle
+
+
+class TestConstruction:
+    def test_rejects_small_domain(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSampleGraphSchema(2, SampleGraph.triangle(), 1)
+
+    def test_rejects_bad_bucket_count(self):
+        with pytest.raises(ConfigurationError):
+            PartitionSampleGraphSchema(6, SampleGraph.triangle(), 0)
+        with pytest.raises(ConfigurationError):
+            PartitionSampleGraphSchema(6, SampleGraph.triangle(), 7)
+
+    def test_rejects_wrong_problem(self):
+        family = PartitionSampleGraphSchema(6, SampleGraph.triangle(), 2)
+        with pytest.raises(ConfigurationError):
+            family.build(TriangleProblem(6))
+        with pytest.raises(ConfigurationError):
+            family.build(SampleGraphProblem(8, SampleGraph.triangle()))
+        with pytest.raises(ConfigurationError):
+            family.build(SampleGraphProblem(6, SampleGraph.cycle(4)))
+
+
+class TestSchemaValidity:
+    @pytest.mark.parametrize(
+        "sample,k",
+        [
+            (SampleGraph.triangle(), 1),
+            (SampleGraph.triangle(), 3),
+            (SampleGraph.cycle(4), 2),
+            (SampleGraph.cycle(4), 3),
+            (SampleGraph.clique(4), 3),
+            (SampleGraph.path(3), 2),
+        ],
+    )
+    def test_schema_covers_all_instances(self, sample, k):
+        n = 8
+        problem = SampleGraphProblem(n, sample)
+        family = PartitionSampleGraphSchema(n, sample, k)
+        schema = family.build(problem)
+        assert schema.validate().valid
+
+    def test_replication_rate_matches_formula_for_distinct_buckets(self):
+        n, k = 9, 3
+        for sample in (SampleGraph.triangle(), SampleGraph.cycle(4)):
+            family = PartitionSampleGraphSchema(n, sample, k)
+            problem = SampleGraphProblem(n, sample)
+            schema = family.build(problem)
+            assert schema.replication_rate() == pytest.approx(
+                family.replication_rate_formula()
+            )
+
+    def test_triangle_specialization_matches_triangle_schema(self):
+        """For the triangle sample graph the generalized schema reproduces the
+        replication rate k of the Section 4 construction."""
+        n, k = 9, 3
+        family = PartitionSampleGraphSchema(n, SampleGraph.triangle(), k)
+        assert family.replication_rate_formula() == float(k)
+
+    def test_max_reducer_size_formula(self):
+        family = PartitionSampleGraphSchema(12, SampleGraph.cycle(4), 4)
+        nodes = 4 * 12 / 4
+        assert family.max_reducer_size_formula() == pytest.approx(nodes * (nodes - 1) / 2)
+
+    def test_hash_bucketing_valid(self):
+        problem = SampleGraphProblem(8, SampleGraph.triangle())
+        family = PartitionSampleGraphSchema(8, SampleGraph.triangle(), 3, hash_nodes=True)
+        assert family.build(problem).validate().valid
+
+
+class TestOracle:
+    def test_triangle_oracle_matches_networkx(self):
+        edges = gnm_random_graph(12, 30, seed=5)
+        instances = enumerate_sample_graph_oracle(edges, SampleGraph.triangle())
+        expected = {
+            frozenset({(a, b), (a, c), (b, c)})
+            for a, b, c in enumerate_triangles_oracle(edges)
+        }
+        assert set(instances) == expected
+
+    def test_four_cycle_count_on_complete_graph(self):
+        edges = complete_graph_edges(5)
+        instances = enumerate_sample_graph_oracle(edges, SampleGraph.cycle(4))
+        # C(5,4) node choices x 3 distinct 4-cycles each.
+        assert len(instances) == 15
+
+    def test_clique_count_on_complete_graph(self):
+        edges = complete_graph_edges(6)
+        instances = enumerate_sample_graph_oracle(edges, SampleGraph.clique(4))
+        assert len(instances) == math.comb(6, 4)
+
+
+class TestJobExecution:
+    @pytest.mark.parametrize(
+        "sample,k",
+        [
+            (SampleGraph.triangle(), 3),
+            (SampleGraph.cycle(4), 2),
+            (SampleGraph.clique(4), 3),
+            (SampleGraph.path(3), 3),
+        ],
+    )
+    def test_job_matches_oracle_exactly_once(self, engine, sample, k):
+        n = 10
+        edges = gnm_random_graph(n, 26, seed=17)
+        family = PartitionSampleGraphSchema(n, sample, k)
+        result = engine.run(family.job(), edges)
+        oracle = enumerate_sample_graph_oracle(edges, sample)
+        assert set(result.outputs) == set(oracle)
+        assert len(result.outputs) == len(set(result.outputs))
+
+    def test_job_measured_replication_matches_formula(self, engine):
+        n, k = 9, 3
+        sample = SampleGraph.cycle(4)
+        family = PartitionSampleGraphSchema(n, sample, k)
+        result = engine.run(family.job(), complete_graph_edges(n))
+        assert result.replication_rate == pytest.approx(family.replication_rate_formula())
+
+    def test_job_with_hash_bucketing(self, engine):
+        sample = SampleGraph.triangle()
+        family = PartitionSampleGraphSchema(10, sample, 4, hash_nodes=True)
+        edges = gnm_random_graph(10, 24, seed=19)
+        result = engine.run(family.job(), edges)
+        assert set(result.outputs) == set(enumerate_sample_graph_oracle(edges, sample))
+
+    def test_replication_grows_with_sample_size(self, engine):
+        """The (n/√q)^{s-2} shape: at fixed k the replication rate grows with
+        the number of sample-graph nodes s."""
+        n, k = 9, 3
+        rates = []
+        for sample in (SampleGraph.triangle(), SampleGraph.cycle(4), SampleGraph.cycle(5)):
+            family = PartitionSampleGraphSchema(n, sample, k)
+            rates.append(family.replication_rate_formula())
+        assert rates == sorted(rates)
+        assert rates[0] < rates[-1]
