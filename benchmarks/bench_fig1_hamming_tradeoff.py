@@ -1,9 +1,10 @@
 """Figure 1 — the Hamming-distance-1 replication/reducer-size tradeoff.
 
 Reproduces the hyperbola r = b / log2(q) and the dots where known algorithms
-(the Splitting family) sit exactly on it, and confirms the match by actually
-running each algorithm on the simulated engine and measuring its replication
-rate.
+(the Splitting family) sit exactly on it, and confirms the match by asking
+the cost-based planner for the best schema at each reducer-size budget,
+executing the winning plan on the simulated engine, and measuring its
+replication rate.
 """
 
 from __future__ import annotations
@@ -14,7 +15,9 @@ import pytest
 
 from repro.analysis.lower_bounds import hamming1_lower_bound
 from repro.mapreduce import MapReduceEngine
-from repro.schemas import SplittingSchema, splitting_points
+from repro.planner import CostBasedPlanner
+from repro.problems import HammingDistanceProblem
+from repro.schemas import splitting_points
 
 B_ANALYTIC = 24  # the curve is printed for 24-bit strings
 B_EXECUTED = 8   # algorithms are actually executed on the full 2^8 universe
@@ -35,16 +38,20 @@ def build_curve():
 
 
 def run_algorithms_on_engine():
+    """Plan each budget q = 2^(b/c) and execute the planner's choice."""
     engine = MapReduceEngine()
-    words = list(range(2 ** B_EXECUTED))
+    planner = CostBasedPlanner.min_replication()
+    problem = HammingDistanceProblem(B_EXECUTED)
+    words = range(2 ** B_EXECUTED)
     measured = []
     for c, log_q, _ in splitting_points(B_EXECUTED):
-        family = SplittingSchema(B_EXECUTED, c)
-        result = engine.run(family.job(), words)
+        plan = planner.plan(problem, engine.config, q=2.0 ** log_q).best
+        result = plan.execute(words, engine=engine)
         measured.append(
             {
                 "c": c,
                 "log2_q": log_q,
+                "plan": plan.name,
                 "measured_r": result.replication_rate,
                 "lower_bound_r": hamming1_lower_bound(B_EXECUTED, 2.0 ** log_q),
                 "max_reducer_size": result.metrics.shuffle.max_reducer_size,
@@ -71,13 +78,21 @@ def test_fig1_lower_bound_curve(benchmark, table_printer):
 def test_fig1_measured_on_engine(benchmark, table_printer):
     measured = benchmark(run_algorithms_on_engine)
     table_printer(
-        f"Figure 1 (measured): Splitting algorithms executed on the engine (b={B_EXECUTED})",
-        ["c", "log2 q", "measured r", "lower bound r", "max reducer size"],
+        f"Figure 1 (measured): planner-chosen algorithms executed on the engine (b={B_EXECUTED})",
+        ["c", "log2 q", "plan", "measured r", "lower bound r", "max reducer size"],
         [
-            [row["c"], row["log2_q"], row["measured_r"], row["lower_bound_r"], row["max_reducer_size"]]
+            [
+                row["c"],
+                row["log2_q"],
+                row["plan"],
+                row["measured_r"],
+                row["lower_bound_r"],
+                row["max_reducer_size"],
+            ]
             for row in measured
         ],
     )
+    # At every budget the planner's pick sits exactly on the hyperbola.
     for row in measured:
         assert row["measured_r"] == pytest.approx(row["lower_bound_r"])
         assert row["max_reducer_size"] <= 2 ** int(row["log2_q"])

@@ -18,6 +18,8 @@ import pytest
 from repro.analysis.lower_bounds import matmul_lower_bound
 from repro.datagen import integer_matrix, multiplication_records, records_to_matrix
 from repro.mapreduce import MapReduceEngine
+from repro.planner import CostBasedPlanner
+from repro.problems import MatrixMultiplicationProblem
 from repro.schemas import (
     OnePhaseTilingSchema,
     TwoPhaseMatMulAlgorithm,
@@ -62,7 +64,15 @@ def two_phase_sweep():
 
 
 def execute_both_methods():
+    """Plan each budget with the cost-based planner and execute both methods.
+
+    The planner enumerates the one-phase tiling and the two-phase chain for
+    every budget; both ranked plans are executed, and the planner's pick is
+    recorded (below the q = n² crossover it must be the two-phase method).
+    """
     engine = MapReduceEngine()
+    planner = CostBasedPlanner.min_replication()
+    problem = MatrixMultiplicationProblem(N_EXECUTED)
     n = N_EXECUTED
     left = integer_matrix(n, seed=71, low=1, high=5)
     right = integer_matrix(n, seed=72, low=1, high=5)
@@ -70,17 +80,19 @@ def execute_both_methods():
     expected = left @ right
     rows = []
     for q in (24, 48, 96):
-        one = OnePhaseTilingSchema.for_reducer_size(n, q)
-        one_result = engine.run(one.job(), records)
-        two = TwoPhaseMatMulAlgorithm.optimal_for_reducer_size(n, q)
-        two_result = engine.run_chain(two.chain(), records)
+        plans = planner.plan(problem, engine.config, q=q)
+        one = plans.find("one-phase")
+        two = plans.find("two-phase")
+        one_result = one.execute(records, engine=engine)
+        two_result = two.execute(records, engine=engine)
         rows.append(
             {
                 "q": q,
                 "one-phase comm": one_result.communication_cost,
                 "two-phase comm": two_result.total_communication,
                 "one-phase r": one_result.replication_rate,
-                "lower r": matmul_lower_bound(n, one.max_reducer_size_formula()),
+                "lower r": matmul_lower_bound(n, one.q),
+                "planner pick": plans.best.rounds,
                 "one correct": bool(
                     np.allclose(records_to_matrix(one_result.outputs, n, n), expected)
                 ),
@@ -163,5 +175,7 @@ def test_both_methods_executed(benchmark, table_printer):
     for row in rows:
         assert row["one correct"] and row["two correct"]
         assert row["one-phase r"] == pytest.approx(row["lower r"])
-        # Every q in the sweep is below n², so the two-phase method ships less.
+        # Every q in the sweep is below n², so the two-phase method ships
+        # less — and the planner's top-ranked plan is the two-round one.
         assert row["two-phase comm"] < row["one-phase comm"]
+        assert row["planner pick"] == 2

@@ -19,8 +19,9 @@ from repro.analysis.lower_bounds import chain_join_lower_bound, star_join_lower_
 from repro.analysis.upper_bounds import chain_join_upper_bound, star_join_upper_bound
 from repro.datagen import chain_join_instance, multiway_join_oracle
 from repro.mapreduce import MapReduceEngine
-from repro.problems import JoinQuery
-from repro.schemas import SharesSchema, chain_join_shares
+from repro.planner import CostBasedPlanner
+from repro.problems import JoinQuery, MultiwayJoinProblem
+from repro.schemas import SharesSchema
 
 N_DOMAIN = 1000
 
@@ -60,20 +61,27 @@ def star_sweep():
 
 
 def execute_chain_join():
+    """Plan each reducer-size budget with the cost-based planner and execute.
+
+    Shrinking the budget forces the planner onto finer Shares grids, tracing
+    the replication/parallelism tradeoff end-to-end on the engine.
+    """
     engine = MapReduceEngine()
-    query = JoinQuery.chain(3)
+    planner = CostBasedPlanner.min_replication()
+    problem = MultiwayJoinProblem(JoinQuery.chain(3), domain_size=8)
     relations = chain_join_instance(3, 40, 8, seed=909)
+    records = SharesSchema.input_records(relations)
+    _, expected = multiway_join_oracle(relations)
     rows = []
-    for reducers in (1, 8, 27):
-        schema = SharesSchema(query, chain_join_shares(3, reducers), domain_size=8)
-        records = SharesSchema.input_records(relations)
-        result = engine.run(schema.job(relations), records)
-        _, expected = multiway_join_oracle(relations)
+    for q_budget in (200, 60, 30):
+        plan = planner.plan(problem, engine.config, q=q_budget).best
+        result = plan.execute(records, engine=engine)
         rows.append(
             {
-                "grid reducers": schema.num_reducers,
+                "q budget": q_budget,
+                "grid reducers": plan.family.num_reducers,
                 "measured r": result.replication_rate,
-                "formula r": schema.replication_rate_formula(),
+                "formula r": plan.replication_rate,
                 "max reducer size": result.metrics.shuffle.max_reducer_size,
                 "join tuples": len(result.outputs),
                 "correct": sorted(result.outputs) == sorted(expected),
@@ -126,7 +134,7 @@ def test_chain_join_executed(benchmark, table_printer):
     for row in rows:
         assert row["correct"]
         assert row["measured r"] == pytest.approx(row["formula r"])
-    # More reducers (finer grid) means more replication and smaller reducers.
+    # Tighter budgets force finer grids: more replication, smaller reducers.
     measured = [row["measured r"] for row in rows]
     max_sizes = [row["max reducer size"] for row in rows]
     assert measured == sorted(measured)

@@ -3,8 +3,9 @@ and the sparse-graph restatement in terms of the edge count m.
 
 The dense sweep compares the partition algorithm's replication rate with the
 lower bound across reducer sizes (they differ by a constant factor of about
-3); the sparse experiment runs the algorithm on random G(n, m) graphs and
-compares the measured cost against the Ω(√(m/q)) form of Section 4.2.
+3); the sparse experiment plans each memory budget with the cost-based
+planner, executes the chosen schema on random G(n, m) graphs, and compares
+the measured cost against the Ω(√(m/q)) form of Section 4.2.
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ from repro.analysis.lower_bounds import triangle_lower_bound, triangle_lower_bou
 from repro.analysis.sparse import edge_target_reducer_size
 from repro.datagen import enumerate_triangles_oracle, gnm_random_graph
 from repro.mapreduce import MapReduceEngine
+from repro.planner import CostBasedPlanner
 from repro.problems import TriangleProblem
 from repro.schemas import PartitionTriangleSchema
 
@@ -43,18 +45,20 @@ def dense_sweep():
 
 def sparse_run():
     engine = MapReduceEngine()
+    planner = CostBasedPlanner.min_replication()
     n, m = N_EXECUTED, 200
+    problem = TriangleProblem(n)
     edges = gnm_random_graph(n, m, seed=404)
     rows = []
     for q_actual in (30, 60, 120):
         q_target = edge_target_reducer_size(q_actual, n, m)
-        family = PartitionTriangleSchema.for_reducer_size(n, q_target)
-        result = engine.run(family.job(), edges)
+        plan = planner.plan(problem, engine.config, q=q_target).best
+        result = plan.execute(edges, engine=engine)
         rows.append(
             {
                 "q_actual": q_actual,
                 "q_target": q_target,
-                "k": family.num_buckets,
+                "k": plan.family.num_buckets,
                 "measured r": result.replication_rate,
                 "sqrt(m/q) lower": triangle_lower_bound_sparse(m, q_actual),
                 "max reducer edges": result.metrics.shuffle.max_reducer_size,

@@ -7,6 +7,11 @@ and asserts the qualitative shape (who wins, by roughly what factor, where
 crossovers fall).  The timing side of pytest-benchmark measures the cost of
 the reproduction itself (schema construction / engine execution), which is
 useful for regression tracking but not part of the paper's claims.
+
+Passing ``--quick`` disables the pytest-benchmark timing loops (each
+benchmarked function runs exactly once), which turns the benchmarks into a
+fast smoke suite for CI: ``pytest benchmarks/ --quick`` (the sibling
+pytest.ini maps collection onto the ``bench_*.py`` naming).
 """
 
 from __future__ import annotations
@@ -14,6 +19,20 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--quick",
+        action="store_true",
+        default=False,
+        help="smoke mode: run each benchmarked function once, without timing loops",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    if config.getoption("--quick"):
+        config.option.benchmark_disable = True
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence[object]]) -> None:

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Choosing the reducer size for a priced cluster (Section 1.2 / Example 1.1).
 
-Scenario: the similarity-join and join workloads of the previous examples
+Scenario: the similarity-join and triangle workloads of the other examples
 are to be run on a rented cluster (the paper's EC2 discussion).  Given
 
 * a — the cost per unit of replication (communication),
@@ -9,8 +9,11 @@ are to be run on a rented cluster (the paper's EC2 discussion).  Given
 * optionally c — a wall-clock penalty proportional to the per-reducer
   running time (q² for all-pairs reducers, Example 1.1),
 
-the planner minimizes a·f(q) + b·q (+ c·q²) along each problem's tradeoff
-curve and reports which concrete algorithm to run.
+the cost-based planner enumerates every registered schema family, prices
+each candidate with a·r + b·q (+ c·q²), and reports which concrete
+algorithm to run.  The planning result also carries the problem's
+lower-bound tradeoff curve, which the last section uses for the continuous
+optimum.
 
 Run with:  python examples/cluster_cost_planner.py
 """
@@ -19,47 +22,28 @@ from __future__ import annotations
 
 import math
 
-from repro.analysis.lower_bounds import hamming1_recipe, triangle_recipe
-from repro.core import AlgorithmPoint, ClusterCostModel, TradeoffCurve
-from repro.schemas import PartitionTriangleSchema, splitting_points
+from repro.core import ClusterCostModel
+from repro.planner import CostBasedPlanner
+from repro.problems import HammingDistanceProblem, TriangleProblem
 
 
-def hamming_curve(b: int) -> TradeoffCurve:
-    curve = TradeoffCurve.from_recipe(hamming1_recipe(b))
-    for c, log_q, rate in splitting_points(b):
-        curve.add_algorithm(
-            AlgorithmPoint(name=f"splitting(c={c})", q=2.0 ** log_q, replication_rate=rate)
-        )
-    return curve
-
-
-def triangle_curve(n: int) -> TradeoffCurve:
-    curve = TradeoffCurve.from_recipe(triangle_recipe(n))
-    for k in (2, 4, 8, 16, 32, 64):
-        family = PartitionTriangleSchema(n, min(k, n))
-        curve.add_algorithm(
-            AlgorithmPoint(
-                name=family.name,
-                q=family.max_reducer_size_formula(),
-                replication_rate=family.replication_rate_formula(),
-            )
-        )
-    return curve
-
-
-def plan(title: str, curve: TradeoffCurve, scenarios) -> None:
+def plan(title: str, problem, q_budget: float, scenarios) -> None:
     print(f"\n== {title} ==")
-    header = f"{'scenario':<28} {'a':>10} {'b':>10} {'c':>10} {'chosen algorithm':<28} {'q':>12} {'r':>8} {'cost':>12}"
+    header = (
+        f"{'scenario':<28} {'a':>10} {'b':>10} {'c':>10} "
+        f"{'chosen algorithm':<34} {'q':>12} {'r':>8} {'cost':>12}"
+    )
     print(header)
     print("-" * len(header))
     for name, a, b_rate, c_rate in scenarios:
         model = ClusterCostModel(
             communication_rate=a, processing_rate=b_rate, wall_clock_rate=c_rate
         )
-        point, breakdown = curve.optimize_cost_over_algorithms(model)
+        planner = CostBasedPlanner(cost_model=model)
+        best = planner.plan(problem, q=q_budget).best
         print(
-            f"{name:<28} {a:>10g} {b_rate:>10g} {c_rate:>10g} {point.name:<28} "
-            f"{point.q:>12.0f} {point.replication_rate:>8.2f} {breakdown.total:>12.1f}"
+            f"{name:<28} {a:>10g} {b_rate:>10g} {c_rate:>10g} {best.name:<34} "
+            f"{best.q:>12.0f} {best.replication_rate:>8.2f} {best.total_cost:>12.1f}"
         )
 
 
@@ -72,16 +56,28 @@ def main() -> None:
         ("pricey network", 1000.0, 1.0, 0.0),
         ("wall-clock sensitive", 1.0, 0.0, 0.0005),
     ]
-    plan(f"Hamming-distance-1 similarity join (b={b})", hamming_curve(b), scenarios)
+    hamming = HammingDistanceProblem(b)
+    plan(
+        f"Hamming-distance-1 similarity join (b={b})",
+        hamming,
+        q_budget=2.0 ** b,
+        scenarios=scenarios,
+    )
 
     # Triangle analytics over a 4096-node graph domain.
     n = 4096
-    plan(f"Triangle finding (n={n})", triangle_curve(n), scenarios)
+    plan(
+        f"Triangle finding (n={n})",
+        TriangleProblem(n),
+        q_budget=float(n * (n - 1) // 2),
+        scenarios=scenarios,
+    )
 
     # The continuous optimum of Section 1.2 for the similarity join, showing
-    # how the best q moves as the network gets pricier.
+    # how the best q moves as the network gets pricier.  The planning result
+    # exposes the lower-bound tradeoff curve it used for ranking.
     print("\ncontinuous optimum along the lower-bound curve (similarity join):")
-    curve = hamming_curve(b)
+    curve = CostBasedPlanner.min_replication().plan(hamming, q=2.0 ** b).tradeoff
     print(f"  {'a (network price)':>18} {'optimal q':>14} {'log2 q':>8} {'r':>7}")
     for a in (0.1, 1.0, 10.0, 100.0, 1000.0):
         model = ClusterCostModel(communication_rate=a, processing_rate=1.0)

@@ -2,15 +2,16 @@
 """One-phase vs two-phase distributed matrix multiplication (Section 6).
 
 Scenario: an analytics pipeline multiplies two dense n×n matrices with a
-map-reduce cluster whose reducers can take at most q input elements.  The
-script runs both strategies on the simulated engine for a sweep of q:
+map-reduce cluster whose reducers can take at most q input elements.  For a
+sweep of q the cost-based planner enumerates both strategies:
 
 * the one-round tiling schema, whose replication rate 2n²/q matches the
   Section 6.1 lower bound exactly, and
-* the two-round algorithm of Section 6.3 with the 2:1 aspect-ratio optimum,
+* the two-round algorithm of Section 6.3 near the 2:1 aspect-ratio optimum,
   whose total communication is 4n³/√q.
 
-It verifies both against numpy and shows the crossover at q = n².
+Both plans are executed on the engine and verified against numpy; the
+planner's ranking reproduces the crossover at q = n².
 
 Run with:  python examples/matrix_pipeline.py
 """
@@ -21,10 +22,9 @@ import numpy as np
 
 from repro.datagen import integer_matrix, multiplication_records, records_to_matrix
 from repro.mapreduce import MapReduceEngine
+from repro.planner import CostBasedPlanner
 from repro.problems import MatrixMultiplicationProblem
 from repro.schemas import (
-    OnePhaseTilingSchema,
-    TwoPhaseMatMulAlgorithm,
     one_phase_total_communication,
     two_phase_total_communication,
 )
@@ -34,6 +34,7 @@ def main() -> None:
     n = 12
     engine = MapReduceEngine()
     problem = MatrixMultiplicationProblem(n)
+    planner = CostBasedPlanner.min_replication()
     left = integer_matrix(n, seed=5, low=0, high=9)
     right = integer_matrix(n, seed=6, low=0, high=9)
     records = multiplication_records(left, right)
@@ -43,24 +44,23 @@ def main() -> None:
 
     header = (
         f"{'q':>6} {'1-phase r':>10} {'1-phase comm':>13} {'2-phase comm':>13} "
-        f"{'winner':>8} {'both correct':>13}"
+        f"{'planner pick':>14} {'both correct':>13}"
     )
     print(header)
     print("-" * len(header))
 
     for q in (24, 48, 96, 144, 288):
-        one = OnePhaseTilingSchema.for_reducer_size(n, q)
-        one_result = engine.run(one.job(), records)
+        plans = planner.plan(problem, engine.config, q=q)
+        one = plans.find("one-phase")
+        two = plans.find("two-phase")
+        one_result = one.execute(records, engine=engine)
         one_ok = np.allclose(records_to_matrix(one_result.outputs, n, n), expected)
-
-        two = TwoPhaseMatMulAlgorithm.optimal_for_reducer_size(n, q)
-        two_result = engine.run_chain(two.chain(), records)
+        two_result = two.execute(records, engine=engine)
         two_ok = np.allclose(records_to_matrix(two_result.outputs, n, n), expected)
-
-        winner = "2-phase" if two_result.total_communication < one_result.communication_cost else "1-phase"
+        pick = "2-phase" if plans.best is two else "1-phase"
         print(
             f"{q:>6} {one_result.replication_rate:>10.2f} {one_result.communication_cost:>13} "
-            f"{two_result.total_communication:>13} {winner:>8} {str(one_ok and two_ok):>13}"
+            f"{two_result.total_communication:>13} {pick:>14} {str(one_ok and two_ok):>13}"
         )
 
     print("\nclosed-form totals for a larger matrix (n = 1000):")

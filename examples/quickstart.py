@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: the model, a mapping schema, its validation, and the bounds.
+"""Quickstart: the model, the planner, validation, bounds, and execution.
 
 This walks through the library's core objects on the paper's flagship
 example — finding pairs of bit strings at Hamming distance 1:
 
 1. define the problem (inputs, outputs, dependency mapping),
-2. build a constructive mapping schema (the Splitting algorithm),
-3. validate the schema's two constraints and read off its replication rate,
+2. ask the cost-based planner for the best mapping schema within a
+   reducer-size budget (it picks the Splitting algorithm),
+3. validate the chosen schema's two constraints and read off its
+   replication rate,
 4. compare against the generic lower-bound recipe,
-5. execute the schema as a real map-reduce job on the simulated engine.
+5. execute the winning plan as a real map-reduce job on the streaming
+   engine.
 
 Run with:  python examples/quickstart.py
 """
@@ -17,9 +20,9 @@ from __future__ import annotations
 
 from repro.core import LowerBoundRecipe
 from repro.datagen import bernoulli_bitstrings
-from repro.mapreduce import MapReduceEngine
+from repro.mapreduce import ClusterConfig, MapReduceEngine
+from repro.planner import CostBasedPlanner
 from repro.problems import HammingDistanceProblem
-from repro.schemas import SplittingSchema
 
 
 def main() -> None:
@@ -30,32 +33,42 @@ def main() -> None:
     print(f"problem: {problem.name}")
     print(f"  |I| = {problem.num_inputs} inputs, |O| = {problem.num_outputs} outputs")
 
-    # 2. A constructive algorithm: the Splitting schema with c = 2 segments.
-    #    Each string goes to 2 reducers; reducers hold 2^(b/2) strings.
-    family = SplittingSchema(b, num_segments=2)
-    schema = family.build(problem)
+    # 2. Plan: reducers may hold at most q = 2^(b/2) = 16 strings.  The
+    #    planner enumerates every registered schema family that fits the
+    #    budget and ranks them; with the replication-minimizing objective it
+    #    picks the Splitting algorithm with c = 2 segments.
+    q_budget = 2 ** (b // 2)
+    planner = CostBasedPlanner.min_replication()
+    plans = planner.plan(problem, ClusterConfig(), q=q_budget)
+    best = plans.best
+    print(f"\nplanner (budget q={q_budget}): {len(plans)} candidate plans")
+    for plan in plans:
+        print(
+            f"  #{plan.rank}  {plan.name:<28} q={plan.q:>6.0f}  r={plan.replication_rate:.3f}"
+        )
+    print(f"chosen: {best.name}")
+
+    # 3. Materialize and validate the chosen schema's two constraints
+    #    (reducer size, output coverage) and read off its replication rate.
+    schema = best.family.build(problem)
+    report = schema.validate()
     print(f"\nschema: {schema.name}")
     print(f"  reducers          = {schema.num_reducers}")
     print(f"  max reducer size  = {schema.max_reducer_size()}")
     print(f"  replication rate  = {schema.replication_rate():.3f}")
-
-    # 3. Validate the two mapping-schema constraints (reducer size, coverage).
-    report = schema.validate()
     print(f"  valid             = {report.valid}")
 
     # 4. The generic lower-bound recipe of Section 2.4 applied to this problem.
     recipe = LowerBoundRecipe.from_problem(problem)
-    q = schema.max_reducer_size()
-    bound = recipe.bound_at(q)
-    print(f"\nlower bound at q={q}: r >= {bound.replication_rate_bound:.3f}")
-    print("  -> the Splitting algorithm matches the bound exactly")
+    bound = recipe.bound_at(best.q)
+    print(f"\nlower bound at q={best.q:.0f}: r >= {bound.replication_rate_bound:.3f}")
+    print("  -> the planner's choice matches the bound exactly")
 
-    # 5. Execute the same schema as a map-reduce job over a sampled instance.
-    #    The model's counts assume all inputs are present; an instance holds a
-    #    random subset (each string present with probability 0.3).
-    engine = MapReduceEngine()
+    # 5. Execute the winning plan over a sampled instance.  The model's
+    #    counts assume all inputs are present; an instance holds a random
+    #    subset (each string present with probability 0.3).
     present = bernoulli_bitstrings(b, probability=0.3, seed=7)
-    result = engine.run(family.job(), present)
+    result = best.execute(present, engine=MapReduceEngine())
     print(f"\nexecuted on {len(present)} present strings:")
     print(f"  distance-1 pairs found = {len(result.outputs)}")
     print(f"  key-value pairs shuffled = {result.communication_cost}")

@@ -6,14 +6,12 @@ and wants every pair of records whose signatures differ in at most d bits.
 The reducer-size budget q is fixed by worker memory, and the question is
 which algorithm to use and what communication it will cost.
 
-The script compares, for the same data set:
-
-* the Splitting algorithm at several segment counts (distance 1),
-* the weight-partition algorithm with large reducers (distance 1),
-* the segment-deletion and Ball-2 algorithms for distance 2,
-
-reporting measured replication rate, shuffled pairs, reducer sizes and the
-Section 3 lower bound for each.
+The cost-based planner answers it: for each distance it enumerates every
+registered schema family that fits the budget (Splitting at several segment
+counts and the weight-partition grids for distance 1; segment-deletion and
+Ball-2 for distance 2), ranks them, and the script executes every ranked
+plan on the same data set, reporting measured replication rate, shuffled
+pairs, reducer sizes and the Section 3 lower bound.
 
 Run with:  python examples/similarity_join.py
 """
@@ -23,19 +21,16 @@ from __future__ import annotations
 from repro.analysis.lower_bounds import hamming1_lower_bound
 from repro.datagen import all_pairs_at_distance, bernoulli_bitstrings
 from repro.mapreduce import ClusterConfig, MapReduceEngine
-from repro.schemas import (
-    BallTwoSchema,
-    SegmentDeletionSchema,
-    SplittingSchema,
-    WeightPartitionSchema,
-)
+from repro.planner import CostBasedPlanner
+from repro.problems import HammingDistanceProblem
 
 
-def run_algorithm(engine, family, job, words, expected_pairs):
-    result = engine.run(job, words)
+def run_plan(engine, plan, words, expected_pairs):
+    result = plan.execute(words, engine=engine)
     correct = sorted(result.outputs) == sorted(expected_pairs)
     return {
-        "algorithm": family.name,
+        "rank": plan.rank,
+        "algorithm": plan.name,
         "replication": result.replication_rate,
         "pairs": len(result.outputs),
         "correct": correct,
@@ -46,31 +41,34 @@ def run_algorithm(engine, family, job, words, expected_pairs):
 
 def print_rows(title, rows):
     print(f"\n== {title} ==")
-    header = f"{'algorithm':<34} {'r':>7} {'pairs':>7} {'max q_i':>8} {'reducers':>9} {'ok':>4}"
+    header = (
+        f"{'#':>2} {'algorithm':<34} {'r':>7} {'pairs':>7} "
+        f"{'max q_i':>8} {'reducers':>9} {'ok':>4}"
+    )
     print(header)
     print("-" * len(header))
     for row in rows:
         print(
-            f"{row['algorithm']:<34} {row['replication']:>7.3f} {row['pairs']:>7} "
-            f"{row['max_reducer']:>8} {row['reducers']:>9} {str(row['correct']):>4}"
+            f"{row['rank']:>2} {row['algorithm']:<34} {row['replication']:>7.3f} "
+            f"{row['pairs']:>7} {row['max_reducer']:>8} {row['reducers']:>9} "
+            f"{str(row['correct']):>4}"
         )
 
 
 def main() -> None:
     b = 12
     engine = MapReduceEngine(ClusterConfig(num_workers=16))
+    planner = CostBasedPlanner.min_replication()
     words = bernoulli_bitstrings(b, probability=0.05, seed=2026)
     print(f"signatures: {len(words)} present strings of b={b} bits")
 
     # ---------------- distance 1 ----------------
+    # Budget: reducers of at most 2^(b/2) = 64 potential strings.
+    q_budget = 2 ** (b // 2)
+    plans = planner.plan(HammingDistanceProblem(b), engine.config, q=q_budget)
     expected_d1 = all_pairs_at_distance(words, 1)
-    rows = []
-    for c in (2, 3, 4, 6):
-        family = SplittingSchema(b, c)
-        rows.append(run_algorithm(engine, family, family.job(), words, expected_d1))
-    weight_family = WeightPartitionSchema(b, cell_width=2)
-    rows.append(run_algorithm(engine, weight_family, weight_family.job(), words, expected_d1))
-    print_rows("Hamming distance 1", rows)
+    rows = [run_plan(engine, plan, words, expected_d1) for plan in plans]
+    print_rows(f"Hamming distance 1 (budget q={q_budget}, ranked by the planner)", rows)
     for c in (2, 3, 4, 6):
         q = 2 ** (b // c)
         print(
@@ -78,24 +76,35 @@ def main() -> None:
             f"(Splitting with c={c} matches it exactly)"
         )
 
+    # With a large-reducer budget (but still below the whole universe) the
+    # Section 3.4 weight-partition grid becomes feasible and its replication
+    # rate below 2 beats every Splitting configuration — the planner finds
+    # it without being told.
+    q_large = 3000
+    plans_large = planner.plan(HammingDistanceProblem(b), engine.config, q=q_large)
+    rows = [run_plan(engine, plan, words, expected_d1) for plan in plans_large.plans[:4]]
+    print_rows(
+        f"Hamming distance 1, large reducers (budget q={q_large}, top 4 plans)", rows
+    )
+
     # ---------------- distance 2 ----------------
+    q_budget_d2 = 2 ** (b // 2)
+    plans_d2 = planner.plan(
+        HammingDistanceProblem(b, distance=2), engine.config, q=q_budget_d2
+    )
     expected_d2 = all_pairs_at_distance(words, 2)
-    rows = []
-    seg_family = SegmentDeletionSchema(b, num_segments=4, distance=2)
-    rows.append(
-        run_algorithm(engine, seg_family, seg_family.job(emit_distance=2), words, expected_d2)
-    )
-    ball_family = BallTwoSchema(b)
-    expected_d12 = sorted(expected_d2 + expected_d1)
-    rows.append(run_algorithm(engine, ball_family, ball_family.job(), words, expected_d12))
-    print_rows("Hamming distance 2 (Ball-2 also emits distance-1 pairs)", rows)
-    print(
-        "\nSection 3.6 takeaway: for distance 2 the segment-deletion schema "
-        f"costs r = C(4,2) = {seg_family.replication_rate_formula():.0f} with reducers of "
-        f"{seg_family.max_reducer_size_formula():.0f} potential strings, while Ball-2 costs "
-        f"r = b+1 = {ball_family.replication_rate_formula():.0f} with tiny reducers; no tight "
-        "lower bound is known because one reducer can cover O(q^2) outputs."
-    )
+    rows = [run_plan(engine, plan, words, expected_d2) for plan in plans_d2]
+    print_rows(f"Hamming distance 2 (budget q={q_budget_d2}, ranked)", rows)
+    seg = plans_d2.find("segment-deletion")
+    ball = plans_d2.find("ball-2")
+    if seg is not None and ball is not None:
+        print(
+            "\nSection 3.6 takeaway: for distance 2 the segment-deletion schema "
+            f"costs r = {seg.replication_rate:.0f} with reducers of "
+            f"{seg.q:.0f} potential strings, while Ball-2 costs "
+            f"r = b+1 = {ball.replication_rate:.0f} with tiny reducers; no tight "
+            "lower bound is known because one reducer can cover O(q^2) outputs."
+        )
 
 
 if __name__ == "__main__":

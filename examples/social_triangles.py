@@ -8,9 +8,11 @@ edges in memory.  The script:
 1. generates a sparse random graph (and a skewed variant with hub users),
 2. converts the memory budget of *actual* edges into the model's target
    reducer size using the Section 4.2 scaling q_t = q·n(n-1)/(2m),
-3. picks the bucket count of the partition algorithm accordingly,
-4. runs the job, verifies the triangles against a serial oracle, and
-   compares the measured replication rate with the Ω(√(m/q)) bound.
+3. asks the cost-based planner for the best schema within that budget (it
+   picks the bucket count of the partition algorithm),
+4. executes the winning plan, verifies the triangles against a serial
+   oracle, and compares the measured replication rate with the Ω(√(m/q))
+   bound.
 
 Run with:  python examples/social_triangles.py
 """
@@ -27,19 +29,22 @@ from repro.datagen import (
     skewed_graph,
 )
 from repro.mapreduce import ClusterConfig, MapReduceEngine
-from repro.schemas import PartitionTriangleSchema
+from repro.planner import CostBasedPlanner
+from repro.problems import TriangleProblem
+
+PLANNER = CostBasedPlanner.min_replication()
 
 
 def analyse(engine, name, edges, n, q_actual):
     m = len(edges)
     q_target = edge_target_reducer_size(q_actual, n, m)
-    family = PartitionTriangleSchema.for_reducer_size(n, q_target)
-    result = engine.run(family.job(), edges)
+    plan = PLANNER.plan(TriangleProblem(n), engine.config, q=q_target).best
+    result = plan.execute(edges, engine=engine)
     expected = enumerate_triangles_oracle(edges)
     bound = triangle_lower_bound_sparse(m, q_actual)
     print(f"\n--- {name}: n={n}, m={m}, memory budget q={q_actual} edges ---")
     print(f"  target reducer size (potential edges) q_t = {q_target:.0f}")
-    print(f"  bucket count k = {family.num_buckets}  ->  replication rate = {result.replication_rate:.1f}")
+    print(f"  planner chose {plan.name}  ->  replication rate = {result.replication_rate:.1f}")
     print(f"  sparse lower bound ~ sqrt(m/q) = {bound:.1f}")
     print(f"  largest reducer received {result.metrics.shuffle.max_reducer_size} actual edges")
     print(f"  chance a reducer exceeds 2x its expected load: "
@@ -71,14 +76,14 @@ def main() -> None:
 
     # Sweep the memory budget to expose the tradeoff curve numerically.
     print("\nmemory budget sweep (uniform graph):")
-    print(f"  {'q (edges)':>10} {'k':>4} {'replication':>12} {'sqrt(m/q)':>10}")
+    print(f"  {'q (edges)':>10} {'plan':>28} {'replication':>12} {'sqrt(m/q)':>10}")
     for q_actual in (40, 80, 160, 320):
         m = len(uniform_edges)
         q_target = edge_target_reducer_size(q_actual, n, m)
-        family = PartitionTriangleSchema.for_reducer_size(n, q_target)
-        run = engine.run(family.job(), uniform_edges)
+        plan = PLANNER.plan(TriangleProblem(n), engine.config, q=q_target).best
+        run = plan.execute(uniform_edges, engine=engine)
         print(
-            f"  {q_actual:>10} {family.num_buckets:>4} {run.replication_rate:>12.1f} "
+            f"  {q_actual:>10} {plan.name:>28} {run.replication_rate:>12.1f} "
             f"{triangle_lower_bound_sparse(m, q_actual):>10.1f}"
         )
 

@@ -12,6 +12,9 @@ The package is organized as follows:
   sample graphs, 2-paths, joins, matrix multiplication, word count,
   grouping);
 * :mod:`repro.schemas` — the constructive algorithms (upper bounds);
+* :mod:`repro.planner` — the cost-based planner that enumerates registered
+  schema families, prices them with the cluster cost model, and returns
+  ranked executable plans;
 * :mod:`repro.analysis` — closed-form bounds, Table 1/2 regeneration,
   fractional edge covers, sparse-data scaling, approximations;
 * :mod:`repro.datagen` — synthetic workload generators.
@@ -31,6 +34,7 @@ from repro.exceptions import (
     BoundDerivationError,
     ConfigurationError,
     ExecutionError,
+    PlanningError,
     ProblemDomainError,
     ReducerCapacityExceededError,
     ReproError,
@@ -38,6 +42,7 @@ from repro.exceptions import (
     UncoveredOutputError,
 )
 from repro.mapreduce import ClusterConfig, JobChain, MapReduceEngine, MapReduceJob
+from repro.planner import CostBasedPlanner, ExecutionPlan, PlanningResult
 
 __version__ = "1.0.0"
 
@@ -47,13 +52,17 @@ __all__ = [
     "ClusterConfig",
     "ClusterCostModel",
     "ConfigurationError",
+    "CostBasedPlanner",
     "ExecutionError",
+    "ExecutionPlan",
     "ExplicitProblem",
     "JobChain",
     "LowerBoundRecipe",
     "MapReduceEngine",
     "MapReduceJob",
     "MappingSchema",
+    "PlanningError",
+    "PlanningResult",
     "Problem",
     "ProblemDomainError",
     "ReducerCapacityExceededError",

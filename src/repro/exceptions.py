@@ -69,3 +69,11 @@ class BoundDerivationError(ReproError):
 
 class ProblemDomainError(ReproError):
     """A problem instance refers to inputs or outputs outside its domain."""
+
+
+class PlanningError(ReproError):
+    """The cost-based planner could not produce a plan.
+
+    Raised when no schema family is registered for a problem type, or when
+    no registered candidate fits within the requested reducer-size budget.
+    """

@@ -30,12 +30,18 @@ from repro.mapreduce.partitioner import (
     RoundRobinPartitioner,
     stable_hash,
 )
+from repro.mapreduce.shuffle import (
+    InMemoryShuffle,
+    PartitionedShuffle,
+    ShuffleBackend,
+)
 from repro.mapreduce.types import KeyValue, ReducerInput, ensure_key_value
 
 __all__ = [
     "ClusterConfig",
     "GreedyLoadBalancingPartitioner",
     "HashPartitioner",
+    "InMemoryShuffle",
     "JobChain",
     "JobMetrics",
     "JobResult",
@@ -43,10 +49,12 @@ __all__ = [
     "MapReduceEngine",
     "MapReduceJob",
     "Partitioner",
+    "PartitionedShuffle",
     "PipelineMetrics",
     "PipelineResult",
     "ReducerInput",
     "RoundRobinPartitioner",
+    "ShuffleBackend",
     "ShuffleStats",
     "WorkerStats",
     "collecting_reducer",

@@ -41,6 +41,12 @@ class ClusterConfig:
         model (the constant of proportionality of the ``a·r`` term).
     worker_cost_per_unit:
         Cost charged per unit of reducer computation (the ``b·q`` term).
+    map_batch_size:
+        Number of consecutive input records processed by one simulated map
+        task.  A job's combiner runs once per map task, before the task's
+        emissions cross the shuffle boundary — the batch size therefore
+        controls how much pre-aggregation a combiner can achieve, exactly
+        like Hadoop's input-split size does.
     """
 
     num_workers: int = 4
@@ -49,6 +55,7 @@ class ClusterConfig:
     partitioner: Partitioner = field(default_factory=HashPartitioner)
     communication_cost_per_record: float = 1.0
     worker_cost_per_unit: float = 1.0
+    map_batch_size: int = 1024
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -63,6 +70,10 @@ class ClusterConfig:
             raise ConfigurationError("communication_cost_per_record must be >= 0")
         if self.worker_cost_per_unit < 0:
             raise ConfigurationError("worker_cost_per_unit must be >= 0")
+        if self.map_batch_size <= 0:
+            raise ConfigurationError(
+                f"map_batch_size must be positive, got {self.map_batch_size}"
+            )
 
     def effective_capacity(self, job_capacity: Optional[int]) -> Optional[int]:
         """Resolve the reducer-size limit for a job.
@@ -83,4 +94,5 @@ class ClusterConfig:
             partitioner=self.partitioner,
             communication_cost_per_record=self.communication_cost_per_record,
             worker_cost_per_unit=self.worker_cost_per_unit,
+            map_batch_size=self.map_batch_size,
         )

@@ -1,24 +1,47 @@
-"""Deterministic in-memory execution engine for simulated map-reduce jobs.
+"""Deterministic streaming execution engine for simulated map-reduce jobs.
 
 The engine is the substrate that replaces Hadoop in this reproduction.  It
 executes :class:`~repro.mapreduce.job.MapReduceJob` specifications over an
-in-memory list of input records and produces both the outputs and a complete
+iterable of input records and produces both the outputs and a complete
 :class:`~repro.mapreduce.metrics.JobMetrics` cost report.  The shuffle is
-modelled exactly: every key-value pair emitted by a mapper is counted as one
-unit of communication, pairs are grouped by key, and each group is handed to
-the reduce function.
+modelled exactly: every key-value pair crossing the map → reduce boundary is
+counted as one unit of communication, pairs are grouped by key, and each
+group is handed to the reduce function.
+
+Three properties distinguish the engine from a naive simulator:
+
+* **Streaming map phase.**  Inputs are consumed one record at a time and
+  mapper emissions flow straight into a pluggable
+  :class:`~repro.mapreduce.shuffle.ShuffleBackend`; the input list is never
+  materialized by the engine, so generators of arbitrary length work.
+* **Faithful combiners.**  A combiner runs per simulated map task (a
+  contiguous batch of ``ClusterConfig.map_batch_size`` input records), i.e.
+  *before* pairs cross the shuffle boundary — exactly where Hadoop runs it.
+  Communication cost therefore reflects what a combiner actually saves; it
+  is never computed from globally grouped data.
+* **Incremental metrics.**  Reducer sizes, worker loads and compute cost are
+  collected while groups stream out of the shuffle backend, never from a
+  fully materialized intermediate dictionary.
 
 Determinism matters for reproducibility of the benchmarks: reduce keys are
-processed in sorted order of their stable hash (falling back to insertion
-order when hashing ties), and no randomness is used anywhere in the engine.
+processed in sorted order of their stable hash (falling back to ``repr``
+order on ties), and no randomness is used anywhere in the engine.  Note
+that *stateful* partitioners (round-robin, greedy load-balancing) therefore
+see keys in stable-hash order, not mapper-emission order as the
+pre-streaming engine did; their worker assignments remain deterministic but
+differ from runs recorded before the streaming rewrite.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence
 
-from repro.exceptions import ExecutionError, ReducerCapacityExceededError
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutionError,
+    ReducerCapacityExceededError,
+)
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.job import JobChain, MapReduceJob
 from repro.mapreduce.metrics import (
@@ -27,8 +50,29 @@ from repro.mapreduce.metrics import (
     ShuffleStats,
     WorkerStats,
 )
-from repro.mapreduce.partitioner import stable_hash
+from repro.mapreduce.shuffle import InMemoryShuffle, ShuffleBackend
 from repro.mapreduce.types import ensure_key_value
+
+#: A callable producing a fresh shuffle backend for one job execution.
+ShuffleFactory = Callable[[], ShuffleBackend]
+
+
+def _guarded_iteration(iterable: Iterable[Any], described: str) -> Iterable[Any]:
+    """Re-wrap exceptions raised *while iterating* a user callable's result.
+
+    Mappers, combiners and reducers are usually generators, so their bodies
+    run during iteration, not at call time; guarding only the call would let
+    their errors escape the engine's ExecutionError contract.
+    """
+    iterator = iter(iterable)
+    while True:
+        try:
+            item = next(iterator)
+        except StopIteration:
+            return
+        except Exception as error:
+            raise ExecutionError(f"{described}: {error}") from error
+        yield item
 
 
 @dataclass
@@ -68,10 +112,21 @@ class MapReduceEngine:
     config:
         Cluster configuration.  A default configuration (4 workers, no
         reducer-size limit) is used when omitted.
+    shuffle_factory:
+        Zero-argument callable returning a fresh
+        :class:`~repro.mapreduce.shuffle.ShuffleBackend` per executed job.
+        Defaults to :class:`~repro.mapreduce.shuffle.InMemoryShuffle`; pass
+        ``PartitionedShuffle`` (or a configured lambda) to bound peak memory
+        on large workloads.
     """
 
-    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        shuffle_factory: Optional[ShuffleFactory] = None,
+    ) -> None:
         self.config = config or ClusterConfig()
+        self.shuffle_factory: ShuffleFactory = shuffle_factory or InMemoryShuffle
 
     # ------------------------------------------------------------------
     # Single-round execution
@@ -81,6 +136,7 @@ class MapReduceEngine:
         job: MapReduceJob,
         inputs: Iterable[Any],
         reducer_cost: Optional[Callable[[int], float]] = None,
+        shuffle: Optional[ShuffleBackend] = None,
     ) -> JobResult:
         """Execute ``job`` over ``inputs`` and return outputs plus metrics.
 
@@ -89,47 +145,22 @@ class MapReduceEngine:
         job:
             The job specification.
         inputs:
-            Input records; consumed once.
+            Input records; consumed once, streamed (never materialized).
         reducer_cost:
             Optional function from a reducer's input size ``q_i`` to its
             computation cost.  The summed cost over all reducers is reported
             as ``reducer_compute_cost`` in the metrics (e.g. pass
             ``lambda q: q * q`` for the all-pairs reducers of Example 1.1).
+        shuffle:
+            Optional pre-built shuffle backend for this run only, overriding
+            the engine's ``shuffle_factory``.
         """
-        materialized_inputs = list(inputs)
-        grouped, num_pairs = self._map_and_shuffle(job, materialized_inputs)
-        capacity = self.config.effective_capacity(job.reducer_capacity)
-        self._check_capacity(job, grouped, capacity)
-
-        outputs: List[Any] = []
-        compute_cost = 0.0
-        for key in self._ordered_keys(grouped):
-            values = grouped[key]
-            if reducer_cost is not None:
-                compute_cost += float(reducer_cost(len(values)))
-            try:
-                produced = job.reducer(key, values)
-            except Exception as error:  # pragma: no cover - defensive re-wrap
-                raise ExecutionError(
-                    f"reducer of job {job.name!r} failed on key {key!r}: {error}"
-                ) from error
-            if produced is not None:
-                outputs.extend(produced)
-
-        shuffle = ShuffleStats(
-            num_inputs=len(materialized_inputs),
-            num_key_value_pairs=num_pairs,
-            reducer_sizes={key: len(values) for key, values in grouped.items()},
-        )
-        workers = self._worker_stats(grouped)
-        metrics = JobMetrics(
-            job_name=job.name,
-            shuffle=shuffle,
-            workers=workers,
-            num_outputs=len(outputs),
-            reducer_compute_cost=compute_cost,
-        )
-        return JobResult(outputs=outputs, metrics=metrics)
+        backend = shuffle if shuffle is not None else self.shuffle_factory()
+        try:
+            num_inputs = self._map_phase(job, inputs, backend)
+            return self._reduce_phase(job, backend, num_inputs, reducer_cost)
+        finally:
+            backend.close()
 
     # ------------------------------------------------------------------
     # Multi-round execution
@@ -148,11 +179,15 @@ class MapReduceEngine:
         communication counted is each round's own shuffle, which matches the
         paper's two-phase accounting).
         """
+        if not chain.jobs:
+            raise ConfigurationError(
+                f"cannot execute job chain {chain.name!r}: it contains no jobs"
+            )
         if reducer_costs is not None and len(reducer_costs) != len(chain.jobs):
             raise ExecutionError(
                 "reducer_costs must have one entry per job in the chain"
             )
-        current_inputs = list(inputs)
+        current_inputs: Iterable[Any] = inputs
         round_results: List[JobResult] = []
         for index, job in enumerate(chain.jobs):
             cost_fn = reducer_costs[index] if reducer_costs is not None else None
@@ -171,67 +206,136 @@ class MapReduceEngine:
         )
 
     # ------------------------------------------------------------------
-    # Internal helpers
+    # Map phase (streaming)
     # ------------------------------------------------------------------
-    def _map_and_shuffle(
-        self, job: MapReduceJob, inputs: Sequence[Any]
-    ) -> Tuple[Dict[Hashable, List[Any]], int]:
-        """Run the map phase and group emissions by key.
+    def _map_phase(
+        self, job: MapReduceJob, inputs: Iterable[Any], backend: ShuffleBackend
+    ) -> int:
+        """Stream inputs through the mapper into the shuffle backend.
 
-        Returns the grouped intermediate data and the number of key-value
-        pairs crossing the map → reduce boundary (after the combiner, if one
-        is configured, since a combiner reduces actual communication).
+        Returns the number of input records consumed.  When the job has a
+        combiner, mapper emissions are buffered per map task (a contiguous
+        batch of ``map_batch_size`` records) and combined before entering
+        the shuffle, so the recorded communication is post-combiner — the
+        pairs that would really cross the network.
         """
-        emitted: Dict[Hashable, List[Any]] = {}
-        for record in inputs:
-            try:
-                pairs = job.mapper(record)
-            except Exception as error:
-                raise ExecutionError(
-                    f"mapper of job {job.name!r} failed on record {record!r}: {error}"
-                ) from error
-            if pairs is None:
-                continue
-            for item in pairs:
-                pair = ensure_key_value(item)
-                emitted.setdefault(pair.key, []).append(pair.value)
-
         if job.combiner is None:
-            grouped = emitted
-        else:
-            grouped = {}
-            for key, values in emitted.items():
-                combined_pairs = job.combiner(key, values)
-                for item in combined_pairs:
-                    pair = ensure_key_value(item)
-                    grouped.setdefault(pair.key, []).append(pair.value)
+            return self._map_streaming(job, inputs, backend)
+        return self._map_with_combiner(job, inputs, backend)
 
-        num_pairs = sum(len(values) for values in grouped.values())
-        return grouped, num_pairs
+    def _map_streaming(
+        self, job: MapReduceJob, inputs: Iterable[Any], backend: ShuffleBackend
+    ) -> int:
+        num_inputs = 0
+        for record in inputs:
+            num_inputs += 1
+            for item in self._emit(job, record):
+                pair = ensure_key_value(item)
+                backend.add(pair.key, pair.value)
+        return num_inputs
 
-    def _check_capacity(
+    def _map_with_combiner(
+        self, job: MapReduceJob, inputs: Iterable[Any], backend: ShuffleBackend
+    ) -> int:
+        batch_size = self.config.map_batch_size
+        buffer: Dict[Hashable, List[Any]] = {}
+        in_batch = 0
+        num_inputs = 0
+        for record in inputs:
+            num_inputs += 1
+            for item in self._emit(job, record):
+                pair = ensure_key_value(item)
+                buffer.setdefault(pair.key, []).append(pair.value)
+            in_batch += 1
+            if in_batch >= batch_size:
+                self._flush_combined(job, buffer, backend)
+                buffer = {}
+                in_batch = 0
+        if buffer:
+            self._flush_combined(job, buffer, backend)
+        return num_inputs
+
+    def _flush_combined(
         self,
         job: MapReduceJob,
-        grouped: Dict[Hashable, List[Any]],
-        capacity: Optional[int],
+        buffer: Dict[Hashable, List[Any]],
+        backend: ShuffleBackend,
     ) -> None:
-        if capacity is None or not self.config.enforce_capacity:
-            return
-        for key, values in grouped.items():
-            if len(values) > capacity:
-                raise ReducerCapacityExceededError(key, len(values), capacity)
+        """Run the combiner over one map task's buffered emissions."""
+        for key, values in buffer.items():
+            described = f"combiner of job {job.name!r} failed on key {key!r}"
+            try:
+                combined = job.combiner(key, values)
+            except Exception as error:
+                raise ExecutionError(f"{described}: {error}") from error
+            for item in _guarded_iteration(combined, described):
+                pair = ensure_key_value(item)
+                backend.add(pair.key, pair.value)
 
-    def _worker_stats(self, grouped: Dict[Hashable, List[Any]]) -> WorkerStats:
-        stats = WorkerStats()
-        for key, values in grouped.items():
+    def _emit(self, job: MapReduceJob, record: Any) -> Iterable[Any]:
+        described = f"mapper of job {job.name!r} failed on record {record!r}"
+        try:
+            pairs = job.mapper(record)
+        except Exception as error:
+            raise ExecutionError(f"{described}: {error}") from error
+        if pairs is None:
+            return ()
+        return _guarded_iteration(pairs, described)
+
+    # ------------------------------------------------------------------
+    # Reduce phase (streaming, metrics collected incrementally)
+    # ------------------------------------------------------------------
+    def _reduce_phase(
+        self,
+        job: MapReduceJob,
+        backend: ShuffleBackend,
+        num_inputs: int,
+        reducer_cost: Optional[Callable[[int], float]],
+    ) -> JobResult:
+        """Stream groups out of the backend through the reducer.
+
+        Capacity is enforced as groups stream by, so with
+        ``enforce_capacity`` the reducers of groups ordered before an
+        oversized key (in stable-hash order) have already run when the
+        :class:`ReducerCapacityExceededError` aborts the job — a deliberate
+        consequence of never materializing the full shuffle.
+        """
+        capacity = self.config.effective_capacity(job.reducer_capacity)
+        enforce = capacity is not None and self.config.enforce_capacity
+        outputs: List[Any] = []
+        compute_cost = 0.0
+        reducer_sizes: Dict[Hashable, int] = {}
+        workers = WorkerStats()
+        for key, values in backend.groups():
+            size = len(values)
+            reducer_sizes[key] = size
+            if enforce and size > capacity:
+                raise ReducerCapacityExceededError(key, size, capacity)
             worker = self.config.partitioner.assign(key, self.config.num_workers)
-            stats.keys_per_worker[worker] = stats.keys_per_worker.get(worker, 0) + 1
-            stats.values_per_worker[worker] = (
-                stats.values_per_worker.get(worker, 0) + len(values)
+            workers.keys_per_worker[worker] = workers.keys_per_worker.get(worker, 0) + 1
+            workers.values_per_worker[worker] = (
+                workers.values_per_worker.get(worker, 0) + size
             )
-        return stats
+            if reducer_cost is not None:
+                compute_cost += float(reducer_cost(size))
+            described = f"reducer of job {job.name!r} failed on key {key!r}"
+            try:
+                produced = job.reducer(key, values)
+            except Exception as error:
+                raise ExecutionError(f"{described}: {error}") from error
+            if produced is not None:
+                outputs.extend(_guarded_iteration(produced, described))
 
-    @staticmethod
-    def _ordered_keys(grouped: Dict[Hashable, List[Any]]) -> List[Hashable]:
-        """Deterministic reduce-key processing order (stable-hash order)."""
-        return sorted(grouped.keys(), key=lambda key: (stable_hash(key), repr(key)))
+        shuffle_stats = ShuffleStats(
+            num_inputs=num_inputs,
+            num_key_value_pairs=backend.num_pairs,
+            reducer_sizes=reducer_sizes,
+        )
+        metrics = JobMetrics(
+            job_name=job.name,
+            shuffle=shuffle_stats,
+            workers=workers,
+            num_outputs=len(outputs),
+            reducer_compute_cost=compute_cost,
+        )
+        return JobResult(outputs=outputs, metrics=metrics)

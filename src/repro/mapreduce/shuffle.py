@@ -1,0 +1,266 @@
+"""Pluggable shuffle backends: where intermediate key-value pairs live.
+
+The shuffle is the map → reduce boundary.  The engine streams mapper
+emissions into a :class:`ShuffleBackend` one pair at a time and later asks
+for the grouped data back, one reduce key at a time, in a deterministic
+order.  Two implementations are provided:
+
+* :class:`InMemoryShuffle` — a plain dictionary, fastest for workloads whose
+  intermediate data fits in memory (the seed behaviour);
+* :class:`PartitionedShuffle` — range-partitions the stable-hash space into
+  ``num_partitions`` buckets and spills each bucket to a temporary file once
+  its in-memory buffer fills up.  At reduce time only one partition is
+  resident at a time, so peak memory is bounded by the largest partition
+  plus the write buffers instead of the whole shuffle.
+
+Both backends deliver groups in the same global order — ascending
+``(stable_hash(key), repr(key))`` — and preserve the arrival order of the
+values within each group, so swapping backends changes neither the outputs
+nor the metrics of a job, only the memory profile.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.partitioner import stable_hash
+
+#: stable_hash digests are 8 bytes, so the hash space is [0, 2^64).
+_HASH_BITS = 64
+
+
+def _group_order_key(key: Hashable) -> Tuple[int, str]:
+    """Deterministic reduce-key ordering shared by every backend."""
+    return (stable_hash(key), repr(key))
+
+
+class ShuffleBackend(ABC):
+    """Receives mapper emissions and hands back groups deterministically.
+
+    The engine drives a backend through a strict lifecycle: any number of
+    :meth:`add` calls, then one pass over :meth:`groups`, then
+    :meth:`close`.  Backends are single-use; a new job gets a new backend.
+    """
+
+    @abstractmethod
+    def add(self, key: Hashable, value: Any) -> None:
+        """Accept one intermediate key-value pair from the map phase."""
+
+    @abstractmethod
+    def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        """Yield ``(key, values)`` groups in stable-hash order.
+
+        Values appear in arrival order.  May only be consumed once.
+        """
+
+    @abstractmethod
+    def close(self) -> None:
+        """Release any resources (buffers, spill files).  Idempotent."""
+
+    @property
+    @abstractmethod
+    def num_pairs(self) -> int:
+        """Number of pairs that crossed the map → reduce boundary so far."""
+
+    def __enter__(self) -> "ShuffleBackend":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+class InMemoryShuffle(ShuffleBackend):
+    """Dictionary-backed shuffle: everything stays resident (seed behaviour)."""
+
+    def __init__(self) -> None:
+        self._groups: Dict[Hashable, List[Any]] = {}
+        self._num_pairs = 0
+        self._closed = False
+
+    def add(self, key: Hashable, value: Any) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "shuffle backend already closed; backends are single-use — "
+                "create a fresh one per executed job"
+            )
+        self._groups.setdefault(key, []).append(value)
+        self._num_pairs += 1
+
+    def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        if self._closed:
+            raise ConfigurationError(
+                "shuffle backend already closed; backends are single-use — "
+                "create a fresh one per executed job"
+            )
+        for key in sorted(self._groups.keys(), key=_group_order_key):
+            yield key, self._groups[key]
+
+    def close(self) -> None:
+        self._closed = True
+        self._groups = {}
+
+    @property
+    def num_pairs(self) -> int:
+        return self._num_pairs
+
+
+class PartitionedShuffle(ShuffleBackend):
+    """Hash-range-partitioned shuffle that spills partitions to disk.
+
+    Parameters
+    ----------
+    num_partitions:
+        Number of hash ranges.  Reduce-time peak memory is roughly the
+        shuffle size divided by this (plus the write buffers), assuming the
+        stable hash spreads keys evenly.
+    buffer_size:
+        Pairs buffered per partition before a spill to that partition's file.
+    spill_dir:
+        Directory for spill files; a private temporary directory is created
+        (lazily, on first spill) when omitted.
+    """
+
+    def __init__(
+        self,
+        num_partitions: int = 16,
+        buffer_size: int = 8192,
+        spill_dir: Optional[str] = None,
+    ) -> None:
+        if num_partitions <= 0:
+            raise ConfigurationError(
+                f"num_partitions must be positive, got {num_partitions}"
+            )
+        if buffer_size <= 0:
+            raise ConfigurationError(f"buffer_size must be positive, got {buffer_size}")
+        self.num_partitions = num_partitions
+        self.buffer_size = buffer_size
+        self._spill_dir = spill_dir
+        self._owns_spill_dir = spill_dir is None
+        self._buffers: List[List[Tuple[Hashable, Any]]] = [
+            [] for _ in range(num_partitions)
+        ]
+        self._spill_paths: List[Optional[str]] = [None] * num_partitions
+        self._num_pairs = 0
+        self.spill_count = 0
+        self.spilled_bytes = 0
+        self._closed = False
+        self._consumed = False
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def _partition_of(self, key: Hashable) -> int:
+        # Range partitioning (not modulo): partition i holds a contiguous
+        # slice of the hash space, so visiting partitions in index order and
+        # sorting within each yields the global stable-hash order.
+        return (stable_hash(key) * self.num_partitions) >> _HASH_BITS
+
+    def add(self, key: Hashable, value: Any) -> None:
+        self._check_open()
+        index = self._partition_of(key)
+        buffer = self._buffers[index]
+        buffer.append((key, value))
+        self._num_pairs += 1
+        if len(buffer) >= self.buffer_size:
+            self._spill(index)
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigurationError(
+                "shuffle backend already closed; backends are single-use — "
+                "create a fresh one per executed job"
+            )
+
+    def _spill(self, index: int) -> None:
+        buffer = self._buffers[index]
+        if not buffer:
+            return
+        path = self._spill_paths[index]
+        if path is None:
+            if self._spill_dir is None:
+                self._spill_dir = tempfile.mkdtemp(prefix="repro-shuffle-")
+            path = os.path.join(self._spill_dir, f"partition-{index:05d}.spill")
+            self._spill_paths[index] = path
+            # Truncate on the first open: a caller-supplied spill_dir may
+            # hold partition files left behind by an unclean earlier run,
+            # and appending to them would silently resurrect stale pairs.
+            mode = "wb"
+        else:
+            mode = "ab"
+        payload = pickle.dumps(buffer, protocol=pickle.HIGHEST_PROTOCOL)
+        with open(path, mode) as handle:
+            handle.write(payload)
+        self.spill_count += 1
+        self.spilled_bytes += len(payload)
+        self._buffers[index] = []
+
+    # ------------------------------------------------------------------
+    # Grouped read-back
+    # ------------------------------------------------------------------
+    def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        self._check_open()
+        if self._consumed:
+            # A second pass would see cleared buffers next to intact spill
+            # files — silently wrong data.  Fail loudly instead.
+            raise ConfigurationError(
+                "PartitionedShuffle groups() may only be consumed once; "
+                "create a fresh backend per executed job"
+            )
+        self._consumed = True
+        return self._iter_groups()
+
+    def _iter_groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        for index in range(self.num_partitions):
+            grouped: Dict[Hashable, List[Any]] = {}
+            for key, value in self._partition_pairs(index):
+                grouped.setdefault(key, []).append(value)
+            # Free the sources before handing the partition out, so only one
+            # partition's data is resident at a time.
+            self._buffers[index] = []
+            for key in sorted(grouped.keys(), key=_group_order_key):
+                yield key, grouped[key]
+            grouped = {}
+
+    def _partition_pairs(self, index: int) -> Iterator[Tuple[Hashable, Any]]:
+        """Spilled chunks first, then the live buffer: arrival order."""
+        path = self._spill_paths[index]
+        if path is not None and os.path.exists(path):
+            with open(path, "rb") as handle:
+                while True:
+                    try:
+                        chunk = pickle.load(handle)
+                    except EOFError:
+                        break
+                    for pair in chunk:
+                        yield pair
+        for pair in self._buffers[index]:
+            yield pair
+
+    # ------------------------------------------------------------------
+    # Cleanup
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._buffers = [[] for _ in range(self.num_partitions)]
+        if self._owns_spill_dir and self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+        else:
+            for path in self._spill_paths:
+                if path is not None and os.path.exists(path):
+                    try:
+                        os.remove(path)
+                    except OSError:  # pragma: no cover - best-effort cleanup
+                        pass
+        self._spill_paths = [None] * self.num_partitions
+
+    @property
+    def num_pairs(self) -> int:
+        return self._num_pairs

@@ -1,0 +1,409 @@
+"""Built-in candidate builders: every family in :mod:`repro.schemas`.
+
+Importing this module populates :data:`repro.planner.registry.default_registry`
+with one builder per problem family of the paper:
+
+========================  =====================================================
+Problem type              Candidates enumerated
+========================  =====================================================
+TriangleProblem           partition schema over bucket counts ``k``
+TwoPathProblem            middle-node/bucket-pair schema over ``k``
+SampleGraphProblem        generalized partition schema over ``k``
+HammingDistanceProblem    d=1: Splitting / pair-reducers / single-reducer /
+                          weight-partition grids; d=2: segment deletion and
+                          Ball-2; d>2: segment deletion
+MultiwayJoinProblem       Shares over chain/star/uniform share vectors
+MatrixMultiplicationPr.   one-phase tilings and the two-phase chain
+========================  =====================================================
+
+Every builder yields only candidates whose **certified** maximum reducer
+size fits the budget.  For all single-round graph/Hamming/matmul families
+the certification is an exact combinatorial bound over the problem's full
+input domain (ceil-corrected where the closed forms use real-valued
+approximations); for the Shares join it is the expected hash-balanced size,
+which is the quantity the paper's Section 5.5 analysis budgets as well.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
+
+from repro.datagen.relations import RelationInstance
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.job import JobChain, MapReduceJob
+from repro.planner.registry import PlanCandidate, default_registry, thin_parameter_sweep
+from repro.problems.hamming import HammingDistanceProblem
+from repro.problems.joins import JoinQuery, MultiwayJoinProblem
+from repro.problems.matmul import MatrixMultiplicationProblem
+from repro.problems.subgraphs import SampleGraphProblem, TwoPathProblem
+from repro.problems.triangles import TriangleProblem
+from repro.schemas.hamming_distance_d import BallTwoSchema, SegmentDeletionSchema
+from repro.schemas.hamming_splitting import (
+    PairReducersSchema,
+    SingleReducerSchema,
+    SplittingSchema,
+)
+from repro.schemas.hamming_weight import HypercubeWeightSchema
+from repro.schemas.join_shares import (
+    SharesSchema,
+    chain_join_shares,
+    star_join_shares,
+)
+from repro.schemas.matmul_one_phase import OnePhaseTilingSchema
+from repro.schemas.matmul_two_phase import TwoPhaseMatMulAlgorithm
+from repro.schemas.sample_graphs import PartitionSampleGraphSchema
+from repro.schemas.triangles import PartitionTriangleSchema
+from repro.schemas.two_paths import TwoPathSchema
+
+#: Grid sizes tried for the Shares join (total reducers per share vector).
+_SHARES_REDUCER_SWEEP = (2, 4, 8, 16, 27, 32, 64, 128, 256)
+#: Uniform shares tried on the join's shared attributes.
+_SHARES_UNIFORM_SWEEP = (2, 3, 4, 6, 8)
+
+
+def _divisors(n: int) -> List[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def _static_job(family: Any) -> Any:
+    """Job factory for families whose job needs no input data."""
+
+    def factory(_inputs: Sequence[Any]) -> MapReduceJob:
+        return family.job()
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Triangles (Section 4)
+# ----------------------------------------------------------------------
+def _triangle_certified_q(n: int, k: int) -> int:
+    """Exact bound on edges at one reducer: all pairs among its ≤3 buckets."""
+    nodes = min(n, 3 * math.ceil(n / k))
+    return math.comb(nodes, 2)
+
+
+@default_registry.register(TriangleProblem)
+def triangle_candidates(
+    problem: TriangleProblem, q: float
+) -> Iterator[PlanCandidate]:
+    n = problem.n
+    feasible = [k for k in range(1, n + 1) if _triangle_certified_q(n, k) <= q]
+    for k in thin_parameter_sweep(feasible):
+        family = PartitionTriangleSchema(n, k)
+        yield PlanCandidate(
+            name=family.name,
+            q=float(_triangle_certified_q(n, k)),
+            replication_rate=family.replication_rate_formula(),
+            job_factory=_static_job(family),
+            family=family,
+        )
+
+
+# ----------------------------------------------------------------------
+# 2-paths (Section 5.4)
+# ----------------------------------------------------------------------
+def _two_path_certified_q(n: int, k: int) -> int:
+    """Edges at reducer [u, {i, j}]: u to a node of bucket i or j."""
+    return min(n - 1, 2 * math.ceil(n / k))
+
+
+@default_registry.register(TwoPathProblem)
+def two_path_candidates(
+    problem: TwoPathProblem, q: float
+) -> Iterator[PlanCandidate]:
+    n = problem.n
+    feasible = [k for k in range(2, n + 1) if _two_path_certified_q(n, k) <= q]
+    for k in thin_parameter_sweep(feasible):
+        family = TwoPathSchema(n, k)
+        yield PlanCandidate(
+            name=family.name,
+            q=float(_two_path_certified_q(n, k)),
+            replication_rate=family.replication_rate_formula(),
+            job_factory=_static_job(family),
+            family=family,
+        )
+
+
+# ----------------------------------------------------------------------
+# Arbitrary sample graphs (Section 5.2)
+# ----------------------------------------------------------------------
+@default_registry.register(SampleGraphProblem)
+def sample_graph_candidates(
+    problem: SampleGraphProblem, q: float
+) -> Iterator[PlanCandidate]:
+    n = problem.n
+    s = problem.sample.num_nodes
+
+    def certified(k: int) -> int:
+        nodes = min(n, s * math.ceil(n / k))
+        return math.comb(nodes, 2)
+
+    feasible = [k for k in range(1, n + 1) if certified(k) <= q]
+    for k in thin_parameter_sweep(feasible):
+        family = PartitionSampleGraphSchema(n, problem.sample, k)
+        yield PlanCandidate(
+            name=family.name,
+            q=float(certified(k)),
+            replication_rate=family.replication_rate_formula(),
+            job_factory=_static_job(family),
+            family=family,
+        )
+
+
+# ----------------------------------------------------------------------
+# Hamming distance (Section 3)
+# ----------------------------------------------------------------------
+@default_registry.register(HammingDistanceProblem)
+def hamming_candidates(
+    problem: HammingDistanceProblem, q: float
+) -> Iterator[PlanCandidate]:
+    if problem.distance == 1:
+        yield from _hamming1_candidates(problem, q)
+    else:
+        yield from _hamming_d_candidates(problem, q)
+
+
+def _hamming1_candidates(
+    problem: HammingDistanceProblem, q: float
+) -> Iterator[PlanCandidate]:
+    b = problem.b
+    # Splitting family: one dot per divisor c of b, reducer size exactly
+    # 2^(b/c).  c=1 is the single-reducer extreme, c=b the pair-reducers
+    # extreme; the named extreme schemas are also offered for discoverability.
+    for c in _divisors(b):
+        size = 2 ** (b // c)
+        if size <= q:
+            family = SplittingSchema(b, c)
+            yield PlanCandidate(
+                name=family.name,
+                q=float(size),
+                replication_rate=family.replication_rate_formula(),
+                job_factory=_static_job(family),
+                family=family,
+            )
+    if 2 <= q:
+        pair = PairReducersSchema(b)
+        yield PlanCandidate(
+            name=pair.name,
+            q=2.0,
+            replication_rate=pair.replication_rate_formula(),
+            job_factory=_static_job(pair),
+            family=pair,
+        )
+    if (1 << b) <= q:
+        single = SingleReducerSchema(b)
+        yield PlanCandidate(
+            name=single.name,
+            q=float(1 << b),
+            replication_rate=single.replication_rate_formula(),
+            job_factory=_static_job(single),
+            family=single,
+        )
+    # Weight-grid family (Sections 3.4/3.5): replication below 2 with large
+    # reducers.  Certified with the exact binomial cell populations, and the
+    # exact average replication (the 1 + d/k closed form is asymptotic).
+    for num_pieces in (2, 3, 4):
+        if b % num_pieces != 0:
+            continue
+        piece = b // num_pieces
+        for cell_width in _divisors(piece):
+            if cell_width == piece and num_pieces > 2:
+                continue  # degenerate single-cell grid; d=2 already covers it
+            family = HypercubeWeightSchema(b, num_pieces, cell_width)
+            size = family.exact_max_reducer_size()
+            if size <= q:
+                yield PlanCandidate(
+                    name=family.name,
+                    q=float(size),
+                    replication_rate=family.exact_replication_rate(),
+                    job_factory=_static_job(family),
+                    family=family,
+                )
+
+
+def _hamming_d_candidates(
+    problem: HammingDistanceProblem, q: float
+) -> Iterator[PlanCandidate]:
+    b, d = problem.b, problem.distance
+    for k in _divisors(b):
+        if not d < k:
+            continue
+        size = 2 ** ((b // k) * d)
+        if size > q:
+            continue
+        family = SegmentDeletionSchema(b, k, d)
+        yield PlanCandidate(
+            name=family.name,
+            q=float(size),
+            replication_rate=family.replication_rate_formula(),
+            job_factory=_segment_deletion_job(family, d),
+            family=family,
+        )
+    if d == 2 and b + 1 <= q:
+        ball = BallTwoSchema(b)
+        yield PlanCandidate(
+            name=ball.name,
+            q=float(b + 1),
+            replication_rate=ball.replication_rate_formula(),
+            # The stock Ball-2 job also emits distance-1 pairs (it covers
+            # both); the planner serves the exact-distance problem.
+            job_factory=_ball_two_job(ball, emit_distance=2),
+            family=ball,
+        )
+
+
+def _segment_deletion_job(family: SegmentDeletionSchema, distance: int) -> Any:
+    def factory(_inputs: Sequence[Any]) -> MapReduceJob:
+        return family.job(emit_distance=distance)
+
+    return factory
+
+
+def _ball_two_job(family: BallTwoSchema, emit_distance: int) -> Any:
+    def factory(_inputs: Sequence[Any]) -> MapReduceJob:
+        return family.job(emit_distance=emit_distance)
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Matrix multiplication (Section 6)
+# ----------------------------------------------------------------------
+@default_registry.register(MatrixMultiplicationProblem)
+def matmul_candidates(
+    problem: MatrixMultiplicationProblem, q: float
+) -> Iterator[PlanCandidate]:
+    n = problem.n
+    for s in _divisors(n):
+        size = 2 * s * n
+        if size <= q:
+            family = OnePhaseTilingSchema(n, s)
+            yield PlanCandidate(
+                name=family.name,
+                q=float(size),
+                replication_rate=family.replication_rate_formula(),
+                job_factory=_static_job(family),
+                family=family,
+            )
+    best = _best_two_phase(n, q)
+    if best is not None:
+        # Replication rate of a multi-round algorithm: total shuffled pairs
+        # over the 2n² inputs, the same normalization Section 6.3 uses when
+        # comparing against the one-phase method.
+        effective_rate = best.total_communication() / (2.0 * n * n)
+        yield PlanCandidate(
+            name=best.name,
+            q=float(_two_phase_certified_q(best)),
+            replication_rate=effective_rate,
+            job_factory=_chain_job(best),
+            rounds=2,
+            family=best,
+        )
+
+
+def _two_phase_certified_q(algorithm: TwoPhaseMatMulAlgorithm) -> int:
+    """Largest reducer of either round: 2st in phase 1, n/t sums in phase 2."""
+    return max(
+        algorithm.first_phase_reducer_size,
+        algorithm.n // algorithm.t,
+    )
+
+
+def _best_two_phase(n: int, q: float) -> TwoPhaseMatMulAlgorithm | None:
+    """Min-communication two-phase cubes whose reducers all fit in ``q``."""
+    best: TwoPhaseMatMulAlgorithm | None = None
+    for s in _divisors(n):
+        for t in _divisors(n):
+            algorithm = TwoPhaseMatMulAlgorithm(n, s, t)
+            if _two_phase_certified_q(algorithm) > q:
+                continue
+            if best is None or algorithm.total_communication() < best.total_communication():
+                best = algorithm
+    return best
+
+
+def _chain_job(algorithm: TwoPhaseMatMulAlgorithm) -> Any:
+    def factory(_inputs: Sequence[Any]) -> JobChain:
+        return algorithm.chain()
+
+    return factory
+
+
+# ----------------------------------------------------------------------
+# Multiway joins: the Shares algorithm (Section 5.5)
+# ----------------------------------------------------------------------
+@default_registry.register(MultiwayJoinProblem)
+def join_candidates(
+    problem: MultiwayJoinProblem, q: float
+) -> Iterator[PlanCandidate]:
+    query = problem.query
+    for shares in _share_vectors(query):
+        schema = SharesSchema(query, shares, problem.domain_size)
+        expected_size = schema.max_reducer_size_formula()
+        if expected_size > q:
+            continue
+        yield PlanCandidate(
+            name=schema.name,
+            q=expected_size,
+            replication_rate=schema.replication_rate_formula(),
+            job_factory=_shares_job(schema, query),
+            family=schema,
+            needs_inputs=True,
+        )
+
+
+def _share_vectors(query: JoinQuery) -> List[Dict[str, int]]:
+    """Candidate share vectors: trivial, shape-specific, uniform-on-shared."""
+    vectors: List[Dict[str, int]] = [{a: 1 for a in query.attributes}]
+    if query.name.startswith("chain-join"):
+        for reducers in _SHARES_REDUCER_SWEEP:
+            vectors.append(chain_join_shares(query.num_relations, reducers))
+    elif query.name.startswith("star-join"):
+        num_dimensions = query.num_relations - 1
+        for reducers in _SHARES_REDUCER_SWEEP:
+            vectors.append(star_join_shares(num_dimensions, reducers))
+    membership: Dict[str, int] = {}
+    for relation in query.relations:
+        for attribute in relation.attributes:
+            membership[attribute] = membership.get(attribute, 0) + 1
+    shared = {a for a, count in membership.items() if count >= 2}
+    for share in _SHARES_UNIFORM_SWEEP:
+        vectors.append(
+            {a: share if a in shared else 1 for a in query.attributes}
+        )
+    unique: Dict[Tuple[Tuple[str, int], ...], Dict[str, int]] = {}
+    for vector in vectors:
+        key = tuple(sorted(vector.items()))
+        unique.setdefault(key, vector)
+    return list(unique.values())
+
+
+def _shares_job(schema: SharesSchema, query: JoinQuery) -> Any:
+    def factory(records: Sequence[Any]) -> MapReduceJob:
+        return schema.job(_relations_from_records(query, records))
+
+    return factory
+
+
+def _relations_from_records(
+    query: JoinQuery, records: Sequence[Tuple[str, Tuple[int, ...]]]
+) -> List[RelationInstance]:
+    """Reassemble relation instances from ``(relation name, tuple)`` records."""
+    fragments: Dict[str, set] = {relation.name: set() for relation in query.relations}
+    for name, row in records:
+        if name not in fragments:
+            raise ConfigurationError(
+                f"input record names relation {name!r}, which is not part of "
+                f"join query {query.name!r}"
+            )
+        fragments[name].add(tuple(row))
+    return [
+        RelationInstance(
+            name=relation.name,
+            attributes=relation.attributes,
+            tuples=tuple(sorted(fragments[relation.name])),
+        )
+        for relation in query.relations
+    ]

@@ -1,0 +1,171 @@
+"""Execution plans: the planner's output, directly runnable on the engine.
+
+An :class:`ExecutionPlan` pairs one enumerated candidate (a schema family
+with fixed parameters) with its predicted cost on the target cluster.  A
+:class:`PlanningResult` is the ranked list of such plans for one planning
+request; its first element is the recommendation.  Both are plain data plus
+an ``execute`` bridge to :class:`~repro.mapreduce.engine.MapReduceEngine`,
+so call sites never need to hand-construct schemas or jobs again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.core.cost import CostBreakdown
+from repro.core.problem import Problem
+from repro.core.tradeoff import TradeoffCurve
+from repro.exceptions import PlanningError
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
+from repro.mapreduce.job import JobChain, MapReduceJob
+from repro.planner.registry import PlanCandidate
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One ranked, executable way of running a problem on a cluster.
+
+    Attributes
+    ----------
+    problem:
+        The problem the plan serves.
+    candidate:
+        The enumerated algorithm point (name, certified q, replication rate,
+        job factory).
+    cost:
+        Predicted Section 1.2 cost breakdown at the candidate's ``(q, r)``.
+    cluster:
+        The cluster configuration the plan was costed for; ``execute`` runs
+        on an engine with this configuration unless one is supplied.
+    lower_bound:
+        The replication-rate lower bound ``f(q)`` at the candidate's ``q``,
+        when the problem's recipe provides one (``None`` otherwise).  The
+        ratio ``replication_rate / lower_bound`` is the plan's optimality
+        gap.
+    rank:
+        Position in the ranked plan list (0 is the planner's choice).
+    """
+
+    problem: Problem
+    candidate: PlanCandidate
+    cost: CostBreakdown
+    cluster: ClusterConfig
+    lower_bound: Optional[float] = None
+    rank: int = 0
+
+    # -- convenience pass-throughs -------------------------------------
+    @property
+    def name(self) -> str:
+        return self.candidate.name
+
+    @property
+    def q(self) -> float:
+        """Certified maximum reducer input size of this plan."""
+        return self.candidate.q
+
+    @property
+    def replication_rate(self) -> float:
+        return self.candidate.replication_rate
+
+    @property
+    def rounds(self) -> int:
+        return self.candidate.rounds
+
+    @property
+    def family(self) -> Optional[Any]:
+        return self.candidate.family
+
+    @property
+    def total_cost(self) -> float:
+        return self.cost.total
+
+    @property
+    def optimality_gap(self) -> Optional[float]:
+        """``r / f(q)``; 1.0 means the plan meets the lower bound."""
+        if self.lower_bound is None or self.lower_bound <= 0:
+            return None
+        return self.replication_rate / self.lower_bound
+
+    # -- execution ------------------------------------------------------
+    def build_work(self, inputs: Sequence[Any] = ()) -> Union[MapReduceJob, JobChain]:
+        """Materialize the executable job (or chain) for this plan."""
+        return self.candidate.job_factory(inputs)
+
+    def execute(
+        self,
+        inputs: Iterable[Any],
+        engine: Optional[MapReduceEngine] = None,
+    ) -> Union[JobResult, PipelineResult]:
+        """Run the plan over ``inputs`` and return the engine's result.
+
+        Inputs stay streamed unless the candidate's job factory needs them
+        materialized (data-dependent jobs such as the Shares join).
+        """
+        engine = engine or MapReduceEngine(self.cluster)
+        if self.candidate.needs_inputs:
+            inputs = list(inputs)
+            work = self.build_work(inputs)
+        else:
+            work = self.build_work()
+        if isinstance(work, JobChain):
+            return engine.run_chain(work, inputs)
+        return engine.run(work, inputs)
+
+    def describe(self) -> Dict[str, object]:
+        """Flat row for reports and benchmark tables."""
+        return {
+            "rank": self.rank,
+            "plan": self.name,
+            "q": self.q,
+            "replication_rate": self.replication_rate,
+            "rounds": self.rounds,
+            "total_cost": self.total_cost,
+            "lower_bound": self.lower_bound,
+            "gap": self.optimality_gap,
+        }
+
+
+@dataclass
+class PlanningResult:
+    """The ranked outcome of one ``CostBasedPlanner.plan`` call.
+
+    Behaves as a sequence of :class:`ExecutionPlan` (cheapest first), so
+    ``result[0]`` / ``result.best`` is the recommendation and the rest are
+    the alternatives with their predicted costs.
+    """
+
+    problem: Problem
+    q_budget: float
+    cluster: ClusterConfig
+    plans: List[ExecutionPlan] = field(default_factory=list)
+    tradeoff: Optional[TradeoffCurve] = None
+
+    @property
+    def best(self) -> ExecutionPlan:
+        if not self.plans:
+            raise PlanningError(
+                f"planning result for {self.problem.name!r} holds no plans"
+            )
+        return self.plans[0]
+
+    def __len__(self) -> int:
+        return len(self.plans)
+
+    def __iter__(self) -> Iterator[ExecutionPlan]:
+        return iter(self.plans)
+
+    def __getitem__(self, index: int) -> ExecutionPlan:
+        return self.plans[index]
+
+    def find(self, fragment: str) -> Optional[ExecutionPlan]:
+        """First plan whose name contains ``fragment`` (for tests/reports)."""
+        for plan in self.plans:
+            if fragment in plan.name:
+                return plan
+        return None
+
+    def table(self) -> List[Dict[str, object]]:
+        """All plans as flat rows, ranked, for printing."""
+        return [plan.describe() for plan in self.plans]

@@ -1,0 +1,203 @@
+"""The cost-based planner: enumerate, bound, cost, rank.
+
+Given a problem, a cluster configuration and a reducer-size budget ``q``,
+:class:`CostBasedPlanner` answers the paper's operational question — *which
+point on the replication/parallelism tradeoff curve should this job run at?*
+— mechanically:
+
+1. **Enumerate**: ask the :class:`~repro.planner.registry.SchemaRegistry`
+   for every feasible candidate (schema family + parameters) within ``q``.
+2. **Bound**: evaluate the problem's Section 2.4 lower-bound recipe at each
+   candidate's reducer size, recording the optimality gap.
+3. **Cost**: price each candidate with the Section 1.2 cluster cost model
+   ``a·r + b·q (+ c·t(q))`` built from the cluster's rate constants.
+4. **Rank**: sort ascending by total predicted cost (deterministic
+   tie-break on ``(q, name)``) and return the ranked, executable plans.
+
+This mirrors how PostBOUND structures pluggable cardinality bounds behind an
+abstract optimizer interface: the planner owns the enumerate-and-bound loop
+while the registry keeps the per-problem knowledge pluggable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, List, Optional
+
+from repro.core.cost import ClusterCostModel
+from repro.core.problem import Problem
+from repro.core.recipe import LowerBoundRecipe
+from repro.core.tradeoff import AlgorithmPoint, TradeoffCurve
+from repro.exceptions import BoundDerivationError, ConfigurationError, PlanningError
+from repro.mapreduce.cluster import ClusterConfig
+from repro.planner.plan import ExecutionPlan, PlanningResult
+from repro.planner.registry import PlanCandidate, SchemaRegistry, default_registry
+
+
+class CostBasedPlanner:
+    """Selects the cheapest feasible schema family for a problem.
+
+    Parameters
+    ----------
+    registry:
+        Schema registry to enumerate candidates from; defaults to the global
+        registry populated with every family in :mod:`repro.schemas`.
+    cost_model:
+        Cost model used to price candidates.  When omitted, one is built per
+        ``plan`` call from the cluster's ``communication_cost_per_record``
+        (the ``a`` constant) and ``worker_cost_per_unit`` (the ``b``
+        constant), so the cluster's pricing drives the choice.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SchemaRegistry] = None,
+        cost_model: Optional[ClusterCostModel] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else default_registry
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    # Alternative construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def min_replication(
+        cls, registry: Optional[SchemaRegistry] = None
+    ) -> "CostBasedPlanner":
+        """A planner that minimizes replication rate subject to the budget.
+
+        This is the paper's pure tradeoff question (ignore processor rental,
+        minimize communication): rank candidates by ``r`` alone.  Useful for
+        reproducing the figures, where the best algorithm *at* a reducer
+        size is wanted rather than the globally cheapest configuration.
+        """
+        return cls(
+            registry=registry,
+            cost_model=ClusterCostModel(communication_rate=1.0, processing_rate=0.0),
+        )
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def plan(
+        self,
+        problem: Problem,
+        cluster: Optional[ClusterConfig] = None,
+        q: Optional[float] = None,
+    ) -> PlanningResult:
+        """Return ranked executable plans for ``problem`` under budget ``q``.
+
+        Parameters
+        ----------
+        problem:
+            The problem to plan for; its type selects the registered
+            candidate builders.
+        cluster:
+            Target cluster.  Provides the default budget (its
+            ``reducer_capacity``) and the cost-rate constants.  A default
+            cluster is used when omitted.
+        q:
+            Reducer-size budget.  Falls back to ``cluster.reducer_capacity``
+            and finally to the problem's input count (i.e. unconstrained).
+        """
+        cluster = cluster or ClusterConfig()
+        budget = self._resolve_budget(problem, cluster, q)
+        candidates = self.registry.candidates(problem, budget)
+        if not candidates:
+            raise PlanningError(
+                f"no registered schema family for {problem.name!r} fits within "
+                f"the reducer-size budget q={budget:g}"
+            )
+        model = self.cost_model or ClusterCostModel(
+            communication_rate=cluster.communication_cost_per_record,
+            processing_rate=cluster.worker_cost_per_unit,
+        )
+        curve = self._tradeoff_curve(problem, candidates)
+        ranked = self._rank(problem, candidates, model, curve, cluster)
+        return PlanningResult(
+            problem=problem,
+            q_budget=budget,
+            cluster=cluster,
+            plans=ranked,
+            tradeoff=curve,
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_budget(
+        problem: Problem, cluster: ClusterConfig, q: Optional[float]
+    ) -> float:
+        if q is None:
+            q = cluster.reducer_capacity
+        if q is None:
+            q = float(problem.num_inputs)
+        if q <= 0:
+            raise ConfigurationError(f"reducer-size budget must be positive, got {q}")
+        return float(q)
+
+    @staticmethod
+    def _tradeoff_curve(
+        problem: Problem, candidates: Iterable[PlanCandidate]
+    ) -> Optional[TradeoffCurve]:
+        """Problem's lower-bound curve with the candidates as its dots.
+
+        Problems that do not define ``g(q)`` simply yield no curve (the
+        plans then carry no lower bound / optimality gap).
+        """
+        try:
+            recipe = LowerBoundRecipe.from_problem(problem)
+            curve = TradeoffCurve.from_recipe(recipe)
+            # Probe once so problems without g(q) fail fast here, not later.
+            curve.lower_bound_at(2.0)
+        except (NotImplementedError, BoundDerivationError):
+            # No g(q) / recipe for this problem: plans carry no lower bound.
+            return None
+        curve.add_algorithms(
+            AlgorithmPoint(
+                name=candidate.name,
+                q=candidate.q,
+                replication_rate=candidate.replication_rate,
+            )
+            for candidate in candidates
+            # The recipe bounds single-round mapping schemas only; plotting a
+            # multi-round algorithm under the one-round hyperbola would let
+            # it appear to beat a proven bound.
+            if candidate.rounds == 1
+        )
+        return curve
+
+    def _rank(
+        self,
+        problem: Problem,
+        candidates: List[PlanCandidate],
+        model: ClusterCostModel,
+        curve: Optional[TradeoffCurve],
+        cluster: ClusterConfig,
+    ) -> List[ExecutionPlan]:
+        plans: List[ExecutionPlan] = []
+        for candidate in candidates:
+            rate = candidate.replication_rate
+            breakdown = model.cost_at(candidate.q, lambda _q: rate)
+            lower = None
+            # The Section 2.4 lower bound applies to one-round mapping
+            # schemas; multi-round candidates carry no bound (and no gap).
+            if curve is not None and candidate.rounds == 1:
+                try:
+                    lower = curve.lower_bound_at(candidate.q)
+                except (NotImplementedError, BoundDerivationError):
+                    lower = None
+            plans.append(
+                ExecutionPlan(
+                    problem=problem,
+                    candidate=candidate,
+                    cost=breakdown,
+                    cluster=cluster,
+                    lower_bound=lower,
+                )
+            )
+        plans.sort(key=lambda plan: (plan.total_cost, plan.q, plan.name))
+        return [
+            dataclasses.replace(plan, rank=rank) for rank, plan in enumerate(plans)
+        ]

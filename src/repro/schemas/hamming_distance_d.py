@@ -225,15 +225,17 @@ class BallTwoSchema(SchemaFamily):
         """
         return math.comb(self.b, 2)
 
-    def job(self) -> MapReduceJob:
-        """Job emitting distance-2 pairs; deduplicated by the anchor rule.
+    def job(self, emit_distance: int | None = None) -> MapReduceJob:
+        """Job emitting distance ≤ 2 pairs; deduplicated by the anchor rule.
 
         A pair {u, v} at distance 2 has exactly two common anchors (flip one
         of the two differing bits of u); we emit at the smaller anchor.  A
         pair at distance 1 is emitted at the smaller of the two strings
-        (which is an anchor of the pair).
+        (which is an anchor of the pair).  Pass ``emit_distance`` (1 or 2)
+        to restrict the output to pairs at exactly that distance.
         """
         schema = self
+        target = emit_distance
 
         def mapper(word: int):
             for anchor in schema.reducers_for(word):
@@ -245,6 +247,8 @@ class BallTwoSchema(SchemaFamily):
                 for second in ordered[index + 1 :]:
                     distance = (first ^ second).bit_count()
                     if distance not in (1, 2):
+                        continue
+                    if target is not None and distance != target:
                         continue
                     difference = first ^ second
                     if distance == 1:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.exceptions import (
+    ConfigurationError,
     ExecutionError,
     InvalidJobError,
     ReducerCapacityExceededError,
@@ -154,6 +155,116 @@ class TestSingleRoundExecution:
         assert combined_result.communication_cost < plain_result.communication_cost
 
 
+class TestCombinerRunsPerMapper:
+    """The combiner must run per map task, before the shuffle boundary.
+
+    Running it once over globally grouped data (the old behaviour)
+    undercounts communication: pairs emitted by *different* mappers would be
+    merged even though each of them really crosses the network.  These tests
+    pin the per-mapper semantics via the map_batch_size knob.
+    """
+
+    @staticmethod
+    def summing_jobs():
+        def mapper(document: str):
+            for word in document.split():
+                yield (word, 1)
+
+        def combiner(word, counts):
+            yield (word, sum(counts))
+
+        def reducer(word, counts):
+            yield (word, sum(counts))
+
+        plain = MapReduceJob(mapper=mapper, reducer=reducer, name="plain")
+        combined = MapReduceJob(
+            mapper=mapper, reducer=reducer, combiner=combiner, name="combined"
+        )
+        return plain, combined
+
+    def test_communication_counted_per_map_task(self):
+        plain, combined = self.summing_jobs()
+        docs = ["a a", "a a"]  # two mappers, each emitting only "a" pairs
+        one_record_mappers = MapReduceEngine(ClusterConfig(map_batch_size=1))
+        result = one_record_mappers.run(combined, docs)
+        # Each mapper pre-aggregates its own ("a", 1) pairs to one pair, but
+        # the two mappers' outputs both cross the shuffle: cost is 2, not 1.
+        assert result.communication_cost == 2
+        assert dict(result.outputs) == {"a": 4}
+
+    def test_wider_map_tasks_combine_more(self):
+        plain, combined = self.summing_jobs()
+        docs = ["a a", "a a"]
+        both_in_one_mapper = MapReduceEngine(ClusterConfig(map_batch_size=2))
+        result = both_in_one_mapper.run(combined, docs)
+        assert result.communication_cost == 1
+        assert dict(result.outputs) == {"a": 4}
+
+    def test_regression_with_vs_without_combiner(self):
+        """Communication: no combiner > per-mapper combiner >= global merge."""
+        plain, combined = self.summing_jobs()
+        docs = [f"w{i % 4} w{(i + 1) % 4} w{i % 4}" for i in range(24)]
+        engine = MapReduceEngine(ClusterConfig(map_batch_size=4))
+        plain_result = engine.run(plain, docs)
+        combined_result = engine.run(combined, docs)
+        # The combiner saves communication...
+        assert combined_result.communication_cost < plain_result.communication_cost
+        # ...but cannot merge across the 6 map tasks: at least one pair per
+        # task must still be shuffled, strictly more than the 4 global keys.
+        num_map_tasks = 6
+        assert combined_result.communication_cost >= num_map_tasks
+        distinct_keys = 4
+        assert combined_result.communication_cost > distinct_keys
+        # Outputs are unaffected either way.
+        assert dict(plain_result.outputs) == dict(combined_result.outputs)
+
+    def test_combiner_error_is_wrapped(self):
+        def bad_combiner(word, counts):
+            raise ValueError("combiner boom")
+
+        def mapper(doc):
+            yield ("k", 1)
+
+        job = MapReduceJob(
+            mapper=mapper, reducer=identity_reducer, combiner=bad_combiner
+        )
+        with pytest.raises(ExecutionError, match="combiner boom"):
+            MapReduceEngine().run(job, ["x"])
+
+    def test_generator_combiner_error_is_wrapped(self):
+        """Generator bodies run at iteration time; the wrap must cover that."""
+
+        def bad_generator_combiner(word, counts):
+            yield (word, sum(counts) + "not-a-number")
+
+        def mapper(doc):
+            yield ("k", 1)
+
+        job = MapReduceJob(
+            mapper=mapper, reducer=identity_reducer, combiner=bad_generator_combiner
+        )
+        with pytest.raises(ExecutionError, match="combiner of job"):
+            MapReduceEngine().run(job, ["x"])
+
+    def test_generator_mapper_error_is_wrapped(self):
+        def bad_generator_mapper(record):
+            yield ("k", record)
+            raise ValueError("mid-iteration boom")
+
+        job = MapReduceJob(mapper=bad_generator_mapper, reducer=identity_reducer)
+        with pytest.raises(ExecutionError, match="mid-iteration boom"):
+            MapReduceEngine().run(job, [1])
+
+    def test_generator_reducer_error_is_wrapped(self):
+        def bad_generator_reducer(key, values):
+            yield from values
+            raise ValueError("reducer tail boom")
+
+        job = MapReduceJob(mapper=lambda x: [("k", x)], reducer=bad_generator_reducer)
+        with pytest.raises(ExecutionError, match="reducer tail boom"):
+            MapReduceEngine().run(job, [1, 2])
+
+
 class TestCapacityEnforcement:
     def test_capacity_violation_raises_when_enforced(self, strict_engine):
         job = word_count_job().with_capacity(1)
@@ -179,6 +290,33 @@ class TestCapacityEnforcement:
         job = word_count_job().with_capacity(10)
         result = engine.run(job, ["a a"])
         assert dict(result.outputs) == {"a": 2}
+
+    def test_capacity_enforced_while_streaming(self, strict_engine):
+        """Groups before the oversized key (in stream order) already reduced.
+
+        This pins the documented streaming semantics: enforcement happens as
+        groups leave the shuffle, not in a pre-pass over the whole shuffle.
+        """
+        reduced_keys = []
+
+        def recording_reducer(key, values):
+            reduced_keys.append(key)
+            return []
+
+        job = MapReduceJob(
+            mapper=lambda doc: [(w, 1) for w in doc.split()],
+            reducer=recording_reducer,
+            reducer_capacity=2,
+        )
+        # Every key except 'big' holds <= 2 values; 'big' holds 3.
+        with pytest.raises(ReducerCapacityExceededError) as exc:
+            strict_engine.run(job, ["big big a b", "big a b c"])
+        assert exc.value.reducer_id == "big"
+        # Stable-hash order is ['c', 'big', 'b', 'a']: the group before the
+        # oversized key has already been reduced when the error fires (a
+        # pre-pass check would leave reduced_keys empty), and neither the
+        # violating group nor anything after it runs.
+        assert reduced_keys == ["c"]
 
 
 class TestFilteringMapper:
@@ -242,6 +380,19 @@ class TestJobChain:
         chain = JobChain(jobs=[word_count_job()])
         with pytest.raises(ExecutionError):
             engine.run_chain(chain, ["a"], reducer_costs=[None, None])
+
+    def test_empty_chain_raises_configuration_error(self, engine):
+        """An emptied chain must fail loudly, not crash on round_results[-1]."""
+        chain = JobChain(jobs=[word_count_job()], name="hollow")
+        chain.jobs = ()  # bypasses __post_init__, as mutation or bad codegen would
+        with pytest.raises(ConfigurationError, match="hollow.*no jobs"):
+            engine.run_chain(chain, ["a"])
+
+    def test_chain_inputs_streamed(self, engine):
+        """run_chain accepts a generator without materializing it first."""
+        chain = JobChain(jobs=[word_count_job()])
+        result = engine.run_chain(chain, (doc for doc in ["a b", "b c"]))
+        assert dict(result.outputs) == {"a": 1, "b": 2, "c": 1}
 
 
 class TestWorkerStats:
