@@ -38,14 +38,29 @@ def build_curve():
 
 
 def run_algorithms_on_engine():
-    """Plan each budget q = 2^(b/c) and execute the planner's choice."""
+    """Sweep every budget q = 2^(b/c) in one planner call, then execute.
+
+    ``CostBasedPlanner.sweep`` traces the whole achievable tradeoff curve at
+    once; the shared schema cache builds each Splitting/weight-grid
+    candidate a single time across all budgets instead of once per budget.
+    """
     engine = MapReduceEngine()
     planner = CostBasedPlanner.min_replication()
     problem = HammingDistanceProblem(B_EXECUTED)
     words = range(2 ** B_EXECUTED)
+    points = {
+        2.0 ** log_q: (c, log_q) for c, log_q, _ in splitting_points(B_EXECUTED)
+    }
+    sweep = planner.sweep(problem, points.keys(), engine.config)
     measured = []
-    for c, log_q, _ in splitting_points(B_EXECUTED):
-        plan = planner.plan(problem, engine.config, q=2.0 ** log_q).best
+    for point in sweep:
+        c, log_q = points[point.budget]
+        if not point.feasible:  # explicit: survives python -O, unlike assert
+            raise RuntimeError(
+                f"budget q=2^{log_q} unexpectedly infeasible: "
+                f"{point.infeasible_reason}"
+            )
+        plan = point.best
         result = plan.execute(words, engine=engine)
         measured.append(
             {
@@ -53,7 +68,7 @@ def run_algorithms_on_engine():
                 "log2_q": log_q,
                 "plan": plan.name,
                 "measured_r": result.replication_rate,
-                "lower_bound_r": hamming1_lower_bound(B_EXECUTED, 2.0 ** log_q),
+                "lower_bound_r": hamming1_lower_bound(B_EXECUTED, point.budget),
                 "max_reducer_size": result.metrics.shuffle.max_reducer_size,
             }
         )

@@ -50,9 +50,22 @@ def sparse_run():
     problem = TriangleProblem(n)
     edges = gnm_random_graph(n, m, seed=404)
     rows = []
-    for q_actual in (30, 60, 120):
-        q_target = edge_target_reducer_size(q_actual, n, m)
-        plan = planner.plan(problem, engine.config, q=q_target).best
+    # One sweep call plans every memory budget; the schema cache builds each
+    # partition candidate once across the three budgets.
+    actual_by_target = {
+        edge_target_reducer_size(q_actual, n, m): q_actual
+        for q_actual in (30, 60, 120)
+    }
+    sweep = planner.sweep(problem, actual_by_target.keys(), engine.config)
+    for point in sweep:
+        q_target = point.budget
+        q_actual = actual_by_target[q_target]
+        if not point.feasible:  # explicit: survives python -O, unlike assert
+            raise RuntimeError(
+                f"budget q={q_target:g} unexpectedly infeasible: "
+                f"{point.infeasible_reason}"
+            )
+        plan = point.best
         result = plan.execute(edges, engine=engine)
         rows.append(
             {

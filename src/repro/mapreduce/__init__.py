@@ -9,6 +9,13 @@ input sizes.
 
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
+from repro.mapreduce.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    default_parallel_workers,
+    resolve_executor,
+)
 from repro.mapreduce.job import (
     JobChain,
     MapReduceJob,
@@ -39,6 +46,7 @@ from repro.mapreduce.types import KeyValue, ReducerInput, ensure_key_value
 
 __all__ = [
     "ClusterConfig",
+    "Executor",
     "GreedyLoadBalancingPartitioner",
     "HashPartitioner",
     "InMemoryShuffle",
@@ -48,19 +56,23 @@ __all__ = [
     "KeyValue",
     "MapReduceEngine",
     "MapReduceJob",
+    "ParallelExecutor",
     "Partitioner",
     "PartitionedShuffle",
     "PipelineMetrics",
     "PipelineResult",
     "ReducerInput",
     "RoundRobinPartitioner",
+    "SerialExecutor",
     "ShuffleBackend",
     "ShuffleStats",
     "WorkerStats",
     "collecting_reducer",
+    "default_parallel_workers",
     "ensure_key_value",
     "identity_reducer",
     "make_filtering_mapper",
     "reducer_size_quantiles",
+    "resolve_executor",
     "stable_hash",
 ]

@@ -46,7 +46,14 @@ class ClusterConfig:
         task.  A job's combiner runs once per map task, before the task's
         emissions cross the shuffle boundary — the batch size therefore
         controls how much pre-aggregation a combiner can achieve, exactly
-        like Hadoop's input-split size does.
+        like Hadoop's input-split size does.  Under the parallel executor a
+        map task is also the unit of work shipped to one worker process.
+    executor:
+        Execution backend the engine uses for this cluster: ``"serial"``
+        (everything in-process, the default), ``"parallel"`` (a process
+        pool sized by ``num_workers``), or a pre-built
+        :class:`~repro.mapreduce.executor.Executor` instance.  Both
+        backends produce bit-identical outputs and metrics.
     """
 
     num_workers: int = 4
@@ -56,6 +63,7 @@ class ClusterConfig:
     communication_cost_per_record: float = 1.0
     worker_cost_per_unit: float = 1.0
     map_batch_size: int = 1024
+    executor: object = "serial"
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -73,6 +81,23 @@ class ClusterConfig:
         if self.map_batch_size <= 0:
             raise ConfigurationError(
                 f"map_batch_size must be positive, got {self.map_batch_size}"
+            )
+        if isinstance(self.executor, str):
+            # Imported lazily: the executor module imports this one.
+            from repro.mapreduce.executor import known_executor_names
+
+            names = known_executor_names()
+            if self.executor not in names:
+                raise ConfigurationError(
+                    f"executor must be one of {list(names)} or an Executor "
+                    f"instance, got {self.executor!r}"
+                )
+        elif not callable(getattr(self.executor, "execute", None)):
+            # Duck-typed so this module need not import the executor layer
+            # at module level.
+            raise ConfigurationError(
+                f"executor must be a registered name or an Executor "
+                f"instance, got {self.executor!r}"
             )
 
     def effective_capacity(self, job_capacity: Optional[int]) -> Optional[int]:
@@ -95,4 +120,5 @@ class ClusterConfig:
             communication_cost_per_record=self.communication_cost_per_record,
             worker_cost_per_unit=self.worker_cost_per_unit,
             map_batch_size=self.map_batch_size,
+            executor=self.executor,
         )

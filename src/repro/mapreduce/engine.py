@@ -8,10 +8,13 @@ modelled exactly: every key-value pair crossing the map → reduce boundary is
 counted as one unit of communication, pairs are grouped by key, and each
 group is handed to the reduce function.
 
-Three properties distinguish the engine from a naive simulator:
+The engine owns *what* an execution means — the phase structure, the shuffle
+lifecycle and metrics assembly — and delegates *where* the work runs to a
+pluggable :class:`~repro.mapreduce.executor.Executor`:
 
-* **Streaming map phase.**  Inputs are consumed one record at a time and
-  mapper emissions flow straight into a pluggable
+* **Streaming map phase.**  Inputs are consumed one record at a time (or one
+  ``map_batch_size`` chunk at a time under the parallel executor) and mapper
+  emissions flow straight into a pluggable
   :class:`~repro.mapreduce.shuffle.ShuffleBackend`; the input list is never
   materialized by the engine, so generators of arbitrary length work.
 * **Faithful combiners.**  A combiner runs per simulated map task (a
@@ -22,6 +25,12 @@ Three properties distinguish the engine from a naive simulator:
 * **Incremental metrics.**  Reducer sizes, worker loads and compute cost are
   collected while groups stream out of the shuffle backend, never from a
   fully materialized intermediate dictionary.
+* **Pluggable executors.**  :class:`~repro.mapreduce.executor.SerialExecutor`
+  runs everything in-process (the seed behaviour);
+  :class:`~repro.mapreduce.executor.ParallelExecutor` fans map chunks and
+  reduce blocks out to a process pool while producing bit-identical outputs
+  and metrics.  Select one via ``ClusterConfig.executor``, the engine's
+  ``executor=`` argument, or per ``run`` call.
 
 Determinism matters for reproducibility of the benchmarks: reduce keys are
 processed in sorted order of their stable hash (falling back to ``repr``
@@ -35,44 +44,17 @@ differ from runs recorded before the streaming rewrite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Iterable, List, Optional, Sequence
 
-from repro.exceptions import (
-    ConfigurationError,
-    ExecutionError,
-    ReducerCapacityExceededError,
-)
+from repro.exceptions import ConfigurationError, ExecutionError
 from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.executor import Executor, ExecutorSpec, resolve_executor
 from repro.mapreduce.job import JobChain, MapReduceJob
-from repro.mapreduce.metrics import (
-    JobMetrics,
-    PipelineMetrics,
-    ShuffleStats,
-    WorkerStats,
-)
+from repro.mapreduce.metrics import JobMetrics, PipelineMetrics, ShuffleStats
 from repro.mapreduce.shuffle import InMemoryShuffle, ShuffleBackend
-from repro.mapreduce.types import ensure_key_value
 
 #: A callable producing a fresh shuffle backend for one job execution.
 ShuffleFactory = Callable[[], ShuffleBackend]
-
-
-def _guarded_iteration(iterable: Iterable[Any], described: str) -> Iterable[Any]:
-    """Re-wrap exceptions raised *while iterating* a user callable's result.
-
-    Mappers, combiners and reducers are usually generators, so their bodies
-    run during iteration, not at call time; guarding only the call would let
-    their errors escape the engine's ExecutionError contract.
-    """
-    iterator = iter(iterable)
-    while True:
-        try:
-            item = next(iterator)
-        except StopIteration:
-            return
-        except Exception as error:
-            raise ExecutionError(f"{described}: {error}") from error
-        yield item
 
 
 @dataclass
@@ -118,15 +100,23 @@ class MapReduceEngine:
         Defaults to :class:`~repro.mapreduce.shuffle.InMemoryShuffle`; pass
         ``PartitionedShuffle`` (or a configured lambda) to bound peak memory
         on large workloads.
+    executor:
+        Execution backend: an :class:`~repro.mapreduce.executor.Executor`
+        instance, one of the names ``"serial"`` / ``"parallel"``, or
+        ``None`` to follow ``config.executor`` (which defaults to serial).
     """
 
     def __init__(
         self,
         config: Optional[ClusterConfig] = None,
         shuffle_factory: Optional[ShuffleFactory] = None,
+        executor: ExecutorSpec = None,
     ) -> None:
         self.config = config or ClusterConfig()
         self.shuffle_factory: ShuffleFactory = shuffle_factory or InMemoryShuffle
+        self.executor: Executor = resolve_executor(
+            executor if executor is not None else self.config.executor
+        )
 
     # ------------------------------------------------------------------
     # Single-round execution
@@ -137,6 +127,7 @@ class MapReduceEngine:
         inputs: Iterable[Any],
         reducer_cost: Optional[Callable[[int], float]] = None,
         shuffle: Optional[ShuffleBackend] = None,
+        executor: ExecutorSpec = None,
     ) -> JobResult:
         """Execute ``job`` over ``inputs`` and return outputs plus metrics.
 
@@ -154,11 +145,29 @@ class MapReduceEngine:
         shuffle:
             Optional pre-built shuffle backend for this run only, overriding
             the engine's ``shuffle_factory``.
+        executor:
+            Optional execution backend for this run only, overriding the
+            engine's executor.
         """
         backend = shuffle if shuffle is not None else self.shuffle_factory()
+        active = resolve_executor(executor) if executor is not None else self.executor
         try:
-            num_inputs = self._map_phase(job, inputs, backend)
-            return self._reduce_phase(job, backend, num_inputs, reducer_cost)
+            outcome = active.execute(job, inputs, backend, self.config, reducer_cost)
+            # Read the pair count before the backend closes: closed backends
+            # refuse num_pairs rather than reporting stale counts.
+            shuffle_stats = ShuffleStats(
+                num_inputs=outcome.num_inputs,
+                num_key_value_pairs=backend.num_pairs,
+                reducer_sizes=outcome.reducer_sizes,
+            )
+            metrics = JobMetrics(
+                job_name=job.name,
+                shuffle=shuffle_stats,
+                workers=outcome.workers,
+                num_outputs=len(outcome.outputs),
+                reducer_compute_cost=outcome.reducer_compute_cost,
+            )
+            return JobResult(outputs=outcome.outputs, metrics=metrics)
         finally:
             backend.close()
 
@@ -170,6 +179,7 @@ class MapReduceEngine:
         chain: JobChain,
         inputs: Iterable[Any],
         reducer_costs: Optional[Sequence[Optional[Callable[[int], float]]]] = None,
+        executor: ExecutorSpec = None,
     ) -> PipelineResult:
         """Execute a multi-round :class:`JobChain`.
 
@@ -191,7 +201,9 @@ class MapReduceEngine:
         round_results: List[JobResult] = []
         for index, job in enumerate(chain.jobs):
             cost_fn = reducer_costs[index] if reducer_costs is not None else None
-            result = self.run(job, current_inputs, reducer_cost=cost_fn)
+            result = self.run(
+                job, current_inputs, reducer_cost=cost_fn, executor=executor
+            )
             round_results.append(result)
             current_inputs = result.outputs
         metrics = PipelineMetrics(
@@ -204,138 +216,3 @@ class MapReduceEngine:
             metrics=metrics,
             round_results=round_results,
         )
-
-    # ------------------------------------------------------------------
-    # Map phase (streaming)
-    # ------------------------------------------------------------------
-    def _map_phase(
-        self, job: MapReduceJob, inputs: Iterable[Any], backend: ShuffleBackend
-    ) -> int:
-        """Stream inputs through the mapper into the shuffle backend.
-
-        Returns the number of input records consumed.  When the job has a
-        combiner, mapper emissions are buffered per map task (a contiguous
-        batch of ``map_batch_size`` records) and combined before entering
-        the shuffle, so the recorded communication is post-combiner — the
-        pairs that would really cross the network.
-        """
-        if job.combiner is None:
-            return self._map_streaming(job, inputs, backend)
-        return self._map_with_combiner(job, inputs, backend)
-
-    def _map_streaming(
-        self, job: MapReduceJob, inputs: Iterable[Any], backend: ShuffleBackend
-    ) -> int:
-        num_inputs = 0
-        for record in inputs:
-            num_inputs += 1
-            for item in self._emit(job, record):
-                pair = ensure_key_value(item)
-                backend.add(pair.key, pair.value)
-        return num_inputs
-
-    def _map_with_combiner(
-        self, job: MapReduceJob, inputs: Iterable[Any], backend: ShuffleBackend
-    ) -> int:
-        batch_size = self.config.map_batch_size
-        buffer: Dict[Hashable, List[Any]] = {}
-        in_batch = 0
-        num_inputs = 0
-        for record in inputs:
-            num_inputs += 1
-            for item in self._emit(job, record):
-                pair = ensure_key_value(item)
-                buffer.setdefault(pair.key, []).append(pair.value)
-            in_batch += 1
-            if in_batch >= batch_size:
-                self._flush_combined(job, buffer, backend)
-                buffer = {}
-                in_batch = 0
-        if buffer:
-            self._flush_combined(job, buffer, backend)
-        return num_inputs
-
-    def _flush_combined(
-        self,
-        job: MapReduceJob,
-        buffer: Dict[Hashable, List[Any]],
-        backend: ShuffleBackend,
-    ) -> None:
-        """Run the combiner over one map task's buffered emissions."""
-        for key, values in buffer.items():
-            described = f"combiner of job {job.name!r} failed on key {key!r}"
-            try:
-                combined = job.combiner(key, values)
-            except Exception as error:
-                raise ExecutionError(f"{described}: {error}") from error
-            for item in _guarded_iteration(combined, described):
-                pair = ensure_key_value(item)
-                backend.add(pair.key, pair.value)
-
-    def _emit(self, job: MapReduceJob, record: Any) -> Iterable[Any]:
-        described = f"mapper of job {job.name!r} failed on record {record!r}"
-        try:
-            pairs = job.mapper(record)
-        except Exception as error:
-            raise ExecutionError(f"{described}: {error}") from error
-        if pairs is None:
-            return ()
-        return _guarded_iteration(pairs, described)
-
-    # ------------------------------------------------------------------
-    # Reduce phase (streaming, metrics collected incrementally)
-    # ------------------------------------------------------------------
-    def _reduce_phase(
-        self,
-        job: MapReduceJob,
-        backend: ShuffleBackend,
-        num_inputs: int,
-        reducer_cost: Optional[Callable[[int], float]],
-    ) -> JobResult:
-        """Stream groups out of the backend through the reducer.
-
-        Capacity is enforced as groups stream by, so with
-        ``enforce_capacity`` the reducers of groups ordered before an
-        oversized key (in stable-hash order) have already run when the
-        :class:`ReducerCapacityExceededError` aborts the job — a deliberate
-        consequence of never materializing the full shuffle.
-        """
-        capacity = self.config.effective_capacity(job.reducer_capacity)
-        enforce = capacity is not None and self.config.enforce_capacity
-        outputs: List[Any] = []
-        compute_cost = 0.0
-        reducer_sizes: Dict[Hashable, int] = {}
-        workers = WorkerStats()
-        for key, values in backend.groups():
-            size = len(values)
-            reducer_sizes[key] = size
-            if enforce and size > capacity:
-                raise ReducerCapacityExceededError(key, size, capacity)
-            worker = self.config.partitioner.assign(key, self.config.num_workers)
-            workers.keys_per_worker[worker] = workers.keys_per_worker.get(worker, 0) + 1
-            workers.values_per_worker[worker] = (
-                workers.values_per_worker.get(worker, 0) + size
-            )
-            if reducer_cost is not None:
-                compute_cost += float(reducer_cost(size))
-            described = f"reducer of job {job.name!r} failed on key {key!r}"
-            try:
-                produced = job.reducer(key, values)
-            except Exception as error:
-                raise ExecutionError(f"{described}: {error}") from error
-            if produced is not None:
-                outputs.extend(_guarded_iteration(produced, described))
-
-        shuffle_stats = ShuffleStats(
-            num_inputs=num_inputs,
-            num_key_value_pairs=backend.num_pairs,
-            reducer_sizes=reducer_sizes,
-        )
-        metrics = JobMetrics(
-            job_name=job.name,
-            shuffle=shuffle_stats,
-            workers=workers,
-            num_outputs=len(outputs),
-            reducer_compute_cost=compute_cost,
-        )
-        return JobResult(outputs=outputs, metrics=metrics)

@@ -1,0 +1,622 @@
+"""Pluggable execution backends: who runs the map and reduce work.
+
+The engine in :mod:`repro.mapreduce.engine` owns *what* a job execution
+means — streaming inputs through the mapper into a shuffle backend, then
+streaming groups through the reducer while metrics are collected.  The
+:class:`Executor` layer owns *where* that work runs:
+
+* :class:`SerialExecutor` — everything in the calling process, one record /
+  one group at a time.  This is the seed behaviour, bit for bit.
+* :class:`ParallelExecutor` — map tasks run over input chunks in worker
+  processes (a :class:`concurrent.futures.ProcessPoolExecutor` using the
+  ``fork`` start method), each chunk with its own per-task combiner, and the
+  reduce phase runs worker-parallel over blocks of shuffle groups.  Results
+  are merged in task-submission order, so outputs, communication metrics and
+  worker statistics are identical to the serial executor's.
+
+Determinism contract (both executors, any worker count):
+
+* the shuffle backend receives exactly the same multiset of post-combiner
+  pairs, with the same per-key value order, so ``num_pairs`` and every
+  reducer size match the serial run;
+* outputs appear in stable-hash group order (blocks are collected FIFO);
+* partitioner worker assignments are computed in the parent while groups
+  stream by in stable-hash order, so even *stateful* partitioners
+  (round-robin, greedy) see the exact key sequence the serial executor
+  shows them.
+
+Jobs are built from closures (every schema family's ``job()`` is), which
+plain ``pickle`` cannot ship to a ``spawn``-started process.  The parallel
+executor therefore requires the ``fork`` start method: the job is published
+in a module-level slot before the pool is created and the forked workers
+inherit it.  On platforms without ``fork`` the executor raises a clear
+:class:`~repro.exceptions.ConfigurationError` at construction time.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+from abc import ABC, abstractmethod
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutionError,
+    ReducerCapacityExceededError,
+)
+from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.job import MapReduceJob
+from repro.mapreduce.metrics import WorkerStats
+from repro.mapreduce.shuffle import ShuffleBackend
+from repro.mapreduce.types import ensure_key_value
+
+
+def _guarded_iteration(iterable: Iterable[Any], described: str) -> Iterable[Any]:
+    """Re-wrap exceptions raised *while iterating* a user callable's result.
+
+    Mappers, combiners and reducers are usually generators, so their bodies
+    run during iteration, not at call time; guarding only the call would let
+    their errors escape the engine's ExecutionError contract.
+    """
+    iterator = iter(iterable)
+    while True:
+        try:
+            item = next(iterator)
+        except StopIteration:
+            return
+        except Exception as error:
+            raise ExecutionError(f"{described}: {error}") from error
+        yield item
+
+
+def _emit(job: MapReduceJob, record: Any) -> Iterable[Any]:
+    described = f"mapper of job {job.name!r} failed on record {record!r}"
+    try:
+        pairs = job.mapper(record)
+    except Exception as error:
+        raise ExecutionError(f"{described}: {error}") from error
+    if pairs is None:
+        return ()
+    return _guarded_iteration(pairs, described)
+
+
+def _combine_buffer(
+    job: MapReduceJob, buffer: Dict[Hashable, List[Any]]
+) -> Iterator[Tuple[Hashable, Any]]:
+    """Run the combiner over one map task's buffered emissions."""
+    for key, values in buffer.items():
+        described = f"combiner of job {job.name!r} failed on key {key!r}"
+        try:
+            combined = job.combiner(key, values)
+        except Exception as error:
+            raise ExecutionError(f"{described}: {error}") from error
+        for item in _guarded_iteration(combined, described):
+            pair = ensure_key_value(item)
+            yield pair.key, pair.value
+
+
+class _ReduceBookkeeper:
+    """Per-group metric accounting shared by every executor.
+
+    Both executors observe groups in the same stable-hash order; keeping the
+    bookkeeping (reducer sizes, capacity enforcement, partitioner
+    assignment, compute cost) in one place is what guarantees their metrics
+    cannot drift apart.
+    """
+
+    def __init__(
+        self,
+        job: MapReduceJob,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]],
+    ) -> None:
+        self._capacity = config.effective_capacity(job.reducer_capacity)
+        self._enforce = self._capacity is not None and config.enforce_capacity
+        self._config = config
+        self._reducer_cost = reducer_cost
+        self.reducer_sizes: Dict[Hashable, int] = {}
+        self.workers = WorkerStats()
+        self.compute_cost = 0.0
+
+    def observe(self, key: Hashable, values: List[Any]) -> None:
+        """Account for one group; raises if it exceeds the enforced capacity."""
+        size = len(values)
+        self.reducer_sizes[key] = size
+        if self._enforce and size > self._capacity:
+            raise ReducerCapacityExceededError(key, size, self._capacity)
+        worker = self._config.partitioner.assign(key, self._config.num_workers)
+        self.workers.keys_per_worker[worker] = (
+            self.workers.keys_per_worker.get(worker, 0) + 1
+        )
+        self.workers.values_per_worker[worker] = (
+            self.workers.values_per_worker.get(worker, 0) + size
+        )
+        if self._reducer_cost is not None:
+            self.compute_cost += float(self._reducer_cost(size))
+
+    def outcome(self, num_inputs: int, outputs: List[Any]) -> "ExecutionOutcome":
+        return ExecutionOutcome(
+            num_inputs=num_inputs,
+            outputs=outputs,
+            reducer_sizes=self.reducer_sizes,
+            workers=self.workers,
+            reducer_compute_cost=self.compute_cost,
+        )
+
+
+@dataclass
+class ExecutionOutcome:
+    """Raw results of one executed job, before metrics assembly.
+
+    The engine turns this into :class:`~repro.mapreduce.metrics.JobMetrics`
+    (adding the shuffle backend's pair count); executors stay free of the
+    metrics classes' construction details.
+    """
+
+    num_inputs: int
+    outputs: List[Any]
+    reducer_sizes: Dict[Hashable, int] = field(default_factory=dict)
+    workers: WorkerStats = field(default_factory=WorkerStats)
+    reducer_compute_cost: float = 0.0
+
+
+class Executor(ABC):
+    """Strategy for running a job's map and reduce phases.
+
+    Executors are stateless between ``execute`` calls and may be shared by
+    many engines; any per-run resources (process pools) live inside one
+    ``execute`` invocation.
+    """
+
+    #: Short name used by ``ClusterConfig.executor`` string resolution.
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]] = None,
+    ) -> ExecutionOutcome:
+        """Run ``job`` over ``inputs`` through ``backend`` and return results."""
+
+
+# ----------------------------------------------------------------------
+# Serial execution (the seed behaviour)
+# ----------------------------------------------------------------------
+class SerialExecutor(Executor):
+    """Runs everything in the calling process, streaming record by record."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]] = None,
+    ) -> ExecutionOutcome:
+        num_inputs = self._map_phase(job, inputs, backend, config)
+        return self._reduce_phase(job, backend, config, reducer_cost, num_inputs)
+
+    # -- map phase ------------------------------------------------------
+    def _map_phase(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+    ) -> int:
+        """Stream inputs through the mapper into the shuffle backend.
+
+        Returns the number of input records consumed.  When the job has a
+        combiner, mapper emissions are buffered per map task (a contiguous
+        batch of ``map_batch_size`` records) and combined before entering
+        the shuffle, so the recorded communication is post-combiner — the
+        pairs that would really cross the network.
+        """
+        if job.combiner is None:
+            return self._map_streaming(job, inputs, backend)
+        return self._map_with_combiner(job, inputs, backend, config)
+
+    @staticmethod
+    def _map_streaming(
+        job: MapReduceJob, inputs: Iterable[Any], backend: ShuffleBackend
+    ) -> int:
+        num_inputs = 0
+        for record in inputs:
+            num_inputs += 1
+            for item in _emit(job, record):
+                pair = ensure_key_value(item)
+                backend.add(pair.key, pair.value)
+        return num_inputs
+
+    @staticmethod
+    def _map_with_combiner(
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+    ) -> int:
+        batch_size = config.map_batch_size
+        buffer: Dict[Hashable, List[Any]] = {}
+        in_batch = 0
+        num_inputs = 0
+        for record in inputs:
+            num_inputs += 1
+            for item in _emit(job, record):
+                pair = ensure_key_value(item)
+                buffer.setdefault(pair.key, []).append(pair.value)
+            in_batch += 1
+            if in_batch >= batch_size:
+                for key, value in _combine_buffer(job, buffer):
+                    backend.add(key, value)
+                buffer = {}
+                in_batch = 0
+        if buffer:
+            for key, value in _combine_buffer(job, buffer):
+                backend.add(key, value)
+        return num_inputs
+
+    # -- reduce phase ---------------------------------------------------
+    @staticmethod
+    def _reduce_phase(
+        job: MapReduceJob,
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]],
+        num_inputs: int,
+    ) -> ExecutionOutcome:
+        """Stream groups out of the backend through the reducer.
+
+        Capacity is enforced as groups stream by, so with
+        ``enforce_capacity`` the reducers of groups ordered before an
+        oversized key (in stable-hash order) have already run when the
+        :class:`ReducerCapacityExceededError` aborts the job — a deliberate
+        consequence of never materializing the full shuffle.
+        """
+        bookkeeper = _ReduceBookkeeper(job, config, reducer_cost)
+        outputs: List[Any] = []
+        for key, values in backend.groups():
+            bookkeeper.observe(key, values)
+            described = f"reducer of job {job.name!r} failed on key {key!r}"
+            try:
+                produced = job.reducer(key, values)
+            except Exception as error:
+                raise ExecutionError(f"{described}: {error}") from error
+            if produced is not None:
+                outputs.extend(_guarded_iteration(produced, described))
+        return bookkeeper.outcome(num_inputs, outputs)
+
+
+# ----------------------------------------------------------------------
+# Process-pool execution
+# ----------------------------------------------------------------------
+#: Slot the parent fills before forking its pool; workers inherit the job
+#: through it.  Keyed storage (not a bare global) so a traceback in one run
+#: cannot leave a stale job visible as "the" job of the next run.
+_FORK_STATE: Dict[str, MapReduceJob] = {}
+
+#: Serializes ParallelExecutor.execute calls process-wide.  Workers are
+#: forked lazily (one per submit), so the job slot must stay stable for the
+#: whole pool lifetime; two concurrent executes would otherwise race on it
+#: and could fork workers holding the *other* run's job.
+_FORK_STATE_LOCK = threading.Lock()
+
+
+def _worker_map_chunk(records: Sequence[Any]) -> Tuple[int, List[Tuple[Hashable, List[Any]]]]:
+    """Run the mapper (and per-task combiner) over one input chunk.
+
+    One chunk *is* one simulated map task — the parent cuts chunks of
+    exactly ``map_batch_size`` records — so combiner scope matches the
+    serial executor's.  Emissions are grouped per key (first-emission
+    order), which preserves per-key value order while letting the parent
+    merge whole value lists instead of pair-at-a-time.
+    """
+    job = _FORK_STATE["job"]
+    grouped: Dict[Hashable, List[Any]] = {}
+    if job.combiner is None:
+        for record in records:
+            for item in _emit(job, record):
+                pair = ensure_key_value(item)
+                grouped.setdefault(pair.key, []).append(pair.value)
+    else:
+        buffer: Dict[Hashable, List[Any]] = {}
+        for record in records:
+            for item in _emit(job, record):
+                pair = ensure_key_value(item)
+                buffer.setdefault(pair.key, []).append(pair.value)
+        for key, value in _combine_buffer(job, buffer):
+            grouped.setdefault(key, []).append(value)
+    return len(records), list(grouped.items())
+
+
+def _worker_reduce_block(block: Sequence[Tuple[Hashable, List[Any]]]) -> List[Any]:
+    """Run the reducer over one block of shuffle groups, returning outputs."""
+    job = _FORK_STATE["job"]
+    outputs: List[Any] = []
+    for key, values in block:
+        described = f"reducer of job {job.name!r} failed on key {key!r}"
+        try:
+            produced = job.reducer(key, values)
+        except Exception as error:
+            raise ExecutionError(f"{described}: {error}") from error
+        if produced is not None:
+            outputs.extend(_guarded_iteration(produced, described))
+    return outputs
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution of the map and reduce phases.
+
+    Parameters
+    ----------
+    num_workers:
+        Worker processes in the pool.  Defaults (``None``) to the cluster's
+        ``num_workers`` at execute time, so one knob sizes both the
+        simulated reduce workers and the real process pool.
+    reduce_block_size:
+        Shuffle groups dispatched to a worker per reduce task.  Larger
+        blocks amortize pickling; smaller blocks balance better when
+        reducer sizes are skewed.
+    max_pending_factor:
+        At most ``max_pending_factor * num_workers`` tasks are in flight at
+        once; beyond that the parent drains the oldest task first.  This
+        bounds parent-side memory (chunks and blocks are materialized while
+        in flight) without stalling the pool.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        num_workers: Optional[int] = None,
+        reduce_block_size: int = 64,
+        max_pending_factor: int = 4,
+    ) -> None:
+        if num_workers is not None and num_workers <= 0:
+            raise ConfigurationError(
+                f"num_workers must be positive, got {num_workers}"
+            )
+        if reduce_block_size <= 0:
+            raise ConfigurationError(
+                f"reduce_block_size must be positive, got {reduce_block_size}"
+            )
+        if max_pending_factor <= 0:
+            raise ConfigurationError(
+                f"max_pending_factor must be positive, got {max_pending_factor}"
+            )
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "ParallelExecutor requires the 'fork' start method (jobs are "
+                "closures, which cannot be pickled to spawn-started workers); "
+                "this platform does not support fork — use SerialExecutor"
+            )
+        self.num_workers = num_workers
+        self.reduce_block_size = reduce_block_size
+        self.max_pending_factor = max_pending_factor
+
+    def effective_workers(self, config: ClusterConfig) -> int:
+        return self.num_workers if self.num_workers is not None else config.num_workers
+
+    def execute(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]] = None,
+    ) -> ExecutionOutcome:
+        workers = self.effective_workers(config)
+        # Workers fork lazily (one per submit), so the published job must
+        # stay stable for the whole pool lifetime; the lock keeps a
+        # concurrent execute (engines shared across threads) from swapping
+        # it mid-run.  Concurrent executes therefore serialize.
+        with _FORK_STATE_LOCK:
+            # The job must be visible *before* the pool forks its workers.
+            _FORK_STATE["job"] = job
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            try:
+                num_inputs = self._map_phase(
+                    job, inputs, backend, config, pool, workers
+                )
+                return self._reduce_phase(
+                    job, backend, config, reducer_cost, num_inputs, pool, workers
+                )
+            except BrokenProcessPool as error:
+                raise ExecutionError(
+                    f"worker pool died while executing job {job.name!r} "
+                    f"(a worker process was killed or crashed): {error}"
+                ) from error
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+                _FORK_STATE.pop("job", None)
+
+    # -- map phase ------------------------------------------------------
+    def _map_phase(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        pool: ProcessPoolExecutor,
+        workers: int,
+    ) -> int:
+        """Fan map chunks out to the pool, merge results in submission order.
+
+        Chunks are cut at ``map_batch_size`` records — the same map-task
+        boundary the serial executor gives the combiner — and their grouped
+        emissions enter the shuffle backend in chunk order, so the backend
+        sees the same per-key value order as a serial run.
+        """
+        max_pending = self.max_pending_factor * workers
+        batch_size = config.map_batch_size
+        pending: deque = deque()
+        num_inputs = 0
+        iterator = iter(inputs)
+        chunk: List[Any] = []
+        input_error: Optional[BaseException] = None
+        while True:
+            try:
+                record = next(iterator)
+            except StopIteration:
+                break
+            except Exception as error:
+                # The input iterable itself failed.  Every record pulled
+                # before this point was mapped by the serial executor before
+                # it could hit the same failure, so map them here too (the
+                # trailing partial chunk included) and let any mapper error
+                # among them win — exactly the serial error order.
+                input_error = error
+                break
+            chunk.append(record)
+            if len(chunk) >= batch_size:
+                if len(pending) >= max_pending:
+                    num_inputs += self._drain_map_result(pending, backend)
+                pending.append(pool.submit(_worker_map_chunk, chunk))
+                chunk = []
+        if chunk:
+            pending.append(pool.submit(_worker_map_chunk, chunk))
+        while pending:
+            num_inputs += self._drain_map_result(pending, backend)
+        if input_error is not None:
+            raise input_error
+        return num_inputs
+
+    @staticmethod
+    def _drain_map_result(pending: deque, backend: ShuffleBackend) -> int:
+        chunk_size, grouped = pending.popleft().result()
+        for key, values in grouped:
+            backend.add_group(key, values)
+        return chunk_size
+
+    # -- reduce phase ---------------------------------------------------
+    def _reduce_phase(
+        self,
+        job: MapReduceJob,
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]],
+        num_inputs: int,
+        pool: ProcessPoolExecutor,
+        workers: int,
+    ) -> ExecutionOutcome:
+        """Dispatch blocks of groups to the pool, collecting outputs FIFO.
+
+        All metric bookkeeping (reducer sizes, capacity enforcement,
+        partitioner assignment, compute cost) happens in the parent while
+        groups stream by in stable-hash order — exactly the sequence the
+        serial executor processes (the accounting itself is shared via
+        :class:`_ReduceBookkeeper`) — so stateful partitioners and capacity
+        errors behave identically.  Only the reducer calls travel to the
+        workers.
+        """
+        bookkeeper = _ReduceBookkeeper(job, config, reducer_cost)
+        outputs: List[Any] = []
+        max_pending = self.max_pending_factor * workers
+        pending: deque = deque()
+        block: List[Tuple[Hashable, List[Any]]] = []
+        for key, values in backend.groups():
+            try:
+                bookkeeper.observe(key, values)
+            except Exception:
+                # By the time the serial executor detects a capacity
+                # violation at this key, every earlier key's reducer has
+                # already run — and a reducer error among them would have
+                # surfaced *instead*.  Finish the earlier work (in-flight
+                # blocks plus the partial one) so its errors take
+                # precedence here too.
+                if block:
+                    pending.append(pool.submit(_worker_reduce_block, block))
+                while pending:
+                    pending.popleft().result()
+                raise
+            block.append((key, values))
+            if len(block) >= self.reduce_block_size:
+                if len(pending) >= max_pending:
+                    outputs.extend(pending.popleft().result())
+                pending.append(pool.submit(_worker_reduce_block, block))
+                block = []
+        if block:
+            pending.append(pool.submit(_worker_reduce_block, block))
+        while pending:
+            outputs.extend(pending.popleft().result())
+        return bookkeeper.outcome(num_inputs, outputs)
+
+
+# ----------------------------------------------------------------------
+# Resolution from configuration
+# ----------------------------------------------------------------------
+#: What ``ClusterConfig.executor`` / ``MapReduceEngine(executor=...)`` accept.
+ExecutorSpec = Union[str, Executor, None]
+
+_EXECUTOR_NAMES: Dict[str, Callable[[], Executor]] = {
+    "serial": SerialExecutor,
+    "parallel": ParallelExecutor,
+}
+
+
+def known_executor_names() -> Tuple[str, ...]:
+    """The executor names ``ClusterConfig.executor`` accepts, sorted.
+
+    Single source of truth for name validation — ``ClusterConfig`` checks
+    against this, so registering a new named executor here makes it valid
+    configuration everywhere.
+    """
+    return tuple(sorted(_EXECUTOR_NAMES))
+
+
+def resolve_executor(spec: ExecutorSpec) -> Executor:
+    """Turn an executor spec (name, instance or None) into an Executor.
+
+    ``None`` resolves to :class:`SerialExecutor`, matching the seed
+    behaviour; strings resolve through the registered names (``"serial"``,
+    ``"parallel"``); instances pass through unchanged.  Matching
+    ``ClusterConfig``'s validation, any object with a callable ``execute``
+    counts as an executor — subclassing :class:`Executor` is recommended
+    but not required.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, str):
+        factory = _EXECUTOR_NAMES.get(spec)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown executor {spec!r}; expected one of "
+                f"{sorted(_EXECUTOR_NAMES)} or an Executor instance"
+            )
+        return factory()
+    if isinstance(spec, Executor) or callable(getattr(spec, "execute", None)):
+        return spec
+    raise ConfigurationError(
+        f"executor must be a name, an Executor instance or None, got {spec!r}"
+    )
+
+
+def default_parallel_workers(cap: int = 8) -> int:
+    """A sensible process count for benchmarks: available cores, capped."""
+    return max(1, min(cap, os.cpu_count() or 1))

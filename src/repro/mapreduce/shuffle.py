@@ -28,7 +28,7 @@ import tempfile
 from abc import ABC, abstractmethod
 from typing import Any, Dict, Hashable, Iterator, List, Optional, Tuple
 
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ExecutionError
 from repro.mapreduce.partitioner import stable_hash
 
 #: stable_hash digests are 8 bytes, so the hash space is [0, 2^64).
@@ -52,11 +52,24 @@ class ShuffleBackend(ABC):
     def add(self, key: Hashable, value: Any) -> None:
         """Accept one intermediate key-value pair from the map phase."""
 
+    def add_group(self, key: Hashable, values: List[Any]) -> None:
+        """Accept several values for one key at once (order preserved).
+
+        Equivalent to ``add(key, v)`` for each value; backends may override
+        with a bulk fast path.  The parallel executor uses this to merge a
+        map task's pre-grouped emissions without a per-pair Python call.
+        """
+        for value in values:
+            self.add(key, value)
+
     @abstractmethod
     def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
         """Yield ``(key, values)`` groups in stable-hash order.
 
-        Values appear in arrival order.  May only be consumed once.
+        Values appear in arrival order.  May only be consumed once, and
+        only while the backend is open: a closed backend raises
+        :class:`~repro.exceptions.ExecutionError` instead of silently
+        yielding nothing.
         """
 
     @abstractmethod
@@ -66,7 +79,12 @@ class ShuffleBackend(ABC):
     @property
     @abstractmethod
     def num_pairs(self) -> int:
-        """Number of pairs that crossed the map → reduce boundary so far."""
+        """Number of pairs that crossed the map → reduce boundary so far.
+
+        Only meaningful while the backend is open; a closed backend raises
+        :class:`~repro.exceptions.ExecutionError` rather than reporting a
+        count whose underlying data is gone.
+        """
 
     def __enter__(self) -> "ShuffleBackend":
         return self
@@ -83,22 +101,44 @@ class InMemoryShuffle(ShuffleBackend):
         self._num_pairs = 0
         self._closed = False
 
-    def add(self, key: Hashable, value: Any) -> None:
+    def _check_open(self) -> None:
         if self._closed:
             raise ConfigurationError(
                 "shuffle backend already closed; backends are single-use — "
                 "create a fresh one per executed job"
             )
+
+    def add(self, key: Hashable, value: Any) -> None:
+        self._check_open()
         self._groups.setdefault(key, []).append(value)
         self._num_pairs += 1
 
-    def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+    def add_group(self, key: Hashable, values: List[Any]) -> None:
+        self._check_open()
+        if not values:
+            return
+        self._groups.setdefault(key, []).extend(values)
+        self._num_pairs += len(values)
+
+    def _ensure_readable(self) -> None:
         if self._closed:
-            raise ConfigurationError(
-                "shuffle backend already closed; backends are single-use — "
-                "create a fresh one per executed job"
+            raise ExecutionError(
+                "cannot read groups from a closed InMemoryShuffle: its data "
+                "was released on close(); create a fresh backend per job"
             )
+
+    def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        # Checked eagerly (this is not a generator function) so a closed
+        # backend fails at the groups() call, not on the first next().
+        self._ensure_readable()
+        return self._iter_groups()
+
+    def _iter_groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        # Re-checked on every step: a close() racing an already-obtained
+        # iterator must raise, not quietly exhaust over emptied containers.
+        self._ensure_readable()
         for key in sorted(self._groups.keys(), key=_group_order_key):
+            self._ensure_readable()
             yield key, self._groups[key]
 
     def close(self) -> None:
@@ -107,6 +147,12 @@ class InMemoryShuffle(ShuffleBackend):
 
     @property
     def num_pairs(self) -> int:
+        if self._closed:
+            raise ExecutionError(
+                "cannot read num_pairs from a closed InMemoryShuffle: read "
+                "it before close(), or use the job metrics' communication "
+                "cost, which records the same count"
+            )
         return self._num_pairs
 
 
@@ -170,6 +216,19 @@ class PartitionedShuffle(ShuffleBackend):
         if len(buffer) >= self.buffer_size:
             self._spill(index)
 
+    def add_group(self, key: Hashable, values: List[Any]) -> None:
+        self._check_open()
+        if not values:
+            return
+        index = self._partition_of(key)
+        buffer = self._buffers[index]
+        buffer.extend((key, value) for value in values)
+        self._num_pairs += len(values)
+        # The buffer may transiently exceed buffer_size by one group's worth
+        # of pairs; spill cadence is a memory knob, not part of the metrics.
+        if len(buffer) >= self.buffer_size:
+            self._spill(index)
+
     def _check_open(self) -> None:
         if self._closed:
             raise ConfigurationError(
@@ -203,8 +262,16 @@ class PartitionedShuffle(ShuffleBackend):
     # ------------------------------------------------------------------
     # Grouped read-back
     # ------------------------------------------------------------------
+    def _ensure_readable(self) -> None:
+        if self._closed:
+            raise ExecutionError(
+                "cannot read groups from a closed PartitionedShuffle: its "
+                "buffers were cleared and spill files removed on close(); "
+                "create a fresh backend per job"
+            )
+
     def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
-        self._check_open()
+        self._ensure_readable()
         if self._consumed:
             # A second pass would see cleared buffers next to intact spill
             # files — silently wrong data.  Fail loudly instead.
@@ -216,7 +283,11 @@ class PartitionedShuffle(ShuffleBackend):
         return self._iter_groups()
 
     def _iter_groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        # Re-checked per partition and per group: a close() racing an
+        # already-obtained iterator must raise, not quietly exhaust over
+        # cleared buffers and removed spill files.
         for index in range(self.num_partitions):
+            self._ensure_readable()
             grouped: Dict[Hashable, List[Any]] = {}
             for key, value in self._partition_pairs(index):
                 grouped.setdefault(key, []).append(value)
@@ -224,6 +295,7 @@ class PartitionedShuffle(ShuffleBackend):
             # partition's data is resident at a time.
             self._buffers[index] = []
             for key in sorted(grouped.keys(), key=_group_order_key):
+                self._ensure_readable()
                 yield key, grouped[key]
             grouped = {}
 
@@ -263,4 +335,10 @@ class PartitionedShuffle(ShuffleBackend):
 
     @property
     def num_pairs(self) -> int:
+        if self._closed:
+            raise ExecutionError(
+                "cannot read num_pairs from a closed PartitionedShuffle: "
+                "read it before close(), or use the job metrics' "
+                "communication cost, which records the same count"
+            )
         return self._num_pairs

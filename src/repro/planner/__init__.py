@@ -18,7 +18,13 @@ builders covering every family of the paper live in
 :mod:`repro.planner.builtins` and are loaded with this package.
 """
 
-from repro.planner.plan import ExecutionPlan, PlanningResult
+from repro.planner.cache import CacheStats, SchemaCache, default_schema_cache
+from repro.planner.plan import (
+    ExecutionPlan,
+    PlanningResult,
+    SweepPoint,
+    SweepResult,
+)
 from repro.planner.planner import CostBasedPlanner
 from repro.planner.registry import (
     PlanCandidate,
@@ -31,11 +37,16 @@ from repro.planner.registry import (
 from repro.planner import builtins as _builtins  # noqa: E402,F401  (side effect)
 
 __all__ = [
+    "CacheStats",
     "CostBasedPlanner",
     "ExecutionPlan",
     "PlanCandidate",
     "PlanningResult",
+    "SchemaCache",
     "SchemaRegistry",
+    "SweepPoint",
+    "SweepResult",
     "default_registry",
+    "default_schema_cache",
     "thin_parameter_sweep",
 ]

@@ -14,6 +14,8 @@ HammingDistanceProblem    d=1: Splitting / pair-reducers / single-reducer /
                           Ball-2; d>2: segment deletion
 MultiwayJoinProblem       Shares over chain/star/uniform share vectors
 MatrixMultiplicationPr.   one-phase tilings and the two-phase chain
+WordCountProblem          direct per-word grouping (replication exactly 1)
+GroupByAggregationProbl.  direct per-group aggregation, with/without combiner
 ========================  =====================================================
 
 Every builder yields only candidates whose **certified** maximum reducer
@@ -22,6 +24,16 @@ the certification is an exact combinatorial bound over the problem's full
 input domain (ceil-corrected where the closed forms use real-valued
 approximations); for the Shares join it is the expected hash-balanced size,
 which is the quantity the paper's Section 5.5 analysis budgets as well.
+
+Candidate *builds* — constructing the schema-family object and evaluating
+its certified size and replication closed forms, which for the weight-grid
+(exact binomial populations) and Shares (share-vector expectation) families
+is the expensive part of planning — are routed through
+:data:`repro.planner.cache.default_schema_cache`.  The cache key is the
+family tag plus every parameter that determines the build, so a
+:meth:`CostBasedPlanner.sweep <repro.planner.planner.CostBasedPlanner.sweep>`
+over many budgets, or repeated ``plan`` calls in a benchmark loop, performs
+each build exactly once.  Only the budget *filter* runs per call.
 """
 
 from __future__ import annotations
@@ -32,12 +44,15 @@ from typing import Any, Dict, Iterator, List, Sequence, Tuple
 from repro.datagen.relations import RelationInstance
 from repro.exceptions import ConfigurationError
 from repro.mapreduce.job import JobChain, MapReduceJob
+from repro.planner.cache import default_schema_cache
 from repro.planner.registry import PlanCandidate, default_registry, thin_parameter_sweep
+from repro.problems.grouping import GroupByAggregationProblem
 from repro.problems.hamming import HammingDistanceProblem
 from repro.problems.joins import JoinQuery, MultiwayJoinProblem
 from repro.problems.matmul import MatrixMultiplicationProblem
 from repro.problems.subgraphs import SampleGraphProblem, TwoPathProblem
 from repro.problems.triangles import TriangleProblem
+from repro.problems.wordcount import WordCountProblem
 from repro.schemas.hamming_distance_d import BallTwoSchema, SegmentDeletionSchema
 from repro.schemas.hamming_splitting import (
     PairReducersSchema,
@@ -84,6 +99,17 @@ def _triangle_certified_q(n: int, k: int) -> int:
     return math.comb(nodes, 2)
 
 
+def _build_triangle_candidate(n: int, k: int) -> PlanCandidate:
+    family = PartitionTriangleSchema(n, k)
+    return PlanCandidate(
+        name=family.name,
+        q=float(_triangle_certified_q(n, k)),
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_static_job(family),
+        family=family,
+    )
+
+
 @default_registry.register(TriangleProblem)
 def triangle_candidates(
     problem: TriangleProblem, q: float
@@ -91,13 +117,9 @@ def triangle_candidates(
     n = problem.n
     feasible = [k for k in range(1, n + 1) if _triangle_certified_q(n, k) <= q]
     for k in thin_parameter_sweep(feasible):
-        family = PartitionTriangleSchema(n, k)
-        yield PlanCandidate(
-            name=family.name,
-            q=float(_triangle_certified_q(n, k)),
-            replication_rate=family.replication_rate_formula(),
-            job_factory=_static_job(family),
-            family=family,
+        yield default_schema_cache.get(
+            ("triangle-partition", n, k),
+            lambda n=n, k=k: _build_triangle_candidate(n, k),
         )
 
 
@@ -109,6 +131,17 @@ def _two_path_certified_q(n: int, k: int) -> int:
     return min(n - 1, 2 * math.ceil(n / k))
 
 
+def _build_two_path_candidate(n: int, k: int) -> PlanCandidate:
+    family = TwoPathSchema(n, k)
+    return PlanCandidate(
+        name=family.name,
+        q=float(_two_path_certified_q(n, k)),
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_static_job(family),
+        family=family,
+    )
+
+
 @default_registry.register(TwoPathProblem)
 def two_path_candidates(
     problem: TwoPathProblem, q: float
@@ -116,39 +149,45 @@ def two_path_candidates(
     n = problem.n
     feasible = [k for k in range(2, n + 1) if _two_path_certified_q(n, k) <= q]
     for k in thin_parameter_sweep(feasible):
-        family = TwoPathSchema(n, k)
-        yield PlanCandidate(
-            name=family.name,
-            q=float(_two_path_certified_q(n, k)),
-            replication_rate=family.replication_rate_formula(),
-            job_factory=_static_job(family),
-            family=family,
+        yield default_schema_cache.get(
+            ("two-path", n, k),
+            lambda n=n, k=k: _build_two_path_candidate(n, k),
         )
 
 
 # ----------------------------------------------------------------------
 # Arbitrary sample graphs (Section 5.2)
 # ----------------------------------------------------------------------
+def _sample_graph_certified_q(n: int, s: int, k: int) -> int:
+    nodes = min(n, s * math.ceil(n / k))
+    return math.comb(nodes, 2)
+
+
 @default_registry.register(SampleGraphProblem)
 def sample_graph_candidates(
     problem: SampleGraphProblem, q: float
 ) -> Iterator[PlanCandidate]:
     n = problem.n
-    s = problem.sample.num_nodes
+    sample = problem.sample
+    s = sample.num_nodes
 
-    def certified(k: int) -> int:
-        nodes = min(n, s * math.ceil(n / k))
-        return math.comb(nodes, 2)
-
-    feasible = [k for k in range(1, n + 1) if certified(k) <= q]
-    for k in thin_parameter_sweep(feasible):
-        family = PartitionSampleGraphSchema(n, problem.sample, k)
-        yield PlanCandidate(
+    def build(k: int) -> PlanCandidate:
+        family = PartitionSampleGraphSchema(n, sample, k)
+        return PlanCandidate(
             name=family.name,
-            q=float(certified(k)),
+            q=float(_sample_graph_certified_q(n, s, k)),
             replication_rate=family.replication_rate_formula(),
             job_factory=_static_job(family),
             family=family,
+        )
+
+    feasible = [
+        k for k in range(1, n + 1) if _sample_graph_certified_q(n, s, k) <= q
+    ]
+    for k in thin_parameter_sweep(feasible):
+        yield default_schema_cache.get(
+            ("sample-graph", n, sample.name, sample.edges, k),
+            lambda k=k: build(k),
         )
 
 
@@ -165,6 +204,55 @@ def hamming_candidates(
         yield from _hamming_d_candidates(problem, q)
 
 
+def _build_splitting_candidate(b: int, c: int) -> PlanCandidate:
+    family = SplittingSchema(b, c)
+    return PlanCandidate(
+        name=family.name,
+        q=float(2 ** (b // c)),
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_static_job(family),
+        family=family,
+    )
+
+
+def _build_pair_reducers_candidate(b: int) -> PlanCandidate:
+    family = PairReducersSchema(b)
+    return PlanCandidate(
+        name=family.name,
+        q=2.0,
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_static_job(family),
+        family=family,
+    )
+
+
+def _build_single_reducer_candidate(b: int) -> PlanCandidate:
+    family = SingleReducerSchema(b)
+    return PlanCandidate(
+        name=family.name,
+        q=float(1 << b),
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_static_job(family),
+        family=family,
+    )
+
+
+def _build_weight_grid_candidate(
+    b: int, num_pieces: int, cell_width: int
+) -> PlanCandidate:
+    # The expensive Hamming build: exact binomial cell populations for the
+    # certified size and the exact average replication.  Cached, this runs
+    # once per (b, pieces, width) across every budget of a sweep.
+    family = HypercubeWeightSchema(b, num_pieces, cell_width)
+    return PlanCandidate(
+        name=family.name,
+        q=float(family.exact_max_reducer_size()),
+        replication_rate=family.exact_replication_rate(),
+        job_factory=_static_job(family),
+        family=family,
+    )
+
+
 def _hamming1_candidates(
     problem: HammingDistanceProblem, q: float
 ) -> Iterator[PlanCandidate]:
@@ -173,37 +261,24 @@ def _hamming1_candidates(
     # 2^(b/c).  c=1 is the single-reducer extreme, c=b the pair-reducers
     # extreme; the named extreme schemas are also offered for discoverability.
     for c in _divisors(b):
-        size = 2 ** (b // c)
-        if size <= q:
-            family = SplittingSchema(b, c)
-            yield PlanCandidate(
-                name=family.name,
-                q=float(size),
-                replication_rate=family.replication_rate_formula(),
-                job_factory=_static_job(family),
-                family=family,
+        if 2 ** (b // c) <= q:
+            yield default_schema_cache.get(
+                ("splitting", b, c),
+                lambda b=b, c=c: _build_splitting_candidate(b, c),
             )
     if 2 <= q:
-        pair = PairReducersSchema(b)
-        yield PlanCandidate(
-            name=pair.name,
-            q=2.0,
-            replication_rate=pair.replication_rate_formula(),
-            job_factory=_static_job(pair),
-            family=pair,
+        yield default_schema_cache.get(
+            ("hamming-pair-reducers", b),
+            lambda b=b: _build_pair_reducers_candidate(b),
         )
     if (1 << b) <= q:
-        single = SingleReducerSchema(b)
-        yield PlanCandidate(
-            name=single.name,
-            q=float(1 << b),
-            replication_rate=single.replication_rate_formula(),
-            job_factory=_static_job(single),
-            family=single,
+        yield default_schema_cache.get(
+            ("hamming-single-reducer", b),
+            lambda b=b: _build_single_reducer_candidate(b),
         )
     # Weight-grid family (Sections 3.4/3.5): replication below 2 with large
-    # reducers.  Certified with the exact binomial cell populations, and the
-    # exact average replication (the 1 + d/k closed form is asymptotic).
+    # reducers.  Certified with the exact binomial cell populations, so the
+    # candidate is built (through the cache) before the budget filter.
     for num_pieces in (2, 3, 4):
         if b % num_pieces != 0:
             continue
@@ -211,16 +286,38 @@ def _hamming1_candidates(
         for cell_width in _divisors(piece):
             if cell_width == piece and num_pieces > 2:
                 continue  # degenerate single-cell grid; d=2 already covers it
-            family = HypercubeWeightSchema(b, num_pieces, cell_width)
-            size = family.exact_max_reducer_size()
-            if size <= q:
-                yield PlanCandidate(
-                    name=family.name,
-                    q=float(size),
-                    replication_rate=family.exact_replication_rate(),
-                    job_factory=_static_job(family),
-                    family=family,
-                )
+            candidate = default_schema_cache.get(
+                ("hamming-weight-grid", b, num_pieces, cell_width),
+                lambda b=b, p=num_pieces, w=cell_width: _build_weight_grid_candidate(
+                    b, p, w
+                ),
+            )
+            if candidate.q <= q:
+                yield candidate
+
+
+def _build_segment_deletion_candidate(b: int, k: int, d: int) -> PlanCandidate:
+    family = SegmentDeletionSchema(b, k, d)
+    return PlanCandidate(
+        name=family.name,
+        q=float(2 ** ((b // k) * d)),
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_segment_deletion_job(family, d),
+        family=family,
+    )
+
+
+def _build_ball_two_candidate(b: int) -> PlanCandidate:
+    family = BallTwoSchema(b)
+    return PlanCandidate(
+        name=family.name,
+        q=float(b + 1),
+        replication_rate=family.replication_rate_formula(),
+        # The stock Ball-2 job also emits distance-1 pairs (it covers
+        # both); the planner serves the exact-distance problem.
+        job_factory=_ball_two_job(family, emit_distance=2),
+        family=family,
+    )
 
 
 def _hamming_d_candidates(
@@ -230,27 +327,16 @@ def _hamming_d_candidates(
     for k in _divisors(b):
         if not d < k:
             continue
-        size = 2 ** ((b // k) * d)
-        if size > q:
+        if 2 ** ((b // k) * d) > q:
             continue
-        family = SegmentDeletionSchema(b, k, d)
-        yield PlanCandidate(
-            name=family.name,
-            q=float(size),
-            replication_rate=family.replication_rate_formula(),
-            job_factory=_segment_deletion_job(family, d),
-            family=family,
+        yield default_schema_cache.get(
+            ("segment-deletion", b, k, d),
+            lambda b=b, k=k, d=d: _build_segment_deletion_candidate(b, k, d),
         )
     if d == 2 and b + 1 <= q:
-        ball = BallTwoSchema(b)
-        yield PlanCandidate(
-            name=ball.name,
-            q=float(b + 1),
-            replication_rate=ball.replication_rate_formula(),
-            # The stock Ball-2 job also emits distance-1 pairs (it covers
-            # both); the planner serves the exact-distance problem.
-            job_factory=_ball_two_job(ball, emit_distance=2),
-            family=ball,
+        yield default_schema_cache.get(
+            ("hamming-ball-2", b),
+            lambda b=b: _build_ball_two_candidate(b),
         )
 
 
@@ -271,36 +357,51 @@ def _ball_two_job(family: BallTwoSchema, emit_distance: int) -> Any:
 # ----------------------------------------------------------------------
 # Matrix multiplication (Section 6)
 # ----------------------------------------------------------------------
+def _build_one_phase_candidate(n: int, s: int) -> PlanCandidate:
+    family = OnePhaseTilingSchema(n, s)
+    return PlanCandidate(
+        name=family.name,
+        q=float(2 * s * n),
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_static_job(family),
+        family=family,
+    )
+
+
 @default_registry.register(MatrixMultiplicationProblem)
 def matmul_candidates(
     problem: MatrixMultiplicationProblem, q: float
 ) -> Iterator[PlanCandidate]:
     n = problem.n
     for s in _divisors(n):
-        size = 2 * s * n
-        if size <= q:
-            family = OnePhaseTilingSchema(n, s)
-            yield PlanCandidate(
-                name=family.name,
-                q=float(size),
-                replication_rate=family.replication_rate_formula(),
-                job_factory=_static_job(family),
-                family=family,
+        if 2 * s * n <= q:
+            yield default_schema_cache.get(
+                ("matmul-one-phase", n, s),
+                lambda n=n, s=s: _build_one_phase_candidate(n, s),
             )
     best = _best_two_phase(n, q)
     if best is not None:
-        # Replication rate of a multi-round algorithm: total shuffled pairs
-        # over the 2n² inputs, the same normalization Section 6.3 uses when
-        # comparing against the one-phase method.
-        effective_rate = best.total_communication() / (2.0 * n * n)
-        yield PlanCandidate(
-            name=best.name,
-            q=float(_two_phase_certified_q(best)),
-            replication_rate=effective_rate,
-            job_factory=_chain_job(best),
-            rounds=2,
-            family=best,
+        yield default_schema_cache.get(
+            ("matmul-two-phase-candidate", n, best.s, best.t),
+            lambda best=best, n=n: _build_two_phase_candidate(best, n),
         )
+
+
+def _build_two_phase_candidate(
+    algorithm: TwoPhaseMatMulAlgorithm, n: int
+) -> PlanCandidate:
+    # Replication rate of a multi-round algorithm: total shuffled pairs
+    # over the 2n² inputs, the same normalization Section 6.3 uses when
+    # comparing against the one-phase method.
+    effective_rate = algorithm.total_communication() / (2.0 * n * n)
+    return PlanCandidate(
+        name=algorithm.name,
+        q=float(_two_phase_certified_q(algorithm)),
+        replication_rate=effective_rate,
+        job_factory=_chain_job(algorithm),
+        rounds=2,
+        family=algorithm,
+    )
 
 
 def _two_phase_certified_q(algorithm: TwoPhaseMatMulAlgorithm) -> int:
@@ -311,16 +412,31 @@ def _two_phase_certified_q(algorithm: TwoPhaseMatMulAlgorithm) -> int:
     )
 
 
+def _two_phase_cube(n: int, s: int, t: int) -> Tuple[TwoPhaseMatMulAlgorithm, int, int]:
+    """One cached (algorithm, certified q, total communication) triple."""
+    algorithm = TwoPhaseMatMulAlgorithm(n, s, t)
+    return (
+        algorithm,
+        _two_phase_certified_q(algorithm),
+        algorithm.total_communication(),
+    )
+
+
 def _best_two_phase(n: int, q: float) -> TwoPhaseMatMulAlgorithm | None:
     """Min-communication two-phase cubes whose reducers all fit in ``q``."""
     best: TwoPhaseMatMulAlgorithm | None = None
+    best_communication: int | None = None
     for s in _divisors(n):
         for t in _divisors(n):
-            algorithm = TwoPhaseMatMulAlgorithm(n, s, t)
-            if _two_phase_certified_q(algorithm) > q:
+            algorithm, certified, communication = default_schema_cache.get(
+                ("matmul-two-phase-cube", n, s, t),
+                lambda n=n, s=s, t=t: _two_phase_cube(n, s, t),
+            )
+            if certified > q:
                 continue
-            if best is None or algorithm.total_communication() < best.total_communication():
+            if best_communication is None or communication < best_communication:
                 best = algorithm
+                best_communication = communication
     return best
 
 
@@ -334,24 +450,47 @@ def _chain_job(algorithm: TwoPhaseMatMulAlgorithm) -> Any:
 # ----------------------------------------------------------------------
 # Multiway joins: the Shares algorithm (Section 5.5)
 # ----------------------------------------------------------------------
+def _query_cache_key(query: JoinQuery) -> Tuple[Any, ...]:
+    """Structural identity of a join query: name plus relation schemas."""
+    return (
+        query.name,
+        tuple(
+            (relation.name, tuple(relation.attributes))
+            for relation in query.relations
+        ),
+    )
+
+
+def _build_shares_candidate(
+    query: JoinQuery, shares: Dict[str, int], domain_size: int
+) -> PlanCandidate:
+    schema = SharesSchema(query, shares, domain_size)
+    return PlanCandidate(
+        name=schema.name,
+        q=schema.max_reducer_size_formula(),
+        replication_rate=schema.replication_rate_formula(),
+        job_factory=_shares_job(schema, query),
+        family=schema,
+        needs_inputs=True,
+    )
+
+
 @default_registry.register(MultiwayJoinProblem)
 def join_candidates(
     problem: MultiwayJoinProblem, q: float
 ) -> Iterator[PlanCandidate]:
     query = problem.query
+    query_key = _query_cache_key(query)
     for shares in _share_vectors(query):
-        schema = SharesSchema(query, shares, problem.domain_size)
-        expected_size = schema.max_reducer_size_formula()
-        if expected_size > q:
-            continue
-        yield PlanCandidate(
-            name=schema.name,
-            q=expected_size,
-            replication_rate=schema.replication_rate_formula(),
-            job_factory=_shares_job(schema, query),
-            family=schema,
-            needs_inputs=True,
+        shares_key = tuple(sorted(shares.items()))
+        candidate = default_schema_cache.get(
+            ("shares", query_key, problem.domain_size, shares_key),
+            lambda shares=shares: _build_shares_candidate(
+                query, shares, problem.domain_size
+            ),
         )
+        if candidate.q <= q:
+            yield candidate
 
 
 def _share_vectors(query: JoinQuery) -> List[Dict[str, int]]:
@@ -407,3 +546,49 @@ def _relations_from_records(
         )
         for relation in query.relations
     ]
+
+
+# ----------------------------------------------------------------------
+# Word count and grouping (Examples 2.4 / 2.5): trivially parallel
+# ----------------------------------------------------------------------
+# These candidates are *data-dependent* (word count's certified reducer size
+# is the corpus's peak word multiplicity), so they are built per problem
+# instance rather than through the parameter-keyed schema cache — the build
+# is one linear scan, cheap next to the combinatorial families above.  They
+# exist so the sweep API covers the embarrassingly parallel corner of the
+# model end to end: replication is identically 1 at every feasible budget,
+# the flat tradeoff "curve" the paper contrasts with Figure 1's hyperbola.
+@default_registry.register(WordCountProblem)
+def wordcount_candidates(
+    problem: WordCountProblem, q: float
+) -> Iterator[PlanCandidate]:
+    peak = problem.peak_multiplicity
+    if peak <= q:
+        yield PlanCandidate(
+            name=f"word-count-direct(peak={peak})",
+            q=float(peak),
+            replication_rate=1.0,
+            job_factory=lambda _inputs, problem=problem: problem.job(),
+        )
+
+
+@default_registry.register(GroupByAggregationProblem)
+def grouping_candidates(
+    problem: GroupByAggregationProblem, q: float
+) -> Iterator[PlanCandidate]:
+    # A group's reducer receives every domain tuple sharing its A-value:
+    # exactly |B| inputs.  With a combiner the pairs crossing the shuffle
+    # shrink (one partial sum per map task per group), but |B| stays the
+    # certified worst case, so both variants share the same q.
+    group_size = problem.b_domain_size
+    if group_size <= q:
+        for use_combiner in (True, False):
+            suffix = "combiner" if use_combiner else "no-combiner"
+            yield PlanCandidate(
+                name=f"group-by-direct({suffix})",
+                q=float(group_size),
+                replication_rate=1.0,
+                job_factory=lambda _inputs, problem=problem, u=use_combiner: (
+                    problem.job(use_combiner=u)
+                ),
+            )

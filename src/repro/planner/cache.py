@@ -1,0 +1,141 @@
+"""Keyed cache for built plan candidates (schemas plus their closed forms).
+
+Candidate enumeration is the planner's hot path: a single ``plan`` call may
+construct dozens of schema-family objects and evaluate their certified
+reducer sizes and replication rates, and a budget *sweep* repeats that for
+every budget.  Most of that work is identical across budgets — a
+``SplittingSchema(b=24, c=3)`` is the same object whatever ``q`` the caller
+is shopping for; only the *feasibility filter* depends on the budget.
+
+:class:`SchemaCache` memoizes those builds behind a caller-chosen key —
+conventionally ``(family, *parameters)`` with every parameter a hashable
+value that fully determines the build.  The built-in builders in
+:mod:`repro.planner.builtins` route every family construction through
+:data:`default_schema_cache`, so
+
+* a sweep over many budgets builds each (family, params) candidate once;
+* repeated ``plan`` calls (benchmark loops, tests) reuse earlier builds;
+* hit/miss counters make the "built at most once" property testable.
+
+Cached values are treated as immutable — :class:`~repro.planner.registry.
+PlanCandidate` is a frozen dataclass and the schema families never mutate
+after construction — so sharing one instance across planning calls is safe.
+
+This mirrors PostBOUND's memoization of enumerated plans across cost
+budgets: the enumeration loop stays budget-aware while the expensive
+per-candidate knowledge is computed once.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Callable, Hashable, Optional, Tuple, TypeVar
+
+from repro.exceptions import ConfigurationError
+
+T = TypeVar("T")
+
+#: Cache keys are flat tuples of hashables: ``(family_tag, *parameters)``.
+CacheKey = Tuple[Hashable, ...]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time counters of one :class:`SchemaCache`."""
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+    @property
+    def builds(self) -> int:
+        """Number of times a build function actually ran (== misses)."""
+        return self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+
+class SchemaCache:
+    """Keyed memoization of candidate builds with LRU bounding.
+
+    Parameters
+    ----------
+    maxsize:
+        Maximum number of cached entries; ``None`` (the default) means
+        unbounded, which is appropriate for the library's enumeration
+        spaces (at most a few hundred candidates per problem family).
+        When bounded, the least recently used entry is evicted first.
+    """
+
+    def __init__(self, maxsize: Optional[int] = None) -> None:
+        if maxsize is not None and maxsize <= 0:
+            raise ConfigurationError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: CacheKey, build: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, building it on first use.
+
+        ``build`` must be a zero-argument callable whose result is fully
+        determined by ``key``; it runs at most once per key while the entry
+        remains cached.
+        """
+        if key in self._entries:
+            self._hits += 1
+            self._entries.move_to_end(key)
+            return self._entries[key]
+        self._misses += 1
+        value = build()
+        self._entries[key] = value
+        if self.maxsize is not None and len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        return value
+
+    def __contains__(self, key: CacheKey) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            size=len(self._entries),
+        )
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._entries.clear()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+
+#: The cache the built-in candidate builders share.  Bounded (LRU) so
+#: long-lived sessions sweeping many distinct problem parameters cannot
+#: grow it without limit; the bound is far above any single problem's
+#: enumeration space, so "built at most once per sweep" still holds.
+#: Tests that assert build counts should ``clear()`` it first to start
+#: from known counters.
+default_schema_cache = SchemaCache(maxsize=4096)

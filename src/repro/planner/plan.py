@@ -169,3 +169,106 @@ class PlanningResult:
     def table(self) -> List[Dict[str, object]]:
         """All plans as flat rows, ranked, for printing."""
         return [plan.describe() for plan in self.plans]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One budget of a planner sweep: its ranked plans, or why it has none.
+
+    ``result`` is ``None`` for budgets no registered candidate fits; the
+    ``infeasible_reason`` then carries the planner's explanation so the
+    point can still be reported in tradeoff tables.
+    """
+
+    budget: float
+    result: Optional[PlanningResult] = None
+    infeasible_reason: Optional[str] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.result is not None
+
+    @property
+    def best(self) -> Optional[ExecutionPlan]:
+        if self.result is None:
+            return None
+        return self.result.best
+
+
+@dataclass
+class SweepResult:
+    """The full replication/q tradeoff curve of one ``sweep`` call.
+
+    Points are ordered by ascending budget.  Iteration yields every
+    :class:`SweepPoint` — including infeasible ones, which carry
+    ``result=None`` and an ``infeasible_reason`` (check ``point.feasible``
+    before dereferencing ``point.best``).  :meth:`frontier` flattens the
+    winning plan per budget into rows ready for a Figure 1/3-style table.
+    """
+
+    problem: Problem
+    cluster: ClusterConfig
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[SweepPoint]:
+        return iter(self.points)
+
+    @property
+    def budgets(self) -> List[float]:
+        return [point.budget for point in self.points]
+
+    @property
+    def feasible_points(self) -> List[SweepPoint]:
+        return [point for point in self.points if point.feasible]
+
+    def at(self, budget: float) -> SweepPoint:
+        """The sweep point for ``budget`` (exact match on the float value)."""
+        for point in self.points:
+            if point.budget == budget:
+                return point
+        raise PlanningError(
+            f"budget {budget:g} is not part of this sweep "
+            f"(swept budgets: {[f'{b:g}' for b in self.budgets]})"
+        )
+
+    def best_plans(self) -> List[ExecutionPlan]:
+        """The winning plan at each feasible budget, ascending budget."""
+        return [point.best for point in self.feasible_points]
+
+    def frontier(self) -> List[Dict[str, object]]:
+        """The achievable tradeoff curve as flat rows (one per budget).
+
+        Infeasible budgets appear with a ``plan`` of ``None`` so tables show
+        where the achievable region ends instead of silently dropping rows.
+        """
+        rows: List[Dict[str, object]] = []
+        for point in self.points:
+            best = point.best
+            if best is None:
+                rows.append(
+                    {
+                        "budget": point.budget,
+                        "plan": None,
+                        "q": None,
+                        "replication_rate": None,
+                        "lower_bound": None,
+                        "gap": None,
+                        "total_cost": None,
+                    }
+                )
+            else:
+                rows.append(
+                    {
+                        "budget": point.budget,
+                        "plan": best.name,
+                        "q": best.q,
+                        "replication_rate": best.replication_rate,
+                        "lower_bound": best.lower_bound,
+                        "gap": best.optimality_gap,
+                        "total_cost": best.total_cost,
+                    }
+                )
+        return rows

@@ -30,7 +30,7 @@ from repro.core.recipe import LowerBoundRecipe
 from repro.core.tradeoff import AlgorithmPoint, TradeoffCurve
 from repro.exceptions import BoundDerivationError, ConfigurationError, PlanningError
 from repro.mapreduce.cluster import ClusterConfig
-from repro.planner.plan import ExecutionPlan, PlanningResult
+from repro.planner.plan import ExecutionPlan, PlanningResult, SweepPoint, SweepResult
 from repro.planner.registry import PlanCandidate, SchemaRegistry, default_registry
 
 
@@ -121,6 +121,48 @@ class CostBasedPlanner:
             plans=ranked,
             tradeoff=curve,
         )
+
+    # ------------------------------------------------------------------
+    # Budget sweeps
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        problem: Problem,
+        budgets: Iterable[float],
+        cluster: Optional[ClusterConfig] = None,
+    ) -> SweepResult:
+        """Trace the achievable replication/q tradeoff curve in one call.
+
+        Plans ``problem`` at every budget in ``budgets`` (deduplicated,
+        ascending) and returns a :class:`SweepResult` whose
+        :meth:`~repro.planner.plan.SweepResult.frontier` is the reproduced
+        tradeoff curve — the winning plan, its replication rate, and the
+        lower bound at each budget.  Budgets no registered candidate fits
+        become infeasible points instead of aborting the sweep, so callers
+        can probe below a family's minimum ``q`` safely.
+
+        Candidate schema builds are shared across the budgets: the built-in
+        builders memoize each (family, parameters) construction in
+        :data:`~repro.planner.cache.default_schema_cache`, so an 8-budget
+        sweep costs one enumeration's worth of schema building plus eight
+        cheap feasibility filters — not eight rebuilds.  The same cache
+        carries over between ``sweep`` and ``plan`` calls.
+        """
+        cluster = cluster or ClusterConfig()
+        unique_budgets = sorted({float(budget) for budget in budgets})
+        if not unique_budgets:
+            raise ConfigurationError("sweep needs at least one budget")
+        points: List[SweepPoint] = []
+        for budget in unique_budgets:
+            try:
+                result = self.plan(problem, cluster, q=budget)
+            except PlanningError as error:
+                points.append(
+                    SweepPoint(budget=budget, infeasible_reason=str(error))
+                )
+            else:
+                points.append(SweepPoint(budget=budget, result=result))
+        return SweepResult(problem=problem, cluster=cluster, points=points)
 
     # ------------------------------------------------------------------
     # Internals

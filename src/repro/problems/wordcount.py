@@ -30,11 +30,14 @@ class WordCountProblem(Problem):
         self.corpus = [list(document) for document in corpus]
         self.name = f"word-count(documents={len(self.corpus)})"
         self._occurrences: List[Tuple[int, int, str]] = []
+        multiplicities: Dict[str, int] = {}
         for doc_index, document in enumerate(self.corpus):
             for word_index, word in enumerate(document):
                 self._occurrences.append((doc_index, word_index, word))
+                multiplicities[word] = multiplicities.get(word, 0) + 1
         if not self._occurrences:
             raise ConfigurationError("word count corpus contains no words")
+        self._peak_multiplicity = max(multiplicities.values())
 
     def inputs(self) -> Iterator[InputId]:
         return iter(self._occurrences)
@@ -54,6 +57,15 @@ class WordCountProblem(Problem):
     @property
     def num_inputs(self) -> int:
         return len(self._occurrences)
+
+    @property
+    def peak_multiplicity(self) -> int:
+        """Largest per-word occurrence count — the job's exact max reducer size.
+
+        Precomputed at construction so planner candidate enumeration (which
+        runs once per budget of a sweep) never rescans the corpus.
+        """
+        return self._peak_multiplicity
 
     def max_outputs_covered(self, q: float) -> float:
         """A reducer with q occurrence inputs covers at most q word outputs.

@@ -1,0 +1,368 @@
+"""Executor equivalence: the parallel backend is bit-identical to serial.
+
+The contract under test is the executor layer's determinism guarantee:
+``ParallelExecutor`` with any worker count produces exactly the outputs,
+communication metrics, reducer sizes and worker-load statistics of
+``SerialExecutor`` on the same workload — including the error cases, where
+exceptions raised inside worker processes must surface as the same
+``ExecutionError`` / ``ReducerCapacityExceededError`` the serial engine
+raises.  The property tests drive triangle, Hamming d=1 and Shares join
+workloads through both backends with 1..4 workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import gnm_random_graph
+from repro.datagen.relations import chain_join_instance, multiway_join_oracle
+from repro.exceptions import (
+    ConfigurationError,
+    ExecutionError,
+    ReducerCapacityExceededError,
+)
+from repro.mapreduce import (
+    ClusterConfig,
+    MapReduceEngine,
+    MapReduceJob,
+    ParallelExecutor,
+    PartitionedShuffle,
+    RoundRobinPartitioner,
+    SerialExecutor,
+    resolve_executor,
+    stable_hash,
+)
+from repro.planner import CostBasedPlanner
+from repro.problems import JoinQuery, MultiwayJoinProblem
+from repro.schemas import PartitionTriangleSchema, SplittingSchema
+from repro.schemas.join_shares import SharesSchema
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="ParallelExecutor requires the fork start method",
+)
+
+#: Keep process-pool spin-ups affordable: few, small hypothesis examples.
+QUICK = settings(max_examples=4, deadline=None)
+
+
+def assert_identical(serial, parallel):
+    """Outputs and every metric the engine reports must match exactly."""
+    assert parallel.outputs == serial.outputs
+    assert parallel.metrics == serial.metrics
+
+
+def run_both(job, inputs, workers, config=None, **kwargs):
+    config = config or ClusterConfig(map_batch_size=16)
+    serial = MapReduceEngine(config).run(job, list(inputs), **kwargs)
+    parallel = MapReduceEngine(
+        config, executor=ParallelExecutor(num_workers=workers, reduce_block_size=4)
+    ).run(job, list(inputs), **kwargs)
+    return serial, parallel
+
+
+class TestWorkloadEquivalence:
+    @QUICK
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_triangles(self, workers, seed):
+        edges = gnm_random_graph(18, 40, seed=seed)
+        family = PartitionTriangleSchema(18, 4)
+        serial, parallel = run_both(family.job(), edges, workers)
+        assert_identical(serial, parallel)
+
+    @QUICK
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        c=st.sampled_from([1, 2, 3, 6]),
+    )
+    def test_hamming_d1(self, workers, c):
+        words = list(range(2**6))
+        family = SplittingSchema(6, c)
+        serial, parallel = run_both(family.job(), words, workers)
+        assert_identical(serial, parallel)
+
+    @QUICK
+    @given(
+        workers=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_shares_join(self, workers, seed):
+        problem = MultiwayJoinProblem(JoinQuery.chain(3), domain_size=6)
+        relations = chain_join_instance(3, 25, 6, seed=seed)
+        records = SharesSchema.input_records(relations)
+        plan = CostBasedPlanner.min_replication().plan(problem, q=60).best
+        serial = plan.execute(records, engine=MapReduceEngine())
+        parallel = plan.execute(
+            records,
+            engine=MapReduceEngine(executor=ParallelExecutor(num_workers=workers)),
+        )
+        assert_identical(serial, parallel)
+        _, expected = multiway_join_oracle(relations)
+        assert sorted(parallel.outputs) == sorted(expected)
+
+    def test_combiner_and_partitioned_shuffle(self):
+        """Combiner batching and the spilling backend survive the pool."""
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 11, 1)],
+            reducer=lambda k, v: [(k, sum(v))],
+            combiner=lambda k, v: [(k, sum(v))],
+            name="combine",
+        )
+        config = ClusterConfig(map_batch_size=8)
+        serial = MapReduceEngine(config).run(job, range(500))
+        parallel = MapReduceEngine(
+            config,
+            shuffle_factory=lambda: PartitionedShuffle(
+                num_partitions=4, buffer_size=8
+            ),
+            executor=ParallelExecutor(num_workers=3),
+        ).run(job, range(500))
+        assert_identical(serial, parallel)
+
+    def test_stateful_partitioner_sees_identical_key_order(self):
+        """Round-robin worker stats match: group order is executor-invariant."""
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 17, x)], reducer=lambda k, v: [(k, len(v))]
+        )
+        results = []
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=2)):
+            config = ClusterConfig(
+                num_workers=3,
+                partitioner=RoundRobinPartitioner(),
+                map_batch_size=16,
+            )
+            results.append(
+                MapReduceEngine(config, executor=executor).run(job, range(300))
+            )
+        assert_identical(results[0], results[1])
+
+    def test_run_chain_parallel(self):
+        """Every round of a chain runs through the configured executor."""
+        from repro.schemas.matmul_two_phase import TwoPhaseMatMulAlgorithm
+        from repro.datagen.matrices import (
+            multiplication_records,
+            random_matrix,
+            records_to_matrix,
+        )
+        import numpy as np
+
+        n = 6
+        algorithm = TwoPhaseMatMulAlgorithm(n, 2, 2)
+        left, right = random_matrix(n, seed=1), random_matrix(n, seed=2)
+        records = multiplication_records(left, right)
+        serial = MapReduceEngine().run_chain(algorithm.chain(), records)
+        parallel = MapReduceEngine(
+            executor=ParallelExecutor(num_workers=2)
+        ).run_chain(algorithm.chain(), records)
+        assert parallel.outputs == serial.outputs
+        assert parallel.metrics == serial.metrics
+        assert np.allclose(
+            records_to_matrix(parallel.outputs, n, n), left @ right
+        )
+
+
+class TestErrorPropagation:
+    @QUICK
+    @given(workers=st.integers(min_value=1, max_value=4))
+    def test_mapper_error_surfaces_identically(self, workers):
+        def bad_mapper(x):
+            if x == 37:
+                raise ValueError("exploding record")
+            return [(x % 3, x)]
+
+        job = MapReduceJob(
+            mapper=bad_mapper, reducer=lambda k, v: [(k, len(v))], name="bad-map"
+        )
+        messages = []
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=workers)):
+            with pytest.raises(ExecutionError, match="exploding record") as info:
+                MapReduceEngine(
+                    ClusterConfig(map_batch_size=8), executor=executor
+                ).run(job, range(100))
+            messages.append(str(info.value))
+        assert messages[0] == messages[1]
+
+    @QUICK
+    @given(workers=st.integers(min_value=1, max_value=4))
+    def test_reducer_error_surfaces_identically(self, workers):
+        def bad_reducer(key, values):
+            if key == 2:
+                raise RuntimeError("reducer boom")
+            yield (key, len(values))
+
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 5, x)], reducer=bad_reducer, name="bad-reduce"
+        )
+        messages = []
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=workers)):
+            with pytest.raises(ExecutionError, match="reducer boom") as info:
+                MapReduceEngine(
+                    ClusterConfig(map_batch_size=8), executor=executor
+                ).run(job, range(100))
+            messages.append(str(info.value))
+        assert messages[0] == messages[1]
+
+    def test_capacity_error_matches_serial(self):
+        config = ClusterConfig(
+            reducer_capacity=10, enforce_capacity=True, map_batch_size=8
+        )
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [len(v)]
+        )
+        errors = []
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=2)):
+            with pytest.raises(ReducerCapacityExceededError) as info:
+                MapReduceEngine(config, executor=executor).run(job, range(100))
+            errors.append((info.value.reducer_id, info.value.assigned))
+        assert errors[0] == errors[1]
+
+    def test_earlier_reducer_error_beats_later_capacity_violation(self):
+        """Serial error *order* is preserved, not just the error types.
+
+        When an early-hash-order key's reducer fails and a later key
+        violates the enforced capacity, the serial executor surfaces the
+        reducer error (it runs before the capacity check is ever reached);
+        the parallel executor must not let its deferred draining report the
+        capacity violation instead.
+        """
+        keys = sorted(range(3), key=lambda k: (stable_hash(k), repr(k)))
+        fail_key, big_key = keys[0], keys[1]
+
+        def mapper(record):
+            key = record % 3
+            repeats = 20 if key == big_key else 5
+            return [(key, record)] * (repeats if record < 3 else 0)
+
+        def reducer(key, values):
+            if key == fail_key:
+                raise RuntimeError("early reducer boom")
+            yield (key, len(values))
+
+        job = MapReduceJob(mapper=mapper, reducer=reducer, name="order")
+        config = ClusterConfig(reducer_capacity=10, enforce_capacity=True)
+        errors = []
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=2)):
+            with pytest.raises(ExecutionError, match="early reducer boom"):
+                MapReduceEngine(config, executor=executor).run(job, range(3))
+            errors.append(True)
+        assert errors == [True, True]
+
+    def test_earlier_mapper_error_beats_input_iterator_error(self):
+        """A mapper failure on an early record wins over a later input error."""
+
+        def failing_inputs():
+            yield from range(40)
+            raise ValueError("input source failed")
+
+        def bad_mapper(x):
+            if x == 10:
+                raise RuntimeError("mapper boom at 10")
+            return [(x % 3, x)]
+
+        job = MapReduceJob(
+            mapper=bad_mapper, reducer=lambda k, v: [(k, len(v))], name="io"
+        )
+        config = ClusterConfig(map_batch_size=4)
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=2)):
+            with pytest.raises(ExecutionError, match="mapper boom at 10"):
+                MapReduceEngine(config, executor=executor).run(
+                    job, failing_inputs()
+                )
+        # With no mapper failure, the input iterable's own error surfaces
+        # unchanged from both executors.
+        ok_job = MapReduceJob(
+            mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
+        )
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=2)):
+            with pytest.raises(ValueError, match="input source failed"):
+                MapReduceEngine(config, executor=executor).run(
+                    ok_job, failing_inputs()
+                )
+
+    def test_generator_reducer_error_wrapped(self):
+        def lazy_bad_reducer(key, values):
+            yield (key, len(values))
+            if key == 1:
+                raise RuntimeError("late failure")
+
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 2, x)], reducer=lazy_bad_reducer, name="lazy"
+        )
+        for executor in (SerialExecutor(), ParallelExecutor(num_workers=2)):
+            with pytest.raises(ExecutionError, match="late failure"):
+                MapReduceEngine(executor=executor).run(job, range(10))
+
+
+class TestConfigurationWiring:
+    def test_cluster_config_executor_strings(self):
+        assert isinstance(resolve_executor("serial"), SerialExecutor)
+        assert isinstance(resolve_executor("parallel"), ParallelExecutor)
+        engine = MapReduceEngine(ClusterConfig(executor="parallel"))
+        assert isinstance(engine.executor, ParallelExecutor)
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(executor="gpu")
+        with pytest.raises(ConfigurationError):
+            resolve_executor("gpu")
+
+    def test_executor_instance_through_config(self):
+        executor = ParallelExecutor(num_workers=2)
+        config = ClusterConfig(executor=executor)
+        assert MapReduceEngine(config).executor is executor
+        # with_capacity preserves the executor choice.
+        assert config.with_capacity(5).executor is executor
+
+    def test_per_run_override(self):
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
+        )
+        engine = MapReduceEngine()  # serial by default
+        assert isinstance(engine.executor, SerialExecutor)
+        serial = engine.run(job, range(60))
+        parallel = engine.run(
+            job, range(60), executor=ParallelExecutor(num_workers=2)
+        )
+        assert_identical(serial, parallel)
+
+    def test_worker_count_defaults_to_cluster(self):
+        executor = ParallelExecutor()
+        assert executor.effective_workers(ClusterConfig(num_workers=3)) == 3
+        assert ParallelExecutor(num_workers=2).effective_workers(
+            ClusterConfig(num_workers=8)
+        ) == 2
+
+    def test_duck_typed_executor_accepted(self):
+        """Anything with a callable execute() passes config AND resolution."""
+
+        class RecordingExecutor:
+            def __init__(self):
+                self.calls = 0
+
+            def execute(self, job, inputs, backend, config, reducer_cost=None):
+                self.calls += 1
+                return SerialExecutor().execute(
+                    job, inputs, backend, config, reducer_cost
+                )
+
+        executor = RecordingExecutor()
+        engine = MapReduceEngine(ClusterConfig(executor=executor))
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 2, x)], reducer=lambda k, v: [(k, len(v))]
+        )
+        result = engine.run(job, range(10))
+        assert executor.calls == 1
+        assert result.outputs == MapReduceEngine().run(job, range(10)).outputs
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(num_workers=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(reduce_block_size=0)
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(max_pending_factor=0)

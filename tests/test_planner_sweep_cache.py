@@ -1,0 +1,183 @@
+"""Planner budget sweeps and the schema-build cache.
+
+Two properties anchor this file:
+
+* ``CostBasedPlanner.sweep`` over many budgets builds each (family,
+  parameters) candidate **at most once** — asserted through the cache's
+  hit/miss counters, which count actual build-function invocations; and
+* sweeping is behaviour-preserving: the plan chosen at each budget is
+  exactly what an individual ``plan`` call at that budget returns.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError, PlanningError
+from repro.mapreduce import ClusterConfig
+from repro.planner import (
+    CostBasedPlanner,
+    SchemaCache,
+    default_schema_cache,
+)
+from repro.problems import (
+    GroupByAggregationProblem,
+    HammingDistanceProblem,
+    TriangleProblem,
+    WordCountProblem,
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Start every test from empty counters on the shared cache."""
+    default_schema_cache.clear()
+    yield
+    default_schema_cache.clear()
+
+
+@pytest.fixture
+def planner():
+    return CostBasedPlanner.min_replication()
+
+
+class TestSchemaCache:
+    def test_build_runs_once_per_key(self):
+        cache = SchemaCache()
+        calls = []
+        for _ in range(5):
+            value = cache.get(("family", 1, 2), lambda: calls.append(1) or "built")
+        assert value == "built"
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats.misses == stats.builds == 1
+        assert stats.hits == 4
+        assert stats.hit_rate == pytest.approx(0.8)
+        assert len(cache) == 1 and ("family", 1, 2) in cache
+
+    def test_lru_eviction(self):
+        cache = SchemaCache(maxsize=2)
+        cache.get(("a",), lambda: 1)
+        cache.get(("b",), lambda: 2)
+        cache.get(("a",), lambda: 1)  # refresh a; b is now least recent
+        cache.get(("c",), lambda: 3)  # evicts b
+        assert ("a",) in cache and ("c",) in cache and ("b",) not in cache
+        assert cache.stats().evictions == 1
+
+    def test_clear_resets_counters(self):
+        cache = SchemaCache()
+        cache.get(("x",), lambda: 1)
+        cache.get(("x",), lambda: 1)
+        cache.clear()
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.size) == (0, 0, 0)
+
+    def test_invalid_maxsize(self):
+        with pytest.raises(ConfigurationError):
+            SchemaCache(maxsize=0)
+
+
+class TestSweep:
+    def test_each_candidate_built_at_most_once_across_budgets(self, planner):
+        """The acceptance property: ≥8 budgets, one build per candidate."""
+        problem = HammingDistanceProblem(24)
+        budgets = [2.0**c for c in range(1, 13)]  # 12 budgets
+        assert len(budgets) >= 8
+        planner.sweep(problem, budgets)
+        first = default_schema_cache.stats()
+        assert first.builds > 0
+        # Every additional sweep and plan call over the same problem reuses
+        # the built candidates: the build counter must not move at all.
+        planner.sweep(problem, budgets)
+        planner.plan(problem, q=2.0**10)
+        again = default_schema_cache.stats()
+        assert again.builds == first.builds
+        assert again.hits > first.hits
+
+    def test_sweep_matches_individual_plans(self, planner):
+        problem = TriangleProblem(40)
+        budgets = [50, 200, 800]
+        sweep = planner.sweep(problem, budgets)
+        for budget in budgets:
+            individual = planner.plan(problem, q=budget)
+            point = sweep.at(float(budget))
+            assert point.feasible
+            assert point.best.name == individual.best.name
+            assert point.best.q == individual.best.q
+            assert [p.name for p in point.result] == [
+                p.name for p in individual
+            ]
+
+    def test_budgets_deduplicated_and_sorted(self, planner):
+        sweep = planner.sweep(TriangleProblem(20), [100, 10, 100, 1000])
+        assert sweep.budgets == [10.0, 100.0, 1000.0]
+        assert len(sweep) == 3
+
+    def test_infeasible_budgets_become_points_not_errors(self, planner):
+        problem = HammingDistanceProblem(8)
+        sweep = planner.sweep(problem, [1, 4, 256])  # q=1 fits nothing
+        assert not sweep.at(1.0).feasible
+        assert "fits within" in sweep.at(1.0).infeasible_reason
+        assert sweep.at(4.0).feasible and sweep.at(256.0).feasible
+        assert len(sweep.feasible_points) == 2
+        assert len(sweep.best_plans()) == 2
+
+    def test_frontier_rows_cover_every_budget(self, planner):
+        problem = HammingDistanceProblem(8)
+        sweep = planner.sweep(problem, [1, 16, 256])
+        rows = sweep.frontier()
+        assert [row["budget"] for row in rows] == [1.0, 16.0, 256.0]
+        assert rows[0]["plan"] is None  # infeasible budget still reported
+        assert rows[1]["plan"] is not None
+        # Larger budgets can only improve (lower) the best replication rate.
+        feasible = [row for row in rows if row["plan"] is not None]
+        rates = [row["replication_rate"] for row in feasible]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_at_unknown_budget_raises(self, planner):
+        sweep = planner.sweep(TriangleProblem(20), [100])
+        with pytest.raises(PlanningError, match="not part of this sweep"):
+            sweep.at(7.0)
+
+    def test_empty_budgets_rejected(self, planner):
+        with pytest.raises(ConfigurationError, match="at least one budget"):
+            planner.sweep(TriangleProblem(20), [])
+
+
+class TestTriviallyParallelFamilies:
+    """Word count / grouping registered so sweeps cover them end to end."""
+
+    def test_wordcount_sweep_and_execution(self, planner):
+        problem = WordCountProblem([["to", "be", "or", "not", "to", "be"]])
+        sweep = planner.sweep(problem, [1, 2, 4, 8])
+        # Peak multiplicity is 2 ("to"/"be"): q=1 is infeasible, q>=2 works.
+        assert not sweep.at(1.0).feasible
+        best = sweep.at(2.0).best
+        assert best.replication_rate == 1.0
+        result = best.execute(list(problem.inputs()))
+        assert dict(result.outputs) == problem.word_counts()
+        assert result.replication_rate == 1.0
+
+    def test_grouping_sweep_prefers_registered_candidates(self, planner):
+        problem = GroupByAggregationProblem(5, 8)
+        sweep = planner.sweep(problem, [4, 8, 100])
+        assert not sweep.at(4.0).feasible  # a group needs all |B|=8 tuples
+        point = sweep.at(8.0)
+        assert point.feasible
+        names = [plan.name for plan in point.result]
+        assert "group-by-direct(combiner)" in names
+        assert "group-by-direct(no-combiner)" in names
+        result = point.best.execute(list(problem.inputs()))
+        assert sorted(result.outputs) == sorted(
+            problem.aggregate_oracle(list(problem.inputs())).items()
+        )
+
+    def test_combiner_candidate_shrinks_measured_communication(self, planner):
+        problem = GroupByAggregationProblem(3, 50)
+        result = planner.plan(problem, ClusterConfig(map_batch_size=10), q=64)
+        with_combiner = result.find("(combiner)")
+        without = result.find("no-combiner")
+        inputs = list(problem.inputs())
+        measured_with = with_combiner.execute(inputs).communication_cost
+        measured_without = without.execute(inputs).communication_cost
+        assert measured_with < measured_without

@@ -18,7 +18,7 @@ from repro.datagen import (
     enumerate_triangles_oracle,
     gnm_random_graph,
 )
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, ExecutionError
 from repro.mapreduce import (
     ClusterConfig,
     InMemoryShuffle,
@@ -110,7 +110,11 @@ class TestPartitionedShuffleBehaviour:
         result = MapReduceEngine().run(family.job(), words, shuffle=backend)
         assert backend.spill_count > 0
         assert backend.spilled_bytes > 0
-        assert backend.num_pairs == result.communication_cost
+        # The engine closed the backend; the pair count lives on in the
+        # metrics, and the closed backend refuses to report stale data.
+        assert result.communication_cost > 0
+        with pytest.raises(ExecutionError, match="closed PartitionedShuffle"):
+            backend.num_pairs
 
     def test_spill_files_removed_on_close(self):
         backend = PartitionedShuffle(num_partitions=2, buffer_size=2)
@@ -193,6 +197,53 @@ class TestPartitionedShuffleBehaviour:
             PartitionedShuffle(num_partitions=0)
         with pytest.raises(ConfigurationError):
             PartitionedShuffle(buffer_size=0)
+
+    def test_closed_backend_refuses_num_pairs_and_groups(self):
+        """After close() both reads raise ExecutionError, never stale data."""
+        for backend in (
+            InMemoryShuffle(),
+            PartitionedShuffle(num_partitions=2, buffer_size=2),
+        ):
+            backend.add("a", 1)
+            backend.add("b", 2)
+            assert backend.num_pairs == 2
+            backend.close()
+            with pytest.raises(ExecutionError, match="closed"):
+                backend.num_pairs
+            with pytest.raises(ExecutionError, match="closed"):
+                backend.groups()
+
+    def test_close_racing_an_obtained_iterator_raises(self):
+        """An iterator handed out before close() must raise, not go empty."""
+        for backend in (
+            InMemoryShuffle(),
+            PartitionedShuffle(num_partitions=2, buffer_size=2),
+        ):
+            for i in range(6):
+                backend.add(i, i)
+            iterator = iter(backend.groups())
+            first = next(iterator)
+            assert first is not None
+            backend.close()
+            with pytest.raises(ExecutionError, match="closed"):
+                list(iterator)
+
+    def test_add_group_matches_repeated_add(self):
+        """The bulk ingest path is pair-for-pair identical to add()."""
+        for make in (
+            InMemoryShuffle,
+            lambda: PartitionedShuffle(num_partitions=2, buffer_size=3),
+        ):
+            one, bulk = make(), make()
+            for i in range(10):
+                one.add(i % 3, i)
+            for key in range(3):
+                bulk.add_group(key, [i for i in range(10) if i % 3 == key])
+            bulk.add_group("empty", [])
+            assert one.num_pairs == bulk.num_pairs == 10
+            assert dict(one.groups()) == dict(bulk.groups())
+            one.close()
+            bulk.close()
 
     def test_in_memory_num_pairs(self):
         backend = InMemoryShuffle()
