@@ -13,11 +13,18 @@ example — finding pairs of bit strings at Hamming distance 1:
 5. execute the winning plan as a real map-reduce job on the streaming
    engine.
 
-Run with:  python examples/quickstart.py [--executor serial|parallel] [--workers N]
+Run with:  python examples/quickstart.py [--executor serial|parallel]
+           [--workers N] [--profiled-join]
 
 The execution step honours ``--executor parallel`` (a process pool with
 ``--workers`` workers) and produces bit-identical results to the default
 serial backend — the CI parallel-smoke job runs exactly that.
+
+``--profiled-join`` appends the statistics-and-certification walkthrough:
+profile a Zipf-skewed chain join, watch the expectation-only Shares
+certificate get violated by the observed reducer load, and let the
+profile-aware planner select a skew-resistant plan whose exact certificate
+holds — the CI skew-smoke job runs exactly that.
 """
 
 from __future__ import annotations
@@ -45,7 +52,57 @@ def parse_args() -> argparse.Namespace:
         default=2,
         help="worker processes when --executor parallel (default: 2)",
     )
+    parser.add_argument(
+        "--profiled-join",
+        action="store_true",
+        help="also demonstrate profile -> certify -> plan on a skewed join",
+    )
     return parser.parse_args()
+
+
+def profiled_join_demo() -> None:
+    """Profile a skewed join, certify candidates, plan skew-resistantly."""
+    from repro.datagen.relations import (
+        multiway_join_oracle,
+        skewed_chain_join_instance,
+    )
+    from repro.planner.certify import expected_load_certification
+    from repro.problems import JoinQuery, MultiwayJoinProblem
+    from repro.schemas import SharesSchema
+    from repro.stats import profile_relations
+
+    print("\n--- statistics & certification: a Zipf(1.2) chain join ---")
+    problem = MultiwayJoinProblem(JoinQuery.chain(3), domain_size=60)
+    relations = skewed_chain_join_instance(3, 220, 60, skew=1.2, seed=7)
+    profile = profile_relations(relations)
+    records = SharesSchema.input_records(relations)
+    planner = CostBasedPlanner.min_replication()
+    engine = MapReduceEngine()
+
+    # The expectation-certified vanilla winner, and what actually happens.
+    vanilla = planner.plan(problem, q=500).best
+    expectation = expected_load_certification(vanilla.family, profile)
+    result = vanilla.execute(records, engine=engine)
+    print(f"vanilla plan: {vanilla.name}")
+    print(f"  expected reducer load (the paper's certificate) = {expectation.bound:.1f}")
+    print(f"  observed max reducer load                       = "
+          f"{result.metrics.shuffle.max_reducer_size}")
+
+    # The profile-aware planner at an instance-scale budget.
+    budget = 120
+    profiled = planner.plan(problem, q=budget, profile=profile)
+    best = profiled.best
+    print(f"\nprofile-aware planner (budget q={budget}): "
+          f"{len(profiled)} certified plans")
+    print(f"chosen: {best.name}")
+    print(f"  certificate = {best.certification_label}, "
+          f"bound = {best.certification.bound:.1f}")
+    result = best.execute(records, engine=engine)
+    observed = result.metrics.shuffle.max_reducer_size
+    _, expected_rows = multiway_join_oracle(relations)
+    print(f"  observed max reducer load = {observed} (certificate holds: "
+          f"{observed <= best.certification.bound})")
+    print(f"  join correct = {sorted(result.outputs) == sorted(expected_rows)}")
 
 
 def main() -> None:
@@ -106,6 +163,11 @@ def main() -> None:
     print(f"  key-value pairs shuffled = {result.communication_cost}")
     print(f"  measured replication rate = {result.replication_rate:.3f}")
     print(f"  largest reducer input = {result.metrics.shuffle.max_reducer_size}")
+
+    # 6. Optionally: dataset statistics, tail-bound certification and the
+    #    skew-resistant Shares join (see README "Statistics & certification").
+    if args.profiled_join:
+        profiled_join_demo()
 
 
 if __name__ == "__main__":

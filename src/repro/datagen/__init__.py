@@ -46,7 +46,9 @@ from repro.datagen.relations import (
     multiway_join_oracle,
     natural_join_oracle,
     random_relation,
+    skewed_chain_join_instance,
     star_join_instance,
+    zipf_relation,
 )
 
 __all__ = [
@@ -79,10 +81,12 @@ __all__ = [
     "random_matrix",
     "random_relation",
     "records_to_matrix",
+    "skewed_chain_join_instance",
     "skewed_graph",
     "split_segments",
     "star_join_instance",
     "to_networkx",
     "to_text",
     "weight",
+    "zipf_relation",
 ]

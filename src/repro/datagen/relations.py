@@ -10,6 +10,7 @@ generators cover the three join shapes the paper analyses:
 
 from __future__ import annotations
 
+import itertools
 import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
@@ -68,6 +69,108 @@ def random_relation(
     while len(rows) < size:
         rows.add(tuple(rng.randrange(domain_size) for _ in attributes))
     return RelationInstance(name=name, attributes=tuple(attributes), tuples=tuple(sorted(rows)))
+
+
+def zipf_relation(
+    name: str,
+    attributes: Sequence[str],
+    size: int,
+    domain_size: int,
+    skew: float = 1.2,
+    skewed_attribute: str | None = None,
+    seed: int | None = None,
+) -> RelationInstance:
+    """A relation whose ``skewed_attribute`` column is Zipf-distributed.
+
+    Values of the skewed attribute are drawn from a truncated Zipf law over
+    ``[0, domain_size)`` — value ``i`` with probability proportional to
+    ``1 / (i + 1) ** skew`` — while every other attribute stays uniform, so
+    value 0 is the heaviest join key and ``skew`` (the documented skew
+    parameter; 0 recovers the uniform generator, the paper-style skewed
+    workloads use 1.2) controls how hard it dominates.  Tuples are distinct,
+    which models *degree* skew: the heavy value accumulates many distinct
+    join partners.  Seeded and fully reproducible.
+
+    Because heavy values exhaust their distinct-partner supply, the
+    generator stops after a bounded number of attempts; the returned
+    relation may then hold fewer than ``size`` tuples (it never silently
+    un-skews the distribution to hit the count).
+    """
+    if size < 0:
+        raise ConfigurationError("relation size must be non-negative")
+    if domain_size <= 0:
+        raise ConfigurationError("domain size must be positive")
+    if skew < 0:
+        raise ConfigurationError(f"skew must be non-negative, got {skew}")
+    attributes = tuple(attributes)
+    if skewed_attribute is None:
+        skewed_attribute = attributes[0]
+    if skewed_attribute not in attributes:
+        raise ConfigurationError(
+            f"skewed attribute {skewed_attribute!r} is not among {attributes}"
+        )
+    skew_index = attributes.index(skewed_attribute)
+    # Cumulative weights computed once; random.choices would otherwise
+    # rebuild the O(domain_size) table on every draw of the rejection loop.
+    cumulative = list(
+        itertools.accumulate(
+            1.0 / (value + 1) ** skew for value in range(domain_size)
+        )
+    )
+    domain = range(domain_size)
+    rng = random.Random(seed)
+    rows: set[Tuple_] = set()
+    attempts = 0
+    max_attempts = 50 * size + 100
+    while len(rows) < size and attempts < max_attempts:
+        attempts += 1
+        row = [rng.randrange(domain_size) for _ in attributes]
+        row[skew_index] = rng.choices(domain, cum_weights=cumulative)[0]
+        rows.add(tuple(row))
+    return RelationInstance(
+        name=name, attributes=attributes, tuples=tuple(sorted(rows))
+    )
+
+
+def skewed_chain_join_instance(
+    num_relations: int,
+    size_each: int,
+    domain_size: int,
+    skew: float = 1.2,
+    skewed_attribute: str = "A1",
+    seed: int | None = None,
+) -> List[RelationInstance]:
+    """A chain-join instance with one Zipf-skewed shared attribute.
+
+    Every relation containing ``skewed_attribute`` (for the default ``A1``:
+    R1 and R2) draws that column from Zipf(``skew``); all other columns and
+    relations are uniform.  This is the reproducible skew workload the
+    skew-aware planner tests and ``bench_skew_join`` run on.
+    """
+    if num_relations < 2:
+        raise ConfigurationError("a chain join needs at least 2 relations")
+    relations: List[RelationInstance] = []
+    for index in range(num_relations):
+        relation_seed = None if seed is None else seed + index
+        name = f"R{index + 1}"
+        attributes = (f"A{index}", f"A{index + 1}")
+        if skewed_attribute in attributes:
+            relations.append(
+                zipf_relation(
+                    name,
+                    attributes,
+                    size_each,
+                    domain_size,
+                    skew=skew,
+                    skewed_attribute=skewed_attribute,
+                    seed=relation_seed,
+                )
+            )
+        else:
+            relations.append(
+                random_relation(name, attributes, size_each, domain_size, seed=relation_seed)
+            )
+    return relations
 
 
 def binary_join_instance(

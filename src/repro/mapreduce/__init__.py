@@ -30,6 +30,11 @@ from repro.mapreduce.metrics import (
     WorkerStats,
     reducer_size_quantiles,
 )
+from repro.mapreduce.serialization import (
+    JobSerializationError,
+    pack_job,
+    unpack_job,
+)
 from repro.mapreduce.partitioner import (
     GreedyLoadBalancingPartitioner,
     HashPartitioner,
@@ -52,6 +57,7 @@ __all__ = [
     "InMemoryShuffle",
     "JobChain",
     "JobMetrics",
+    "JobSerializationError",
     "JobResult",
     "KeyValue",
     "MapReduceEngine",
@@ -72,7 +78,9 @@ __all__ = [
     "ensure_key_value",
     "identity_reducer",
     "make_filtering_mapper",
+    "pack_job",
     "reducer_size_quantiles",
     "resolve_executor",
     "stable_hash",
+    "unpack_job",
 ]

@@ -119,6 +119,28 @@ class MapReduceEngine:
         )
 
     # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release executor-held resources (e.g. a warm worker pool).
+
+        The parallel executor keeps its fork pool alive across ``run`` /
+        ``run_chain`` calls; closing the engine shuts those workers down.
+        Serial execution holds nothing, so this is always safe to call.
+        The engine stays usable afterwards — the next parallel run simply
+        forks a fresh pool.
+        """
+        closer = getattr(self.executor, "close", None)
+        if callable(closer):
+            closer()
+
+    def __enter__(self) -> "MapReduceEngine":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
     # Single-round execution
     # ------------------------------------------------------------------
     def run(

@@ -27,14 +27,29 @@ Determinism contract (both executors, any worker count):
 
 Jobs are built from closures (every schema family's ``job()`` is), which
 plain ``pickle`` cannot ship to a ``spawn``-started process.  The parallel
-executor therefore requires the ``fork`` start method: the job is published
-in a module-level slot before the pool is created and the forked workers
-inherit it.  On platforms without ``fork`` the executor raises a clear
+executor therefore requires the ``fork`` start method.  Jobs reach the
+workers one of two ways:
+
+* **warm path** (default): the job — closures included — is packed with
+  :mod:`repro.mapreduce.serialization` and attached to each task, so the
+  executor's process pool stays **warm across runs**: the first ``execute``
+  forks it lazily, later ``execute`` / ``run_chain`` rounds reuse the live
+  workers (each caches the latest unpacked job by version).  Call
+  :meth:`ParallelExecutor.close` (or use the executor / engine as a context
+  manager) to release the workers; they are also reclaimed when the
+  executor is garbage-collected.
+* **fork-publication fallback**: jobs whose callables fall outside the
+  serializer's envelope are published in a module-level slot just before a
+  run-scoped pool forks, exactly the pre-warm behaviour, then the pool is
+  torn down with the run.
+
+On platforms without ``fork`` the executor raises a clear
 :class:`~repro.exceptions.ConfigurationError` at construction time.
 """
 
 from __future__ import annotations
 
+import itertools
 import multiprocessing
 import os
 import threading
@@ -43,6 +58,7 @@ from collections import deque
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
+from functools import partial
 from typing import (
     Any,
     Callable,
@@ -65,6 +81,7 @@ from repro.exceptions import (
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.metrics import WorkerStats
+from repro.mapreduce.serialization import JobSerializationError, pack_job, unpack_job
 from repro.mapreduce.shuffle import ShuffleBackend
 from repro.mapreduce.types import ensure_key_value
 
@@ -313,19 +330,52 @@ class SerialExecutor(Executor):
 # ----------------------------------------------------------------------
 # Process-pool execution
 # ----------------------------------------------------------------------
-#: Slot the parent fills before forking its pool; workers inherit the job
-#: through it.  Keyed storage (not a bare global) so a traceback in one run
-#: cannot leave a stale job visible as "the" job of the next run.
+#: Slot the parent fills before forking a fallback pool; workers inherit the
+#: job through it.  Keyed storage (not a bare global) so a traceback in one
+#: run cannot leave a stale job visible as "the" job of the next run.
 _FORK_STATE: Dict[str, MapReduceJob] = {}
 
-#: Serializes ParallelExecutor.execute calls process-wide.  Workers are
+#: Serializes fallback-path executes process-wide.  Fallback workers are
 #: forked lazily (one per submit), so the job slot must stay stable for the
 #: whole pool lifetime; two concurrent executes would otherwise race on it
 #: and could fork workers holding the *other* run's job.
 _FORK_STATE_LOCK = threading.Lock()
 
+#: Worker-side cache of the latest unpacked job, keyed by its version token.
+#: Only one entry is kept: the executes feeding one pool are serialized, so
+#: a version change means the previous job is done with.
+_JOB_CACHE: Dict[int, MapReduceJob] = {}
 
-def _worker_map_chunk(records: Sequence[Any]) -> Tuple[int, List[Tuple[Hashable, List[Any]]]]:
+#: Parent-side version tokens for warm-path jobs, unique per process.
+_JOB_VERSIONS = itertools.count(1)
+
+
+def _cached_job(version: int, packed: Optional[bytes]) -> MapReduceJob:
+    """The job a worker task should run.
+
+    Warm-path tasks carry ``(version, packed job)``: the worker unpacks on
+    first sight of a version and serves later tasks from cache.  Fallback
+    tasks carry ``packed=None`` and read the fork-inherited slot.
+    """
+    if packed is None:
+        return _FORK_STATE["job"]
+    job = _JOB_CACHE.get(version)
+    if job is None:
+        try:
+            unpacked = unpack_job(packed)
+        except Exception as error:
+            raise ExecutionError(
+                f"worker failed to deserialize job (version {version}): {error}"
+            ) from error
+        _JOB_CACHE.clear()
+        _JOB_CACHE[version] = unpacked
+        job = unpacked
+    return job
+
+
+def _worker_map_chunk(
+    version: int, packed: Optional[bytes], records: Sequence[Any]
+) -> Tuple[int, List[Tuple[Hashable, List[Any]]]]:
     """Run the mapper (and per-task combiner) over one input chunk.
 
     One chunk *is* one simulated map task — the parent cuts chunks of
@@ -334,7 +384,7 @@ def _worker_map_chunk(records: Sequence[Any]) -> Tuple[int, List[Tuple[Hashable,
     order), which preserves per-key value order while letting the parent
     merge whole value lists instead of pair-at-a-time.
     """
-    job = _FORK_STATE["job"]
+    job = _cached_job(version, packed)
     grouped: Dict[Hashable, List[Any]] = {}
     if job.combiner is None:
         for record in records:
@@ -352,9 +402,13 @@ def _worker_map_chunk(records: Sequence[Any]) -> Tuple[int, List[Tuple[Hashable,
     return len(records), list(grouped.items())
 
 
-def _worker_reduce_block(block: Sequence[Tuple[Hashable, List[Any]]]) -> List[Any]:
+def _worker_reduce_block(
+    version: int,
+    packed: Optional[bytes],
+    block: Sequence[Tuple[Hashable, List[Any]]],
+) -> List[Any]:
     """Run the reducer over one block of shuffle groups, returning outputs."""
-    job = _FORK_STATE["job"]
+    job = _cached_job(version, packed)
     outputs: List[Any] = []
     for key, values in block:
         described = f"reducer of job {job.name!r} failed on key {key!r}"
@@ -385,6 +439,14 @@ class ParallelExecutor(Executor):
         once; beyond that the parent drains the oldest task first.  This
         bounds parent-side memory (chunks and blocks are materialized while
         in flight) without stalling the pool.
+    keep_warm:
+        Reuse one lazily-created process pool across ``execute`` calls
+        (and therefore across ``MapReduceEngine.run`` / ``run_chain`` calls
+        on an engine holding this executor).  Jobs are shipped per task via
+        :mod:`repro.mapreduce.serialization`; a job the serializer cannot
+        handle silently uses a run-scoped fork-publication pool instead.
+        Release the pool with :meth:`close` or a ``with`` block.  Set False
+        to fork a fresh pool per run (the pre-warm behaviour).
     """
 
     name = "parallel"
@@ -394,6 +456,7 @@ class ParallelExecutor(Executor):
         num_workers: Optional[int] = None,
         reduce_block_size: int = 64,
         max_pending_factor: int = 4,
+        keep_warm: bool = True,
     ) -> None:
         if num_workers is not None and num_workers <= 0:
             raise ConfigurationError(
@@ -416,10 +479,57 @@ class ParallelExecutor(Executor):
         self.num_workers = num_workers
         self.reduce_block_size = reduce_block_size
         self.max_pending_factor = max_pending_factor
+        self.keep_warm = keep_warm
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_workers: Optional[int] = None
+        self._lock = threading.Lock()
 
     def effective_workers(self, config: ClusterConfig) -> int:
         return self.num_workers if self.num_workers is not None else config.num_workers
 
+    # -- warm-pool lifecycle --------------------------------------------
+    @property
+    def pool_is_warm(self) -> bool:
+        """Whether a live worker pool is currently held."""
+        return self._pool is not None
+
+    def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
+        """The persistent pool, (re)created lazily and resized on demand."""
+        if self._pool is not None and self._pool_workers != workers:
+            self._release_pool(wait=True)
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=multiprocessing.get_context("fork"),
+            )
+            self._pool_workers = workers
+        return self._pool
+
+    def _release_pool(self, wait: bool) -> None:
+        pool, self._pool, self._pool_workers = self._pool, None, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut the persistent pool down; the next execute re-forks one."""
+        with self._lock:
+            self._release_pool(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+
+    # -- execution ------------------------------------------------------
     def execute(
         self,
         job: MapReduceJob,
@@ -428,11 +538,75 @@ class ParallelExecutor(Executor):
         config: ClusterConfig,
         reducer_cost: Optional[Callable[[int], float]] = None,
     ) -> ExecutionOutcome:
+        packed: Optional[bytes] = None
+        if self.keep_warm:
+            try:
+                packed = pack_job(job)
+            except JobSerializationError:
+                packed = None
+        if packed is not None:
+            return self._execute_warm(
+                job, packed, inputs, backend, config, reducer_cost
+            )
+        return self._execute_forked(job, inputs, backend, config, reducer_cost)
+
+    def _execute_warm(
+        self,
+        job: MapReduceJob,
+        packed: bytes,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]],
+    ) -> ExecutionOutcome:
+        """Run on the persistent pool; tasks carry the packed job.
+
+        Executes on the same executor instance serialize on its lock (the
+        worker-side job cache keeps one version), but independent executor
+        instances no longer contend on any global state.
+        """
         workers = self.effective_workers(config)
-        # Workers fork lazily (one per submit), so the published job must
-        # stay stable for the whole pool lifetime; the lock keeps a
-        # concurrent execute (engines shared across threads) from swapping
-        # it mid-run.  Concurrent executes therefore serialize.
+        version = next(_JOB_VERSIONS)
+        with self._lock:
+            pool = self._ensure_pool(workers)
+            map_task = partial(_worker_map_chunk, version, packed)
+            reduce_task = partial(_worker_reduce_block, version, packed)
+            try:
+                num_inputs = self._map_phase(
+                    inputs, backend, config, pool, workers, map_task
+                )
+                return self._reduce_phase(
+                    job, backend, config, reducer_cost, num_inputs, pool,
+                    workers, reduce_task,
+                )
+            except BrokenProcessPool as error:
+                # A dead worker poisons the whole pool; drop it so the next
+                # execute forks a healthy one.
+                self._release_pool(wait=False)
+                raise ExecutionError(
+                    f"worker pool died while executing job {job.name!r} "
+                    f"(a worker process was killed or crashed): {error}"
+                ) from error
+
+    def _execute_forked(
+        self,
+        job: MapReduceJob,
+        inputs: Iterable[Any],
+        backend: ShuffleBackend,
+        config: ClusterConfig,
+        reducer_cost: Optional[Callable[[int], float]],
+    ) -> ExecutionOutcome:
+        """Fallback: run-scoped pool inheriting the job through a fork slot.
+
+        Workers fork lazily (one per submit), so the published job must
+        stay stable for the whole pool lifetime; the global lock keeps a
+        concurrent fallback execute (engines shared across threads) from
+        swapping it mid-run.  Concurrent fallback executes therefore
+        serialize.
+        """
+        workers = self.effective_workers(config)
+        map_task = partial(_worker_map_chunk, 0, None)
+        reduce_task = partial(_worker_reduce_block, 0, None)
         with _FORK_STATE_LOCK:
             # The job must be visible *before* the pool forks its workers.
             _FORK_STATE["job"] = job
@@ -442,10 +616,11 @@ class ParallelExecutor(Executor):
             )
             try:
                 num_inputs = self._map_phase(
-                    job, inputs, backend, config, pool, workers
+                    inputs, backend, config, pool, workers, map_task
                 )
                 return self._reduce_phase(
-                    job, backend, config, reducer_cost, num_inputs, pool, workers
+                    job, backend, config, reducer_cost, num_inputs, pool,
+                    workers, reduce_task,
                 )
             except BrokenProcessPool as error:
                 raise ExecutionError(
@@ -459,19 +634,21 @@ class ParallelExecutor(Executor):
     # -- map phase ------------------------------------------------------
     def _map_phase(
         self,
-        job: MapReduceJob,
         inputs: Iterable[Any],
         backend: ShuffleBackend,
         config: ClusterConfig,
         pool: ProcessPoolExecutor,
         workers: int,
+        map_task: Callable[[Sequence[Any]], Any],
     ) -> int:
         """Fan map chunks out to the pool, merge results in submission order.
 
         Chunks are cut at ``map_batch_size`` records — the same map-task
         boundary the serial executor gives the combiner — and their grouped
         emissions enter the shuffle backend in chunk order, so the backend
-        sees the same per-key value order as a serial run.
+        sees the same per-key value order as a serial run.  ``map_task`` is
+        the worker callable carrying the job (packed bytes on the warm
+        path, the fork-slot sentinel on the fallback path).
         """
         max_pending = self.max_pending_factor * workers
         batch_size = config.map_batch_size
@@ -497,10 +674,10 @@ class ParallelExecutor(Executor):
             if len(chunk) >= batch_size:
                 if len(pending) >= max_pending:
                     num_inputs += self._drain_map_result(pending, backend)
-                pending.append(pool.submit(_worker_map_chunk, chunk))
+                pending.append(pool.submit(map_task, chunk))
                 chunk = []
         if chunk:
-            pending.append(pool.submit(_worker_map_chunk, chunk))
+            pending.append(pool.submit(map_task, chunk))
         while pending:
             num_inputs += self._drain_map_result(pending, backend)
         if input_error is not None:
@@ -524,6 +701,7 @@ class ParallelExecutor(Executor):
         num_inputs: int,
         pool: ProcessPoolExecutor,
         workers: int,
+        reduce_task: Callable[[Sequence[Tuple[Hashable, List[Any]]]], List[Any]],
     ) -> ExecutionOutcome:
         """Dispatch blocks of groups to the pool, collecting outputs FIFO.
 
@@ -533,7 +711,8 @@ class ParallelExecutor(Executor):
         serial executor processes (the accounting itself is shared via
         :class:`_ReduceBookkeeper`) — so stateful partitioners and capacity
         errors behave identically.  Only the reducer calls travel to the
-        workers.
+        workers, through ``reduce_task`` (which carries the job as packed
+        bytes on the warm path, or reads the fork slot on the fallback).
         """
         bookkeeper = _ReduceBookkeeper(job, config, reducer_cost)
         outputs: List[Any] = []
@@ -551,7 +730,7 @@ class ParallelExecutor(Executor):
                 # blocks plus the partial one) so its errors take
                 # precedence here too.
                 if block:
-                    pending.append(pool.submit(_worker_reduce_block, block))
+                    pending.append(pool.submit(reduce_task, block))
                 while pending:
                     pending.popleft().result()
                 raise
@@ -559,10 +738,10 @@ class ParallelExecutor(Executor):
             if len(block) >= self.reduce_block_size:
                 if len(pending) >= max_pending:
                     outputs.extend(pending.popleft().result())
-                pending.append(pool.submit(_worker_reduce_block, block))
+                pending.append(pool.submit(reduce_task, block))
                 block = []
         if block:
-            pending.append(pool.submit(_worker_reduce_block, block))
+            pending.append(pool.submit(reduce_task, block))
         while pending:
             outputs.extend(pending.popleft().result())
         return bookkeeper.outcome(num_inputs, outputs)

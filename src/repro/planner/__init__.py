@@ -19,6 +19,16 @@ builders covering every family of the paper live in
 """
 
 from repro.planner.cache import CacheStats, SchemaCache, default_schema_cache
+from repro.planner.certify import (
+    Certification,
+    CertificationKind,
+    ProfileWeightOracle,
+    certify_max_reducer_load,
+    certify_sample_graph_load,
+    exact_certification,
+    expected_certification,
+    high_probability_certification,
+)
 from repro.planner.plan import (
     ExecutionPlan,
     PlanningResult,
@@ -38,15 +48,23 @@ from repro.planner import builtins as _builtins  # noqa: E402,F401  (side effect
 
 __all__ = [
     "CacheStats",
+    "Certification",
+    "CertificationKind",
     "CostBasedPlanner",
     "ExecutionPlan",
     "PlanCandidate",
     "PlanningResult",
+    "ProfileWeightOracle",
     "SchemaCache",
     "SchemaRegistry",
     "SweepPoint",
     "SweepResult",
+    "certify_max_reducer_load",
+    "certify_sample_graph_load",
     "default_registry",
     "default_schema_cache",
+    "exact_certification",
+    "expected_certification",
+    "high_probability_certification",
     "thin_parameter_sweep",
 ]

@@ -19,11 +19,21 @@ GroupByAggregationProbl.  direct per-group aggregation, with/without combiner
 ========================  =====================================================
 
 Every builder yields only candidates whose **certified** maximum reducer
-size fits the budget.  For all single-round graph/Hamming/matmul families
-the certification is an exact combinatorial bound over the problem's full
-input domain (ceil-corrected where the closed forms use real-valued
-approximations); for the Shares join it is the expected hash-balanced size,
-which is the quantity the paper's Section 5.5 analysis budgets as well.
+size fits the budget, and every candidate carries a
+:class:`~repro.planner.certify.Certification` naming the kind of promise.
+For all single-round graph/Hamming/matmul families the certification is an
+exact combinatorial bound over the problem's full input domain
+(ceil-corrected where the closed forms use real-valued approximations).
+For the Shares join it is, by default, the expected hash-balanced size —
+the quantity the paper's Section 5.5 analysis budgets, which skew can
+violate.  When the planner passes a
+:class:`~repro.stats.profile.DatasetProfile`, the profile-aware builders
+(joins, sample graphs) replace that expectation with per-bucket tail
+bounds on the actual instance (exact from full histograms, Hoeffding
+high-probability from samples) and additionally enumerate skew-resistant
+candidates: :class:`~repro.schemas.join_shares.SkewAwareSharesSchema`
+grids isolating profiled heavy hitters, and degree-balanced non-uniform
+sample-graph bucketings.
 
 Candidate *builds* — constructing the schema-family object and evaluating
 its certified size and replication closed forms, which for the weight-grid
@@ -38,14 +48,22 @@ each build exactly once.  Only the budget *filter* runs per call.
 
 from __future__ import annotations
 
+import dataclasses
 import math
-from typing import Any, Dict, Iterator, List, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datagen.relations import RelationInstance
 from repro.exceptions import ConfigurationError
 from repro.mapreduce.job import JobChain, MapReduceJob
 from repro.planner.cache import default_schema_cache
+from repro.planner.certify import (
+    certify_max_reducer_load,
+    certify_sample_graph_load,
+    exact_certification,
+    expected_certification,
+)
 from repro.planner.registry import PlanCandidate, default_registry, thin_parameter_sweep
+from repro.stats.profile import DatasetProfile
 from repro.problems.grouping import GroupByAggregationProblem
 from repro.problems.hamming import HammingDistanceProblem
 from repro.problems.joins import JoinQuery, MultiwayJoinProblem
@@ -62,12 +80,16 @@ from repro.schemas.hamming_splitting import (
 from repro.schemas.hamming_weight import HypercubeWeightSchema
 from repro.schemas.join_shares import (
     SharesSchema,
+    SkewAwareSharesSchema,
     chain_join_shares,
     star_join_shares,
 )
 from repro.schemas.matmul_one_phase import OnePhaseTilingSchema
 from repro.schemas.matmul_two_phase import TwoPhaseMatMulAlgorithm
-from repro.schemas.sample_graphs import PartitionSampleGraphSchema
+from repro.schemas.sample_graphs import (
+    PartitionSampleGraphSchema,
+    degree_balanced_boundaries,
+)
 from repro.schemas.triangles import PartitionTriangleSchema
 from repro.schemas.two_paths import TwoPathSchema
 
@@ -75,10 +97,21 @@ from repro.schemas.two_paths import TwoPathSchema
 _SHARES_REDUCER_SWEEP = (2, 4, 8, 16, 27, 32, 64, 128, 256)
 #: Uniform shares tried on the join's shared attributes.
 _SHARES_UNIFORM_SWEEP = (2, 3, 4, 6, 8)
+#: Sub-grid shares tried for profiled heavy-hitter isolation.
+_SKEW_SUBSHARE_SWEEP = (2, 4, 8)
+#: At most this many heavy values are isolated onto dedicated sub-grids.
+_MAX_HEAVY_VALUES = 6
+#: Non-uniform sample-graph bucketings tried per profiled graph.
+_BALANCED_BUCKET_KEEP = 12
 
 
 def _divisors(n: int) -> List[int]:
     return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def _exact(bound: float) -> Any:
+    """Exact certification for the combinatorial families' closed forms."""
+    return exact_certification(float(bound), detail="combinatorial closed form")
 
 
 def _static_job(family: Any) -> Any:
@@ -107,6 +140,7 @@ def _build_triangle_candidate(n: int, k: int) -> PlanCandidate:
         replication_rate=family.replication_rate_formula(),
         job_factory=_static_job(family),
         family=family,
+        certification=_exact(_triangle_certified_q(n, k)),
     )
 
 
@@ -139,6 +173,7 @@ def _build_two_path_candidate(n: int, k: int) -> PlanCandidate:
         replication_rate=family.replication_rate_formula(),
         job_factory=_static_job(family),
         family=family,
+        certification=_exact(_two_path_certified_q(n, k)),
     )
 
 
@@ -165,8 +200,20 @@ def _sample_graph_certified_q(n: int, s: int, k: int) -> int:
 
 @default_registry.register(SampleGraphProblem)
 def sample_graph_candidates(
-    problem: SampleGraphProblem, q: float
+    problem: SampleGraphProblem,
+    q: float,
+    profile: Optional[DatasetProfile] = None,
 ) -> Iterator[PlanCandidate]:
+    """Uniform bucketings always; degree-balanced ones when profiled.
+
+    The uniform candidates are certified over the model's full input domain
+    (every edge present).  Given an exact graph profile (see
+    :func:`~repro.stats.profile.profile_graph`), the builder additionally
+    enumerates *non-uniform* contiguous bucketings whose cut points balance
+    the instance's endpoint mass, certified with the same exact-histogram
+    path the profiled joins use — so a skewed degree sequence no longer
+    forces the planner onto needlessly fine uniform grids.
+    """
     n = problem.n
     sample = problem.sample
     s = sample.num_nodes
@@ -179,6 +226,7 @@ def sample_graph_candidates(
             replication_rate=family.replication_rate_formula(),
             job_factory=_static_job(family),
             family=family,
+            certification=_exact(_sample_graph_certified_q(n, s, k)),
         )
 
     feasible = [
@@ -189,6 +237,71 @@ def sample_graph_candidates(
             ("sample-graph", n, sample.name, sample.edges, k),
             lambda k=k: build(k),
         )
+    if profile is not None:
+        yield from _balanced_sample_graph_candidates(problem, q, profile)
+
+
+def _graph_degrees(profile: DatasetProfile) -> Optional[Dict[int, int]]:
+    """Per-node endpoint counts from an exact single-relation graph profile."""
+    if len(profile.relations) != 1:
+        return None
+    relation = next(iter(profile.relations.values()))
+    if set(relation.attributes) != {"u", "v"} or not relation.exact:
+        return None
+    degrees: Dict[int, int] = {}
+    for attribute in ("u", "v"):
+        for node, count in relation.attribute(attribute).histogram.items():
+            degrees[node] = degrees.get(node, 0) + count
+    return degrees
+
+
+def _build_balanced_sample_graph_candidate(
+    problem: SampleGraphProblem,
+    k: int,
+    boundaries: Tuple[int, ...],
+    profile: DatasetProfile,
+) -> PlanCandidate:
+    family = PartitionSampleGraphSchema(
+        problem.n, problem.sample, k, boundaries=boundaries
+    )
+    certification = certify_sample_graph_load(family, profile)
+    return PlanCandidate(
+        name=family.name,
+        q=max(certification.bound, 1.0),
+        replication_rate=family.replication_rate_formula(),
+        job_factory=_static_job(family),
+        family=family,
+        certification=certification,
+    )
+
+
+def _balanced_sample_graph_candidates(
+    problem: SampleGraphProblem, q: float, profile: DatasetProfile
+) -> Iterator[PlanCandidate]:
+    degrees = _graph_degrees(profile)
+    if degrees is None:
+        return
+    n = problem.n
+    fingerprint = profile.fingerprint()
+    for k in thin_parameter_sweep(
+        list(range(2, n + 1)), keep=_BALANCED_BUCKET_KEEP
+    ):
+        boundaries = degree_balanced_boundaries(degrees, n, k)
+        candidate = default_schema_cache.get(
+            (
+                "sample-graph-balanced",
+                n,
+                problem.sample.name,
+                problem.sample.edges,
+                k,
+                fingerprint,
+            ),
+            lambda k=k, boundaries=boundaries: _build_balanced_sample_graph_candidate(
+                problem, k, boundaries, profile
+            ),
+        )
+        if candidate.q <= q:
+            yield candidate
 
 
 # ----------------------------------------------------------------------
@@ -212,6 +325,7 @@ def _build_splitting_candidate(b: int, c: int) -> PlanCandidate:
         replication_rate=family.replication_rate_formula(),
         job_factory=_static_job(family),
         family=family,
+        certification=_exact(2 ** (b // c)),
     )
 
 
@@ -223,6 +337,7 @@ def _build_pair_reducers_candidate(b: int) -> PlanCandidate:
         replication_rate=family.replication_rate_formula(),
         job_factory=_static_job(family),
         family=family,
+        certification=_exact(2.0),
     )
 
 
@@ -234,6 +349,7 @@ def _build_single_reducer_candidate(b: int) -> PlanCandidate:
         replication_rate=family.replication_rate_formula(),
         job_factory=_static_job(family),
         family=family,
+        certification=_exact(1 << b),
     )
 
 
@@ -250,6 +366,7 @@ def _build_weight_grid_candidate(
         replication_rate=family.exact_replication_rate(),
         job_factory=_static_job(family),
         family=family,
+        certification=_exact(family.exact_max_reducer_size()),
     )
 
 
@@ -304,6 +421,7 @@ def _build_segment_deletion_candidate(b: int, k: int, d: int) -> PlanCandidate:
         replication_rate=family.replication_rate_formula(),
         job_factory=_segment_deletion_job(family, d),
         family=family,
+        certification=_exact(2 ** ((b // k) * d)),
     )
 
 
@@ -317,6 +435,7 @@ def _build_ball_two_candidate(b: int) -> PlanCandidate:
         # both); the planner serves the exact-distance problem.
         job_factory=_ball_two_job(family, emit_distance=2),
         family=family,
+        certification=_exact(b + 1),
     )
 
 
@@ -365,6 +484,7 @@ def _build_one_phase_candidate(n: int, s: int) -> PlanCandidate:
         replication_rate=family.replication_rate_formula(),
         job_factory=_static_job(family),
         family=family,
+        certification=_exact(2 * s * n),
     )
 
 
@@ -401,6 +521,7 @@ def _build_two_phase_candidate(
         job_factory=_chain_job(algorithm),
         rounds=2,
         family=algorithm,
+        certification=_exact(_two_phase_certified_q(algorithm)),
     )
 
 
@@ -465,22 +586,62 @@ def _build_shares_candidate(
     query: JoinQuery, shares: Dict[str, int], domain_size: int
 ) -> PlanCandidate:
     schema = SharesSchema(query, shares, domain_size)
+    expected = schema.max_reducer_size_formula()
     return PlanCandidate(
         name=schema.name,
-        q=schema.max_reducer_size_formula(),
+        q=expected,
         replication_rate=schema.replication_rate_formula(),
         job_factory=_shares_job(schema, query),
         family=schema,
         needs_inputs=True,
+        certification=expected_certification(
+            expected, detail="hash-balanced expectation (Section 5.5)"
+        ),
     )
+
+
+def _recertify_candidate(
+    candidate: PlanCandidate, profile: DatasetProfile
+) -> PlanCandidate:
+    """Replace a Shares candidate's expected q with a profiled tail bound."""
+    certification = certify_max_reducer_load(candidate.family, profile)
+    return dataclasses.replace(
+        candidate,
+        q=max(certification.bound, 1.0),
+        certification=certification,
+    )
+
+
+def _usable_profile(
+    query: JoinQuery, profile: Optional[DatasetProfile]
+) -> Optional[DatasetProfile]:
+    """The profile, when it covers every relation of the query."""
+    if profile is None:
+        return None
+    if not profile.covers([relation.name for relation in query.relations]):
+        return None
+    return profile
 
 
 @default_registry.register(MultiwayJoinProblem)
 def join_candidates(
-    problem: MultiwayJoinProblem, q: float
+    problem: MultiwayJoinProblem, q: float, profile: Optional[DatasetProfile] = None
 ) -> Iterator[PlanCandidate]:
+    """Shares candidates, tail-certified and skew-hardened when profiled.
+
+    Without a profile this is the paper's enumeration: every share vector
+    whose *expected* hash-balanced reducer size fits the budget.  With a
+    :class:`~repro.stats.profile.DatasetProfile` covering the query's
+    relations, each vanilla candidate is re-certified with a per-bucket
+    tail bound on the actual instance — candidates whose bound blows the
+    budget are rejected even though their expectation fit — and
+    skew-resistant variants (profiled heavy hitters isolated onto dedicated
+    sub-grids) join the enumeration, certified through the same path.
+    """
     query = problem.query
     query_key = _query_cache_key(query)
+    usable = _usable_profile(query, profile)
+    fingerprint = usable.fingerprint() if usable is not None else None
     for shares in _share_vectors(query):
         shares_key = tuple(sorted(shares.items()))
         candidate = default_schema_cache.get(
@@ -489,8 +650,141 @@ def join_candidates(
                 query, shares, problem.domain_size
             ),
         )
+        if usable is not None:
+            candidate = default_schema_cache.get(
+                ("shares-cert", query_key, problem.domain_size, shares_key, fingerprint),
+                lambda candidate=candidate: _recertify_candidate(candidate, usable),
+            )
         if candidate.q <= q:
             yield candidate
+    if usable is not None:
+        yield from _skew_candidates(problem, q, usable, query_key, fingerprint)
+
+
+# -- profiled heavy-hitter isolation -----------------------------------
+def _profiled_skew(
+    query: JoinQuery, profile: DatasetProfile
+) -> Optional[Tuple[str, Tuple[int, ...]]]:
+    """Pick the most skewed shared attribute and its heavy values.
+
+    A value counts as heavy when its guaranteed lower-bound frequency in
+    some relation is at least three times that column's average frequency
+    (and at least 4), i.e. when hash balancing provably cannot spread it.
+    Returns ``None`` when the profile shows no such value — uniform inputs
+    then plan exactly as before, with no skew candidates enumerated.
+    """
+    membership: Dict[str, int] = {}
+    for relation in query.relations:
+        for attribute in relation.attributes:
+            membership[attribute] = membership.get(attribute, 0) + 1
+    best: Optional[Tuple[str, Tuple[int, ...]]] = None
+    best_score = 0.0
+    for attribute in query.attributes:
+        if membership[attribute] < 2:
+            continue
+        found: Dict[int, float] = {}
+        for relation in query.relations:
+            if attribute not in relation.attributes:
+                continue
+            stats = profile.relation(relation.name).attribute(attribute)
+            if stats.total_count == 0:
+                continue
+            average = stats.total_count / max(stats.distinct_estimate, 1.0)
+            threshold = max(4.0, 3.0 * average)
+            for value, count in stats.top_values(_MAX_HEAVY_VALUES):
+                if count >= threshold:
+                    found[value] = max(found.get(value, 0.0), float(count))
+        if not found:
+            continue
+        score = max(found.values())
+        if score > best_score:
+            ranked = sorted(found.items(), key=lambda item: (-item[1], repr(item[0])))
+            values = tuple(value for value, _ in ranked[:_MAX_HEAVY_VALUES])
+            best = (attribute, values)
+            best_score = score
+    return best
+
+
+def _build_skew_candidate(
+    query: JoinQuery,
+    shares: Dict[str, int],
+    domain_size: int,
+    skew_attribute: str,
+    heavy_values: Tuple[int, ...],
+    heavy_shares: Dict[str, int],
+    profile: DatasetProfile,
+) -> PlanCandidate:
+    schema = SkewAwareSharesSchema(
+        query,
+        shares,
+        domain_size,
+        skew_attribute=skew_attribute,
+        heavy_values=heavy_values,
+        heavy_shares=heavy_shares,
+    )
+    certification = certify_max_reducer_load(schema, profile)
+    return PlanCandidate(
+        name=schema.name,
+        q=max(certification.bound, 1.0),
+        replication_rate=schema.replication_rate_formula(),
+        job_factory=_shares_job(schema, query),
+        family=schema,
+        needs_inputs=True,
+        certification=certification,
+    )
+
+
+def _skew_candidates(
+    problem: MultiwayJoinProblem,
+    q: float,
+    profile: DatasetProfile,
+    query_key: Tuple[Any, ...],
+    fingerprint: int,
+) -> Iterator[PlanCandidate]:
+    query = problem.query
+    selection = _profiled_skew(query, profile)
+    if selection is None:
+        return
+    skew_attribute, heavy_values = selection
+    co_occurring = tuple(
+        dict.fromkeys(
+            attribute
+            for relation in query.relations
+            if skew_attribute in relation.attributes
+            for attribute in relation.attributes
+            if attribute != skew_attribute
+        )
+    )
+    if not co_occurring:
+        return
+    heavy_key = tuple(sorted(heavy_values, key=repr))
+    for shares in _share_vectors(query):
+        shares_key = tuple(sorted(shares.items()))
+        for sub_share in _SKEW_SUBSHARE_SWEEP:
+            heavy_shares = {attribute: sub_share for attribute in co_occurring}
+            candidate = default_schema_cache.get(
+                (
+                    "skew-shares",
+                    query_key,
+                    problem.domain_size,
+                    shares_key,
+                    skew_attribute,
+                    heavy_key,
+                    sub_share,
+                    fingerprint,
+                ),
+                lambda shares=shares, heavy_shares=heavy_shares: _build_skew_candidate(
+                    query,
+                    shares,
+                    problem.domain_size,
+                    skew_attribute,
+                    heavy_values,
+                    heavy_shares,
+                    profile,
+                ),
+            )
+            if candidate.q <= q:
+                yield candidate
 
 
 def _share_vectors(query: JoinQuery) -> List[Dict[str, int]]:
@@ -569,6 +863,9 @@ def wordcount_candidates(
             q=float(peak),
             replication_rate=1.0,
             job_factory=lambda _inputs, problem=problem: problem.job(),
+            certification=exact_certification(
+                float(peak), detail="corpus peak word multiplicity"
+            ),
         )
 
 
@@ -590,5 +887,8 @@ def grouping_candidates(
                 replication_rate=1.0,
                 job_factory=lambda _inputs, problem=problem, u=use_combiner: (
                     problem.job(use_combiner=u)
+                ),
+                certification=exact_certification(
+                    float(group_size), detail="one group per reducer, |B| inputs"
                 ),
             )

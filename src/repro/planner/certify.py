@@ -1,0 +1,360 @@
+"""Reducer-size certification: from dataset statistics to trusted budgets.
+
+The paper's Section 5.5 budgets a Shares join candidate by its *expected*
+hash-balanced reducer load.  On skewed inputs that expectation says nothing
+about the maximum — one heavy join value can blow a single reducer far past
+the budget while the average stays tiny — so a cluster that *enforces* its
+capacity cannot trust expectation-certified plans.  This module replaces
+the expectation with per-bucket tail bounds computed from a
+:class:`~repro.stats.profile.DatasetProfile`:
+
+* **exact** — from full per-attribute histograms, the exact weight of every
+  hash bucket is known, so ``min`` over a relation's attributes of its
+  bucket weights upper-bounds the relation's tuples at a grid point, and
+  the sum over relations bounds the reducer's load.  Deterministic.
+* **expected** — the paper's original certificate, kept for candidates
+  planned without a profile; carried so reports can display what kind of
+  promise a plan actually makes.
+* **high-probability** — from reservoir samples, bucket weights are
+  estimated and inflated by a Hoeffding term; a union bound over every
+  consulted cell makes *all* the estimates simultaneously valid with
+  probability ``1 - delta``, so the resulting max-load bound holds with at
+  least that probability.  Deterministic Misra–Gries upper bounds
+  (``counter + N/(k+1)``) are folded in where they are tighter.
+
+Schemas participate through one duck-typed hook,
+``reducer_load_bounds(oracle)``, yielding an upper bound per reducer; the
+oracle (built here from the profile) answers bucket- and value-weight
+queries.  This keeps all statistics math on the planner side — schemas only
+know their own grid geometry — mirroring how PostBOUND feeds guaranteed
+cardinality bounds into an otherwise statistics-agnostic optimizer.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
+
+from repro.exceptions import BoundDerivationError, ConfigurationError
+from repro.mapreduce.partitioner import stable_hash
+from repro.stats.profile import AttributeProfile, DatasetProfile
+
+#: Default failure probability for sample-based certificates.
+DEFAULT_DELTA = 0.05
+
+#: Above this many distinct bucket subsets, sample-graph certification uses
+#: one coarse bound instead of enumerating (mirrors the Shares grid limit).
+_SAMPLE_GRAPH_SUBSET_LIMIT = 20_000
+
+
+class CertificationKind(enum.Enum):
+    """How a plan's reducer-size claim is backed."""
+
+    EXACT = "exact"
+    EXPECTED = "expected"
+    HIGH_PROBABILITY = "high-probability"
+
+
+@dataclass(frozen=True)
+class Certification:
+    """One certified upper bound on a candidate's maximum reducer load.
+
+    ``bound`` is the certified value; ``delta`` is the failure probability
+    for :attr:`CertificationKind.HIGH_PROBABILITY` bounds (``None``
+    otherwise); ``detail`` names the evidence (e.g. which statistics fed
+    the bound).
+    """
+
+    kind: CertificationKind
+    bound: float
+    delta: Optional[float] = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.bound < 0:
+            raise ConfigurationError(
+                f"certified bound must be non-negative, got {self.bound}"
+            )
+        if self.kind is CertificationKind.HIGH_PROBABILITY:
+            if self.delta is None or not (0.0 < self.delta < 1.0):
+                raise ConfigurationError(
+                    "high-probability certificates need a delta in (0, 1), "
+                    f"got {self.delta}"
+                )
+        elif self.delta is not None:
+            raise ConfigurationError(
+                f"{self.kind.value} certificates carry no delta, got {self.delta}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Compact rendering for plan tables: ``exact`` / ``hp(δ=0.05)``."""
+        if self.kind is CertificationKind.HIGH_PROBABILITY:
+            return f"hp(δ={self.delta:g})"
+        return self.kind.value
+
+
+def exact_certification(bound: float, detail: str = "") -> Certification:
+    return Certification(CertificationKind.EXACT, float(bound), detail=detail)
+
+
+def expected_certification(bound: float, detail: str = "") -> Certification:
+    return Certification(CertificationKind.EXPECTED, float(bound), detail=detail)
+
+
+def high_probability_certification(
+    bound: float, delta: float, detail: str = ""
+) -> Certification:
+    return Certification(
+        CertificationKind.HIGH_PROBABILITY, float(bound), delta=delta, detail=detail
+    )
+
+
+def attribute_bucket(attribute: str, value: Hashable, share: int) -> int:
+    """The hash bucket of a value within an attribute's share.
+
+    Single source of truth shared with
+    :meth:`~repro.schemas.join_shares.SharesSchema.bucket_of`: certification
+    is only sound if the certifier and the executing schema hash values to
+    buckets identically.
+    """
+    if share <= 1:
+        return 0
+    return stable_hash((attribute, value)) % share
+
+
+class ProfileWeightOracle:
+    """Answers the weight queries schemas pose while bounding their loads.
+
+    ``bucket_weight`` upper-bounds the number of a relation's rows whose
+    value on one attribute falls in one hash bucket; ``value_weight``
+    upper-bounds one value's frequency.  Exact-histogram attributes answer
+    exactly; sampled attributes answer from the reservoir inflated by the
+    per-attribute Hoeffding term in ``epsilons`` (0 during the recording
+    pass) and remember every consulted cell in :attr:`sampled_cells` so the
+    caller can size the union bound.
+    """
+
+    def __init__(
+        self,
+        profile: DatasetProfile,
+        epsilons: Optional[Dict[Tuple[str, str], float]] = None,
+    ) -> None:
+        self.profile = profile
+        self.epsilons = epsilons or {}
+        self.sampled_cells: set = set()
+        self._bucket_cache: Dict[Tuple, Tuple[float, ...]] = {}
+
+    # -- internals ------------------------------------------------------
+    def _attribute(self, relation: str, attribute: str) -> AttributeProfile:
+        return self.profile.relation(relation).attribute(attribute)
+
+    def _epsilon(self, relation: str, attribute: str) -> float:
+        return self.epsilons.get((relation, attribute), 0.0)
+
+    def _bucket_weights(
+        self,
+        relation: str,
+        attribute: str,
+        share: int,
+        exclude: FrozenSet[Hashable],
+    ) -> Tuple[float, ...]:
+        key = (relation, attribute, share, exclude)
+        cached = self._bucket_cache.get(key)
+        if cached is not None:
+            return cached
+        stats = self._attribute(relation, attribute)
+        total = float(stats.total_count)
+        weights = [0.0] * share
+        if stats.exact:
+            for value, count in stats.histogram.items():
+                if value in exclude:
+                    continue
+                weights[attribute_bucket(attribute, value, share)] += count
+        else:
+            self.sampled_cells.add(key)
+            m = len(stats.sample)
+            if m == 0:
+                weights = [total] * share
+            else:
+                counts = [0] * share
+                for value in stats.sample:
+                    if value in exclude:
+                        continue
+                    counts[attribute_bucket(attribute, value, share)] += 1
+                epsilon = self._epsilon(relation, attribute)
+                weights = [
+                    min(total, total * (count / m + epsilon)) for count in counts
+                ]
+        result = tuple(weights)
+        self._bucket_cache[key] = result
+        return result
+
+    # -- queries schemas pose ------------------------------------------
+    def relation_rows(self, relation: str) -> int:
+        return self.profile.relation(relation).total_rows
+
+    def bucket_weight(
+        self,
+        relation: str,
+        attribute: str,
+        share: int,
+        bucket: int,
+        exclude: FrozenSet[Hashable] = frozenset(),
+    ) -> float:
+        return self._bucket_weights(relation, attribute, share, exclude)[bucket]
+
+    def max_bucket_weight(
+        self,
+        relation: str,
+        attribute: str,
+        share: int,
+        exclude: FrozenSet[Hashable] = frozenset(),
+    ) -> float:
+        return max(self._bucket_weights(relation, attribute, share, exclude))
+
+    def value_weight(self, relation: str, attribute: str, value: Hashable) -> float:
+        stats = self._attribute(relation, attribute)
+        if stats.exact:
+            return float(stats.histogram.get(value, 0))
+        # Deterministic Misra-Gries upper bound, tightened by the sample
+        # estimate when one exists.
+        bound = float(stats.frequency_upper_bound(value))
+        m = len(stats.sample)
+        if m > 0:
+            self.sampled_cells.add((relation, attribute, "value", value))
+            fraction = sum(1 for item in stats.sample if item == value) / m
+            epsilon = self._epsilon(relation, attribute)
+            bound = min(bound, stats.total_count * (fraction + epsilon))
+        return min(bound, float(stats.total_count))
+
+
+def certify_max_reducer_load(
+    schema,
+    profile: DatasetProfile,
+    delta: float = DEFAULT_DELTA,
+) -> Certification:
+    """Certify a schema's maximum reducer load under a dataset profile.
+
+    ``schema`` must provide ``reducer_load_bounds(oracle)`` yielding one
+    upper bound per reducer (the Shares families do).  Returns an
+    :attr:`CertificationKind.EXACT` certificate when every consulted
+    attribute carries a full histogram, otherwise a
+    :attr:`CertificationKind.HIGH_PROBABILITY` certificate at ``delta``.
+    """
+    loads_fn = getattr(schema, "reducer_load_bounds", None)
+    if loads_fn is None:
+        raise BoundDerivationError(
+            f"schema {getattr(schema, 'name', schema)!r} does not expose "
+            "reducer_load_bounds(); it cannot be profile-certified"
+        )
+    # Recording pass: exact answers are final, sampled answers are optimistic
+    # (epsilon 0) but tell us how many estimates the union bound must cover.
+    recorder = ProfileWeightOracle(profile)
+    optimistic = max(loads_fn(recorder), default=0.0)
+    if not recorder.sampled_cells:
+        return exact_certification(
+            optimistic, detail="per-bucket maxima from full histograms"
+        )
+    if not (0.0 < delta < 1.0):
+        raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
+    # One Hoeffding event per *empirical proportion*: a bucket-weight cell
+    # (relation, attribute, share, exclude) contributes one estimate per
+    # bucket of that share, a value cell contributes one.  Counting cells
+    # instead of estimates would shrink epsilon by up to the largest share
+    # factor and void the stated delta.
+    estimates = sum(
+        1 if cell[2] == "value" else cell[2] for cell in recorder.sampled_cells
+    )
+    epsilons: Dict[Tuple[str, str], float] = {}
+    for cell in recorder.sampled_cells:
+        relation, attribute = cell[0], cell[1]
+        stats = profile.relation(relation).attribute(attribute)
+        m = max(len(stats.sample), 1)
+        epsilons[(relation, attribute)] = math.sqrt(
+            math.log(estimates / delta) / (2.0 * m)
+        )
+    inflated = ProfileWeightOracle(profile, epsilons=epsilons)
+    bound = max(loads_fn(inflated), default=0.0)
+    return high_probability_certification(
+        bound,
+        delta,
+        detail=(
+            f"Hoeffding over {estimates} sampled estimates "
+            f"(union bound, per-estimate failure {delta / estimates:.2e})"
+        ),
+    )
+
+
+def expected_load_certification(schema, profile: DatasetProfile) -> Certification:
+    """The paper's expectation-only certificate, evaluated on the instance.
+
+    Wraps :meth:`~repro.schemas.join_shares.SharesSchema.expected_reducer_load`
+    with the profiled relation sizes.  This is the claim the tail
+    certificates replace; it is exposed so reports and tests can show the
+    expectation a skewed instance violates.
+    """
+    row_counts = {
+        name: relation.total_rows for name, relation in profile.relations.items()
+    }
+    return expected_certification(
+        schema.expected_reducer_load(row_counts),
+        detail="hash-balanced expectation on profiled relation sizes",
+    )
+
+
+def certify_sample_graph_load(schema, profile: DatasetProfile) -> Certification:
+    """Exact load certificate for a bucketed sample-graph schema.
+
+    Requires an exact graph profile (see
+    :func:`~repro.stats.profile.profile_graph`): the per-endpoint histograms
+    are the degree sequence, so the edges inside any set ``M`` of buckets
+    are at most ``min(|E|, ⌊Σ_{b∈M} mass(b) / 2⌋, C(nodes(M), 2))`` — every
+    such edge spends both endpoints inside ``M``.  The maximum over the
+    schema's reducers (bucket multisets) is deterministic.
+    """
+    import itertools
+
+    relation_name = next(iter(profile.relations))
+    relation = profile.relation(relation_name)
+    if not relation.exact:
+        raise BoundDerivationError(
+            "sample-graph certification needs an exact graph profile "
+            "(full endpoint histograms)"
+        )
+    left = relation.attribute("u").histogram
+    right = relation.attribute("v").histogram
+    total_edges = relation.total_rows
+    num_buckets = schema.num_buckets
+    mass = [0] * num_buckets
+    nodes_per_bucket = [0] * num_buckets
+    for node in set(left) | set(right):
+        bucket = schema.bucket_of(node)
+        mass[bucket] += left.get(node, 0) + right.get(node, 0)
+        nodes_per_bucket[bucket] += 1
+    slots = schema.sample.num_nodes
+    # A reducer's load depends only on the *set* of buckets in its multiset,
+    # so enumerate distinct subsets of size <= slots.  Past the enumeration
+    # limit, fall back to one coarse bound valid for every reducer: no
+    # subset can beat the `slots` heaviest buckets on either component.
+    subsets = sum(math.comb(num_buckets, size) for size in range(1, slots + 1))
+    if subsets > _SAMPLE_GRAPH_SUBSET_LIMIT:
+        top_mass = sum(sorted(mass, reverse=True)[:slots])
+        top_nodes = sum(sorted(nodes_per_bucket, reverse=True)[:slots])
+        worst = min(total_edges, top_mass // 2, math.comb(top_nodes, 2))
+        return exact_certification(
+            float(worst),
+            detail=f"coarse degree-sequence bound ({slots} heaviest buckets)",
+        )
+    worst = 0
+    for size in range(1, slots + 1):
+        for buckets in itertools.combinations(range(num_buckets), size):
+            endpoint_mass = sum(mass[bucket] for bucket in buckets)
+            nodes = sum(nodes_per_bucket[bucket] for bucket in buckets)
+            bound = min(total_edges, endpoint_mass // 2, math.comb(nodes, 2))
+            worst = max(worst, bound)
+    return exact_certification(
+        float(worst), detail="degree-sequence bound per bucket multiset"
+    )

@@ -20,6 +20,7 @@ from repro.exceptions import PlanningError
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
 from repro.mapreduce.job import JobChain, MapReduceJob
+from repro.planner.certify import Certification
 from repro.planner.registry import PlanCandidate
 
 
@@ -78,6 +79,20 @@ class ExecutionPlan:
         return self.candidate.family
 
     @property
+    def certification(self) -> Optional["Certification"]:
+        """How the plan's ``q`` is backed (exact / expected / high-probability).
+
+        ``None`` means the candidate predates certification tracking; the
+        built-in combinatorial families all attach exact certificates.
+        """
+        return self.candidate.certification
+
+    @property
+    def certification_label(self) -> str:
+        certification = self.candidate.certification
+        return certification.label if certification is not None else "exact"
+
+    @property
     def total_cost(self) -> float:
         return self.cost.total
 
@@ -119,6 +134,7 @@ class ExecutionPlan:
             "rank": self.rank,
             "plan": self.name,
             "q": self.q,
+            "certified": self.certification_label,
             "replication_rate": self.replication_rate,
             "rounds": self.rounds,
             "total_cost": self.total_cost,
@@ -253,6 +269,7 @@ class SweepResult:
                         "budget": point.budget,
                         "plan": None,
                         "q": None,
+                        "certified": None,
                         "replication_rate": None,
                         "lower_bound": None,
                         "gap": None,
@@ -265,6 +282,7 @@ class SweepResult:
                         "budget": point.budget,
                         "plan": best.name,
                         "q": best.q,
+                        "certified": best.certification_label,
                         "replication_rate": best.replication_rate,
                         "lower_bound": best.lower_bound,
                         "gap": best.optimality_gap,

@@ -32,6 +32,7 @@ from repro.exceptions import BoundDerivationError, ConfigurationError, PlanningE
 from repro.mapreduce.cluster import ClusterConfig
 from repro.planner.plan import ExecutionPlan, PlanningResult, SweepPoint, SweepResult
 from repro.planner.registry import PlanCandidate, SchemaRegistry, default_registry
+from repro.stats.profile import DatasetProfile
 
 
 class CostBasedPlanner:
@@ -84,6 +85,7 @@ class CostBasedPlanner:
         problem: Problem,
         cluster: Optional[ClusterConfig] = None,
         q: Optional[float] = None,
+        profile: Optional[DatasetProfile] = None,
     ) -> PlanningResult:
         """Return ranked executable plans for ``problem`` under budget ``q``.
 
@@ -99,10 +101,18 @@ class CostBasedPlanner:
         q:
             Reducer-size budget.  Falls back to ``cluster.reducer_capacity``
             and finally to the problem's input count (i.e. unconstrained).
+        profile:
+            Optional dataset statistics.  Profile-aware builders (the Shares
+            join, sample graphs) then certify their candidates with
+            per-bucket tail bounds on the *actual* instance instead of the
+            expectation-only closed forms, rejecting candidates whose tail
+            bound blows the budget and adding skew-resistant variants.  Each
+            plan's :attr:`~repro.planner.plan.ExecutionPlan.certification`
+            records which kind of bound its ``q`` is.
         """
         cluster = cluster or ClusterConfig()
         budget = self._resolve_budget(problem, cluster, q)
-        candidates = self.registry.candidates(problem, budget)
+        candidates = self.registry.candidates(problem, budget, profile=profile)
         if not candidates:
             raise PlanningError(
                 f"no registered schema family for {problem.name!r} fits within "
@@ -130,6 +140,7 @@ class CostBasedPlanner:
         problem: Problem,
         budgets: Iterable[float],
         cluster: Optional[ClusterConfig] = None,
+        profile: Optional[DatasetProfile] = None,
     ) -> SweepResult:
         """Trace the achievable replication/q tradeoff curve in one call.
 
@@ -155,7 +166,7 @@ class CostBasedPlanner:
         points: List[SweepPoint] = []
         for budget in unique_budgets:
             try:
-                result = self.plan(problem, cluster, q=budget)
+                result = self.plan(problem, cluster, q=budget, profile=profile)
             except PlanningError as error:
                 points.append(
                     SweepPoint(budget=budget, infeasible_reason=str(error))

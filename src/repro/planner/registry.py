@@ -17,12 +17,15 @@ problem families, custom schemas) without touching the planner.
 
 from __future__ import annotations
 
+import inspect
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type, Union
 
 from repro.core.problem import Problem
 from repro.exceptions import ConfigurationError, PlanningError
 from repro.mapreduce.job import JobChain, MapReduceJob
+from repro.planner.certify import Certification
+from repro.stats.profile import DatasetProfile
 
 #: A factory producing the executable work for a candidate.  It receives the
 #: (possibly materialized) input records so that data-dependent jobs — the
@@ -57,6 +60,12 @@ class PlanCandidate:
     needs_inputs:
         True when ``job_factory`` must receive the fully materialized input
         records (data-dependent jobs); False when inputs may stay streamed.
+    certification:
+        What kind of promise ``q`` makes — an exact worst-case bound, the
+        expected hash-balanced load (the paper's Section 5.5 accounting), or
+        a high-probability tail bound from sampled statistics.  ``None`` is
+        treated as exact by reports (the combinatorial families' closed
+        forms are worst-case bounds by construction).
     """
 
     name: str
@@ -66,6 +75,7 @@ class PlanCandidate:
     rounds: int = 1
     family: Optional[Any] = None
     needs_inputs: bool = False
+    certification: Optional[Certification] = None
 
     def __post_init__(self) -> None:
         if self.q <= 0:
@@ -78,14 +88,31 @@ class PlanCandidate:
             raise ConfigurationError(f"candidate {self.name!r} has non-positive rounds")
 
 
-CandidateBuilder = Callable[[Problem, float], Iterable[PlanCandidate]]
+CandidateBuilder = Callable[..., Iterable[PlanCandidate]]
+
+
+def _accepts_profile(builder: CandidateBuilder) -> bool:
+    """Whether a builder's signature declares a ``profile`` parameter.
+
+    Builders come in two shapes: the original ``(problem, q)`` and the
+    statistics-aware ``(problem, q, profile=None)``.  Detecting the shape at
+    registration keeps both working without touching existing builders.
+    """
+    try:
+        parameters = inspect.signature(builder).parameters
+    except (TypeError, ValueError):  # builtins / C callables: assume legacy
+        return False
+    return "profile" in parameters or any(
+        parameter.kind is inspect.Parameter.VAR_KEYWORD
+        for parameter in parameters.values()
+    )
 
 
 class SchemaRegistry:
     """Mapping from problem types to candidate builders."""
 
     def __init__(self) -> None:
-        self._builders: Dict[Type[Problem], List[CandidateBuilder]] = {}
+        self._builders: Dict[Type[Problem], List[Tuple[CandidateBuilder, bool]]] = {}
 
     # ------------------------------------------------------------------
     # Registration
@@ -107,7 +134,9 @@ class SchemaRegistry:
             )
 
         def decorator(fn: CandidateBuilder) -> CandidateBuilder:
-            self._builders.setdefault(problem_type, []).append(fn)
+            self._builders.setdefault(problem_type, []).append(
+                (fn, _accepts_profile(fn))
+            )
             return fn
 
         if builder is not None:
@@ -119,7 +148,12 @@ class SchemaRegistry:
     # ------------------------------------------------------------------
     def builders_for(self, problem: Problem) -> List[CandidateBuilder]:
         """All builders applicable to ``problem``, most-specific type first."""
-        found: List[CandidateBuilder] = []
+        return [builder for builder, _ in self._entries_for(problem)]
+
+    def _entries_for(
+        self, problem: Problem
+    ) -> List[Tuple[CandidateBuilder, bool]]:
+        found: List[Tuple[CandidateBuilder, bool]] = []
         for klass in type(problem).__mro__:
             if klass in self._builders:
                 found.extend(self._builders[klass])
@@ -132,7 +166,12 @@ class SchemaRegistry:
         """Registered problem classes (for diagnostics and docs)."""
         return tuple(self._builders.keys())
 
-    def candidates(self, problem: Problem, q: float) -> List[PlanCandidate]:
+    def candidates(
+        self,
+        problem: Problem,
+        q: float,
+        profile: Optional[DatasetProfile] = None,
+    ) -> List[PlanCandidate]:
         """Enumerate every registered candidate within the budget ``q``.
 
         Candidates whose certified reducer size exceeds the budget are
@@ -140,18 +179,29 @@ class SchemaRegistry:
         planner's feasibility invariant does not depend on builder
         discipline.  Duplicate names (e.g. the same family reachable through
         two builders) are collapsed, keeping the first occurrence.
+
+        When a :class:`~repro.stats.profile.DatasetProfile` is supplied it
+        is forwarded to every builder that declares a ``profile`` parameter;
+        such builders re-certify their data-dependent candidates with tail
+        bounds (and may enumerate profile-specific candidates like the
+        skew-aware Shares grids).  Legacy two-argument builders are called
+        unchanged.
         """
         if q <= 0:
             raise ConfigurationError(f"reducer-size budget q must be positive, got {q}")
-        builders = self.builders_for(problem)
-        if not builders:
+        entries = self._entries_for(problem)
+        if not entries:
             raise PlanningError(
                 f"no schema families registered for problem type "
                 f"{type(problem).__name__}; register a candidate builder for it"
             )
         seen: Dict[str, PlanCandidate] = {}
-        for builder in builders:
-            for candidate in builder(problem, q):
+        for builder, takes_profile in entries:
+            if takes_profile:
+                produced = builder(problem, q, profile=profile)
+            else:
+                produced = builder(problem, q)
+            for candidate in produced:
                 if candidate.q > q + 1e-9:
                     continue
                 if candidate.name not in seen:

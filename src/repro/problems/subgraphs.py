@@ -54,6 +54,20 @@ class SampleGraph:
         graph.add_edges_from(self.edges)
         return graph
 
+    def automorphism_count(self) -> int:
+        """``|Aut(S)|``: self-isomorphisms of the sample graph.
+
+        Computed once (samples are tiny) and cached; used by the
+        closed-form output count.
+        """
+        cached = getattr(self, "_automorphisms", None)
+        if cached is None:
+            graph = self.to_networkx()
+            matcher = nx.algorithms.isomorphism.GraphMatcher(graph, graph)
+            cached = sum(1 for _ in matcher.isomorphisms_iter())
+            self._automorphisms = cached
+        return cached
+
     # -- constructions -------------------------------------------------
     @classmethod
     def triangle(cls) -> "SampleGraph":
@@ -180,6 +194,21 @@ class SampleGraphProblem(Problem):
     @property
     def num_inputs(self) -> int:
         return math.comb(self.n, 2)
+
+    @property
+    def num_outputs(self) -> int:
+        """Closed form ``|O| = n! / (n-s)! / |Aut(S)|``.
+
+        Each output is an instance's edge set; sample graphs have no
+        isolated nodes (nodes are derived from edges), so the edge set
+        determines the node image and, by orbit–stabilizer, the injective
+        node mappings over-count instances by exactly ``|Aut(S)|``.  The
+        base-class default enumerates :meth:`outputs` — ``Θ(n^s)`` work,
+        minutes at ``n`` in the hundreds — and the lower-bound recipe reads
+        ``|O|`` on every planner call, so the closed form matters.
+        """
+        arrangements = math.perm(self.n, self.sample.num_nodes)
+        return arrangements // self.sample.automorphism_count()
 
     @property
     def num_outputs_order(self) -> float:

@@ -16,6 +16,7 @@ from repro.schemas.hamming_splitting import (
 from repro.schemas.hamming_weight import HypercubeWeightSchema, WeightPartitionSchema
 from repro.schemas.join_shares import (
     SharesSchema,
+    SkewAwareSharesSchema,
     chain_join_replication_upper_bound,
     chain_join_shares,
     star_join_replication_lower_bound,
@@ -25,6 +26,7 @@ from repro.schemas.join_shares import (
 from repro.schemas.matmul_one_phase import OnePhaseTilingSchema
 from repro.schemas.sample_graphs import (
     PartitionSampleGraphSchema,
+    degree_balanced_boundaries,
     enumerate_sample_graph_oracle,
 )
 from repro.schemas.matmul_two_phase import (
@@ -46,6 +48,7 @@ __all__ = [
     "SegmentDeletionSchema",
     "SharesSchema",
     "SingleReducerSchema",
+    "SkewAwareSharesSchema",
     "SplittingSchema",
     "TwoPathSchema",
     "TwoPhaseMatMulAlgorithm",
@@ -53,6 +56,7 @@ __all__ = [
     "chain_join_replication_upper_bound",
     "chain_join_shares",
     "communication_crossover_q",
+    "degree_balanced_boundaries",
     "enumerate_sample_graph_oracle",
     "one_phase_total_communication",
     "splitting_points",

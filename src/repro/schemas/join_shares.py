@@ -22,7 +22,18 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Dict, FrozenSet, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.mapping_schema import MappingSchema, SchemaFamily
 from repro.core.problem import Problem
@@ -33,6 +44,10 @@ from repro.mapreduce.partitioner import stable_hash
 from repro.problems.joins import JoinQuery, MultiwayJoinProblem
 
 GridPoint = Tuple[int, ...]
+
+#: Above this many reducers, certification falls back to one coarse bound
+#: (valid for every grid point) instead of enumerating the full grid.
+_CERTIFICATION_GRID_LIMIT = 4096
 
 
 class SharesSchema(SchemaFamily):
@@ -190,6 +205,69 @@ class SharesSchema(SchemaFamily):
             expected += n ** relation.arity / covered_shares
         return expected
 
+    def expected_reducer_load(self, row_counts: Mapping[str, int]) -> float:
+        """Hash-balanced expected load per reducer on an *actual* instance.
+
+        The Section 5.5 expectation of :meth:`max_reducer_size_formula`
+        evaluated with real relation sizes instead of the model's full
+        ``n^arity`` domains: relation ``R_e`` spreads its ``|R_e|`` tuples
+        over ``Π_{A ∈ A_e} s_A`` coordinate combinations.  On skewed inputs
+        the observed maximum can exceed this freely — that gap is exactly
+        what the profile-based tail certificates close.
+        """
+        expected = 0.0
+        for relation in self.query.relations:
+            covered_shares = 1
+            for attribute in relation.attributes:
+                covered_shares *= self.shares[attribute]
+            expected += row_counts[relation.name] / covered_shares
+        return expected
+
+    # ------------------------------------------------------------------
+    # Profile-based certification hook
+    # ------------------------------------------------------------------
+    def reducer_load_bounds(self, oracle) -> Iterator[float]:
+        """Upper bound on the input load of every reducer of this schema.
+
+        ``oracle`` answers bucket-weight queries from a dataset profile (see
+        :class:`repro.planner.certify.ProfileWeightOracle`); it must hash
+        values to buckets exactly as :meth:`bucket_of` does.  A relation's
+        tuples at a grid point all agree with the point's coordinate on each
+        of the relation's own attributes, so the *minimum* over those
+        attributes of the bucket weights bounds the relation's contribution;
+        summing over relations bounds the reducer.  Grids larger than
+        ``_CERTIFICATION_GRID_LIMIT`` yield a single coarse bound (max
+        bucket weight per attribute) valid for every point.
+        """
+        if self.num_reducers > _CERTIFICATION_GRID_LIMIT:
+            load = 0.0
+            for relation in self.query.relations:
+                load += min(
+                    oracle.max_bucket_weight(
+                        relation.name, attribute, self.shares[attribute]
+                    )
+                    for attribute in relation.attributes
+                )
+            yield load
+            return
+        attributes = self.query.attributes
+        for point in itertools.product(
+            *(range(self.shares[attribute]) for attribute in attributes)
+        ):
+            coordinates = dict(zip(attributes, point))
+            load = 0.0
+            for relation in self.query.relations:
+                load += min(
+                    oracle.bucket_weight(
+                        relation.name,
+                        attribute,
+                        self.shares[attribute],
+                        coordinates[attribute],
+                    )
+                    for attribute in relation.attributes
+                )
+            yield load
+
     # ------------------------------------------------------------------
     # Executable job over real relation instances
     # ------------------------------------------------------------------
@@ -246,6 +324,295 @@ class SharesSchema(SchemaFamily):
             for row in relation.tuples:
                 records.append((relation.name, tuple(row)))
         return records
+
+
+class SkewAwareSharesSchema(SharesSchema):
+    """Shares with profiled heavy-hitter values isolated onto sub-grids.
+
+    Vanilla Shares hashes every value of an attribute across that
+    attribute's share, so all tuples carrying one heavy join value collide
+    on a single coordinate — the grid cannot split them no matter how many
+    reducers it spends on that attribute.  Following the SkewJoin idea,
+    this variant diverts each profiled heavy value ``v`` of one
+    ``skew_attribute`` to its own dedicated reducer sub-grid partitioned on
+    the *remaining* attributes (``heavy_shares``), so the heavy value's
+    tuples are spread instead of stacked:
+
+    * a tuple whose ``skew_attribute`` value is heavy goes **only** to the
+      matching sub-grid (replicated over the sub-shares of attributes it
+      lacks);
+    * a tuple of a relation without the ``skew_attribute`` goes to the main
+      grid as usual **and** to every heavy sub-grid (the broadcast cost of
+      skew handling);
+    * every other tuple uses the vanilla main grid, whose geometry is
+      unchanged (heavy tuples simply never arrive there).
+
+    Reducer ids are tagged — ``("main", *point)`` or
+    ``("heavy", v, *subpoint)`` — and each join result is emitted exactly
+    once: an output assignment belongs to the sub-grid of its heavy
+    ``skew_attribute`` value, or to the main grid when that value is not
+    heavy.  All relations sharing the attribute agree on its value in any
+    join result, so the contributing tuples always meet at the owner.
+    """
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        shares: Mapping[str, int],
+        domain_size: int,
+        skew_attribute: str,
+        heavy_values: Iterable[int],
+        heavy_shares: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        super().__init__(query, shares, domain_size)
+        if skew_attribute not in query.attributes:
+            raise ConfigurationError(
+                f"skew attribute {skew_attribute!r} is not part of query "
+                f"{query.name!r}"
+            )
+        self.skew_attribute = skew_attribute
+        self.heavy_values = frozenset(heavy_values)
+        if not self.heavy_values:
+            raise ConfigurationError(
+                "SkewAwareSharesSchema needs at least one heavy value; use "
+                "SharesSchema when the profile shows no skew"
+            )
+        self.sub_attributes: Tuple[str, ...] = tuple(
+            attribute for attribute in query.attributes if attribute != skew_attribute
+        )
+        heavy_shares = heavy_shares or {}
+        unknown = set(heavy_shares) - set(self.sub_attributes)
+        if unknown:
+            raise ConfigurationError(
+                f"heavy shares given for attributes that are not sub-grid "
+                f"coordinates: {sorted(unknown)}"
+            )
+        self.heavy_shares: Dict[str, int] = {}
+        for attribute in self.sub_attributes:
+            share = int(heavy_shares.get(attribute, 1))
+            if share < 1:
+                raise ConfigurationError(
+                    f"heavy share for attribute {attribute!r} must be >= 1, "
+                    f"got {share}"
+                )
+            self.heavy_shares[attribute] = share
+        share_text = ",".join(f"{a}={s}" for a, s in self.shares.items())
+        sub_text = ",".join(
+            f"{a}={s}" for a, s in self.heavy_shares.items() if s > 1
+        ) or "-"
+        self.name = (
+            f"skew-shares[{query.name}]({share_text};"
+            f"{skew_attribute}:{len(self.heavy_values)}hh;sub:{sub_text})"
+        )
+
+    # ------------------------------------------------------------------
+    # Grid geometry
+    # ------------------------------------------------------------------
+    @property
+    def sub_grid_size(self) -> int:
+        product = 1
+        for share in self.heavy_shares.values():
+            product *= share
+        return product
+
+    @property
+    def num_reducers(self) -> int:
+        return super().num_reducers + len(self.heavy_values) * self.sub_grid_size
+
+    def sub_bucket_of(self, attribute: str, value: int) -> int:
+        """Sub-grid hash bucket; same hashing rule as :meth:`bucket_of`."""
+        share = self.heavy_shares[attribute]
+        if share == 1:
+            return 0
+        return stable_hash((attribute, value)) % share
+
+    def _ordered_heavy_values(self) -> List[int]:
+        return sorted(self.heavy_values, key=repr)
+
+    def _sub_points(
+        self, value: int, assignment: Mapping[str, int]
+    ) -> Iterator[GridPoint]:
+        choices: List[Any] = []
+        for attribute in self.sub_attributes:
+            if attribute in assignment:
+                choices.append([self.sub_bucket_of(attribute, assignment[attribute])])
+            else:
+                choices.append(range(self.heavy_shares[attribute]))
+        for point in itertools.product(*choices):
+            yield ("heavy", value) + tuple(point)
+
+    def reducers_for(
+        self, relation_name: str, values: Sequence[int]
+    ) -> Iterator[GridPoint]:
+        relation = self._relation(relation_name)
+        if len(values) != relation.arity:
+            raise ConfigurationError(
+                f"tuple {values!r} does not match the arity of {relation_name!r}"
+            )
+        assignment = dict(zip(relation.attributes, values))
+        skew_value = assignment.get(self.skew_attribute)
+        if skew_value is not None and skew_value in self.heavy_values:
+            yield from self._sub_points(skew_value, assignment)
+            return
+        for point in super().reducers_for(relation_name, values):
+            yield ("main",) + point
+        if self.skew_attribute not in assignment:
+            for value in self._ordered_heavy_values():
+                yield from self._sub_points(value, assignment)
+
+    def reducer_of_output(self, assignment: Mapping[str, int]) -> GridPoint:
+        skew_value = assignment[self.skew_attribute]
+        if skew_value in self.heavy_values:
+            return ("heavy", skew_value) + tuple(
+                self.sub_bucket_of(attribute, assignment[attribute])
+                for attribute in self.sub_attributes
+            )
+        return ("main",) + super().reducer_of_output(assignment)
+
+    # ------------------------------------------------------------------
+    # Closed forms over the model's full input domain
+    # ------------------------------------------------------------------
+    def replication_rate_formula(self) -> float:
+        n = self.domain_size
+        num_heavy = len(self.heavy_values)
+        total_inputs = 0
+        total_pairs = 0.0
+        for relation in self.query.relations:
+            relation_inputs = n ** relation.arity
+            total_inputs += relation_inputs
+            main_replication = self.replication_of(relation.name)
+            sub_replication = 1
+            for attribute in self.sub_attributes:
+                if attribute not in relation.attributes:
+                    sub_replication *= self.heavy_shares[attribute]
+            if self.skew_attribute in relation.attributes:
+                heavy_fraction = min(num_heavy, n) / n
+                total_pairs += relation_inputs * (
+                    (1.0 - heavy_fraction) * main_replication
+                    + heavy_fraction * sub_replication
+                )
+            else:
+                total_pairs += relation_inputs * (
+                    main_replication + num_heavy * sub_replication
+                )
+        return total_pairs / total_inputs
+
+    def max_reducer_size_formula(self) -> float:
+        """Expected load of the fuller of a main grid point / sub-grid point."""
+        n = self.domain_size
+        num_heavy = min(len(self.heavy_values), n)
+        main_expected = 0.0
+        sub_expected = 0.0
+        for relation in self.query.relations:
+            covered = 1
+            for attribute in relation.attributes:
+                covered *= self.shares[attribute]
+            relation_inputs = n ** relation.arity
+            if self.skew_attribute in relation.attributes:
+                main_expected += (
+                    relation_inputs * (1.0 - num_heavy / n) / covered
+                )
+                sub_covered = 1
+                for attribute in relation.attributes:
+                    if attribute != self.skew_attribute:
+                        sub_covered *= self.heavy_shares[attribute]
+                sub_expected += n ** (relation.arity - 1) / sub_covered
+            else:
+                main_expected += relation_inputs / covered
+                sub_covered = 1
+                for attribute in relation.attributes:
+                    sub_covered *= self.heavy_shares[attribute]
+                sub_expected += relation_inputs / sub_covered
+        return max(main_expected, sub_expected)
+
+    # ------------------------------------------------------------------
+    # Profile-based certification hook
+    # ------------------------------------------------------------------
+    def reducer_load_bounds(self, oracle) -> Iterator[float]:
+        heavy = self.heavy_values
+        attributes = self.query.attributes
+        # Main grid: relations containing the skew attribute only send their
+        # non-heavy tuples there, so heavy values are excluded from that
+        # attribute's bucket weights.
+        def main_terms(relation, weight):
+            terms = []
+            for attribute in relation.attributes:
+                exclude = heavy if attribute == self.skew_attribute else frozenset()
+                terms.append(weight(relation.name, attribute, self.shares[attribute], exclude))
+            return terms
+
+        if super().num_reducers > _CERTIFICATION_GRID_LIMIT:
+            load = 0.0
+            for relation in self.query.relations:
+                load += min(
+                    main_terms(
+                        relation,
+                        lambda name, a, share, exclude: oracle.max_bucket_weight(
+                            name, a, share, exclude=exclude
+                        ),
+                    )
+                )
+            yield load
+        else:
+            for point in itertools.product(
+                *(range(self.shares[attribute]) for attribute in attributes)
+            ):
+                coordinates = dict(zip(attributes, point))
+                load = 0.0
+                for relation in self.query.relations:
+                    load += min(
+                        main_terms(
+                            relation,
+                            lambda name, a, share, exclude: oracle.bucket_weight(
+                                name, a, share, coordinates[a], exclude=exclude
+                            ),
+                        )
+                    )
+                yield load
+        # Heavy sub-grids: one grid over the remaining attributes per heavy
+        # value.  A relation with the skew attribute contributes at most its
+        # count of tuples carrying that exact value.
+        coarse_sub = self.sub_grid_size > _CERTIFICATION_GRID_LIMIT
+        for value in self._ordered_heavy_values():
+            sub_points: Iterable[Tuple[int, ...]]
+            if coarse_sub:
+                sub_points = [()]
+            else:
+                sub_points = itertools.product(
+                    *(range(self.heavy_shares[a]) for a in self.sub_attributes)
+                )
+            for point in sub_points:
+                coordinates = dict(zip(self.sub_attributes, point))
+                load = 0.0
+                for relation in self.query.relations:
+                    terms = []
+                    if self.skew_attribute in relation.attributes:
+                        terms.append(
+                            oracle.value_weight(
+                                relation.name, self.skew_attribute, value
+                            )
+                        )
+                    for attribute in relation.attributes:
+                        if attribute == self.skew_attribute:
+                            continue
+                        share = self.heavy_shares[attribute]
+                        if coarse_sub:
+                            terms.append(
+                                oracle.max_bucket_weight(
+                                    relation.name, attribute, share
+                                )
+                            )
+                        else:
+                            terms.append(
+                                oracle.bucket_weight(
+                                    relation.name,
+                                    attribute,
+                                    share,
+                                    coordinates[attribute],
+                                )
+                            )
+                    load += min(terms)
+                yield load
 
 
 # ----------------------------------------------------------------------

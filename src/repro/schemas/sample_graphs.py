@@ -18,9 +18,10 @@ of the ``k`` buckets, so the replication rate is ``C(k + s - 3, s - 2)``
 
 from __future__ import annotations
 
+import bisect
 import itertools
 import math
-from typing import Dict, FrozenSet, Iterator, List, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Mapping, Sequence, Tuple
 
 import networkx as nx
 
@@ -48,6 +49,12 @@ class PartitionSampleGraphSchema(SchemaFamily):
         The number of node buckets ``k``.
     hash_nodes:
         Hash-based bucketing (True) or contiguous bucketing (False).
+    boundaries:
+        Optional non-uniform contiguous bucketing: ``k - 1`` non-decreasing
+        interior cut points, bucket ``i`` covering nodes in
+        ``[boundaries[i-1], boundaries[i])``.  Mutually exclusive with
+        ``hash_nodes``; built by :func:`degree_balanced_boundaries` to
+        equalize an instance's endpoint mass per bucket.
     """
 
     def __init__(
@@ -56,6 +63,7 @@ class PartitionSampleGraphSchema(SchemaFamily):
         sample: SampleGraph,
         num_buckets: int,
         hash_nodes: bool = False,
+        boundaries: Sequence[int] | None = None,
     ) -> None:
         if n < sample.num_nodes:
             raise ConfigurationError(
@@ -65,16 +73,39 @@ class PartitionSampleGraphSchema(SchemaFamily):
             raise ConfigurationError(
                 f"num_buckets must be in [1, n={n}], got {num_buckets}"
             )
+        if boundaries is not None:
+            if hash_nodes:
+                raise ConfigurationError(
+                    "boundaries define a contiguous bucketing; they cannot be "
+                    "combined with hash_nodes"
+                )
+            boundaries = tuple(int(cut) for cut in boundaries)
+            if len(boundaries) != num_buckets - 1:
+                raise ConfigurationError(
+                    f"a {num_buckets}-bucket schema needs {num_buckets - 1} "
+                    f"cut points, got {len(boundaries)}"
+                )
+            if any(b < a for a, b in zip(boundaries, boundaries[1:])) or any(
+                cut < 0 or cut > n for cut in boundaries
+            ):
+                raise ConfigurationError(
+                    f"cut points must be non-decreasing within [0, n={n}], "
+                    f"got {boundaries}"
+                )
         self.n = n
         self.sample = sample
         self.num_buckets = num_buckets
         self.hash_nodes = hash_nodes
-        self.name = f"partition-{sample.name}(n={n}, k={num_buckets})"
+        self.boundaries = boundaries
+        suffix = ", balanced" if boundaries is not None else ""
+        self.name = f"partition-{sample.name}(n={n}, k={num_buckets}{suffix})"
 
     # ------------------------------------------------------------------
     # Bucketing and routing
     # ------------------------------------------------------------------
     def bucket_of(self, node: int) -> int:
+        if self.boundaries is not None:
+            return bisect.bisect_right(self.boundaries, node)
         if self.hash_nodes:
             return stable_hash(node) % self.num_buckets
         group_size = math.ceil(self.n / self.num_buckets)
@@ -128,8 +159,19 @@ class PartitionSampleGraphSchema(SchemaFamily):
         return float(math.comb(self.num_buckets + s - 3, s - 2))
 
     def max_reducer_size_formula(self) -> float:
-        """Edges among ``s`` buckets of ``n/k`` nodes each: ``C(s·n/k, 2)``."""
-        nodes = self.sample.num_nodes * self.n / self.num_buckets
+        """Edges among ``s`` buckets of ``n/k`` nodes each: ``C(s·n/k, 2)``.
+
+        With explicit ``boundaries`` the widest bucket replaces ``n/k`` —
+        the full-domain worst case of a non-uniform bucketing; the
+        instance-specific certificate comes from
+        :func:`repro.planner.certify.certify_sample_graph_load` instead.
+        """
+        if self.boundaries is not None:
+            edges = (0,) + self.boundaries + (self.n,)
+            widest = max(b - a for a, b in zip(edges, edges[1:]))
+            nodes = min(self.n, self.sample.num_nodes * widest)
+        else:
+            nodes = self.sample.num_nodes * self.n / self.num_buckets
         return nodes * (nodes - 1) / 2.0
 
     # ------------------------------------------------------------------
@@ -169,6 +211,35 @@ class PartitionSampleGraphSchema(SchemaFamily):
                     yield instance
 
         return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+
+
+def degree_balanced_boundaries(
+    degrees: Mapping[int, int], n: int, num_buckets: int
+) -> Tuple[int, ...]:
+    """Contiguous cut points that equalize endpoint mass across buckets.
+
+    ``degrees`` maps nodes to their endpoint counts (as collected by
+    :func:`repro.stats.profile.profile_graph`); nodes absent from the map
+    weigh nothing.  Returns ``num_buckets - 1`` non-decreasing interior cut
+    points for :class:`PartitionSampleGraphSchema`; trailing buckets may be
+    empty when the mass is concentrated at high node ids.
+    """
+    if num_buckets < 1 or num_buckets > n:
+        raise ConfigurationError(
+            f"num_buckets must be in [1, n={n}], got {num_buckets}"
+        )
+    total = sum(degrees.values())
+    cuts: List[int] = []
+    accumulated = 0
+    for node in range(n):
+        if len(cuts) == num_buckets - 1:
+            break
+        accumulated += degrees.get(node, 0)
+        if accumulated * num_buckets >= total * (len(cuts) + 1):
+            cuts.append(node + 1)
+    while len(cuts) < num_buckets - 1:
+        cuts.append(min((cuts[-1] if cuts else 0) + 1, n))
+    return tuple(cuts)
 
 
 def enumerate_sample_graph_oracle(

@@ -1,0 +1,225 @@
+"""Streaming per-attribute statistics collectors.
+
+Each collector consumes one column of values (one ``add`` per row, so a
+value occurring in many rows is counted with multiplicity) and summarizes a
+different aspect of the distribution:
+
+* :class:`ExactHistogram` — the full value → count map.  Exact everything,
+  memory proportional to the number of distinct values.
+* :class:`ReservoirSample` — a uniform sample of fixed capacity (Vitter's
+  algorithm R), the input to the Hoeffding certificates.
+* :class:`MisraGries` — deterministic heavy-hitter summary with the classic
+  guarantee ``f(v) - N/(k+1) <= counter(v) <= f(v)`` for every value ``v``
+  (``N`` rows seen, ``k`` counters), so ``counter(v) + N/(k+1)`` is a valid
+  worst-case upper bound on any value's frequency.
+* :class:`KMVDistinctEstimator` — k-minimum-values sketch of the distinct
+  count, exact below ``k`` distinct values.
+
+Collectors are mergeable where the summary allows it and deterministic:
+sampling uses a seeded :class:`random.Random` and hashing uses the
+engine-wide :func:`repro.mapreduce.partitioner.stable_hash`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Any, Dict, Hashable, Iterable, List, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.partitioner import stable_hash
+
+#: Normalization constant mapping stable_hash's 64-bit output into [0, 1).
+_HASH_SPACE = float(1 << 64)
+
+
+def _sort_key(item: Tuple[Hashable, int]) -> Tuple[int, str]:
+    """Deterministic ordering for (value, count) pairs: count desc, repr asc."""
+    value, count = item
+    return (-count, repr(value))
+
+
+class ExactHistogram:
+    """Full frequency histogram of a stream of values."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Hashable, int] = {}
+        self.total = 0
+
+    def add(self, value: Hashable, count: int = 1) -> None:
+        if count <= 0:
+            raise ConfigurationError(f"histogram counts must be positive, got {count}")
+        self._counts[value] = self._counts.get(value, 0) + count
+        self.total += count
+
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        for value in values:
+            self.add(value)
+
+    def merge(self, other: "ExactHistogram") -> None:
+        for value, count in other._counts.items():
+            self.add(value, count)
+
+    @property
+    def counts(self) -> Dict[Hashable, int]:
+        return dict(self._counts)
+
+    @property
+    def distinct_count(self) -> int:
+        return len(self._counts)
+
+    @property
+    def max_frequency(self) -> int:
+        return max(self._counts.values(), default=0)
+
+    def frequency(self, value: Hashable) -> int:
+        return self._counts.get(value, 0)
+
+    def top(self, k: int) -> List[Tuple[Hashable, int]]:
+        """The ``k`` most frequent values, ties broken by value repr."""
+        return sorted(self._counts.items(), key=_sort_key)[: max(k, 0)]
+
+
+class ReservoirSample:
+    """Uniform fixed-size sample of a stream (Vitter's algorithm R)."""
+
+    def __init__(self, capacity: int, seed: int = 0) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"reservoir capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.population_size = 0
+        self._rng = random.Random(seed)
+        self._sample: List[Any] = []
+
+    def add(self, value: Any) -> None:
+        self.population_size += 1
+        if len(self._sample) < self.capacity:
+            self._sample.append(value)
+            return
+        slot = self._rng.randrange(self.population_size)
+        if slot < self.capacity:
+            self._sample[slot] = value
+
+    def add_many(self, values: Iterable[Any]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def sample(self) -> Tuple[Any, ...]:
+        return tuple(self._sample)
+
+    @property
+    def sample_size(self) -> int:
+        return len(self._sample)
+
+
+class MisraGries:
+    """Deterministic heavy-hitter summary with ``k`` counters.
+
+    After ``N`` additions, every value ``v`` satisfies
+    ``f(v) - N/(k+1) <= counter(v) <= f(v)`` (``counter(v) = 0`` for
+    untracked values), so :meth:`upper_bound` never underestimates a
+    frequency and :meth:`lower_bound` never overestimates one.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(
+                f"Misra-Gries capacity must be positive, got {capacity}"
+            )
+        self.capacity = capacity
+        self.total = 0
+        self._counters: Dict[Hashable, int] = {}
+
+    def add(self, value: Hashable) -> None:
+        self.total += 1
+        if value in self._counters:
+            self._counters[value] += 1
+        elif len(self._counters) < self.capacity:
+            self._counters[value] = 1
+        else:
+            # Decrement-all step; drop counters that reach zero.
+            exhausted = []
+            for tracked in self._counters:
+                self._counters[tracked] -= 1
+                if self._counters[tracked] == 0:
+                    exhausted.append(tracked)
+            for tracked in exhausted:
+                del self._counters[tracked]
+
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def counters(self) -> Dict[Hashable, int]:
+        return dict(self._counters)
+
+    @property
+    def error_bound(self) -> int:
+        """Largest possible undercount of any tracked frequency: N/(k+1)."""
+        return self.total // (self.capacity + 1)
+
+    def lower_bound(self, value: Hashable) -> int:
+        return self._counters.get(value, 0)
+
+    def upper_bound(self, value: Hashable) -> int:
+        return self._counters.get(value, 0) + self.error_bound
+
+    def heavy_hitters(self, min_count: int) -> List[Tuple[Hashable, int]]:
+        """Values *proven* to occur at least ``min_count`` times.
+
+        Returned as (value, guaranteed lower bound) pairs, most frequent
+        first.  A value with true frequency ``>= min_count + error_bound``
+        is always reported.
+        """
+        found = [
+            (value, count)
+            for value, count in self._counters.items()
+            if count >= min_count
+        ]
+        return sorted(found, key=_sort_key)
+
+
+class KMVDistinctEstimator:
+    """k-minimum-values distinct-count sketch over stable hashes.
+
+    Keeps the ``k`` smallest normalized hash values seen; with fewer than
+    ``k`` distinct values the count is exact, beyond that the estimate is
+    ``(k - 1) / h_(k)`` where ``h_(k)`` is the k-th smallest hash.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 1:
+            raise ConfigurationError(
+                f"KMV capacity must be at least 2, got {capacity}"
+            )
+        self.capacity = capacity
+        self._heap: List[float] = []  # max-heap via negation
+        self._members: set = set()
+
+    def add(self, value: Hashable) -> None:
+        h = stable_hash(value) / _HASH_SPACE
+        if h in self._members:
+            return
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, -h)
+            self._members.add(h)
+        elif h < -self._heap[0]:
+            self._members.discard(-heapq.heappushpop(self._heap, -h))
+            self._members.add(h)
+
+    def add_many(self, values: Iterable[Hashable]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def estimate(self) -> float:
+        if len(self._heap) < self.capacity:
+            return float(len(self._heap))
+        kth = -self._heap[0]
+        if kth <= 0.0:
+            return float(len(self._heap))
+        return (self.capacity - 1) / kth

@@ -1,0 +1,412 @@
+"""Dataset profiles: serializable per-attribute statistics bundles.
+
+A :class:`DatasetProfile` holds one :class:`RelationProfile` per named
+relation; a relation profile holds one :class:`AttributeProfile` per
+column.  Profiles come in two fidelities:
+
+* ``mode="exact"`` — every column keeps its full frequency histogram.  The
+  certifiers in :mod:`repro.planner.certify` then produce *exact* per-bucket
+  load bounds.
+* ``mode="sample"`` — columns keep a seeded reservoir sample plus a
+  Misra–Gries heavy-hitter summary and a KMV distinct estimate.  Certifiers
+  then produce Hoeffding high-probability bounds.
+
+Profiles are plain data: :meth:`DatasetProfile.to_dict` /
+:meth:`DatasetProfile.from_dict` round-trip through JSON-compatible
+structures (attribute values must be ints, strings or tuples of those), so
+a profile collected once on a large dataset can be stored next to it and
+fed back to the planner later.  :meth:`DatasetProfile.fingerprint` gives a
+stable content hash used as a cache key by the profile-aware candidate
+builders.
+
+Besides relations, the two other input families of the paper can be
+profiled through the same shape: :func:`profile_graph` treats an edge list
+as a two-column relation (the per-endpoint histograms *are* the degree
+sequences), and :func:`profile_bitstrings` profiles a bit-string population
+by value and by Hamming weight.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.mapreduce.partitioner import stable_hash
+from repro.stats.collectors import (
+    ExactHistogram,
+    KMVDistinctEstimator,
+    MisraGries,
+    ReservoirSample,
+)
+
+#: Default reservoir capacity for sampled profiles.
+DEFAULT_SAMPLE_SIZE = 256
+#: Default number of Misra–Gries counters for sampled profiles.
+DEFAULT_HEAVY_HITTER_CAPACITY = 16
+
+
+@dataclass(frozen=True)
+class AttributeProfile:
+    """Statistics of one attribute (column) of one relation.
+
+    ``histogram`` is the full value → count map for exact profiles and
+    ``None`` for sampled ones; ``sample`` / ``sample_population`` carry the
+    reservoir for sampled profiles (empty for exact ones, where the
+    histogram subsumes it).  ``heavy_hitters`` maps values to *guaranteed
+    lower bounds* on their frequency and ``heavy_hitter_error`` is the
+    summary's maximum undercount, so ``lower + error`` upper-bounds any
+    tracked value's true frequency deterministically.
+    """
+
+    attribute: str
+    total_count: int
+    distinct_estimate: float
+    histogram: Optional[Mapping[Hashable, int]] = None
+    sample: Tuple[Any, ...] = ()
+    sample_population: int = 0
+    heavy_hitters: Mapping[Hashable, int] = field(default_factory=dict)
+    heavy_hitter_error: int = 0
+
+    @property
+    def exact(self) -> bool:
+        return self.histogram is not None
+
+    @property
+    def max_frequency_bound(self) -> int:
+        """A deterministic upper bound on the most frequent value's count."""
+        if self.histogram is not None:
+            return max(self.histogram.values(), default=0)
+        if self.heavy_hitters:
+            return max(self.heavy_hitters.values()) + self.heavy_hitter_error
+        return self.total_count
+
+    def frequency_upper_bound(self, value: Hashable) -> int:
+        """A deterministic upper bound on one value's frequency."""
+        if self.histogram is not None:
+            return self.histogram.get(value, 0)
+        return self.heavy_hitters.get(value, 0) + self.heavy_hitter_error
+
+    def top_values(self, k: int) -> List[Tuple[Hashable, int]]:
+        """Most frequent values with guaranteed *lower-bound* counts."""
+        if self.histogram is not None:
+            ranked = sorted(
+                self.histogram.items(), key=lambda item: (-item[1], repr(item[0]))
+            )
+        else:
+            ranked = sorted(
+                self.heavy_hitters.items(),
+                key=lambda item: (-item[1], repr(item[0])),
+            )
+        return ranked[: max(k, 0)]
+
+
+@dataclass(frozen=True)
+class RelationProfile:
+    """Statistics of one relation: row count plus per-attribute profiles."""
+
+    name: str
+    total_rows: int
+    attributes: Mapping[str, AttributeProfile]
+
+    @property
+    def exact(self) -> bool:
+        return all(profile.exact for profile in self.attributes.values())
+
+    def attribute(self, name: str) -> AttributeProfile:
+        try:
+            return self.attributes[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"profile of relation {self.name!r} has no attribute {name!r} "
+                f"(profiled: {sorted(self.attributes)})"
+            ) from None
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """A named bundle of relation profiles — the planner's statistics input."""
+
+    relations: Mapping[str, RelationProfile]
+
+    @property
+    def exact(self) -> bool:
+        return all(profile.exact for profile in self.relations.values())
+
+    def relation(self, name: str) -> RelationProfile:
+        try:
+            return self.relations[name]
+        except KeyError:
+            raise ConfigurationError(
+                f"dataset profile has no relation {name!r} "
+                f"(profiled: {sorted(self.relations)})"
+            ) from None
+
+    def covers(self, relation_names: Sequence[str]) -> bool:
+        return all(name in self.relations for name in relation_names)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "relations": {
+                name: _relation_to_dict(profile)
+                for name, profile in sorted(self.relations.items())
+            }
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DatasetProfile":
+        relations = {
+            name: _relation_from_dict(name, payload)
+            for name, payload in data.get("relations", {}).items()
+        }
+        return cls(relations=relations)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "DatasetProfile":
+        return cls.from_dict(json.loads(text))
+
+    def fingerprint(self) -> int:
+        """Stable content hash, usable as part of schema-cache keys.
+
+        Memoized on first use: the profile is frozen, and profile-aware
+        builders fingerprint once per ``plan`` call, so a budget sweep over
+        a large exact profile must not re-serialize every histogram per
+        budget point.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = stable_hash(self.to_json())
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+
+# ----------------------------------------------------------------------
+# Value encoding: ints, strings and tuples of those survive JSON.
+# ----------------------------------------------------------------------
+def _encode_value(value: Hashable) -> Any:
+    if isinstance(value, bool) or value is None:
+        raise ConfigurationError(
+            f"profile values must be ints, strings or tuples of those, got {value!r}"
+        )
+    if isinstance(value, (int, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"t": [_encode_value(item) for item in value]}
+    raise ConfigurationError(
+        f"profile values must be ints, strings or tuples of those, got {value!r}"
+    )
+
+
+def _decode_value(value: Any) -> Hashable:
+    if isinstance(value, dict):
+        return tuple(_decode_value(item) for item in value["t"])
+    return value
+
+
+def _encode_counts(counts: Mapping[Hashable, int]) -> List[List[Any]]:
+    pairs = sorted(counts.items(), key=lambda item: (-item[1], repr(item[0])))
+    return [[_encode_value(value), count] for value, count in pairs]
+
+
+def _decode_counts(pairs: Sequence[Sequence[Any]]) -> Dict[Hashable, int]:
+    return {_decode_value(value): count for value, count in pairs}
+
+
+def _attribute_to_dict(profile: AttributeProfile) -> Dict[str, Any]:
+    return {
+        "total_count": profile.total_count,
+        "distinct_estimate": profile.distinct_estimate,
+        "histogram": (
+            None if profile.histogram is None else _encode_counts(profile.histogram)
+        ),
+        "sample": [_encode_value(value) for value in profile.sample],
+        "sample_population": profile.sample_population,
+        "heavy_hitters": _encode_counts(profile.heavy_hitters),
+        "heavy_hitter_error": profile.heavy_hitter_error,
+    }
+
+
+def _attribute_from_dict(name: str, data: Mapping[str, Any]) -> AttributeProfile:
+    histogram = data.get("histogram")
+    return AttributeProfile(
+        attribute=name,
+        total_count=data["total_count"],
+        distinct_estimate=data["distinct_estimate"],
+        histogram=None if histogram is None else _decode_counts(histogram),
+        sample=tuple(_decode_value(value) for value in data.get("sample", ())),
+        sample_population=data.get("sample_population", 0),
+        heavy_hitters=_decode_counts(data.get("heavy_hitters", ())),
+        heavy_hitter_error=data.get("heavy_hitter_error", 0),
+    )
+
+
+def _relation_to_dict(profile: RelationProfile) -> Dict[str, Any]:
+    return {
+        "total_rows": profile.total_rows,
+        "attributes": {
+            name: _attribute_to_dict(attr)
+            for name, attr in sorted(profile.attributes.items())
+        },
+    }
+
+
+def _relation_from_dict(name: str, data: Mapping[str, Any]) -> RelationProfile:
+    return RelationProfile(
+        name=name,
+        total_rows=data["total_rows"],
+        attributes={
+            attr_name: _attribute_from_dict(attr_name, payload)
+            for attr_name, payload in data.get("attributes", {}).items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Collection
+# ----------------------------------------------------------------------
+def _profile_column(
+    attribute: str,
+    values: Sequence[Hashable],
+    mode: str,
+    sample_size: int,
+    heavy_hitter_capacity: int,
+    seed: int,
+) -> AttributeProfile:
+    if mode == "exact":
+        histogram = ExactHistogram()
+        histogram.add_many(values)
+        top = histogram.top(heavy_hitter_capacity)
+        return AttributeProfile(
+            attribute=attribute,
+            total_count=histogram.total,
+            distinct_estimate=float(histogram.distinct_count),
+            histogram=histogram.counts,
+            heavy_hitters=dict(top),
+            heavy_hitter_error=0,
+        )
+    if mode == "sample":
+        reservoir = ReservoirSample(sample_size, seed=seed)
+        summary = MisraGries(heavy_hitter_capacity)
+        distinct = KMVDistinctEstimator()
+        for value in values:
+            reservoir.add(value)
+            summary.add(value)
+            distinct.add(value)
+        return AttributeProfile(
+            attribute=attribute,
+            total_count=len(values),
+            distinct_estimate=distinct.estimate,
+            histogram=None,
+            sample=reservoir.sample,
+            sample_population=reservoir.population_size,
+            heavy_hitters=summary.counters,
+            heavy_hitter_error=summary.error_bound,
+        )
+    raise ConfigurationError(f"unknown profiling mode {mode!r}; use 'exact' or 'sample'")
+
+
+def profile_relation(
+    relation: "RelationInstance",
+    mode: str = "exact",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    heavy_hitter_capacity: int = DEFAULT_HEAVY_HITTER_CAPACITY,
+    seed: int = 0,
+) -> RelationProfile:
+    """Profile every attribute of one relation instance."""
+    attributes: Dict[str, AttributeProfile] = {}
+    for index, attribute in enumerate(relation.attributes):
+        column = [row[index] for row in relation.tuples]
+        attributes[attribute] = _profile_column(
+            attribute,
+            column,
+            mode,
+            sample_size,
+            heavy_hitter_capacity,
+            seed=seed + index,
+        )
+    return RelationProfile(
+        name=relation.name,
+        total_rows=relation.size,
+        attributes=attributes,
+    )
+
+
+def profile_relations(
+    relations: Sequence["RelationInstance"],
+    mode: str = "exact",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    heavy_hitter_capacity: int = DEFAULT_HEAVY_HITTER_CAPACITY,
+    seed: int = 0,
+) -> DatasetProfile:
+    """Profile a set of relation instances into one dataset profile."""
+    profiles: Dict[str, RelationProfile] = {}
+    for offset, relation in enumerate(relations):
+        profiles[relation.name] = profile_relation(
+            relation,
+            mode=mode,
+            sample_size=sample_size,
+            heavy_hitter_capacity=heavy_hitter_capacity,
+            seed=seed + 1000 * offset,
+        )
+    return DatasetProfile(relations=profiles)
+
+
+def profile_graph(
+    edges: Sequence[Tuple[int, int]],
+    name: str = "E",
+    mode: str = "exact",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    heavy_hitter_capacity: int = DEFAULT_HEAVY_HITTER_CAPACITY,
+    seed: int = 0,
+) -> DatasetProfile:
+    """Profile an undirected edge list as a two-column relation ``(u, v)``.
+
+    With edges normalized as ``u < v``, a node's degree is its count in the
+    ``u`` column plus its count in the ``v`` column — so an exact graph
+    profile carries the full degree sequence, which is what the
+    degree-balanced sample-graph bucketings certify against.
+    """
+    from repro.datagen.relations import RelationInstance
+
+    instance = RelationInstance(
+        name=name, attributes=("u", "v"), tuples=tuple(tuple(edge) for edge in edges)
+    )
+    return profile_relations(
+        [instance],
+        mode=mode,
+        sample_size=sample_size,
+        heavy_hitter_capacity=heavy_hitter_capacity,
+        seed=seed,
+    )
+
+
+def profile_bitstrings(
+    strings: Sequence[int],
+    b: int,
+    name: str = "bitstrings",
+    mode: str = "exact",
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    heavy_hitter_capacity: int = DEFAULT_HEAVY_HITTER_CAPACITY,
+    seed: int = 0,
+) -> DatasetProfile:
+    """Profile a bit-string population by value and by Hamming weight."""
+    if b <= 0:
+        raise ConfigurationError(f"bit width must be positive, got {b}")
+    from repro.datagen.relations import RelationInstance
+
+    rows = tuple((word, bin(word).count("1")) for word in strings)
+    instance = RelationInstance(name=name, attributes=("value", "weight"), tuples=rows)
+    return profile_relations(
+        [instance],
+        mode=mode,
+        sample_size=sample_size,
+        heavy_hitter_capacity=heavy_hitter_capacity,
+        seed=seed,
+    )

@@ -1,0 +1,211 @@
+"""Warm-pool executor: pool reuse across runs, job shipping, fallback.
+
+The PR-2 ROADMAP note left one gap in the parallel backend: every ``run``
+forked a fresh pool.  The warm path closes it by serializing jobs (closures
+included) per task, so one pool serves many runs — including runs of
+*different* jobs, which is exactly where a stale fork-inherited job would
+corrupt results.  These tests pin: serializer round trips, pool identity
+across runs and across job changes (with serial-identical results), the
+explicit/contextual close API, pool resizing, and the silent fallback for
+jobs the serializer cannot ship.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.datagen import gnm_random_graph
+from repro.mapreduce import (
+    ClusterConfig,
+    MapReduceEngine,
+    MapReduceJob,
+    ParallelExecutor,
+)
+from repro.mapreduce.serialization import (
+    JobSerializationError,
+    pack_job,
+    unpack_job,
+)
+from repro.schemas import PartitionTriangleSchema, SplittingSchema
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="ParallelExecutor requires the fork start method",
+)
+
+
+class TestJobSerialization:
+    def test_closure_job_round_trips(self):
+        family = PartitionTriangleSchema(16, 4)
+        job = family.job()
+        restored = unpack_job(pack_job(job))
+        edges = gnm_random_graph(16, 30, seed=2)
+        engine = MapReduceEngine()
+        original = engine.run(job, edges)
+        rebuilt = engine.run(restored, edges)
+        assert rebuilt.outputs == original.outputs
+        assert rebuilt.metrics == original.metrics
+
+    def test_combiner_defaults_and_capacity_survive(self):
+        scale = 3
+
+        def mapper(x, factor=scale):
+            return [(x % 5, x * factor)]
+
+        job = MapReduceJob(
+            mapper=mapper,
+            reducer=lambda k, v: [(k, sum(v))],
+            combiner=lambda k, v: [(k, sum(v))],
+            name="packed",
+            reducer_capacity=100,
+        )
+        restored = unpack_job(pack_job(job))
+        assert restored.name == "packed"
+        assert restored.reducer_capacity == 100
+        assert restored.combiner is not None
+        assert list(restored.mapper(7)) == [(2, 21)]
+
+    def test_unserializable_closure_raises(self):
+        lock = threading.Lock()
+
+        def mapper(x):
+            with lock:
+                return [(x, x)]
+
+        job = MapReduceJob(mapper=mapper, reducer=lambda k, v: [k])
+        with pytest.raises(JobSerializationError):
+            pack_job(job)
+
+
+class TestWarmPool:
+    def test_pool_survives_runs_and_job_changes(self):
+        executor = ParallelExecutor(num_workers=2)
+        engine = MapReduceEngine(executor=executor)
+        serial = MapReduceEngine()
+        try:
+            triangle_job = PartitionTriangleSchema(16, 4).job()
+            edges = gnm_random_graph(16, 30, seed=5)
+            first = engine.run(triangle_job, edges)
+            assert executor.pool_is_warm
+            pool = executor._pool
+            # Different job on the SAME pool: the stale-job regression case.
+            hamming_job = SplittingSchema(6, 2).job()
+            words = list(range(64))
+            second = engine.run(hamming_job, words)
+            assert executor._pool is pool
+            assert first.outputs == serial.run(triangle_job, edges).outputs
+            reference = serial.run(hamming_job, words)
+            assert second.outputs == reference.outputs
+            assert second.metrics == reference.metrics
+        finally:
+            engine.close()
+
+    def test_run_chain_reuses_one_pool(self):
+        import numpy as np
+
+        from repro.datagen.matrices import (
+            multiplication_records,
+            random_matrix,
+            records_to_matrix,
+        )
+        from repro.schemas.matmul_two_phase import TwoPhaseMatMulAlgorithm
+
+        n = 6
+        algorithm = TwoPhaseMatMulAlgorithm(n, 2, 2)
+        left, right = random_matrix(n, seed=1), random_matrix(n, seed=2)
+        records = multiplication_records(left, right)
+        executor = ParallelExecutor(num_workers=2)
+        with MapReduceEngine(executor=executor) as engine:
+            result = engine.run_chain(algorithm.chain(), records)
+            pool = executor._pool
+            assert pool is not None
+            again = engine.run_chain(algorithm.chain(), records)
+            assert executor._pool is pool
+            assert np.allclose(records_to_matrix(again.outputs, n, n), left @ right)
+            assert again.outputs == result.outputs
+        assert not executor.pool_is_warm  # context exit closed the engine
+
+    def test_close_and_reuse(self):
+        executor = ParallelExecutor(num_workers=2)
+        engine = MapReduceEngine(executor=executor)
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
+        )
+        engine.run(job, range(50))
+        assert executor.pool_is_warm
+        executor.close()
+        assert not executor.pool_is_warm
+        # The executor stays usable: the next run forks a fresh pool.
+        result = engine.run(job, range(50))
+        assert executor.pool_is_warm
+        assert result.outputs == MapReduceEngine().run(job, range(50)).outputs
+        executor.close()
+
+    def test_pool_resizes_when_worker_count_changes(self):
+        executor = ParallelExecutor()  # size follows the cluster config
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
+        )
+        try:
+            engine_two = MapReduceEngine(
+                ClusterConfig(num_workers=2), executor=executor
+            )
+            engine_three = MapReduceEngine(
+                ClusterConfig(num_workers=3), executor=executor
+            )
+            engine_two.run(job, range(40))
+            pool = executor._pool
+            assert executor._pool_workers == 2
+            engine_three.run(job, range(40))
+            assert executor._pool_workers == 3
+            assert executor._pool is not pool
+        finally:
+            executor.close()
+
+    def test_executor_context_manager(self):
+        with ParallelExecutor(num_workers=2) as executor:
+            engine = MapReduceEngine(executor=executor)
+            job = MapReduceJob(
+                mapper=lambda x: [(x % 2, x)], reducer=lambda k, v: [(k, len(v))]
+            )
+            engine.run(job, range(20))
+            assert executor.pool_is_warm
+        assert not executor.pool_is_warm
+
+    def test_serial_engine_close_is_noop(self):
+        engine = MapReduceEngine()
+        engine.close()  # must not raise
+
+
+class TestFallbackPath:
+    def test_unserializable_job_still_executes(self):
+        lock = threading.Lock()
+
+        def mapper(x):
+            with lock:
+                return [(x % 3, x)]
+
+        job = MapReduceJob(mapper=mapper, reducer=lambda k, v: [(k, len(v))])
+        executor = ParallelExecutor(num_workers=2)
+        try:
+            result = MapReduceEngine(executor=executor).run(job, range(60))
+            # Fallback forks a run-scoped pool; no warm pool is retained.
+            assert not executor.pool_is_warm
+            plain = MapReduceJob(
+                mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
+            )
+            assert result.outputs == MapReduceEngine().run(plain, range(60)).outputs
+        finally:
+            executor.close()
+
+    def test_keep_warm_false_restores_per_run_pools(self):
+        executor = ParallelExecutor(num_workers=2, keep_warm=False)
+        job = MapReduceJob(
+            mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
+        )
+        result = MapReduceEngine(executor=executor).run(job, range(60))
+        assert not executor.pool_is_warm
+        assert result.outputs == MapReduceEngine().run(job, range(60)).outputs

@@ -1,0 +1,195 @@
+"""Property tests for the statistics subsystem (repro.stats).
+
+The collectors back the planner's certification path, so their guarantees
+are checked as *properties* over random streams: the exact histogram must
+agree with a reference counter, the Misra–Gries summary must honour its
+classic frequency sandwich, the reservoir must stay a uniform-capacity
+subset, and profiles must survive JSON round trips unchanged (the planner
+caches by profile fingerprint, so serialization is part of the contract).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.datagen import node_degrees, skewed_graph, zipf_relation
+from repro.datagen.relations import skewed_chain_join_instance
+from repro.exceptions import ConfigurationError
+from repro.stats import (
+    DatasetProfile,
+    ExactHistogram,
+    KMVDistinctEstimator,
+    MisraGries,
+    ReservoirSample,
+    profile_bitstrings,
+    profile_graph,
+    profile_relations,
+)
+
+streams = st.lists(st.integers(min_value=0, max_value=30), max_size=400)
+
+
+class TestExactHistogram:
+    @given(values=streams)
+    def test_matches_reference_counter(self, values):
+        histogram = ExactHistogram()
+        histogram.add_many(values)
+        reference = Counter(values)
+        assert histogram.counts == dict(reference)
+        assert histogram.total == len(values)
+        assert histogram.distinct_count == len(reference)
+        assert histogram.max_frequency == (max(reference.values()) if values else 0)
+
+    @given(left=streams, right=streams)
+    def test_merge_is_concatenation(self, left, right):
+        merged = ExactHistogram()
+        merged.add_many(left)
+        other = ExactHistogram()
+        other.add_many(right)
+        merged.merge(other)
+        assert merged.counts == dict(Counter(left) + Counter(right))
+
+    def test_top_is_sorted_and_rejects_bad_counts(self):
+        histogram = ExactHistogram()
+        histogram.add_many([1, 1, 1, 2, 2, 3])
+        assert histogram.top(2) == [(1, 3), (2, 2)]
+        with pytest.raises(ConfigurationError):
+            histogram.add(5, count=0)
+
+
+class TestReservoirSample:
+    @given(values=streams, capacity=st.integers(min_value=1, max_value=50))
+    def test_size_and_membership(self, values, capacity):
+        reservoir = ReservoirSample(capacity, seed=3)
+        reservoir.add_many(values)
+        assert reservoir.population_size == len(values)
+        assert reservoir.sample_size == min(capacity, len(values))
+        population = Counter(values)
+        sampled = Counter(reservoir.sample)
+        assert all(sampled[item] <= population[item] for item in sampled)
+
+    @given(values=streams)
+    def test_seeded_determinism(self, values):
+        first = ReservoirSample(8, seed=11)
+        second = ReservoirSample(8, seed=11)
+        first.add_many(values)
+        second.add_many(values)
+        assert first.sample == second.sample
+
+
+class TestMisraGries:
+    @given(values=streams, capacity=st.integers(min_value=1, max_value=12))
+    def test_frequency_sandwich(self, values, capacity):
+        """For every value: f - N/(k+1) <= counter <= f, hence the bounds."""
+        summary = MisraGries(capacity)
+        summary.add_many(values)
+        reference = Counter(values)
+        error = summary.error_bound
+        assert error <= len(values) // (capacity + 1)
+        for value in set(values) | set(summary.counters):
+            true_count = reference[value]
+            assert summary.lower_bound(value) <= true_count
+            assert true_count - error <= summary.lower_bound(value)
+            assert summary.upper_bound(value) >= true_count
+
+    @given(values=streams)
+    def test_heavy_hitters_are_proven(self, values):
+        summary = MisraGries(8)
+        summary.add_many(values)
+        reference = Counter(values)
+        for value, lower in summary.heavy_hitters(min_count=3):
+            assert reference[value] >= lower >= 3
+
+
+class TestKMVDistinctEstimator:
+    @given(values=streams)
+    def test_exact_below_capacity(self, values):
+        estimator = KMVDistinctEstimator(capacity=64)
+        estimator.add_many(values)
+        assert estimator.estimate == len(set(values))
+
+    def test_reasonable_beyond_capacity(self):
+        estimator = KMVDistinctEstimator(capacity=128)
+        estimator.add_many(range(5000))
+        assert 0.7 * 5000 <= estimator.estimate <= 1.3 * 5000
+
+
+class TestProfiles:
+    def test_json_round_trip_exact_and_sampled(self):
+        relations = skewed_chain_join_instance(3, 80, 24, skew=1.2, seed=5)
+        for mode in ("exact", "sample"):
+            profile = profile_relations(relations, mode=mode, sample_size=32)
+            restored = DatasetProfile.from_json(profile.to_json())
+            assert restored == profile
+            assert restored.fingerprint() == profile.fingerprint()
+            assert restored.exact == (mode == "exact")
+
+    def test_fingerprint_distinguishes_instances(self):
+        first = profile_relations(
+            skewed_chain_join_instance(3, 80, 24, skew=1.2, seed=5)
+        )
+        second = profile_relations(
+            skewed_chain_join_instance(3, 80, 24, skew=1.2, seed=6)
+        )
+        assert first.fingerprint() != second.fingerprint()
+
+    def test_graph_profile_carries_degree_sequence(self):
+        edges = skewed_graph(30, 90, seed=4)
+        profile = profile_graph(edges)
+        relation = profile.relation("E")
+        degrees = node_degrees(edges)
+        for node, degree in degrees.items():
+            recorded = relation.attribute("u").histogram.get(node, 0) + relation.attribute(
+                "v"
+            ).histogram.get(node, 0)
+            assert recorded == degree
+
+    def test_bitstring_profile_weights(self):
+        words = [0b0011, 0b0111, 0b0001, 0b1111]
+        profile = profile_bitstrings(words, b=4)
+        weights = profile.relation("bitstrings").attribute("weight").histogram
+        assert weights == {2: 1, 3: 1, 1: 1, 4: 1}
+
+    def test_unknown_lookups_raise(self):
+        profile = profile_graph(skewed_graph(10, 15, seed=1))
+        with pytest.raises(ConfigurationError):
+            profile.relation("missing")
+        with pytest.raises(ConfigurationError):
+            profile.relation("E").attribute("w")
+
+
+class TestZipfGenerator:
+    def test_seeded_and_distinct(self):
+        first = zipf_relation("R", ("A", "B"), 150, 40, skew=1.2, seed=9)
+        second = zipf_relation("R", ("A", "B"), 150, 40, skew=1.2, seed=9)
+        assert first == second
+        assert len(set(first.tuples)) == len(first.tuples)
+
+    def test_skew_concentrates_the_named_attribute(self):
+        uniform = zipf_relation(
+            "R", ("A", "B"), 200, 50, skew=0.0, skewed_attribute="B", seed=2
+        )
+        skewed = zipf_relation(
+            "R", ("A", "B"), 200, 50, skew=1.5, skewed_attribute="B", seed=2
+        )
+        top_uniform = max(Counter(uniform.project("B")).values())
+        top_skewed = max(Counter(skewed.project("B")).values())
+        assert top_skewed > 2 * top_uniform
+
+    def test_skewed_chain_instance_shapes(self):
+        relations = skewed_chain_join_instance(3, 120, 30, skew=1.2, seed=3)
+        assert [r.name for r in relations] == ["R1", "R2", "R3"]
+        # A1 is shared by R1 and R2; both columns must show the heavy value.
+        for relation in relations[:2]:
+            counts = Counter(relation.project("A1"))
+            assert max(counts.values()) > 3 * (len(relation.tuples) / 30)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            zipf_relation("R", ("A",), 10, 5, skew=-1.0)
+        with pytest.raises(ConfigurationError):
+            zipf_relation("R", ("A",), 10, 5, skewed_attribute="Z")
