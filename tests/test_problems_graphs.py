@@ -128,6 +128,27 @@ class TestSampleGraph:
         assert graph.edges == ((0, 1), (1, 2))
         assert graph.num_nodes == 3
 
+    def test_automorphism_counts(self):
+        assert SampleGraph.triangle().automorphism_count() == 6  # S_3
+        assert SampleGraph.cycle(4).automorphism_count() == 8  # dihedral D_4
+        assert SampleGraph.clique(4).automorphism_count() == 24  # S_4
+        assert SampleGraph.path(2).automorphism_count() == 2  # flip
+
+    def test_num_outputs_closed_form_matches_enumeration(self):
+        """|O| = n!/(n-s)!/|Aut(S)| — the planner reads |O| per plan call,
+        so it must not fall back to the Θ(n^s) enumeration default."""
+        shapes = [
+            SampleGraph.triangle(),
+            SampleGraph.cycle(4),
+            SampleGraph.clique(4),
+            SampleGraph.path(2),
+            SampleGraph([(0, 1), (1, 2), (1, 3)], name="star-3"),
+        ]
+        for sample in shapes:
+            for n in (sample.num_nodes, sample.num_nodes + 2, 8):
+                problem = SampleGraphProblem(n, sample)
+                assert problem.num_outputs == sum(1 for _ in problem.outputs())
+
 
 class TestSampleGraphProblem:
     def test_rejects_too_small_domain(self):
