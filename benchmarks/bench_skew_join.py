@@ -5,7 +5,8 @@ the vanilla Shares grid is fine and the profiled planner simply *proves* it
 (exact certificate ≥ observed max reducer load); on a Zipf(1.2) chain join
 the vanilla winner's expected-size certificate is a fiction — the observed
 maximum blows through it — while the profile-aware planner rejects those
-candidates and selects a skew-resistant grid whose certificate holds, at a
+candidates and selects a profile-found plan (a share vector chosen by the
+PR-4 optimizer, or a skew-resistant grid) whose certificate holds, at a
 comparable replication cost.
 
 Rows report, per dataset and plan: the certificate kind (expected / exact),
@@ -125,10 +126,14 @@ def test_skew_join_certification(benchmark, table_printer):
     # load — the "certified" q was a fiction...
     assert zipf["vanilla_observed"] > zipf["vanilla_expected"]
     assert zipf["vanilla_observed"] > BUDGET
-    # ...while the profile-aware planner selects a skew-resistant plan whose
-    # exact certificate bounds what actually happened, within the budget.
-    assert isinstance(zipf["profiled_plan"].family, SkewAwareSharesSchema)
-    assert zipf["profiled_plan"].certification.bound <= BUDGET
-    assert zipf["profiled_observed"] <= zipf["profiled_plan"].certification.bound
-    # Isolating the heavy hitters really flattens the load.
+    # ...while the profile-aware planner selects a profile-found plan — an
+    # optimizer-chosen share vector or a skew-resistant grid (since PR 4
+    # the optimizer usually finds a vanilla vector that certifies under
+    # the budget where every fixed-grid vector blows it) — whose exact
+    # certificate bounds what actually happened, within the budget.
+    profiled = zipf["profiled_plan"]
+    assert profiled.name.startswith(("opt-shares", "skew-shares"))
+    assert profiled.certification.bound <= BUDGET
+    assert zipf["profiled_observed"] <= profiled.certification.bound
+    # The profile-found plan really flattens the load.
     assert zipf["profiled_observed"] < zipf["vanilla_observed"]

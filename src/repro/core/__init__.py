@@ -6,7 +6,7 @@ with their two constraints, the replication rate, the generic lower-bound
 recipe of Section 2.4, and the Section 1.2 cluster cost model.
 """
 
-from repro.core.cost import ClusterCostModel, CostBreakdown
+from repro.core.cost import ClusterCostModel, CostBreakdown, LoadSummary
 from repro.core.mapping_schema import (
     MappingSchema,
     SchemaFamily,
@@ -28,6 +28,7 @@ __all__ = [
     "CostBreakdown",
     "ExplicitProblem",
     "InputId",
+    "LoadSummary",
     "LowerBoundRecipe",
     "LowerBoundResult",
     "MappingSchema",

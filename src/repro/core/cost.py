@@ -27,14 +27,86 @@ from repro.exceptions import ConfigurationError
 
 
 @dataclass(frozen=True)
+class LoadSummary:
+    """Certified per-reducer load information for one candidate schema.
+
+    ``max_load`` is a certified upper bound on the fullest reducer;
+    ``loads`` is the full per-reducer bound profile when the certifier
+    could enumerate it (exact histograms over an enumerable grid), ``None``
+    when only the maximum is certified.  The planner's certification layer
+    produces these; the cost model consumes them to price the ``b·q`` term
+    from what reducers will actually hold instead of the worst case.
+    """
+
+    max_load: float
+    loads: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_load < 0:
+            raise ConfigurationError(
+                f"certified max load must be non-negative, got {self.max_load}"
+            )
+        if self.loads is not None:
+            for load in self.loads:
+                if not (0 <= load <= self.max_load):
+                    # effective_load()'s "never above the max" guarantee —
+                    # and cost_at's pricing invariants — rest on this.
+                    raise ConfigurationError(
+                        f"per-reducer load {load} outside [0, max_load="
+                        f"{self.max_load}]"
+                    )
+
+    @property
+    def has_profile(self) -> bool:
+        """Whether a full per-reducer load profile is available."""
+        return self.loads is not None and len(self.loads) > 0
+
+    @property
+    def total_load(self) -> float:
+        if not self.has_profile:
+            return self.max_load
+        return float(sum(self.loads))
+
+    def effective_load(self) -> float:
+        """The record-weighted mean reducer load ``Σ l² / Σ l``.
+
+        The size of the reducer a uniformly random shuffled record lands
+        in: equals the common size under perfect balance and is at most
+        ``max_load``, so pricing processor work by it is never more
+        pessimistic than pricing by the maximum.  Falls back to
+        ``max_load`` when no per-reducer profile exists.
+        """
+        if not self.has_profile:
+            return self.max_load
+        total = self.total_load
+        if total <= 0:
+            return 0.0
+        return float(sum(load * load for load in self.loads)) / total
+
+
+#: How a :class:`CostBreakdown`'s ``b·q`` term was priced.
+PRICING_BOUND = "bound"
+PRICING_CERTIFIED_MAX = "certified-max"
+PRICING_CERTIFIED_LOAD = "certified-load"
+
+
+@dataclass(frozen=True)
 class CostBreakdown:
-    """Cost of running the job with a particular reducer size ``q``."""
+    """Cost of running the job with a particular reducer size ``q``.
+
+    ``pricing`` records what backed the processing term: ``"bound"`` (the
+    candidate's scalar reducer-size bound — the paper's accounting),
+    ``"certified-max"`` (a certified maximum load from a dataset profile)
+    or ``"certified-load"`` (a certified per-reducer load profile; the
+    processing term then uses the record-weighted mean load).
+    """
 
     q: float
     replication_rate: float
     communication_cost: float
     processing_cost: float
     wall_clock_cost: float
+    pricing: str = PRICING_BOUND
 
     @property
     def total(self) -> float:
@@ -79,15 +151,42 @@ class ClusterCostModel:
     # ------------------------------------------------------------------
     # Evaluation
     # ------------------------------------------------------------------
-    def cost_at(self, q: float, replication: Callable[[float], float]) -> CostBreakdown:
-        """Evaluate the full cost expression at reducer size ``q``."""
+    def cost_at(
+        self,
+        q: float,
+        replication: Callable[[float], float],
+        load: Optional[LoadSummary] = None,
+    ) -> CostBreakdown:
+        """Evaluate the full cost expression at reducer size ``q``.
+
+        When a certified :class:`LoadSummary` is supplied, the ``b``-term
+        prices the certified load instead of the scalar bound ``q``: the
+        certified maximum when only that is known, or the record-weighted
+        mean reducer load (``Σ l² / Σ l``, never above the maximum) when
+        the certifier enumerated the full per-reducer profile.  The
+        wall-clock term ``c·t(·)`` always tracks the slowest reducer, so it
+        uses the certified maximum.  The resulting :class:`CostBreakdown`
+        records which pricing applied.
+        """
         if q <= 0:
             raise ConfigurationError(f"q must be positive, got {q}")
         rate = float(replication(q))
         communication = self.communication_rate * rate
-        processing = self.processing_rate * q
+        if load is None:
+            pricing = PRICING_BOUND
+            processing_size = float(q)
+            slowest = float(q)
+        elif load.has_profile:
+            pricing = PRICING_CERTIFIED_LOAD
+            processing_size = load.effective_load()
+            slowest = load.max_load
+        else:
+            pricing = PRICING_CERTIFIED_MAX
+            processing_size = load.max_load
+            slowest = load.max_load
+        processing = self.processing_rate * processing_size
         wall_clock = (
-            self.wall_clock_rate * float(self.reducer_time(q))
+            self.wall_clock_rate * float(self.reducer_time(slowest))
             if self.wall_clock_rate
             else 0.0
         )
@@ -97,6 +196,7 @@ class ClusterCostModel:
             communication_cost=communication,
             processing_cost=processing,
             wall_clock_cost=wall_clock,
+            pricing=pricing,
         )
 
     def total_cost(self, q: float, replication: Callable[[float], float]) -> float:

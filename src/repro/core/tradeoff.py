@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.core.cost import ClusterCostModel, CostBreakdown
+from repro.core.cost import ClusterCostModel, CostBreakdown, LoadSummary
 from repro.core.recipe import LowerBoundRecipe
 from repro.exceptions import ConfigurationError
 
@@ -33,11 +33,17 @@ class AlgorithmPoint:
         Maximum reducer input size the algorithm uses.
     replication_rate:
         The replication rate it achieves.
+    load:
+        Optional certified per-reducer load summary for the point (from
+        :func:`repro.planner.certify.certify_max_reducer_load`); when
+        present, cost optimization prices the ``b``-term from it instead
+        of the scalar ``q``.
     """
 
     name: str
     q: float
     replication_rate: float
+    load: Optional[LoadSummary] = None
 
 
 @dataclass(frozen=True)
@@ -165,7 +171,12 @@ class TradeoffCurve:
     def optimize_cost_over_algorithms(
         self, cost_model: ClusterCostModel
     ) -> Tuple[AlgorithmPoint, CostBreakdown]:
-        """Pick the registered algorithm minimizing the cluster cost."""
+        """Pick the registered algorithm minimizing the cluster cost.
+
+        Points carrying a certified :class:`~repro.core.cost.LoadSummary`
+        are priced from it (certified max, or the per-reducer profile when
+        one was enumerated); bare points keep the scalar ``b·q`` pricing.
+        """
         if not self._points:
             raise ConfigurationError(
                 "no algorithms registered on this tradeoff curve"
@@ -173,7 +184,9 @@ class TradeoffCurve:
         best_point: Optional[AlgorithmPoint] = None
         best_cost: Optional[CostBreakdown] = None
         for point in self._points:
-            breakdown = cost_model.cost_at(point.q, lambda _q: point.replication_rate)
+            breakdown = cost_model.cost_at(
+                point.q, lambda _q: point.replication_rate, load=point.load
+            )
             if best_cost is None or breakdown.total < best_cost.total:
                 best_point, best_cost = point, breakdown
         assert best_point is not None and best_cost is not None

@@ -13,6 +13,7 @@ from repro.mapreduce.executor import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    WarmPoolFallbackWarning,
     default_parallel_workers,
     resolve_executor,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "SerialExecutor",
     "ShuffleBackend",
     "ShuffleStats",
+    "WarmPoolFallbackWarning",
     "WorkerStats",
     "collecting_reducer",
     "default_parallel_workers",

@@ -53,6 +53,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import warnings
 from abc import ABC, abstractmethod
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
@@ -193,6 +194,20 @@ class ExecutionOutcome:
     reducer_sizes: Dict[Hashable, int] = field(default_factory=dict)
     workers: WorkerStats = field(default_factory=WorkerStats)
     reducer_compute_cost: float = 0.0
+
+
+class WarmPoolFallbackWarning(UserWarning):
+    """A job could not be shipped to the warm worker pool.
+
+    Raised as a :mod:`warnings` category (not an error): the run still
+    succeeds on the run-scoped fork-publication pool, but it pays a fresh
+    pool fork and the persistent workers sit idle.  Filterable with the
+    standard warnings machinery — which also means Python's default
+    ``"default"`` action may display repeated identical warnings only once
+    per process; :attr:`ParallelExecutor.used_warm_pool` and the
+    ``warm_runs`` / ``fallback_runs`` counters are the authoritative
+    per-run channel, updated on every execute regardless of filters.
+    """
 
 
 class Executor(ABC):
@@ -444,9 +459,11 @@ class ParallelExecutor(Executor):
         (and therefore across ``MapReduceEngine.run`` / ``run_chain`` calls
         on an engine holding this executor).  Jobs are shipped per task via
         :mod:`repro.mapreduce.serialization`; a job the serializer cannot
-        handle silently uses a run-scoped fork-publication pool instead.
-        Release the pool with :meth:`close` or a ``with`` block.  Set False
-        to fork a fresh pool per run (the pre-warm behaviour).
+        handle uses a run-scoped fork-publication pool instead, emitting a
+        :class:`WarmPoolFallbackWarning` and recording the outcome in
+        :attr:`used_warm_pool` / the run counters.  Release the pool with
+        :meth:`close` or a ``with`` block.  Set False to fork a fresh pool
+        per run (the pre-warm behaviour; explicit, so no warning).
     """
 
     name = "parallel"
@@ -483,6 +500,14 @@ class ParallelExecutor(Executor):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers: Optional[int] = None
         self._lock = threading.Lock()
+        #: Whether the most recent ``execute`` ran on the warm pool
+        #: (``None`` until the first run).  ``False`` means the run used a
+        #: run-scoped fork pool — either ``keep_warm=False`` or a job the
+        #: serializer could not ship (the latter also warns).
+        self.used_warm_pool: Optional[bool] = None
+        #: Lifetime counters of warm-path and fallback executions.
+        self.warm_runs: int = 0
+        self.fallback_runs: int = 0
 
     def effective_workers(self, config: ClusterConfig) -> int:
         return self.num_workers if self.num_workers is not None else config.num_workers
@@ -542,12 +567,31 @@ class ParallelExecutor(Executor):
         if self.keep_warm:
             try:
                 packed = pack_job(job)
-            except JobSerializationError:
+            except JobSerializationError as error:
+                # The fallback is correct but costly (a fresh pool fork per
+                # run, idle warm workers) — make it observable instead of
+                # silent.  keep_warm=False reaches the same path by explicit
+                # configuration and therefore does not warn.
+                warnings.warn(
+                    f"job {job.name!r} cannot be shipped to the warm worker "
+                    f"pool ({error}); falling back to a run-scoped fork pool",
+                    WarmPoolFallbackWarning,
+                    stacklevel=2,
+                )
                 packed = None
+        # Counter updates take the executor lock: concurrent executes on one
+        # executor are supported, and unlocked read-modify-writes here would
+        # make the very observability these counters provide unreliable.
         if packed is not None:
+            with self._lock:
+                self.used_warm_pool = True
+                self.warm_runs += 1
             return self._execute_warm(
                 job, packed, inputs, backend, config, reducer_cost
             )
+        with self._lock:
+            self.used_warm_pool = False
+            self.fallback_runs += 1
         return self._execute_forked(job, inputs, backend, config, reducer_cost)
 
     def _execute_warm(

@@ -42,6 +42,11 @@ from repro.planner.registry import (
     default_registry,
     thin_parameter_sweep,
 )
+from repro.planner.share_opt import (
+    ShareOptimization,
+    optimize_shares,
+    repair_shares,
+)
 
 # Populate the default registry with the paper's schema families.
 from repro.planner import builtins as _builtins  # noqa: E402,F401  (side effect)
@@ -57,6 +62,7 @@ __all__ = [
     "ProfileWeightOracle",
     "SchemaCache",
     "SchemaRegistry",
+    "ShareOptimization",
     "SweepPoint",
     "SweepResult",
     "certify_max_reducer_load",
@@ -66,5 +72,7 @@ __all__ = [
     "exact_certification",
     "expected_certification",
     "high_probability_certification",
+    "optimize_shares",
+    "repair_shares",
     "thin_parameter_sweep",
 ]

@@ -63,6 +63,11 @@ from repro.planner.certify import (
     expected_certification,
 )
 from repro.planner.registry import PlanCandidate, default_registry, thin_parameter_sweep
+from repro.planner.share_opt import (
+    GRID_REDUCER_SWEEP,
+    GRID_UNIFORM_SHARES,
+    optimize_shares,
+)
 from repro.stats.profile import DatasetProfile
 from repro.problems.grouping import GroupByAggregationProblem
 from repro.problems.hamming import HammingDistanceProblem
@@ -93,10 +98,12 @@ from repro.schemas.sample_graphs import (
 from repro.schemas.triangles import PartitionTriangleSchema
 from repro.schemas.two_paths import TwoPathSchema
 
-#: Grid sizes tried for the Shares join (total reducers per share vector).
-_SHARES_REDUCER_SWEEP = (2, 4, 8, 16, 27, 32, 64, 128, 256)
-#: Uniform shares tried on the join's shared attributes.
-_SHARES_UNIFORM_SWEEP = (2, 3, 4, 6, 8)
+#: Grid sizes tried for the Shares join (total reducers per share vector)
+#: and uniform shares tried on the join's shared attributes.  Defined in
+#: :mod:`repro.planner.share_opt` so the optimizer's "never worse than the
+#: grid" floor and this enumeration can never drift apart.
+_SHARES_REDUCER_SWEEP = GRID_REDUCER_SWEEP
+_SHARES_UNIFORM_SWEEP = GRID_UNIFORM_SHARES
 #: Sub-grid shares tried for profiled heavy-hitter isolation.
 _SKEW_SUBSHARE_SWEEP = (2, 4, 8)
 #: At most this many heavy values are isolated onto dedicated sub-grids.
@@ -634,9 +641,13 @@ def join_candidates(
     :class:`~repro.stats.profile.DatasetProfile` covering the query's
     relations, each vanilla candidate is re-certified with a per-bucket
     tail bound on the actual instance — candidates whose bound blows the
-    budget are rejected even though their expectation fit — and
-    skew-resistant variants (profiled heavy hitters isolated onto dedicated
-    sub-grids) join the enumeration, certified through the same path.
+    budget are rejected even though their expectation fit — and two kinds
+    of profile-only candidates join the enumeration, certified through the
+    same path: *optimized* share vectors chosen per reducer budget by the
+    Lagrangean optimizer in :mod:`repro.planner.share_opt` (never worse
+    than the best fixed-grid vector under the certified bound), and
+    skew-resistant variants (profiled heavy hitters isolated onto
+    dedicated sub-grids).
     """
     query = problem.query
     query_key = _query_cache_key(query)
@@ -658,7 +669,78 @@ def join_candidates(
         if candidate.q <= q:
             yield candidate
     if usable is not None:
+        yield from _optimized_share_candidates(
+            problem, q, usable, query_key, fingerprint
+        )
         yield from _skew_candidates(problem, q, usable, query_key, fingerprint)
+
+
+# -- profile-optimized share vectors ------------------------------------
+def _build_optimized_shares_candidate(
+    problem: MultiwayJoinProblem,
+    budget: int,
+    profile: DatasetProfile,
+    bucket_cache: Dict[Any, Any],
+) -> PlanCandidate:
+    """Optimize a share vector for ``budget`` reducers, certified.
+
+    The optimizer scores by the certified bound and hands back the
+    winner's certification, so no second certification pass runs here;
+    the candidate is named ``opt-shares[...]`` to stay distinguishable
+    from the grid enumeration even when the optimizer lands on a grid
+    point.
+    """
+    query = problem.query
+    optimization = optimize_shares(
+        query,
+        budget,
+        profile=profile,
+        domain_size=problem.domain_size,
+        bucket_cache=bucket_cache,
+    )
+    schema = SharesSchema(query, optimization.shares, problem.domain_size)
+    schema.name = f"opt-{schema.name}"
+    certification = optimization.certification
+    # The caller guarantees a covering profile, so the optimizer's metric
+    # was the certified bound and the winner arrives certified.
+    assert certification is not None
+    return PlanCandidate(
+        name=schema.name,
+        q=max(certification.bound, 1.0),
+        replication_rate=schema.replication_rate_formula(),
+        job_factory=_shares_job(schema, query),
+        family=schema,
+        needs_inputs=True,
+        certification=certification,
+    )
+
+
+def _optimized_share_candidates(
+    problem: MultiwayJoinProblem,
+    q: float,
+    profile: DatasetProfile,
+    query_key: Tuple[Any, ...],
+    fingerprint: int,
+) -> Iterator[PlanCandidate]:
+    """One optimized vector per reducer budget of the grid sweep.
+
+    Cached under the profile fingerprint: the same (query, domain, budget)
+    under a different profile is a different optimization problem and must
+    never reuse a stale vector or certificate.
+    """
+    # The bucket-weight table is budget-independent, so the budgets of one
+    # enumeration share it (it only lives for this call — cache-hit budgets
+    # never rebuild anything, so there is nothing to carry across calls).
+    bucket_cache: Dict[Any, Any] = {}
+    for budget in _SHARES_REDUCER_SWEEP:
+        candidate = default_schema_cache.get(
+            ("opt-shares", query_key, problem.domain_size, budget, fingerprint),
+            lambda budget=budget: _build_optimized_shares_candidate(
+                problem, budget, profile, bucket_cache
+            ),
+        )
+        if candidate.q <= q:
+            yield candidate
 
 
 # -- profiled heavy-hitter isolation -----------------------------------

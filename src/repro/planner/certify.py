@@ -37,6 +37,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Tuple
 
+from repro.core.cost import LoadSummary
 from repro.exceptions import BoundDerivationError, ConfigurationError
 from repro.mapreduce.partitioner import stable_hash
 from repro.stats.profile import AttributeProfile, DatasetProfile
@@ -64,13 +65,18 @@ class Certification:
     ``bound`` is the certified value; ``delta`` is the failure probability
     for :attr:`CertificationKind.HIGH_PROBABILITY` bounds (``None``
     otherwise); ``detail`` names the evidence (e.g. which statistics fed
-    the bound).
+    the bound).  ``load`` optionally carries the certified load summary
+    behind the bound — the maximum always, plus the full per-reducer load
+    profile when the certifier enumerated one (exact histograms over an
+    enumerable grid) — so the cost model can price the ``b·q`` term from
+    the certified distribution instead of the scalar bound.
     """
 
     kind: CertificationKind
     bound: float
     delta: Optional[float] = None
     detail: str = ""
+    load: Optional[LoadSummary] = None
 
     def __post_init__(self) -> None:
         if self.bound < 0:
@@ -96,8 +102,10 @@ class Certification:
         return self.kind.value
 
 
-def exact_certification(bound: float, detail: str = "") -> Certification:
-    return Certification(CertificationKind.EXACT, float(bound), detail=detail)
+def exact_certification(
+    bound: float, detail: str = "", load: Optional[LoadSummary] = None
+) -> Certification:
+    return Certification(CertificationKind.EXACT, float(bound), detail=detail, load=load)
 
 
 def expected_certification(bound: float, detail: str = "") -> Certification:
@@ -105,10 +113,14 @@ def expected_certification(bound: float, detail: str = "") -> Certification:
 
 
 def high_probability_certification(
-    bound: float, delta: float, detail: str = ""
+    bound: float, delta: float, detail: str = "", load: Optional[LoadSummary] = None
 ) -> Certification:
     return Certification(
-        CertificationKind.HIGH_PROBABILITY, float(bound), delta=delta, detail=detail
+        CertificationKind.HIGH_PROBABILITY,
+        float(bound),
+        delta=delta,
+        detail=detail,
+        load=load,
     )
 
 
@@ -135,17 +147,29 @@ class ProfileWeightOracle:
     per-attribute Hoeffding term in ``epsilons`` (0 during the recording
     pass) and remember every consulted cell in :attr:`sampled_cells` so the
     caller can size the union bound.
+
+    ``bucket_cache`` optionally shares one bucket-weight table across
+    *epsilon-free* oracles over the same profile — the share optimizer
+    certifies dozens of vectors whose (relation, attribute, share) cells
+    recur, and recomputing each from the histograms per oracle is the
+    dominant cost.  An oracle carrying epsilons always keeps a private
+    cache (its weights are inflation-dependent and must not leak into the
+    shared table).
     """
 
     def __init__(
         self,
         profile: DatasetProfile,
         epsilons: Optional[Dict[Tuple[str, str], float]] = None,
+        bucket_cache: Optional[Dict[Tuple, Tuple[float, ...]]] = None,
     ) -> None:
         self.profile = profile
         self.epsilons = epsilons or {}
         self.sampled_cells: set = set()
-        self._bucket_cache: Dict[Tuple, Tuple[float, ...]] = {}
+        if bucket_cache is not None and not self.epsilons:
+            self._bucket_cache = bucket_cache
+        else:
+            self._bucket_cache: Dict[Tuple, Tuple[float, ...]] = {}
 
     # -- internals ------------------------------------------------------
     def _attribute(self, relation: str, attribute: str) -> AttributeProfile:
@@ -162,10 +186,16 @@ class ProfileWeightOracle:
         exclude: FrozenSet[Hashable],
     ) -> Tuple[float, ...]:
         key = (relation, attribute, share, exclude)
+        stats = self._attribute(relation, attribute)
+        # Consulting a sampled cell must be recorded *before* the cache
+        # lookup: with a shared bucket cache a later oracle can hit entries
+        # it never computed, and an unrecorded cell would shrink the
+        # Hoeffding union bound below what this call actually relies on.
+        if not stats.exact:
+            self.sampled_cells.add(key)
         cached = self._bucket_cache.get(key)
         if cached is not None:
             return cached
-        stats = self._attribute(relation, attribute)
         total = float(stats.total_count)
         weights = [0.0] * share
         if stats.exact:
@@ -174,7 +204,6 @@ class ProfileWeightOracle:
                     continue
                 weights[attribute_bucket(attribute, value, share)] += count
         else:
-            self.sampled_cells.add(key)
             m = len(stats.sample)
             if m == 0:
                 weights = [total] * share
@@ -235,6 +264,7 @@ def certify_max_reducer_load(
     schema,
     profile: DatasetProfile,
     delta: float = DEFAULT_DELTA,
+    bucket_cache: Optional[Dict[Tuple, Tuple[float, ...]]] = None,
 ) -> Certification:
     """Certify a schema's maximum reducer load under a dataset profile.
 
@@ -243,6 +273,11 @@ def certify_max_reducer_load(
     :attr:`CertificationKind.EXACT` certificate when every consulted
     attribute carries a full histogram, otherwise a
     :attr:`CertificationKind.HIGH_PROBABILITY` certificate at ``delta``.
+
+    ``bucket_cache`` lets a caller certifying many schemas over one
+    profile share the epsilon-free bucket-weight table between calls (see
+    :class:`ProfileWeightOracle`); the Hoeffding-inflated pass never uses
+    it.
     """
     loads_fn = getattr(schema, "reducer_load_bounds", None)
     if loads_fn is None:
@@ -252,11 +287,22 @@ def certify_max_reducer_load(
         )
     # Recording pass: exact answers are final, sampled answers are optimistic
     # (epsilon 0) but tell us how many estimates the union bound must cover.
-    recorder = ProfileWeightOracle(profile)
-    optimistic = max(loads_fn(recorder), default=0.0)
+    recorder = ProfileWeightOracle(profile, bucket_cache=bucket_cache)
+    exact_loads = [float(load) for load in loads_fn(recorder)]
+    optimistic = max(exact_loads, default=0.0)
     if not recorder.sampled_cells:
+        # The per-reducer profile is only attached when the bounds really
+        # enumerate the schema's reducers one by one — a coarse fallback
+        # (one bound for the whole grid) certifies the max alone.
+        enumerated = len(exact_loads) == getattr(
+            schema, "num_reducers", len(exact_loads)
+        )
         return exact_certification(
-            optimistic, detail="per-bucket maxima from full histograms"
+            optimistic,
+            detail="per-bucket maxima from full histograms",
+            load=LoadSummary(
+                optimistic, loads=tuple(exact_loads) if enumerated else None
+            ),
         )
     if not (0.0 < delta < 1.0):
         raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
@@ -285,6 +331,9 @@ def certify_max_reducer_load(
             f"Hoeffding over {estimates} sampled estimates "
             f"(union bound, per-estimate failure {delta / estimates:.2e})"
         ),
+        # Sampled bounds certify only the maximum; the per-reducer profile
+        # is reserved for exact histograms (ISSUE: certified-load pricing).
+        load=LoadSummary(bound),
     )
 
 
@@ -347,6 +396,7 @@ def certify_sample_graph_load(schema, profile: DatasetProfile) -> Certification:
         return exact_certification(
             float(worst),
             detail=f"coarse degree-sequence bound ({slots} heaviest buckets)",
+            load=LoadSummary(float(worst)),
         )
     worst = 0
     for size in range(1, slots + 1):
@@ -356,5 +406,7 @@ def certify_sample_graph_load(schema, profile: DatasetProfile) -> Certification:
             bound = min(total_edges, endpoint_mass // 2, math.comb(nodes, 2))
             worst = max(worst, bound)
     return exact_certification(
-        float(worst), detail="degree-sequence bound per bucket multiset"
+        float(worst),
+        detail="degree-sequence bound per bucket multiset",
+        load=LoadSummary(float(worst)),
     )

@@ -128,6 +128,16 @@ class ExecutionPlan:
             return engine.run_chain(work, inputs)
         return engine.run(work, inputs)
 
+    @property
+    def cost_pricing(self) -> str:
+        """What backed the cost model's processing term for this plan.
+
+        ``"bound"`` (scalar reducer-size bound), ``"certified-max"``
+        (certified maximum load) or ``"certified-load"`` (certified
+        per-reducer load profile).
+        """
+        return self.cost.pricing
+
     def describe(self) -> Dict[str, object]:
         """Flat row for reports and benchmark tables."""
         return {
@@ -135,6 +145,7 @@ class ExecutionPlan:
             "plan": self.name,
             "q": self.q,
             "certified": self.certification_label,
+            "pricing": self.cost_pricing,
             "replication_rate": self.replication_rate,
             "rounds": self.rounds,
             "total_cost": self.total_cost,
@@ -270,6 +281,7 @@ class SweepResult:
                         "plan": None,
                         "q": None,
                         "certified": None,
+                        "pricing": None,
                         "replication_rate": None,
                         "lower_bound": None,
                         "gap": None,
@@ -283,6 +295,7 @@ class SweepResult:
                         "plan": best.name,
                         "q": best.q,
                         "certified": best.certification_label,
+                        "pricing": best.cost_pricing,
                         "replication_rate": best.replication_rate,
                         "lower_bound": best.lower_bound,
                         "gap": best.optimality_gap,

@@ -212,6 +212,11 @@ class CostBasedPlanner:
                 name=candidate.name,
                 q=candidate.q,
                 replication_rate=candidate.replication_rate,
+                load=(
+                    candidate.certification.load
+                    if candidate.certification is not None
+                    else None
+                ),
             )
             for candidate in candidates
             # The recipe bounds single-round mapping schemas only; plotting a
@@ -232,7 +237,16 @@ class CostBasedPlanner:
         plans: List[ExecutionPlan] = []
         for candidate in candidates:
             rate = candidate.replication_rate
-            breakdown = model.cost_at(candidate.q, lambda _q: rate)
+            # Certified candidates (profiled joins, sample graphs) carry a
+            # load summary: the b·q term then prices the certified load —
+            # the per-reducer profile when histograms were exact — instead
+            # of the scalar bound.
+            load = (
+                candidate.certification.load
+                if candidate.certification is not None
+                else None
+            )
+            breakdown = model.cost_at(candidate.q, lambda _q: rate, load=load)
             lower = None
             # The Section 2.4 lower bound applies to one-round mapping
             # schemas; multi-round candidates carry no bound (and no gap).

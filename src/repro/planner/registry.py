@@ -46,7 +46,10 @@ class PlanCandidate:
         Certified maximum reducer input size over the problem's full input
         domain.  Builders must guarantee ``q <= budget`` for every candidate
         they yield; for most families this is an exact closed form, for the
-        Shares join it is the expected (hash-balanced) size.
+        Shares join it is the expected (hash-balanced) size — unless a
+        dataset profile was supplied, in which case it is the certified
+        tail bound on the actual instance and ``certification.load``
+        carries the per-reducer load summary behind it.
     replication_rate:
         Replication rate of the construction (closed form, exact).
     job_factory:

@@ -1,0 +1,467 @@
+"""Profile-driven share-vector optimization for the Shares algorithm.
+
+The planner's fixed grids (:data:`GRID_REDUCER_SWEEP` crossed with
+chain/star/uniform shapes — the constants live here and
+:mod:`repro.planner.builtins` imports them) sample the share space at a
+handful of hand-picked points.  The Shares analysis, however, poses a concrete
+optimization problem: given a reducer budget ``k``, pick integer shares
+``s_A ≥ 1`` with ``Π_A s_A ≤ k`` minimizing the communication
+
+    C(s) = Σ_e  w_e · Π_{A ∉ A_e} s_A
+
+where ``w_e`` is relation ``R_e``'s size — the model's ``n^arity`` in the
+paper, the *profiled row count* when a :class:`~repro.stats.profile.
+DatasetProfile` is available.  In log-shares ``x_A = ln s_A`` the objective
+``Σ_e w_e · exp(Σ_{A∉e} x_A)`` is convex and the budget becomes the simplex
+constraint ``Σ x_A = ln k, x ≥ 0``, so the continuous relaxation is solved
+exactly by projected gradient descent (the Lagrangean stationarity
+condition — every attribute with ``x_A > 0`` sees the same marginal
+communication — is what the projection enforces at convergence).
+
+Integers are recovered in three guarded steps:
+
+1. **rounding** — every floor/ceil combination of the fractional
+   coordinates (capped; plain rounding past the cap);
+2. **repair** — while ``Π s > k``, decrement the largest share (never
+   below 1), so the reducer budget is *never* exceeded and no share can
+   reach 0; the invariant is asserted on every returned vector;
+3. **local search** — hill-climb over ±1 neighbours inside the budget on
+   the selection metric.
+
+The selection metric is where the profile earns its keep: with a covering
+profile, candidate vectors are scored by their **certified maximum reducer
+load** (:func:`~repro.planner.certify.certify_max_reducer_load` — exact
+per-bucket tail bounds, the same certificates the planner enforces), with
+profiled communication as the tie-break; without a profile, by expected
+communication alone.  The paper-shaped grid vectors for the same budget —
+budget-repaired like every vector the optimizer may return, since the
+closed forms round *up* and can overshoot ``k`` — are always included in
+the scored pool, so the optimizer's choice is by construction **never
+worse under the metric than the best fixed-grid vector that fits the
+budget**.  (The planner's vanilla enumeration separately offers the
+unrepaired shapes, which may spend more than ``k`` reducers; both
+candidate sets meet in the ranked plan list, so nothing is lost either
+way.)  (Abo Khamis–Ngo–Suciu make the same move for
+worst-case-optimal joins: instance statistics turn a shape-generic bound
+into a materially tighter one.)
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.planner.certify import Certification, certify_max_reducer_load
+from repro.problems.joins import JoinQuery
+from repro.schemas.join_shares import (
+    SharesSchema,
+    chain_join_shares,
+    shares_communication,
+    star_join_shares,
+)
+from repro.stats.profile import DatasetProfile
+
+#: Above this many fractional coordinates, rounding enumerates nothing and
+#: falls back to nearest-integer rounding (2^10 combinations is the cap).
+_MAX_ROUNDING_COORDINATES = 10
+
+#: Hill-climbing steps before the local search gives up.
+_MAX_LOCAL_SEARCH_STEPS = 64
+
+#: The fixed-grid enumeration constants.  These are the *single source of
+#: truth* — :mod:`repro.planner.builtins` imports them for its grid sweep —
+#: so the vectors the optimizer treats as its floor are exactly the vectors
+#: the planner would otherwise enumerate; a value added to the grid is
+#: automatically in the optimizer's scored pool too.
+GRID_REDUCER_SWEEP = (2, 4, 8, 16, 27, 32, 64, 128, 256)
+GRID_UNIFORM_SHARES = (2, 3, 4, 6, 8)
+
+ShareVector = Dict[str, int]
+
+
+@dataclass(frozen=True)
+class ShareOptimization:
+    """The outcome of one share-vector optimization at one reducer budget.
+
+    ``shares`` is the chosen integer vector (``Π ≤ budget`` guaranteed);
+    ``continuous`` the Lagrangean relaxation's solution it was rounded
+    from; ``score`` the selection-metric value of the winner and
+    ``metric`` which metric ranked the pool (``"certified-bound"`` with a
+    profile, ``"expected-communication"`` without).
+    """
+
+    shares: ShareVector
+    continuous: Dict[str, float]
+    score: float
+    metric: str
+    budget: int
+    #: The winner's certification, when the selection metric was the
+    #: certified bound — callers building plan candidates can reuse it
+    #: instead of certifying the same schema a second time.
+    certification: Optional[Certification] = None
+
+    @property
+    def num_reducers(self) -> int:
+        product = 1
+        for share in self.shares.values():
+            product *= share
+        return product
+
+
+# ----------------------------------------------------------------------
+# Weights
+# ----------------------------------------------------------------------
+def relation_weights(
+    query: JoinQuery,
+    profile: Optional[DatasetProfile] = None,
+    domain_size: Optional[int] = None,
+) -> Dict[str, float]:
+    """Communication weight per relation: profiled rows, else ``n^arity``.
+
+    A profile that does not cover every relation of the query is ignored
+    (same rule the profile-aware candidate builders apply).  Only the
+    *query's* relations are weighted — a profile collected over a larger
+    dataset may carry unrelated (and much bigger) relations whose counts
+    would otherwise distort the relaxation's normalization.
+    """
+    if profile is not None and profile.covers(
+        [relation.name for relation in query.relations]
+    ):
+        counts = profile.row_counts()
+        return {
+            relation.name: float(counts[relation.name])
+            for relation in query.relations
+        }
+    if domain_size is not None:
+        return {
+            relation.name: float(domain_size**relation.arity)
+            for relation in query.relations
+        }
+    return {relation.name: 1.0 for relation in query.relations}
+
+
+# ----------------------------------------------------------------------
+# Continuous relaxation: projected gradient on log-shares
+# ----------------------------------------------------------------------
+def _project_simplex(values: Sequence[float], total: float) -> List[float]:
+    """Euclidean projection onto ``{y ≥ 0, Σ y = total}`` (sort-based)."""
+    ordered = sorted(values, reverse=True)
+    cumulative = 0.0
+    theta = 0.0
+    for index, value in enumerate(ordered):
+        cumulative += value
+        candidate = (cumulative - total) / (index + 1)
+        if value - candidate > 0:
+            theta = candidate
+    return [max(0.0, value - theta) for value in values]
+
+
+def optimize_log_shares(
+    query: JoinQuery,
+    budget: int,
+    weights: Mapping[str, float],
+    iterations: int = 300,
+    tolerance: float = 1e-10,
+) -> Dict[str, float]:
+    """Solve the continuous share relaxation; returns fractional shares.
+
+    Minimizes ``Σ_e w_e exp(Σ_{A∉e} x_A)`` over the simplex
+    ``Σ x = ln budget, x ≥ 0`` by projected gradient descent with
+    backtracking line search.  The objective is convex (a positive sum of
+    exponentials of linear forms) and the feasible set is a simplex, so
+    the iteration converges to the global optimum; everything is
+    deterministic.  Returned as ``{attribute: exp(x_A)}``.
+    """
+    if budget < 1:
+        raise ConfigurationError(f"reducer budget must be >= 1, got {budget}")
+    attributes = query.attributes
+    log_budget = math.log(budget)
+    if log_budget == 0.0 or not attributes:
+        return {attribute: 1.0 for attribute in attributes}
+    scale = max(weights.values(), default=1.0) or 1.0
+    scaled = {name: weight / scale for name, weight in weights.items()}
+    membership = {
+        attribute: frozenset(
+            relation.name
+            for relation in query.relations
+            if attribute in relation.attributes
+        )
+        for attribute in attributes
+    }
+
+    def objective_and_gradient(x: Sequence[float]) -> Tuple[float, List[float]]:
+        assignment = dict(zip(attributes, x))
+        value = 0.0
+        per_relation: Dict[str, float] = {}
+        for relation in query.relations:
+            exponent = sum(
+                assignment[attribute]
+                for attribute in attributes
+                if attribute not in relation.attributes
+            )
+            term = scaled[relation.name] * math.exp(exponent)
+            per_relation[relation.name] = term
+            value += term
+        gradient = [
+            sum(
+                term
+                for name, term in per_relation.items()
+                if name not in membership[attribute]
+            )
+            for attribute in attributes
+        ]
+        return value, gradient
+
+    # Start from the uniform interior point — strictly feasible, symmetric.
+    x = [log_budget / len(attributes)] * len(attributes)
+    value, gradient = objective_and_gradient(x)
+    for _ in range(iterations):
+        norm = math.sqrt(sum(g * g for g in gradient))
+        if norm == 0.0:
+            break
+        step = log_budget / norm
+        moved = False
+        while step > 1e-14:
+            trial = _project_simplex(
+                [xi - step * gi for xi, gi in zip(x, gradient)], log_budget
+            )
+            trial_value, trial_gradient = objective_and_gradient(trial)
+            if trial_value < value - tolerance:
+                x, value, gradient = trial, trial_value, trial_gradient
+                moved = True
+                break
+            step /= 2.0
+        if not moved:
+            break
+    return {attribute: math.exp(xi) for attribute, xi in zip(attributes, x)}
+
+
+# ----------------------------------------------------------------------
+# Integer recovery: rounding, repair, local search
+# ----------------------------------------------------------------------
+def share_product(shares: Mapping[str, int]) -> int:
+    product = 1
+    for share in shares.values():
+        product *= share
+    return product
+
+
+def repair_shares(shares: Mapping[str, int], budget: int) -> ShareVector:
+    """Force ``Π s_A ≤ budget`` by decrementing the largest share.
+
+    Shares below 1 are clamped up first, so a repaired vector can never
+    contain 0; ties between equally-large shares break on the attribute
+    name for determinism.  The budget invariant is asserted on the result
+    — a violation here is a programming error, not an input error.
+    """
+    if budget < 1:
+        raise ConfigurationError(f"reducer budget must be >= 1, got {budget}")
+    repaired: ShareVector = {
+        attribute: max(1, int(share)) for attribute, share in shares.items()
+    }
+    while share_product(repaired) > budget:
+        attribute = max(
+            (a for a in repaired if repaired[a] > 1),
+            key=lambda a: (repaired[a], a),
+        )
+        repaired[attribute] -= 1
+    assert share_product(repaired) <= budget, (
+        f"share repair failed: {repaired} exceeds budget {budget}"
+    )
+    assert all(share >= 1 for share in repaired.values()), (
+        f"share repair produced a zero share: {repaired}"
+    )
+    return repaired
+
+
+def _rounding_candidates(
+    continuous: Mapping[str, float], budget: int
+) -> List[ShareVector]:
+    """Floor/ceil combinations of the relaxation, each budget-repaired."""
+    attributes = list(continuous)
+    fractional = [
+        attribute
+        for attribute in attributes
+        if abs(continuous[attribute] - round(continuous[attribute])) > 1e-9
+    ]
+    vectors: List[ShareVector] = []
+    if len(fractional) > _MAX_ROUNDING_COORDINATES:
+        vectors.append(
+            {a: max(1, round(continuous[a])) for a in attributes}
+        )
+    else:
+        choices = []
+        for attribute in attributes:
+            value = continuous[attribute]
+            if attribute in fractional:
+                choices.append(
+                    sorted({max(1, math.floor(value)), max(1, math.ceil(value))})
+                )
+            else:
+                choices.append([max(1, round(value))])
+        for combination in itertools.product(*choices):
+            vectors.append(dict(zip(attributes, combination)))
+    return [repair_shares(vector, budget) for vector in vectors]
+
+
+def grid_share_vectors(query: JoinQuery, budget: int) -> List[ShareVector]:
+    """The fixed-grid vectors for this budget: the optimizer's floor.
+
+    Mirrors the shapes the builtins' grid sweep enumerates — trivial,
+    chain/star closed forms, uniform-on-shared — every one repaired into
+    the budget so the comparison is at equal reducer count.  The chain and
+    star closed forms round *up* (``chain_join_shares(3, 8)`` yields 3×3 =
+    9 reducers), so the repaired vector here can differ from the vanilla
+    candidate builtins enumerates for the same nominal ``reducers`` value;
+    the dominance guarantee is over vectors that *fit the budget*, which
+    is the constraint the optimizer itself must honour.
+    """
+    vectors: List[ShareVector] = [{a: 1 for a in query.attributes}]
+    if query.name.startswith("chain-join"):
+        vectors.append(chain_join_shares(query.num_relations, budget))
+    elif query.name.startswith("star-join"):
+        vectors.append(star_join_shares(query.num_relations - 1, budget))
+    membership: Dict[str, int] = {}
+    for relation in query.relations:
+        for attribute in relation.attributes:
+            membership[attribute] = membership.get(attribute, 0) + 1
+    shared = {a for a, count in membership.items() if count >= 2}
+    for share in GRID_UNIFORM_SHARES:
+        uniform = {
+            a: share if a in shared else 1 for a in query.attributes
+        }
+        if share_product(uniform) <= budget:
+            vectors.append(uniform)
+    return [repair_shares(vector, budget) for vector in vectors]
+
+
+def _neighbours(shares: ShareVector, budget: int) -> List[ShareVector]:
+    """±1 moves on single coordinates that stay inside the budget."""
+    product = share_product(shares)
+    moves: List[ShareVector] = []
+    for attribute in shares:
+        share = shares[attribute]
+        if share > 1:
+            moves.append({**shares, attribute: share - 1})
+        grown = product // share * (share + 1)
+        if grown <= budget:
+            moves.append({**shares, attribute: share + 1})
+    return moves
+
+
+def _vector_key(shares: Mapping[str, int]) -> Tuple[Tuple[str, int], ...]:
+    return tuple(sorted(shares.items()))
+
+
+# ----------------------------------------------------------------------
+# The optimizer
+# ----------------------------------------------------------------------
+def optimize_shares(
+    query: JoinQuery,
+    budget: int,
+    profile: Optional[DatasetProfile] = None,
+    domain_size: Optional[int] = None,
+    weights: Optional[Mapping[str, float]] = None,
+    bucket_cache: Optional[Dict[Tuple, Tuple[float, ...]]] = None,
+) -> ShareOptimization:
+    """Choose a Shares vector for ``budget`` reducers, profile-informed.
+
+    Solves the continuous log-share relaxation under the (profiled)
+    communication weights, recovers integers (rounding + budget repair +
+    hill-climbing), and selects among the recovered vectors *and* the
+    fixed-grid vectors for the same budget:
+
+    * with a covering exact-or-sampled ``profile`` (and ``domain_size``
+      for the schema's closed forms), by certified maximum reducer load,
+      communication as tie-break — so the returned vector's certificate is
+      never worse than the best grid vector's;
+    * otherwise by expected communication under ``weights`` (explicit, or
+      derived from the profile / ``domain_size``).
+
+    The returned :class:`ShareOptimization` always satisfies
+    ``Π s_A ≤ budget`` with every share ≥ 1.  ``bucket_cache`` optionally
+    shares the epsilon-free bucket-weight table with other optimizations
+    over the same profile (the table's cells are budget-independent, so a
+    caller sweeping many budgets avoids rebucketing the histograms per
+    budget).
+    """
+    if budget < 1:
+        raise ConfigurationError(f"reducer budget must be >= 1, got {budget}")
+    resolved_weights = (
+        dict(weights)
+        if weights is not None
+        else relation_weights(query, profile=profile, domain_size=domain_size)
+    )
+    usable_profile = (
+        profile
+        if profile is not None
+        and domain_size is not None
+        and profile.covers([relation.name for relation in query.relations])
+        else None
+    )
+
+    score_cache: Dict[Tuple[Tuple[str, int], ...], Tuple[float, ...]] = {}
+    certifications: Dict[Tuple[Tuple[str, int], ...], Certification] = {}
+    # One epsilon-free bucket-weight table for every vector scored in this
+    # call (or across calls, when the caller passes one in): share values
+    # recur heavily across the pool and the hill-climb neighbourhood, and
+    # rebucketing the histograms per certification is otherwise the
+    # optimizer's dominant cost.
+    if bucket_cache is None:
+        bucket_cache = {}
+
+    def score(shares: ShareVector) -> Tuple[float, ...]:
+        key = _vector_key(shares)
+        cached = score_cache.get(key)
+        if cached is not None:
+            return cached
+        communication = shares_communication(query, shares, resolved_weights)
+        if usable_profile is not None:
+            schema = SharesSchema(query, shares, domain_size)
+            certification = certify_max_reducer_load(
+                schema, usable_profile, bucket_cache=bucket_cache
+            )
+            certifications[key] = certification
+            result: Tuple[float, ...] = (certification.bound, communication)
+        else:
+            result = (communication,)
+        score_cache[key] = result
+        return result
+
+    continuous = optimize_log_shares(query, budget, resolved_weights)
+    pool: Dict[Tuple[Tuple[str, int], ...], ShareVector] = {}
+    for vector in _rounding_candidates(continuous, budget):
+        pool.setdefault(_vector_key(vector), vector)
+    for vector in grid_share_vectors(query, budget):
+        pool.setdefault(_vector_key(vector), vector)
+
+    best = min(pool.values(), key=lambda v: (score(v), _vector_key(v)))
+    # Hill-climb from the pool's winner: ±1 moves inside the budget, until
+    # no neighbour improves the metric.  This is what lets the optimizer
+    # escape bucket-alignment accidents the relaxation cannot see (a
+    # neighbouring share can hash a heavy value into a lighter bucket).
+    for _ in range(_MAX_LOCAL_SEARCH_STEPS):
+        improved = False
+        for neighbour in _neighbours(best, budget):
+            if score(neighbour) < score(best):
+                best = neighbour
+                improved = True
+        if not improved:
+            break
+
+    metric = (
+        "certified-bound" if usable_profile is not None else "expected-communication"
+    )
+    chosen = repair_shares(best, budget)
+    chosen_score = score(chosen)[0]
+    return ShareOptimization(
+        shares=chosen,
+        continuous=continuous,
+        score=chosen_score,
+        metric=metric,
+        budget=budget,
+        certification=certifications.get(_vector_key(chosen)),
+    )

@@ -205,6 +205,15 @@ class SharesSchema(SchemaFamily):
             expected += n ** relation.arity / covered_shares
         return expected
 
+    def expected_communication(self, row_counts: Mapping[str, int]) -> float:
+        """Shuffled pairs on an actual instance: ``Σ_e |R_e| · Π_{A∉A_e} s_A``.
+
+        Delegates to :func:`shares_communication`, the module-level form
+        the profile-driven share optimizer evaluates on raw share vectors
+        (the model's closed form uses ``n^arity`` row counts instead).
+        """
+        return shares_communication(self.query, self.shares, row_counts)
+
     def expected_reducer_load(self, row_counts: Mapping[str, int]) -> float:
         """Hash-balanced expected load per reducer on an *actual* instance.
 
@@ -618,6 +627,29 @@ class SkewAwareSharesSchema(SharesSchema):
 # ----------------------------------------------------------------------
 # Share-vector constructors and closed forms for the paper's query shapes
 # ----------------------------------------------------------------------
+def shares_communication(
+    query: JoinQuery, shares: Mapping[str, int], row_counts: Mapping[str, float]
+) -> float:
+    """``Σ_e |R_e| · Π_{A∉A_e} s_A`` — the Shares communication objective.
+
+    The quantity the Shares analysis minimizes for a fixed reducer budget,
+    evaluated on an arbitrary share mapping (attributes omitted from
+    ``shares`` count as share 1) without constructing a schema — the share
+    optimizer scores thousands of raw vectors through this single
+    implementation, which :meth:`SharesSchema.expected_communication`
+    shares.
+    """
+    total = 0.0
+    for relation in query.relations:
+        replication = 1
+        for attribute, share in shares.items():
+            if attribute not in relation.attributes:
+                replication *= share
+        total += row_counts[relation.name] * replication
+    return total
+
+
+
 def chain_join_shares(num_relations: int, reducers: int) -> Dict[str, int]:
     """Balanced shares for a chain join with ``num_relations`` relations.
 

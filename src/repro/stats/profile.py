@@ -146,6 +146,12 @@ class DatasetProfile:
     def covers(self, relation_names: Sequence[str]) -> bool:
         return all(name in self.relations for name in relation_names)
 
+    def row_counts(self) -> Dict[str, int]:
+        """Profiled row count per relation — the share optimizer's weights."""
+        return {
+            name: relation.total_rows for name, relation in self.relations.items()
+        }
+
     # ------------------------------------------------------------------
     # Serialization
     # ------------------------------------------------------------------

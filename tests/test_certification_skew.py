@@ -149,23 +149,61 @@ class TestZipfAcceptanceScenario:
         assert observed > expected.bound
         assert observed > self.BUDGET
 
-    def test_profiled_planner_rejects_vanilla_and_selects_skew(self, workload):
+    def test_profiled_planner_rejects_vanilla_and_selects_certified(self, workload):
         problem, relations, profile, records = workload
         planner = CostBasedPlanner.min_replication()
         result = planner.plan(problem, q=self.BUDGET, profile=profile)
-        # Every vanilla candidate's exact tail bound exceeds the budget, so
-        # the ranked plans contain only skew-resistant candidates.
+        # Every fixed-grid vanilla candidate's exact tail bound exceeds the
+        # budget, so the ranked plans contain only profile-found candidates
+        # — optimizer-chosen share vectors and skew-resistant grids — every
+        # one carrying an exact certificate that fits the budget.
         assert len(result.plans) > 0
         for plan in result.plans:
-            assert isinstance(plan.family, SkewAwareSharesSchema)
+            assert plan.name.startswith(("opt-shares", "skew-shares"))
             assert plan.certification.kind is CertificationKind.EXACT
             assert plan.q <= self.BUDGET
+        assert any(
+            isinstance(plan.family, SkewAwareSharesSchema) for plan in result.plans
+        )
         best = result.best
         executed = best.execute(records, engine=MapReduceEngine())
         observed = executed.metrics.shuffle.max_reducer_size
         assert observed <= best.certification.bound
         _, expected_rows = multiway_join_oracle(relations)
         assert sorted(executed.outputs) == sorted(expected_rows)
+
+    def test_optimized_vector_beats_best_fixed_grid_certificate(self, workload):
+        """The PR-4 acceptance pin: optimizer ≤ best grid at equal budget."""
+        from repro.planner.share_opt import grid_share_vectors, optimize_shares
+        from repro.schemas import SharesSchema
+
+        problem, _, profile, _ = workload
+        query = problem.query
+        for reducers in (16, 32, 64, 128, 256):
+            optimized = optimize_shares(
+                query, reducers, profile=profile, domain_size=self.DOMAIN
+            )
+            grid_bounds = [
+                certify_max_reducer_load(
+                    SharesSchema(query, vector, self.DOMAIN), profile
+                ).bound
+                for vector in grid_share_vectors(query, reducers)
+            ]
+            assert optimized.score <= min(grid_bounds)
+        # And at an in-sweep budget the optimizer certifies *under* the
+        # instance-scale budget where every fixed-grid vector blows it.
+        optimized = optimize_shares(
+            query, 128, profile=profile, domain_size=self.DOMAIN
+        )
+        assert optimized.score <= self.BUDGET
+        assert all(
+            certify_max_reducer_load(
+                SharesSchema(query, vector, self.DOMAIN), profile
+            ).bound
+            > self.BUDGET
+            for vector in grid_share_vectors(query, 128)
+            if max(vector.values()) > 1
+        )
 
     def test_profile_survives_serialization_into_identical_plans(self, workload):
         problem, _, profile, _ = workload
@@ -183,9 +221,12 @@ class TestZipfAcceptanceScenario:
         planner = CostBasedPlanner.min_replication()
         sweep = planner.sweep(problem, [40.0, self.BUDGET, 400.0], profile=profile)
         rows = sweep.frontier()
-        assert all("certified" in row for row in rows)
+        assert all("certified" in row and "pricing" in row for row in rows)
         feasible = [row for row in rows if row["plan"] is not None]
         assert feasible and all(row["certified"] == "exact" for row in feasible)
+        # Exact profiled certificates enumerate per-reducer loads, so the
+        # cost model prices the b·q term from the certified distribution.
+        assert all(row["pricing"] == "certified-load" for row in feasible)
 
     def test_plan_describe_includes_certification(self, workload):
         problem, _, profile, _ = workload
@@ -193,9 +234,15 @@ class TestZipfAcceptanceScenario:
         plan = planner.plan(problem, q=self.BUDGET, profile=profile).best
         row = plan.describe()
         assert row["certified"] == "exact"
-        # And the expectation-only path still labels itself honestly.
+        assert row["pricing"] == "certified-load"
+        assert plan.certification.load is not None
+        assert plan.certification.load.max_load == plan.certification.bound
+        assert plan.certification.load.has_profile
+        # And the expectation-only path still labels itself honestly: no
+        # certified load to price from, so the b·q term uses the bound.
         vanilla = planner.plan(problem, q=500).best
         assert vanilla.describe()["certified"] == "expected"
+        assert vanilla.describe()["pricing"] == "bound"
 
 
 class TestSkewAwareSchema:

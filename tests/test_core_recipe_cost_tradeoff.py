@@ -118,6 +118,64 @@ class TestClusterCostModel:
         breakdown = model.cost_at(4.0, replication=lambda q: 1.0)
         assert breakdown.wall_clock_cost == pytest.approx(8.0)
 
+    def test_default_pricing_is_the_scalar_bound(self):
+        model = ClusterCostModel(1.0, 1.0)
+        assert model.cost_at(8.0, replication=lambda q: 1.0).pricing == "bound"
+
+    def test_certified_max_pricing(self):
+        from repro.core import LoadSummary
+
+        model = ClusterCostModel(
+            communication_rate=0.0, processing_rate=2.0, wall_clock_rate=1.0
+        )
+        # q is the worst-case bound (10); the certified max (6) is tighter
+        # and both the b-term and the wall-clock term use it.
+        breakdown = model.cost_at(
+            10.0, replication=lambda q: 1.0, load=LoadSummary(6.0)
+        )
+        assert breakdown.pricing == "certified-max"
+        assert breakdown.processing_cost == pytest.approx(12.0)
+        assert breakdown.wall_clock_cost == pytest.approx(36.0)
+
+    def test_certified_load_pricing_uses_record_weighted_mean(self):
+        from repro.core import LoadSummary
+
+        model = ClusterCostModel(communication_rate=0.0, processing_rate=1.0)
+        # Loads (8, 2, 2): Σl²/Σl = 72/12 = 6 — below the max of 8, above
+        # the plain mean of 4; the wall-clock term still tracks the max.
+        load = LoadSummary(8.0, loads=(8.0, 2.0, 2.0))
+        assert load.effective_load() == pytest.approx(6.0)
+        breakdown = model.cost_at(10.0, replication=lambda q: 1.0, load=load)
+        assert breakdown.pricing == "certified-load"
+        assert breakdown.processing_cost == pytest.approx(6.0)
+        # Balanced loads collapse to the common size.
+        balanced = LoadSummary(4.0, loads=(4.0, 4.0, 4.0))
+        assert balanced.effective_load() == pytest.approx(4.0)
+
+    def test_load_summary_validation_and_degenerate_cases(self):
+        from repro.core import LoadSummary
+
+        with pytest.raises(ConfigurationError):
+            LoadSummary(-1.0)
+        empty = LoadSummary(5.0, loads=())
+        assert not empty.has_profile
+        assert empty.effective_load() == 5.0
+        zeros = LoadSummary(0.0, loads=(0.0, 0.0))
+        assert zeros.effective_load() == 0.0
+
+    def test_certified_load_pricing_never_exceeds_certified_max(self):
+        from repro.core import LoadSummary
+
+        model = ClusterCostModel(communication_rate=0.0, processing_rate=1.0)
+        loads = (9.0, 1.0, 3.0, 5.0, 9.0)
+        profiled = model.cost_at(
+            9.0, replication=lambda q: 1.0, load=LoadSummary(9.0, loads=loads)
+        )
+        max_only = model.cost_at(
+            9.0, replication=lambda q: 1.0, load=LoadSummary(9.0)
+        )
+        assert profiled.processing_cost <= max_only.processing_cost
+
     def test_cost_requires_positive_q(self):
         model = ClusterCostModel(1.0, 1.0)
         with pytest.raises(ConfigurationError):
@@ -208,6 +266,27 @@ class TestTradeoffCurve:
         model = ClusterCostModel(1.0, 1.0)
         with pytest.raises(ConfigurationError):
             curve.optimize_cost_over_algorithms(model)
+
+    def test_optimize_cost_over_algorithms_prices_certified_loads(self):
+        from repro.core import LoadSummary
+
+        curve = TradeoffCurve("priced", lower_bound=lambda q: 1.0)
+        # Same worst-case q and replication; the certified load profile of
+        # "balanced" shows its reducers are mostly light, so under
+        # processing-dominated pricing it must win.
+        curve.add_algorithm(AlgorithmPoint("bare", q=10.0, replication_rate=2.0))
+        curve.add_algorithm(
+            AlgorithmPoint(
+                "balanced",
+                q=10.0,
+                replication_rate=2.0,
+                load=LoadSummary(10.0, loads=(10.0, 1.0, 1.0, 1.0, 1.0)),
+            )
+        )
+        model = ClusterCostModel(communication_rate=0.0, processing_rate=1.0)
+        point, breakdown = curve.optimize_cost_over_algorithms(model)
+        assert point.name == "balanced"
+        assert breakdown.pricing == "certified-load"
 
     def test_from_recipe(self):
         recipe = LowerBoundRecipe(

@@ -181,17 +181,25 @@ class TestWarmPool:
 
 
 class TestFallbackPath:
-    def test_unserializable_job_still_executes(self):
+    @staticmethod
+    def _unmarshallable_job() -> MapReduceJob:
+        """A job whose closure (a lock) the serializer cannot ship."""
         lock = threading.Lock()
 
         def mapper(x):
             with lock:
                 return [(x % 3, x)]
 
-        job = MapReduceJob(mapper=mapper, reducer=lambda k, v: [(k, len(v))])
+        return MapReduceJob(mapper=mapper, reducer=lambda k, v: [(k, len(v))])
+
+    def test_unserializable_job_still_executes_and_warns(self):
+        from repro.mapreduce import WarmPoolFallbackWarning
+
+        job = self._unmarshallable_job()
         executor = ParallelExecutor(num_workers=2)
         try:
-            result = MapReduceEngine(executor=executor).run(job, range(60))
+            with pytest.warns(WarmPoolFallbackWarning, match="run-scoped fork pool"):
+                result = MapReduceEngine(executor=executor).run(job, range(60))
             # Fallback forks a run-scoped pool; no warm pool is retained.
             assert not executor.pool_is_warm
             plain = MapReduceJob(
@@ -201,11 +209,42 @@ class TestFallbackPath:
         finally:
             executor.close()
 
+    def test_fallback_is_observable_in_executor_metrics(self):
+        from repro.mapreduce import WarmPoolFallbackWarning
+
+        executor = ParallelExecutor(num_workers=2)
+        engine = MapReduceEngine(executor=executor)
+        try:
+            assert executor.used_warm_pool is None  # nothing ran yet
+            shippable = MapReduceJob(
+                mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
+            )
+            engine.run(shippable, range(40))
+            assert executor.used_warm_pool is True
+            assert (executor.warm_runs, executor.fallback_runs) == (1, 0)
+            with pytest.warns(WarmPoolFallbackWarning):
+                engine.run(self._unmarshallable_job(), range(40))
+            assert executor.used_warm_pool is False
+            assert (executor.warm_runs, executor.fallback_runs) == (1, 1)
+            # The warm pool survives the fallback run and serves again.
+            engine.run(shippable, range(40))
+            assert executor.used_warm_pool is True
+            assert (executor.warm_runs, executor.fallback_runs) == (2, 1)
+        finally:
+            engine.close()
+
     def test_keep_warm_false_restores_per_run_pools(self):
+        import warnings as warnings_module
+
         executor = ParallelExecutor(num_workers=2, keep_warm=False)
         job = MapReduceJob(
             mapper=lambda x: [(x % 3, x)], reducer=lambda k, v: [(k, len(v))]
         )
-        result = MapReduceEngine(executor=executor).run(job, range(60))
+        # Explicit configuration is not a silent surprise: no warning.
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            result = MapReduceEngine(executor=executor).run(job, range(60))
         assert not executor.pool_is_warm
+        assert executor.used_warm_pool is False
+        assert executor.fallback_runs == 1
         assert result.outputs == MapReduceEngine().run(job, range(60)).outputs
