@@ -15,6 +15,9 @@ The package is organized as follows:
 * :mod:`repro.planner` — the cost-based planner that enumerates registered
   schema families, prices them with the cluster cost model, and returns
   ranked executable plans;
+* :mod:`repro.pipeline` — the multi-round pipeline planner: cascade
+  enumeration, intermediate-size bounds, and adaptive mid-flight
+  re-planning on top of the single-round planner;
 * :mod:`repro.analysis` — closed-form bounds, Table 1/2 regeneration,
   fractional edge covers, sparse-data scaling, approximations;
 * :mod:`repro.datagen` — synthetic workload generators.
@@ -42,6 +45,7 @@ from repro.exceptions import (
     UncoveredOutputError,
 )
 from repro.mapreduce import ClusterConfig, JobChain, MapReduceEngine, MapReduceJob
+from repro.pipeline import PipelinePlan, PipelinePlanner, PipelineRunResult
 from repro.planner import CostBasedPlanner, ExecutionPlan, PlanningResult
 
 __version__ = "1.0.0"
@@ -59,6 +63,9 @@ __all__ = [
     "JobChain",
     "LowerBoundRecipe",
     "MapReduceEngine",
+    "PipelinePlan",
+    "PipelinePlanner",
+    "PipelineRunResult",
     "MapReduceJob",
     "MappingSchema",
     "PlanningError",

@@ -19,6 +19,7 @@ problem in the paper) or an explicit candidate set.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 from dataclasses import dataclass
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
@@ -99,6 +100,13 @@ class CostBreakdown:
     ``"certified-max"`` (a certified maximum load from a dataset profile)
     or ``"certified-load"`` (a certified per-reducer load profile; the
     processing term then uses the record-weighted mean load).
+
+    ``planning_seconds`` is the wall-clock time the optimizer spent
+    *choosing* this configuration (share-vector optimization, candidate
+    enumeration, pipeline enumeration); ``planning_cost`` prices it with
+    the model's ``planning_rate`` so reports can amortize optimizer cost
+    over runs.  Both default to 0 — the paper's accounting ignores
+    planning — and a zero ``planning_rate`` keeps every total unchanged.
     """
 
     q: float
@@ -107,10 +115,17 @@ class CostBreakdown:
     processing_cost: float
     wall_clock_cost: float
     pricing: str = PRICING_BOUND
+    planning_seconds: float = 0.0
+    planning_cost: float = 0.0
 
     @property
     def total(self) -> float:
-        return self.communication_cost + self.processing_cost + self.wall_clock_cost
+        return (
+            self.communication_cost
+            + self.processing_cost
+            + self.wall_clock_cost
+            + self.planning_cost
+        )
 
 
 class ClusterCostModel:
@@ -132,6 +147,13 @@ class ClusterCostModel:
     reducer_time:
         The function ``t(q)`` multiplied by ``c``; defaults to ``q^2`` which
         is the all-pairs comparison cost used in Example 1.1.
+    planning_rate:
+        Cost per wall-clock second the optimizer spends choosing the
+        configuration (share-vector optimization, pipeline enumeration).
+        Defaults to 0 — planning is free in the paper's model — so
+        existing totals are unchanged unless a cluster explicitly prices
+        optimizer time; a plan run many times amortizes this term by
+        dividing it by the expected run count before comparison.
     """
 
     def __init__(
@@ -140,13 +162,20 @@ class ClusterCostModel:
         processing_rate: float,
         wall_clock_rate: float = 0.0,
         reducer_time: Callable[[float], float] = lambda q: q * q,
+        planning_rate: float = 0.0,
     ) -> None:
-        if communication_rate < 0 or processing_rate < 0 or wall_clock_rate < 0:
+        if (
+            communication_rate < 0
+            or processing_rate < 0
+            or wall_clock_rate < 0
+            or planning_rate < 0
+        ):
             raise ConfigurationError("cost-rate constants must be non-negative")
         self.communication_rate = communication_rate
         self.processing_rate = processing_rate
         self.wall_clock_rate = wall_clock_rate
         self.reducer_time = reducer_time
+        self.planning_rate = planning_rate
 
     # ------------------------------------------------------------------
     # Evaluation
@@ -197,6 +226,25 @@ class ClusterCostModel:
             processing_cost=processing,
             wall_clock_cost=wall_clock,
             pricing=pricing,
+        )
+
+    def with_planning(
+        self, breakdown: CostBreakdown, planning_seconds: float
+    ) -> CostBreakdown:
+        """Attach a priced planning-time term to an existing breakdown.
+
+        The planner calls this *after* ranking: the same planning wall-clock
+        backs every candidate of one planning call, so the term shifts all
+        totals uniformly and never reorders them.
+        """
+        if planning_seconds < 0:
+            raise ConfigurationError(
+                f"planning seconds must be non-negative, got {planning_seconds}"
+            )
+        return dataclasses.replace(
+            breakdown,
+            planning_seconds=float(planning_seconds),
+            planning_cost=self.planning_rate * float(planning_seconds),
         )
 
     def total_cost(self, q: float, replication: Callable[[float], float]) -> float:

@@ -41,6 +41,10 @@ class ClusterConfig:
         model (the constant of proportionality of the ``a·r`` term).
     worker_cost_per_unit:
         Cost charged per unit of reducer computation (the ``b·q`` term).
+    planning_cost_per_second:
+        Cost charged per wall-clock second the planner/optimizer spends
+        choosing a configuration.  Defaults to 0 (planning is free, the
+        paper's accounting); set it to amortize optimizer time over runs.
     map_batch_size:
         Number of consecutive input records processed by one simulated map
         task.  A job's combiner runs once per map task, before the task's
@@ -62,6 +66,7 @@ class ClusterConfig:
     partitioner: Partitioner = field(default_factory=HashPartitioner)
     communication_cost_per_record: float = 1.0
     worker_cost_per_unit: float = 1.0
+    planning_cost_per_second: float = 0.0
     map_batch_size: int = 1024
     executor: object = "serial"
 
@@ -78,6 +83,8 @@ class ClusterConfig:
             raise ConfigurationError("communication_cost_per_record must be >= 0")
         if self.worker_cost_per_unit < 0:
             raise ConfigurationError("worker_cost_per_unit must be >= 0")
+        if self.planning_cost_per_second < 0:
+            raise ConfigurationError("planning_cost_per_second must be >= 0")
         if self.map_batch_size <= 0:
             raise ConfigurationError(
                 f"map_batch_size must be positive, got {self.map_batch_size}"
@@ -119,6 +126,7 @@ class ClusterConfig:
             partitioner=self.partitioner,
             communication_cost_per_record=self.communication_cost_per_record,
             worker_cost_per_unit=self.worker_cost_per_unit,
+            planning_cost_per_second=self.planning_cost_per_second,
             map_batch_size=self.map_batch_size,
             executor=self.executor,
         )

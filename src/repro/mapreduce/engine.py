@@ -44,9 +44,9 @@ differ from runs recorded before the streaming rewrite.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.exceptions import ConfigurationError, ExecutionError
+from repro.exceptions import ConfigurationError
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.executor import Executor, ExecutorSpec, resolve_executor
 from repro.mapreduce.job import JobChain, MapReduceJob
@@ -75,15 +75,72 @@ class JobResult:
 
 @dataclass
 class PipelineResult:
-    """Outputs plus metrics of an executed multi-round job chain."""
+    """Outputs plus metrics of an executed multi-round job chain.
+
+    Besides the final outputs and the per-round :class:`JobResult` list, the
+    result aggregates the accounting callers previously had to assemble by
+    hand: total communication, per-round output row counts, the observed
+    maximum reducer load across rounds, and — when the rounds were planned
+    (the multi-round pipeline planner attaches them) — the per-round
+    *certified* load bounds.  :meth:`frontier` flattens all of it into one
+    row per round, mirroring the planner's ``frontier()`` tables.
+    """
 
     outputs: List[Any]
     metrics: PipelineMetrics
     round_results: List[JobResult] = field(default_factory=list)
+    #: Certified upper bound on each round's max reducer load, when the
+    #: rounds came from a planner that certified them (``None`` otherwise).
+    round_certified_loads: Optional[Tuple[float, ...]] = None
 
     @property
     def total_communication(self) -> int:
         return self.metrics.total_communication
+
+    @property
+    def per_round_rows(self) -> List[int]:
+        """Output records produced by each round, in execution order."""
+        return [len(result.outputs) for result in self.round_results]
+
+    @property
+    def max_reducer_load(self) -> int:
+        """The largest *observed* reducer input size across all rounds."""
+        return max(
+            (
+                result.metrics.shuffle.max_reducer_size
+                for result in self.round_results
+            ),
+            default=0,
+        )
+
+    @property
+    def max_certified_load(self) -> Optional[float]:
+        """The largest per-round certified load bound, when rounds carry one."""
+        if not self.round_certified_loads:
+            return None
+        return max(self.round_certified_loads)
+
+    def frontier(self) -> List[Dict[str, object]]:
+        """One flat row per executed round, planner-``frontier()`` style."""
+        rows: List[Dict[str, object]] = []
+        for index, result in enumerate(self.round_results):
+            certified: Optional[float] = None
+            if self.round_certified_loads is not None and index < len(
+                self.round_certified_loads
+            ):
+                certified = self.round_certified_loads[index]
+            rows.append(
+                {
+                    "round": index,
+                    "job": result.metrics.job_name,
+                    "communication": result.communication_cost,
+                    "replication_rate": result.replication_rate,
+                    "observed_max_load": result.metrics.shuffle.max_reducer_size,
+                    "certified_load": certified,
+                    "rows_out": len(result.outputs),
+                }
+            )
+        return rows
 
 
 class MapReduceEngine:
@@ -216,8 +273,11 @@ class MapReduceEngine:
                 f"cannot execute job chain {chain.name!r}: it contains no jobs"
             )
         if reducer_costs is not None and len(reducer_costs) != len(chain.jobs):
-            raise ExecutionError(
-                "reducer_costs must have one entry per job in the chain"
+            # A mis-sized cost list is a caller configuration mistake, the
+            # same class of error as an empty chain — nothing executed yet.
+            raise ConfigurationError(
+                f"reducer_costs must have one entry per job in the chain: "
+                f"got {len(reducer_costs)} for {len(chain.jobs)} jobs"
             )
         current_inputs: Iterable[Any] = inputs
         round_results: List[JobResult] = []

@@ -1,0 +1,427 @@
+"""Adaptive execution of pipeline plans: run, observe, re-plan, continue.
+
+Executing a cascade exposes information planning never had: the *actual*
+intermediate result.  This module runs a :class:`~repro.pipeline.planner.
+PipelinePlan` round by round on the engine, profiles every intermediate
+**in-stream** (rows are observed as they flow toward the next round's
+mappers, via :class:`~repro.stats.profile.StreamingRelationProfiler` — no
+second pass over the data), and before each downstream round re-certifies
+its chosen schema under the observed profile.  The certificate lookup is
+keyed by the observed profile's content fingerprint through the shared
+schema cache, so repeated executions of the same data re-use it.
+
+Re-planning triggers when the observed certificate
+
+* **beats** the planning-time estimate by more than ``replan_factor``
+  (the synthetic profile was conservative — a cheaper or better-balanced
+  schema may now fit), or
+* **violates** it (only possible when planning ran without exact
+  histograms, e.g. sampled base profiles — the estimate was an
+  expectation, not a bound).
+
+The remaining round is then re-planned from scratch against the observed
+profile; every re-plan is recorded as a :class:`ReplanEvent` so reports
+and the acceptance benchmark can show what mid-flight adaptation bought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError, PlanningError
+from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
+from repro.mapreduce.metrics import PipelineMetrics
+from repro.pipeline.logical import BinaryJoinOp, RelationLeaf
+from repro.pipeline.planner import PipelinePlan, PipelineRound, replan_round
+from repro.planner.cache import default_schema_cache
+from repro.planner.certify import (
+    Certification,
+    CertificationKind,
+    certify_max_reducer_load,
+)
+from repro.stats.profile import (
+    DatasetProfile,
+    RelationProfile,
+    StreamingRelationProfiler,
+)
+
+
+@dataclass(frozen=True)
+class ReplanEvent:
+    """One mid-flight re-planning decision, for reports and assertions."""
+
+    round_index: int
+    node: str
+    reason: str  # "certificate-improved" | "certificate-violated"
+    estimated_bound: float
+    observed_bound: float
+    old_plan: str
+    new_plan: str
+
+    def describe(self) -> dict:
+        return {
+            "round": self.round_index,
+            "node": self.node,
+            "reason": self.reason,
+            "estimated_bound": self.estimated_bound,
+            "observed_bound": self.observed_bound,
+            "old_plan": self.old_plan,
+            "new_plan": self.new_plan,
+        }
+
+
+@dataclass(frozen=True)
+class ExecutedRound:
+    """What one round planned vs what it did."""
+
+    index: int
+    op_label: str
+    plan_name: str
+    certification: Optional[Certification]
+    estimated_inputs: float
+    observed_inputs: int
+    estimated_output: float
+    observed_output: int
+    observed_max_load: int
+    replanned: bool
+
+    @property
+    def certified_load(self) -> Optional[float]:
+        return self.certification.bound if self.certification is not None else None
+
+
+@dataclass
+class PipelineRunResult:
+    """The outcome of one adaptive pipeline execution.
+
+    ``result`` is the engine-level :class:`PipelineResult` (outputs in the
+    original query's attribute order, per-round metrics, certified loads);
+    ``executed`` pairs each round's estimates with its observations;
+    ``replan_events`` records every mid-flight adaptation.
+    """
+
+    plan: PipelinePlan
+    result: PipelineResult
+    executed: List[ExecutedRound] = field(default_factory=list)
+    replan_events: List[ReplanEvent] = field(default_factory=list)
+
+    @property
+    def outputs(self) -> List[Any]:
+        return self.result.outputs
+
+    @property
+    def replan_count(self) -> int:
+        return len(self.replan_events)
+
+    @property
+    def total_communication(self) -> int:
+        return self.result.total_communication
+
+    @property
+    def max_observed_load(self) -> int:
+        return self.result.max_reducer_load
+
+    @property
+    def max_certified_load(self) -> Optional[float]:
+        return self.result.max_certified_load
+
+    def certificates_hold(self) -> bool:
+        """Whether every *bounding* certificate covers its observed load.
+
+        Only exact and high-probability certificates claim to bound the
+        load; EXPECTED-kind certifications (rounds planned without a
+        profile — the paper's §5.5 accounting) are expectations that skew
+        may legitimately exceed, so they are not checked here, mirroring
+        how the single-round stack distinguishes certification kinds.
+        """
+        return all(
+            round_.certification is None
+            or round_.certification.kind is CertificationKind.EXPECTED
+            or round_.observed_max_load <= round_.certification.bound
+            for round_ in self.executed
+        )
+
+    def frontier(self) -> List[dict]:
+        """Per-round table: estimated vs observed, certificates, re-plans."""
+        rows: List[dict] = []
+        for executed, result in zip(self.executed, self.result.round_results):
+            rows.append(
+                {
+                    "round": executed.index,
+                    "op": executed.op_label,
+                    "plan": executed.plan_name,
+                    "certified_load": executed.certified_load,
+                    "observed_max_load": executed.observed_max_load,
+                    "est_rows_out": executed.estimated_output,
+                    "rows_out": executed.observed_output,
+                    "communication": result.communication_cost,
+                    "replanned": executed.replanned,
+                }
+            )
+        return rows
+
+
+def execute_pipeline(
+    plan: PipelinePlan,
+    records: Sequence[Any],
+    engine: Optional[MapReduceEngine] = None,
+    replan: bool = True,
+    replan_factor: float = 0.5,
+) -> PipelineRunResult:
+    """Run a pipeline plan, adapting the remaining rounds as data arrives.
+
+    Parameters
+    ----------
+    plan:
+        The planned round structure (usually ``result.best``).
+    records:
+        Input records — for joins, ``(relation name, tuple)`` pairs as
+        produced by :meth:`SharesSchema.input_records`.
+    engine:
+        Engine to run on; one with the plan's cluster is built if omitted.
+    replan:
+        Disable to execute the planned rounds verbatim (no adaptation).
+    replan_factor:
+        A downstream round is re-planned when its observed-profile
+        certificate drops below ``replan_factor`` times the planning-time
+        certificate (or exceeds it, which only non-exact planning allows).
+    """
+    engine = engine or MapReduceEngine(plan.cluster)
+    if not isinstance(plan.op, BinaryJoinOp):
+        return _execute_single(plan, records, engine)
+    return _execute_cascade(plan, records, engine, replan, replan_factor)
+
+
+# ----------------------------------------------------------------------
+# Single-structure execution (one-round joins, matmul chains, aggregates)
+# ----------------------------------------------------------------------
+def _execute_single(
+    plan: PipelinePlan, records: Sequence[Any], engine: MapReduceEngine
+) -> PipelineRunResult:
+    round_ = plan.rounds[0]
+    outcome = round_.plan.execute(records, engine=engine)
+    if isinstance(outcome, JobResult):
+        job_results = [outcome]
+        outputs = outcome.outputs
+    else:  # a JobChain execution (two-phase matmul) already returns a pipeline
+        job_results = outcome.round_results
+        outputs = outcome.outputs
+    bound = round_.certified_load
+    certified = tuple(bound for _ in job_results) if bound is not None else None
+    result = PipelineResult(
+        outputs=outputs,
+        metrics=PipelineMetrics(
+            chain_name=plan.name,
+            rounds=[job.metrics for job in job_results],
+        ),
+        round_results=job_results,
+        round_certified_loads=certified,
+    )
+    executed = [
+        ExecutedRound(
+            index=index,
+            op_label=plan.op.label(),
+            plan_name=round_.name,
+            certification=round_.certification,
+            estimated_inputs=round_.estimated_inputs,
+            observed_inputs=job.metrics.shuffle.num_inputs,
+            estimated_output=round_.estimated_output,
+            observed_output=len(job.outputs),
+            observed_max_load=job.metrics.shuffle.max_reducer_size,
+            replanned=False,
+        )
+        for index, job in enumerate(job_results)
+    ]
+    return PipelineRunResult(plan=plan, result=result, executed=executed)
+
+
+# ----------------------------------------------------------------------
+# Cascade execution with mid-flight re-planning
+# ----------------------------------------------------------------------
+def _base_records_by_relation(
+    plan: PipelinePlan, records: Sequence[Any]
+) -> Dict[str, List[Any]]:
+    by_name: Dict[str, List[Any]] = {
+        relation.name: [] for relation in plan.problem.query.relations
+    }
+    for record in records:
+        name = record[0]
+        if name not in by_name:
+            # A malformed input is a caller configuration mistake — nothing
+            # has executed yet (same taxonomy as run_chain's checks).
+            raise ConfigurationError(
+                f"input record names relation {name!r}, which is not part of "
+                f"query {plan.problem.query.name!r}"
+            )
+        by_name[name].append(record)
+    return by_name
+
+
+def _child_profile(
+    plan: PipelinePlan,
+    child,
+    observed: Dict[str, RelationProfile],
+) -> Optional[RelationProfile]:
+    """The freshest profile of a round input: observed, else planning-time.
+
+    Intermediates always come from the in-stream observation (exact).
+    Base relations reuse the planning profile — sampled ones included:
+    the certifier then produces a high-probability bound, which is still
+    an honest certificate to compare the planning estimate against.
+    """
+    if isinstance(child, RelationLeaf):
+        if plan.profile is None:
+            return None
+        name = child.relation.name
+        if name not in plan.profile.relations:
+            return None
+        return plan.profile.relation(name)
+    return observed.get(child.schema.name)
+
+
+def _fingerprinted_certification(
+    round_: PipelineRound, observed_profile: DatasetProfile
+) -> Certification:
+    """Certify the round's schema under the observed profile, cache-keyed.
+
+    The key is the schema name plus the observed profile's content
+    fingerprint, so re-running the same pipeline on the same data hits the
+    cache instead of re-bucketing the histograms.
+    """
+    family = round_.plan.family
+    return default_schema_cache.get(
+        ("pipeline-recert", family.name, observed_profile.fingerprint()),
+        lambda: certify_max_reducer_load(family, observed_profile),
+    )
+
+
+def _execute_cascade(
+    plan: PipelinePlan,
+    records: Sequence[Any],
+    engine: MapReduceEngine,
+    replan: bool,
+    replan_factor: float,
+) -> PipelineRunResult:
+    base_records = _base_records_by_relation(plan, records)
+    node_outputs: Dict[str, List[Tuple[int, ...]]] = {}
+    observed_profiles: Dict[str, RelationProfile] = {}
+    rounds = list(plan.rounds)
+    job_results: List[JobResult] = []
+    executed: List[ExecutedRound] = []
+    events: List[ReplanEvent] = []
+    certified_loads: List[Optional[float]] = []
+    for index, round_ in enumerate(rounds):
+        op = round_.op
+        assert isinstance(op, BinaryJoinOp)
+        final_certification = round_.certification
+        replanned = False
+        consumes_intermediate = any(
+            not isinstance(child, RelationLeaf) for child in (op.left, op.right)
+        )
+        if consumes_intermediate:
+            # Assemble the freshest profile of this round's actual inputs.
+            relations = {}
+            for child in (op.left, op.right):
+                child_profile = _child_profile(plan, child, observed_profiles)
+                if child_profile is not None:
+                    relations[child.schema.name] = child_profile
+            if len(relations) == 2:
+                observed_profile = DatasetProfile(relations=relations)
+                observed_cert = _fingerprinted_certification(round_, observed_profile)
+                estimated = round_.certified_load
+                trigger: Optional[str] = None
+                if estimated is not None:
+                    if observed_cert.bound > estimated:
+                        trigger = "certificate-violated"
+                    elif observed_cert.bound <= replan_factor * estimated:
+                        trigger = "certificate-improved"
+                final_certification = observed_cert
+                if replan and trigger is not None:
+                    try:
+                        new_round = replan_round(round_, plan, observed_profile)
+                    except PlanningError:
+                        # Nothing fits the budget on the observed data; the
+                        # original (still sound) plan keeps running.
+                        new_round = None
+                    if new_round is not None:
+                        events.append(
+                            ReplanEvent(
+                                round_index=index,
+                                node=op.schema.name,
+                                reason=trigger,
+                                estimated_bound=float(estimated),
+                                observed_bound=observed_cert.bound,
+                                old_plan=round_.name,
+                                new_plan=new_round.name,
+                            )
+                        )
+                        rounds[index] = round_ = new_round
+                        final_certification = round_.certification
+                        replanned = True
+        # Gather this round's input records: base relations verbatim,
+        # intermediates from the previous rounds' materialized outputs.
+        input_records: List[Any] = []
+        for child in (op.left, op.right):
+            if isinstance(child, RelationLeaf):
+                input_records.extend(base_records[child.relation.name])
+            else:
+                input_records.extend(
+                    (child.schema.name, row)
+                    for row in node_outputs[child.schema.name]
+                )
+        job = round_.plan.execute(input_records, engine=engine)
+        assert isinstance(job, JobResult)
+        job_results.append(job)
+        # Profile the intermediate in-stream while it is collected for the
+        # next round — one pass, no second copy.
+        profiler = StreamingRelationProfiler(op.schema.name, op.schema.attributes)
+        rows = list(profiler.wrap(job.outputs))
+        node_outputs[op.schema.name] = rows
+        observed_profiles[op.schema.name] = profiler.finish()
+        certified_loads.append(
+            final_certification.bound if final_certification is not None else None
+        )
+        executed.append(
+            ExecutedRound(
+                index=index,
+                op_label=op.label(),
+                plan_name=round_.name,
+                certification=final_certification,
+                estimated_inputs=round_.estimated_inputs,
+                observed_inputs=job.metrics.shuffle.num_inputs,
+                estimated_output=round_.estimated_output,
+                observed_output=len(rows),
+                observed_max_load=job.metrics.shuffle.max_reducer_size,
+                replanned=replanned,
+            )
+        )
+    outputs = _reorder_outputs(plan, node_outputs[plan.op.schema.name])
+    result = PipelineResult(
+        outputs=outputs,
+        metrics=PipelineMetrics(
+            chain_name=plan.name,
+            rounds=[job.metrics for job in job_results],
+        ),
+        round_results=job_results,
+        round_certified_loads=(
+            tuple(load for load in certified_loads)
+            if all(load is not None for load in certified_loads)
+            else None
+        ),
+    )
+    return PipelineRunResult(
+        plan=plan, result=result, executed=executed, replan_events=events
+    )
+
+
+def _reorder_outputs(
+    plan: PipelinePlan, rows: List[Tuple[int, ...]]
+) -> List[Tuple[int, ...]]:
+    """Reorder final tuples from the cascade's column order to the query's."""
+    cascade_order = plan.op.schema.attributes
+    target_order = plan.problem.query.attributes
+    if cascade_order == target_order:
+        return rows
+    indices = [cascade_order.index(attribute) for attribute in target_order]
+    return [tuple(row[i] for i in indices) for row in rows]

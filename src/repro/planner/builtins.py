@@ -86,6 +86,7 @@ from repro.schemas.hamming_weight import HypercubeWeightSchema
 from repro.schemas.join_shares import (
     SharesSchema,
     SkewAwareSharesSchema,
+    binary_join_share_grid,
     chain_join_shares,
     star_join_shares,
 )
@@ -870,7 +871,12 @@ def _skew_candidates(
 
 
 def _share_vectors(query: JoinQuery) -> List[Dict[str, int]]:
-    """Candidate share vectors: trivial, shape-specific, uniform-on-shared."""
+    """Candidate share vectors: trivial, shape-specific, uniform-on-shared.
+
+    Two-relation queries additionally enumerate the binary hash-join /
+    skew-splitting shapes of :func:`binary_join_shares` — the shapes the
+    multi-round pipeline planner's cascade rounds run on.
+    """
     vectors: List[Dict[str, int]] = [{a: 1 for a in query.attributes}]
     if query.name.startswith("chain-join"):
         for reducers in _SHARES_REDUCER_SWEEP:
@@ -879,6 +885,7 @@ def _share_vectors(query: JoinQuery) -> List[Dict[str, int]]:
         num_dimensions = query.num_relations - 1
         for reducers in _SHARES_REDUCER_SWEEP:
             vectors.append(star_join_shares(num_dimensions, reducers))
+    vectors.extend(binary_join_share_grid(query, _SHARES_REDUCER_SWEEP))
     membership: Dict[str, int] = {}
     for relation in query.relations:
         for attribute in relation.attributes:

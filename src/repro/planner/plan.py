@@ -149,6 +149,8 @@ class ExecutionPlan:
             "replication_rate": self.replication_rate,
             "rounds": self.rounds,
             "total_cost": self.total_cost,
+            "planning_s": self.cost.planning_seconds,
+            "planning_cost": self.cost.planning_cost,
             "lower_bound": self.lower_bound,
             "gap": self.optimality_gap,
         }
@@ -286,6 +288,7 @@ class SweepResult:
                         "lower_bound": None,
                         "gap": None,
                         "total_cost": None,
+                        "planning_s": None,
                     }
                 )
             else:
@@ -300,6 +303,7 @@ class SweepResult:
                         "lower_bound": best.lower_bound,
                         "gap": best.optimality_gap,
                         "total_cost": best.total_cost,
+                        "planning_s": best.cost.planning_seconds,
                     }
                 )
         return rows

@@ -22,6 +22,7 @@ while the registry keeps the per-problem knowledge pluggable.
 from __future__ import annotations
 
 import dataclasses
+import time
 from typing import Iterable, List, Optional
 
 from repro.core.cost import ClusterCostModel
@@ -110,6 +111,7 @@ class CostBasedPlanner:
             plan's :attr:`~repro.planner.plan.ExecutionPlan.certification`
             records which kind of bound its ``q`` is.
         """
+        started = time.perf_counter()
         cluster = cluster or ClusterConfig()
         budget = self._resolve_budget(problem, cluster, q)
         candidates = self.registry.candidates(problem, budget, profile=profile)
@@ -121,9 +123,21 @@ class CostBasedPlanner:
         model = self.cost_model or ClusterCostModel(
             communication_rate=cluster.communication_cost_per_record,
             processing_rate=cluster.worker_cost_per_unit,
+            planning_rate=cluster.planning_cost_per_second,
         )
         curve = self._tradeoff_curve(problem, candidates)
         ranked = self._rank(problem, candidates, model, curve, cluster)
+        # Planning-time accounting (ROADMAP leftover): the wall-clock this
+        # call spent enumerating/certifying/ranking, attached *after* the
+        # ranking — the same seconds back every candidate, so the priced
+        # term shifts totals uniformly and cannot reorder plans.
+        planning_seconds = time.perf_counter() - started
+        ranked = [
+            dataclasses.replace(
+                plan, cost=model.with_planning(plan.cost, planning_seconds)
+            )
+            for plan in ranked
+        ]
         return PlanningResult(
             problem=problem,
             q_budget=budget,

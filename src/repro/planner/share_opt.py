@@ -50,6 +50,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -58,6 +59,7 @@ from repro.planner.certify import Certification, certify_max_reducer_load
 from repro.problems.joins import JoinQuery
 from repro.schemas.join_shares import (
     SharesSchema,
+    binary_join_share_grid,
     chain_join_shares,
     shares_communication,
     star_join_shares,
@@ -102,6 +104,10 @@ class ShareOptimization:
     #: certified bound — callers building plan candidates can reuse it
     #: instead of certifying the same schema a second time.
     certification: Optional[Certification] = None
+    #: Wall-clock seconds this optimization took (relaxation + rounding +
+    #: certification + hill-climb) — the quantity the cost model's
+    #: ``planning_rate`` term prices so optimizer cost can be amortized.
+    elapsed_seconds: float = 0.0
 
     @property
     def num_reducers(self) -> int:
@@ -324,6 +330,10 @@ def grid_share_vectors(query: JoinQuery, budget: int) -> List[ShareVector]:
         vectors.append(chain_join_shares(query.num_relations, budget))
     elif query.name.startswith("star-join"):
         vectors.append(star_join_shares(query.num_relations - 1, budget))
+    # The binary hash-join / skew-splitting shapes builtins enumerates for
+    # two-relation queries (one shared gate, so the optimizer's scored pool
+    # keeps the never-worse-than-the-grid guarantee there too).
+    vectors.extend(binary_join_share_grid(query, (budget,)))
     membership: Dict[str, int] = {}
     for relation in query.relations:
         for attribute in relation.attributes:
@@ -390,6 +400,7 @@ def optimize_shares(
     """
     if budget < 1:
         raise ConfigurationError(f"reducer budget must be >= 1, got {budget}")
+    started = time.perf_counter()
     resolved_weights = (
         dict(weights)
         if weights is not None
@@ -464,4 +475,5 @@ def optimize_shares(
         metric=metric,
         budget=budget,
         certification=certifications.get(_vector_key(chosen)),
+        elapsed_seconds=time.perf_counter() - started,
     )

@@ -64,6 +64,64 @@ class JoinQuery:
         """The hypergraph's edges: one attribute set per relation."""
         return [frozenset(relation.attributes) for relation in self.relations]
 
+    def relation(self, name: str) -> RelationSchema:
+        """The named relation's schema."""
+        for relation in self.relations:
+            if relation.name == name:
+                return relation
+        raise ConfigurationError(
+            f"query {self.name!r} has no relation {name!r} "
+            f"(relations: {[r.name for r in self.relations]})"
+        )
+
+    def induced(self, relation_names: Sequence[str], name: Optional[str] = None) -> "JoinQuery":
+        """The sub-query over a subset of this query's relations.
+
+        Relations keep their schemas and this query's relative order.  The
+        multi-round pipeline planner uses induced sub-queries to price and
+        bound the intermediate result of a cascade subtree (e.g. the AGM
+        bound of ``R1 ⋈ R2`` inside a longer chain).
+        """
+        wanted = set(relation_names)
+        unknown = wanted - {relation.name for relation in self.relations}
+        if unknown:
+            raise ConfigurationError(
+                f"query {self.name!r} has no relations {sorted(unknown)}"
+            )
+        kept = [relation for relation in self.relations if relation.name in wanted]
+        return JoinQuery(
+            kept,
+            name=name or f"{self.name}[{'+'.join(r.name for r in kept)}]",
+        )
+
+    def connected(self, relation_names: Optional[Sequence[str]] = None) -> bool:
+        """Whether the join graph over the given relations is connected.
+
+        Two relations are adjacent when they share at least one attribute.
+        A cascade planner only joins connected subsets — joining a
+        disconnected pair is a cross product, which the Shares analysis
+        (and this library's enumeration) deliberately avoids.
+        """
+        names = (
+            [relation.name for relation in self.relations]
+            if relation_names is None
+            else list(relation_names)
+        )
+        if not names:
+            return False
+        schemas = {name: self.relation(name) for name in names}
+        visited = {names[0]}
+        frontier = [names[0]]
+        while frontier:
+            current = schemas[frontier.pop()]
+            for other in names:
+                if other in visited:
+                    continue
+                if set(current.attributes) & set(schemas[other].attributes):
+                    visited.add(other)
+                    frontier.append(other)
+        return len(visited) == len(names)
+
     # -- standard query shapes -----------------------------------------
     @classmethod
     def binary_join(cls) -> "JoinQuery":

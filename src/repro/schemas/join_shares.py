@@ -650,6 +650,101 @@ def shares_communication(
 
 
 
+def _spread_budget(attributes: Sequence[str], budget: int) -> List[Dict[str, int]]:
+    """Ways of spending a reducer sub-budget on a set of attributes.
+
+    Either evenly (``budget^(1/len)`` per attribute) or concentrated on one
+    attribute at a time — the concentrated shapes are what split a skewed
+    or oversized relation along a single well-behaved column.
+    """
+    if not attributes or budget <= 1:
+        return [{attribute: 1 for attribute in attributes}]
+    shapes: List[Dict[str, int]] = []
+    even = max(1, round(budget ** (1.0 / len(attributes))))
+    shapes.append({attribute: even for attribute in attributes})
+    for target in attributes:
+        shapes.append(
+            {attribute: budget if attribute == target else 1 for attribute in attributes}
+        )
+    return shapes
+
+
+def binary_join_shares(query: JoinQuery, reducers: int) -> List[Dict[str, int]]:
+    """Share shapes for a two-relation join ``L ⋈ R`` within a budget.
+
+    The classic hash join spends the whole budget on the shared attributes
+    (replication 1) — optimal on balanced data, helpless against a heavy
+    join value, which lands every colliding tuple on one coordinate no
+    matter how large the shared share is.  These shapes split the budget
+    ``reducers = h · l · r`` geometrically between the shared attributes
+    (``h``) and each side's private attributes (``l``, ``r``), because
+    shares on *private* attributes are what spread a heavy value's tuples
+    (they differ on their private columns).  Multi-attribute groups are
+    filled evenly or concentrated one attribute at a time.
+
+    The multi-round pipeline planner leans on these for its binary cascade
+    rounds: the chain/star closed forms never fire there (intermediate
+    queries are not chain- or star-shaped), and uniform-on-shared alone
+    cannot certify a skewed round under a tight budget.
+    """
+    if query.num_relations != 2:
+        raise ConfigurationError(
+            f"binary_join_shares needs a two-relation query, got "
+            f"{query.num_relations} relations"
+        )
+    if reducers < 1:
+        raise ConfigurationError("the number of reducers must be at least 1")
+    left, right = query.relations
+    shared = [a for a in left.attributes if a in right.attributes]
+    left_only = [a for a in left.attributes if a not in shared]
+    right_only = [a for a in right.attributes if a not in shared]
+    if not shared:
+        raise ConfigurationError(
+            f"relations {left.name!r} and {right.name!r} share no attributes"
+        )
+    vectors: Dict[Tuple[Tuple[str, int], ...], Dict[str, int]] = {}
+    shared_budget = reducers
+    while True:
+        side_budget = max(1, reducers // shared_budget)
+        root = max(1, math.isqrt(side_budget))
+        for left_budget, right_budget in {
+            (side_budget, 1),
+            (1, side_budget),
+            (root, root),
+        }:
+            for shared_shape in _spread_budget(shared, shared_budget):
+                for left_shape in _spread_budget(left_only, left_budget):
+                    for right_shape in _spread_budget(right_only, right_budget):
+                        vector = {**shared_shape, **left_shape, **right_shape}
+                        vectors.setdefault(tuple(sorted(vector.items())), vector)
+        if shared_budget == 1:
+            break
+        shared_budget = max(1, shared_budget // 4)
+    return list(vectors.values())
+
+
+def binary_join_share_grid(
+    query: JoinQuery, reducer_budgets: Sequence[int]
+) -> List[Dict[str, int]]:
+    """The binary shapes across a budget sweep, or nothing when inapplicable.
+
+    The single gate both the planner's vanilla enumeration and the share
+    optimizer's grid floor call (so the two can never drift apart, the
+    same single-source rule the grid constants follow): a query that is
+    not a two-relation join — or whose two relations share no attributes,
+    i.e. a cross product — yields no binary shapes.
+    """
+    if query.num_relations != 2:
+        return []
+    left, right = query.relations
+    if not set(left.attributes) & set(right.attributes):
+        return []
+    vectors: List[Dict[str, int]] = []
+    for reducers in reducer_budgets:
+        vectors.extend(binary_join_shares(query, reducers))
+    return vectors
+
+
 def chain_join_shares(num_relations: int, reducers: int) -> Dict[str, int]:
     """Balanced shares for a chain join with ``num_relations`` relations.
 

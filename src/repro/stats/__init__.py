@@ -27,6 +27,7 @@ from repro.stats.profile import (
     AttributeProfile,
     DatasetProfile,
     RelationProfile,
+    StreamingRelationProfiler,
     profile_bitstrings,
     profile_graph,
     profile_relation,
@@ -41,6 +42,7 @@ __all__ = [
     "MisraGries",
     "RelationProfile",
     "ReservoirSample",
+    "StreamingRelationProfiler",
     "profile_bitstrings",
     "profile_graph",
     "profile_relation",

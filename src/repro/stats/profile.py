@@ -275,6 +275,63 @@ def _relation_from_dict(name: str, data: Mapping[str, Any]) -> RelationProfile:
 
 
 # ----------------------------------------------------------------------
+# Streaming collection
+# ----------------------------------------------------------------------
+class StreamingRelationProfiler:
+    """Collects an exact :class:`RelationProfile` while rows stream past.
+
+    The adaptive pipeline executor profiles each intermediate result *as*
+    the rows flow from one round's reducers toward the next round's
+    mappers — never materializing a second copy for statistics.  Feed rows
+    through :meth:`observe` (or wrap an iterable with :meth:`wrap`), then
+    :meth:`finish` the profile once the stream is exhausted.
+    """
+
+    def __init__(self, name: str, attributes: Sequence[str]) -> None:
+        if not attributes:
+            raise ConfigurationError("a relation profile needs at least one attribute")
+        self.name = name
+        self.attributes: Tuple[str, ...] = tuple(attributes)
+        self._histograms = {attribute: ExactHistogram() for attribute in self.attributes}
+        self._rows = 0
+
+    @property
+    def rows_seen(self) -> int:
+        return self._rows
+
+    def observe(self, row: Sequence[Hashable]) -> None:
+        if len(row) != len(self.attributes):
+            raise ConfigurationError(
+                f"row {row!r} does not match the {len(self.attributes)} "
+                f"attributes of {self.name!r}"
+            )
+        self._rows += 1
+        for attribute, value in zip(self.attributes, row):
+            self._histograms[attribute].add(value)
+
+    def wrap(self, rows):
+        """Yield ``rows`` unchanged while observing each one in passing."""
+        for row in rows:
+            self.observe(row)
+            yield row
+
+    def finish(self) -> RelationProfile:
+        """The exact profile of everything observed so far."""
+        attributes: Dict[str, AttributeProfile] = {}
+        for attribute in self.attributes:
+            histogram = self._histograms[attribute]
+            attributes[attribute] = AttributeProfile(
+                attribute=attribute,
+                total_count=histogram.total,
+                distinct_estimate=float(histogram.distinct_count),
+                histogram=dict(histogram.counts),
+            )
+        return RelationProfile(
+            name=self.name, total_rows=self._rows, attributes=attributes
+        )
+
+
+# ----------------------------------------------------------------------
 # Collection
 # ----------------------------------------------------------------------
 def _profile_column(

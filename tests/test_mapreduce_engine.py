@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import dataclasses
+
 import pytest
 
 from repro.exceptions import (
@@ -377,9 +379,16 @@ class TestJobChain:
         )
 
     def test_reducer_costs_length_checked(self, engine):
+        """Both too-long and too-short lists are configuration mistakes.
+
+        Unified with the empty-chain error class: nothing has executed when
+        the mismatch is detected, so ExecutionError would be misleading.
+        """
         chain = JobChain(jobs=[word_count_job()])
-        with pytest.raises(ExecutionError):
+        with pytest.raises(ConfigurationError, match="one entry per job"):
             engine.run_chain(chain, ["a"], reducer_costs=[None, None])
+        with pytest.raises(ConfigurationError, match="one entry per job"):
+            engine.run_chain(chain, ["a"], reducer_costs=[])
 
     def test_empty_chain_raises_configuration_error(self, engine):
         """An emptied chain must fail loudly, not crash on round_results[-1]."""
@@ -387,6 +396,42 @@ class TestJobChain:
         chain.jobs = ()  # bypasses __post_init__, as mutation or bad codegen would
         with pytest.raises(ConfigurationError, match="hollow.*no jobs"):
             engine.run_chain(chain, ["a"])
+
+    def test_pipeline_result_aggregate_accounting(self, engine):
+        """total communication / per-round rows / max loads without hand-summing."""
+
+        def resum_mapper(record):
+            yield record
+
+        def resum_reducer(word, counts):
+            yield (word, sum(counts))
+
+        chain = JobChain(
+            jobs=[
+                word_count_job(),
+                MapReduceJob(mapper=resum_mapper, reducer=resum_reducer, name="resum"),
+            ]
+        )
+        result = engine.run_chain(chain, ["a b a", "a c"])
+        assert result.total_communication == sum(
+            r.communication_cost for r in result.round_results
+        )
+        assert result.per_round_rows == [
+            len(r.outputs) for r in result.round_results
+        ]
+        assert result.max_reducer_load == max(
+            r.metrics.shuffle.max_reducer_size for r in result.round_results
+        )
+        # run_chain attaches no certificates; the pipeline planner does.
+        assert result.round_certified_loads is None
+        assert result.max_certified_load is None
+        rows = result.frontier()
+        assert [row["round"] for row in rows] == [0, 1]
+        assert [row["rows_out"] for row in rows] == result.per_round_rows
+        assert all(row["certified_load"] is None for row in rows)
+        certified = dataclasses.replace(result, round_certified_loads=(5.0, 3.0))
+        assert certified.max_certified_load == 5.0
+        assert [row["certified_load"] for row in certified.frontier()] == [5.0, 3.0]
 
     def test_chain_inputs_streamed(self, engine):
         """run_chain accepts a generator without materializing it first."""
