@@ -1,0 +1,202 @@
+"""Columnar data plane: end-to-end speedup with bit-identical results.
+
+The columnar plane (``ClusterConfig.data_plane="columnar"``) runs
+kernel-carrying jobs as typed numpy batches through map, shuffle and reduce
+instead of one Python record at a time.  This benchmark runs the two
+workloads the optimization targets — the Section 4 triangle partition
+schema and a skew-aware Shares join with a planted heavy hitter — once per
+configuration:
+
+* ``records``        — the scalar oracle (``SerialExecutor``);
+* ``columnar``       — the vectorized plane, in-memory shuffle;
+* ``columnar+spill`` — the vectorized plane through ``PartitionedShuffle``
+  with a small buffer, forcing the zero-copy packed-column spill format.
+
+Every columnar run is checked bit-for-bit against the record run: the same
+output list (same tuples, same order) and the same metrics summary,
+reduce-key sizes, and worker loads.  The acceptance assertion (≥5× over
+the record path on both non-quick workloads) fires only outside
+``--quick`` mode on machines with at least 4 cores, mirroring
+``bench_parallel_scaling.py`` — the equivalence checks run everywhere.
+
+Rows are written to ``BENCH_columnar.json`` (override with the
+``BENCH_COLUMNAR_JSON`` environment variable) so CI can archive the
+measured speedups next to the other benchmark artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from repro.datagen import gnm_random_graph
+from repro.datagen.relations import RelationInstance
+from repro.mapreduce import ClusterConfig, MapReduceEngine, PartitionedShuffle
+from repro.problems.joins import JoinQuery
+from repro.schemas import PartitionTriangleSchema
+from repro.schemas.join_shares import SharesSchema, SkewAwareSharesSchema
+
+ARTIFACT = os.environ.get("BENCH_COLUMNAR_JSON", "BENCH_columnar.json")
+SPEEDUP_TARGET = 5.0  # acceptance: columnar vs records, non-quick workloads
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    return request.config.getoption("--quick")
+
+
+def _assert_speedup() -> bool:
+    return (os.cpu_count() or 1) >= 4
+
+
+def _spill_shuffle():
+    return PartitionedShuffle(num_partitions=4, buffer_size=4096)
+
+
+def _run_planes(make_job, records):
+    """records / columnar / columnar+spill runs, equivalence-checked rows."""
+    rows = []
+    baseline = None
+    configurations = [
+        ("records", "records", None),
+        ("columnar", "columnar", None),
+        ("columnar+spill", "columnar", _spill_shuffle),
+    ]
+    for label, plane, shuffle_factory in configurations:
+        engine = MapReduceEngine(
+            config=ClusterConfig(data_plane=plane), shuffle_factory=shuffle_factory
+        )
+        job = make_job()
+        start = time.perf_counter()
+        result = engine.run(job, records)
+        seconds = time.perf_counter() - start
+        if baseline is None:
+            baseline = result
+            baseline_seconds = seconds
+            identical = True
+        else:
+            identical = (
+                result.outputs == baseline.outputs
+                and result.metrics.summary() == baseline.metrics.summary()
+                and result.metrics.shuffle.reducer_sizes
+                == baseline.metrics.shuffle.reducer_sizes
+                and result.metrics.workers.values_per_worker
+                == baseline.metrics.workers.values_per_worker
+            )
+        rows.append(
+            {
+                "plane": label,
+                "seconds": seconds,
+                "speedup": baseline_seconds / seconds if seconds > 0 else float("inf"),
+                "outputs": len(result.outputs),
+                "identical": identical,
+            }
+        )
+    return rows
+
+
+def triangle_workload(quick: bool):
+    n, m, k = (60, 400, 3) if quick else (400, 30000, 6)
+    family = PartitionTriangleSchema(n, k)
+    edges = gnm_random_graph(n, m, seed=1203)
+    return family.job, edges
+
+
+def skew_join_workload(quick: bool):
+    """Binary join with one planted heavy hitter on the join attribute."""
+    if quick:
+        n_rows, dom_ac, dom_b, heavy_rows, share, heavy_share = 800, 60, 4000, 40, 2, 2
+    else:
+        n_rows, dom_ac, dom_b, heavy_rows, share, heavy_share = (
+            100_000,
+            3_000,
+            500_000,
+            400,
+            8,
+            8,
+        )
+    heavy_value = 17
+    rng = random.Random(11)
+    r = {(rng.randrange(dom_ac), rng.randrange(dom_b)) for _ in range(n_rows)}
+    s = {(rng.randrange(dom_b), rng.randrange(dom_ac)) for _ in range(n_rows)}
+    r |= {(rng.randrange(dom_ac), heavy_value) for _ in range(heavy_rows)}
+    s |= {(heavy_value, rng.randrange(dom_ac)) for _ in range(heavy_rows)}
+    relations = [
+        RelationInstance("R", ("A", "B"), tuple(sorted(r))),
+        RelationInstance("S", ("B", "C"), tuple(sorted(s))),
+    ]
+    schema = SkewAwareSharesSchema(
+        JoinQuery.binary_join(),
+        {"A": share, "B": share, "C": share},
+        domain_size=dom_b,
+        skew_attribute="B",
+        heavy_values=[heavy_value],
+        heavy_shares={"A": heavy_share, "C": heavy_share},
+    )
+    records = SharesSchema.input_records(relations)
+    return (lambda: schema.job(relations)), records
+
+
+def _report(title, rows, table_printer):
+    table_printer(
+        title,
+        ["plane", "seconds", "speedup", "outputs", "identical"],
+        [list(row.values()) for row in rows],
+    )
+    assert all(row["identical"] for row in rows)
+
+
+def _columnar_speedup(rows) -> float:
+    return next(row["speedup"] for row in rows if row["plane"] == "columnar")
+
+
+_ARTIFACT_SECTIONS = {}
+
+
+def _archive(workload: str, rows, quick: bool) -> None:
+    _ARTIFACT_SECTIONS[workload] = rows
+    with open(ARTIFACT, "w") as handle:
+        json.dump(
+            {
+                "bench": "columnar_data_plane",
+                "quick": quick,
+                "speedup_target": SPEEDUP_TARGET,
+                "workloads": _ARTIFACT_SECTIONS,
+            },
+            handle,
+            indent=2,
+        )
+
+
+def test_triangle_columnar_speedup(table_printer, quick):
+    make_job, edges = triangle_workload(quick)
+    rows = _run_planes(make_job, edges)
+    _report("Columnar plane: triangles (Section 4 partition schema)", rows, table_printer)
+    _archive("triangles", rows, quick)
+    if not quick and _assert_speedup():
+        measured = _columnar_speedup(rows)
+        assert measured >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x columnar speedup on the triangle "
+            f"workload, measured {measured:.2f}x"
+        )
+
+
+def test_skew_join_columnar_speedup(table_printer, quick):
+    make_job, records = skew_join_workload(quick)
+    rows = _run_planes(make_job, records)
+    _report(
+        "Columnar plane: skew-aware Shares join (planted heavy hitter)",
+        rows,
+        table_printer,
+    )
+    _archive("skew_join", rows, quick)
+    if not quick and _assert_speedup():
+        measured = _columnar_speedup(rows)
+        assert measured >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x columnar speedup on the skew join "
+            f"workload, measured {measured:.2f}x"
+        )

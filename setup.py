@@ -1,10 +1,28 @@
 """Setuptools entry point.
 
-Kept alongside pyproject.toml so that legacy editable installs
+Metadata lives here so that legacy editable installs
 (``pip install -e . --no-build-isolation``) work in offline environments
 where the ``wheel`` package is unavailable.
+
+numpy powers the columnar data plane (``ClusterConfig.data_plane=
+"columnar"``); ``repro.mapreduce.columnar`` imports it guardedly and the
+engine falls back to the record path when it is missing, so the package
+itself stays importable without it.  The lower bound tracks the oldest
+release whose stable integer sorts and structured indexing the vectorized
+kernels rely on.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-shares",
+    version="0.6.0",
+    description=(
+        "Reproduction of 'Upper and Lower Bounds on the Cost of a "
+        "Map-Reduce Computation' (Afrati et al., PVLDB 2013)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy>=1.22"],
+)

@@ -8,6 +8,16 @@ input sizes.
 """
 
 from repro.mapreduce.cluster import ClusterConfig
+from repro.mapreduce.columnar import (
+    BatchEncodingError,
+    BatchKernel,
+    ColumnBatch,
+    ColumnarExecutor,
+    EncodedInput,
+    EncodedRun,
+    SpilledRows,
+    numpy_available,
+)
 from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
 from repro.mapreduce.executor import (
     Executor,
@@ -26,6 +36,7 @@ from repro.mapreduce.job import (
 )
 from repro.mapreduce.metrics import (
     JobMetrics,
+    PhaseTimings,
     PipelineMetrics,
     ShuffleStats,
     WorkerStats,
@@ -51,7 +62,13 @@ from repro.mapreduce.shuffle import (
 from repro.mapreduce.types import KeyValue, ReducerInput, ensure_key_value
 
 __all__ = [
+    "BatchEncodingError",
+    "BatchKernel",
     "ClusterConfig",
+    "ColumnBatch",
+    "ColumnarExecutor",
+    "EncodedInput",
+    "EncodedRun",
     "Executor",
     "GreedyLoadBalancingPartitioner",
     "HashPartitioner",
@@ -66,6 +83,7 @@ __all__ = [
     "ParallelExecutor",
     "Partitioner",
     "PartitionedShuffle",
+    "PhaseTimings",
     "PipelineMetrics",
     "PipelineResult",
     "ReducerInput",
@@ -73,6 +91,7 @@ __all__ = [
     "SerialExecutor",
     "ShuffleBackend",
     "ShuffleStats",
+    "SpilledRows",
     "WarmPoolFallbackWarning",
     "WorkerStats",
     "collecting_reducer",
@@ -80,6 +99,7 @@ __all__ = [
     "ensure_key_value",
     "identity_reducer",
     "make_filtering_mapper",
+    "numpy_available",
     "pack_job",
     "reducer_size_quantiles",
     "resolve_executor",

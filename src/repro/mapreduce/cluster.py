@@ -58,6 +58,15 @@ class ClusterConfig:
         pool sized by ``num_workers``), or a pre-built
         :class:`~repro.mapreduce.executor.Executor` instance.  Both
         backends produce bit-identical outputs and metrics.
+    data_plane:
+        Representation records take through map → shuffle → reduce:
+        ``"records"`` streams one Python record at a time (the seed
+        behaviour); ``"columnar"`` routes jobs that carry a batch kernel
+        through vectorized numpy kernels, falling back transparently to the
+        record path for jobs without one (or when numpy is unavailable, the
+        job has a combiner, the executor is parallel, or the shuffle
+        backend cannot hold encoded batches).  Both planes produce
+        bit-identical outputs and metrics.
     """
 
     num_workers: int = 4
@@ -69,6 +78,7 @@ class ClusterConfig:
     planning_cost_per_second: float = 0.0
     map_batch_size: int = 1024
     executor: object = "serial"
+    data_plane: str = "records"
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -106,6 +116,11 @@ class ClusterConfig:
                 f"executor must be a registered name or an Executor "
                 f"instance, got {self.executor!r}"
             )
+        if self.data_plane not in ("records", "columnar"):
+            raise ConfigurationError(
+                f"data_plane must be 'records' or 'columnar', "
+                f"got {self.data_plane!r}"
+            )
 
     def effective_capacity(self, job_capacity: Optional[int]) -> Optional[int]:
         """Resolve the reducer-size limit for a job.
@@ -129,4 +144,5 @@ class ClusterConfig:
             planning_cost_per_second=self.planning_cost_per_second,
             map_batch_size=self.map_batch_size,
             executor=self.executor,
+            data_plane=self.data_plane,
         )

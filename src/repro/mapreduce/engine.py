@@ -230,6 +230,8 @@ class MapReduceEngine:
         """
         backend = shuffle if shuffle is not None else self.shuffle_factory()
         active = resolve_executor(executor) if executor is not None else self.executor
+        if self.config.data_plane == "columnar":
+            active = self._columnar_wrap(active)
         try:
             outcome = active.execute(job, inputs, backend, self.config, reducer_cost)
             # Read the pair count before the backend closes: closed backends
@@ -245,10 +247,30 @@ class MapReduceEngine:
                 workers=outcome.workers,
                 num_outputs=len(outcome.outputs),
                 reducer_compute_cost=outcome.reducer_compute_cost,
+                timings=outcome.timings,
             )
             return JobResult(outputs=outcome.outputs, metrics=metrics)
         finally:
             backend.close()
+
+    @staticmethod
+    def _columnar_wrap(active: Executor) -> Executor:
+        """Route a record executor through the columnar data plane.
+
+        The wrapper decides per job whether the vectorized path applies
+        (the job carries a batch kernel, numpy is importable, the shuffle
+        backend holds encoded batches, ...) and otherwise delegates to the
+        wrapped executor unchanged, so ``data_plane="columnar"`` is always
+        safe to enable.
+        """
+        # Imported lazily: the columnar module needs numpy only on the
+        # vectorized path itself, and engines on the record plane must not
+        # pay for (or depend on) it.
+        from repro.mapreduce.columnar import ColumnarExecutor
+
+        if isinstance(active, ColumnarExecutor):
+            return active
+        return ColumnarExecutor(fallback=active)
 
     # ------------------------------------------------------------------
     # Multi-round execution

@@ -53,6 +53,7 @@ import itertools
 import multiprocessing
 import os
 import threading
+import time
 import warnings
 from abc import ABC, abstractmethod
 from collections import deque
@@ -81,7 +82,7 @@ from repro.exceptions import (
 )
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.job import MapReduceJob
-from repro.mapreduce.metrics import WorkerStats
+from repro.mapreduce.metrics import PhaseTimings, WorkerStats
 from repro.mapreduce.serialization import JobSerializationError, pack_job, unpack_job
 from repro.mapreduce.shuffle import ShuffleBackend
 from repro.mapreduce.types import ensure_key_value
@@ -156,7 +157,16 @@ class _ReduceBookkeeper:
 
     def observe(self, key: Hashable, values: List[Any]) -> None:
         """Account for one group; raises if it exceeds the enforced capacity."""
-        size = len(values)
+        self.observe_size(key, len(values))
+
+    def observe_size(self, key: Hashable, size: int) -> None:
+        """Account for one group given only its size.
+
+        The columnar executor holds group values as array slices, never as
+        Python lists; routing its accounting through the same code path as
+        the record executors is what keeps the two planes' metrics
+        bit-identical by construction.
+        """
         self.reducer_sizes[key] = size
         if self._enforce and size > self._capacity:
             raise ReducerCapacityExceededError(key, size, self._capacity)
@@ -194,6 +204,31 @@ class ExecutionOutcome:
     reducer_sizes: Dict[Hashable, int] = field(default_factory=dict)
     workers: WorkerStats = field(default_factory=WorkerStats)
     reducer_compute_cost: float = 0.0
+    timings: Optional[PhaseTimings] = None
+
+
+class _TimedGroups:
+    """Iterator wrapper accumulating the time spent pulling groups.
+
+    The reduce phase interleaves shuffle read-back (grouping, spill reads,
+    sorting) with reducer calls inside one loop; wrapping the backend's
+    group iterator is what lets the phase report separate shuffle and
+    reduce seconds without restructuring the streaming loop.
+    """
+
+    def __init__(self, iterable: Iterable[Any]) -> None:
+        self._iterator = iter(iterable)
+        self.seconds = 0.0
+
+    def __iter__(self) -> "_TimedGroups":
+        return self
+
+    def __next__(self) -> Any:
+        start = time.perf_counter()
+        try:
+            return next(self._iterator)
+        finally:
+            self.seconds += time.perf_counter() - start
 
 
 class WarmPoolFallbackWarning(UserWarning):
@@ -249,8 +284,13 @@ class SerialExecutor(Executor):
         config: ClusterConfig,
         reducer_cost: Optional[Callable[[int], float]] = None,
     ) -> ExecutionOutcome:
+        map_start = time.perf_counter()
         num_inputs = self._map_phase(job, inputs, backend, config)
-        return self._reduce_phase(job, backend, config, reducer_cost, num_inputs)
+        map_seconds = time.perf_counter() - map_start
+        outcome = self._reduce_phase(job, backend, config, reducer_cost, num_inputs)
+        if outcome.timings is not None:
+            outcome.timings.map_seconds = map_seconds
+        return outcome
 
     # -- map phase ------------------------------------------------------
     def _map_phase(
@@ -330,7 +370,9 @@ class SerialExecutor(Executor):
         """
         bookkeeper = _ReduceBookkeeper(job, config, reducer_cost)
         outputs: List[Any] = []
-        for key, values in backend.groups():
+        phase_start = time.perf_counter()
+        groups = _TimedGroups(backend.groups())
+        for key, values in groups:
             bookkeeper.observe(key, values)
             described = f"reducer of job {job.name!r} failed on key {key!r}"
             try:
@@ -339,7 +381,13 @@ class SerialExecutor(Executor):
                 raise ExecutionError(f"{described}: {error}") from error
             if produced is not None:
                 outputs.extend(_guarded_iteration(produced, described))
-        return bookkeeper.outcome(num_inputs, outputs)
+        phase_seconds = time.perf_counter() - phase_start
+        outcome = bookkeeper.outcome(num_inputs, outputs)
+        outcome.timings = PhaseTimings(
+            shuffle_seconds=groups.seconds,
+            reduce_seconds=max(0.0, phase_seconds - groups.seconds),
+        )
+        return outcome
 
 
 # ----------------------------------------------------------------------
@@ -616,13 +664,18 @@ class ParallelExecutor(Executor):
             map_task = partial(_worker_map_chunk, version, packed)
             reduce_task = partial(_worker_reduce_block, version, packed)
             try:
+                map_start = time.perf_counter()
                 num_inputs = self._map_phase(
                     inputs, backend, config, pool, workers, map_task
                 )
-                return self._reduce_phase(
+                map_seconds = time.perf_counter() - map_start
+                outcome = self._reduce_phase(
                     job, backend, config, reducer_cost, num_inputs, pool,
                     workers, reduce_task,
                 )
+                if outcome.timings is not None:
+                    outcome.timings.map_seconds = map_seconds
+                return outcome
             except BrokenProcessPool as error:
                 # A dead worker poisons the whole pool; drop it so the next
                 # execute forks a healthy one.
@@ -659,13 +712,18 @@ class ParallelExecutor(Executor):
                 mp_context=multiprocessing.get_context("fork"),
             )
             try:
+                map_start = time.perf_counter()
                 num_inputs = self._map_phase(
                     inputs, backend, config, pool, workers, map_task
                 )
-                return self._reduce_phase(
+                map_seconds = time.perf_counter() - map_start
+                outcome = self._reduce_phase(
                     job, backend, config, reducer_cost, num_inputs, pool,
                     workers, reduce_task,
                 )
+                if outcome.timings is not None:
+                    outcome.timings.map_seconds = map_seconds
+                return outcome
             except BrokenProcessPool as error:
                 raise ExecutionError(
                     f"worker pool died while executing job {job.name!r} "
@@ -763,7 +821,9 @@ class ParallelExecutor(Executor):
         max_pending = self.max_pending_factor * workers
         pending: deque = deque()
         block: List[Tuple[Hashable, List[Any]]] = []
-        for key, values in backend.groups():
+        phase_start = time.perf_counter()
+        groups = _TimedGroups(backend.groups())
+        for key, values in groups:
             try:
                 bookkeeper.observe(key, values)
             except Exception:
@@ -788,7 +848,13 @@ class ParallelExecutor(Executor):
             pending.append(pool.submit(reduce_task, block))
         while pending:
             outputs.extend(pending.popleft().result())
-        return bookkeeper.outcome(num_inputs, outputs)
+        phase_seconds = time.perf_counter() - phase_start
+        outcome = bookkeeper.outcome(num_inputs, outputs)
+        outcome.timings = PhaseTimings(
+            shuffle_seconds=groups.seconds,
+            reduce_seconds=max(0.0, phase_seconds - groups.seconds),
+        )
+        return outcome
 
 
 # ----------------------------------------------------------------------
@@ -797,9 +863,19 @@ class ParallelExecutor(Executor):
 #: What ``ClusterConfig.executor`` / ``MapReduceEngine(executor=...)`` accept.
 ExecutorSpec = Union[str, Executor, None]
 
+def _columnar_executor_factory() -> Executor:
+    # Imported lazily: the columnar module imports this one (and degrades
+    # gracefully when numpy is missing — jobs then take its record-path
+    # fallback).
+    from repro.mapreduce.columnar import ColumnarExecutor
+
+    return ColumnarExecutor()
+
+
 _EXECUTOR_NAMES: Dict[str, Callable[[], Executor]] = {
     "serial": SerialExecutor,
     "parallel": ParallelExecutor,
+    "columnar": _columnar_executor_factory,
 }
 
 

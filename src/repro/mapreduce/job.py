@@ -43,6 +43,15 @@ class MapReduceJob:
         :class:`repro.exceptions.ReducerCapacityExceededError` if any reduce
         key receives more than ``q`` values; when ``None`` the engine only
         records the observed maximum.
+    batch_kernel:
+        Optional vectorized kernel (a
+        :class:`repro.mapreduce.columnar.BatchKernel`) equivalent to the
+        mapper/reducer pair.  When the cluster's ``data_plane`` is
+        ``"columnar"``, jobs carrying a kernel run on typed column batches
+        instead of one record at a time; jobs without one (or whose kernel
+        declines the inputs) take the record path unchanged.  The kernel
+        must be behaviourally identical to the scalar functions — the
+        engine treats the record path as the bit-identity oracle.
     """
 
     mapper: MapFunction
@@ -50,6 +59,7 @@ class MapReduceJob:
     combiner: Optional[CombineFunction] = None
     name: str = "map-reduce-job"
     reducer_capacity: Optional[int] = None
+    batch_kernel: Optional[object] = None
 
     def __post_init__(self) -> None:
         if not callable(self.mapper):
@@ -63,6 +73,16 @@ class MapReduceJob:
                 f"job {self.name!r}: reducer_capacity must be positive, "
                 f"got {self.reducer_capacity}"
             )
+        if self.batch_kernel is not None and not callable(
+            getattr(self.batch_kernel, "map_batch", None)
+        ):
+            # Duck-typed so this module need not import the columnar layer
+            # (and with it numpy) at module level.
+            raise InvalidJobError(
+                f"job {self.name!r}: batch_kernel must provide a callable "
+                f"map_batch (see repro.mapreduce.columnar.BatchKernel), "
+                f"got {self.batch_kernel!r}"
+            )
 
     def with_capacity(self, q: Optional[int]) -> "MapReduceJob":
         """Return a copy of this job with a different reducer-size limit."""
@@ -72,6 +92,7 @@ class MapReduceJob:
             combiner=self.combiner,
             name=self.name,
             reducer_capacity=q,
+            batch_kernel=self.batch_kernel,
         )
 
 

@@ -102,6 +102,36 @@ class WorkerStats:
 
 
 @dataclass
+class PhaseTimings:
+    """Wall-clock seconds spent in each phase of one executed job.
+
+    The map phase covers input consumption and mapper (or batch-kernel
+    encode/map) work; the shuffle phase covers writing pairs into the
+    shuffle backend plus reading grouped data back out of it; the reduce
+    phase is the remaining group-processing time.  Timings are measurement,
+    not semantics: two runs of the same job are considered metrically equal
+    even though their timings differ, which is why :class:`JobMetrics`
+    excludes this field from equality comparisons.
+    """
+
+    map_seconds: float = 0.0
+    shuffle_seconds: float = 0.0
+    reduce_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.map_seconds + self.shuffle_seconds + self.reduce_seconds
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "map_s": self.map_seconds,
+            "shuffle_s": self.shuffle_seconds,
+            "reduce_s": self.reduce_seconds,
+            "total_s": self.total_seconds,
+        }
+
+
+@dataclass
 class JobMetrics:
     """Full cost report for one executed map-reduce job."""
 
@@ -110,6 +140,10 @@ class JobMetrics:
     workers: WorkerStats
     num_outputs: int
     reducer_compute_cost: float = 0.0
+    #: Per-phase wall-clock timings.  Excluded from equality: the columnar
+    #: data plane's bit-identity contract covers outputs and *cost* metrics,
+    #: while wall-clock time legitimately differs between runs.
+    timings: Optional[PhaseTimings] = field(default=None, compare=False)
 
     @property
     def replication_rate(self) -> float:
@@ -120,7 +154,13 @@ class JobMetrics:
         return self.shuffle.num_key_value_pairs
 
     def summary(self) -> Dict[str, float]:
-        """Flat dictionary of headline numbers, convenient for reports."""
+        """Flat dictionary of headline *cost* numbers, convenient for reports.
+
+        Deliberately excludes :attr:`timings`: summaries are compared for
+        equality across executors, shuffle backends and data planes, and
+        wall-clock time legitimately differs between equivalent runs.
+        Read ``metrics.timings.summary()`` for the per-phase seconds.
+        """
         return {
             "inputs": float(self.shuffle.num_inputs),
             "outputs": float(self.num_outputs),
@@ -166,6 +206,22 @@ class PipelineMetrics:
 
     def per_round_communication(self) -> List[int]:
         return [round_metrics.communication_cost for round_metrics in self.rounds]
+
+    def phase_seconds(self) -> Optional[PhaseTimings]:
+        """Per-phase wall-clock seconds summed over all timed rounds.
+
+        Returns ``None`` when no round carries timings (results recorded
+        before the timing instrumentation, or synthesized metrics).
+        """
+        timed = [round_metrics.timings for round_metrics in self.rounds
+                 if round_metrics.timings is not None]
+        if not timed:
+            return None
+        return PhaseTimings(
+            map_seconds=sum(timing.map_seconds for timing in timed),
+            shuffle_seconds=sum(timing.shuffle_seconds for timing in timed),
+            reduce_seconds=sum(timing.reduce_seconds for timing in timed),
+        )
 
     def summary(self) -> Dict[str, float]:
         return {

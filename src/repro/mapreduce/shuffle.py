@@ -46,7 +46,17 @@ class ShuffleBackend(ABC):
     The engine drives a backend through a strict lifecycle: any number of
     :meth:`add` calls, then one pass over :meth:`groups`, then
     :meth:`close`.  Backends are single-use; a new job gets a new backend.
+
+    Backends that can hold typed column batches (the columnar data plane)
+    additionally set :attr:`supports_encoded` and implement
+    :meth:`add_encoded` / :meth:`encoded_runs`.  A backend instance serves
+    one plane per lifetime: mixing record-at-a-time ``add`` calls with
+    encoded-batch calls raises
+    :class:`~repro.exceptions.ExecutionError`.
     """
+
+    #: Whether this backend implements the encoded-batch (columnar) protocol.
+    supports_encoded: bool = False
 
     @abstractmethod
     def add(self, key: Hashable, value: Any) -> None:
@@ -72,6 +82,43 @@ class ShuffleBackend(ABC):
         yielding nothing.
         """
 
+    def add_encoded(
+        self,
+        codes: Any,
+        row_indices: Optional[Any],
+        batch: Any,
+        keys_by_code: Dict[int, Hashable],
+    ) -> None:
+        """Accept one encoded emission batch from the columnar map phase.
+
+        ``codes`` is an int64 array with one reducer-key code per emitted
+        pair, ``row_indices`` maps each pair back to its source row in
+        ``batch`` (a :class:`repro.mapreduce.columnar.ColumnBatch`), or is
+        ``None`` when ``batch`` is already pair-aligned, and
+        ``keys_by_code`` decodes every distinct code appearing in ``codes``
+        to the reduce key the record path would have used.  Communication
+        accounting is identical to ``add``: one pair per code.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot hold encoded column batches; "
+            "use InMemoryShuffle or PartitionedShuffle for the columnar "
+            "data plane"
+        )
+
+    def encoded_runs(self) -> Iterator[Any]:
+        """Yield sorted :class:`repro.mapreduce.columnar.EncodedRun` blocks.
+
+        Runs arrive in global stable-hash key order, and the groups inside
+        one run are contiguous slices of its pair-aligned value batch in
+        that same order.  Like :meth:`groups`, this is a single-pass
+        iterator on spilling backends.
+        """
+        raise ConfigurationError(
+            f"{type(self).__name__} cannot hold encoded column batches; "
+            "use InMemoryShuffle or PartitionedShuffle for the columnar "
+            "data plane"
+        )
+
     @abstractmethod
     def close(self) -> None:
         """Release any resources (buffers, spill files).  Idempotent."""
@@ -96,10 +143,16 @@ class ShuffleBackend(ABC):
 class InMemoryShuffle(ShuffleBackend):
     """Dictionary-backed shuffle: everything stays resident (seed behaviour)."""
 
+    supports_encoded = True
+
     def __init__(self) -> None:
         self._groups: Dict[Hashable, List[Any]] = {}
         self._num_pairs = 0
         self._closed = False
+        # Encoded-batch (columnar) state: raw (codes, rows, batch) entries,
+        # gathered lazily at read time so ingestion stays zero-copy.
+        self._encoded: List[Tuple[Any, Optional[Any], Any]] = []
+        self._encoded_keys: Dict[int, Hashable] = {}
 
     def _check_open(self) -> None:
         if self._closed:
@@ -108,8 +161,23 @@ class InMemoryShuffle(ShuffleBackend):
                 "create a fresh one per executed job"
             )
 
+    def _check_plane(self, encoded: bool) -> None:
+        if encoded and self._groups:
+            raise ExecutionError(
+                "cannot add encoded column batches to an InMemoryShuffle "
+                "already holding record-at-a-time pairs; one backend serves "
+                "one data plane per job"
+            )
+        if not encoded and self._encoded:
+            raise ExecutionError(
+                "cannot add record-at-a-time pairs to an InMemoryShuffle "
+                "already holding encoded column batches; one backend serves "
+                "one data plane per job"
+            )
+
     def add(self, key: Hashable, value: Any) -> None:
         self._check_open()
+        self._check_plane(encoded=False)
         self._groups.setdefault(key, []).append(value)
         self._num_pairs += 1
 
@@ -117,8 +185,43 @@ class InMemoryShuffle(ShuffleBackend):
         self._check_open()
         if not values:
             return
+        self._check_plane(encoded=False)
         self._groups.setdefault(key, []).extend(values)
         self._num_pairs += len(values)
+
+    def add_encoded(
+        self,
+        codes: Any,
+        row_indices: Optional[Any],
+        batch: Any,
+        keys_by_code: Dict[int, Hashable],
+    ) -> None:
+        self._check_open()
+        self._check_plane(encoded=True)
+        if len(codes) == 0:
+            return
+        self._encoded.append((codes, row_indices, batch))
+        self._encoded_keys.update(keys_by_code)
+        self._num_pairs += len(codes)
+
+    def encoded_runs(self) -> Iterator[Any]:
+        self._ensure_readable()
+        if self._groups:
+            raise ExecutionError(
+                "this InMemoryShuffle holds record-at-a-time pairs; use "
+                "groups() instead of encoded_runs()"
+            )
+        return self._iter_encoded_runs()
+
+    def _iter_encoded_runs(self) -> Iterator[Any]:
+        from repro.mapreduce.columnar import build_encoded_run
+
+        self._ensure_readable()
+        if self._encoded:
+            run = build_encoded_run(self._encoded, self._encoded_keys)
+            if run is not None:
+                self._ensure_readable()
+                yield run
 
     def _ensure_readable(self) -> None:
         if self._closed:
@@ -144,6 +247,8 @@ class InMemoryShuffle(ShuffleBackend):
     def close(self) -> None:
         self._closed = True
         self._groups = {}
+        self._encoded = []
+        self._encoded_keys = {}
 
     @property
     def num_pairs(self) -> int:
@@ -159,6 +264,13 @@ class InMemoryShuffle(ShuffleBackend):
 class PartitionedShuffle(ShuffleBackend):
     """Hash-range-partitioned shuffle that spills partitions to disk.
 
+    On the record plane each spill is a pickled list of ``(key, value)``
+    pairs.  On the columnar plane (:meth:`add_encoded`) a spill is a
+    struct-packed block of raw column buffers — one contiguous ``tobytes``
+    per column plus the pair's key codes — which is read back zero-copy
+    with ``numpy.frombuffer``; no per-record Python objects are ever
+    pickled.
+
     Parameters
     ----------
     num_partitions:
@@ -171,6 +283,8 @@ class PartitionedShuffle(ShuffleBackend):
         Directory for spill files; a private temporary directory is created
         (lazily, on first spill) when omitted.
     """
+
+    supports_encoded = True
 
     def __init__(
         self,
@@ -197,6 +311,15 @@ class PartitionedShuffle(ShuffleBackend):
         self.spilled_bytes = 0
         self._closed = False
         self._consumed = False
+        # Encoded-batch (columnar) state: per-partition lists of
+        # (codes, pair-aligned ColumnBatch) chunks plus buffered pair counts.
+        self._plane: Optional[str] = None
+        self._enc_buffers: List[List[Tuple[Any, Any]]] = [
+            [] for _ in range(num_partitions)
+        ]
+        self._enc_counts: List[int] = [0] * num_partitions
+        self._code_key: Dict[int, Hashable] = {}
+        self._code_part: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Ingest
@@ -207,8 +330,19 @@ class PartitionedShuffle(ShuffleBackend):
         # sorting within each yields the global stable-hash order.
         return (stable_hash(key) * self.num_partitions) >> _HASH_BITS
 
+    def _check_plane(self, plane: str) -> None:
+        if self._plane is None:
+            self._plane = plane
+        elif self._plane != plane:
+            raise ExecutionError(
+                f"cannot mix {plane!r} ingestion with {self._plane!r} "
+                "ingestion on one PartitionedShuffle; one backend serves "
+                "one data plane per job"
+            )
+
     def add(self, key: Hashable, value: Any) -> None:
         self._check_open()
+        self._check_plane("records")
         index = self._partition_of(key)
         buffer = self._buffers[index]
         buffer.append((key, value))
@@ -220,6 +354,7 @@ class PartitionedShuffle(ShuffleBackend):
         self._check_open()
         if not values:
             return
+        self._check_plane("records")
         index = self._partition_of(key)
         buffer = self._buffers[index]
         buffer.extend((key, value) for value in values)
@@ -236,10 +371,8 @@ class PartitionedShuffle(ShuffleBackend):
                 "create a fresh one per executed job"
             )
 
-    def _spill(self, index: int) -> None:
-        buffer = self._buffers[index]
-        if not buffer:
-            return
+    def _spill_target(self, index: int) -> Tuple[str, str]:
+        """Resolve (path, open mode) for one partition's next spill write."""
         path = self._spill_paths[index]
         if path is None:
             if self._spill_dir is None:
@@ -249,15 +382,128 @@ class PartitionedShuffle(ShuffleBackend):
             # Truncate on the first open: a caller-supplied spill_dir may
             # hold partition files left behind by an unclean earlier run,
             # and appending to them would silently resurrect stale pairs.
-            mode = "wb"
-        else:
-            mode = "ab"
+            return path, "wb"
+        return path, "ab"
+
+    def _spill(self, index: int) -> None:
+        buffer = self._buffers[index]
+        if not buffer:
+            return
+        path, mode = self._spill_target(index)
         payload = pickle.dumps(buffer, protocol=pickle.HIGHEST_PROTOCOL)
         with open(path, mode) as handle:
             handle.write(payload)
         self.spill_count += 1
         self.spilled_bytes += len(payload)
         self._buffers[index] = []
+
+    # ------------------------------------------------------------------
+    # Encoded-batch (columnar) ingest
+    # ------------------------------------------------------------------
+    def add_encoded(
+        self,
+        codes: Any,
+        row_indices: Optional[Any],
+        batch: Any,
+        keys_by_code: Dict[int, Hashable],
+    ) -> None:
+        self._check_open()
+        if len(codes) == 0:
+            return
+        self._check_plane("columnar")
+        import numpy as np
+
+        # Partition by the *decoded* key's stable hash, computed once per
+        # distinct code — the hash-range invariant (partition i holds a
+        # contiguous hash slice) is what makes partition-major read-back
+        # come out in global stable-hash order, exactly like the record
+        # plane.
+        unique_codes, inverse = np.unique(codes, return_inverse=True)
+        partition_of_code = np.empty(len(unique_codes), dtype=np.int64)
+        for position, code in enumerate(unique_codes.tolist()):
+            part = self._code_part.get(code)
+            if part is None:
+                key = keys_by_code[code]
+                self._code_key[code] = key
+                part = (stable_hash(key) * self.num_partitions) >> _HASH_BITS
+                self._code_part[code] = part
+            partition_of_code[position] = part
+        partitions = partition_of_code[inverse]
+        self._num_pairs += len(codes)
+        for part in np.unique(partitions).tolist():
+            selection = np.nonzero(partitions == part)[0]
+            part_codes = codes[selection]
+            if row_indices is None:
+                part_batch = batch.take(selection)
+            else:
+                part_batch = batch.take(row_indices[selection])
+            self._enc_buffers[part].append((part_codes, part_batch))
+            self._enc_counts[part] += len(part_codes)
+            if self._enc_counts[part] >= self.buffer_size:
+                self._spill_encoded(part)
+
+    def _spill_encoded(self, index: int) -> None:
+        from repro.mapreduce.columnar import pack_encoded_chunk
+
+        chunks = self._enc_buffers[index]
+        if not chunks:
+            return
+        path, mode = self._spill_target(index)
+        with open(path, mode) as handle:
+            for codes, values in chunks:
+                payload = pack_encoded_chunk(codes, values)
+                handle.write(payload)
+                self.spilled_bytes += len(payload)
+        self.spill_count += 1
+        self._enc_buffers[index] = []
+        self._enc_counts[index] = 0
+
+    def encoded_runs(self) -> Iterator[Any]:
+        self._ensure_readable()
+        if self._plane == "records":
+            raise ExecutionError(
+                "this PartitionedShuffle holds record-at-a-time pairs; use "
+                "groups() instead of encoded_runs()"
+            )
+        if self._consumed:
+            raise ExecutionError(
+                "PartitionedShuffle encoded_runs() is a single-pass iterator "
+                "and was already consumed; its partition buffers are freed "
+                "during the first traversal, so a second pass would yield "
+                "incomplete runs — create a fresh backend per executed job"
+            )
+        self._consumed = True
+        return self._iter_encoded_runs()
+
+    def _iter_encoded_runs(self) -> Iterator[Any]:
+        from repro.mapreduce.columnar import (
+            build_encoded_run,
+            unpack_encoded_chunks,
+        )
+
+        # One run per partition; partitions hold contiguous hash ranges, so
+        # index order + sorting inside build_encoded_run reproduces the
+        # global group order of the record plane.
+        for index in range(self.num_partitions):
+            self._ensure_readable()
+            entries: List[Tuple[Any, Optional[Any], Any]] = []
+            path = self._spill_paths[index]
+            if path is not None and os.path.exists(path):
+                with open(path, "rb") as handle:
+                    payload = handle.read()
+                for codes, values in unpack_encoded_chunks(payload):
+                    entries.append((codes, None, values))
+            for codes, values in self._enc_buffers[index]:
+                entries.append((codes, None, values))
+            # Free the sources before handing the run out, so only one
+            # partition's data is resident at a time.
+            self._enc_buffers[index] = []
+            self._enc_counts[index] = 0
+            run = build_encoded_run(entries, self._code_key)
+            entries = []
+            if run is not None:
+                self._ensure_readable()
+                yield run
 
     # ------------------------------------------------------------------
     # Grouped read-back
@@ -271,13 +517,28 @@ class PartitionedShuffle(ShuffleBackend):
             )
 
     def groups(self) -> Iterator[Tuple[Hashable, List[Any]]]:
+        """Single-pass iterator over the grouped pairs, in stable-hash order.
+
+        The first pass frees each partition's buffers as it hands the
+        partition out (that is the whole point of a spilling shuffle: only
+        one partition resident at a time), so a second traversal would see
+        cleared buffers next to intact spill files — silently wrong data.
+        A repeated call is therefore an execution-lifecycle violation and
+        raises :class:`~repro.exceptions.ExecutionError` loudly instead of
+        yielding nothing.
+        """
         self._ensure_readable()
+        if self._plane == "columnar":
+            raise ExecutionError(
+                "this PartitionedShuffle holds encoded column batches; use "
+                "encoded_runs() instead of groups()"
+            )
         if self._consumed:
-            # A second pass would see cleared buffers next to intact spill
-            # files — silently wrong data.  Fail loudly instead.
-            raise ConfigurationError(
-                "PartitionedShuffle groups() may only be consumed once; "
-                "create a fresh backend per executed job"
+            raise ExecutionError(
+                "PartitionedShuffle groups() is a single-pass iterator and "
+                "was already consumed; its partition buffers are freed "
+                "during the first traversal, so a second pass would yield "
+                "incomplete groups — create a fresh backend per executed job"
             )
         self._consumed = True
         return self._iter_groups()
@@ -322,6 +583,10 @@ class PartitionedShuffle(ShuffleBackend):
             return
         self._closed = True
         self._buffers = [[] for _ in range(self.num_partitions)]
+        self._enc_buffers = [[] for _ in range(self.num_partitions)]
+        self._enc_counts = [0] * self.num_partitions
+        self._code_key = {}
+        self._code_part = {}
         if self._owns_spill_dir and self._spill_dir is not None:
             shutil.rmtree(self._spill_dir, ignore_errors=True)
         else:

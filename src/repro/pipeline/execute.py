@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.exceptions import ConfigurationError, PlanningError
+from repro.mapreduce.columnar import SpilledRows
 from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
 from repro.mapreduce.metrics import PipelineMetrics
 from repro.pipeline.logical import BinaryJoinOp, RelationLeaf
@@ -168,6 +169,7 @@ def execute_pipeline(
     engine: Optional[MapReduceEngine] = None,
     replan: bool = True,
     replan_factor: float = 0.5,
+    spill_threshold: Optional[int] = None,
 ) -> PipelineRunResult:
     """Run a pipeline plan, adapting the remaining rounds as data arrives.
 
@@ -186,11 +188,21 @@ def execute_pipeline(
         A downstream round is re-planned when its observed-profile
         certificate drops below ``replan_factor`` times the planning-time
         certificate (or exceeds it, which only non-exact planning allows).
+    spill_threshold:
+        When set, any intermediate of at least this many rows is spilled
+        to disk as one packed int64 column block
+        (:class:`~repro.mapreduce.columnar.SpilledRows`) instead of staying
+        resident as Python tuples; downstream rounds re-materialize it
+        lazily and bit-identically.  ``None`` (the default) keeps every
+        intermediate in memory.  Intermediates outside the packed layout
+        (ragged or non-integer rows) stay in memory regardless.
     """
     engine = engine or MapReduceEngine(plan.cluster)
     if not isinstance(plan.op, BinaryJoinOp):
         return _execute_single(plan, records, engine)
-    return _execute_cascade(plan, records, engine, replan, replan_factor)
+    return _execute_cascade(
+        plan, records, engine, replan, replan_factor, spill_threshold
+    )
 
 
 # ----------------------------------------------------------------------
@@ -302,9 +314,11 @@ def _execute_cascade(
     engine: MapReduceEngine,
     replan: bool,
     replan_factor: float,
+    spill_threshold: Optional[int] = None,
 ) -> PipelineRunResult:
     base_records = _base_records_by_relation(plan, records)
-    node_outputs: Dict[str, List[Tuple[int, ...]]] = {}
+    node_outputs: Dict[str, Any] = {}
+    spilled_blocks: List[SpilledRows] = []
     observed_profiles: Dict[str, RelationProfile] = {}
     rounds = list(plan.rounds)
     job_results: List[JobResult] = []
@@ -377,7 +391,13 @@ def _execute_cascade(
         # next round — one pass, no second copy.
         profiler = StreamingRelationProfiler(op.schema.name, op.schema.attributes)
         rows = list(profiler.wrap(job.outputs))
-        node_outputs[op.schema.name] = rows
+        stored: Any = rows
+        if spill_threshold is not None and len(rows) >= spill_threshold:
+            spilled = SpilledRows.try_spill(rows)
+            if spilled is not None:
+                spilled_blocks.append(spilled)
+                stored = spilled
+        node_outputs[op.schema.name] = stored
         observed_profiles[op.schema.name] = profiler.finish()
         certified_loads.append(
             final_certification.bound if final_certification is not None else None
@@ -396,7 +416,12 @@ def _execute_cascade(
                 replanned=replanned,
             )
         )
-    outputs = _reorder_outputs(plan, node_outputs[plan.op.schema.name])
+    final_rows = node_outputs[plan.op.schema.name]
+    if not isinstance(final_rows, list):
+        final_rows = list(final_rows)
+    outputs = _reorder_outputs(plan, final_rows)
+    for spilled in spilled_blocks:
+        spilled.close()
     result = PipelineResult(
         outputs=outputs,
         metrics=PipelineMetrics(

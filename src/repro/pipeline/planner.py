@@ -186,12 +186,18 @@ class PipelinePlan:
         engine=None,
         replan: bool = True,
         replan_factor: float = 0.5,
+        spill_threshold=None,
     ):
         """Run the pipeline; see :func:`repro.pipeline.execute.execute_pipeline`."""
         from repro.pipeline.execute import execute_pipeline
 
         return execute_pipeline(
-            self, records, engine=engine, replan=replan, replan_factor=replan_factor
+            self,
+            records,
+            engine=engine,
+            replan=replan,
+            replan_factor=replan_factor,
+            spill_threshold=spill_threshold,
         )
 
 

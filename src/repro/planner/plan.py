@@ -20,6 +20,7 @@ from repro.exceptions import PlanningError
 from repro.mapreduce.cluster import ClusterConfig
 from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
 from repro.mapreduce.job import JobChain, MapReduceJob
+from repro.mapreduce.metrics import PhaseTimings
 from repro.planner.certify import Certification
 from repro.planner.registry import PlanCandidate
 
@@ -55,6 +56,11 @@ class ExecutionPlan:
     cluster: ClusterConfig
     lower_bound: Optional[float] = None
     rank: int = 0
+    #: Per-phase wall-clock seconds of the most recent ``execute`` call on
+    #: this plan object (measurement, not identity: excluded from equality).
+    last_timings: Optional[PhaseTimings] = field(
+        default=None, compare=False, repr=False
+    )
 
     # -- convenience pass-throughs -------------------------------------
     @property
@@ -125,8 +131,15 @@ class ExecutionPlan:
         else:
             work = self.build_work()
         if isinstance(work, JobChain):
-            return engine.run_chain(work, inputs)
-        return engine.run(work, inputs)
+            result: Union[JobResult, PipelineResult] = engine.run_chain(work, inputs)
+            timings = result.metrics.phase_seconds()
+        else:
+            result = engine.run(work, inputs)
+            timings = result.metrics.timings
+        # The plan is frozen (it is planner output, hashable and comparable);
+        # the timing cache is measurement riding along, not plan identity.
+        object.__setattr__(self, "last_timings", timings)
+        return result
 
     @property
     def cost_pricing(self) -> str:
@@ -139,7 +152,14 @@ class ExecutionPlan:
         return self.cost.pricing
 
     def describe(self) -> Dict[str, object]:
-        """Flat row for reports and benchmark tables."""
+        """Flat row for reports and benchmark tables.
+
+        When the plan has been executed, the row also carries the last
+        run's per-phase wall-clock seconds (``map_s`` / ``shuffle_s`` /
+        ``reduce_s`` / ``total_s``), so the data-plane speedups are
+        attributable per phase; before any execution they are ``None``.
+        """
+        timings = self.last_timings
         return {
             "rank": self.rank,
             "plan": self.name,
@@ -153,6 +173,10 @@ class ExecutionPlan:
             "planning_cost": self.cost.planning_cost,
             "lower_bound": self.lower_bound,
             "gap": self.optimality_gap,
+            "map_s": timings.map_seconds if timings is not None else None,
+            "shuffle_s": timings.shuffle_seconds if timings is not None else None,
+            "reduce_s": timings.reduce_seconds if timings is not None else None,
+            "total_s": timings.total_seconds if timings is not None else None,
         }
 
 

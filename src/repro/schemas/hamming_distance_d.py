@@ -20,13 +20,15 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.core.mapping_schema import MappingSchema, SchemaFamily
 from repro.core.problem import Problem
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.columnar import BatchKernel, ColumnBatch, EncodedRun
 from repro.mapreduce.job import MapReduceJob
 from repro.problems.hamming import HammingDistanceProblem
+from repro.schemas.hamming_splitting import _encode_words, _group_pairs
 
 
 class SegmentDeletionSchema(SchemaFamily):
@@ -261,4 +263,70 @@ class BallTwoSchema(SchemaFamily):
                     if canonical_anchor == anchor:
                         yield (first, second)
 
-        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+        return MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            name=self.name,
+            batch_kernel=BallTwoBatchKernel(self, emit_distance),
+        )
+
+
+class BallTwoBatchKernel(BatchKernel):
+    """Vectorized twin of :meth:`BallTwoSchema.job`.
+
+    The reducer key *is* the anchor string, so codes need no packing.  The
+    reduce enumerates all nested-loop pairs of each group's deduplicated
+    words in one pass over the run and applies the canonical-anchor rule
+    (smaller string at distance 1, smaller low-bit-flipped common anchor
+    at distance 2) with array arithmetic.
+    """
+
+    def __init__(self, schema: BallTwoSchema, emit_distance: Optional[int]) -> None:
+        self.schema = schema
+        self.emit_distance = emit_distance
+
+    def encode(self, records) -> ColumnBatch:
+        return _encode_words(records, self.schema.b)
+
+    def decode_records(self, values: ColumnBatch) -> List[int]:
+        return values.column("word").tolist()
+
+    def map_batch(self, batch: ColumnBatch):
+        import numpy as np
+
+        words = batch.column("word")
+        b = self.schema.b
+        # The scalar mapper visits the word's own anchor first, then each
+        # bit flip in ascending position order.
+        codes = np.empty((len(words), b + 1), dtype=np.int64)
+        codes[:, 0] = words
+        for position in range(b):
+            codes[:, position + 1] = words ^ (1 << position)
+        row_indices = np.repeat(np.arange(len(words), dtype=np.int64), b + 1)
+        return codes.ravel(), row_indices, batch
+
+    def key_of_code(self, code: int) -> int:
+        return int(code)
+
+    def reduce_groups(self, run: EncodedRun) -> List[Tuple[int, int]]:
+        import numpy as np
+
+        group_of_pair, left, right = _group_pairs(run)
+        if len(left) == 0:
+            return []
+        difference = left ^ right
+        distance = np.bitwise_count(difference)
+        keep = (distance == 1) | (distance == 2)
+        if self.emit_distance is not None:
+            keep &= distance == self.emit_distance
+        low_bit = difference & -difference
+        # distance 1: the smaller word (always ``left``, pairs are ordered)
+        # is itself a common anchor; distance 2: flip the lower differing
+        # bit in either word and take the smaller result.
+        canonical = np.where(
+            distance == 1,
+            left,
+            np.minimum(left ^ low_bit, right ^ low_bit),
+        )
+        keep &= canonical == run.codes[group_of_pair]
+        return list(zip(left[keep].tolist(), right[keep].tolist()))

@@ -19,8 +19,76 @@ from typing import Iterable, Iterator, List, Tuple
 from repro.core.mapping_schema import MappingSchema, SchemaFamily
 from repro.core.problem import Problem
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.columnar import (
+    BatchEncodingError,
+    BatchKernel,
+    ColumnBatch,
+    EncodedRun,
+    pairs_within_groups,
+    unique_sorted_within_groups,
+)
 from repro.mapreduce.job import MapReduceJob
 from repro.problems.hamming import HammingDistanceProblem
+
+
+def _encode_words(records, b: int) -> ColumnBatch:
+    """Pack bare bit-string ints into a one-column batch, or decline.
+
+    Shared by the Hamming kernels: words must be plain ints inside
+    ``[0, 2^b)`` with ``b`` small enough that reducer codes stay exact
+    int64 arithmetic.
+    """
+    import numpy as np
+
+    if b > 62:
+        raise BatchEncodingError(f"b={b} exceeds exact int64 code arithmetic")
+    if not hasattr(np, "bitwise_count"):  # numpy < 2.0: no popcount ufunc
+        raise BatchEncodingError("numpy >= 2.0 is required for popcount kernels")
+    try:
+        words = np.asarray(records)
+    except (ValueError, OverflowError) as error:
+        raise BatchEncodingError(f"words are not a uniform int array: {error}")
+    if words.ndim != 1 or (len(words) > 0 and words.dtype.kind != "i"):
+        raise BatchEncodingError(
+            f"expected plain int words, got array of shape {words.shape} "
+            f"and dtype {words.dtype}"
+        )
+    words = words.astype(np.int64, copy=False)
+    if len(words) > 0 and (int(words.min()) < 0 or int(words.max()) >= 1 << b):
+        raise BatchEncodingError(f"words fall outside [0, 2^{b})")
+    return ColumnBatch({"word": words})
+
+
+def _group_pairs(run: EncodedRun):
+    """Per-group ``sorted(set(words))`` and all ``i < j`` pairs of the run.
+
+    Returns ``(group_of_pair, left_words, right_words)`` with pairs laid
+    out group-major in the run's order and nested-loop order inside each
+    group — the scalar all-pairs reducers' iteration order exactly.
+    """
+    import numpy as np
+
+    group_ids = np.repeat(np.arange(run.num_groups, dtype=np.int64), run.sizes)
+    groups, words = unique_sorted_within_groups(group_ids, run.values.column("word"))
+    sizes = np.bincount(groups, minlength=run.num_groups)
+    group_of_pair, left, right = pairs_within_groups(sizes)
+    starts = np.concatenate(
+        (np.zeros(1, dtype=np.int64), np.cumsum(sizes, dtype=np.int64))
+    )
+    base = starts[group_of_pair]
+    return group_of_pair, words[base + left], words[base + right]
+
+
+def _single_bit_positions(differences):
+    """Bit index of each value of an array of single-bit ints.
+
+    Powers of two up to ``2^62`` are exact in float64, so ``frexp``'s
+    exponent recovers the position without a per-element Python loop.
+    """
+    import numpy as np
+
+    _, exponents = np.frexp(differences.astype(np.float64))
+    return exponents.astype(np.int64) - 1
 
 
 def _check_problem(problem: Problem) -> HammingDistanceProblem:
@@ -154,7 +222,66 @@ class SplittingSchema(SchemaFamily):
             reducer=reducer,
             name=self.name,
             reducer_capacity=int(self.max_reducer_size_formula()),
+            batch_kernel=SplittingBatchKernel(self),
         )
+
+
+class SplittingBatchKernel(BatchKernel):
+    """Vectorized twin of :meth:`SplittingSchema.job`.
+
+    Reducer keys ``(group, residual)`` are encoded as
+    ``group * 2^(b - b/c) + residual``.  The reduce runs across all groups
+    of a run at once: deduplicate words per group, enumerate the
+    nested-loop pairs, keep those at Hamming distance one whose differing
+    bit lies in the reducer's own segment.
+    """
+
+    def __init__(self, schema: SplittingSchema) -> None:
+        self.schema = schema
+        self._residual_bits = schema.b - schema.segment_length
+
+    def encode(self, records) -> ColumnBatch:
+        return _encode_words(records, self.schema.b)
+
+    def decode_records(self, values: ColumnBatch) -> List[int]:
+        return values.column("word").tolist()
+
+    def map_batch(self, batch: ColumnBatch):
+        import numpy as np
+
+        schema = self.schema
+        words = batch.column("word")
+        seg_len, total = schema.segment_length, schema.b
+        residual_radix = 1 << self._residual_bits
+        codes = np.empty((len(words), schema.num_segments), dtype=np.int64)
+        for group in range(schema.num_segments):
+            high_shift = total - group * seg_len
+            high = words >> high_shift if group > 0 else 0
+            low_bits = total - (group + 1) * seg_len
+            low = words & ((1 << low_bits) - 1) if low_bits > 0 else 0
+            codes[:, group] = group * residual_radix + ((high << low_bits) | low)
+        row_indices = np.repeat(
+            np.arange(len(words), dtype=np.int64), schema.num_segments
+        )
+        return codes.ravel(), row_indices, batch
+
+    def key_of_code(self, code: int) -> Tuple[int, int]:
+        code = int(code)
+        return (code >> self._residual_bits, code % (1 << self._residual_bits))
+
+    def reduce_groups(self, run: EncodedRun) -> List[Tuple[int, int]]:
+        import numpy as np
+
+        group_of_pair, left, right = _group_pairs(run)
+        if len(left) == 0:
+            return []
+        difference = left ^ right
+        keep = np.bitwise_count(difference) == 1
+        key_groups = run.codes >> self._residual_bits
+        positions = _single_bit_positions(np.where(keep, difference, 1))
+        emitting = (self.schema.b - 1 - positions) // self.schema.segment_length
+        keep &= emitting == key_groups[group_of_pair]
+        return list(zip(left[keep].tolist(), right[keep].tolist()))
 
 
 class PairReducersSchema(SchemaFamily):

@@ -39,6 +39,12 @@ from repro.core.mapping_schema import MappingSchema, SchemaFamily
 from repro.core.problem import Problem
 from repro.datagen.relations import RelationInstance, multiway_join_oracle
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.columnar import (
+    BatchEncodingError,
+    BatchKernel,
+    ColumnBatch,
+    require_numpy,
+)
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.partitioner import stable_hash
 from repro.problems.joins import JoinQuery, MultiwayJoinProblem
@@ -323,7 +329,16 @@ class SharesSchema(SchemaFamily):
                 if schema.reducer_of_output(assignment) == point:
                     yield tuple(assignment[attribute] for attribute in query.attributes)
 
-        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+        return MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            name=self.name,
+            batch_kernel=self._batch_kernel(),
+        )
+
+    def _batch_kernel(self) -> "SharesBatchKernel":
+        """The vectorized kernel matching this schema's mapper/reducer."""
+        return SharesBatchKernel(self)
 
     @staticmethod
     def input_records(relations: Sequence[RelationInstance]) -> List[Tuple[str, Tuple[int, ...]]]:
@@ -478,6 +493,9 @@ class SkewAwareSharesSchema(SharesSchema):
             )
         return ("main",) + super().reducer_of_output(assignment)
 
+    def _batch_kernel(self) -> "SharesBatchKernel":
+        return SkewAwareSharesBatchKernel(self)
+
     # ------------------------------------------------------------------
     # Closed forms over the model's full input domain
     # ------------------------------------------------------------------
@@ -622,6 +640,664 @@ class SkewAwareSharesSchema(SharesSchema):
                             )
                     load += min(terms)
                 yield load
+
+
+# ----------------------------------------------------------------------
+# Vectorized kernels for the Shares jobs
+# ----------------------------------------------------------------------
+#: Sentinel column name for the reducer-group index when the whole run is
+#: joined in one pass (it behaves as an attribute shared by every relation,
+#: which restricts every join step to within-group matches).
+_GROUP_COLUMN = "\x00group"
+
+
+def _lexicographic_order(table):
+    """Row order sorting a 2-D array lexicographically (column 0 primary).
+
+    ``np.lexsort`` runs one radix-friendly stable pass per int64 column —
+    far faster than ``np.unique(axis=0)``'s void-dtype comparison sort.
+    """
+    np = require_numpy()
+    return np.lexsort(tuple(table[:, i] for i in range(table.shape[1] - 1, -1, -1)))
+
+
+def _pack_rows(table):
+    """Pack rows into single int64 codes preserving lexicographic order.
+
+    Columns are offset by their minimum and strided by the product of the
+    later columns' spans, so numeric code order equals row lexicographic
+    order.  Returns ``(codes, mins, spans)``, or ``None`` when the spans
+    overflow exact int64 arithmetic (the caller then takes a lexsort path).
+    """
+    np = require_numpy()
+    mins = table.min(axis=0)
+    spans = [int(v) for v in (table.max(axis=0) - mins + 1).tolist()]
+    capacity = 1
+    for span in spans:
+        capacity *= span
+        if capacity >= 2**62:
+            return None
+    codes = np.zeros(len(table), dtype=np.int64)
+    for index in range(table.shape[1]):
+        codes *= spans[index]
+        codes += table[:, index] - mins[index]
+    return codes, mins, spans
+
+
+def _unpack_codes(codes, mins, spans):
+    """Inverse of :func:`_pack_rows` for an array of packed codes."""
+    np = require_numpy()
+    columns = [None] * len(spans)
+    for index in range(len(spans) - 1, -1, -1):
+        columns[index] = codes % spans[index] + mins[index]
+        codes = codes // spans[index]
+    return np.stack(columns, axis=1)
+
+
+def _sorted_unique_rows(table):
+    """Lexicographically sorted, deduplicated rows (``sorted(set(...))``)."""
+    np = require_numpy()
+    if len(table) == 0 or table.shape[1] == 0:
+        return table[:1]
+    packed = _pack_rows(table)
+    if packed is not None:
+        codes, mins, spans = packed
+        # np.sort + consecutive-difference mask beats np.unique's hash-based
+        # path by an order of magnitude on mostly-distinct code arrays.
+        ordered_codes = np.sort(codes)
+        keep = np.empty(len(ordered_codes), dtype=bool)
+        keep[0] = True
+        np.not_equal(ordered_codes[1:], ordered_codes[:-1], out=keep[1:])
+        return _unpack_codes(ordered_codes[keep], mins, spans)
+    ordered = table[_lexicographic_order(table)]
+    keep = np.empty(len(ordered), dtype=bool)
+    keep[0] = True
+    np.any(ordered[1:] != ordered[:-1], axis=1, out=keep[1:])
+    return ordered[keep]
+
+
+def _row_group_codes(table):
+    """Dense group ids per row (equal rows share an id), plus the id count.
+
+    Ids are assigned in lexicographic row order, matching what
+    ``np.unique(..., axis=0, return_inverse=True)`` would produce, without
+    its void-dtype sort.
+    """
+    np = require_numpy()
+    packed = _pack_rows(table)
+    if packed is not None:
+        distinct, inverse = np.unique(packed[0], return_inverse=True)
+        return inverse.astype(np.int64, copy=False), len(distinct)
+    order = _lexicographic_order(table)
+    ordered = table[order]
+    new_group = np.empty(len(ordered), dtype=bool)
+    new_group[0] = False
+    np.any(ordered[1:] != ordered[:-1], axis=1, out=new_group[1:])
+    ranks = np.cumsum(new_group)
+    codes = np.empty(len(table), dtype=np.int64)
+    codes[order] = ranks
+    return codes, int(ranks[-1]) + 1
+
+
+def _vectorized_oracle_join(attribute_lists, fragments):
+    """Vectorized twin of :func:`multiway_join_oracle` over 2-D int arrays.
+
+    ``fragments`` holds one lexicographically sorted, deduplicated table per
+    relation (matching the scalar reducer's ``tuple(sorted(set(...)))``
+    fragments), with ``attribute_lists`` naming each table's columns.  Row
+    order is the oracle's exactly: the accumulator is extended left to
+    right, each accumulator row followed by its matches in the joining
+    fragment's sorted order — the oracle's per-key lists are built by
+    inserting sorted tuples, and the stable argsort below keeps that same
+    within-key order.
+    """
+    np = require_numpy()
+    attributes = list(attribute_lists[0])
+    rows = fragments[0]
+    for rel_attrs, table in zip(attribute_lists[1:], fragments[1:]):
+        rel_attrs = list(rel_attrs)
+        shared = [a for a in attributes if a in rel_attrs]
+        new_attrs = [a for a in rel_attrs if a not in attributes]
+        width = len(attributes) + len(new_attrs)
+        if len(rows) == 0 or len(table) == 0:
+            rows = np.zeros((0, width), dtype=np.int64)
+            attributes.extend(new_attrs)
+            continue
+        rel_new = [rel_attrs.index(a) for a in new_attrs]
+        if shared:
+            rel_shared = [rel_attrs.index(a) for a in shared]
+            acc_shared = [attributes.index(a) for a in shared]
+            combined = np.concatenate(
+                (table[:, rel_shared], rows[:, acc_shared]), axis=0
+            )
+            inverse, num_keys = _row_group_codes(combined)
+            rel_keys = inverse[: len(table)]
+            acc_keys = inverse[len(table) :]
+        else:
+            rel_keys = np.zeros(len(table), dtype=np.int64)
+            acc_keys = np.zeros(len(rows), dtype=np.int64)
+            num_keys = 1
+        order = np.argsort(rel_keys, kind="stable")
+        counts = np.bincount(rel_keys, minlength=num_keys)
+        starts = np.cumsum(counts) - counts
+        match_counts = counts[acc_keys]
+        total = int(match_counts.sum())
+        acc_index = np.repeat(np.arange(len(rows), dtype=np.int64), match_counts)
+        # Ragged per-accumulator-row arange over each key's match block.
+        block_ends = np.cumsum(match_counts)
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            block_ends - match_counts, match_counts
+        )
+        matched = table[order[np.repeat(starts[acc_keys], match_counts) + within]]
+        if rel_new:
+            rows = np.concatenate((rows[acc_index], matched[:, rel_new]), axis=1)
+        else:
+            rows = rows[acc_index]
+        attributes.extend(new_attrs)
+    return attributes, rows
+
+
+class SharesBatchKernel(BatchKernel):
+    """Vectorized twin of :meth:`SharesSchema.job`.
+
+    Records ``(relation name, tuple)`` are encoded as a relation-id column
+    plus ``max_arity`` padded int64 value columns.  Grid points are encoded
+    as mixed-radix integers over ``query.attributes`` (last attribute least
+    significant, matching ``itertools.product`` emission order); each
+    relation's replication pattern collapses to one precomputed array of
+    free-coordinate code offsets added to a per-tuple base code.  The
+    per-group reduce rebuilds the sorted fragments with ``np.unique`` and
+    runs :func:`_vectorized_oracle_join`, then keeps the rows this grid
+    point owns.  ``stable_hash`` is not vectorizable, so bucket lookups are
+    memoized per distinct ``(attribute, value)``.
+    """
+
+    #: Reduce-key codes must stay well inside exact int64 arithmetic.
+    _CODE_LIMIT = 2**62
+
+    def __init__(self, schema: SharesSchema) -> None:
+        self.schema = schema
+        query = schema.query
+        self._bucket_cache: Dict[Tuple[str, int], int] = {}
+        self._max_arity = max(relation.arity for relation in query.relations)
+        self._value_columns = tuple(f"v{index}" for index in range(self._max_arity))
+        #: relation name -> (relation id, arity, padding tuple)
+        self._specs: Dict[str, Tuple[int, int, Tuple[int, ...]]] = {}
+        self._by_id: List[Tuple[str, int]] = []
+        for relation_id, relation in enumerate(query.relations):
+            self._specs[relation.name] = (
+                relation_id,
+                relation.arity,
+                (0,) * (self._max_arity - relation.arity),
+            )
+            self._by_id.append((relation.name, relation.arity))
+        # Mixed radix over query.attributes; the last attribute gets radix 1
+        # so ascending codes enumerate grid points in itertools.product order.
+        self._radix: Dict[str, int] = {}
+        size = 1
+        for attribute in reversed(query.attributes):
+            self._radix[attribute] = size
+            size *= schema.shares[attribute]
+        self._grid_size = size
+        self._tables_cache: Optional[Tuple[List[Any], Any]] = None
+
+    def _code_space(self) -> int:
+        return self._grid_size
+
+    # -- encode / decode -------------------------------------------------
+    def encode(self, records: Sequence[Any]) -> ColumnBatch:
+        np = require_numpy()
+        if self._max_arity == 0 or self._code_space() >= self._CODE_LIMIT:
+            raise BatchEncodingError(
+                "query shape outside the columnar layout (zero-arity "
+                "relations or a reducer grid overflowing int64 codes)"
+            )
+        relation_ids: List[int] = []
+        padded: List[Tuple[int, ...]] = []
+        for record in records:
+            try:
+                name, values = record
+                relation_id, arity, padding = self._specs[name]
+                if len(values) != arity:
+                    raise BatchEncodingError(
+                        f"tuple {values!r} does not match the arity of {name!r}"
+                    )
+                padded.append(tuple(values) + padding)
+            except (KeyError, TypeError, ValueError) as error:
+                raise BatchEncodingError(
+                    f"record {record!r} is not a (relation, tuple) pair of "
+                    f"query {self.schema.query.name!r}: {error}"
+                )
+            relation_ids.append(relation_id)
+        if not padded:
+            columns = {"rel": np.zeros(0, dtype=np.int64)}
+            for name in self._value_columns:
+                columns[name] = np.zeros(0, dtype=np.int64)
+            return ColumnBatch(columns)
+        batch = ColumnBatch.from_int_tuples(padded, self._value_columns)
+        columns = dict(batch.columns)
+        columns["rel"] = np.asarray(relation_ids, dtype=np.int64)
+        return ColumnBatch(columns)
+
+    def decode_records(self, values: ColumnBatch) -> List[Any]:
+        relation_ids = values.column("rel").tolist()
+        columns = [values.column(name).tolist() for name in self._value_columns]
+        records: List[Tuple[str, Tuple[int, ...]]] = []
+        for row, relation_id in enumerate(relation_ids):
+            name, arity = self._by_id[relation_id]
+            records.append(
+                (name, tuple(columns[index][row] for index in range(arity)))
+            )
+        return records
+
+    # -- bucket lookups (memoized around stable_hash) --------------------
+    def _buckets(self, attribute: str, column) -> Any:
+        np = require_numpy()
+        if self.schema.shares[attribute] == 1:
+            return np.zeros(len(column), dtype=np.int64)
+        cache = self._bucket_cache
+        distinct, inverse = np.unique(column, return_inverse=True)
+        values = distinct.tolist()
+        for value in values:
+            if (attribute, value) not in cache:
+                cache[(attribute, value)] = self.schema.bucket_of(attribute, value)
+        lookup = np.fromiter(
+            (cache[(attribute, value)] for value in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        return lookup[inverse]
+
+    def _main_base(self, batch: ColumnBatch, relation, rows) -> Any:
+        """Code contribution of a tuple's own (fixed) grid coordinates."""
+        np = require_numpy()
+        base = np.zeros(len(rows), dtype=np.int64)
+        for position, attribute in enumerate(relation.attributes):
+            column = batch.column(f"v{position}")[rows]
+            base += self._buckets(attribute, column) * self._radix[attribute]
+        return base
+
+    def _tables(self) -> Tuple[List[Any], Any]:
+        """Per-relation free-coordinate code blocks, in product order."""
+        if self._tables_cache is None:
+            np = require_numpy()
+            query = self.schema.query
+            free_codes: List[Any] = []
+            for relation in query.relations:
+                covered = set(relation.attributes)
+                block = np.zeros(1, dtype=np.int64)
+                for attribute in query.attributes:
+                    if attribute in covered:
+                        continue
+                    step = (
+                        np.arange(self.schema.shares[attribute], dtype=np.int64)
+                        * self._radix[attribute]
+                    )
+                    block = (block[:, None] + step[None, :]).ravel()
+                free_codes.append(block)
+            replication = np.asarray(
+                [len(block) for block in free_codes], dtype=np.int64
+            )
+            self._tables_cache = (free_codes, replication)
+        return self._tables_cache
+
+    # -- map -------------------------------------------------------------
+    def map_batch(self, batch: ColumnBatch):
+        np = require_numpy()
+        free_codes, replication = self._tables()
+        relation_ids = batch.column("rel")
+        emissions = replication[relation_ids]
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(emissions, dtype=np.int64))
+        )
+        total = int(offsets[-1])
+        codes = np.empty(total, dtype=np.int64)
+        row_indices = np.empty(total, dtype=np.int64)
+        for relation_id, relation in enumerate(self.schema.query.relations):
+            rows = np.nonzero(relation_ids == relation_id)[0]
+            if len(rows) == 0:
+                continue
+            base = self._main_base(batch, relation, rows)
+            free = free_codes[relation_id]
+            positions = (
+                offsets[rows][:, None]
+                + np.arange(len(free), dtype=np.int64)[None, :]
+            ).ravel()
+            codes[positions] = (base[:, None] + free[None, :]).ravel()
+            row_indices[positions] = np.repeat(rows, len(free))
+        return codes, row_indices, batch
+
+    def _decode_main(self, code: int) -> GridPoint:
+        point: List[int] = []
+        for attribute in reversed(self.schema.query.attributes):
+            share = self.schema.shares[attribute]
+            point.append(code % share)
+            code //= share
+        return tuple(reversed(point))
+
+    def key_of_code(self, code: int):
+        return self._decode_main(int(code))
+
+    # -- reduce ----------------------------------------------------------
+    def _owner_mask(self, key, attributes: List[str], rows) -> Any:
+        np = require_numpy()
+        keep = np.ones(len(rows), dtype=bool)
+        for index, attribute in enumerate(self.schema.query.attributes):
+            column = rows[:, attributes.index(attribute)]
+            keep &= self._buckets(attribute, column) == key[index]
+        return keep
+
+    def reduce_group(self, key, code: int, values: ColumnBatch):
+        np = require_numpy()
+        query = self.schema.query
+        relation_ids = values.column("rel")
+        attribute_lists: List[List[str]] = []
+        fragments: List[Any] = []
+        for relation_id, relation in enumerate(query.relations):
+            mask = relation_ids == relation_id
+            columns = [
+                values.column(f"v{position}")[mask]
+                for position in range(relation.arity)
+            ]
+            table = _sorted_unique_rows(np.stack(columns, axis=1))
+            attribute_lists.append(list(relation.attributes))
+            fragments.append(table)
+        attributes, rows = _vectorized_oracle_join(attribute_lists, fragments)
+        if len(rows) == 0:
+            return []
+        rows = rows[self._owner_mask(key, attributes, rows)]
+        if len(rows) == 0:
+            return []
+        permutation = [attributes.index(a) for a in query.attributes]
+        return [tuple(row) for row in rows[:, permutation].tolist()]
+
+    def reduce_groups(self, run):
+        """One vectorized pass over every group of the run.
+
+        The group index joins the fragments as an extra shared attribute,
+        so a single dedupe + multiway join computes all per-group joins at
+        once while keeping each group's rows separate.  The first fragment
+        is sorted by (group, tuple), which makes the joined rows group-major
+        in run order — exactly the order a per-group loop would emit.
+        """
+        np = require_numpy()
+        query = self.schema.query
+        group_of_pair = np.repeat(
+            np.arange(run.num_groups, dtype=np.int64), run.sizes
+        )
+        relation_ids = run.values.column("rel")
+        attribute_lists: List[List[Any]] = []
+        fragments: List[Any] = []
+        for relation_id, relation in enumerate(query.relations):
+            mask = relation_ids == relation_id
+            columns = [group_of_pair[mask]] + [
+                run.values.column(f"v{position}")[mask]
+                for position in range(relation.arity)
+            ]
+            table = _sorted_unique_rows(np.stack(columns, axis=1))
+            attribute_lists.append([_GROUP_COLUMN] + list(relation.attributes))
+            fragments.append(table)
+        attributes, rows = _vectorized_oracle_join(attribute_lists, fragments)
+        if len(rows) == 0:
+            return []
+        rows = rows[self._owner_mask_run(run, attributes, rows)]
+        if len(rows) == 0:
+            return []
+        permutation = [attributes.index(a) for a in query.attributes]
+        return [tuple(row) for row in rows[:, permutation].tolist()]
+
+    def _owner_mask_run(self, run, attributes: List[Any], rows) -> Any:
+        """Vectorized ``reducer_of_output(assignment) == key`` over all groups."""
+        np = require_numpy()
+        group_column = rows[:, attributes.index(_GROUP_COLUMN)]
+        codes = run.codes
+        keep = np.ones(len(rows), dtype=bool)
+        for attribute in self.schema.query.attributes:
+            coordinate = (codes // self._radix[attribute]) % self.schema.shares[
+                attribute
+            ]
+            column = rows[:, attributes.index(attribute)]
+            keep &= self._buckets(attribute, column) == coordinate[group_column]
+        return keep
+
+
+class SkewAwareSharesBatchKernel(SharesBatchKernel):
+    """Vectorized twin of the :class:`SkewAwareSharesSchema` job.
+
+    Codes below ``main grid size`` are main-grid points; code
+    ``main + h · sub_size + s`` is sub-point ``s`` of the ``h``-th heavy
+    value (in ``_ordered_heavy_values`` order), so every tagged reducer id
+    still round-trips through one int64.
+    """
+
+    def __init__(self, schema: SkewAwareSharesSchema) -> None:
+        super().__init__(schema)
+        self._sub_bucket_cache: Dict[Tuple[str, int], int] = {}
+        self._ordered_heavy = schema._ordered_heavy_values()
+        self._heavy_rank = {
+            value: index for index, value in enumerate(self._ordered_heavy)
+        }
+        self._sub_radix: Dict[str, int] = {}
+        size = 1
+        for attribute in reversed(schema.sub_attributes):
+            self._sub_radix[attribute] = size
+            size *= schema.heavy_shares[attribute]
+        self._sub_size = size
+        self._sub_tables_cache: Optional[List[Any]] = None
+
+    def _code_space(self) -> int:
+        return self._grid_size + len(self._ordered_heavy) * self._sub_size
+
+    # -- sub-grid bucket lookups ----------------------------------------
+    def _sub_buckets(self, attribute: str, column) -> Any:
+        np = require_numpy()
+        schema = self.schema
+        if schema.heavy_shares[attribute] == 1:
+            return np.zeros(len(column), dtype=np.int64)
+        cache = self._sub_bucket_cache
+        distinct, inverse = np.unique(column, return_inverse=True)
+        values = distinct.tolist()
+        for value in values:
+            if (attribute, value) not in cache:
+                cache[(attribute, value)] = schema.sub_bucket_of(attribute, value)
+        lookup = np.fromiter(
+            (cache[(attribute, value)] for value in values),
+            dtype=np.int64,
+            count=len(values),
+        )
+        return lookup[inverse]
+
+    def _sub_base(self, batch: ColumnBatch, relation, rows) -> Any:
+        np = require_numpy()
+        base = np.zeros(len(rows), dtype=np.int64)
+        for position, attribute in enumerate(relation.attributes):
+            if attribute == self.schema.skew_attribute:
+                continue
+            column = batch.column(f"v{position}")[rows]
+            base += self._sub_buckets(attribute, column) * self._sub_radix[attribute]
+        return base
+
+    def _heavy_ranks(self, column) -> Any:
+        """Heavy-value rank per row, ``-1`` for values that are not heavy."""
+        np = require_numpy()
+        distinct, inverse = np.unique(column, return_inverse=True)
+        lookup = np.fromiter(
+            (self._heavy_rank.get(value, -1) for value in distinct.tolist()),
+            dtype=np.int64,
+            count=len(distinct),
+        )
+        return lookup[inverse]
+
+    def _sub_tables(self) -> List[Any]:
+        """Per-relation free sub-coordinate code blocks, in product order."""
+        if self._sub_tables_cache is None:
+            np = require_numpy()
+            schema = self.schema
+            blocks: List[Any] = []
+            for relation in schema.query.relations:
+                covered = set(relation.attributes)
+                block = np.zeros(1, dtype=np.int64)
+                for attribute in schema.sub_attributes:
+                    if attribute in covered:
+                        continue
+                    step = (
+                        np.arange(schema.heavy_shares[attribute], dtype=np.int64)
+                        * self._sub_radix[attribute]
+                    )
+                    block = (block[:, None] + step[None, :]).ravel()
+                blocks.append(block)
+            self._sub_tables_cache = blocks
+        return self._sub_tables_cache
+
+    # -- map -------------------------------------------------------------
+    def map_batch(self, batch: ColumnBatch):
+        np = require_numpy()
+        schema = self.schema
+        query = schema.query
+        main_free, _ = self._tables()
+        sub_free = self._sub_tables()
+        relation_ids = batch.column("rel")
+        num_records = len(relation_ids)
+        num_heavy = len(self._ordered_heavy)
+        emissions = np.zeros(num_records, dtype=np.int64)
+        plans: List[Optional[Tuple[Any, Optional[Any]]]] = []
+        for relation_id, relation in enumerate(query.relations):
+            rows = np.nonzero(relation_ids == relation_id)[0]
+            if len(rows) == 0:
+                plans.append(None)
+                continue
+            if schema.skew_attribute in relation.attributes:
+                position = relation.attributes.index(schema.skew_attribute)
+                ranks = self._heavy_ranks(batch.column(f"v{position}")[rows])
+                emissions[rows] = np.where(
+                    ranks >= 0,
+                    len(sub_free[relation_id]),
+                    len(main_free[relation_id]),
+                )
+                plans.append((rows, ranks))
+            else:
+                emissions[rows] = len(main_free[relation_id]) + num_heavy * len(
+                    sub_free[relation_id]
+                )
+                plans.append((rows, None))
+        offsets = np.concatenate(
+            (np.zeros(1, dtype=np.int64), np.cumsum(emissions, dtype=np.int64))
+        )
+        total = int(offsets[-1])
+        codes = np.empty(total, dtype=np.int64)
+        row_indices = np.empty(total, dtype=np.int64)
+        heavy_offsets = (
+            self._grid_size
+            + np.arange(num_heavy, dtype=np.int64) * self._sub_size
+        )
+
+        def write_block(rows, block) -> None:
+            positions = (
+                offsets[rows][:, None]
+                + np.arange(block.shape[1], dtype=np.int64)[None, :]
+            ).ravel()
+            codes[positions] = block.ravel()
+            row_indices[positions] = np.repeat(rows, block.shape[1])
+
+        for relation_id, relation in enumerate(query.relations):
+            plan = plans[relation_id]
+            if plan is None:
+                continue
+            rows, ranks = plan
+            free = main_free[relation_id]
+            sub = sub_free[relation_id]
+            if ranks is None:
+                # Main-grid points first, then every heavy sub-grid in
+                # ordered-heavy-value order — the scalar broadcast order.
+                main_base = self._main_base(batch, relation, rows)
+                sub_base = self._sub_base(batch, relation, rows)
+                combo = (heavy_offsets[:, None] + sub[None, :]).ravel()
+                block = np.concatenate(
+                    (
+                        main_base[:, None] + free[None, :],
+                        sub_base[:, None] + combo[None, :],
+                    ),
+                    axis=1,
+                )
+                write_block(rows, block)
+                continue
+            heavy = ranks >= 0
+            light_rows = rows[~heavy]
+            if len(light_rows):
+                base = self._main_base(batch, relation, light_rows)
+                write_block(light_rows, base[:, None] + free[None, :])
+            heavy_rows = rows[heavy]
+            if len(heavy_rows):
+                base = (
+                    self._grid_size
+                    + ranks[heavy] * self._sub_size
+                    + self._sub_base(batch, relation, heavy_rows)
+                )
+                write_block(heavy_rows, base[:, None] + sub[None, :])
+        return codes, row_indices, batch
+
+    def key_of_code(self, code: int):
+        code = int(code)
+        if code < self._grid_size:
+            return ("main",) + self._decode_main(code)
+        heavy_rank, sub_code = divmod(code - self._grid_size, self._sub_size)
+        point: List[int] = []
+        for attribute in reversed(self.schema.sub_attributes):
+            share = self.schema.heavy_shares[attribute]
+            point.append(sub_code % share)
+            sub_code //= share
+        return ("heavy", self._ordered_heavy[heavy_rank]) + tuple(reversed(point))
+
+    # -- reduce ----------------------------------------------------------
+    def _owner_mask(self, key, attributes: List[str], rows) -> Any:
+        np = require_numpy()
+        schema = self.schema
+        skew_column = rows[:, attributes.index(schema.skew_attribute)]
+        if key[0] == "main":
+            keep = self._heavy_ranks(skew_column) < 0
+            for index, attribute in enumerate(schema.query.attributes):
+                column = rows[:, attributes.index(attribute)]
+                keep &= self._buckets(attribute, column) == key[1 + index]
+            return keep
+        keep = skew_column == key[1]
+        for index, attribute in enumerate(schema.sub_attributes):
+            column = rows[:, attributes.index(attribute)]
+            keep &= self._sub_buckets(attribute, column) == key[2 + index]
+        return keep
+
+    def _owner_mask_run(self, run, attributes: List[Any], rows) -> Any:
+        np = require_numpy()
+        schema = self.schema
+        group_column = rows[:, attributes.index(_GROUP_COLUMN)]
+        codes = run.codes
+        main_group = codes < self._grid_size
+        row_on_main = main_group[group_column]
+        skew_column = rows[:, attributes.index(schema.skew_attribute)]
+        # Main-grid groups own a row iff its skew value is light and every
+        # main-grid bucket matches the group's decoded coordinate.
+        keep_main = row_on_main & (self._heavy_ranks(skew_column) < 0)
+        for attribute in schema.query.attributes:
+            coordinate = (codes // self._radix[attribute]) % schema.shares[attribute]
+            column = rows[:, attributes.index(attribute)]
+            keep_main &= self._buckets(attribute, column) == coordinate[group_column]
+        # Heavy sub-grid groups own a row iff the skew value is the group's
+        # heavy value and the sub-grid buckets match.  The where() guards
+        # keep main-grid codes (negative remainders) inside valid ranges;
+        # those groups are masked out by ``row_on_main`` anyway.
+        remainder = np.where(main_group, 0, codes - self._grid_size)
+        heavy_values = np.asarray(self._ordered_heavy, dtype=np.int64)
+        group_heavy_value = heavy_values[remainder // self._sub_size]
+        keep_heavy = ~row_on_main & (skew_column == group_heavy_value[group_column])
+        sub_code = remainder % self._sub_size
+        for attribute in schema.sub_attributes:
+            coordinate = (sub_code // self._sub_radix[attribute]) % schema.heavy_shares[
+                attribute
+            ]
+            column = rows[:, attributes.index(attribute)]
+            keep_heavy &= (
+                self._sub_buckets(attribute, column) == coordinate[group_column]
+            )
+        return keep_main | keep_heavy
 
 
 # ----------------------------------------------------------------------

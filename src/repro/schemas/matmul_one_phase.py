@@ -17,11 +17,121 @@ from typing import Iterator, List, Tuple
 from repro.core.mapping_schema import MappingSchema, SchemaFamily
 from repro.core.problem import Problem
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.columnar import BatchEncodingError, BatchKernel, ColumnBatch
 from repro.mapreduce.job import MapReduceJob
 from repro.problems.matmul import MatrixMultiplicationProblem
 
 ElementRecord = Tuple[str, int, int, float]
 TileId = Tuple[int, int]
+
+_MATRIX_TAGS = {"R": 0, "S": 1}
+
+
+def encode_element_records(records, n: int) -> ColumnBatch:
+    """Pack element records into (tag, i, j, value) columns, or decline.
+
+    Shared by the matrix-multiplication kernels.  Values must be plain
+    Python floats (as :func:`repro.datagen.matrix_to_records` produces):
+    coercing ints or decimals to float64 silently would let the decoded
+    records drift from the originals and break bit identity.
+    """
+    import numpy as np
+
+    tags: List[int] = []
+    row_ids: List[int] = []
+    column_ids: List[int] = []
+    values: List[float] = []
+    try:
+        for matrix, i, j, value in records:
+            tags.append(_MATRIX_TAGS[matrix])
+            if (
+                type(i) is not int
+                or type(j) is not int
+                or type(value) is not float
+            ):
+                raise BatchEncodingError(
+                    "element records must carry plain int indices and a "
+                    "plain float value"
+                )
+            row_ids.append(i)
+            column_ids.append(j)
+            values.append(value)
+    except (KeyError, TypeError, ValueError) as error:
+        raise BatchEncodingError(f"records are not element records: {error}")
+    index_low = min(min(row_ids, default=0), min(column_ids, default=0))
+    index_high = max(max(row_ids, default=0), max(column_ids, default=0))
+    if index_low < 0 or index_high >= n:
+        raise BatchEncodingError(f"element indices fall outside [0, n={n})")
+    return ColumnBatch(
+        {
+            "m": np.asarray(tags, dtype=np.int64),
+            "i": np.asarray(row_ids, dtype=np.int64),
+            "j": np.asarray(column_ids, dtype=np.int64),
+            "val": np.asarray(values, dtype=np.float64),
+        }
+    )
+
+
+def decode_element_records(values: ColumnBatch) -> List[ElementRecord]:
+    """Inverse of :func:`encode_element_records` (bit-identical records)."""
+    return [
+        ("R" if tag == 0 else "S", i, j, value)
+        for tag, i, j, value in zip(
+            values.column("m").tolist(),
+            values.column("i").tolist(),
+            values.column("j").tolist(),
+            values.column("val").tolist(),
+        )
+    ]
+
+
+def accumulate_tile(tags, row_ids, column_ids, values, row_range, column_range, middle_range):
+    """Per-tile products summed in the scalar reducers' exact order.
+
+    Builds dense (rows × middles) / (middles × columns) operand blocks with
+    presence masks, then accumulates ``j`` strictly in ascending order:
+    IEEE addition order is part of the bit-identity contract, so a single
+    ``matmul`` (pairwise summation, different rounding) is off the table.
+    Missing pairs contribute an exact ``+0.0``, which is a bitwise no-op on
+    every total this accumulation can produce.  Returns ``(totals,
+    contributed)`` dense tiles.
+    """
+    import numpy as np
+
+    row_start, row_stop = row_range
+    column_start, column_stop = column_range
+    middle_start, middle_stop = middle_range
+    rows = row_stop - row_start
+    columns = column_stop - column_start
+    middles = middle_stop - middle_start
+    left = np.zeros((rows, middles))
+    left_present = np.zeros((rows, middles), dtype=bool)
+    right = np.zeros((middles, columns))
+    right_present = np.zeros((middles, columns), dtype=bool)
+    is_left = tags == 0
+    # Duplicate (i, j) records overwrite in arrival order, matching the
+    # scalar reducers' dict construction.
+    left[row_ids[is_left] - row_start, column_ids[is_left] - middle_start] = values[
+        is_left
+    ]
+    left_present[
+        row_ids[is_left] - row_start, column_ids[is_left] - middle_start
+    ] = True
+    is_right = ~is_left
+    right[row_ids[is_right] - middle_start, column_ids[is_right] - column_start] = (
+        values[is_right]
+    )
+    right_present[
+        row_ids[is_right] - middle_start, column_ids[is_right] - column_start
+    ] = True
+    totals = np.zeros((rows, columns))
+    contributed = np.zeros((rows, columns), dtype=bool)
+    for middle in range(middles):
+        both = left_present[:, middle][:, None] & right_present[middle, :][None, :]
+        product = left[:, middle][:, None] * right[middle, :][None, :]
+        totals += np.where(both, product, 0.0)
+        contributed |= both
+    return totals, contributed
 
 
 class OnePhaseTilingSchema(SchemaFamily):
@@ -139,6 +249,7 @@ class OnePhaseTilingSchema(SchemaFamily):
             reducer=reducer,
             name=self.name,
             reducer_capacity=int(self.max_reducer_size_formula()),
+            batch_kernel=OnePhaseTilingBatchKernel(self),
         )
 
     # ------------------------------------------------------------------
@@ -164,3 +275,73 @@ class OnePhaseTilingSchema(SchemaFamily):
     def total_communication(self) -> float:
         """Total shuffled elements ``r · |I| = (n/s) · 2n²`` (Section 6.3's 4n⁴/q)."""
         return self.replication_rate_formula() * 2.0 * self.n * self.n
+
+
+class OnePhaseTilingBatchKernel(BatchKernel):
+    """Vectorized twin of :meth:`OnePhaseTilingSchema.job`.
+
+    Tiles ``(row, column)`` become the code ``row · (n/s) + column``.  An R
+    element fans out along a tile row (ascending column group), an S element
+    down a tile column (ascending row group) — the same order as the scalar
+    mapper.  The per-tile reduce accumulates products middle-index by
+    middle-index (see :func:`accumulate_tile`) so float totals are
+    bit-identical to the scalar reducer's sequential sums.
+    """
+
+    def __init__(self, schema: OnePhaseTilingSchema) -> None:
+        self.schema = schema
+
+    def encode(self, records) -> ColumnBatch:
+        return encode_element_records(records, self.schema.n)
+
+    def decode_records(self, values: ColumnBatch) -> List[ElementRecord]:
+        return decode_element_records(values)
+
+    def map_batch(self, batch: ColumnBatch):
+        import numpy as np
+
+        schema = self.schema
+        groups = schema.num_groups
+        size = schema.group_size
+        tags = batch.column("m")
+        anchor = np.where(
+            tags == 0,
+            (batch.column("i") // size) * groups,
+            batch.column("j") // size,
+        )
+        step = np.where(tags == 0, 1, groups)
+        codes = (
+            anchor[:, None] + step[:, None] * np.arange(groups, dtype=np.int64)[None, :]
+        )
+        row_indices = np.repeat(np.arange(len(tags), dtype=np.int64), groups)
+        return codes.ravel(), row_indices, batch
+
+    def key_of_code(self, code: int) -> TileId:
+        code = int(code)
+        return (code // self.schema.num_groups, code % self.schema.num_groups)
+
+    def reduce_group(self, key: TileId, code: int, values: ColumnBatch):
+        import numpy as np
+
+        schema = self.schema
+        size = schema.group_size
+        row_start = key[0] * size
+        column_start = key[1] * size
+        totals, _ = accumulate_tile(
+            values.column("m"),
+            values.column("i"),
+            values.column("j"),
+            values.column("val"),
+            (row_start, row_start + size),
+            (column_start, column_start + size),
+            (0, schema.n),
+        )
+        row_ids = np.repeat(
+            np.arange(row_start, row_start + size, dtype=np.int64), size
+        )
+        column_ids = np.tile(
+            np.arange(column_start, column_start + size, dtype=np.int64), size
+        )
+        return list(
+            zip(row_ids.tolist(), column_ids.tolist(), totals.ravel().tolist())
+        )

@@ -17,8 +17,14 @@ import math
 from typing import Iterator, List, Optional, Tuple
 
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.columnar import BatchEncodingError, BatchKernel, ColumnBatch
 from repro.mapreduce.job import JobChain, MapReduceJob
 from repro.problems.matmul import MatrixMultiplicationProblem
+from repro.schemas.matmul_one_phase import (
+    accumulate_tile,
+    decode_element_records,
+    encode_element_records,
+)
 
 ElementRecord = Tuple[str, int, int, float]
 CubeId = Tuple[int, int, int]
@@ -188,13 +194,165 @@ class TwoPhaseMatMulAlgorithm:
             reducer=first_reducer,
             name=f"{self.name}/phase-1",
             reducer_capacity=self.first_phase_reducer_size,
+            batch_kernel=CubePartialSumBatchKernel(self),
         )
         second_job = MapReduceJob(
             mapper=second_mapper,
             reducer=second_reducer,
             name=f"{self.name}/phase-2",
+            batch_kernel=PartialSumAggregationBatchKernel(self),
         )
         return JobChain(jobs=[first_job, second_job], name=self.name, colocated_rounds=(1,))
+
+
+class CubePartialSumBatchKernel(BatchKernel):
+    """Vectorized twin of the first-phase (partial sum) job.
+
+    Cubes ``(row, column, middle)`` become the code
+    ``(row · n/s + column) · n/t + middle``.  The per-cube reduce is
+    :func:`repro.schemas.matmul_one_phase.accumulate_tile` restricted to
+    the cube's middle-index band; only contributing ``(i, k)`` pairs emit,
+    in the scalar reducer's row-major order.
+    """
+
+    def __init__(self, algorithm: TwoPhaseMatMulAlgorithm) -> None:
+        self.algorithm = algorithm
+
+    def encode(self, records) -> ColumnBatch:
+        return encode_element_records(records, self.algorithm.n)
+
+    def decode_records(self, values: ColumnBatch) -> List[ElementRecord]:
+        return decode_element_records(values)
+
+    def map_batch(self, batch: ColumnBatch):
+        import numpy as np
+
+        algorithm = self.algorithm
+        row_groups = algorithm.num_row_groups
+        middle_groups = algorithm.num_middle_groups
+        tags = batch.column("m")
+        is_left = tags == 0
+        # R(i, j): cube middle comes from j; S(j, k): from i.
+        middle = np.where(
+            is_left,
+            batch.column("j") // algorithm.t,
+            batch.column("i") // algorithm.t,
+        )
+        # R fans out along a row of cubes (ascending column group), S down a
+        # column (ascending row group) — the scalar mapper's loop order.
+        anchor = np.where(
+            is_left,
+            (batch.column("i") // algorithm.s) * row_groups,
+            batch.column("j") // algorithm.s,
+        )
+        step = np.where(is_left, 1, row_groups)
+        codes = (
+            anchor[:, None] + step[:, None] * np.arange(row_groups, dtype=np.int64)[None, :]
+        ) * middle_groups + middle[:, None]
+        row_indices = np.repeat(np.arange(len(tags), dtype=np.int64), row_groups)
+        return codes.ravel(), row_indices, batch
+
+    def key_of_code(self, code: int) -> CubeId:
+        code = int(code)
+        middle_groups = self.algorithm.num_middle_groups
+        row_groups = self.algorithm.num_row_groups
+        tile, middle = divmod(code, middle_groups)
+        return (tile // row_groups, tile % row_groups, middle)
+
+    def reduce_group(self, key: CubeId, code: int, values: ColumnBatch):
+        import numpy as np
+
+        algorithm = self.algorithm
+        row_start = key[0] * algorithm.s
+        column_start = key[1] * algorithm.s
+        middle_start = key[2] * algorithm.t
+        totals, contributed = accumulate_tile(
+            values.column("m"),
+            values.column("i"),
+            values.column("j"),
+            values.column("val"),
+            (row_start, row_start + algorithm.s),
+            (column_start, column_start + algorithm.s),
+            (middle_start, middle_start + algorithm.t),
+        )
+        row_ids = np.repeat(
+            np.arange(row_start, row_start + algorithm.s, dtype=np.int64), algorithm.s
+        )
+        column_ids = np.tile(
+            np.arange(column_start, column_start + algorithm.s, dtype=np.int64),
+            algorithm.s,
+        )
+        emit = contributed.ravel()
+        return [
+            ((i, k), partial)
+            for i, k, partial in zip(
+                row_ids[emit].tolist(),
+                column_ids[emit].tolist(),
+                totals.ravel()[emit].tolist(),
+            )
+        ]
+
+
+class PartialSumAggregationBatchKernel(BatchKernel):
+    """Vectorized twin of the second-phase (final aggregation) job.
+
+    Keys ``(i, k)`` become ``i · n + k``; each record emits exactly once,
+    so the value batch is already pair-aligned.  The per-key reduce is the
+    scalar ``sum(partials)`` on the arrival-ordered Python floats — the
+    addition order is the bit-identity contract, so no numpy pairwise sum.
+    """
+
+    def __init__(self, algorithm: TwoPhaseMatMulAlgorithm) -> None:
+        self.algorithm = algorithm
+
+    def encode(self, records) -> ColumnBatch:
+        import numpy as np
+
+        row_ids: List[int] = []
+        column_ids: List[int] = []
+        values: List[float] = []
+        try:
+            for (i, k), partial in records:
+                if (
+                    type(i) is not int
+                    or type(k) is not int
+                    or type(partial) is not float
+                ):
+                    raise BatchEncodingError(
+                        "partial-sum records must carry plain int indices "
+                        "and a plain float value"
+                    )
+                row_ids.append(i)
+                column_ids.append(k)
+                values.append(partial)
+        except (TypeError, ValueError) as error:
+            raise BatchEncodingError(f"records are not partial sums: {error}")
+        index_low = min(min(row_ids, default=0), min(column_ids, default=0))
+        index_high = max(max(row_ids, default=0), max(column_ids, default=0))
+        if index_low < 0 or index_high >= self.algorithm.n:
+            raise BatchEncodingError(
+                f"partial-sum indices fall outside [0, n={self.algorithm.n})"
+            )
+        return ColumnBatch(
+            {
+                "i": np.asarray(row_ids, dtype=np.int64),
+                "k": np.asarray(column_ids, dtype=np.int64),
+                "val": np.asarray(values, dtype=np.float64),
+            }
+        )
+
+    def decode_records(self, values: ColumnBatch) -> List[float]:
+        return values.column("val").tolist()
+
+    def map_batch(self, batch: ColumnBatch):
+        codes = batch.column("i") * self.algorithm.n + batch.column("k")
+        return codes, None, batch
+
+    def key_of_code(self, code: int) -> Tuple[int, int]:
+        return divmod(int(code), self.algorithm.n)
+
+    def reduce_group(self, key: Tuple[int, int], code: int, values: ColumnBatch):
+        return [(key[0], key[1], sum(values.column("val").tolist()))]
 
 
 def _nearest_divisor(n: int, target: float) -> int:

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import itertools
 import math
-from typing import Iterator, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.mapping_schema import MappingSchema, SchemaFamily
 from repro.core.problem import Problem
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.columnar import BatchKernel, ColumnBatch
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.partitioner import stable_hash
 from repro.problems.triangles import TriangleProblem
@@ -137,13 +138,20 @@ class PartitionTriangleSchema(SchemaFamily):
                     if schema.triangle_reducer(u, v, w) == reducer_id:
                         yield (u, v, w)
 
-        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+        return MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            name=self.name,
+            batch_kernel=TriangleBatchKernel(self),
+        )
 
     # ------------------------------------------------------------------
     # Sizing helpers
     # ------------------------------------------------------------------
     @classmethod
-    def for_reducer_size(cls, n: int, q: float, hash_nodes: bool = False) -> "PartitionTriangleSchema":
+    def for_reducer_size(
+        cls, n: int, q: float, hash_nodes: bool = False
+    ) -> "PartitionTriangleSchema":
         """Pick the largest ``k`` whose reducers stay within ``q`` edges.
 
         Inverts ``q ≈ 4.5 n² / k²``: ``k = ceil(n·√(4.5/q))``, clamped to
@@ -153,3 +161,113 @@ class PartitionTriangleSchema(SchemaFamily):
             raise ConfigurationError("q must be positive")
         k = max(1, math.ceil(n * math.sqrt(4.5 / q)))
         return cls(n, min(k, n), hash_nodes=hash_nodes)
+
+
+class TriangleBatchKernel(BatchKernel):
+    """Vectorized twin of :meth:`PartitionTriangleSchema.job`.
+
+    Reduce keys (sorted bucket triples ``(a, b, c)``) are encoded as the
+    mixed-radix integer ``(a·k + b)·k + c``.  The per-group reduce builds a
+    boolean adjacency matrix over the group's local node set and finds, for
+    every deduplicated edge ``(u, v)``, the common neighbours ``w > v``
+    whose bucket completes the reducer's triple — ``np.nonzero`` row-major
+    order reproduces the scalar reducer's lexicographic emission order.
+    """
+
+    def __init__(self, schema: PartitionTriangleSchema) -> None:
+        self.schema = schema
+        # Node buckets are memoized per distinct node value: the hash-based
+        # bucketing goes through stable_hash, which is not vectorizable.
+        self._bucket_cache: Dict[int, int] = {}
+
+    def _buckets_of(self, nodes) -> "object":
+        """Bucket indices of an array of *distinct* node values."""
+        import numpy as np
+
+        schema, cache = self.schema, self._bucket_cache
+        if not schema.hash_nodes:
+            group_size = math.ceil(schema.n / schema.num_buckets)
+            return np.minimum(nodes // group_size, schema.num_buckets - 1)
+        values = nodes.tolist()
+        for value in values:
+            if value not in cache:
+                cache[value] = schema.bucket_of(value)
+        return np.fromiter(
+            (cache[value] for value in values), dtype=np.int64, count=len(values)
+        )
+
+    # -- encode / map ----------------------------------------------------
+    def encode(self, records) -> ColumnBatch:
+        return ColumnBatch.from_int_tuples(records, ("u", "v"))
+
+    def map_batch(self, batch: ColumnBatch):
+        import numpy as np
+
+        k = self.schema.num_buckets
+        u, v = batch.column("u"), batch.column("v")
+        unique_nodes, inverse = np.unique(
+            np.concatenate((u, v)), return_inverse=True
+        )
+        node_buckets = self._buckets_of(unique_nodes)
+        bucket_u = node_buckets[inverse[: len(u)]]
+        bucket_v = node_buckets[inverse[len(u) :]]
+        # One emission per (edge, third) in the scalar mapper's order:
+        # record-major, third ascending.
+        num_edges = len(u)
+        triples = np.sort(
+            np.stack(
+                (
+                    np.repeat(bucket_u, k),
+                    np.repeat(bucket_v, k),
+                    np.tile(np.arange(k, dtype=np.int64), num_edges),
+                ),
+                axis=1,
+            ),
+            axis=1,
+        )
+        codes = (triples[:, 0] * k + triples[:, 1]) * k + triples[:, 2]
+        row_indices = np.repeat(np.arange(num_edges, dtype=np.int64), k)
+        return codes, row_indices, batch
+
+    def key_of_code(self, code: int):
+        k = self.schema.num_buckets
+        return (code // (k * k), (code // k) % k, code % k)
+
+    # -- reduce ----------------------------------------------------------
+    def reduce_group(self, key, code: int, values: ColumnBatch):
+        import numpy as np
+
+        u, v = values.column("u"), values.column("v")
+        # sorted(set(edges)): lexicographic sort, then first-occurrence
+        # dedupe on the (u, v) pairs.
+        order = np.lexsort((v, u))
+        edge_u, edge_v = u[order], v[order]
+        if len(edge_u) == 0:
+            return []
+        keep = np.empty(len(edge_u), dtype=bool)
+        keep[0] = True
+        keep[1:] = (edge_u[1:] != edge_u[:-1]) | (edge_v[1:] != edge_v[:-1])
+        edge_u, edge_v = edge_u[keep], edge_v[keep]
+        nodes = np.unique(np.concatenate((edge_u, edge_v)))
+        local_u = np.searchsorted(nodes, edge_u)
+        local_v = np.searchsorted(nodes, edge_v)
+        size = len(nodes)
+        adjacency = np.zeros((size, size), dtype=bool)
+        adjacency[local_u, local_v] = True
+        adjacency[local_v, local_u] = True
+        buckets = self._buckets_of(nodes)
+        # The third bucket that completes this reducer's multiset for each
+        # edge; {bucket(u), bucket(v)} is a sub-multiset of the key by
+        # construction, so the difference of sums identifies it.
+        target = (key[0] + key[1] + key[2]) - buckets[local_u] - buckets[local_v]
+        candidates = adjacency[local_u] & adjacency[local_v]
+        candidates &= nodes[None, :] > edge_v[:, None]
+        candidates &= buckets[None, :] == target[:, None]
+        edge_index, node_index = np.nonzero(candidates)
+        return list(
+            zip(
+                edge_u[edge_index].tolist(),
+                edge_v[edge_index].tolist(),
+                nodes[node_index].tolist(),
+            )
+        )

@@ -15,11 +15,16 @@ once: reducer ``[u, {i, j}]`` emits ``v-u-w`` if the endpoint buckets are
 from __future__ import annotations
 
 import math
-from typing import FrozenSet, Iterator, List, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Tuple
 
 from repro.core.mapping_schema import MappingSchema, SchemaFamily
 from repro.core.problem import Problem
 from repro.exceptions import ConfigurationError
+from repro.mapreduce.columnar import (
+    BatchEncodingError,
+    BatchKernel,
+    ColumnBatch,
+)
 from repro.mapreduce.job import MapReduceJob
 from repro.mapreduce.partitioner import stable_hash
 from repro.problems.subgraphs import TwoPathProblem
@@ -131,7 +136,12 @@ class TwoPathSchema(SchemaFamily):
                     if schema.emitting_reducer(v, middle, w) == reducer_id:
                         yield (v, middle, w)
 
-        return MapReduceJob(mapper=mapper, reducer=reducer, name=self.name)
+        return MapReduceJob(
+            mapper=mapper,
+            reducer=reducer,
+            name=self.name,
+            batch_kernel=TwoPathBatchKernel(self),
+        )
 
     @classmethod
     def for_reducer_size(cls, n: int, q: float, hash_nodes: bool = False) -> "TwoPathSchema":
@@ -140,3 +150,117 @@ class TwoPathSchema(SchemaFamily):
             raise ConfigurationError("q must be positive")
         k = max(2, math.ceil(2.0 * n / q))
         return cls(n, min(k, n), hash_nodes=hash_nodes)
+
+
+class TwoPathBatchKernel(BatchKernel):
+    """Vectorized twin of :meth:`TwoPathSchema.job`.
+
+    A reducer id ``(middle, {i, j})`` with ``i < j`` becomes the code
+    ``(middle · k + i) · k + j``.  The scalar mapper interleaves, for each
+    ``other`` bucket in ascending order, the ``(b, {h(a), other})`` and
+    ``(a, {h(b), other})`` emissions; the kernel lays the same codes out as
+    a ``(num_edges, 2k)`` matrix and drops the skipped slots with a mask,
+    so the row-major ravel reproduces the record-path emission order.
+    """
+
+    def __init__(self, schema: TwoPathSchema) -> None:
+        self.schema = schema
+        self._bucket_cache: Dict[int, int] = {}
+
+    def _buckets_of(self, nodes):
+        """Bucket indices of an array of *distinct* node values."""
+        import numpy as np
+
+        schema, cache = self.schema, self._bucket_cache
+        if not schema.hash_nodes:
+            group_size = math.ceil(schema.n / schema.num_buckets)
+            return np.minimum(nodes // group_size, schema.num_buckets - 1)
+        values = nodes.tolist()
+        for value in values:
+            if value not in cache:
+                cache[value] = schema.bucket_of(value)
+        return np.fromiter(
+            (cache[value] for value in values), dtype=np.int64, count=len(values)
+        )
+
+    def encode(self, records) -> ColumnBatch:
+        k = self.schema.num_buckets
+        if self.schema.n * k * k >= 2**62:
+            raise BatchEncodingError(
+                f"reducer codes for n={self.schema.n}, k={k} exceed exact "
+                "int64 arithmetic"
+            )
+        batch = ColumnBatch.from_int_tuples(records, ("u", "v"))
+        if len(batch) > 0:
+            import numpy as np
+
+            low = min(int(batch.column("u").min()), int(batch.column("v").min()))
+            high = max(int(batch.column("u").max()), int(batch.column("v").max()))
+            if low < 0 or high >= self.schema.n:
+                raise BatchEncodingError(
+                    f"edge endpoints fall outside [0, n={self.schema.n})"
+                )
+        return batch
+
+    def map_batch(self, batch: ColumnBatch):
+        import numpy as np
+
+        k = self.schema.num_buckets
+        u, v = batch.column("u"), batch.column("v")
+        unique_nodes, inverse = np.unique(np.concatenate((u, v)), return_inverse=True)
+        node_buckets = self._buckets_of(unique_nodes)
+        bucket_u = node_buckets[inverse[: len(u)]]
+        bucket_v = node_buckets[inverse[len(u) :]]
+        num_edges = len(u)
+        codes = np.empty((num_edges, 2 * k), dtype=np.int64)
+        valid = np.empty((num_edges, 2 * k), dtype=bool)
+        for other in range(k):
+            codes[:, 2 * other] = (
+                v * k + np.minimum(bucket_u, other)
+            ) * k + np.maximum(bucket_u, other)
+            valid[:, 2 * other] = bucket_u != other
+            codes[:, 2 * other + 1] = (
+                u * k + np.minimum(bucket_v, other)
+            ) * k + np.maximum(bucket_v, other)
+            valid[:, 2 * other + 1] = bucket_v != other
+        mask = valid.ravel()
+        row_indices = np.repeat(np.arange(num_edges, dtype=np.int64), 2 * k)
+        return codes.ravel()[mask], row_indices[mask], batch
+
+    def key_of_code(self, code: int) -> ReducerId:
+        k = self.schema.num_buckets
+        code = int(code)
+        return (code // (k * k), frozenset(((code // k) % k, code % k)))
+
+    def reduce_group(self, key: ReducerId, code: int, values: ColumnBatch):
+        import numpy as np
+
+        k = self.schema.num_buckets
+        middle = code // (k * k)
+        bucket_i, bucket_j = (code // k) % k, code % k
+        u, v = values.column("u"), values.column("v")
+        # if a == middle take b; elif b == middle take a — same rule as the
+        # scalar reducer's neighbour collection.
+        incident = (u == middle) | (v == middle)
+        neighbours = np.unique(np.where(u == middle, v, u)[incident])
+        if len(neighbours) < 2:
+            return []
+        left, right = np.triu_indices(len(neighbours), k=1)
+        bucket_left = self._buckets_of(neighbours)[left]
+        bucket_right = self._buckets_of(neighbours)[right]
+        same = bucket_left == bucket_right
+        alternate = (bucket_left + 1) % k
+        pair_low = np.where(
+            same,
+            np.minimum(bucket_left, alternate),
+            np.minimum(bucket_left, bucket_right),
+        )
+        pair_high = np.where(
+            same,
+            np.maximum(bucket_left, alternate),
+            np.maximum(bucket_left, bucket_right),
+        )
+        keep = (pair_low == bucket_i) & (pair_high == bucket_j)
+        first = neighbours[left[keep]].tolist()
+        second = neighbours[right[keep]].tolist()
+        return [(v_node, middle, w_node) for v_node, w_node in zip(first, second)]

@@ -1,0 +1,287 @@
+"""Bit-identity of the columnar data plane against the record path.
+
+The record path (``SerialExecutor``) is the oracle: for every kernel-carrying
+schema, running the same job on ``data_plane="columnar"`` must produce the
+*identical* output list (same tuples, same order) and identical metrics —
+reduce-key sizes, worker loads, and the flat summary — because the columnar
+plane is an execution strategy, not a semantics change.  Hypothesis drives
+arbitrary input subsets through every vectorized kernel, on uniform and
+skewed (Zipf) data, through both shuffle backends, and through a planned
+two-round cascade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen.relations import (
+    RelationInstance,
+    binary_join_instance,
+    chain_join_instance,
+    skewed_chain_join_instance,
+)
+from repro.mapreduce import ClusterConfig, MapReduceEngine, PartitionedShuffle
+from repro.problems.joins import JoinQuery
+from repro.schemas.hamming_distance_d import BallTwoSchema
+from repro.schemas.hamming_splitting import SplittingSchema
+from repro.schemas.join_shares import SharesSchema, SkewAwareSharesSchema
+from repro.schemas.matmul_one_phase import OnePhaseTilingSchema
+from repro.schemas.matmul_two_phase import TwoPhaseMatMulAlgorithm
+from repro.schemas.triangles import PartitionTriangleSchema
+from repro.schemas.two_paths import TwoPathSchema
+
+
+def run_both_planes(make_job, records, shuffle_factory=None):
+    """Run one job on both data planes; return the two results."""
+    results = []
+    for plane in ("records", "columnar"):
+        engine = MapReduceEngine(
+            config=ClusterConfig(data_plane=plane), shuffle_factory=shuffle_factory
+        )
+        results.append(engine.run(make_job(), records))
+    return results
+
+
+def assert_identical(record_result, columnar_result):
+    """The full bit-identity contract: outputs AND metrics."""
+    assert record_result.outputs == columnar_result.outputs
+    assert record_result.metrics.summary() == columnar_result.metrics.summary()
+    assert (
+        record_result.metrics.shuffle.reducer_sizes
+        == columnar_result.metrics.shuffle.reducer_sizes
+    )
+    assert (
+        record_result.metrics.workers.values_per_worker
+        == columnar_result.metrics.workers.values_per_worker
+    )
+
+
+@st.composite
+def word_sets(draw, bits: int = 6):
+    universe = list(range(2**bits))
+    return sorted(draw(st.sets(st.sampled_from(universe), min_size=0, max_size=40)))
+
+
+@st.composite
+def edge_sets(draw, n: int = 12):
+    universe = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    return sorted(draw(st.sets(st.sampled_from(universe), min_size=0, max_size=40)))
+
+
+class TestHammingKernels:
+    @given(words=word_sets(), segments=st.sampled_from([2, 3, 6]))
+    @settings(max_examples=25, deadline=None)
+    def test_splitting_matches_record_path(self, words, segments):
+        schema = SplittingSchema(6, segments)
+        assert_identical(*run_both_planes(schema.job, words))
+
+    @given(words=word_sets(bits=5), emit=st.sampled_from([None, 1, 2]))
+    @settings(max_examples=25, deadline=None)
+    def test_ball_two_matches_record_path(self, words, emit):
+        schema = BallTwoSchema(5)
+        assert_identical(*run_both_planes(lambda: schema.job(emit), words))
+
+    @given(words=word_sets())
+    @settings(max_examples=10, deadline=None)
+    def test_splitting_matches_through_partitioned_shuffle(self, words):
+        schema = SplittingSchema(6, 2)
+        assert_identical(
+            *run_both_planes(
+                schema.job,
+                words,
+                shuffle_factory=lambda: PartitionedShuffle(
+                    num_partitions=3, buffer_size=16
+                ),
+            )
+        )
+
+
+class TestGraphKernels:
+    @given(edges=edge_sets(), buckets=st.sampled_from([2, 3]))
+    @settings(max_examples=25, deadline=None)
+    def test_triangles_match_record_path(self, edges, buckets):
+        schema = PartitionTriangleSchema(12, buckets)
+        assert_identical(*run_both_planes(schema.job, edges))
+
+    @given(
+        edges=edge_sets(),
+        buckets=st.sampled_from([2, 4]),
+        hashed=st.booleans(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_two_paths_match_record_path(self, edges, buckets, hashed):
+        schema = TwoPathSchema(12, buckets, hash_nodes=hashed)
+        assert_identical(*run_both_planes(schema.job, edges))
+
+
+@st.composite
+def join_relations(draw):
+    """A binary-join instance, optionally with a planted heavy value."""
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    skewed = draw(st.booleans())
+    r, s = binary_join_instance(40, 40, domain_size=10, seed=seed)
+    if skewed:
+        rng_rows = tuple((i % 10, 4) for i in range(20))
+        r = RelationInstance(
+            name=r.name,
+            attributes=r.attributes,
+            tuples=tuple(sorted(set(r.tuples + rng_rows))),
+        )
+        s = RelationInstance(
+            name=s.name,
+            attributes=s.attributes,
+            tuples=tuple(sorted(set(s.tuples + tuple((4, i % 10) for i in range(20))))),
+        )
+    return [r, s], skewed
+
+
+class TestSharesKernels:
+    @given(instance=join_relations())
+    @settings(max_examples=20, deadline=None)
+    def test_vanilla_shares_match_record_path(self, instance):
+        relations, _ = instance
+        schema = SharesSchema(
+            JoinQuery.binary_join(), {"A": 2, "B": 2, "C": 2}, domain_size=10
+        )
+        records = SharesSchema.input_records(relations)
+        assert_identical(
+            *run_both_planes(lambda: schema.job(relations), records)
+        )
+
+    @given(instance=join_relations())
+    @settings(max_examples=20, deadline=None)
+    def test_skew_aware_shares_match_record_path(self, instance):
+        relations, _ = instance
+        schema = SkewAwareSharesSchema(
+            JoinQuery.binary_join(),
+            {"A": 2, "B": 2, "C": 2},
+            domain_size=10,
+            skew_attribute="B",
+            heavy_values=[4],
+            heavy_shares={"A": 2, "C": 2},
+        )
+        records = SharesSchema.input_records(relations)
+        assert_identical(
+            *run_both_planes(lambda: schema.job(relations), records)
+        )
+
+    @given(instance=join_relations())
+    @settings(max_examples=8, deadline=None)
+    def test_shares_match_through_partitioned_shuffle(self, instance):
+        relations, _ = instance
+        schema = SharesSchema(
+            JoinQuery.binary_join(), {"B": 3}, domain_size=10
+        )
+        records = SharesSchema.input_records(relations)
+        assert_identical(
+            *run_both_planes(
+                lambda: schema.job(relations),
+                records,
+                shuffle_factory=lambda: PartitionedShuffle(
+                    num_partitions=4, buffer_size=32
+                ),
+            )
+        )
+
+
+class TestMatmulKernels:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_one_phase_matches_record_path(self, seed):
+        from repro.datagen.matrices import integer_matrix, multiplication_records
+
+        n = 6
+        records = multiplication_records(
+            integer_matrix(n, seed=seed), integer_matrix(n, seed=seed + 1)
+        )
+        schema = OnePhaseTilingSchema(n, 3)
+        assert_identical(*run_both_planes(schema.job, records))
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_two_phase_chain_matches_record_path(self, seed):
+        from repro.datagen.matrices import random_matrix, multiplication_records
+
+        n = 6
+        records = multiplication_records(
+            random_matrix(n, seed=seed), random_matrix(n, seed=seed + 1)
+        )
+        algorithm = TwoPhaseMatMulAlgorithm(n, 3, 2)
+        results = []
+        for plane in ("records", "columnar"):
+            engine = MapReduceEngine(ClusterConfig(data_plane=plane))
+            results.append(engine.run_chain(algorithm.chain(), records))
+        record_run, columnar_run = results
+        assert record_run.outputs == columnar_run.outputs
+        assert record_run.metrics.summary() == columnar_run.metrics.summary()
+        record_rounds = record_run.metrics.rounds
+        columnar_rounds = columnar_run.metrics.rounds
+        assert len(record_rounds) == len(columnar_rounds) == 2
+        for record_metrics, columnar_metrics in zip(record_rounds, columnar_rounds):
+            assert record_metrics.summary() == columnar_metrics.summary()
+
+
+class TestPipelineCascades:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        zipf=st.booleans(),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_two_round_cascade_matches_record_path(self, seed, zipf):
+        from repro.pipeline import PipelinePlanner
+        from repro.planner import CostBasedPlanner
+        from repro.problems.joins import MultiwayJoinProblem
+        from repro.stats import profile_relations
+
+        domain, size = 9, 18
+        if zipf:
+            relations = skewed_chain_join_instance(
+                3, size, domain, skew=1.2, seed=seed
+            )
+        else:
+            relations = chain_join_instance(3, size, domain, seed=seed)
+        profile = profile_relations(relations)
+        problem = MultiwayJoinProblem(JoinQuery.chain(3), domain_size=domain)
+        planner = PipelinePlanner(CostBasedPlanner.min_replication())
+        result = planner.plan(problem, q=10_000, profile=profile)
+        cascades = result.cascades()
+        if not cascades:
+            return
+        cascade = cascades[0]
+        records = SharesSchema.input_records(relations)
+        runs = {}
+        for plane in ("records", "columnar"):
+            engine = MapReduceEngine(ClusterConfig(data_plane=plane))
+            runs[plane] = cascade.execute(records, engine=engine)
+        assert runs["records"].outputs == runs["columnar"].outputs
+        record_rounds = runs["records"].result.metrics.rounds
+        columnar_rounds = runs["columnar"].result.metrics.rounds
+        assert len(record_rounds) == len(columnar_rounds)
+        for record_metrics, columnar_metrics in zip(record_rounds, columnar_rounds):
+            assert record_metrics.summary() == columnar_metrics.summary()
+
+    def test_cascade_with_spill_matches_unspilled(self):
+        relations = chain_join_instance(3, 20, 10, seed=42)
+        from repro.pipeline import PipelinePlanner
+        from repro.planner import CostBasedPlanner
+        from repro.problems.joins import MultiwayJoinProblem
+        from repro.stats import profile_relations
+
+        problem = MultiwayJoinProblem(JoinQuery.chain(3), domain_size=10)
+        planner = PipelinePlanner(CostBasedPlanner.min_replication())
+        result = planner.plan(
+            problem, q=10_000, profile=profile_relations(relations)
+        )
+        cascades = result.cascades()
+        assert cascades
+        cascade = cascades[0]
+        records = SharesSchema.input_records(relations)
+        engine = MapReduceEngine(ClusterConfig(data_plane="columnar"))
+        base = cascade.execute(records, engine=engine)
+        spilled = cascade.execute(records, engine=engine, spill_threshold=1)
+        assert base.outputs == spilled.outputs

@@ -173,13 +173,18 @@ class TestPartitionedShuffleBehaviour:
         assert second.num_pairs == 4
         second.close()
 
-    def test_partitioned_groups_consumed_once(self):
-        """A second groups() pass would mix cleared buffers with spill files."""
+    def test_partitioned_groups_single_pass(self):
+        """A second groups() pass would mix cleared buffers with spill files.
+
+        groups() is a documented single-pass iterator; re-traversal is an
+        execution-lifecycle violation (ExecutionError), not a configuration
+        mistake.
+        """
         backend = PartitionedShuffle(num_partitions=2, buffer_size=2)
         for i in range(5):
             backend.add(i, i)
         assert len(list(backend.groups())) == 5
-        with pytest.raises(ConfigurationError, match="consumed once"):
+        with pytest.raises(ExecutionError, match="single-pass"):
             backend.groups()
         backend.close()
 
