@@ -1,0 +1,347 @@
+"""Concurrent query service vs serial one-shot execution (PR-7 headline).
+
+A mixed workload — chain-join cascades (in full mode also two 4-chain
+shapes that share only their ``R1*R2`` prefix), two-phase matrix
+multiplication and group-by aggregation — is submitted many times over
+concurrently to one
+:class:`~repro.service.QueryService`, then replayed serially one-shot on
+the same executor backend.  The service wins on two fronts the paper's
+cost accounting makes safe:
+
+* **Shared intermediates** — every cascade sub-tree (fingerprinted by
+  structure, base-record content and physical-plan lineage) is
+  materialized once and adopted by every other query that needs it,
+  bit-identically;
+* **Round interleaving under admission control** — rounds of different
+  queries overlap on one warm worker pool while the sum of in-flight
+  *certified* max-reducer-loads stays below the configured capacity ``q``
+  (sampled in-run by a monitor thread and asserted, alongside the
+  ledger's lifetime peak).
+
+Acceptance (non-quick, ≥4 cores): service throughput ≥2x the serial
+one-shot baseline, per-query outputs bit-identical to a one-shot replay
+with the same ``replan_factor``, and the capacity invariant never
+violated.  Results land in ``BENCH_service.json`` (override with the
+``BENCH_SERVICE_JSON`` environment variable) for CI archiving.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.datagen.matrices import (
+    integer_matrix,
+    multiplication_records,
+    records_to_matrix,
+)
+from repro.datagen.relations import (
+    multiway_join_oracle,
+    skewed_chain_join_instance,
+)
+from repro.mapreduce import MapReduceEngine
+from repro.mapreduce.executor import resolve_executor
+from repro.pipeline import PipelinePlanner
+from repro.planner import CostBasedPlanner
+from repro.problems import JoinQuery, MultiwayJoinProblem
+from repro.problems.grouping import GroupByAggregationProblem
+from repro.problems.matmul import MatrixMultiplicationProblem
+from repro.schemas import SharesSchema
+from repro.service import QueryService
+from repro.stats import profile_relations
+
+ARTIFACT = os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+SPEEDUP_TARGET = 2.0
+#: Admission capacity as a multiple of the workload's largest round price:
+#: roomy enough that rounds overlap, tight enough that queueing happens.
+CAPACITY_FACTOR = 1.5
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    return request.config.getoption("--quick")
+
+
+def _executor_spec() -> str:
+    """Warm process pool where fork exists, in-process otherwise."""
+    return (
+        "parallel"
+        if "fork" in multiprocessing.get_all_start_methods()
+        else "serial"
+    )
+
+
+def _join_templates(num_relations, size, domain, seed, q, shapes=(None,)):
+    """One planning pass over a chain-join instance, one template per shape."""
+    relations = skewed_chain_join_instance(
+        num_relations, size, domain, skew=1.2, seed=seed
+    )
+    problem = MultiwayJoinProblem(
+        JoinQuery.chain(num_relations), domain_size=domain
+    )
+    result = PipelinePlanner(CostBasedPlanner.min_replication()).plan(
+        problem, q=q, profile=profile_relations(relations)
+    )
+    cascades = result.cascades()
+    records = SharesSchema.input_records(relations)
+    _, oracle = multiway_join_oracle(relations)
+    return [
+        {
+            "name": f"join{num_relations}-s{seed}"
+            + (f"-{shape}" if shape else ""),
+            "plan": cascades[0]
+            if shape is None
+            else next(p for p in cascades if p.name == shape),
+            "records": records,
+            "oracle": sorted(oracle),
+            "priority": 1.0,
+        }
+        for shape in shapes
+    ]
+
+
+def build_workload(quick: bool):
+    """Template plans plus the copy count each is submitted with."""
+    size, domain = (60, 24) if quick else (120, 48)
+    copies = 4 if quick else 32
+    templates = []
+    for seed in (7, 11, 13):
+        templates.extend(_join_templates(3, size, domain, seed, size * 4.0))
+    if not quick:
+        # Two 4-chain shapes over the SAME relations, planned in one pass,
+        # sharing only the (R1*R2) prefix — the cross-template sharing
+        # case.  (4-relation enumeration is the workload's priciest
+        # planning; quick mode leaves it to the unit tests.)
+        templates.extend(
+            _join_templates(
+                4,
+                size,
+                domain,
+                7,
+                size * 8.0,
+                shapes=(
+                    "cascade(((R1*R2)*R3)*R4)",
+                    "cascade((R1*R2)*(R3*R4))",
+                ),
+            )
+        )
+    # Matrix multiplication (two-phase): unshareable, higher priority.
+    mm_result = PipelinePlanner(CostBasedPlanner.min_replication()).plan(
+        MatrixMultiplicationProblem(8), q=64
+    )
+    left = integer_matrix(8, seed=71, low=1, high=5)
+    right = integer_matrix(8, seed=72, low=1, high=5)
+    templates.append(
+        {
+            "name": "matmul-2phase",
+            "plan": [p for p in mm_result if p.op.phases == 2][0],
+            "records": multiplication_records(left, right),
+            "oracle": left @ right,
+            "priority": 2.0,
+        }
+    )
+    # Group-by aggregation: single round, low priority background work.
+    agg_problem = GroupByAggregationProblem(8, 50)
+    agg_result = PipelinePlanner(CostBasedPlanner.min_replication()).plan(
+        agg_problem, q=450
+    )
+    templates.append(
+        {
+            "name": "group-by-sum",
+            "plan": agg_result.best,
+            "records": [(a % 8, (a * 7 + 3) % 50) for a in range(1200)],
+            "oracle": None,
+            "priority": 0.5,
+        }
+    )
+    return templates, copies
+
+
+def _max_round_price(plan) -> float:
+    return max(
+        load if (load := round_.certified_load) is not None else plan.q_budget
+        for round_ in plan.rounds
+    )
+
+
+def run_service_vs_serial(quick: bool):
+    templates, copies = build_workload(quick)
+    # Round-robin submission order: distinct templates land concurrently,
+    # later copies find their intermediates pending or done.
+    queries = [t for _ in range(copies) for t in templates]
+    capacity = CAPACITY_FACTOR * max(
+        _max_round_price(t["plan"]) for t in templates
+    )
+    spec = _executor_spec()
+
+    # ---- concurrent service run (cold caches) --------------------------
+    service = QueryService(capacity=capacity, executor=spec, max_workers=8)
+    load_samples = []
+    stop_monitor = threading.Event()
+
+    def monitor():
+        while not stop_monitor.is_set():
+            load_samples.append(service.admission.stats().in_flight)
+            time.sleep(0.001)
+
+    monitor_thread = threading.Thread(target=monitor, daemon=True)
+    monitor_thread.start()
+    service_start = time.perf_counter()
+    handles = [
+        service.submit(t["plan"], t["records"], priority=t["priority"])
+        for t in queries
+    ]
+    runs = [handle.result(timeout=900) for handle in handles]
+    service_seconds = time.perf_counter() - service_start
+    stop_monitor.set()
+    monitor_thread.join()
+    snapshot = service.describe()
+    service.close()
+
+    # ---- serial one-shot baseline (same backend, warm caches) ----------
+    baseline_executor = resolve_executor(spec)
+    serial_start = time.perf_counter()
+    baseline = []
+    for template, handle in zip(queries, handles):
+        engine = MapReduceEngine(
+            template["plan"].cluster, executor=baseline_executor
+        )
+        baseline.append(
+            template["plan"].execute(
+                template["records"],
+                engine=engine,
+                replan_factor=handle.replan_factor,
+            )
+        )
+    serial_seconds = time.perf_counter() - serial_start
+    closer = getattr(baseline_executor, "close", None)
+    if callable(closer):
+        closer()
+
+    return {
+        "queries": queries,
+        "runs": runs,
+        "baseline": baseline,
+        "capacity": capacity,
+        "load_samples": load_samples,
+        "snapshot": snapshot,
+        "service_seconds": service_seconds,
+        "serial_seconds": serial_seconds,
+        "executor": spec,
+    }
+
+
+def test_service_throughput(benchmark, table_printer, quick):
+    outcome = benchmark(lambda: run_service_vs_serial(quick))
+    queries = outcome["queries"]
+    runs = outcome["runs"]
+    baseline = outcome["baseline"]
+    snapshot = outcome["snapshot"]
+    capacity = outcome["capacity"]
+    speedup = (
+        outcome["serial_seconds"] / outcome["service_seconds"]
+        if outcome["service_seconds"] > 0
+        else float("inf")
+    )
+
+    table_printer(
+        f"Query service vs serial one-shot: {len(queries)} mixed queries "
+        f"({outcome['executor']} backend, capacity q={capacity:g})",
+        ["mode", "queries", "seconds", "queries/s", "rounds run", "reused"],
+        [
+            [
+                "service",
+                len(queries),
+                outcome["service_seconds"],
+                len(queries) / outcome["service_seconds"],
+                snapshot["intermediates"]["materialized"]
+                + sum(1 for r in runs for e in r.executed if not e.reused),
+                snapshot["intermediates"]["reused"],
+            ],
+            [
+                "serial one-shot",
+                len(queries),
+                outcome["serial_seconds"],
+                len(queries) / outcome["serial_seconds"],
+                sum(len(b.executed) for b in baseline),
+                0,
+            ],
+        ],
+    )
+    table_printer(
+        "Admission & sharing during the service run",
+        ["metric", "value"],
+        [
+            ["capacity q", capacity],
+            ["peak in-flight load", snapshot["admission"]["peak_in_flight_load"]],
+            ["load samples taken", len(outcome["load_samples"])],
+            ["admission deferrals", snapshot["admission"]["deferrals"]],
+            ["intermediates materialized", snapshot["intermediates"]["materialized"]],
+            ["intermediate reuses", snapshot["intermediates"]["reused"]],
+            ["replan factor (final)", snapshot["tuner"]["factor"]],
+            ["speedup", speedup],
+        ],
+    )
+
+    # ---- correctness: bit-identical to one-shot, oracles hold ----------
+    for template, run, one_shot in zip(queries, runs, baseline):
+        assert run.outputs == one_shot.outputs, (
+            f"{template['name']}: service outputs diverged from one-shot"
+        )
+        oracle = template["oracle"]
+        if isinstance(oracle, list):
+            assert sorted(run.outputs) == oracle
+        elif oracle is not None:  # matmul: compare reconstructed matrices
+            import numpy as np
+
+            assert np.allclose(records_to_matrix(run.outputs, 8, 8), oracle)
+
+    # ---- the capacity invariant, witnessed in-run ----------------------
+    assert all(s <= capacity + 1e-9 for s in outcome["load_samples"])
+    assert snapshot["admission"]["peak_in_flight_load"] <= capacity + 1e-9
+    assert snapshot["queries"]["failed"] == 0
+
+    # ---- sharing actually happened -------------------------------------
+    assert snapshot["intermediates"]["reused"] > 0
+    reused_rounds = sum(1 for r in runs for e in r.executed if e.reused)
+    assert reused_rounds == snapshot["intermediates"]["reused"]
+
+    # ---- throughput acceptance (real cores, real mode only) ------------
+    if not quick and (os.cpu_count() or 1) >= 4:
+        assert snapshot["admission"]["deferrals"] > 0, (
+            "capacity never queued a round — the admission path was idle"
+        )
+        assert speedup >= SPEEDUP_TARGET, (
+            f"expected >= {SPEEDUP_TARGET}x over serial one-shot on "
+            f"{os.cpu_count()} cores, measured {speedup:.2f}x"
+        )
+
+    # ---- artifact -------------------------------------------------------
+    with open(ARTIFACT, "w") as handle:
+        json.dump(
+            {
+                "bench": "service_throughput",
+                "quick": quick,
+                "executor": outcome["executor"],
+                "queries": len(queries),
+                "service_seconds": outcome["service_seconds"],
+                "serial_seconds": outcome["serial_seconds"],
+                "speedup": speedup,
+                "capacity": capacity,
+                "peak_in_flight_load": snapshot["admission"][
+                    "peak_in_flight_load"
+                ],
+                "deferrals": snapshot["admission"]["deferrals"],
+                "load_samples": len(outcome["load_samples"]),
+                "intermediates": snapshot["intermediates"],
+                "tuner": snapshot["tuner"],
+                "bit_identical": True,
+            },
+            handle,
+            indent=2,
+        )

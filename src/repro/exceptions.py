@@ -77,3 +77,13 @@ class PlanningError(ReproError):
     Raised when no schema family is registered for a problem type, or when
     no registered candidate fits within the requested reducer-size budget.
     """
+
+
+class AdmissionError(ReproError):
+    """The query service refused a submission its capacity can never serve.
+
+    Raised when a pipeline contains a round whose certified max-reducer
+    load exceeds the service's configured cluster capacity ``q`` — such a
+    round could never be admitted, so rejecting at submission time beats
+    queueing it forever.  Also raised for submissions after ``close()``.
+    """

@@ -34,7 +34,8 @@ workers one of two ways:
   :mod:`repro.mapreduce.serialization` and attached to each task, so the
   executor's process pool stays **warm across runs**: the first ``execute``
   forks it lazily, later ``execute`` / ``run_chain`` rounds reuse the live
-  workers (each caches the latest unpacked job by version).  Call
+  workers (each caches recently unpacked jobs by version, so concurrent
+  jobs interleaving on one pool stay cheap).  Call
   :meth:`ParallelExecutor.close` (or use the executor / engine as a context
   manager) to release the workers; they are also reclaimed when the
   executor is garbage-collected.
@@ -231,6 +232,26 @@ class _TimedGroups:
             self.seconds += time.perf_counter() - start
 
 
+@dataclass(frozen=True)
+class WarmPoolStats:
+    """Atomic snapshot of one executor's warm-vs-fallback accounting.
+
+    Taken under the executor's lock, so ``warm_runs + fallback_runs`` always
+    equals the number of executes whose path decision has been recorded —
+    concurrent submitters can never observe a half-updated pair, which the
+    individual attribute reads cannot promise.
+    """
+
+    warm_runs: int
+    fallback_runs: int
+    used_warm_pool: Optional[bool]
+    active_runs: int
+
+    @property
+    def total_runs(self) -> int:
+        return self.warm_runs + self.fallback_runs
+
+
 class WarmPoolFallbackWarning(UserWarning):
     """A job could not be shipped to the warm worker pool.
 
@@ -404,10 +425,14 @@ _FORK_STATE: Dict[str, MapReduceJob] = {}
 #: and could fork workers holding the *other* run's job.
 _FORK_STATE_LOCK = threading.Lock()
 
-#: Worker-side cache of the latest unpacked job, keyed by its version token.
-#: Only one entry is kept: the executes feeding one pool are serialized, so
-#: a version change means the previous job is done with.
+#: Worker-side cache of recently unpacked jobs, keyed by version token.
+#: Several entries are kept because concurrent warm executes (the query
+#: service runs rounds of many jobs on one shared pool) interleave tasks of
+#: different versions on the same worker; a single-entry cache would thrash
+#: — unpack on every task flip — while staying correct.  The bound caps
+#: worker memory; eviction drops the oldest version (tokens are monotonic).
 _JOB_CACHE: Dict[int, MapReduceJob] = {}
+_JOB_CACHE_LIMIT = 16
 
 #: Parent-side version tokens for warm-path jobs, unique per process.
 _JOB_VERSIONS = itertools.count(1)
@@ -430,7 +455,8 @@ def _cached_job(version: int, packed: Optional[bytes]) -> MapReduceJob:
             raise ExecutionError(
                 f"worker failed to deserialize job (version {version}): {error}"
             ) from error
-        _JOB_CACHE.clear()
+        while len(_JOB_CACHE) >= _JOB_CACHE_LIMIT:
+            del _JOB_CACHE[min(_JOB_CACHE)]
         _JOB_CACHE[version] = unpacked
         job = unpacked
     return job
@@ -548,14 +574,37 @@ class ParallelExecutor(Executor):
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_workers: Optional[int] = None
         self._lock = threading.Lock()
-        #: Whether the most recent ``execute`` ran on the warm pool
-        #: (``None`` until the first run).  ``False`` means the run used a
-        #: run-scoped fork pool — either ``keep_warm=False`` or a job the
-        #: serializer could not ship (the latter also warns).
+        #: Warm-path executes currently in flight on the shared pool.  The
+        #: pool is only resized (torn down and re-forked) when this is
+        #: zero: a resize mid-run would shut the pool down under the other
+        #: run's feet.
+        self._active_runs = 0
+        #: Whether the most recent ``execute`` *decision* chose the warm
+        #: pool (``None`` until the first run).  ``False`` means the run
+        #: used a run-scoped fork pool — either ``keep_warm=False`` or a
+        #: job the serializer could not ship (the latter also warns).
+        #: Under concurrent executes this single slot is last-writer-wins;
+        #: :meth:`warm_stats` gives the consistent counter snapshot.
         self.used_warm_pool: Optional[bool] = None
         #: Lifetime counters of warm-path and fallback executions.
         self.warm_runs: int = 0
         self.fallback_runs: int = 0
+
+    def warm_stats(self) -> WarmPoolStats:
+        """Consistent snapshot of the warm/fallback counters.
+
+        The decision and its counter update happen in one critical section
+        (see :meth:`execute`), and this read takes the same lock — so the
+        snapshot's ``total_runs`` exactly counts decided executes even while
+        other threads are mid-submission.
+        """
+        with self._lock:
+            return WarmPoolStats(
+                warm_runs=self.warm_runs,
+                fallback_runs=self.fallback_runs,
+                used_warm_pool=self.used_warm_pool,
+                active_runs=self._active_runs,
+            )
 
     def effective_workers(self, config: ClusterConfig) -> int:
         return self.num_workers if self.num_workers is not None else config.num_workers
@@ -567,8 +616,18 @@ class ParallelExecutor(Executor):
         return self._pool is not None
 
     def _ensure_pool(self, workers: int) -> ProcessPoolExecutor:
-        """The persistent pool, (re)created lazily and resized on demand."""
-        if self._pool is not None and self._pool_workers != workers:
+        """The persistent pool, (re)created lazily and resized on demand.
+
+        Caller must hold ``self._lock``.  A resize request while other
+        executes are in flight is deferred — the current pool keeps serving
+        (its worker count is a throughput knob, not a correctness one) and
+        the next idle moment re-forks at the requested size.
+        """
+        if (
+            self._pool is not None
+            and self._pool_workers != workers
+            and self._active_runs == 0
+        ):
             self._release_pool(wait=True)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
@@ -584,7 +643,12 @@ class ParallelExecutor(Executor):
             pool.shutdown(wait=wait, cancel_futures=True)
 
     def close(self) -> None:
-        """Shut the persistent pool down; the next execute re-forks one."""
+        """Shut the persistent pool down; the next execute re-forks one.
+
+        Intended to be called when no executes are in flight; closing
+        under a concurrent warm run makes that run's remaining submissions
+        fail (the pool refuses work after shutdown).
+        """
         with self._lock:
             self._release_pool(wait=True)
 
@@ -612,34 +676,41 @@ class ParallelExecutor(Executor):
         reducer_cost: Optional[Callable[[int], float]] = None,
     ) -> ExecutionOutcome:
         packed: Optional[bytes] = None
+        fallback_error: Optional[JobSerializationError] = None
         if self.keep_warm:
             try:
                 packed = pack_job(job)
             except JobSerializationError as error:
-                # The fallback is correct but costly (a fresh pool fork per
-                # run, idle warm workers) — make it observable instead of
-                # silent.  keep_warm=False reaches the same path by explicit
-                # configuration and therefore does not warn.
-                warnings.warn(
-                    f"job {job.name!r} cannot be shipped to the warm worker "
-                    f"pool ({error}); falling back to a run-scoped fork pool",
-                    WarmPoolFallbackWarning,
-                    stacklevel=2,
-                )
+                fallback_error = error
                 packed = None
-        # Counter updates take the executor lock: concurrent executes on one
-        # executor are supported, and unlocked read-modify-writes here would
-        # make the very observability these counters provide unreliable.
-        if packed is not None:
-            with self._lock:
-                self.used_warm_pool = True
+        # The path decision and its counter update form one critical
+        # section: concurrent executes on one executor are supported, and
+        # a decision recorded separately from its counter would let another
+        # job interleave between them, making the pair inconsistent to any
+        # observer (warm_stats() reads under the same lock).
+        with self._lock:
+            self.used_warm_pool = packed is not None
+            if packed is not None:
                 self.warm_runs += 1
+            else:
+                self.fallback_runs += 1
+        if fallback_error is not None:
+            # The fallback is correct but costly (a fresh pool fork per
+            # run, idle warm workers) — make it observable instead of
+            # silent.  keep_warm=False reaches the same path by explicit
+            # configuration and therefore does not warn.  Emitted outside
+            # the lock: warning filters can run arbitrary user hooks.
+            warnings.warn(
+                f"job {job.name!r} cannot be shipped to the warm worker "
+                f"pool ({fallback_error}); falling back to a run-scoped "
+                f"fork pool",
+                WarmPoolFallbackWarning,
+                stacklevel=2,
+            )
+        if packed is not None:
             return self._execute_warm(
                 job, packed, inputs, backend, config, reducer_cost
             )
-        with self._lock:
-            self.used_warm_pool = False
-            self.fallback_runs += 1
         return self._execute_forked(job, inputs, backend, config, reducer_cost)
 
     def _execute_warm(
@@ -653,37 +724,48 @@ class ParallelExecutor(Executor):
     ) -> ExecutionOutcome:
         """Run on the persistent pool; tasks carry the packed job.
 
-        Executes on the same executor instance serialize on its lock (the
-        worker-side job cache keeps one version), but independent executor
-        instances no longer contend on any global state.
+        The executor lock is held only while acquiring the pool, not for
+        the duration of the run: concurrent executes from different threads
+        (the query service schedules many jobs' rounds onto one shared
+        executor) overlap on the same process pool.  Each run drains its
+        own futures FIFO and every task carries its own versioned job, so
+        interleaved jobs stay bit-identical to their serial runs; the
+        workers' multi-entry job cache keeps the interleaving cheap.
         """
         workers = self.effective_workers(config)
         version = next(_JOB_VERSIONS)
         with self._lock:
             pool = self._ensure_pool(workers)
-            map_task = partial(_worker_map_chunk, version, packed)
-            reduce_task = partial(_worker_reduce_block, version, packed)
-            try:
-                map_start = time.perf_counter()
-                num_inputs = self._map_phase(
-                    inputs, backend, config, pool, workers, map_task
-                )
-                map_seconds = time.perf_counter() - map_start
-                outcome = self._reduce_phase(
-                    job, backend, config, reducer_cost, num_inputs, pool,
-                    workers, reduce_task,
-                )
-                if outcome.timings is not None:
-                    outcome.timings.map_seconds = map_seconds
-                return outcome
-            except BrokenProcessPool as error:
-                # A dead worker poisons the whole pool; drop it so the next
-                # execute forks a healthy one.
-                self._release_pool(wait=False)
-                raise ExecutionError(
-                    f"worker pool died while executing job {job.name!r} "
-                    f"(a worker process was killed or crashed): {error}"
-                ) from error
+            self._active_runs += 1
+        map_task = partial(_worker_map_chunk, version, packed)
+        reduce_task = partial(_worker_reduce_block, version, packed)
+        try:
+            map_start = time.perf_counter()
+            num_inputs = self._map_phase(
+                inputs, backend, config, pool, workers, map_task
+            )
+            map_seconds = time.perf_counter() - map_start
+            outcome = self._reduce_phase(
+                job, backend, config, reducer_cost, num_inputs, pool,
+                workers, reduce_task,
+            )
+            if outcome.timings is not None:
+                outcome.timings.map_seconds = map_seconds
+            return outcome
+        except BrokenProcessPool as error:
+            # A dead worker poisons the whole pool; drop it so the next
+            # execute forks a healthy one (unless a concurrent run already
+            # replaced it — only drop the pool this run was using).
+            with self._lock:
+                if self._pool is pool:
+                    self._release_pool(wait=False)
+            raise ExecutionError(
+                f"worker pool died while executing job {job.name!r} "
+                f"(a worker process was killed or crashed): {error}"
+            ) from error
+        finally:
+            with self._lock:
+                self._active_runs -= 1
 
     def _execute_forked(
         self,

@@ -35,7 +35,11 @@ from repro.pipeline.execute import (
     ExecutedRound,
     PipelineRunResult,
     ReplanEvent,
+    RoundOutcome,
+    RoundWork,
+    drive_rounds,
     execute_pipeline,
+    pipeline_rounds,
 )
 from repro.pipeline.logical import (
     AggregateOp,
@@ -69,11 +73,15 @@ __all__ = [
     "PipelineRunResult",
     "RelationLeaf",
     "ReplanEvent",
+    "RoundOutcome",
+    "RoundWork",
     "SizeEstimator",
     "agm_bound",
     "approximate_histogram",
+    "drive_rounds",
     "enumerate_join_trees",
     "execute_pipeline",
     "per_value_join_bound",
+    "pipeline_rounds",
     "replan_round",
 ]

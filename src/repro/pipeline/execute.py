@@ -22,17 +22,38 @@ Re-planning triggers when the observed certificate
 The remaining round is then re-planned from scratch against the observed
 profile; every re-plan is recorded as a :class:`ReplanEvent` so reports
 and the acceptance benchmark can show what mid-flight adaptation bought.
+
+Execution is expressed as a *round coroutine* (:func:`pipeline_rounds`):
+the generator yields each round as a :class:`RoundWork` item before it
+runs and receives its :class:`RoundOutcome` back via ``send``.
+:func:`execute_pipeline` drives it serially (:func:`drive_rounds`) and
+behaves exactly as before; the query service drives many such coroutines
+at once, interleaving their rounds on one shared worker pool, pricing
+each admission by ``RoundWork.admission_load`` (the round's certified
+max-reducer-load) and — via ``reuse_key`` fingerprints — feeding one
+materialized intermediate to every pipeline that needs it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.exceptions import ConfigurationError, PlanningError
 from repro.mapreduce.columnar import SpilledRows
 from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
 from repro.mapreduce.metrics import PipelineMetrics
+from repro.mapreduce.partitioner import stable_hash
 from repro.pipeline.logical import BinaryJoinOp, RelationLeaf
 from repro.pipeline.planner import PipelinePlan, PipelineRound, replan_round
 from repro.planner.cache import default_schema_cache
@@ -50,7 +71,14 @@ from repro.stats.profile import (
 
 @dataclass(frozen=True)
 class ReplanEvent:
-    """One mid-flight re-planning decision, for reports and assertions."""
+    """One mid-flight re-planning decision, for reports and assertions.
+
+    ``observed_bound`` is the *old* plan's certificate under the observed
+    intermediate profile; ``new_bound`` the replacement plan's certificate.
+    Comparing the two says whether re-planning paid off (:attr:`won`) —
+    the feedback signal the service's adaptive ``replan_factor`` tuner
+    aggregates across queries.
+    """
 
     round_index: int
     node: str
@@ -59,6 +87,13 @@ class ReplanEvent:
     observed_bound: float
     old_plan: str
     new_plan: str
+    #: Certificate of the re-planned round (``None`` on legacy events).
+    new_bound: Optional[float] = None
+
+    @property
+    def won(self) -> bool:
+        """Whether the re-plan found a strictly better certificate."""
+        return self.new_bound is not None and self.new_bound < self.observed_bound
 
     def describe(self) -> dict:
         return {
@@ -69,6 +104,8 @@ class ReplanEvent:
             "observed_bound": self.observed_bound,
             "old_plan": self.old_plan,
             "new_plan": self.new_plan,
+            "new_bound": self.new_bound,
+            "won": self.won,
         }
 
 
@@ -86,6 +123,10 @@ class ExecutedRound:
     observed_output: int
     observed_max_load: int
     replanned: bool
+    #: True when the round's result came from another pipeline's identical
+    #: round via the service's shared-intermediate store (nothing executed
+    #: for this query; the observed metrics are the producer's).
+    reused: bool = False
 
     @property
     def certified_load(self) -> Optional[float]:
@@ -163,6 +204,118 @@ class PipelineRunResult:
         return rows
 
 
+# ----------------------------------------------------------------------
+# The round protocol: yield work, receive outcomes
+# ----------------------------------------------------------------------
+@dataclass
+class RoundOutcome:
+    """What one scheduled round produced.
+
+    ``job`` is the engine result (a :class:`JobResult`, or the chain's
+    :class:`PipelineResult` for a two-phase matmul round).  For cascade
+    rounds the coroutine fills ``rows`` (the materialized intermediate) and
+    ``profile`` (its in-stream observation) after receiving the outcome, so
+    a driver sharing intermediates across pipelines can hand both to other
+    consumers without re-materializing or re-profiling.  A driver feeding a
+    cached intermediate back sets ``reused=True`` with all three fields
+    populated; the coroutine then skips execution-side work entirely.
+    """
+
+    job: Any
+    rows: Optional[List[Any]] = None
+    profile: Optional[RelationProfile] = None
+    reused: bool = False
+
+
+@dataclass
+class RoundWork:
+    """One schedulable round of a pipeline execution.
+
+    Yielded by :func:`pipeline_rounds` before the round runs.  The driver
+    either calls :meth:`execute` (running the round on the coroutine's
+    engine in the calling thread) and sends the outcome back, or — when
+    ``reuse_key`` matches an intermediate another pipeline already
+    materialized — sends that shared :class:`RoundOutcome` back instead.
+
+    ``admission_load`` is what admission control charges for running this
+    round: the freshest certified max-reducer-load when the round carries a
+    certificate (re-certified against observed intermediates where
+    available), else the plan's reducer budget ``q`` — the bound the
+    planner's feasibility filter enforced.
+    """
+
+    index: int
+    label: str
+    plan_name: str
+    certification: Optional[Certification]
+    admission_load: float
+    reuse_key: Optional[Tuple[Hashable, ...]]
+    _runner: Callable[[], Any]
+
+    @property
+    def certified_load(self) -> Optional[float]:
+        return self.certification.bound if self.certification is not None else None
+
+    def execute(self) -> RoundOutcome:
+        """Run the round now, in the calling thread, and wrap its result."""
+        return RoundOutcome(job=self._runner())
+
+
+#: The coroutine type: yields RoundWork, receives RoundOutcome via
+#: ``send``, returns the finished PipelineRunResult in StopIteration.
+RoundGenerator = Generator[RoundWork, RoundOutcome, PipelineRunResult]
+
+
+def drive_rounds(rounds: RoundGenerator) -> PipelineRunResult:
+    """Serial driver: execute every yielded round in the calling thread."""
+    try:
+        work = next(rounds)
+        while True:
+            work = rounds.send(work.execute())
+    except StopIteration as stop:
+        return stop.value
+
+
+def pipeline_rounds(
+    plan: PipelinePlan,
+    records: Sequence[Any],
+    engine: Optional[MapReduceEngine] = None,
+    replan: bool = True,
+    replan_factor: float = 0.5,
+    spill_threshold: Optional[int] = None,
+    reuse_keys: bool = False,
+    replan_observer: Optional[Callable[[ReplanEvent], None]] = None,
+) -> RoundGenerator:
+    """The round-level coroutine behind :func:`execute_pipeline`.
+
+    Yields one :class:`RoundWork` per engine round *before* it runs and
+    receives its :class:`RoundOutcome` via ``send``, so a driver other than
+    the serial one can interleave rounds of many pipelines on a shared
+    worker pool — the query service's scheduler does exactly that.  All
+    adaptive behaviour (in-stream profiling, re-certification, mid-flight
+    re-planning) lives here, identically for every driver.
+
+    ``reuse_keys=True`` additionally stamps each cascade round with a
+    content fingerprint of its join sub-tree (structure, base-relation
+    records, chosen physical plan), letting a driver recognise that two
+    pipelines are about to materialize the same intermediate.  The serial
+    driver never uses the keys, so the fingerprinting cost is opt-in.
+    """
+    engine = engine or MapReduceEngine(plan.cluster)
+    if not isinstance(plan.op, BinaryJoinOp):
+        return _single_rounds(plan, records, engine)
+    return _cascade_rounds(
+        plan,
+        records,
+        engine,
+        replan,
+        replan_factor,
+        spill_threshold,
+        reuse_keys,
+        replan_observer,
+    )
+
+
 def execute_pipeline(
     plan: PipelinePlan,
     records: Sequence[Any],
@@ -170,6 +323,7 @@ def execute_pipeline(
     replan: bool = True,
     replan_factor: float = 0.5,
     spill_threshold: Optional[int] = None,
+    replan_observer: Optional[Callable[[ReplanEvent], None]] = None,
 ) -> PipelineRunResult:
     """Run a pipeline plan, adapting the remaining rounds as data arrives.
 
@@ -196,23 +350,46 @@ def execute_pipeline(
         lazily and bit-identically.  ``None`` (the default) keeps every
         intermediate in memory.  Intermediates outside the packed layout
         (ragged or non-integer rows) stay in memory regardless.
+    replan_observer:
+        Optional callback invoked with each :class:`ReplanEvent` as it
+        happens — the hook the service's adaptive ``replan_factor`` tuner
+        listens on.
     """
-    engine = engine or MapReduceEngine(plan.cluster)
-    if not isinstance(plan.op, BinaryJoinOp):
-        return _execute_single(plan, records, engine)
-    return _execute_cascade(
-        plan, records, engine, replan, replan_factor, spill_threshold
+    return drive_rounds(
+        pipeline_rounds(
+            plan,
+            records,
+            engine=engine,
+            replan=replan,
+            replan_factor=replan_factor,
+            spill_threshold=spill_threshold,
+            replan_observer=replan_observer,
+        )
     )
 
 
 # ----------------------------------------------------------------------
 # Single-structure execution (one-round joins, matmul chains, aggregates)
 # ----------------------------------------------------------------------
-def _execute_single(
+def _single_rounds(
     plan: PipelinePlan, records: Sequence[Any], engine: MapReduceEngine
-) -> PipelineRunResult:
+) -> RoundGenerator:
     round_ = plan.rounds[0]
-    outcome = round_.plan.execute(records, engine=engine)
+    work = RoundWork(
+        index=0,
+        label=plan.op.label(),
+        plan_name=round_.name,
+        certification=round_.certification,
+        admission_load=(
+            round_.certified_load
+            if round_.certified_load is not None
+            else plan.q_budget
+        ),
+        reuse_key=None,
+        _runner=lambda: round_.plan.execute(records, engine=engine),
+    )
+    received = yield work
+    outcome = received.job
     if isinstance(outcome, JobResult):
         job_results = [outcome]
         outputs = outcome.outputs
@@ -242,6 +419,7 @@ def _execute_single(
             observed_output=len(job.outputs),
             observed_max_load=job.metrics.shuffle.max_reducer_size,
             replanned=False,
+            reused=received.reused,
         )
         for index, job in enumerate(job_results)
     ]
@@ -308,15 +486,62 @@ def _fingerprinted_certification(
     )
 
 
-def _execute_cascade(
+def _base_fingerprints(base_records: Dict[str, List[Any]]) -> Dict[str, int]:
+    """Content fingerprint per base relation's record list (order included).
+
+    Row order matters: the engine's outputs are deterministic *given* the
+    input record order, so two sub-trees only produce bit-identical
+    intermediates when their base records arrive identically.
+    """
+    return {
+        name: stable_hash((name, tuple(rows)))
+        for name, rows in base_records.items()
+    }
+
+
+def _plan_token(round_: PipelineRound) -> Tuple:
+    """Physical-plan identity of one round: name plus shares vector.
+
+    Different shares vectors spread tuples over different reducer grids,
+    which permutes the emitted row order — so the plan identity is part of
+    what makes an intermediate bit-reproducible.
+    """
+    family = round_.plan.family
+    shares = getattr(family, "shares", None)
+    shares_token = (
+        tuple(sorted(shares.items())) if isinstance(shares, dict) else None
+    )
+    return (round_.name, shares_token)
+
+
+def _leaf_token(leaf: RelationLeaf, fingerprints: Dict[str, int]) -> Tuple:
+    """Canonical token of one base relation: schema + record content."""
+    return (
+        "rel",
+        leaf.relation.name,
+        leaf.relation.attributes,
+        fingerprints[leaf.relation.name],
+    )
+
+
+def _cascade_rounds(
     plan: PipelinePlan,
     records: Sequence[Any],
     engine: MapReduceEngine,
     replan: bool,
     replan_factor: float,
-    spill_threshold: Optional[int] = None,
-) -> PipelineRunResult:
+    spill_threshold: Optional[int],
+    reuse_keys: bool,
+    replan_observer: Optional[Callable[[ReplanEvent], None]],
+) -> RoundGenerator:
     base_records = _base_records_by_relation(plan, records)
+    fingerprints = _base_fingerprints(base_records) if reuse_keys else None
+    #: Lineage token per materialized node: leaf content plus the physical
+    #: plan of every round that fed it.  Two rounds share an intermediate
+    #: only when these tokens match — same structure, same base records,
+    #: same plan choices all the way down — which is exactly when the rows
+    #: are bit-identical (the engine is deterministic given input order).
+    node_tokens: Dict[str, Tuple] = {}
     node_outputs: Dict[str, Any] = {}
     spilled_blocks: List[SpilledRows] = []
     observed_profiles: Dict[str, RelationProfile] = {}
@@ -359,17 +584,19 @@ def _execute_cascade(
                         # original (still sound) plan keeps running.
                         new_round = None
                     if new_round is not None:
-                        events.append(
-                            ReplanEvent(
-                                round_index=index,
-                                node=op.schema.name,
-                                reason=trigger,
-                                estimated_bound=float(estimated),
-                                observed_bound=observed_cert.bound,
-                                old_plan=round_.name,
-                                new_plan=new_round.name,
-                            )
+                        event = ReplanEvent(
+                            round_index=index,
+                            node=op.schema.name,
+                            reason=trigger,
+                            estimated_bound=float(estimated),
+                            observed_bound=observed_cert.bound,
+                            old_plan=round_.name,
+                            new_plan=new_round.name,
+                            new_bound=new_round.certified_load,
                         )
+                        events.append(event)
+                        if replan_observer is not None:
+                            replan_observer(event)
                         rounds[index] = round_ = new_round
                         final_certification = round_.certification
                         replanned = True
@@ -384,21 +611,69 @@ def _execute_cascade(
                     (child.schema.name, row)
                     for row in node_outputs[child.schema.name]
                 )
-        job = round_.plan.execute(input_records, engine=engine)
+        round_token: Optional[Tuple] = None
+        if reuse_keys:
+            # Built after re-planning settled, so the token names the plan
+            # that will actually run.
+            child_tokens = tuple(
+                _leaf_token(child, fingerprints)
+                if isinstance(child, RelationLeaf)
+                else node_tokens[child.schema.name]
+                for child in (op.left, op.right)
+            )
+            round_token = ("join", child_tokens, _plan_token(round_))
+        work = RoundWork(
+            index=index,
+            label=op.label(),
+            plan_name=round_.name,
+            certification=final_certification,
+            admission_load=(
+                final_certification.bound
+                if final_certification is not None
+                else plan.q_budget
+            ),
+            reuse_key=(
+                ("shared-intermediate", round_token) if reuse_keys else None
+            ),
+            _runner=(
+                lambda records_=input_records, plan_=round_.plan: plan_.execute(
+                    records_, engine=engine
+                )
+            ),
+        )
+        received = yield work
+        job = received.job
         assert isinstance(job, JobResult)
         job_results.append(job)
-        # Profile the intermediate in-stream while it is collected for the
-        # next round — one pass, no second copy.
-        profiler = StreamingRelationProfiler(op.schema.name, op.schema.attributes)
-        rows = list(profiler.wrap(job.outputs))
-        stored: Any = rows
-        if spill_threshold is not None and len(rows) >= spill_threshold:
-            spilled = SpilledRows.try_spill(rows)
-            if spilled is not None:
-                spilled_blocks.append(spilled)
-                stored = spilled
+        if received.reused and received.rows is not None:
+            # Another pipeline materialized (and profiled) this identical
+            # intermediate; adopt its rows and observation verbatim.
+            rows = received.rows
+            finished_profile = received.profile
+            stored: Any = rows
+        else:
+            # Profile the intermediate in-stream while it is collected for
+            # the next round — one pass, no second copy.
+            profiler = StreamingRelationProfiler(
+                op.schema.name, op.schema.attributes
+            )
+            rows = list(profiler.wrap(job.outputs))
+            finished_profile = profiler.finish()
+            # Publish rows and profile on the outcome so a sharing driver
+            # can feed other consumers of the same sub-tree.
+            received.rows = rows
+            received.profile = finished_profile
+            stored = rows
+            if spill_threshold is not None and len(rows) >= spill_threshold:
+                spilled = SpilledRows.try_spill(rows)
+                if spilled is not None:
+                    spilled_blocks.append(spilled)
+                    stored = spilled
         node_outputs[op.schema.name] = stored
-        observed_profiles[op.schema.name] = profiler.finish()
+        if round_token is not None:
+            node_tokens[op.schema.name] = round_token
+        if finished_profile is not None:
+            observed_profiles[op.schema.name] = finished_profile
         certified_loads.append(
             final_certification.bound if final_certification is not None else None
         )
@@ -414,6 +689,7 @@ def _execute_cascade(
                 observed_output=len(rows),
                 observed_max_load=job.metrics.shuffle.max_reducer_size,
                 replanned=replanned,
+                reused=received.reused,
             )
         )
     final_rows = node_outputs[plan.op.schema.name]

@@ -187,8 +187,15 @@ class PipelinePlan:
         replan: bool = True,
         replan_factor: float = 0.5,
         spill_threshold=None,
+        replan_observer=None,
     ):
-        """Run the pipeline; see :func:`repro.pipeline.execute.execute_pipeline`."""
+        """Run the pipeline; see :func:`repro.pipeline.execute.execute_pipeline`.
+
+        ``replan_observer``, when given, is called with each
+        :class:`~repro.pipeline.execute.ReplanEvent` as it fires — the
+        feedback hook the query service's adaptive ``replan_factor`` tuner
+        listens on.
+        """
         from repro.pipeline.execute import execute_pipeline
 
         return execute_pipeline(
@@ -198,6 +205,7 @@ class PipelinePlan:
             replan=replan,
             replan_factor=replan_factor,
             spill_threshold=spill_threshold,
+            replan_observer=replan_observer,
         )
 
 

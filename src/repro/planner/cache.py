@@ -28,6 +28,7 @@ per-candidate knowledge is computed once.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Hashable, Optional, Tuple, TypeVar
@@ -65,6 +66,16 @@ class CacheStats:
 class SchemaCache:
     """Keyed memoization of candidate builds with LRU bounding.
 
+    Thread-safe: lookups, inserts and the eviction accounting all happen
+    under one re-entrant lock, so concurrent planners (the query service
+    plans submissions from many client threads) cannot corrupt the LRU
+    order or lose counter updates.  The lock is held *across* ``build`` as
+    well, which keeps the "built at most once per key" property under
+    concurrency; builds are CPU-bound planner work, so serializing them
+    costs nothing the GIL was not already costing.  The lock is re-entrant
+    because builds legitimately nest — a pipeline round's build routes its
+    own schema constructions back through this cache.
+
     Parameters
     ----------
     maxsize:
@@ -79,6 +90,7 @@ class SchemaCache:
             raise ConfigurationError(f"maxsize must be positive, got {maxsize}")
         self.maxsize = maxsize
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
+        self._lock = threading.RLock()
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -88,48 +100,56 @@ class SchemaCache:
 
         ``build`` must be a zero-argument callable whose result is fully
         determined by ``key``; it runs at most once per key while the entry
-        remains cached.
+        remains cached — including when many threads race on the same key.
         """
-        if key in self._entries:
-            self._hits += 1
-            self._entries.move_to_end(key)
-            return self._entries[key]
-        self._misses += 1
-        value = build()
-        self._entries[key] = value
-        if self.maxsize is not None and len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
-            self._evictions += 1
-        return value
+        with self._lock:
+            if key in self._entries:
+                self._hits += 1
+                self._entries.move_to_end(key)
+                return self._entries[key]
+            self._misses += 1
+            value = build()
+            self._entries[key] = value
+            if self.maxsize is not None and len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            return value
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def hits(self) -> int:
-        return self._hits
+        with self._lock:
+            return self._hits
 
     @property
     def misses(self) -> int:
-        return self._misses
+        with self._lock:
+            return self._misses
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self._hits,
-            misses=self._misses,
-            evictions=self._evictions,
-            size=len(self._entries),
-        )
+        """A point-in-time snapshot, internally consistent under concurrency."""
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                size=len(self._entries),
+            )
 
     def clear(self) -> None:
         """Drop every entry and reset the counters."""
-        self._entries.clear()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
+            self._evictions = 0
 
 
 #: The cache the built-in candidate builders share.  Bounded (LRU) so

@@ -1,0 +1,129 @@
+"""Certified-load admission control: the paper's ``q`` as a serving budget.
+
+The planner proves, per round, a *certified* upper bound on the largest
+reducer's input size (:func:`repro.planner.certify.certify_max_reducer_load`).
+One-shot execution uses that certificate to pick a plan; a serving layer
+can use it for more — as the **price** of running the round on a shared
+cluster.  If the cluster's reducers can hold ``capacity`` inputs in
+aggregate, then any set of concurrently running rounds whose certified
+loads sum to at most ``capacity`` is guaranteed never to oversubscribe a
+reducer, no matter how their keys interleave: each round's bound holds
+individually, and the rounds run on disjoint reducer key-spaces (one
+engine job each).
+
+:class:`AdmissionLedger` is that accounting, factored out of the scheduler
+so it can be tested exhaustively on its own.  It is a plain reserve /
+release ledger — deliberately *not* blocking: the query service calls it
+under its own scheduler lock and parks rounds that do not fit, so the
+ledger only needs to answer "does this round fit right now?" and keep the
+counters (peak in-flight load, deferral count) that let tests and the
+throughput benchmark assert the capacity invariant *during* a run rather
+than after it.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AdmissionStats:
+    """Point-in-time snapshot of one :class:`AdmissionLedger`."""
+
+    capacity: float
+    in_flight: float
+    #: Largest value ``in_flight`` ever reached — the run-long witness that
+    #: the capacity invariant held (``peak_in_flight <= capacity``).
+    peak_in_flight: float
+    #: Reservations currently held (rounds running on the cluster).
+    holders: int
+    #: Rounds admitted over the ledger's lifetime.
+    admitted: int
+    #: Times a round did not fit and had to wait for releases.
+    deferrals: int
+
+    @property
+    def headroom(self) -> float:
+        return self.capacity - self.in_flight
+
+
+class AdmissionLedger:
+    """Reserve/release accounting of in-flight certified reducer load.
+
+    Thread-safe on its own lock; every operation is a short critical
+    section.  ``try_reserve`` never blocks — callers that receive ``False``
+    are expected to queue the round and retry when ``release`` frees load
+    (the query service wakes its scheduler on every release).
+
+    Parameters
+    ----------
+    capacity:
+        The cluster capacity ``q``: the maximum sum of certified
+        max-reducer-loads allowed in flight at once.
+    """
+
+    def __init__(self, capacity: float) -> None:
+        if capacity <= 0:
+            raise ConfigurationError(f"capacity must be positive, got {capacity}")
+        self.capacity = float(capacity)
+        self._lock = threading.Lock()
+        self._in_flight = 0.0
+        self._peak = 0.0
+        self._holders = 0
+        self._admitted = 0
+        self._deferrals = 0
+
+    def fits(self, load: float) -> bool:
+        """Whether ``load`` could be reserved right now (no side effects)."""
+        with self._lock:
+            return self._in_flight + load <= self.capacity
+
+    def try_reserve(self, load: float) -> bool:
+        """Reserve ``load`` if it fits; record a deferral if it does not.
+
+        ``load`` must be positive and at most ``capacity`` — the service
+        rejects over-capacity rounds at submission time, so seeing one here
+        is a caller bug, not back-pressure.
+        """
+        if load <= 0:
+            raise ConfigurationError(f"load must be positive, got {load}")
+        if load > self.capacity:
+            raise ConfigurationError(
+                f"round load {load:g} exceeds cluster capacity "
+                f"{self.capacity:g}; reject at submission instead"
+            )
+        with self._lock:
+            if self._in_flight + load > self.capacity:
+                self._deferrals += 1
+                return False
+            self._in_flight += load
+            self._holders += 1
+            self._admitted += 1
+            if self._in_flight > self._peak:
+                self._peak = self._in_flight
+            return True
+
+    def release(self, load: float) -> None:
+        """Return a reservation made by a successful ``try_reserve``."""
+        with self._lock:
+            self._in_flight -= load
+            self._holders -= 1
+            # Guard against float drift across many reserve/release pairs:
+            # an empty ledger is exactly empty.
+            if self._holders == 0:
+                self._in_flight = 0.0
+
+    def stats(self) -> AdmissionStats:
+        """Internally consistent snapshot of the ledger's counters."""
+        with self._lock:
+            return AdmissionStats(
+                capacity=self.capacity,
+                in_flight=self._in_flight,
+                peak_in_flight=self._peak,
+                holders=self._holders,
+                admitted=self._admitted,
+                deferrals=self._deferrals,
+            )

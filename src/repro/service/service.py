@@ -1,0 +1,495 @@
+"""A long-lived query service scheduling pipeline *rounds* on one cluster.
+
+Everything below this module is one-shot: plan a pipeline, execute it,
+return.  :class:`QueryService` turns those pieces into a serving layer —
+the ROADMAP's north-star step — by exploiting three properties the
+library already guarantees:
+
+* **Rounds are the schedulable unit.**  :func:`repro.pipeline.execute.
+  pipeline_rounds` exposes each pipeline as a coroutine that yields one
+  :class:`~repro.pipeline.execute.RoundWork` at a time, so the service can
+  interleave rounds of many queries instead of running queries whole.
+  Between rounds a query holds no cluster resources at all.
+* **Certificates price admission.**  Every round carries a certified
+  max-reducer-load; the :class:`~repro.service.admission.AdmissionLedger`
+  guarantees the in-flight certified loads never sum past the configured
+  capacity ``q`` — the paper's feasibility constraint, enforced at serving
+  time instead of planning time.
+* **Determinism makes intermediates shareable.**  Two queries joining the
+  same base records through the same sub-tree and physical plan produce
+  bit-identical intermediates, so the
+  :class:`~repro.service.intermediates.IntermediateStore` materializes
+  each fingerprint once and feeds every consumer.
+
+Scheduling is event-driven: there is no scheduler thread.  Submissions,
+round completions and intermediate fulfilments all funnel through one
+lock, where the dispatch loop admits ready rounds in priority order
+(higher ``priority`` first, cheaper certified load first within a
+priority — cheap rounds backfill capacity that big rounds left idle).
+Round bodies run on a small thread pool; the actual map/reduce work runs
+through one shared executor (pass a warm
+:class:`~repro.mapreduce.executor.ParallelExecutor` to overlap queries on
+one process pool).
+
+Example
+-------
+::
+
+    service = QueryService(capacity=96, executor="parallel")
+    handles = [service.submit(plan, records) for plan, records in queries]
+    results = [h.result() for h in handles]
+    print(service.describe())
+    service.close()
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.exceptions import AdmissionError, ConfigurationError
+from repro.mapreduce.engine import MapReduceEngine
+from repro.mapreduce.executor import Executor, ExecutorSpec, resolve_executor
+from repro.pipeline.execute import (
+    PipelineRunResult,
+    RoundOutcome,
+    RoundWork,
+    pipeline_rounds,
+)
+from repro.pipeline.planner import PipelinePlan
+from repro.planner.cache import default_schema_cache
+from repro.service.admission import AdmissionLedger
+from repro.service.intermediates import IntermediateStore
+from repro.service.tuning import ReplanTuner
+
+
+class QueryHandle:
+    """Caller-side future for one submitted query."""
+
+    def __init__(self, query_id: int, label: str) -> None:
+        self.query_id = query_id
+        self.label = label
+        #: The ``replan_factor`` this query was admitted with (the tuner's
+        #: value at submit time) — lets a caller replay the query one-shot
+        #: with identical adaptive behaviour, e.g. for bit-identity checks.
+        self.replan_factor: Optional[float] = None
+        self._event = threading.Event()
+        self._result: Optional[PipelineRunResult] = None
+        self._exception: Optional[BaseException] = None
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> PipelineRunResult:
+        """Block until the query finishes; re-raises its failure."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(
+                f"query {self.query_id} ({self.label}) not done after {timeout}s"
+            )
+        if self._exception is not None:
+            raise self._exception
+        assert self._result is not None
+        return self._result
+
+    # -- service side ---------------------------------------------------
+    def _finish(self, result: PipelineRunResult) -> None:
+        self._result = result
+        self._event.set()
+
+    def _fail(self, exception: BaseException) -> None:
+        self._exception = exception
+        self._event.set()
+
+
+@dataclass
+class _QueryState:
+    """Service-side bookkeeping for one in-flight query."""
+
+    query_id: int
+    plan: PipelinePlan
+    handle: QueryHandle
+    gen: Any  # RoundGenerator
+    priority: float
+    replan_factor: float
+    #: Monotonic submission sequence — FIFO tie-break in dispatch order.
+    seq: int
+    pending_work: Optional[RoundWork] = None
+    #: Reuse key this query is currently the producer for, if any.
+    producing_key: Optional[tuple] = None
+    #: Certified load currently reserved on the ledger, if any.
+    reserved_load: Optional[float] = None
+    rounds_executed: int = 0
+    rounds_reused: int = 0
+
+
+class QueryService:
+    """Concurrent pipeline serving under certified-load admission control.
+
+    Parameters
+    ----------
+    capacity:
+        Cluster capacity ``q``: the maximum *sum* of certified
+        max-reducer-loads allowed in flight at once.  A submission
+        containing a round whose certified load (or, uncertified, its
+        plan's ``q_budget``) exceeds this is rejected with
+        :class:`~repro.exceptions.AdmissionError` — it could never run.
+    executor:
+        The shared execution backend every query's engine runs on:
+        an :class:`~repro.mapreduce.executor.Executor` instance, a name
+        (``"serial"`` / ``"parallel"``), or ``None`` for serial.  A warm
+        :class:`~repro.mapreduce.executor.ParallelExecutor` is shared
+        safely — concurrent rounds overlap on its one process pool.
+        ``close()`` releases the executor only if the service created it
+        (i.e. a name or ``None`` was passed).
+    max_workers:
+        Round-body threads: the number of rounds that can be *executing*
+        simultaneously (admission may admit more; excess waits for a
+        thread).  Defaults to 8.
+    replan:
+        Whether queries adapt mid-flight (re-certify + re-plan); the
+        tuner only learns when this is on.
+    tuner:
+        The adaptive ``replan_factor`` tuner; a default
+        :class:`~repro.service.tuning.ReplanTuner` is created when
+        omitted.  Each submission snapshots ``tuner.factor`` at submit
+        time and every re-plan event feeds back into the tuner.
+    spill_threshold:
+        Passed through to every pipeline execution (see
+        :func:`repro.pipeline.execute.execute_pipeline`).
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        executor: ExecutorSpec = None,
+        max_workers: int = 8,
+        replan: bool = True,
+        tuner: Optional[ReplanTuner] = None,
+        spill_threshold: Optional[int] = None,
+    ) -> None:
+        if max_workers <= 0:
+            raise ConfigurationError(
+                f"max_workers must be positive, got {max_workers}"
+            )
+        self.admission = AdmissionLedger(capacity)
+        self.store = IntermediateStore()
+        self.tuner = tuner or ReplanTuner()
+        self.replan = replan
+        self.spill_threshold = spill_threshold
+        self._owns_executor = not isinstance(executor, Executor)
+        self.executor: Executor = resolve_executor(executor)
+        self._threads = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="query-service"
+        )
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._ids = itertools.count(1)
+        self._seq = itertools.count()
+        #: Rounds waiting for admission, dispatched in priority order.
+        self._ready: List[_QueryState] = []
+        self._running_rounds = 0
+        self._parked_rounds = 0
+        self._overcapacity_rounds = 0
+        self._active_queries: Dict[int, _QueryState] = {}
+        self._submitted = 0
+        self._finished = 0
+        self._failed = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        plan: PipelinePlan,
+        records: Sequence[Any],
+        priority: float = 1.0,
+    ) -> QueryHandle:
+        """Accept one planned pipeline for execution; returns immediately.
+
+        ``priority`` orders admission among queued rounds: higher runs
+        first; within a priority, rounds with smaller certified loads are
+        admitted first (they backfill capacity larger rounds cannot use).
+        """
+        for round_ in plan.rounds:
+            load = round_.certified_load
+            price = load if load is not None else plan.q_budget
+            if price > self.admission.capacity:
+                raise AdmissionError(
+                    f"round {round_.index} of {plan.name!r} is priced at "
+                    f"certified load {price:g}, above the service capacity "
+                    f"q={self.admission.capacity:g}; it can never be admitted"
+                )
+        with self._lock:
+            if self._closed:
+                raise AdmissionError("service is closed")
+            query_id = next(self._ids)
+            state = _QueryState(
+                query_id=query_id,
+                plan=plan,
+                handle=QueryHandle(query_id, plan.name),
+                gen=None,
+                priority=priority,
+                replan_factor=self.tuner.factor,
+                seq=next(self._seq),
+            )
+            self._active_queries[query_id] = state
+            self._submitted += 1
+        state.handle.replan_factor = state.replan_factor
+        engine = MapReduceEngine(plan.cluster, executor=self.executor)
+        state.gen = pipeline_rounds(
+            plan,
+            records,
+            engine=engine,
+            replan=self.replan,
+            replan_factor=state.replan_factor,
+            spill_threshold=self.spill_threshold,
+            reuse_keys=True,
+            replan_observer=self.tuner.observe,
+        )
+        # Advancing to the first round fingerprints the base records —
+        # off the caller's thread so submission stays cheap.
+        self._threads.submit(self._start_query, state)
+        return state.handle
+
+    # ------------------------------------------------------------------
+    # Round lifecycle (worker threads)
+    # ------------------------------------------------------------------
+    def _start_query(self, state: _QueryState) -> None:
+        try:
+            work = next(state.gen)
+        except StopIteration as stop:  # zero-round plan (defensive)
+            self._finish_query(state, stop.value)
+            return
+        except BaseException as exc:
+            self._fail_query(state, exc)
+            return
+        with self._lock:
+            self._offer_locked(state, work)
+
+    def _offer_locked(self, state: _QueryState, work: RoundWork) -> None:
+        """Route one ready round: reuse hit, park on producer, or queue.
+
+        Caller holds ``self._lock``.
+        """
+        state.pending_work = work
+        if work.reuse_key is not None:
+            verdict, entry = self.store.claim(work.reuse_key, state)
+            if verdict == "hit":
+                self._running_rounds += 1
+                self._threads.submit(self._adopt_round, state, entry.outcome)
+                return
+            if verdict == "wait":
+                self._parked_rounds += 1
+                return
+            state.producing_key = work.reuse_key
+        self._ready.append(state)
+        self._dispatch_locked()
+
+    def _dispatch_locked(self) -> None:
+        """Admit every queued round that fits, best-priced first."""
+        if not self._ready:
+            return
+        self._ready.sort(
+            key=lambda s: (-s.priority, s.pending_work.admission_load, s.seq)
+        )
+        admitted: List[_QueryState] = []
+        for state in self._ready:
+            load = state.pending_work.admission_load
+            if load <= 0:
+                # Degenerate certificate (empty inputs certify to zero):
+                # admit at a nominal price so the ledger stays strict.
+                load = 1e-9
+            if load > self.admission.capacity:
+                # A mid-run re-certification exceeded capacity (possible
+                # only with non-exact profiles).  Clamp so the round runs
+                # alone rather than deadlocking; the counter records that
+                # the invariant was capacity-limited, not load-limited.
+                load = self.admission.capacity
+                self._overcapacity_rounds += 1
+            if self.admission.try_reserve(load):
+                state.reserved_load = load
+                admitted.append(state)
+        for state in admitted:
+            self._ready.remove(state)
+            self._running_rounds += 1
+            self._threads.submit(self._run_round, state)
+
+    def _run_round(self, state: _QueryState) -> None:
+        """Execute one admitted round end to end (worker thread)."""
+        work = state.pending_work
+        try:
+            outcome = work.execute()
+        except BaseException as exc:
+            with self._lock:
+                self._release_locked(state)
+            self._fail_query(state, exc)
+            return
+        state.rounds_executed += 1
+        self._advance(state, outcome)
+
+    def _adopt_round(self, state: _QueryState, producer_outcome: RoundOutcome) -> None:
+        """Feed a shared intermediate to a consumer round (worker thread)."""
+        outcome = RoundOutcome(
+            job=producer_outcome.job,
+            rows=producer_outcome.rows,
+            profile=producer_outcome.profile,
+            reused=True,
+        )
+        state.rounds_reused += 1
+        self._advance(state, outcome)
+
+    def _advance(self, state: _QueryState, outcome: RoundOutcome) -> None:
+        """Send the outcome into the coroutine and schedule what follows.
+
+        The ``send`` profiles the round's rows in-stream and fills
+        ``outcome.rows`` / ``outcome.profile`` — which is exactly what the
+        store shares with parked consumers, so fulfilment happens *after*
+        the send and before the next round is offered.
+        """
+        next_work: Optional[RoundWork] = None
+        result: Optional[PipelineRunResult] = None
+        try:
+            next_work = state.gen.send(outcome)
+        except StopIteration as stop:
+            result = stop.value
+        except BaseException as exc:
+            with self._lock:
+                self._release_locked(state)
+            self._fail_query(state, exc)
+            return
+        with self._lock:
+            self._release_locked(state)
+            if state.producing_key is not None:
+                waiters = self.store.fulfill(state.producing_key, outcome)
+                state.producing_key = None
+                for waiter in waiters:
+                    self._parked_rounds -= 1
+                    self._running_rounds += 1
+                    self._threads.submit(
+                        self._adopt_round, waiter, outcome
+                    )
+            if next_work is not None:
+                self._offer_locked(state, next_work)
+            else:
+                self._dispatch_locked()
+        if result is not None:
+            self._finish_query(state, result)
+
+    def _release_locked(self, state: _QueryState) -> None:
+        """Return the round's reservation and running slot (lock held)."""
+        self._running_rounds -= 1
+        if state.reserved_load is not None:
+            self.admission.release(state.reserved_load)
+            state.reserved_load = None
+
+    # ------------------------------------------------------------------
+    # Completion / failure
+    # ------------------------------------------------------------------
+    def _finish_query(self, state: _QueryState, result: PipelineRunResult) -> None:
+        with self._lock:
+            self._active_queries.pop(state.query_id, None)
+            self._finished += 1
+            self._idle.notify_all()
+        state.handle._finish(result)
+
+    def _fail_query(self, state: _QueryState, exc: BaseException) -> None:
+        with self._lock:
+            if state.producing_key is not None:
+                # Waiters were counting on this materialization; requeue
+                # them — the first re-offered claims the key afresh and
+                # becomes the new producer.
+                waiters = self.store.fail(state.producing_key)
+                state.producing_key = None
+                for waiter in waiters:
+                    self._parked_rounds -= 1
+                    self._offer_locked(waiter, waiter.pending_work)
+            self._ready = [s for s in self._ready if s is not state]
+            self._active_queries.pop(state.query_id, None)
+            self._failed += 1
+            self._dispatch_locked()
+            self._idle.notify_all()
+        state.handle._fail(exc)
+
+    # ------------------------------------------------------------------
+    # Observability & lifecycle
+    # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """Point-in-time snapshot of the whole service, for dashboards/tests.
+
+        One nested dict: query counts, round states, the admission
+        ledger's capacity accounting (including the run-long peak that
+        witnesses the invariant), shared-intermediate counters, the
+        re-plan tuner, the planner's schema cache and — when the executor
+        exposes them — warm-pool counters.
+        """
+        with self._lock:
+            queries = {
+                "submitted": self._submitted,
+                "active": len(self._active_queries),
+                "finished": self._finished,
+                "failed": self._failed,
+            }
+            rounds = {
+                "queued": len(self._ready),
+                "parked": self._parked_rounds,
+                "running": self._running_rounds,
+                "overcapacity_clamped": self._overcapacity_rounds,
+            }
+        admission = self.admission.stats()
+        snapshot = {
+            "queries": queries,
+            "rounds": rounds,
+            "admission": {
+                "capacity": admission.capacity,
+                "in_flight_load": admission.in_flight,
+                "peak_in_flight_load": admission.peak_in_flight,
+                "headroom": admission.headroom,
+                "admitted": admission.admitted,
+                "deferrals": admission.deferrals,
+            },
+            "intermediates": self.store.stats().__dict__.copy(),
+            "tuner": self.tuner.stats().__dict__.copy(),
+            "schema_cache": default_schema_cache.stats().__dict__.copy(),
+        }
+        warm_stats = getattr(self.executor, "warm_stats", None)
+        if callable(warm_stats):
+            stats = warm_stats()
+            snapshot["warm_pool"] = {
+                "warm_runs": stats.warm_runs,
+                "fallback_runs": stats.fallback_runs,
+                "active_runs": stats.active_runs,
+            }
+        return snapshot
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted query has finished or failed."""
+        with self._idle:
+            if not self._idle.wait_for(
+                lambda: not self._active_queries, timeout
+            ):
+                raise TimeoutError(
+                    f"{len(self._active_queries)} queries still active "
+                    f"after {timeout}s"
+                )
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries, drain, and release owned resources."""
+        with self._lock:
+            self._closed = True
+        if wait:
+            self.drain()
+        self._threads.shutdown(wait=wait)
+        if self._owns_executor:
+            closer = getattr(self.executor, "close", None)
+            if callable(closer):
+                closer()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *_exc_info: object) -> None:
+        self.close()

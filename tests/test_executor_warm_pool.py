@@ -248,3 +248,99 @@ class TestFallbackPath:
         assert executor.used_warm_pool is False
         assert executor.fallback_runs == 1
         assert result.outputs == MapReduceEngine().run(job, range(60)).outputs
+
+
+class TestConcurrentSubmission:
+    """One warm executor shared by many threads — the query service setup.
+
+    The fallback *decision* and its counter update happen in one critical
+    section, so interleaved warm and fallback submissions can never
+    misattribute a run; and concurrent warm executes overlap on one pool
+    (the pool is only resized while no run is active).
+    """
+
+    @staticmethod
+    def _shippable_job() -> MapReduceJob:
+        return MapReduceJob(
+            mapper=lambda x: [(x % 5, x)], reducer=lambda k, v: [(k, sum(v))]
+        )
+
+    def test_concurrent_warm_runs_share_one_pool(self):
+        executor = ParallelExecutor(num_workers=2)
+        engine = MapReduceEngine(executor=executor)
+        reference = MapReduceEngine().run(self._shippable_job(), range(80))
+        results, errors = [], []
+
+        def run_one():
+            try:
+                results.append(engine.run(self._shippable_job(), range(80)))
+            except BaseException as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        try:
+            threads = [threading.Thread(target=run_one) for _ in range(6)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert len(results) == 6
+            for result in results:
+                assert result.outputs == reference.outputs
+            stats = executor.warm_stats()
+            assert stats.warm_runs == 6
+            assert stats.fallback_runs == 0
+            assert stats.active_runs == 0
+            assert stats.total_runs == 6
+            assert executor.pool_is_warm
+        finally:
+            engine.close()
+
+    def test_interleaved_fallback_and_warm_counters_are_exact(self):
+        import warnings as warnings_module
+
+        from repro.mapreduce import WarmPoolFallbackWarning
+
+        executor = ParallelExecutor(num_workers=2)
+        engine = MapReduceEngine(executor=executor)
+        lock = threading.Lock()
+
+        def unshippable_job() -> MapReduceJob:
+            def mapper(x):
+                with lock:
+                    return [(x % 3, x)]
+
+            return MapReduceJob(
+                mapper=mapper, reducer=lambda k, v: [(k, len(v))]
+            )
+
+        errors = []
+
+        def run_one(warm: bool):
+            try:
+                with warnings_module.catch_warnings():
+                    warnings_module.simplefilter(
+                        "ignore", WarmPoolFallbackWarning
+                    )
+                    job = self._shippable_job() if warm else unshippable_job()
+                    engine.run(job, range(60))
+            except BaseException as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        try:
+            threads = [
+                threading.Thread(target=run_one, args=(i % 2 == 0,))
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            stats = executor.warm_stats()
+            # Exactly 4 of each, however the submissions interleaved.
+            assert stats.warm_runs == 4
+            assert stats.fallback_runs == 4
+            assert stats.total_runs == 8
+        finally:
+            engine.close()

@@ -76,6 +76,53 @@ class TestSchemaCache:
         with pytest.raises(ConfigurationError):
             SchemaCache(maxsize=0)
 
+    def test_concurrent_gets_build_each_key_once(self):
+        """Thread-hammered cache: builds stay at-most-once per key and the
+        counters account for every access — the property the concurrent
+        query service's planners rely on."""
+        import threading
+
+        cache = SchemaCache()
+        build_counts = {key: 0 for key in range(8)}
+        threads_per_key = 6
+        accesses_per_thread = 50
+        barrier = threading.Barrier(8 * threads_per_key)
+
+        def hammer(key):
+            def build():
+                build_counts[key] += 1
+                return f"built-{key}"
+
+            barrier.wait()
+            for _ in range(accesses_per_thread):
+                assert cache.get((key,), build) == f"built-{key}"
+
+        threads = [
+            threading.Thread(target=hammer, args=(key,))
+            for key in range(8)
+            for _ in range(threads_per_key)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(count == 1 for count in build_counts.values())
+        stats = cache.stats()
+        total = 8 * threads_per_key * accesses_per_thread
+        assert stats.hits + stats.misses == total
+        assert stats.misses == 8  # one real build per key
+        assert stats.size == 8
+
+    def test_reentrant_builds_allowed(self):
+        """A build may route nested constructions back through the cache —
+        pipeline round builds do exactly that."""
+        cache = SchemaCache()
+        value = cache.get(
+            ("outer",), lambda: cache.get(("inner",), lambda: 41) + 1
+        )
+        assert value == 42
+        assert ("inner",) in cache and ("outer",) in cache
+
 
 class TestSweep:
     def test_each_candidate_built_at_most_once_across_budgets(self, planner):

@@ -1,0 +1,457 @@
+"""Query service: admission control, shared intermediates, adaptive tuning.
+
+The service's contract has three independently checkable parts, each with
+its own component tests plus end-to-end coverage through
+:class:`~repro.service.QueryService`:
+
+* **Admission** — the sum of in-flight certified loads never exceeds the
+  configured capacity ``q`` (the ledger's ``peak_in_flight`` witnesses the
+  whole run), over-capacity submissions are rejected up front, and queued
+  rounds defer rather than oversubscribe.
+* **Shared intermediates** — pipelines with a common join sub-tree over
+  the same base records materialize it exactly once (counter-asserted)
+  and every consumer's outputs stay bit-identical to running alone.
+* **Tuning** — re-plan wins and losses observed across queries move the
+  ``replan_factor`` the service hands to new submissions.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.datagen.relations import (
+    multiway_join_oracle,
+    skewed_chain_join_instance,
+)
+from repro.exceptions import AdmissionError, ConfigurationError
+from repro.pipeline import PipelinePlanner, ReplanEvent
+from repro.planner import CostBasedPlanner
+from repro.planner.cache import default_schema_cache
+from repro.problems.joins import JoinQuery, MultiwayJoinProblem
+from repro.schemas import SharesSchema
+from repro.service import (
+    AdmissionLedger,
+    IntermediateStore,
+    QueryService,
+    ReplanTuner,
+)
+from repro.stats.profile import profile_relations
+
+
+# ----------------------------------------------------------------------
+# Shared planning fixtures
+# ----------------------------------------------------------------------
+DOMAIN = 24
+SIZE = 60
+
+
+def _chain_setup(num_relations=3, seed=7, q=200.0):
+    relations = skewed_chain_join_instance(
+        num_relations, SIZE, DOMAIN, skew=1.2, seed=seed
+    )
+    problem = MultiwayJoinProblem(
+        JoinQuery.chain(num_relations), domain_size=DOMAIN
+    )
+    profile = profile_relations(relations)
+    planner = PipelinePlanner(CostBasedPlanner.min_replication())
+    result = planner.plan(problem, q=q, profile=profile)
+    records = SharesSchema.input_records(relations)
+    _, oracle = multiway_join_oracle(relations)
+    return result, records, oracle
+
+
+@pytest.fixture(scope="module")
+def chain3():
+    return _chain_setup()
+
+
+# ----------------------------------------------------------------------
+# Admission ledger
+# ----------------------------------------------------------------------
+class TestAdmissionLedger:
+    def test_reserve_release_accounting(self):
+        ledger = AdmissionLedger(100.0)
+        assert ledger.try_reserve(60.0)
+        assert ledger.try_reserve(40.0)
+        stats = ledger.stats()
+        assert stats.in_flight == 100.0
+        assert stats.holders == 2
+        assert stats.headroom == 0.0
+        ledger.release(60.0)
+        ledger.release(40.0)
+        stats = ledger.stats()
+        assert stats.in_flight == 0.0
+        assert stats.holders == 0
+        assert stats.peak_in_flight == 100.0
+        assert stats.admitted == 2
+
+    def test_deferral_when_full(self):
+        ledger = AdmissionLedger(100.0)
+        assert ledger.try_reserve(80.0)
+        assert not ledger.try_reserve(30.0)
+        assert ledger.stats().deferrals == 1
+        assert not ledger.fits(30.0)
+        ledger.release(80.0)
+        assert ledger.fits(30.0)
+        assert ledger.try_reserve(30.0)
+
+    def test_empty_ledger_is_exactly_empty(self):
+        # Many float reserve/release pairs must not drift the zero point.
+        ledger = AdmissionLedger(10.0)
+        for _ in range(1000):
+            assert ledger.try_reserve(0.1)
+            ledger.release(0.1)
+        assert ledger.stats().in_flight == 0.0
+
+    def test_invalid_loads_rejected(self):
+        ledger = AdmissionLedger(50.0)
+        with pytest.raises(ConfigurationError, match="positive"):
+            ledger.try_reserve(0.0)
+        with pytest.raises(ConfigurationError, match="exceeds cluster capacity"):
+            ledger.try_reserve(51.0)
+        with pytest.raises(ConfigurationError, match="capacity must be positive"):
+            AdmissionLedger(0)
+
+    def test_concurrent_reservations_never_exceed_capacity(self):
+        ledger = AdmissionLedger(4.0)
+        errors = []
+
+        def worker():
+            for _ in range(200):
+                if ledger.try_reserve(1.0):
+                    if ledger.stats().in_flight > 4.0:
+                        errors.append("over capacity")
+                    ledger.release(1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = ledger.stats()
+        assert stats.peak_in_flight <= 4.0
+        assert stats.in_flight == 0.0
+
+
+# ----------------------------------------------------------------------
+# Intermediate store
+# ----------------------------------------------------------------------
+class TestIntermediateStore:
+    KEY = ("shared-intermediate", ("join",), "plan", None)
+
+    def test_claim_build_wait_hit_lifecycle(self):
+        store = IntermediateStore()
+        state, entry = store.claim(self.KEY, "producer")
+        assert state == "build"
+        state, _ = store.claim(self.KEY, "consumer-1")
+        assert state == "wait"
+        woken = store.fulfill(self.KEY, "the-outcome")
+        assert woken == ["consumer-1"]
+        state, entry = store.claim(self.KEY, "consumer-2")
+        assert state == "hit"
+        assert entry.outcome == "the-outcome"
+        stats = store.stats()
+        assert stats.materialized == 1
+        assert stats.reused == 2  # one waiter + one late hit
+        assert stats.waited == 1
+        assert stats.rounds_saved == 2
+
+    def test_producer_failure_requeues_waiters(self):
+        store = IntermediateStore()
+        store.claim(self.KEY, "producer")
+        store.claim(self.KEY, "consumer")
+        waiters = store.fail(self.KEY)
+        assert waiters == ["consumer"]
+        assert store.stats().failures == 1
+        # The key is free again: the next claimant becomes the producer.
+        state, _ = store.claim(self.KEY, "consumer")
+        assert state == "build"
+
+    def test_fail_unknown_key_is_noop(self):
+        store = IntermediateStore()
+        assert store.fail(("absent",)) == []
+        assert store.stats().failures == 0
+
+    def test_clear(self):
+        store = IntermediateStore()
+        store.claim(self.KEY, "producer")
+        store.fulfill(self.KEY, "x")
+        store.clear()
+        stats = store.stats()
+        assert stats.entries == 0 and stats.materialized == 0
+
+
+# ----------------------------------------------------------------------
+# Replan tuner
+# ----------------------------------------------------------------------
+def _event(new_bound, observed=100.0):
+    return ReplanEvent(
+        round_index=1,
+        node="J1",
+        reason="certificate-improved",
+        estimated_bound=200.0,
+        observed_bound=observed,
+        old_plan="old",
+        new_plan="new",
+        new_bound=new_bound,
+    )
+
+
+class TestReplanTuner:
+    def test_win_raises_factor_loss_lowers(self):
+        tuner = ReplanTuner(initial=0.5, step=0.2)
+        tuner.observe(_event(new_bound=50.0))  # beat the observed bound
+        assert tuner.factor == pytest.approx(0.6)
+        tuner.observe(_event(new_bound=100.0))  # no improvement: loss
+        assert tuner.factor == pytest.approx(0.5)
+        stats = tuner.stats()
+        assert (stats.wins, stats.losses) == (1, 1)
+
+    def test_factor_clamped_at_bounds(self):
+        tuner = ReplanTuner(initial=0.9, step=1.0, minimum=0.1, maximum=0.95)
+        tuner.observe(_event(new_bound=1.0))
+        assert tuner.factor == 0.95
+        for _ in range(10):
+            tuner.observe(_event(new_bound=500.0))
+        assert tuner.factor == 0.1
+
+    def test_legacy_events_without_new_bound_unscored(self):
+        tuner = ReplanTuner(initial=0.5)
+        tuner.observe(_event(new_bound=None))
+        assert tuner.factor == 0.5
+        assert tuner.stats().unscored == 1
+
+    def test_event_won_property(self):
+        assert _event(new_bound=50.0).won
+        assert not _event(new_bound=100.0).won
+        assert not _event(new_bound=None).won
+        described = _event(new_bound=50.0).describe()
+        assert described["won"] is True and described["new_bound"] == 50.0
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            ReplanTuner(minimum=0.0)
+        with pytest.raises(ConfigurationError):
+            ReplanTuner(initial=0.99, maximum=0.9)
+        with pytest.raises(ConfigurationError):
+            ReplanTuner(step=0.0)
+
+
+# ----------------------------------------------------------------------
+# QueryService end to end
+# ----------------------------------------------------------------------
+class TestQueryService:
+    def test_identical_queries_share_every_round(self, chain3):
+        """The satellite contract: a common sub-tree is materialized once
+        (asserted via store counters) and every query's outputs are
+        bit-identical to running it alone."""
+        result, records, oracle = chain3
+        plan = result.cascades()[0]
+        solo = plan.execute(records)
+        copies = 4
+        with QueryService(capacity=10_000.0) as service:
+            handles = [service.submit(plan, records) for _ in range(copies)]
+            runs = [handle.result(timeout=120) for handle in handles]
+            stats = service.store.stats()
+            # Every cascade round materialized exactly once...
+            assert stats.materialized == len(plan.rounds)
+            # ...and every other occurrence served from the store.
+            assert stats.reused == (copies - 1) * len(plan.rounds)
+        for run in runs:
+            assert run.outputs == solo.outputs  # bit-identical, order included
+            assert sorted(run.outputs) == sorted(oracle)
+            reused_rounds = [r for r in run.executed if r.reused]
+            executed_rounds = [r for r in run.executed if not r.reused]
+            assert len(reused_rounds) + len(executed_rounds) == len(run.executed)
+        total_reused = sum(
+            1 for run in runs for r in run.executed if r.reused
+        )
+        assert total_reused == (copies - 1) * len(plan.rounds)
+
+    def test_shared_prefix_across_different_cascades(self):
+        """Two 4-relation cascade shapes that agree only on the (R1*R2)
+        prefix share exactly that one intermediate."""
+        result, records, oracle = _chain_setup(num_relations=4, q=400.0)
+        cascades = result.cascades()
+        left_deep = next(
+            p for p in cascades if p.name == "cascade(((R1*R2)*R3)*R4)"
+        )
+        bushy = next(
+            p for p in cascades if p.name == "cascade((R1*R2)*(R3*R4))"
+        )
+        solo_left = left_deep.execute(records)
+        solo_bushy = bushy.execute(records)
+        with QueryService(capacity=10_000.0) as service:
+            h1 = service.submit(left_deep, records)
+            h2 = service.submit(bushy, records)
+            run_left = h1.result(timeout=120)
+            run_bushy = h2.result(timeout=120)
+            stats = service.store.stats()
+            # 3 + 3 rounds total, of which only (R1*R2) can be shared:
+            # at most 5 distinct materializations, at least one reuse *if*
+            # the physical plans for the prefix coincide.  The planner is
+            # deterministic, so they do — pin it.
+            assert stats.materialized == 5
+            assert stats.reused == 1
+        assert run_left.outputs == solo_left.outputs
+        assert run_bushy.outputs == solo_bushy.outputs
+        assert sorted(run_left.outputs) == sorted(oracle)
+        assert sorted(run_bushy.outputs) == sorted(oracle)
+
+    def test_capacity_never_exceeded_and_deferrals_recorded(self):
+        """Distinct queries (nothing shareable) under a tight capacity:
+        rounds serialize, the peak in-flight load stays within q, and at
+        least one round had to wait."""
+        plans = []
+        for seed in (7, 11, 13, 17):
+            result, records, _ = _chain_setup(seed=seed)
+            plans.append((result.cascades()[0], records))
+        max_load = max(
+            r.certified_load or plan.q_budget
+            for plan, _ in plans
+            for r in plan.rounds
+        )
+        capacity = max_load * 1.25  # roomy enough for one round, not two big ones
+        with QueryService(capacity=capacity) as service:
+            handles = [service.submit(p, r) for p, r in plans]
+            for handle in handles:
+                handle.result(timeout=120)
+            admission = service.admission.stats()
+            store = service.store.stats()
+        assert admission.peak_in_flight <= capacity
+        assert admission.deferrals > 0
+        assert store.reused == 0  # different seeds: nothing shareable
+
+    def test_over_capacity_submission_rejected(self, chain3):
+        result, records, _ = chain3
+        plan = result.cascades()[0]
+        min_load = min(r.certified_load or plan.q_budget for r in plan.rounds)
+        with QueryService(capacity=min_load / 2) as service:
+            with pytest.raises(AdmissionError, match="never be admitted"):
+                service.submit(plan, records)
+
+    def test_submit_after_close_rejected(self, chain3):
+        result, records, _ = chain3
+        plan = result.cascades()[0]
+        service = QueryService(capacity=10_000.0)
+        service.close()
+        with pytest.raises(AdmissionError, match="closed"):
+            service.submit(plan, records)
+
+    def test_failed_query_surfaces_through_handle(self, chain3):
+        result, _, _ = chain3
+        plan = result.cascades()[0]
+
+        class ExplodingRecords:
+            def __iter__(self):
+                raise RuntimeError("records unavailable")
+
+        with QueryService(capacity=10_000.0) as service:
+            handle = service.submit(plan, ExplodingRecords())
+            with pytest.raises(RuntimeError, match="records unavailable"):
+                handle.result(timeout=60)
+            assert handle.done()
+            snapshot = service.describe()
+        assert snapshot["queries"]["failed"] == 1
+        assert snapshot["queries"]["active"] == 0
+
+    def test_mixed_workload_matmul_and_join(self, chain3):
+        import numpy as np
+
+        from repro.datagen.matrices import (
+            integer_matrix,
+            multiplication_records,
+            records_to_matrix,
+        )
+        from repro.problems.matmul import MatrixMultiplicationProblem
+
+        join_result, join_records, join_oracle = chain3
+        join_plan = join_result.cascades()[0]
+        planner = PipelinePlanner(CostBasedPlanner.min_replication())
+        mm_result = planner.plan(MatrixMultiplicationProblem(8), q=64)
+        mm_plan = [p for p in mm_result if p.op.phases == 2][0]
+        left = integer_matrix(8, seed=71, low=1, high=5)
+        right = integer_matrix(8, seed=72, low=1, high=5)
+        mm_records = multiplication_records(left, right)
+        with QueryService(capacity=10_000.0) as service:
+            join_handle = service.submit(join_plan, join_records)
+            mm_handle = service.submit(mm_plan, mm_records)
+            join_run = join_handle.result(timeout=120)
+            mm_run = mm_handle.result(timeout=120)
+        assert sorted(join_run.outputs) == sorted(join_oracle)
+        assert np.allclose(
+            records_to_matrix(mm_run.outputs, 8, 8), left @ right
+        )
+
+    def test_describe_snapshot_shape(self, chain3):
+        """The observability hook future PRs build on: every advertised
+        section is present with consistent numbers."""
+        result, records, _ = chain3
+        plan = result.cascades()[0]
+        default_schema_cache.clear()
+        with QueryService(capacity=10_000.0) as service:
+            before = service.describe()
+            assert before["queries"] == {
+                "submitted": 0,
+                "active": 0,
+                "finished": 0,
+                "failed": 0,
+            }
+            handles = [service.submit(plan, records) for _ in range(2)]
+            for handle in handles:
+                handle.result(timeout=120)
+            snapshot = service.describe()
+        assert snapshot["queries"]["submitted"] == 2
+        assert snapshot["queries"]["finished"] == 2
+        assert snapshot["rounds"]["queued"] == 0
+        assert snapshot["rounds"]["running"] == 0
+        assert snapshot["rounds"]["parked"] == 0
+        admission = snapshot["admission"]
+        assert admission["capacity"] == 10_000.0
+        assert admission["in_flight_load"] == 0.0
+        assert 0 < admission["peak_in_flight_load"] <= 10_000.0
+        assert admission["admitted"] >= len(plan.rounds)
+        intermediates = snapshot["intermediates"]
+        assert intermediates["materialized"] == len(plan.rounds)
+        assert intermediates["reused"] == len(plan.rounds)
+        assert set(snapshot["tuner"]) == {
+            "factor",
+            "wins",
+            "losses",
+            "unscored",
+        }
+        cache = snapshot["schema_cache"]
+        assert cache["hits"] + cache["misses"] > 0
+
+    def test_tuner_feedback_moves_factor_across_queries(self, chain3):
+        """Re-plan outcomes observed by the service move the factor new
+        submissions start with."""
+        result, records, _ = chain3
+        plan = result.cascades()[0]
+        tuner = ReplanTuner(initial=0.5)
+        with QueryService(capacity=10_000.0, tuner=tuner) as service:
+            service.submit(plan, records).result(timeout=120)
+            first_factor = tuner.factor
+            service.submit(plan, records).result(timeout=120)
+        stats = tuner.stats()
+        # The cascade re-certifies its second round on this data; whether
+        # it wins or loses, any observation must have moved the factor.
+        if stats.observations > 0:
+            assert first_factor != 0.5 or tuner.factor != first_factor
+
+    def test_priority_and_drain(self, chain3):
+        result, records, _ = chain3
+        plan = result.cascades()[0]
+        with QueryService(capacity=10_000.0) as service:
+            low = service.submit(plan, records, priority=0.5)
+            high = service.submit(plan, records, priority=2.0)
+            service.drain(timeout=120)
+            assert low.done() and high.done()
+            assert low.result().outputs == high.result().outputs
+
+    def test_max_workers_validation(self):
+        with pytest.raises(ConfigurationError, match="max_workers"):
+            QueryService(capacity=10.0, max_workers=0)
