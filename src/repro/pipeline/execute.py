@@ -77,7 +77,9 @@ class ReplanEvent:
     intermediate profile; ``new_bound`` the replacement plan's certificate.
     Comparing the two says whether re-planning paid off (:attr:`won`) —
     the feedback signal the service's adaptive ``replan_factor`` tuner
-    aggregates across queries.
+    aggregates across queries.  A re-plan that found no feasible
+    replacement is recorded with ``new_plan == old_plan`` and
+    ``new_bound == observed_bound`` — certified no better, a loss.
     """
 
     round_index: int
@@ -581,22 +583,32 @@ def _cascade_rounds(
                         new_round = replan_round(round_, plan, observed_profile)
                     except PlanningError:
                         # Nothing fits the budget on the observed data; the
-                        # original (still sound) plan keeps running.
+                        # original (still sound) plan keeps running.  Still
+                        # recorded below — with the old plan's name and
+                        # observed bound, i.e. certified no better — so the
+                        # wasted planning work is a scorable loss for the
+                        # adaptive replan_factor tuner.
                         new_round = None
+                    event = ReplanEvent(
+                        round_index=index,
+                        node=op.schema.name,
+                        reason=trigger,
+                        estimated_bound=float(estimated),
+                        observed_bound=observed_cert.bound,
+                        old_plan=round_.name,
+                        new_plan=(
+                            new_round.name if new_round is not None else round_.name
+                        ),
+                        new_bound=(
+                            new_round.certified_load
+                            if new_round is not None
+                            else observed_cert.bound
+                        ),
+                    )
+                    events.append(event)
+                    if replan_observer is not None:
+                        replan_observer(event)
                     if new_round is not None:
-                        event = ReplanEvent(
-                            round_index=index,
-                            node=op.schema.name,
-                            reason=trigger,
-                            estimated_bound=float(estimated),
-                            observed_bound=observed_cert.bound,
-                            old_plan=round_.name,
-                            new_plan=new_round.name,
-                            new_bound=new_round.certified_load,
-                        )
-                        events.append(event)
-                        if replan_observer is not None:
-                            replan_observer(event)
                         rounds[index] = round_ = new_round
                         final_certification = round_.certification
                         replanned = True

@@ -198,6 +198,11 @@ class QueryService:
         self._finished = 0
         self._failed = 0
         self._closed = False
+        #: Set (under the lock) just before the round pool shuts down, so
+        #: no worker ever submits into a closed pool — it fails the query
+        #: instead, keeping every handle completable after
+        #: ``close(wait=False)``.
+        self._pool_closed = False
 
     # ------------------------------------------------------------------
     # Submission
@@ -252,7 +257,12 @@ class QueryService:
         )
         # Advancing to the first round fingerprints the base records —
         # off the caller's thread so submission stays cheap.
-        self._threads.submit(self._start_query, state)
+        try:
+            self._threads.submit(self._start_query, state)
+        except RuntimeError:  # close(wait=False) raced past the check above
+            exc = AdmissionError("service is closed")
+            self._fail_query(state, exc)
+            raise exc
         return state.handle
 
     # ------------------------------------------------------------------
@@ -273,17 +283,22 @@ class QueryService:
     def _offer_locked(self, state: _QueryState, work: RoundWork) -> None:
         """Route one ready round: reuse hit, park on producer, or queue.
 
-        Caller holds ``self._lock``.
+        Caller holds ``self._lock``.  Every branch ends with a dispatch
+        pass: the caller may have just freed capacity (a finished round's
+        reservation in ``_advance``, a failed query's queue slot), and a
+        reuse hit or park must still hand that capacity to queued rounds.
         """
         state.pending_work = work
         if work.reuse_key is not None:
             verdict, entry = self.store.claim(work.reuse_key, state)
             if verdict == "hit":
                 self._running_rounds += 1
-                self._threads.submit(self._adopt_round, state, entry.outcome)
+                self._spawn_locked(self._adopt_round, state, entry.outcome)
+                self._dispatch_locked()
                 return
             if verdict == "wait":
                 self._parked_rounds += 1
+                self._dispatch_locked()
                 return
             state.producing_key = work.reuse_key
         self._ready.append(state)
@@ -299,6 +314,7 @@ class QueryService:
         admitted: List[_QueryState] = []
         for state in self._ready:
             load = state.pending_work.admission_load
+            clamped = False
             if load <= 0:
                 # Degenerate certificate (empty inputs certify to zero):
                 # admit at a nominal price so the ledger stays strict.
@@ -309,14 +325,47 @@ class QueryService:
                 # alone rather than deadlocking; the counter records that
                 # the invariant was capacity-limited, not load-limited.
                 load = self.admission.capacity
-                self._overcapacity_rounds += 1
+                clamped = True
             if self.admission.try_reserve(load):
                 state.reserved_load = load
+                if clamped:
+                    # Count once, when the clamped round is actually
+                    # admitted — not on every dispatch pass it waits out.
+                    self._overcapacity_rounds += 1
                 admitted.append(state)
+        # Unqueue every admitted round before spawning any: a spawn
+        # failure fails the query, whose cleanup re-enters dispatch and
+        # must not re-admit rounds this pass already holds reservations
+        # for.
         for state in admitted:
             self._ready.remove(state)
+        for state in admitted:
             self._running_rounds += 1
-            self._threads.submit(self._run_round, state)
+            self._spawn_locked(self._run_round, state)
+
+    def _spawn_locked(self, fn, state: _QueryState, *args: Any) -> None:
+        """Hand one round task to the pool, or fail its query (lock held).
+
+        The caller has already accounted the round as running (and
+        possibly reserved admission load).  When the pool is gone —
+        ``close(wait=False)`` — the accounting is rolled back and the
+        query fails with :class:`AdmissionError`, so its handle always
+        completes instead of hanging on a silently dropped submission.
+        """
+        if not self._pool_closed:
+            try:
+                self._threads.submit(fn, state, *args)
+                return
+            except RuntimeError:
+                pass  # shutdown raced the flag; fall through to fail
+        self._release_locked(state)
+        self._fail_query_locked(
+            state,
+            AdmissionError(
+                f"service closed before query {state.query_id} "
+                f"({state.handle.label}) finished"
+            ),
+        )
 
     def _run_round(self, state: _QueryState) -> None:
         """Execute one admitted round end to end (worker thread)."""
@@ -326,7 +375,7 @@ class QueryService:
         except BaseException as exc:
             with self._lock:
                 self._release_locked(state)
-            self._fail_query(state, exc)
+                self._fail_query_locked(state, exc)
             return
         state.rounds_executed += 1
         self._advance(state, outcome)
@@ -359,7 +408,7 @@ class QueryService:
         except BaseException as exc:
             with self._lock:
                 self._release_locked(state)
-            self._fail_query(state, exc)
+                self._fail_query_locked(state, exc)
             return
         with self._lock:
             self._release_locked(state)
@@ -369,10 +418,11 @@ class QueryService:
                 for waiter in waiters:
                     self._parked_rounds -= 1
                     self._running_rounds += 1
-                    self._threads.submit(
-                        self._adopt_round, waiter, outcome
-                    )
+                    self._spawn_locked(self._adopt_round, waiter, outcome)
             if next_work is not None:
+                # _offer_locked always ends with a dispatch pass, so the
+                # reservation released above is redistributed even when
+                # this query's next round parks or adopts a reuse hit.
                 self._offer_locked(state, next_work)
             else:
                 self._dispatch_locked()
@@ -398,20 +448,30 @@ class QueryService:
 
     def _fail_query(self, state: _QueryState, exc: BaseException) -> None:
         with self._lock:
-            if state.producing_key is not None:
-                # Waiters were counting on this materialization; requeue
-                # them — the first re-offered claims the key afresh and
-                # becomes the new producer.
-                waiters = self.store.fail(state.producing_key)
-                state.producing_key = None
-                for waiter in waiters:
-                    self._parked_rounds -= 1
-                    self._offer_locked(waiter, waiter.pending_work)
-            self._ready = [s for s in self._ready if s is not state]
-            self._active_queries.pop(state.query_id, None)
-            self._failed += 1
-            self._dispatch_locked()
-            self._idle.notify_all()
+            self._fail_query_locked(state, exc)
+
+    def _fail_query_locked(self, state: _QueryState, exc: BaseException) -> None:
+        """Fail one query and reroute whatever depended on it (lock held).
+
+        Idempotent: a query already finished or failed (e.g. once via a
+        closed-pool spawn and again via ``close``'s queue sweep) is left
+        alone, so counters never double-count and handles settle once.
+        """
+        if self._active_queries.pop(state.query_id, None) is None:
+            return
+        if state.producing_key is not None:
+            # Waiters were counting on this materialization; requeue
+            # them — the first re-offered claims the key afresh and
+            # becomes the new producer.
+            waiters = self.store.fail(state.producing_key)
+            state.producing_key = None
+            for waiter in waiters:
+                self._parked_rounds -= 1
+                self._offer_locked(waiter, waiter.pending_work)
+        self._ready = [s for s in self._ready if s is not state]
+        self._failed += 1
+        self._dispatch_locked()
+        self._idle.notify_all()
         state.handle._fail(exc)
 
     # ------------------------------------------------------------------
@@ -426,43 +486,47 @@ class QueryService:
         re-plan tuner, the planner's schema cache and — when the executor
         exposes them — warm-pool counters.
         """
+        # The whole snapshot is taken under the scheduler lock so the
+        # sections are mutually consistent — in particular the store's
+        # counters are only ever mutated under this lock, so reading them
+        # outside it could disagree with the queries/rounds numbers.
+        # (The ledger/tuner/cache/executor locks below are leaf locks:
+        # none of them ever acquires the scheduler lock.)
         with self._lock:
-            queries = {
-                "submitted": self._submitted,
-                "active": len(self._active_queries),
-                "finished": self._finished,
-                "failed": self._failed,
+            snapshot = {
+                "queries": {
+                    "submitted": self._submitted,
+                    "active": len(self._active_queries),
+                    "finished": self._finished,
+                    "failed": self._failed,
+                },
+                "rounds": {
+                    "queued": len(self._ready),
+                    "parked": self._parked_rounds,
+                    "running": self._running_rounds,
+                    "overcapacity_clamped": self._overcapacity_rounds,
+                },
+                "intermediates": self.store.stats().__dict__.copy(),
+                "tuner": self.tuner.stats().__dict__.copy(),
+                "schema_cache": default_schema_cache.stats().__dict__.copy(),
             }
-            rounds = {
-                "queued": len(self._ready),
-                "parked": self._parked_rounds,
-                "running": self._running_rounds,
-                "overcapacity_clamped": self._overcapacity_rounds,
-            }
-        admission = self.admission.stats()
-        snapshot = {
-            "queries": queries,
-            "rounds": rounds,
-            "admission": {
+            admission = self.admission.stats()
+            snapshot["admission"] = {
                 "capacity": admission.capacity,
                 "in_flight_load": admission.in_flight,
                 "peak_in_flight_load": admission.peak_in_flight,
                 "headroom": admission.headroom,
                 "admitted": admission.admitted,
                 "deferrals": admission.deferrals,
-            },
-            "intermediates": self.store.stats().__dict__.copy(),
-            "tuner": self.tuner.stats().__dict__.copy(),
-            "schema_cache": default_schema_cache.stats().__dict__.copy(),
-        }
-        warm_stats = getattr(self.executor, "warm_stats", None)
-        if callable(warm_stats):
-            stats = warm_stats()
-            snapshot["warm_pool"] = {
-                "warm_runs": stats.warm_runs,
-                "fallback_runs": stats.fallback_runs,
-                "active_runs": stats.active_runs,
             }
+            warm_stats = getattr(self.executor, "warm_stats", None)
+            if callable(warm_stats):
+                stats = warm_stats()
+                snapshot["warm_pool"] = {
+                    "warm_runs": stats.warm_runs,
+                    "fallback_runs": stats.fallback_runs,
+                    "active_runs": stats.active_runs,
+                }
         return snapshot
 
     def drain(self, timeout: Optional[float] = None) -> None:
@@ -477,11 +541,29 @@ class QueryService:
                 )
 
     def close(self, wait: bool = True) -> None:
-        """Stop accepting queries, drain, and release owned resources."""
+        """Stop accepting queries, drain, and release owned resources.
+
+        With ``wait=False`` the service does not drain: rounds already
+        handed to the pool still run to completion, but nothing new is
+        scheduled — every query that still needed a future round fails
+        with :class:`~repro.exceptions.AdmissionError` (queued rounds
+        immediately below; parked and mid-run rounds when their next
+        spawn hits the closed pool), so handles always complete.
+        """
         with self._lock:
             self._closed = True
         if wait:
             self.drain()
+        with self._lock:
+            self._pool_closed = True
+            for state in list(self._ready):
+                self._fail_query_locked(
+                    state,
+                    AdmissionError(
+                        f"service closed before query {state.query_id} "
+                        f"({state.handle.label}) was scheduled"
+                    ),
+                )
         self._threads.shutdown(wait=wait)
         if self._owns_executor:
             closer = getattr(self.executor, "close", None)

@@ -15,9 +15,10 @@ scorable the moment it happens:
 * **win** — the new plan's certified bound beats the old plan's observed
   bound: re-planning bought a provably lighter round.  Re-planning is
   paying off, so the tuner raises the factor (re-plan more eagerly).
-* **loss** — the re-plan reproduced the same plan or certified no better:
-  the planning work was wasted.  The tuner lowers the factor (demand a
-  bigger observed improvement before re-planning again).
+* **loss** — the re-plan reproduced the same plan, certified no better,
+  or found no feasible replacement at all (recorded with the old plan's
+  name and bound): the planning work was wasted.  The tuner lowers the
+  factor (demand a bigger observed improvement before re-planning again).
 
 Adjustment is multiplicative with clamping — the standard no-regret shape
 for a one-dimensional threshold under bandit feedback: step size is

@@ -480,6 +480,45 @@ class TestAdaptiveExecution:
         assert run.certificates_hold()
         assert run.max_certified_load >= run.max_observed_load
 
+    def test_failed_replan_recorded_as_scorable_loss(
+        self, zipf_setup, monkeypatch
+    ):
+        """A triggered re-plan that finds nothing feasible keeps the
+        original plan but still emits a scorable event — old plan's name,
+        observed bound — so the wasted planning work reaches the adaptive
+        ``replan_factor`` tuner as a loss instead of vanishing."""
+        problem, relations, _ = zipf_setup
+        sampled = profile_relations(relations, mode="sample", sample_size=64)
+        planner = PipelinePlanner(CostBasedPlanner.min_replication())
+        result = planner.plan(problem, q=2000, profile=sampled)
+        cascade = result.cascades()[0]
+        records = SharesSchema.input_records(relations)
+
+        import repro.pipeline.execute as execute_module
+
+        def nothing_fits(*_args, **_kwargs):
+            raise PlanningError("no feasible replacement on observed data")
+
+        monkeypatch.setattr(execute_module, "replan_round", nothing_fits)
+        observed = []
+        run = cascade.execute(
+            records, engine=MapReduceEngine(), replan_observer=observed.append
+        )
+        # Same trigger as test_replan_events_are_logged_and_certified, but
+        # every re-plan attempt now fails: events record a loss instead.
+        assert run.replan_count >= 1
+        assert observed == run.replan_events
+        for event in run.replan_events:
+            assert event.new_plan == event.old_plan
+            assert event.new_bound == event.observed_bound
+            assert event.new_bound is not None  # scorable, not legacy
+            assert not event.won
+        # No round was actually replaced; outputs stay correct under the
+        # original (still sound) plans.
+        assert not [r for r in run.executed if r.replanned]
+        _, oracle_rows = multiway_join_oracle(relations)
+        assert sorted(run.outputs) == sorted(oracle_rows)
+
     def test_one_round_execution_wraps_pipeline_result(self, zipf_setup, zipf_result):
         problem, relations, profile = zipf_setup
         records = SharesSchema.input_records(relations)

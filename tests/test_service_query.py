@@ -18,6 +18,7 @@ its own component tests plus end-to-end coverage through
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -455,3 +456,180 @@ class TestQueryService:
     def test_max_workers_validation(self):
         with pytest.raises(ConfigurationError, match="max_workers"):
             QueryService(capacity=10.0, max_workers=0)
+
+
+# ----------------------------------------------------------------------
+# Scheduler edge cases (scripted rounds)
+# ----------------------------------------------------------------------
+# Real plans cannot pin down the interleavings below deterministically —
+# the hazards live in the scheduler's lock-step ordering, so these tests
+# drive QueryService with scripted RoundWork sequences instead: the plan
+# stand-in carries the works, pipeline_rounds is patched to replay them,
+# and gates (threading.Event) hold a round mid-execution until the
+# service has reached the state under test.
+class _ScriptedPlan:
+    """Plan stand-in whose 'pipeline' replays a scripted list of works."""
+
+    def __init__(self, name, works):
+        self.name = name
+        self.rounds = ()  # skips submit()'s per-round price check
+        self.cluster = None
+        self.q_budget = 1.0
+        self._works = works
+
+    def make_gen(self):
+        def gen():
+            for work in self._works:
+                yield work
+            return f"{self.name}-done"
+
+        return gen()
+
+
+def _scripted_work(load, key=None, gate=None, index=0):
+    from repro.pipeline.execute import RoundWork
+
+    def runner():
+        if gate is not None:
+            assert gate.wait(timeout=60), "round gate never released"
+        return "job-rows"
+
+    return RoundWork(
+        index=index,
+        label=f"round-{index}",
+        plan_name="scripted",
+        certification=None,
+        admission_load=load,
+        reuse_key=key,
+        _runner=runner,
+    )
+
+
+def _wait_until(predicate, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.005)
+    raise AssertionError("service never reached the expected state")
+
+
+@pytest.fixture
+def scripted(monkeypatch):
+    from repro.service import service as service_module
+
+    monkeypatch.setattr(
+        service_module,
+        "pipeline_rounds",
+        lambda plan, records, **kwargs: plan.make_gen(),
+    )
+    monkeypatch.setattr(
+        service_module, "MapReduceEngine", lambda cluster, executor=None: None
+    )
+
+
+class TestSchedulerScripted:
+    def test_release_reaches_queued_producer_when_consumer_parks(
+        self, scripted
+    ):
+        """Regression: a finished round's freed reservation must be
+        re-dispatched even when its successor parks on a pending
+        producer — the offer's wait branch used to skip the dispatch
+        pass, leaving the queued producer unadmitted and deadlocking
+        both queries (result() hung forever)."""
+        gate = threading.Event()
+        key = ("shared-intermediate", "scripted-key")
+        qa = _ScriptedPlan(
+            "qa",
+            [
+                _scripted_work(2.0, gate=gate),
+                _scripted_work(60.0, key=key, index=1),
+            ],
+        )
+        qb = _ScriptedPlan("qb", [_scripted_work(60.0, key=key)])
+        # No context manager: a regression deadlocks the queries, and
+        # close()'s drain would then hang the test run instead of letting
+        # the result(timeout=...) assertions below fail it.
+        service = QueryService(capacity=60.0)
+        try:
+            ha = service.submit(qa, [])
+            _wait_until(
+                lambda: service.describe()["rounds"]["running"] == 1
+            )
+            # qb's round claims the key (becoming its producer) but cannot
+            # be admitted while qa holds 2.0 of the 60.0 capacity.
+            hb = service.submit(qb, [])
+            _wait_until(lambda: service.describe()["rounds"]["queued"] == 1)
+            gate.set()
+            # qa's next round parks on qb's queued producer; qa's release
+            # must admit qb or neither ever finishes.
+            assert ha.result(timeout=30) == "qa-done"
+            assert hb.result(timeout=30) == "qb-done"
+            snapshot = service.describe()
+            store = service.store.stats()
+        finally:
+            service.close(wait=False)
+        assert snapshot["rounds"]["queued"] == 0
+        assert snapshot["rounds"]["parked"] == 0
+        assert snapshot["rounds"]["running"] == 0
+        assert snapshot["admission"]["in_flight_load"] == 0.0
+        assert (store.materialized, store.reused, store.waited) == (1, 1, 1)
+
+    def test_overcapacity_round_clamp_counted_once(self, scripted):
+        """Regression: a round whose (mid-run re-certified) load exceeds
+        capacity is counted as clamped once — when admitted — not on
+        every dispatch pass it sits out in the queue."""
+        gate = threading.Event()
+        q_small = _ScriptedPlan("small", [_scripted_work(2.0, gate=gate)])
+        q_big = _ScriptedPlan("big", [_scripted_work(100.0)])
+        with QueryService(capacity=60.0) as service:
+            h_small = service.submit(q_small, [])
+            _wait_until(
+                lambda: service.describe()["rounds"]["running"] == 1
+            )
+            h_big = service.submit(q_big, [])
+            _wait_until(lambda: service.describe()["rounds"]["queued"] == 1)
+            gate.set()
+            assert h_small.result(timeout=30) == "small-done"
+            assert h_big.result(timeout=30) == "big-done"
+            snapshot = service.describe()
+        assert snapshot["rounds"]["overcapacity_clamped"] == 1
+        assert snapshot["admission"]["peak_in_flight_load"] <= 60.0
+
+    def test_close_without_wait_completes_all_handles(self, scripted):
+        """Regression: close(wait=False) used to strand handles — the
+        queued round was never scheduled again and a running round's
+        next submission hit the shut-down pool, its RuntimeError
+        swallowed inside the worker.  Every handle must now complete."""
+        gate = threading.Event()
+        q_running = _ScriptedPlan(
+            "running",
+            [_scripted_work(60.0, gate=gate), _scripted_work(1.0, index=1)],
+        )
+        q_queued = _ScriptedPlan("queued", [_scripted_work(60.0)])
+        service = QueryService(capacity=60.0)
+        try:
+            h_running = service.submit(q_running, [])
+            _wait_until(
+                lambda: service.describe()["rounds"]["running"] == 1
+            )
+            h_queued = service.submit(q_queued, [])
+            _wait_until(lambda: service.describe()["rounds"]["queued"] == 1)
+            service.close(wait=False)
+            # The queued query fails right away; the running one keeps
+            # running, then fails when its next round meets the closed
+            # pool.
+            with pytest.raises(AdmissionError, match="closed"):
+                h_queued.result(timeout=30)
+            gate.set()
+            with pytest.raises(AdmissionError, match="closed"):
+                h_running.result(timeout=30)
+            snapshot = service.describe()
+            assert snapshot["queries"]["failed"] == 2
+            assert snapshot["queries"]["active"] == 0
+            assert snapshot["rounds"]["queued"] == 0
+            assert snapshot["rounds"]["running"] == 0
+            assert snapshot["admission"]["in_flight_load"] == 0.0
+        finally:
+            gate.set()
+            service.close(wait=False)
