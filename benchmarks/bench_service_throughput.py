@@ -76,7 +76,9 @@ def _executor_spec() -> str:
     )
 
 
-def _join_templates(num_relations, size, domain, seed, q, shapes=(None,)):
+def _join_templates(
+    num_relations, size, domain, seed, q, shapes=(None,), cluster=None
+):
     """One planning pass over a chain-join instance, one template per shape."""
     relations = skewed_chain_join_instance(
         num_relations, size, domain, skew=1.2, seed=seed
@@ -85,7 +87,7 @@ def _join_templates(num_relations, size, domain, seed, q, shapes=(None,)):
         JoinQuery.chain(num_relations), domain_size=domain
     )
     result = PipelinePlanner(CostBasedPlanner.min_replication()).plan(
-        problem, q=q, profile=profile_relations(relations)
+        problem, cluster, q=q, profile=profile_relations(relations)
     )
     cascades = result.cascades()
     records = SharesSchema.input_records(relations)
@@ -105,13 +107,22 @@ def _join_templates(num_relations, size, domain, seed, q, shapes=(None,)):
     ]
 
 
-def build_workload(quick: bool):
-    """Template plans plus the copy count each is submitted with."""
+def build_workload(quick: bool, cluster=None):
+    """Template plans plus the copy count each is submitted with.
+
+    ``cluster`` (optional) is threaded into every planning pass, so a
+    :class:`~repro.mapreduce.ClusterConfig` carrying a live tracer and
+    metrics registry captures planning-time spans too (see
+    ``bench_obs_overhead.py``); ``None`` keeps the default untraced
+    configuration.
+    """
     size, domain = (60, 24) if quick else (120, 48)
     copies = 4 if quick else 32
     templates = []
     for seed in (7, 11, 13):
-        templates.extend(_join_templates(3, size, domain, seed, size * 4.0))
+        templates.extend(
+            _join_templates(3, size, domain, seed, size * 4.0, cluster=cluster)
+        )
     if not quick:
         # Two 4-chain shapes over the SAME relations, planned in one pass,
         # sharing only the (R1*R2) prefix — the cross-template sharing
@@ -128,11 +139,12 @@ def build_workload(quick: bool):
                     "cascade(((R1*R2)*R3)*R4)",
                     "cascade((R1*R2)*(R3*R4))",
                 ),
+                cluster=cluster,
             )
         )
     # Matrix multiplication (two-phase): unshareable, higher priority.
     mm_result = PipelinePlanner(CostBasedPlanner.min_replication()).plan(
-        MatrixMultiplicationProblem(8), q=64
+        MatrixMultiplicationProblem(8), cluster, q=64
     )
     left = integer_matrix(8, seed=71, low=1, high=5)
     right = integer_matrix(8, seed=72, low=1, high=5)
@@ -148,7 +160,7 @@ def build_workload(quick: bool):
     # Group-by aggregation: single round, low priority background work.
     agg_problem = GroupByAggregationProblem(8, 50)
     agg_result = PipelinePlanner(CostBasedPlanner.min_replication()).plan(
-        agg_problem, q=450
+        agg_problem, cluster, q=450
     )
     templates.append(
         {

@@ -20,7 +20,9 @@ The package is organized as follows:
   re-planning on top of the single-round planner;
 * :mod:`repro.analysis` — closed-form bounds, Table 1/2 regeneration,
   fractional edge covers, sparse-data scaling, approximations;
-* :mod:`repro.datagen` — synthetic workload generators.
+* :mod:`repro.datagen` — synthetic workload generators;
+* :mod:`repro.obs` — span tracing, metrics and telemetry exporters
+  (Chrome trace / Prometheus text / latency breakdowns).
 """
 
 from repro.core import (
@@ -45,6 +47,15 @@ from repro.exceptions import (
     UncoveredOutputError,
 )
 from repro.mapreduce import ClusterConfig, JobChain, MapReduceEngine, MapReduceJob
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    Tracer,
+    chrome_trace,
+    latency_breakdown,
+    prometheus_text,
+    write_chrome_trace,
+)
 from repro.pipeline import PipelinePlan, PipelinePlanner, PipelineRunResult
 from repro.planner import CostBasedPlanner, ExecutionPlan, PlanningResult
 
@@ -63,6 +74,8 @@ __all__ = [
     "JobChain",
     "LowerBoundRecipe",
     "MapReduceEngine",
+    "MetricsRegistry",
+    "Observability",
     "PipelinePlan",
     "PipelinePlanner",
     "PipelineRunResult",
@@ -77,6 +90,11 @@ __all__ = [
     "SchemaFamily",
     "SchemaViolationError",
     "TradeoffCurve",
+    "Tracer",
     "UncoveredOutputError",
     "__version__",
+    "chrome_trace",
+    "latency_breakdown",
+    "prometheus_text",
+    "write_chrome_trace",
 ]

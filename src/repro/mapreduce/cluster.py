@@ -15,6 +15,7 @@ from typing import Optional
 
 from repro.exceptions import ConfigurationError
 from repro.mapreduce.partitioner import HashPartitioner, Partitioner
+from repro.obs import NULL_METRICS, NULL_TRACER
 
 
 @dataclass
@@ -67,6 +68,15 @@ class ClusterConfig:
         job has a combiner, the executor is parallel, or the shuffle
         backend cannot hold encoded batches).  Both planes produce
         bit-identical outputs and metrics.
+    tracer:
+        Span tracer the engine (and everything running on this cluster)
+        reports to — see :mod:`repro.obs`.  ``None`` resolves to the
+        shared zero-overhead :data:`~repro.obs.NULL_TRACER`; runs under
+        the null tracer are bit-identical to untraced runs.
+    metrics:
+        Metrics registry for the same layers (job counters, replication
+        rate, max reducer load ``q_i``, spill volume).  ``None`` resolves
+        to the shared no-op :data:`~repro.obs.NULL_METRICS`.
     """
 
     num_workers: int = 4
@@ -79,6 +89,8 @@ class ClusterConfig:
     map_batch_size: int = 1024
     executor: object = "serial"
     data_plane: str = "records"
+    tracer: Optional[object] = None
+    metrics: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.num_workers <= 0:
@@ -121,6 +133,21 @@ class ClusterConfig:
                 f"data_plane must be 'records' or 'columnar', "
                 f"got {self.data_plane!r}"
             )
+        # Duck-typed like the executor: anything with the Tracer /
+        # MetricsRegistry call surface works, and ``None`` means the
+        # shared zero-overhead null objects.
+        if self.tracer is None:
+            self.tracer = NULL_TRACER
+        elif not callable(getattr(self.tracer, "span", None)):
+            raise ConfigurationError(
+                f"tracer must provide a span() method, got {self.tracer!r}"
+            )
+        if self.metrics is None:
+            self.metrics = NULL_METRICS
+        elif not callable(getattr(self.metrics, "counter", None)):
+            raise ConfigurationError(
+                f"metrics must provide a counter() method, got {self.metrics!r}"
+            )
 
     def effective_capacity(self, job_capacity: Optional[int]) -> Optional[int]:
         """Resolve the reducer-size limit for a job.
@@ -145,4 +172,6 @@ class ClusterConfig:
             map_batch_size=self.map_batch_size,
             executor=self.executor,
             data_plane=self.data_plane,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )

@@ -43,6 +43,7 @@ differ from runs recorded before the streaming rewrite.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -52,9 +53,12 @@ from repro.mapreduce.executor import Executor, ExecutorSpec, resolve_executor
 from repro.mapreduce.job import JobChain, MapReduceJob
 from repro.mapreduce.metrics import JobMetrics, PipelineMetrics, ShuffleStats
 from repro.mapreduce.shuffle import InMemoryShuffle, ShuffleBackend
+from repro.obs.metrics import POWER_OF_TWO_BUCKETS
 
 #: A callable producing a fresh shuffle backend for one job execution.
 ShuffleFactory = Callable[[], ShuffleBackend]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -232,26 +236,108 @@ class MapReduceEngine:
         active = resolve_executor(executor) if executor is not None else self.executor
         if self.config.data_plane == "columnar":
             active = self._columnar_wrap(active)
+        tracer = self.config.tracer
         try:
-            outcome = active.execute(job, inputs, backend, self.config, reducer_cost)
-            # Read the pair count before the backend closes: closed backends
-            # refuse num_pairs rather than reporting stale counts.
-            shuffle_stats = ShuffleStats(
-                num_inputs=outcome.num_inputs,
-                num_key_value_pairs=backend.num_pairs,
-                reducer_sizes=outcome.reducer_sizes,
-            )
-            metrics = JobMetrics(
-                job_name=job.name,
-                shuffle=shuffle_stats,
-                workers=outcome.workers,
-                num_outputs=len(outcome.outputs),
-                reducer_compute_cost=outcome.reducer_compute_cost,
-                timings=outcome.timings,
-            )
+            with tracer.span("job", job=job.name) as span:
+                outcome = active.execute(
+                    job, inputs, backend, self.config, reducer_cost
+                )
+                # Read the pair count before the backend closes: closed
+                # backends refuse num_pairs rather than reporting stale
+                # counts.  Spill volume is read the same way — only
+                # spilling backends expose it.
+                shuffle_stats = ShuffleStats(
+                    num_inputs=outcome.num_inputs,
+                    num_key_value_pairs=backend.num_pairs,
+                    reducer_sizes=outcome.reducer_sizes,
+                    bytes_shuffled=getattr(backend, "spilled_bytes", None),
+                )
+                metrics = JobMetrics(
+                    job_name=job.name,
+                    shuffle=shuffle_stats,
+                    workers=outcome.workers,
+                    num_outputs=len(outcome.outputs),
+                    reducer_compute_cost=outcome.reducer_compute_cost,
+                    timings=outcome.timings,
+                )
+                if tracer.enabled or self.config.metrics.enabled:
+                    self._observe_job(span, backend, metrics)
             return JobResult(outputs=outcome.outputs, metrics=metrics)
         finally:
             backend.close()
+
+    def _observe_job(self, span: Any, backend: ShuffleBackend, metrics: JobMetrics) -> None:
+        """Report one finished job to the cluster's tracer and registry.
+
+        Called only when at least one of the two is collecting, so the
+        default (null) path never pays for attribute assembly.
+        """
+        tracer = self.config.tracer
+        stats = metrics.shuffle
+        if tracer.enabled:
+            span.set(
+                inputs=stats.num_inputs,
+                pairs=stats.num_key_value_pairs,
+                outputs=metrics.num_outputs,
+                replication_rate=round(stats.replication_rate, 6),
+                max_reducer_size=stats.max_reducer_size,
+            )
+            if metrics.timings is not None:
+                # Derived phase spans: the executor measures per-phase
+                # totals while shuffle reads and reduce work interleave, so
+                # the three children are laid out sequentially from the job
+                # start — durations are faithful, offsets are a layout.
+                timings = metrics.timings
+                start = span.start
+                for name, seconds in (
+                    ("map", timings.map_seconds),
+                    ("shuffle", timings.shuffle_seconds),
+                    ("reduce", timings.reduce_seconds),
+                ):
+                    tracer.record_span(name, start, seconds, parent=span)
+                    start += seconds
+        registry = self.config.metrics
+        if registry.enabled:
+            registry.counter("engine_jobs_total", "Executed map-reduce jobs").inc()
+            registry.counter(
+                "engine_input_records_total", "Input records consumed by map phases"
+            ).inc(stats.num_inputs)
+            registry.counter(
+                "engine_shuffled_pairs_total",
+                "Key-value pairs crossing the map-reduce boundary "
+                "(communication cost)",
+            ).inc(stats.num_key_value_pairs)
+            registry.counter(
+                "engine_output_records_total", "Records emitted by reduce phases"
+            ).inc(metrics.num_outputs)
+            registry.histogram(
+                "engine_replication_rate",
+                "Per-job replication rate (pairs per input record)",
+                buckets=(1.0, 1.5, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0,
+                         24.0, 32.0, 48.0, 64.0, 96.0, 128.0),
+            ).observe(stats.replication_rate)
+            registry.histogram(
+                "engine_max_reducer_load",
+                "Per-job maximum reducer input size (the paper's max q_i)",
+                buckets=POWER_OF_TWO_BUCKETS,
+            ).observe(float(stats.max_reducer_size))
+            if stats.bytes_shuffled is not None:
+                registry.counter(
+                    "shuffle_spill_bytes_total",
+                    "Bytes spilled to disk by shuffle backends",
+                ).inc(stats.bytes_shuffled)
+                registry.counter(
+                    "shuffle_spill_chunks_total",
+                    "Spill flushes performed by shuffle backends",
+                ).inc(getattr(backend, "spill_count", 0))
+            if metrics.timings is not None:
+                phase_seconds = registry.counter(
+                    "engine_phase_seconds_total",
+                    "Wall-clock seconds per execution phase",
+                )
+                phase_seconds.inc(metrics.timings.map_seconds, phase="map")
+                phase_seconds.inc(metrics.timings.shuffle_seconds, phase="shuffle")
+                phase_seconds.inc(metrics.timings.reduce_seconds, phase="reduce")
 
     @staticmethod
     def _columnar_wrap(active: Executor) -> Executor:
@@ -314,6 +400,13 @@ class MapReduceEngine:
             chain_name=chain.name,
             rounds=[result.metrics for result in round_results],
             colocated_rounds=chain.colocated_rounds,
+        )
+        logger.debug(
+            "chain %s: %d rounds, %d pairs shuffled, %d outputs",
+            chain.name,
+            metrics.num_rounds,
+            metrics.total_communication,
+            metrics.final_outputs,
         )
         return PipelineResult(
             outputs=round_results[-1].outputs,

@@ -51,6 +51,7 @@ On platforms without ``fork`` the executor raises a clear
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import os
 import threading
@@ -87,6 +88,8 @@ from repro.mapreduce.metrics import PhaseTimings, WorkerStats
 from repro.mapreduce.serialization import JobSerializationError, pack_job, unpack_job
 from repro.mapreduce.shuffle import ShuffleBackend
 from repro.mapreduce.types import ensure_key_value
+
+logger = logging.getLogger(__name__)
 
 
 def _guarded_iteration(iterable: Iterable[Any], described: str) -> Iterable[Any]:
@@ -694,7 +697,26 @@ class ParallelExecutor(Executor):
                 self.warm_runs += 1
             else:
                 self.fallback_runs += 1
+        registry = config.metrics
+        if registry.enabled:
+            if packed is not None:
+                registry.counter(
+                    "executor_warm_runs_total",
+                    "Executions shipped to the persistent warm worker pool",
+                ).inc()
+            else:
+                registry.counter(
+                    "executor_fallback_runs_total",
+                    "Executions on a run-scoped fork pool (warm path "
+                    "unavailable or disabled)",
+                ).inc()
         if fallback_error is not None:
+            logger.warning(
+                "job %r cannot be shipped to the warm worker pool (%s); "
+                "falling back to a run-scoped fork pool",
+                job.name,
+                fallback_error,
+            )
             # The fallback is correct but costly (a fresh pool fork per
             # run, idle warm workers) — make it observable instead of
             # silent.  keep_warm=False reaches the same path by explicit
@@ -836,6 +858,19 @@ class ParallelExecutor(Executor):
         """
         max_pending = self.max_pending_factor * workers
         batch_size = config.map_batch_size
+        registry = config.metrics
+        # Per-task wait histogram: how long the coordinating thread blocked
+        # on each map task's result.  Resolved once per phase (not per
+        # task); ``None`` keeps the uninstrumented path allocation-free.
+        waits = (
+            registry.histogram(
+                "executor_map_task_wait_seconds",
+                "Seconds the coordinator blocked awaiting one map task",
+            )
+            if registry.enabled
+            else None
+        )
+        tasks = 0
         pending: deque = deque()
         num_inputs = 0
         iterator = iter(inputs)
@@ -857,20 +892,37 @@ class ParallelExecutor(Executor):
             chunk.append(record)
             if len(chunk) >= batch_size:
                 if len(pending) >= max_pending:
-                    num_inputs += self._drain_map_result(pending, backend)
+                    num_inputs += self._drain_map_result(
+                        pending, backend, waits
+                    )
                 pending.append(pool.submit(map_task, chunk))
+                tasks += 1
                 chunk = []
         if chunk:
             pending.append(pool.submit(map_task, chunk))
+            tasks += 1
         while pending:
-            num_inputs += self._drain_map_result(pending, backend)
+            num_inputs += self._drain_map_result(pending, backend, waits)
+        if registry.enabled:
+            registry.counter(
+                "executor_map_tasks_total",
+                "Map tasks shipped to the worker pool",
+            ).inc(tasks)
         if input_error is not None:
             raise input_error
         return num_inputs
 
     @staticmethod
-    def _drain_map_result(pending: deque, backend: ShuffleBackend) -> int:
-        chunk_size, grouped = pending.popleft().result()
+    def _drain_map_result(
+        pending: deque, backend: ShuffleBackend, waits: Any = None
+    ) -> int:
+        future = pending.popleft()
+        if waits is not None:
+            wait_start = time.perf_counter()
+            chunk_size, grouped = future.result()
+            waits.observe(time.perf_counter() - wait_start)
+        else:
+            chunk_size, grouped = future.result()
         for key, values in grouped:
             backend.add_group(key, values)
         return chunk_size
@@ -902,6 +954,7 @@ class ParallelExecutor(Executor):
         outputs: List[Any] = []
         max_pending = self.max_pending_factor * workers
         pending: deque = deque()
+        blocks = 0
         block: List[Tuple[Hashable, List[Any]]] = []
         phase_start = time.perf_counter()
         groups = _TimedGroups(backend.groups())
@@ -925,12 +978,20 @@ class ParallelExecutor(Executor):
                 if len(pending) >= max_pending:
                     outputs.extend(pending.popleft().result())
                 pending.append(pool.submit(reduce_task, block))
+                blocks += 1
                 block = []
         if block:
             pending.append(pool.submit(reduce_task, block))
+            blocks += 1
         while pending:
             outputs.extend(pending.popleft().result())
         phase_seconds = time.perf_counter() - phase_start
+        registry = config.metrics
+        if registry.enabled:
+            registry.counter(
+                "executor_reduce_blocks_total",
+                "Reduce blocks shipped to the worker pool",
+            ).inc(blocks)
         outcome = bookkeeper.outcome(num_inputs, outputs)
         outcome.timings = PhaseTimings(
             shuffle_seconds=groups.seconds,

@@ -26,7 +26,13 @@ class ShuffleStats:
     num_inputs: int
     num_key_value_pairs: int
     reducer_sizes: Dict[Hashable, int]
-    bytes_shuffled: Optional[int] = None
+    #: Bytes the shuffle backend spilled to disk for this job (``None``
+    #: when the backend never spills, e.g. :class:`InMemoryShuffle`).
+    #: Excluded from equality like :attr:`JobMetrics.timings`: spill
+    #: volume is a property of the backend and its chunking, not of the
+    #: computation — serial and parallel runs of the same job legitimately
+    #: spill different byte counts while remaining metrically identical.
+    bytes_shuffled: Optional[int] = field(default=None, compare=False)
 
     @property
     def num_reducers(self) -> int:

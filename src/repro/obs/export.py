@@ -1,0 +1,246 @@
+"""Exporters: Chrome trace JSON, Prometheus text, latency breakdowns.
+
+Three views over the same instrumentation:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome trace
+  event format (``{"traceEvents": [...]}`` of complete ``"ph": "X"``
+  events), loadable in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``.  One row per thread; span attributes appear as
+  event ``args``.
+* :func:`prometheus_text` — the Prometheus text exposition format for a
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshot, suitable for a
+  ``/metrics`` endpoint or a textfile collector.
+* :func:`query_phase_rows` / :func:`latency_breakdown` — a per-query
+  decomposition of end-to-end latency into the service's phases
+  (admission wait, planning, map, shuffle, reduce, parked), as
+  machine-readable rows or an aligned plain-text table.
+
+All output is deterministic given the spans/series (stable sorting
+everywhere), which is what the golden-file tests pin.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Phase order of the latency breakdown report.
+PHASES: Tuple[str, ...] = (
+    "admission_wait", "planning", "map", "shuffle", "reduce", "parked",
+)
+
+#: Span name → breakdown phase.  A span mapped here accounts for its whole
+#: subtree (``re-certify`` under ``planning`` is not counted twice).
+SPAN_PHASE: Dict[str, str] = {
+    "admission-wait": "admission_wait",
+    "planning": "planning",
+    "pipeline-plan": "planning",
+    "re-certify": "planning",
+    "replan": "planning",
+    "profile-intermediate": "planning",
+    "map": "map",
+    "shuffle": "shuffle",
+    "reduce": "reduce",
+    "parked": "parked",
+}
+
+
+# ----------------------------------------------------------------------
+# Chrome trace events (Perfetto / chrome://tracing)
+# ----------------------------------------------------------------------
+def chrome_trace(tracer: Any, process_name: str = "repro") -> Dict[str, Any]:
+    """The tracer's spans as a Chrome trace event document.
+
+    Timestamps are microseconds since the tracer's epoch; thread ids are
+    remapped to small integers in order of first appearance so documents
+    are stable across runs of the same span layout.
+    """
+    spans = tracer.spans()
+    epoch = getattr(tracer, "epoch", 0.0)
+    tids: Dict[int, int] = {}
+    events: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for span in spans:
+        tid = tids.setdefault(span.thread_id, len(tids))
+        args: Dict[str, Any] = {"span_id": span.span_id}
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        for key, value in span.attributes.items():
+            args[key] = value if isinstance(value, (int, float, bool)) else str(value)
+        events.append(
+            {
+                "name": span.name,
+                "cat": SPAN_PHASE.get(span.name, "repro"),
+                "ph": "X",
+                "ts": round((span.start - epoch) * 1e6, 3),
+                "dur": round(span.duration * 1e6, 3),
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Any, path: str, process_name: str = "repro") -> str:
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer, process_name=process_name), handle)
+        handle.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+def _format_number(value: float) -> str:
+    value = float(value)
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def _merged_labels(labels: Dict[str, str], **extra: str) -> str:
+    merged = dict(labels)
+    merged.update(extra)
+    return _format_labels(merged)
+
+
+def prometheus_text(registry: Any) -> str:
+    """One registry snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    for name, metric in registry.snapshot().items():
+        if metric["description"]:
+            lines.append(f"# HELP {name} {metric['description']}")
+        lines.append(f"# TYPE {name} {metric['kind']}")
+        for series in metric["series"]:
+            labels = series["labels"]
+            if metric["kind"] == "histogram":
+                for bound, cumulative in series["buckets"].items():
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{_merged_labels(labels, le=_format_number(bound))}"
+                        f" {cumulative}"
+                    )
+                lines.append(
+                    f"{name}_bucket{_merged_labels(labels, le='+Inf')}"
+                    f" {series['count']}"
+                )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)}"
+                    f" {_format_number(series['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {series['count']}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_format_labels(labels)}"
+                    f" {_format_number(series['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# ----------------------------------------------------------------------
+# Per-query latency breakdown
+# ----------------------------------------------------------------------
+def query_phase_rows(tracer: Any) -> List[Dict[str, Any]]:
+    """Decompose each ``query`` root span's latency into phases.
+
+    Returns one row per query: the query id/label, total seconds, seconds
+    per phase (see :data:`PHASES`) and the unattributed remainder
+    (``other``, clamped at zero).  A span whose name maps to a phase
+    accounts for its entire subtree, so nested detail spans (``re-certify``
+    inside ``planning``, derived ``map``/``shuffle``/``reduce`` inside a
+    ``job``) are never double-counted.
+    """
+    spans = tracer.spans()
+    children: Dict[Optional[int], List[Any]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+
+    def accumulate(span: Any, phases: Dict[str, float]) -> None:
+        for child in children.get(span.span_id, ()):
+            phase = SPAN_PHASE.get(child.name)
+            if phase is not None:
+                phases[phase] += child.duration
+            else:
+                accumulate(child, phases)
+
+    rows: List[Dict[str, Any]] = []
+    for span in spans:
+        if span.name != "query":
+            continue
+        phases = {phase: 0.0 for phase in PHASES}
+        accumulate(span, phases)
+        accounted = sum(phases.values())
+        row: Dict[str, Any] = {
+            "query": span.attributes.get("query", span.span_id),
+            "label": span.attributes.get("label", ""),
+            "status": span.attributes.get("status", ""),
+            "total_s": span.duration,
+            "other_s": max(0.0, span.duration - accounted),
+        }
+        for phase in PHASES:
+            row[f"{phase}_s"] = phases[phase]
+        rows.append(row)
+    return rows
+
+
+def latency_breakdown(tracer: Any) -> str:
+    """Aligned plain-text table of :func:`query_phase_rows`, with totals."""
+    rows = query_phase_rows(tracer)
+    if not rows:
+        return "latency breakdown: no query spans recorded\n"
+    headers = ["query", "label", "status", "total"]
+    headers.extend(phase.replace("_", "-") for phase in PHASES)
+    headers.append("other")
+    table: List[List[str]] = [headers]
+    totals = {key: 0.0 for key in PHASES}
+    total_all = 0.0
+    other_all = 0.0
+    for row in rows:
+        cells = [
+            str(row["query"]),
+            str(row["label"]),
+            str(row["status"]),
+            f"{row['total_s'] * 1e3:.2f}ms",
+        ]
+        for phase in PHASES:
+            cells.append(f"{row[f'{phase}_s'] * 1e3:.2f}ms")
+            totals[phase] += row[f"{phase}_s"]
+        cells.append(f"{row['other_s'] * 1e3:.2f}ms")
+        total_all += row["total_s"]
+        other_all += row["other_s"]
+        table.append(cells)
+    footer = ["all", f"({len(rows)} queries)", "", f"{total_all * 1e3:.2f}ms"]
+    footer.extend(f"{totals[phase] * 1e3:.2f}ms" for phase in PHASES)
+    footer.append(f"{other_all * 1e3:.2f}ms")
+    table.append(footer)
+    widths = [
+        max(len(row[column]) for row in table) for column in range(len(headers))
+    ]
+    lines = []
+    for index, row in enumerate(table):
+        lines.append(
+            "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+        )
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,292 @@
+"""Labeled counters, gauges and histograms with an atomic snapshot.
+
+A :class:`MetricsRegistry` is the process-wide (or service-wide) home for
+operational metrics: the paper's replication rate and max reducer load
+``q_i`` surfaced continuously, plus the serving layer's queue depths,
+admission waits and reuse counters.  The model follows Prometheus:
+
+* an *instrument* is a named metric of one kind (counter / gauge /
+  histogram) with a help string;
+* each instrument holds one time series per distinct label set
+  (``counter.inc(phase="map")`` and ``counter.inc(phase="reduce")`` are
+  two series of the same instrument);
+* :meth:`MetricsRegistry.snapshot` returns every series at one instant,
+  taken under the registry lock so concurrent updates never produce a
+  torn view.
+
+As with tracing, the default everywhere is the shared
+:data:`NULL_METRICS` registry whose instruments are a single cached
+no-op object, so uninstrumented runs pay one attribute load and a call
+per site.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+
+#: Latency-shaped default histogram buckets (seconds).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+#: Power-of-two buckets for record counts and reducer loads.
+POWER_OF_TWO_BUCKETS: Tuple[float, ...] = tuple(
+    float(2 ** exponent) for exponent in range(0, 21)
+)
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, Any]) -> _LabelKey:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+class _Instrument:
+    """Shared identity of one named metric."""
+
+    kind = "untyped"
+
+    def __init__(self, lock: threading.Lock, name: str, description: str) -> None:
+        self._lock = lock
+        self.name = name
+        self.description = description
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count, one series per label set."""
+
+    kind = "counter"
+
+    def __init__(self, lock: threading.Lock, name: str, description: str) -> None:
+        super().__init__(lock, name, description)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def _snapshot_locked(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Gauge(_Instrument):
+    """A value that goes up and down (queue depth, in-flight load)."""
+
+    kind = "gauge"
+
+    def __init__(self, lock: threading.Lock, name: str, description: str) -> None:
+        super().__init__(lock, name, description)
+        self._values: Dict[_LabelKey, float] = {}
+
+    def set(self, value: float, **labels: Any) -> None:
+        with self._lock:
+            self._values[_label_key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        key = _label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: Any) -> float:
+        with self._lock:
+            return self._values.get(_label_key(labels), 0.0)
+
+    def _snapshot_locked(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), "value": value}
+            for key, value in sorted(self._values.items())
+        ]
+
+
+class Histogram(_Instrument):
+    """Cumulative-bucket histogram of observations, Prometheus-style."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        lock: threading.Lock,
+        name: str,
+        description: str,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(lock, name, description)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name!r} buckets must be non-empty and strictly "
+                f"increasing, got {buckets!r}"
+            )
+        self.buckets = bounds
+        #: per label set: ([count per bucket], sum, count)
+        self._series: Dict[_LabelKey, Tuple[List[int], float, int]] = {}
+
+    def observe(self, value: float, **labels: Any) -> None:
+        value = float(value)
+        key = _label_key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = ([0] * len(self.buckets), 0.0, 0)
+            counts, total, count = series
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[index] += 1
+                    break
+            self._series[key] = (counts, total + value, count + 1)
+
+    def series(self, **labels: Any) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            series = self._series.get(_label_key(labels))
+            if series is None:
+                return None
+            return self._series_dict(series)
+
+    def _series_dict(self, series: Tuple[List[int], float, int]) -> Dict[str, Any]:
+        counts, total, count = series
+        cumulative: Dict[float, int] = {}
+        running = 0
+        for bound, bucket_count in zip(self.buckets, counts):
+            running += bucket_count
+            cumulative[bound] = running
+        return {"buckets": cumulative, "sum": total, "count": count}
+
+    def _snapshot_locked(self) -> List[Dict[str, Any]]:
+        return [
+            {"labels": dict(key), **self._series_dict(series)}
+            for key, series in sorted(self._series.items())
+        ]
+
+
+class MetricsRegistry:
+    """Create-or-get instrument factory plus atomic snapshot.
+
+    Factories are idempotent — asking twice for the same name returns the
+    same instrument — but re-registering a name as a different kind is a
+    configuration error (two call sites disagreeing about what a metric
+    *is* should fail loudly, not silently fork the data).
+
+    One lock covers the registry and every instrument it created: metric
+    updates are tiny critical sections, and a single lock makes
+    :meth:`snapshot` a true point-in-time cut across all instruments.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: Dict[str, _Instrument] = {}
+
+    def _get_or_create(self, cls: type, name: str, *args: Any) -> Any:
+        with self._lock:
+            existing = self._instruments.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls):
+                    raise ConfigurationError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind}, cannot re-register as "
+                        f"{cls.kind}"  # type: ignore[attr-defined]
+                    )
+                return existing
+            instrument = cls(self._lock, name, *args)
+            self._instruments[name] = instrument
+            return instrument
+
+    def counter(self, name: str, description: str = "") -> Counter:
+        return self._get_or_create(Counter, name, description)
+
+    def gauge(self, name: str, description: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, description)
+
+    def histogram(
+        self,
+        name: str,
+        description: str = "",
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, description, buckets)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """All series of all instruments at one instant, by metric name."""
+        with self._lock:
+            return {
+                name: {
+                    "kind": instrument.kind,
+                    "description": instrument.description,
+                    "series": instrument._snapshot_locked(),
+                }
+                for name, instrument in sorted(self._instruments.items())
+            }
+
+
+class _NullInstrument:
+    """One object answering for every instrument of a null registry."""
+
+    __slots__ = ()
+    name = ""
+    description = ""
+    kind = "untyped"
+    buckets: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0, **labels: Any) -> None:
+        return None
+
+    def dec(self, amount: float = 1.0, **labels: Any) -> None:
+        return None
+
+    def set(self, value: float, **labels: Any) -> None:
+        return None
+
+    def observe(self, value: float, **labels: Any) -> None:
+        return None
+
+    def value(self, **labels: Any) -> float:
+        return 0.0
+
+    def series(self, **labels: Any) -> None:
+        return None
+
+
+class NullMetricsRegistry:
+    """Zero-overhead registry: factories hand back one cached no-op."""
+
+    enabled = False
+
+    _instrument = _NullInstrument()
+
+    def counter(self, name: str, description: str = "") -> _NullInstrument:
+        return self._instrument
+
+    def gauge(self, name: str, description: str = "") -> _NullInstrument:
+        return self._instrument
+
+    def histogram(
+        self, name: str, description: str = "", buckets: Any = None
+    ) -> _NullInstrument:
+        return self._instrument
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        return {}
+
+
+#: Shared default: metrics disabled, nothing recorded.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,322 @@
+"""Thread-safe span tracing for the engine, pipeline and service layers.
+
+A :class:`Tracer` records *spans* — named, attributed intervals on the
+monotonic clock (``time.perf_counter``) linked into a tree by parent ids.
+Three entry points cover the three shapes instrumentation takes:
+
+* :meth:`Tracer.span` — context-managed span for work done on the calling
+  thread.  Nesting is automatic: each thread keeps a stack of active
+  spans, and a new span parents under the top of its thread's stack
+  unless an explicit ``parent`` is given.
+* :meth:`Tracer.start_span` — an explicitly-finished span for work that
+  crosses threads (a query's lifetime spans the submitter thread and many
+  worker threads).  It never joins a thread stack; children reference it
+  through an explicit ``parent``.
+* :meth:`Tracer.record_span` — a *derived* span synthesized after the
+  fact from a measured ``(start, duration)`` pair, e.g. the engine's
+  per-phase timings or the service's queued-wait intervals, where the
+  interval was measured without a live span object.
+
+Spans are cheap but not free, so the default everywhere is the shared
+:data:`NULL_TRACER` — a :class:`NullTracer` whose every operation is a
+no-op on a single cached span object.  Code can branch on
+``tracer.enabled`` to skip attribute assembly entirely; the regression
+suite pins that runs under the null tracer are bit-identical to runs with
+no tracer wired at all.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+
+class Span:
+    """One named interval in a trace tree.
+
+    Spans are created by a :class:`Tracer`, never directly.  ``start`` and
+    ``end`` are ``time.perf_counter()`` readings; :attr:`duration` is
+    their difference once finished.  ``attributes`` is a free-form bag
+    (query id, round index, plan name, ...) that exporters surface as
+    Chrome-trace ``args``.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "start",
+        "end",
+        "attributes",
+        "thread_id",
+        "_tracer",
+        "_on_stack",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attributes: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.attributes = attributes
+        self.thread_id = threading.get_ident()
+        self._on_stack = False
+
+    @property
+    def duration(self) -> float:
+        """Seconds from start to finish (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def finish(self) -> None:
+        """Close the span and hand it to the tracer (idempotent)."""
+        if self.end is not None:
+            return
+        self.end = time.perf_counter()
+        self._tracer._record(self)
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "Span":
+        if self.parent_id is None:
+            current = self._tracer.current()
+            if current is not None:
+                self.parent_id = current.span_id
+        self._tracer._push(self)
+        self._on_stack = True
+        # Restart the clock at entry so time between creation and entry
+        # (argument assembly, mostly) is not charged to the span.
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, _tb: Any) -> None:
+        if exc_type is not None and exc_type not in (StopIteration, GeneratorExit):
+            # StopIteration/GeneratorExit are generator control flow, not
+            # failures — spans legitimately wrap coroutine advancement.
+            self.attributes.setdefault("error", exc_type.__name__)
+        if self._on_stack:
+            self._tracer._pop(self)
+            self._on_stack = False
+        self.finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = f"{self.duration * 1e3:.3f}ms" if self.end is not None else "open"
+        return f"Span({self.name!r}, id={self.span_id}, {state})"
+
+
+class Tracer:
+    """Collects finished spans from any number of threads.
+
+    All mutation happens under one lock; the hot path (open/close one
+    span) takes it twice for a counter bump and a list append.  ``epoch``
+    is the tracer's creation time on the monotonic clock — exporters
+    subtract it so traces start near zero — and ``wall_epoch`` anchors the
+    same instant on the wall clock for human-readable reports.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._finished: List[Span] = []
+        self._stacks = threading.local()
+        self.epoch = time.perf_counter()
+        self.wall_epoch = time.time()
+
+    # -- span creation ---------------------------------------------------
+    def span(
+        self, name: str, parent: Optional[Span] = None, **attributes: Any
+    ) -> Span:
+        """A context-managed span nested under this thread's current span."""
+        return Span(
+            self,
+            name,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            attributes,
+        )
+
+    def start_span(
+        self, name: str, parent: Optional[Span] = None, **attributes: Any
+    ) -> Span:
+        """An explicitly-finished span, detached from every thread stack.
+
+        Use for intervals that outlive the calling frame or cross threads;
+        close with :meth:`Span.finish`.
+        """
+        return Span(
+            self,
+            name,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            attributes,
+        )
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent: Optional[Span] = None,
+        **attributes: Any,
+    ) -> Span:
+        """Record a span for an interval measured without a live span.
+
+        ``start`` must be a ``time.perf_counter()`` reading (the tracer's
+        timebase); ``duration`` is in seconds.
+        """
+        span = Span(
+            self,
+            name,
+            next(self._ids),
+            parent.span_id if parent is not None else None,
+            attributes,
+        )
+        span.start = start
+        span.end = start + max(0.0, duration)
+        self._record(span)
+        return span
+
+    # -- thread-local nesting --------------------------------------------
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "stack", None)
+        if stack is None:
+            stack = []
+            self._stacks.stack = stack
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost active span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # unbalanced exit; recover rather than corrupt
+            stack.remove(span)
+
+    # -- collection ------------------------------------------------------
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._finished.append(span)
+
+    def spans(self) -> List[Span]:
+        """Snapshot of all finished spans, in (start, id) order."""
+        with self._lock:
+            finished = list(self._finished)
+        finished.sort(key=lambda span: (span.start, span.span_id))
+        return finished
+
+    def clear(self) -> None:
+        """Drop all finished spans (active spans are unaffected)."""
+        with self._lock:
+            self._finished.clear()
+
+
+class _NullSpan:
+    """The single span object every :class:`NullTracer` operation returns."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id: Optional[int] = None
+    start = 0.0
+    end: Optional[float] = 0.0
+    thread_id = 0
+    attributes: Dict[str, Any] = {}
+    duration = 0.0
+
+    def set(self, **_attributes: Any) -> "_NullSpan":
+        return self
+
+    def finish(self) -> None:
+        return None
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc_info: Any) -> None:
+        return None
+
+
+class NullTracer:
+    """Zero-overhead tracer: every call is a no-op on one cached span.
+
+    The default wired into :class:`~repro.mapreduce.cluster.ClusterConfig`
+    and :class:`~repro.service.service.QueryService`; instrumented code
+    may consult :attr:`enabled` to skip even argument assembly.
+    """
+
+    enabled = False
+    epoch = 0.0
+    wall_epoch = 0.0
+
+    _span = _NullSpan()
+
+    def span(self, name: str, parent: Any = None, **attributes: Any) -> _NullSpan:
+        return self._span
+
+    def start_span(
+        self, name: str, parent: Any = None, **attributes: Any
+    ) -> _NullSpan:
+        return self._span
+
+    def record_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        parent: Any = None,
+        **attributes: Any,
+    ) -> _NullSpan:
+        return self._span
+
+    def current(self) -> None:
+        return None
+
+    def spans(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+
+#: Shared default: tracing disabled, nothing allocated per call.
+NULL_TRACER = NullTracer()
+
+
+def walk(
+    spans: List[Span],
+) -> Iterator[Tuple[Span, Tuple[Span, ...]]]:
+    """Yield ``(span, children)`` for every span, children in time order.
+
+    A convenience for exporters and tests; spans whose parent was never
+    finished appear as roots.
+    """
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        children.setdefault(span.parent_id, []).append(span)
+    for span in spans:
+        yield span, tuple(children.get(span.span_id, ()))

@@ -36,6 +36,7 @@ materialized intermediate to every pipeline that needs it.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -67,6 +68,8 @@ from repro.stats.profile import (
     RelationProfile,
     StreamingRelationProfiler,
 )
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -538,6 +541,8 @@ def _cascade_rounds(
 ) -> RoundGenerator:
     base_records = _base_records_by_relation(plan, records)
     fingerprints = _base_fingerprints(base_records) if reuse_keys else None
+    tracer = engine.config.tracer
+    registry = engine.config.metrics
     #: Lineage token per materialized node: leaf content plus the physical
     #: plan of every round that fed it.  Two rounds share an intermediate
     #: only when these tokens match — same structure, same base records,
@@ -569,7 +574,12 @@ def _cascade_rounds(
                     relations[child.schema.name] = child_profile
             if len(relations) == 2:
                 observed_profile = DatasetProfile(relations=relations)
-                observed_cert = _fingerprinted_certification(round_, observed_profile)
+                with tracer.span(
+                    "re-certify", node=op.schema.name, round=index
+                ):
+                    observed_cert = _fingerprinted_certification(
+                        round_, observed_profile
+                    )
                 estimated = round_.certified_load
                 trigger: Optional[str] = None
                 if estimated is not None:
@@ -579,16 +589,25 @@ def _cascade_rounds(
                         trigger = "certificate-improved"
                 final_certification = observed_cert
                 if replan and trigger is not None:
-                    try:
-                        new_round = replan_round(round_, plan, observed_profile)
-                    except PlanningError:
-                        # Nothing fits the budget on the observed data; the
-                        # original (still sound) plan keeps running.  Still
-                        # recorded below — with the old plan's name and
-                        # observed bound, i.e. certified no better — so the
-                        # wasted planning work is a scorable loss for the
-                        # adaptive replan_factor tuner.
-                        new_round = None
+                    with tracer.span(
+                        "replan",
+                        node=op.schema.name,
+                        round=index,
+                        reason=trigger,
+                    ):
+                        try:
+                            new_round = replan_round(
+                                round_, plan, observed_profile
+                            )
+                        except PlanningError:
+                            # Nothing fits the budget on the observed data;
+                            # the original (still sound) plan keeps running.
+                            # Still recorded below — with the old plan's
+                            # name and observed bound, i.e. certified no
+                            # better — so the wasted planning work is a
+                            # scorable loss for the adaptive replan_factor
+                            # tuner.
+                            new_round = None
                     event = ReplanEvent(
                         round_index=index,
                         node=op.schema.name,
@@ -606,6 +625,35 @@ def _cascade_rounds(
                         ),
                     )
                     events.append(event)
+                    logger.info(
+                        "replan round %d (%s) on %s: plan %s -> %s, "
+                        "bound %.6g -> %s (%s)",
+                        index,
+                        op.schema.name,
+                        trigger,
+                        event.old_plan,
+                        event.new_plan,
+                        event.observed_bound,
+                        event.new_bound,
+                        "win" if event.won else "loss",
+                    )
+                    if registry.enabled:
+                        registry.counter(
+                            "pipeline_replans_total",
+                            "Mid-flight re-planning decisions, by trigger",
+                        ).inc(reason=trigger)
+                        if event.won:
+                            registry.counter(
+                                "pipeline_replan_wins_total",
+                                "Re-plans whose new certificate beat the "
+                                "observed bound",
+                            ).inc()
+                        else:
+                            registry.counter(
+                                "pipeline_replan_losses_total",
+                                "Re-plans certified no better than the "
+                                "running plan",
+                            ).inc()
                     if replan_observer is not None:
                         replan_observer(event)
                     if new_round is not None:
@@ -666,11 +714,14 @@ def _cascade_rounds(
         else:
             # Profile the intermediate in-stream while it is collected for
             # the next round — one pass, no second copy.
-            profiler = StreamingRelationProfiler(
-                op.schema.name, op.schema.attributes
-            )
-            rows = list(profiler.wrap(job.outputs))
-            finished_profile = profiler.finish()
+            with tracer.span(
+                "profile-intermediate", node=op.schema.name, round=index
+            ):
+                profiler = StreamingRelationProfiler(
+                    op.schema.name, op.schema.attributes
+                )
+                rows = list(profiler.wrap(job.outputs))
+                finished_profile = profiler.finish()
             # Publish rows and profile on the outcome so a sharing driver
             # can feed other consumers of the same sub-tree.
             received.rows = rows

@@ -312,30 +312,57 @@ class PipelinePlanner:
             processing_rate=cluster.worker_cost_per_unit,
             planning_rate=cluster.planning_cost_per_second,
         )
-        if isinstance(problem, MultiwayJoinProblem):
-            plans, rejected = self._join_structures(
-                problem, cluster, budget, model, profile
+        with cluster.tracer.span(
+            "pipeline-plan", problem=problem.name, q_budget=budget
+        ) as span:
+            if isinstance(problem, MultiwayJoinProblem):
+                plans, rejected = self._join_structures(
+                    problem, cluster, budget, model, profile
+                )
+            elif isinstance(problem, MatrixMultiplicationProblem):
+                plans, rejected = self._matmul_structures(
+                    problem, cluster, budget, model
+                )
+            elif isinstance(problem, GroupByAggregationProblem):
+                plans, rejected = self._aggregate_structures(
+                    problem, cluster, budget, model
+                )
+            else:
+                raise PlanningError(
+                    f"the pipeline planner covers joins, matrix multiplication "
+                    f"and aggregation; got {type(problem).__name__}"
+                )
+            if not plans:
+                reasons = "; ".join(
+                    f"{label}: {reason}" for label, reason in rejected
+                )
+                raise PlanningError(
+                    f"no round structure for {problem.name!r} fits within the "
+                    f"reducer-size budget q={budget:g} ({reasons})"
+                )
+            plans.sort(
+                key=lambda plan: (plan.total_cost, plan.num_rounds, plan.name)
             )
-        elif isinstance(problem, MatrixMultiplicationProblem):
-            plans, rejected = self._matmul_structures(problem, cluster, budget, model)
-        elif isinstance(problem, GroupByAggregationProblem):
-            plans, rejected = self._aggregate_structures(
-                problem, cluster, budget, model
-            )
-        else:
-            raise PlanningError(
-                f"the pipeline planner covers joins, matrix multiplication and "
-                f"aggregation; got {type(problem).__name__}"
-            )
-        if not plans:
-            reasons = "; ".join(f"{label}: {reason}" for label, reason in rejected)
-            raise PlanningError(
-                f"no round structure for {problem.name!r} fits within the "
-                f"reducer-size budget q={budget:g} ({reasons})"
-            )
-        plans.sort(key=lambda plan: (plan.total_cost, plan.num_rounds, plan.name))
+            if cluster.tracer.enabled:
+                span.set(structures=len(plans), rejected=len(rejected))
         planning_seconds = time.perf_counter() - started
         planning_cost = model.planning_rate * planning_seconds
+        registry = cluster.metrics
+        if registry.enabled:
+            registry.counter(
+                "planner_plans_total", "Pipeline planning invocations"
+            ).inc()
+            registry.counter(
+                "planner_structures_total",
+                "Feasible round structures enumerated across plans",
+            ).inc(len(plans))
+            registry.counter(
+                "planner_rejected_total",
+                "Round structures rejected by the feasibility filter",
+            ).inc(len(rejected))
+            registry.histogram(
+                "planner_seconds", "Wall-clock seconds per planning invocation"
+            ).observe(planning_seconds)
         for rank, plan in enumerate(plans):
             plan.rank = rank
             plan.planning_seconds = planning_seconds

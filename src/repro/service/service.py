@@ -44,8 +44,11 @@ Example
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
+import logging
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence
@@ -53,6 +56,7 @@ from typing import Any, Dict, List, Optional, Sequence
 from repro.exceptions import AdmissionError, ConfigurationError
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.executor import Executor, ExecutorSpec, resolve_executor
+from repro.obs import NULL_METRICS, NULL_OBSERVABILITY, NULL_TRACER, Observability
 from repro.pipeline.execute import (
     PipelineRunResult,
     RoundOutcome,
@@ -64,6 +68,8 @@ from repro.planner.cache import default_schema_cache
 from repro.service.admission import AdmissionLedger
 from repro.service.intermediates import IntermediateStore
 from repro.service.tuning import ReplanTuner
+
+logger = logging.getLogger(__name__)
 
 
 class QueryHandle:
@@ -123,6 +129,14 @@ class _QueryState:
     reserved_load: Optional[float] = None
     rounds_executed: int = 0
     rounds_reused: int = 0
+    #: Root span of this query's trace tree (a null span when untraced).
+    span: Any = None
+    #: ``time.perf_counter()`` at submission, for end-to-end latency.
+    submitted_at: float = 0.0
+    #: When the current round entered the admission queue, if queued.
+    queued_at: Optional[float] = None
+    #: When the current round parked on another query's intermediate.
+    parked_at: Optional[float] = None
 
 
 class QueryService:
@@ -159,6 +173,18 @@ class QueryService:
     spill_threshold:
         Passed through to every pipeline execution (see
         :func:`repro.pipeline.execute.execute_pipeline`).
+    observer:
+        An :class:`~repro.obs.Observability` bundle (tracer + metrics
+        registry).  When given, every query grows a span tree — admission
+        wait, planning, round execution (with the engine's per-job and
+        per-phase spans nested inside), parked time — and the registry
+        collects queue/admission gauges, deferral and reuse counters,
+        queued-round starvation maxima by priority, and per-query latency
+        histograms.  Submitted plans whose cluster carries no tracer or
+        registry of its own inherit the observer's, so engine- and
+        pipeline-level telemetry lands in the same trace.  Defaults to
+        the shared no-op bundle; the regression suite pins that the
+        default is bit-identical to an unobserved service.
     """
 
     def __init__(
@@ -169,11 +195,16 @@ class QueryService:
         replan: bool = True,
         tuner: Optional[ReplanTuner] = None,
         spill_threshold: Optional[int] = None,
+        observer: Optional[Observability] = None,
     ) -> None:
         if max_workers <= 0:
             raise ConfigurationError(
                 f"max_workers must be positive, got {max_workers}"
             )
+        self.observer = observer or NULL_OBSERVABILITY
+        self._tracer = self.observer.tracer
+        self._metrics = self.observer.metrics
+        self._register_instruments()
         self.admission = AdmissionLedger(capacity)
         self.store = IntermediateStore()
         self.tuner = tuner or ReplanTuner()
@@ -203,6 +234,58 @@ class QueryService:
         #: instead, keeping every handle completable after
         #: ``close(wait=False)``.
         self._pool_closed = False
+        #: Longest admission-queue wait observed so far, per priority
+        #: class — the starvation witness surfaced by ``describe()``
+        #: (merged there with the live ages of still-queued rounds).
+        self._max_queued_wait: Dict[float, float] = {}
+
+    def _register_instruments(self) -> None:
+        """Create the service's metric instruments once, up front.
+
+        With a null registry every instrument is the same cached no-op
+        object, so the per-event call sites stay allocation-free either
+        way.
+        """
+        metrics = self._metrics
+        self._m_queries = metrics.counter(
+            "service_queries_total", "Queries completed, by final status"
+        )
+        self._m_rounds = metrics.counter(
+            "service_rounds_total", "Rounds completed, by mode"
+        )
+        self._m_deferrals = metrics.counter(
+            "service_deferrals_total",
+            "Dispatch attempts deferred for lack of certified-load capacity",
+        )
+        self._m_reuse = metrics.counter(
+            "service_intermediate_reuse_total",
+            "Rounds satisfied from the shared-intermediate store",
+        )
+        self._m_admission_wait = metrics.histogram(
+            "service_admission_wait_seconds",
+            "Queued seconds between a round becoming ready and its admission",
+        )
+        self._m_park_wait = metrics.histogram(
+            "service_park_wait_seconds",
+            "Seconds a round waited parked on another query's intermediate",
+        )
+        self._m_query_latency = metrics.histogram(
+            "service_query_seconds",
+            "End-to-end query latency, by final status",
+        )
+        self._m_queue_depth = metrics.gauge(
+            "service_queue_depth", "Rounds queued for admission"
+        )
+        self._m_in_flight = metrics.gauge(
+            "service_in_flight_load", "Sum of admitted certified loads"
+        )
+        self._m_parked = metrics.gauge(
+            "service_parked_rounds", "Rounds parked on a shared intermediate"
+        )
+        self._m_max_wait = metrics.gauge(
+            "service_max_queued_wait_seconds",
+            "Longest admission-queue wait observed so far, by priority",
+        )
 
     # ------------------------------------------------------------------
     # Submission
@@ -244,7 +327,17 @@ class QueryService:
             self._active_queries[query_id] = state
             self._submitted += 1
         state.handle.replan_factor = state.replan_factor
-        engine = MapReduceEngine(plan.cluster, executor=self.executor)
+        state.submitted_at = time.perf_counter()
+        state.span = self._tracer.start_span(
+            "query", query=query_id, label=plan.name, priority=priority
+        )
+        logger.debug(
+            "query %d (%s) submitted: %d rounds, priority %g",
+            query_id, plan.name, len(plan.rounds), priority,
+        )
+        engine = MapReduceEngine(
+            self._observed_cluster(plan.cluster), executor=self.executor
+        )
         state.gen = pipeline_rounds(
             plan,
             records,
@@ -265,12 +358,36 @@ class QueryService:
             raise exc
         return state.handle
 
+    def _observed_cluster(self, cluster: Any) -> Any:
+        """The submitted plan's cluster, inheriting the service's observer.
+
+        A cluster that already carries its own tracer or registry keeps
+        it; only the null defaults are replaced, so engine-level telemetry
+        of every query lands in the service's trace unless the caller
+        explicitly routed it elsewhere.
+        """
+        if self.observer is NULL_OBSERVABILITY:
+            return cluster
+        overrides: Dict[str, Any] = {}
+        if cluster.tracer is NULL_TRACER and self._tracer is not NULL_TRACER:
+            overrides["tracer"] = self._tracer
+        if cluster.metrics is NULL_METRICS and self._metrics is not NULL_METRICS:
+            overrides["metrics"] = self._metrics
+        if not overrides:
+            return cluster
+        return dataclasses.replace(cluster, **overrides)
+
     # ------------------------------------------------------------------
     # Round lifecycle (worker threads)
     # ------------------------------------------------------------------
     def _start_query(self, state: _QueryState) -> None:
         try:
-            work = next(state.gen)
+            # The first advance fingerprints the base records and builds
+            # the first round — planning-side work, traced as such.
+            with self._tracer.span(
+                "planning", parent=state.span, query=state.query_id
+            ):
+                work = next(state.gen)
         except StopIteration as stop:  # zero-round plan (defensive)
             self._finish_query(state, stop.value)
             return
@@ -298,9 +415,11 @@ class QueryService:
                 return
             if verdict == "wait":
                 self._parked_rounds += 1
+                state.parked_at = time.perf_counter()
                 self._dispatch_locked()
                 return
             state.producing_key = work.reuse_key
+        state.queued_at = time.perf_counter()
         self._ready.append(state)
         self._dispatch_locked()
 
@@ -333,15 +452,59 @@ class QueryService:
                     # admitted — not on every dispatch pass it waits out.
                     self._overcapacity_rounds += 1
                 admitted.append(state)
+            else:
+                self._m_deferrals.inc()
         # Unqueue every admitted round before spawning any: a spawn
         # failure fails the query, whose cleanup re-enters dispatch and
         # must not re-admit rounds this pass already holds reservations
         # for.
         for state in admitted:
             self._ready.remove(state)
+            self._note_admitted_locked(state)
         for state in admitted:
             self._running_rounds += 1
             self._spawn_locked(self._run_round, state)
+        if self._metrics.enabled:
+            self._m_queue_depth.set(float(len(self._ready)))
+            self._m_in_flight.set(self.admission.stats().in_flight)
+            self._m_parked.set(float(self._parked_rounds))
+
+    def _note_admitted_locked(self, state: _QueryState) -> None:
+        """Record how long the admitted round waited in the queue."""
+        if state.queued_at is None:
+            return
+        waited = time.perf_counter() - state.queued_at
+        priority = state.priority
+        if waited > self._max_queued_wait.get(priority, 0.0):
+            self._max_queued_wait[priority] = waited
+            self._m_max_wait.set(waited, priority=f"{priority:g}")
+        if self.observer is not NULL_OBSERVABILITY:
+            self._tracer.record_span(
+                "admission-wait",
+                state.queued_at,
+                waited,
+                parent=state.span,
+                query=state.query_id,
+                priority=priority,
+            )
+            self._m_admission_wait.observe(waited)
+        state.queued_at = None
+
+    def _unpark_locked(self, state: _QueryState) -> None:
+        """Record how long the round sat parked on a shared intermediate."""
+        if state.parked_at is None:
+            return
+        waited = time.perf_counter() - state.parked_at
+        if self.observer is not NULL_OBSERVABILITY:
+            self._tracer.record_span(
+                "parked",
+                state.parked_at,
+                waited,
+                parent=state.span,
+                query=state.query_id,
+            )
+            self._m_park_wait.observe(waited)
+        state.parked_at = None
 
     def _spawn_locked(self, fn, state: _QueryState, *args: Any) -> None:
         """Hand one round task to the pool, or fail its query (lock held).
@@ -371,13 +534,23 @@ class QueryService:
         """Execute one admitted round end to end (worker thread)."""
         work = state.pending_work
         try:
-            outcome = work.execute()
+            # The engine's per-job (and per-phase) spans nest under this
+            # one via the worker thread's span stack.
+            with self._tracer.span(
+                "round-execute",
+                parent=state.span,
+                query=state.query_id,
+                round=work.index,
+                plan=work.plan_name,
+            ):
+                outcome = work.execute()
         except BaseException as exc:
             with self._lock:
                 self._release_locked(state)
                 self._fail_query_locked(state, exc)
             return
         state.rounds_executed += 1
+        self._m_rounds.inc(mode="executed")
         self._advance(state, outcome)
 
     def _adopt_round(self, state: _QueryState, producer_outcome: RoundOutcome) -> None:
@@ -389,6 +562,8 @@ class QueryService:
             reused=True,
         )
         state.rounds_reused += 1
+        self._m_rounds.inc(mode="reused")
+        self._m_reuse.inc()
         self._advance(state, outcome)
 
     def _advance(self, state: _QueryState, outcome: RoundOutcome) -> None:
@@ -402,7 +577,13 @@ class QueryService:
         next_work: Optional[RoundWork] = None
         result: Optional[PipelineRunResult] = None
         try:
-            next_work = state.gen.send(outcome)
+            # The send profiles the round's rows in-stream, re-certifies
+            # the next round and possibly re-plans it — planning-side
+            # work between rounds, traced as such.
+            with self._tracer.span(
+                "planning", parent=state.span, query=state.query_id
+            ):
+                next_work = state.gen.send(outcome)
         except StopIteration as stop:
             result = stop.value
         except BaseException as exc:
@@ -418,6 +599,7 @@ class QueryService:
                 for waiter in waiters:
                     self._parked_rounds -= 1
                     self._running_rounds += 1
+                    self._unpark_locked(waiter)
                     self._spawn_locked(self._adopt_round, waiter, outcome)
             if next_work is not None:
                 # _offer_locked always ends with a dispatch pass, so the
@@ -444,7 +626,31 @@ class QueryService:
             self._active_queries.pop(state.query_id, None)
             self._finished += 1
             self._idle.notify_all()
+        self._settle_observation(state, "ok")
+        logger.debug(
+            "query %d (%s) finished: %d rounds executed, %d reused",
+            state.query_id,
+            state.handle.label,
+            state.rounds_executed,
+            state.rounds_reused,
+        )
         state.handle._finish(result)
+
+    def _settle_observation(self, state: _QueryState, status: str) -> None:
+        """Close the query's root span and record its latency (idempotent
+        through the callers' own once-only guarantees)."""
+        if state.span is not None:
+            state.span.set(
+                status=status,
+                rounds_executed=state.rounds_executed,
+                rounds_reused=state.rounds_reused,
+            )
+            state.span.finish()
+        self._m_queries.inc(status=status)
+        if state.submitted_at:
+            self._m_query_latency.observe(
+                time.perf_counter() - state.submitted_at, status=status
+            )
 
     def _fail_query(self, state: _QueryState, exc: BaseException) -> None:
         with self._lock:
@@ -467,9 +673,17 @@ class QueryService:
             state.producing_key = None
             for waiter in waiters:
                 self._parked_rounds -= 1
+                self._unpark_locked(waiter)
                 self._offer_locked(waiter, waiter.pending_work)
         self._ready = [s for s in self._ready if s is not state]
         self._failed += 1
+        self._settle_observation(state, "failed")
+        logger.warning(
+            "query %d (%s) failed: %s",
+            state.query_id,
+            state.handle.label,
+            exc,
+        )
         self._dispatch_locked()
         self._idle.notify_all()
         state.handle._fail(exc)
@@ -505,6 +719,12 @@ class QueryService:
                     "parked": self._parked_rounds,
                     "running": self._running_rounds,
                     "overcapacity_clamped": self._overcapacity_rounds,
+                    # Starvation witness: the longest any round of each
+                    # priority class has waited for admission — finished
+                    # waits and the live ages of still-queued rounds
+                    # merged, so a currently starving round is visible
+                    # before it ever runs.
+                    "max_queued_wait_by_priority": self._queued_waits_locked(),
                 },
                 "intermediates": self.store.stats().__dict__.copy(),
                 "tuner": self.tuner.stats().__dict__.copy(),
@@ -529,6 +749,19 @@ class QueryService:
                 }
         return snapshot
 
+    def _queued_waits_locked(self) -> Dict[str, float]:
+        """Max admission wait per priority class, live queue included."""
+        waits = dict(self._max_queued_wait)
+        now = time.perf_counter()
+        for state in self._ready:
+            if state.queued_at is not None:
+                age = now - state.queued_at
+                if age > waits.get(state.priority, 0.0):
+                    waits[state.priority] = age
+        return {
+            f"{priority:g}": wait for priority, wait in sorted(waits.items())
+        }
+
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted query has finished or failed."""
         with self._idle:
@@ -552,6 +785,10 @@ class QueryService:
         """
         with self._lock:
             self._closed = True
+        logger.info(
+            "service closing (wait=%s): %d submitted, %d finished, %d failed",
+            wait, self._submitted, self._finished, self._failed,
+        )
         if wait:
             self.drain()
         with self._lock:
