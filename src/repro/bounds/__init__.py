@@ -1,0 +1,68 @@
+"""Pluggable size/load bound estimation (the planner's bound registry).
+
+Public surface:
+
+* :class:`BoundRegistry` / :data:`default_bound_registry` — the strategy
+  registry every planning and certification path routes through.
+* The built-in estimators — :class:`PerValueHistogramBound`,
+  :class:`AGMBound`, :class:`DegreeConstraintBound`,
+  :class:`TopKFrequencyBound` — plus :func:`legacy_bound_registry` for
+  bit-identical pre-refactor behaviour.
+* :func:`agm_bound` and the canonical-query cover cache.
+"""
+
+from repro.bounds.base import (
+    METHOD_AGM,
+    METHOD_DEGREE,
+    METHOD_DOMAIN,
+    METHOD_HISTOGRAM,
+    METHOD_TOPK,
+    BoundCandidate,
+    BoundContext,
+    BoundDecision,
+    BoundEstimator,
+    BoundRegistry,
+    ChildView,
+    default_bound_registry,
+)
+from repro.bounds.cover import (
+    agm_bound,
+    cached_fractional_edge_cover,
+    canonical_query_key,
+    clear_cover_cache,
+    cover_cache_stats,
+)
+from repro.bounds.estimators import (
+    AGMBound,
+    DegreeConstraintBound,
+    PerValueHistogramBound,
+    TopKFrequencyBound,
+    legacy_bound_registry,
+    per_value_sum,
+)
+
+__all__ = [
+    "METHOD_AGM",
+    "METHOD_DEGREE",
+    "METHOD_DOMAIN",
+    "METHOD_HISTOGRAM",
+    "METHOD_TOPK",
+    "AGMBound",
+    "BoundCandidate",
+    "BoundContext",
+    "BoundDecision",
+    "BoundEstimator",
+    "BoundRegistry",
+    "ChildView",
+    "DegreeConstraintBound",
+    "PerValueHistogramBound",
+    "TopKFrequencyBound",
+    "agm_bound",
+    "cached_fractional_edge_cover",
+    "canonical_query_key",
+    "clear_cover_cache",
+    "cover_cache_stats",
+    "default_bound_registry",
+    "legacy_bound_registry",
+    "per_value_sum",
+]

@@ -1,0 +1,214 @@
+"""The pluggable bound-estimation layer: contexts, estimators, registry.
+
+Every place the planner needs an upper bound on a join's output size —
+cascade node pricing in :mod:`repro.pipeline.estimate`, one-round output
+bounds in :mod:`repro.pipeline.planner` — routes through one
+:class:`BoundRegistry`.  Estimators are strategies in the planner-registry
+convention: adding a new bound is a registration, not a call-site edit.
+
+An estimator receives a :class:`BoundContext` describing either
+
+* a **binary join** — two :class:`ChildView`\\ s (already-bounded inputs,
+  their sound histograms, degree caps and leaf attribute profiles) plus the
+  shared attributes; or
+* a **whole query** — no children, just the induced query and base-relation
+  row counts (the one-round Shares output bound).
+
+and returns a :class:`BoundCandidate` or ``None`` when it does not apply.
+Every candidate ``value`` must be a *deterministically sound* upper bound
+on the true output size in both profile fidelities — sampled profiles only
+feed estimators deterministic sketch bounds (Misra–Gries uppers, exact
+``max_degree`` scalars), never reservoir or KMV estimates.  Estimate-grade
+refinements (KMV tail counts) travel separately in ``estimate`` and may
+only tighten the planner's *calibrated estimate*, never the bound.
+
+:meth:`BoundRegistry.evaluate` takes the minimum over applicable
+candidates; ties go to the earliest registration, which is how the default
+registry reproduces the legacy estimator's method labels bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Hashable, List, Mapping, Optional, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.obs.metrics import NULL_METRICS
+from repro.problems.joins import JoinQuery
+from repro.stats.profile import AttributeProfile, DatasetProfile
+
+#: Size-bound methods, in decreasing fidelity.
+METHOD_HISTOGRAM = "per-value-histogram"
+METHOD_AGM = "agm"
+METHOD_DOMAIN = "model-domain"
+METHOD_DEGREE = "degree-constraint"
+METHOD_TOPK = "top-k-frequency"
+
+
+@dataclass(frozen=True)
+class ChildView:
+    """What a bound estimator may know about one join input.
+
+    ``rows`` is a sound upper bound on the input's cardinality (exact for
+    base relations, the child's own certified size bound for
+    intermediates).  ``sound_histograms`` carries per-attribute value →
+    upper-bound maps, ``degree_caps`` per-attribute caps on any single
+    value's multiplicity, and ``attribute_profiles`` the *collected* (not
+    synthetic) per-attribute statistics — present only for base-relation
+    leaves, which is what keeps sketch-driven estimators sound.
+    """
+
+    name: str
+    rows: float
+    sound_histograms: Optional[Mapping[str, Mapping[Hashable, float]]] = None
+    degree_caps: Optional[Mapping[str, float]] = None
+    attribute_profiles: Optional[Mapping[str, AttributeProfile]] = None
+
+
+@dataclass(frozen=True)
+class BoundContext:
+    """One bound-estimation request.
+
+    ``query`` is the induced sub-query of the relations below this node
+    (the whole query for one-round bounds); ``row_counts`` its base
+    relations' row counts.  ``left``/``right`` are present for binary-join
+    contexts and ``None`` for whole-query contexts.
+    """
+
+    query: JoinQuery
+    row_counts: Mapping[str, float]
+    profile: Optional[DatasetProfile] = None
+    left: Optional[ChildView] = None
+    right: Optional[ChildView] = None
+    shared_attributes: Tuple[str, ...] = ()
+    metrics: Any = NULL_METRICS
+
+    @property
+    def is_join(self) -> bool:
+        return self.left is not None and self.right is not None
+
+
+@dataclass(frozen=True)
+class BoundCandidate:
+    """One estimator's answer: a sound bound, optionally a tighter estimate.
+
+    ``value`` is deterministically sound.  ``estimate``, when present, is
+    an estimate-grade refinement (e.g. KMV-paired tail counts) that the
+    planner may use to calibrate expectations but never as a bound.
+    """
+
+    method: str
+    value: float
+    estimate: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConfigurationError(f"bound values are non-negative, got {self.value}")
+
+
+@dataclass(frozen=True)
+class BoundDecision:
+    """The registry's verdict: the winning bound plus every candidate."""
+
+    value: float
+    method: str
+    candidates: Tuple[BoundCandidate, ...]
+
+    @property
+    def estimate(self) -> float:
+        """The tightest estimate-grade value across candidates (≤ value)."""
+        best = self.value
+        for candidate in self.candidates:
+            if candidate.estimate is not None and candidate.estimate < best:
+                best = candidate.estimate
+        return best
+
+    def candidate(self, method: str) -> Optional[BoundCandidate]:
+        for candidate in self.candidates:
+            if candidate.method == method:
+                return candidate
+        return None
+
+
+class BoundEstimator(abc.ABC):
+    """One bound strategy. Subclass, set ``name``, implement ``estimate``."""
+
+    #: Registry identity; also the default method label.
+    name: str = ""
+
+    @abc.abstractmethod
+    def estimate(self, context: BoundContext) -> Optional[BoundCandidate]:
+        """The estimator's bound for ``context``, or ``None`` if N/A."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class BoundRegistry:
+    """An ordered collection of bound estimators.
+
+    Mirrors the planner's :class:`~repro.planner.registry.SchemaRegistry`
+    convention: ``register`` works as a plain call or a class decorator,
+    and consumers evaluate against whatever is registered.  Order matters —
+    ties on the minimum go to the earliest registration.
+    """
+
+    def __init__(self) -> None:
+        self._estimators: List[BoundEstimator] = []
+
+    def register(self, estimator):
+        """Register an estimator instance (or class, decorator-style)."""
+        instance = estimator() if isinstance(estimator, type) else estimator
+        if not isinstance(instance, BoundEstimator):
+            raise ConfigurationError(
+                f"bound estimators subclass BoundEstimator, got {instance!r}"
+            )
+        if not instance.name:
+            raise ConfigurationError("bound estimators need a non-empty name")
+        if instance.name in self.names():
+            raise ConfigurationError(
+                f"bound estimator {instance.name!r} is already registered"
+            )
+        self._estimators.append(instance)
+        return estimator
+
+    @property
+    def estimators(self) -> Tuple[BoundEstimator, ...]:
+        return tuple(self._estimators)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(estimator.name for estimator in self._estimators)
+
+    def evaluate(self, context: BoundContext) -> BoundDecision:
+        """The minimum over applicable bounds; ties to earliest registered."""
+        candidates: List[BoundCandidate] = []
+        winner: Optional[BoundCandidate] = None
+        for estimator in self._estimators:
+            candidate = estimator.estimate(context)
+            if candidate is None:
+                continue
+            candidates.append(candidate)
+            if winner is None or candidate.value < winner.value:
+                winner = candidate
+        if winner is None:
+            raise ConfigurationError(
+                f"no registered bound applies to {context.query.name!r} "
+                f"(registered: {list(self.names())})"
+            )
+        metrics = context.metrics
+        if metrics is not None and metrics.enabled:
+            metrics.counter(
+                "bounds_evaluations_total", "Bound-registry evaluations."
+            ).inc()
+            metrics.counter(
+                "bounds_method_wins_total", "Winning size-bound method."
+            ).inc(method=winner.method)
+        return BoundDecision(
+            value=winner.value, method=winner.method, candidates=tuple(candidates)
+        )
+
+
+#: The registry every planner consumer uses unless told otherwise.
+#: Populated by :mod:`repro.bounds.estimators` at import time.
+default_bound_registry = BoundRegistry()

@@ -1,0 +1,91 @@
+"""AGM bounds with a canonical-query fractional-edge-cover cache.
+
+Cascade enumeration asks for the AGM bound of the same induced sub-query
+once per tree containing that subtree — dozens of times for a single
+planning call — and each uncached call re-solves the cover LP.  The cover
+depends only on the query *hypergraph* (relation names and their attribute
+sets), so covers are memoized here in a process-wide
+:class:`~repro.planner.cache.SchemaCache` keyed by
+:func:`canonical_query_key`.  Hits and misses surface both through
+:func:`cover_cache_stats` and, when a metrics registry is supplied, the
+``bounds_cover_cache_{hits,misses}_total`` counters.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Tuple
+
+from repro.analysis.fractional_cover import FractionalEdgeCover, fractional_edge_cover
+from repro.obs.metrics import NULL_METRICS
+from repro.planner.cache import CacheStats, SchemaCache
+from repro.problems.joins import JoinQuery
+
+_COVER_CACHE = SchemaCache(maxsize=4096)
+
+
+def canonical_query_key(query: JoinQuery) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+    """A hashable identity for a query's hypergraph, order-independent."""
+    return tuple(
+        sorted(
+            (relation.name, tuple(relation.attributes))
+            for relation in query.relations
+        )
+    )
+
+
+def cached_fractional_edge_cover(
+    query: JoinQuery, metrics: Any = NULL_METRICS
+) -> FractionalEdgeCover:
+    """The optimal fractional edge cover, memoized per canonical query."""
+    built = []
+
+    def build() -> FractionalEdgeCover:
+        built.append(True)
+        return fractional_edge_cover(query)
+
+    cover = _COVER_CACHE.get(canonical_query_key(query), build)
+    if metrics is not None and metrics.enabled:
+        if built:
+            metrics.counter(
+                "bounds_cover_cache_misses_total",
+                "Fractional-edge-cover LP solves (cover-cache misses).",
+            ).inc()
+        else:
+            metrics.counter(
+                "bounds_cover_cache_hits_total",
+                "Fractional-edge-cover cache hits.",
+            ).inc()
+    return cover
+
+
+def cover_cache_stats() -> CacheStats:
+    """Hit/miss/eviction snapshot of the process-wide cover cache."""
+    return _COVER_CACHE.stats()
+
+
+def clear_cover_cache() -> None:
+    """Drop the memoized covers (tests; profiles never invalidate covers)."""
+    _COVER_CACHE.clear()
+
+
+def agm_bound(
+    query: JoinQuery, row_counts: Mapping[str, float], metrics: Any = NULL_METRICS
+) -> float:
+    """The AGM output-size bound ``Π_e |R_e|^{x_e}`` for a join query.
+
+    ``x`` is the optimal fractional edge cover of the query hypergraph —
+    the same LP :mod:`repro.analysis.fractional_cover` solves for the
+    ``g(q) = q^ρ`` coverage bounds, reused here with per-relation weights
+    and memoized per canonical hypergraph.
+    """
+    cover = cached_fractional_edge_cover(query, metrics)
+    bound = 1.0
+    for relation in query.relations:
+        weight = cover.weights.get(relation.name, 0.0)
+        if weight <= 0.0:
+            continue
+        rows = float(row_counts[relation.name])
+        if rows <= 0.0:
+            return 0.0
+        bound *= rows**weight
+    return bound

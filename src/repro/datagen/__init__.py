@@ -43,6 +43,7 @@ from repro.datagen.relations import (
     RelationInstance,
     binary_join_instance,
     chain_join_instance,
+    fk_chain_join_instance,
     multiway_join_oracle,
     natural_join_oracle,
     random_relation,
@@ -64,6 +65,7 @@ __all__ = [
     "cycle_graph_edges",
     "enumerate_triangles_oracle",
     "enumerate_two_paths_oracle",
+    "fk_chain_join_instance",
     "from_text",
     "gnm_random_graph",
     "gnp_random_graph",

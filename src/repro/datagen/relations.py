@@ -173,6 +173,80 @@ def skewed_chain_join_instance(
     return relations
 
 
+def fk_chain_join_instance(
+    num_relations: int,
+    size_each: int,
+    domain_size: int,
+    degree_cap: int = 1,
+    fk_skew: float = 0.0,
+    seed: int | None = None,
+) -> List[RelationInstance]:
+    """A chain join whose *left* attributes are degree-capped (key → FK).
+
+    Each relation ``Ri(A_{i-1}, A_i)`` uses its first attribute as a key:
+    any value of ``A_{i-1}`` appears in at most ``degree_cap`` tuples of
+    ``Ri``.  With the default cap of 1 the left column is a true key, so
+    every relation carries the functional dependency ``A_{i-1} → A_i`` and
+    the join result can never exceed ``|R1|`` — the regime where
+    degree-constraint bounds are strictly tighter than AGM (which only
+    sees row counts and charges the full fractional-cover product).
+
+    ``fk_skew > 0`` draws the *right* column (the foreign key referencing
+    the next relation's key) from a truncated Zipf law instead of
+    uniformly — the classic fact-to-popular-dimension shape, where a few
+    referenced keys dominate while the referencing side keeps its
+    key/FD structure intact.  Seeded and fully reproducible; tuples are
+    distinct and sorted.
+    """
+    if num_relations < 2:
+        raise ConfigurationError("a chain join needs at least 2 relations")
+    if degree_cap < 1:
+        raise ConfigurationError(f"degree cap must be >= 1, got {degree_cap}")
+    if fk_skew < 0:
+        raise ConfigurationError(f"fk_skew must be non-negative, got {fk_skew}")
+    if size_each > domain_size * degree_cap:
+        raise ConfigurationError(
+            f"cannot place {size_each} tuples with left-attribute degree "
+            f"<= {degree_cap} over a domain of {domain_size}"
+        )
+    cumulative = (
+        list(
+            itertools.accumulate(
+                1.0 / (value + 1) ** fk_skew for value in range(domain_size)
+            )
+        )
+        if fk_skew > 0
+        else None
+    )
+    domain = range(domain_size)
+    relations: List[RelationInstance] = []
+    for index in range(num_relations):
+        rng = random.Random(None if seed is None else seed + index)
+        rows: set[Tuple_] = set()
+        degrees: Dict[int, int] = {}
+        while len(rows) < size_each:
+            key = rng.randrange(domain_size)
+            if degrees.get(key, 0) >= degree_cap:
+                continue
+            if cumulative is not None:
+                value = rng.choices(domain, cum_weights=cumulative)[0]
+            else:
+                value = rng.randrange(domain_size)
+            row = (key, value)
+            if row in rows:
+                continue
+            rows.add(row)
+            degrees[key] = degrees.get(key, 0) + 1
+        relations.append(
+            RelationInstance(
+                name=f"R{index + 1}",
+                attributes=(f"A{index}", f"A{index + 1}"),
+                tuples=tuple(sorted(rows)),
+            )
+        )
+    return relations
+
+
 def binary_join_instance(
     size_r: int, size_s: int, domain_size: int, seed: int | None = None
 ) -> Tuple[RelationInstance, RelationInstance]:

@@ -10,7 +10,9 @@ single record, so it needs two things about every intermediate result:
   certify_max_reducer_load`, :func:`~repro.planner.share_opt.
   optimize_shares`) unchanged.
 
-Size bounds come in three fidelities, best applicable wins:
+Size bounds come from the pluggable registry in :mod:`repro.bounds` —
+every applicable estimator answers, the minimum wins, and the decision
+records which method produced it.  The default registry holds:
 
 1. **per-value histogram bounds** — with exact histograms on both join
    sides, ``|L ⋈ R| ≤ min_{s ∈ shared} Σ_v cnt_L(s=v) · cnt_R(s=v)``;
@@ -19,9 +21,14 @@ Size bounds come in three fidelities, best applicable wins:
 2. **AGM bounds** — ``Π_e |R_e|^{x_e}`` over the subtree's induced
    sub-query with the optimal fractional edge cover weights ``x`` (Atserias
    –Grohe–Marx; the output-size bounds Abo Khamis–Ngo–Suciu build on),
-   needing only row counts, so it also covers sampled profiles;
-3. **model-domain fallback** — ``n^arity`` row counts when no profile
-   covers the query (the paper's full-domain accounting).
+   needing only row counts, so it also covers sampled profiles — labelled
+   ``model-domain`` when no profile covers the query (the paper's
+   full-domain ``n^arity`` accounting);
+3. **degree-constraint chain bounds** — from exact ``max_degree`` caps and
+   functional dependencies, ≤ AGM whenever they apply;
+4. **top-k frequency bounds** — UES-style positional pairing of the
+   columns' top frequency vectors (deterministic Misra–Gries uppers on
+   sampled profiles; KMV refinements feed only the calibrated estimate).
 
 Synthetic profiles mix two fidelities, deliberately.  The **join columns**
 (attributes shared by the two inputs) get sound per-value upper bounds —
@@ -46,54 +53,28 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, Mapping, Optional, Tuple
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
+from repro.bounds import (
+    METHOD_AGM,
+    METHOD_DOMAIN,
+    METHOD_HISTOGRAM,
+    BoundContext,
+    BoundRegistry,
+    ChildView,
+    agm_bound,
+    default_bound_registry,
+    per_value_sum,
+)
 from repro.exceptions import ConfigurationError
+from repro.obs.metrics import NULL_METRICS
 from repro.pipeline.logical import BinaryJoinOp, LogicalOp, RelationLeaf
 from repro.problems.joins import JoinQuery
 from repro.stats.profile import AttributeProfile, DatasetProfile, RelationProfile
 
-#: Size-bound methods, in decreasing fidelity.
-METHOD_HISTOGRAM = "per-value-histogram"
-METHOD_AGM = "agm"
-METHOD_DOMAIN = "model-domain"
-
-
-def agm_bound(query: JoinQuery, row_counts: Mapping[str, float]) -> float:
-    """The AGM output-size bound ``Π_e |R_e|^{x_e}`` for a join query.
-
-    ``x`` is the optimal fractional edge cover of the query hypergraph —
-    the same LP :mod:`repro.analysis.fractional_cover` solves for the
-    ``g(q) = q^ρ`` coverage bounds, reused here with per-relation weights.
-    """
-    from repro.analysis.fractional_cover import fractional_edge_cover
-
-    cover = fractional_edge_cover(query)
-    bound = 1.0
-    for relation in query.relations:
-        weight = cover.weights.get(relation.name, 0.0)
-        if weight <= 0.0:
-            continue
-        rows = float(row_counts[relation.name])
-        if rows <= 0.0:
-            return 0.0
-        bound *= rows**weight
-    return bound
-
-
-def _per_value_sum(
-    left: Mapping[Hashable, float], right: Mapping[Hashable, float]
-) -> float:
-    """``Σ_v left(v)·right(v)`` over the histograms' common support."""
-    small, large = left, right
-    if len(large) < len(small):
-        small, large = large, small
-    total = 0.0
-    for value, count in small.items():
-        other = large.get(value)
-        if other:
-            total += count * other
-    return total
+# ``agm_bound`` and the method labels live in :mod:`repro.bounds` now; the
+# re-exports above keep this module's historical import surface working.
+_per_value_sum = per_value_sum
 
 
 def per_value_join_bound(
@@ -182,6 +163,11 @@ class IntermediateEstimate:
     #: ``None`` when nothing sound is known.  These — never the projected
     #: profile — feed the next level's per-value size bound.
     sound_histograms: Optional[Dict[str, Dict[Hashable, float]]] = None
+    #: Per-attribute *sound* caps on any single value's multiplicity in the
+    #: result (exact ``max_degree`` for profiled leaves, composed caps for
+    #: intermediates).  The degree-constraint bound's raw material; ``None``
+    #: when no caps are known.
+    degree_caps: Optional[Dict[str, float]] = None
 
 
 class SizeEstimator:
@@ -197,6 +183,8 @@ class SizeEstimator:
         query: JoinQuery,
         domain_size: int,
         profile: Optional[DatasetProfile] = None,
+        bounds: Optional[BoundRegistry] = None,
+        metrics: Any = NULL_METRICS,
     ) -> None:
         if domain_size <= 0:
             raise ConfigurationError(f"domain size must be positive, got {domain_size}")
@@ -206,6 +194,8 @@ class SizeEstimator:
         self.profile = (
             profile if profile is not None and profile.covers(names) else None
         )
+        self.bounds = bounds if bounds is not None else default_bound_registry
+        self.metrics = metrics
         self._estimates: Dict[str, IntermediateEstimate] = {}
 
     # ------------------------------------------------------------------
@@ -246,6 +236,12 @@ class SizeEstimator:
                     }
                     for attribute in op.relation.attributes
                 }
+            caps: Optional[Dict[str, float]] = None
+            if profile is not None:
+                caps = {
+                    attribute: float(profile.attribute(attribute).degree_cap)
+                    for attribute in op.relation.attributes
+                }
             leaf = IntermediateEstimate(
                 name=op.relation.name,
                 size_bound=rows,
@@ -254,6 +250,7 @@ class SizeEstimator:
                 size_estimate=rows,
                 profile=profile,
                 sound_histograms=sound,
+                degree_caps=caps,
             )
             self._estimates[op.relation.name] = leaf
             return leaf
@@ -296,6 +293,40 @@ class SizeEstimator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    @staticmethod
+    def _child_view(estimate: IntermediateEstimate) -> ChildView:
+        collected = estimate.profile is not None and not estimate.projected
+        return ChildView(
+            name=estimate.name,
+            rows=estimate.size_bound,
+            sound_histograms=estimate.sound_histograms,
+            degree_caps=estimate.degree_caps,
+            attribute_profiles=(
+                estimate.profile.attributes if collected else None
+            ),
+        )
+
+    def query_output_bound(self) -> Tuple[float, str]:
+        """Sound output bound for the whole query, with the winning method.
+
+        The one-round planner prices its single round with this — the same
+        registry the cascade nodes go through, evaluated over the full
+        query instead of a subtree.
+        """
+        row_counts = {
+            relation.name: self.leaf_rows(relation.name)
+            for relation in self.query.relations
+        }
+        decision = self.bounds.evaluate(
+            BoundContext(
+                query=self.query,
+                row_counts=row_counts,
+                profile=self.profile,
+                metrics=self.metrics,
+            )
+        )
+        return decision.value, decision.method
+
     def _join_estimate(
         self,
         op: BinaryJoinOp,
@@ -303,35 +334,25 @@ class SizeEstimator:
         right: IntermediateEstimate,
     ) -> IntermediateEstimate:
         shared = op.shared_attributes
-        method = METHOD_DOMAIN if self.profile is None else METHOD_AGM
-        # AGM over the subtree's induced sub-query: always applicable, from
-        # base row counts alone (profiled or model-domain), always sound.
+        # Every applicable registered bound, minimum wins — AGM over the
+        # subtree's induced sub-query (clamped by the children's cross
+        # product), per-value sums over sound histograms, degree-constraint
+        # chains, top-k frequency pairings.
         induced = self.query.induced(sorted(set(op.base_relations)))
         row_counts = {name: self.leaf_rows(name) for name in set(op.base_relations)}
-        size = agm_bound(induced, row_counts)
-        # Cross-item product bound: never exceed all child pairings.
-        size = min(size, left.size_bound * right.size_bound)
-        # Per-value histogram bound — only over *sound* histograms (an
-        # intermediate's carried columns have none; its join columns do).
-        histogram_bound: Optional[float] = None
-        if left.sound_histograms is not None and right.sound_histograms is not None:
-            sound_shared = [
-                attribute
-                for attribute in shared
-                if attribute in left.sound_histograms
-                and attribute in right.sound_histograms
-            ]
-            if sound_shared:
-                histogram_bound = min(
-                    _per_value_sum(
-                        left.sound_histograms[attribute],
-                        right.sound_histograms[attribute],
-                    )
-                    for attribute in sound_shared
-                )
-        if histogram_bound is not None and histogram_bound <= size:
-            size = histogram_bound
-            method = METHOD_HISTOGRAM
+        decision = self.bounds.evaluate(
+            BoundContext(
+                query=induced,
+                row_counts=row_counts,
+                profile=self.profile,
+                left=self._child_view(left),
+                right=self._child_view(right),
+                shared_attributes=shared,
+                metrics=self.metrics,
+            )
+        )
+        size = decision.value
+        method = decision.method
         exact_inputs = (
             left.exact_inputs
             and right.exact_inputs
@@ -340,15 +361,17 @@ class SizeEstimator:
         )
         # The calibrated estimate: per-value sums over the approximate
         # histograms (exact inputs make this coincide with the bound for a
-        # single shared attribute), clamped by the sound bound.
-        estimate = size
+        # single shared attribute), clamped by the sound bound and by any
+        # estimate-grade refinement a registered bound offered (e.g. the
+        # top-k estimator's KMV-paired tail).
+        estimate = min(size, decision.estimate)
         profile = None
         if left.profile is not None and right.profile is not None:
             left_hists = self._histograms(left.profile, op.left.schema.attributes)
             right_hists = self._histograms(right.profile, op.right.schema.attributes)
             approx = self._approximate_join_size(left_hists, right_hists, shared)
             if approx is not None:
-                estimate = min(approx, size)
+                estimate = min(approx, estimate)
             profile = self._synthetic_profile(
                 op,
                 left_hists,
@@ -379,6 +402,7 @@ class SizeEstimator:
                 sound[attribute] = combined
             if not sound:
                 sound = None
+        caps = self._result_degree_caps(op, left, right, size, sound)
         return IntermediateEstimate(
             name=op.schema.name,
             size_bound=size,
@@ -388,7 +412,60 @@ class SizeEstimator:
             profile=profile,
             projected=profile is not None,
             sound_histograms=sound,
+            degree_caps=caps,
         )
+
+    @staticmethod
+    def _result_degree_caps(
+        op: BinaryJoinOp,
+        left: IntermediateEstimate,
+        right: IntermediateEstimate,
+        size_bound: float,
+        sound: Optional[Dict[str, Dict[Hashable, float]]],
+    ) -> Optional[Dict[str, float]]:
+        """Sound per-value multiplicity caps for the join's columns.
+
+        For a shared attribute ``a``: ``cap_T(a) ≤ cap_L(a)·cap_R(a)``
+        (each matching pair multiplies).  For an attribute carried from one
+        side: every row of that side with ``a = v`` joins at most
+        ``min_{s shared} cap_other(s)`` rows of the other side, so
+        ``cap_T(a) ≤ cap_own(a) · min_s cap_other(s)`` (the other side's
+        full row bound for a cross join).  Everything is clamped by the
+        size bound and, where a sound result histogram exists, by its
+        largest per-value product.
+        """
+        left_caps = left.degree_caps
+        right_caps = right.degree_caps
+        if left_caps is None and right_caps is None:
+            return None
+        shared = set(op.shared_attributes)
+
+        def side_cap(caps: Optional[Dict[str, float]], rows: float) -> float:
+            # How many rows of this side any single other-side row matches.
+            if caps is None:
+                return rows
+            connecting = [caps[a] for a in shared if a in caps]
+            return min(connecting + [rows])
+
+        left_fanout = side_cap(left_caps, left.size_bound)
+        right_fanout = side_cap(right_caps, right.size_bound)
+        result: Dict[str, float] = {}
+        for attribute in op.schema.attributes:
+            in_left = attribute in op.left.schema.attributes
+            in_right = attribute in op.right.schema.attributes
+            if in_left and in_right:
+                left_cap = (left_caps or {}).get(attribute, left.size_bound)
+                right_cap = (right_caps or {}).get(attribute, right.size_bound)
+                cap = left_cap * right_cap
+            elif in_left:
+                cap = (left_caps or {}).get(attribute, left.size_bound) * right_fanout
+            else:
+                cap = (right_caps or {}).get(attribute, right.size_bound) * left_fanout
+            cap = min(cap, size_bound)
+            if sound is not None and attribute in sound and sound[attribute]:
+                cap = min(cap, max(sound[attribute].values()))
+            result[attribute] = cap
+        return result
 
     @staticmethod
     def _histograms(

@@ -39,7 +39,8 @@ from repro.core.cost import ClusterCostModel, CostBreakdown
 from repro.core.problem import Problem
 from repro.exceptions import PlanningError
 from repro.mapreduce.cluster import ClusterConfig
-from repro.pipeline.estimate import SizeEstimator, agm_bound
+from repro.bounds import BoundRegistry
+from repro.pipeline.estimate import SizeEstimator
 from repro.pipeline.logical import (
     AggregateOp,
     BinaryJoinOp,
@@ -100,6 +101,14 @@ class PipelineRound:
         certification = self.plan.certification
         return certification.bound if certification is not None else None
 
+    @property
+    def bound_method(self) -> Optional[str]:
+        """How the round's load certificate was derived (None = uncertified)."""
+        certification = self.plan.certification
+        if certification is None or not certification.method:
+            return None
+        return certification.method
+
     def describe(self) -> dict:
         """Flat per-round row for the pipeline's ``describe()`` table."""
         family = self.plan.family
@@ -111,6 +120,7 @@ class PipelineRound:
             "shares": dict(shares) if shares is not None else None,
             "certified": self.plan.certification_label,
             "certified_load": self.certified_load,
+            "bound_method": self.bound_method,
             "projected": self.projected,
             "pricing": self.plan.cost_pricing,
             "replication_rate": self.plan.replication_rate,
@@ -288,10 +298,15 @@ class PipelinePlanner:
         planner: Optional[CostBasedPlanner] = None,
         include_bushy: bool = True,
         max_bushy_relations: int = 6,
+        bound_registry: Optional["BoundRegistry"] = None,
     ) -> None:
         self.planner = planner or CostBasedPlanner()
         self.include_bushy = include_bushy
         self.max_bushy_relations = max_bushy_relations
+        #: ``None`` means the process-wide default registry; tests pass
+        #: :func:`repro.bounds.legacy_bound_registry` to pin pre-refactor
+        #: numbers bit-for-bit.
+        self.bound_registry = bound_registry
 
     # ------------------------------------------------------------------
     # Planning
@@ -387,7 +402,13 @@ class PipelinePlanner:
         profile: Optional[DatasetProfile],
     ) -> Tuple[List[PipelinePlan], List[Tuple[str, str]]]:
         query = problem.query
-        estimator = SizeEstimator(query, problem.domain_size, profile)
+        estimator = SizeEstimator(
+            query,
+            problem.domain_size,
+            profile,
+            bounds=self.bound_registry,
+            metrics=cluster.metrics,
+        )
         plans: List[PipelinePlan] = []
         rejected: List[Tuple[str, str]] = []
         # The one-round Shares structure (Section 5.5).
@@ -400,13 +421,7 @@ class PipelinePlanner:
             inputs = sum(
                 estimator.leaf_rows(relation.name) for relation in query.relations
             )
-            output = agm_bound(
-                query,
-                {
-                    relation.name: estimator.leaf_rows(relation.name)
-                    for relation in query.relations
-                },
-            )
+            output, output_method = estimator.query_output_bound()
             plans.append(
                 PipelinePlan(
                     problem=problem,
@@ -418,7 +433,7 @@ class PipelinePlanner:
                             plan=best,
                             estimated_inputs=inputs,
                             estimated_output=output,
-                            estimate_method="agm",
+                            estimate_method=output_method,
                             estimate_exact=estimator.profile is not None
                             and estimator.profile.exact,
                             cost=_round_cost(best.cost, inputs),

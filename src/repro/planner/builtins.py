@@ -65,8 +65,10 @@ from repro.planner.certify import (
 from repro.planner.registry import PlanCandidate, default_registry, thin_parameter_sweep
 from repro.planner.share_opt import (
     GRID_REDUCER_SWEEP,
+    GRID_SKEW_SUBSHARES,
     GRID_UNIFORM_SHARES,
     optimize_shares,
+    optimize_skew_shares,
 )
 from repro.stats.profile import DatasetProfile
 from repro.problems.grouping import GroupByAggregationProblem
@@ -105,8 +107,9 @@ from repro.schemas.two_paths import TwoPathSchema
 #: grid" floor and this enumeration can never drift apart.
 _SHARES_REDUCER_SWEEP = GRID_REDUCER_SWEEP
 _SHARES_UNIFORM_SWEEP = GRID_UNIFORM_SHARES
-#: Sub-grid shares tried for profiled heavy-hitter isolation.
-_SKEW_SUBSHARE_SWEEP = (2, 4, 8)
+#: Sub-grid shares tried for profiled heavy-hitter isolation.  Shared with
+#: the skew sub-grid optimizer, whose seed pool treats these as its floor.
+_SKEW_SUBSHARE_SWEEP = GRID_SKEW_SUBSHARES
 #: At most this many heavy values are isolated onto dedicated sub-grids.
 _MAX_HEAVY_VALUES = 6
 #: Non-uniform sample-graph bucketings tried per profiled graph.
@@ -119,7 +122,9 @@ def _divisors(n: int) -> List[int]:
 
 def _exact(bound: float) -> Any:
     """Exact certification for the combinatorial families' closed forms."""
-    return exact_certification(float(bound), detail="combinatorial closed form")
+    return exact_certification(
+        float(bound), detail="combinatorial closed form", method="closed-form"
+    )
 
 
 def _static_job(family: Any) -> Any:
@@ -674,6 +679,9 @@ def join_candidates(
             problem, q, usable, query_key, fingerprint
         )
         yield from _skew_candidates(problem, q, usable, query_key, fingerprint)
+        yield from _optimized_skew_candidates(
+            problem, q, usable, query_key, fingerprint
+        )
 
 
 # -- profile-optimized share vectors ------------------------------------
@@ -868,6 +876,94 @@ def _skew_candidates(
             )
             if candidate.q <= q:
                 yield candidate
+
+
+def _build_optimized_skew_candidate(
+    problem: MultiwayJoinProblem,
+    budget: int,
+    skew_attribute: str,
+    heavy_values: Tuple[int, ...],
+    profile: DatasetProfile,
+    bucket_cache: Dict[Any, Any],
+) -> PlanCandidate:
+    """Optimize a non-uniform heavy-hitter sub-grid for ``budget``.
+
+    The optimizer's seed pool contains the uniform sub-grid sweep, so this
+    candidate's certified bound is never worse than the best fixed
+    ``skew-shares`` candidate built on the same main-grid vector; the
+    winner's certification is reused directly.
+    """
+    query = problem.query
+    optimization = optimize_skew_shares(
+        query,
+        budget,
+        profile=profile,
+        domain_size=problem.domain_size,
+        skew_attribute=skew_attribute,
+        heavy_values=heavy_values,
+        bucket_cache=bucket_cache,
+    )
+    schema = SkewAwareSharesSchema(
+        query,
+        optimization.shares,
+        problem.domain_size,
+        skew_attribute=skew_attribute,
+        heavy_values=heavy_values,
+        heavy_shares=optimization.heavy_shares,
+    )
+    schema.name = f"opt-{schema.name}"
+    certification = optimization.certification
+    assert certification is not None
+    return PlanCandidate(
+        name=schema.name,
+        q=max(certification.bound, 1.0),
+        replication_rate=schema.replication_rate_formula(),
+        job_factory=_shares_job(schema, query),
+        family=schema,
+        needs_inputs=True,
+        certification=certification,
+    )
+
+
+def _optimized_skew_candidates(
+    problem: MultiwayJoinProblem,
+    q: float,
+    profile: DatasetProfile,
+    query_key: Tuple[Any, ...],
+    fingerprint: int,
+) -> Iterator[PlanCandidate]:
+    """One optimized skew sub-grid per reducer budget of the grid sweep."""
+    selection = _profiled_skew(problem.query, profile)
+    if selection is None:
+        return
+    skew_attribute, heavy_values = selection
+    co_occurring = any(
+        attribute != skew_attribute
+        for relation in problem.query.relations
+        if skew_attribute in relation.attributes
+        for attribute in relation.attributes
+    )
+    if not co_occurring:
+        return
+    heavy_key = tuple(sorted(heavy_values, key=repr))
+    bucket_cache: Dict[Any, Any] = {}
+    for budget in _SHARES_REDUCER_SWEEP:
+        candidate = default_schema_cache.get(
+            (
+                "opt-skew-shares",
+                query_key,
+                problem.domain_size,
+                budget,
+                skew_attribute,
+                heavy_key,
+                fingerprint,
+            ),
+            lambda budget=budget: _build_optimized_skew_candidate(
+                problem, budget, skew_attribute, heavy_values, profile, bucket_cache
+            ),
+        )
+        if candidate.q <= q:
+            yield candidate
 
 
 def _share_vectors(query: JoinQuery) -> List[Dict[str, int]]:

@@ -77,6 +77,12 @@ class Certification:
     delta: Optional[float] = None
     detail: str = ""
     load: Optional[LoadSummary] = None
+    #: The bound-derivation method behind the certificate (e.g.
+    #: ``per-bucket-histogram``, ``hoeffding-sample``, ``closed-form``,
+    #: ``degree-sequence``, ``expectation``) — surfaced in plan tables next
+    #: to the certification kind so a reader can see *why* a plan was
+    #: priced the way it was.  Empty when the certifier predates the label.
+    method: str = ""
 
     def __post_init__(self) -> None:
         if self.bound < 0:
@@ -103,17 +109,28 @@ class Certification:
 
 
 def exact_certification(
-    bound: float, detail: str = "", load: Optional[LoadSummary] = None
+    bound: float,
+    detail: str = "",
+    load: Optional[LoadSummary] = None,
+    method: str = "",
 ) -> Certification:
-    return Certification(CertificationKind.EXACT, float(bound), detail=detail, load=load)
+    return Certification(
+        CertificationKind.EXACT, float(bound), detail=detail, load=load, method=method
+    )
 
 
 def expected_certification(bound: float, detail: str = "") -> Certification:
-    return Certification(CertificationKind.EXPECTED, float(bound), detail=detail)
+    return Certification(
+        CertificationKind.EXPECTED, float(bound), detail=detail, method="expectation"
+    )
 
 
 def high_probability_certification(
-    bound: float, delta: float, detail: str = "", load: Optional[LoadSummary] = None
+    bound: float,
+    delta: float,
+    detail: str = "",
+    load: Optional[LoadSummary] = None,
+    method: str = "",
 ) -> Certification:
     return Certification(
         CertificationKind.HIGH_PROBABILITY,
@@ -121,6 +138,7 @@ def high_probability_certification(
         delta=delta,
         detail=detail,
         load=load,
+        method=method,
     )
 
 
@@ -217,6 +235,30 @@ class ProfileWeightOracle:
                 weights = [
                     min(total, total * (count / m + epsilon)) for count in counts
                 ]
+            # Deterministic cap per bucket from the Misra–Gries lower
+            # bounds: rows of a tracked value provably hash to that value's
+            # bucket (or are excluded), so a bucket's weight never exceeds
+            # the total minus the tracked mass that lands elsewhere.  The
+            # value-level lower bounds are deterministic, so this tightens
+            # even the Hoeffding-inflated weights without touching delta.
+            if stats.heavy_hitters:
+                tracked_in_bucket = [0.0] * share
+                tracked_elsewhere = 0.0
+                for value, low in stats.heavy_hitters.items():
+                    if value in exclude:
+                        tracked_elsewhere += low
+                        continue
+                    tracked_in_bucket[
+                        attribute_bucket(attribute, value, share)
+                    ] += low
+                tracked_total = tracked_elsewhere + sum(tracked_in_bucket)
+                weights = [
+                    min(
+                        weight,
+                        max(0.0, total - (tracked_total - tracked_in_bucket[index])),
+                    )
+                    for index, weight in enumerate(weights)
+                ]
         result = tuple(weights)
         self._bucket_cache[key] = result
         return result
@@ -303,6 +345,7 @@ def certify_max_reducer_load(
             load=LoadSummary(
                 optimistic, loads=tuple(exact_loads) if enumerated else None
             ),
+            method="per-bucket-histogram",
         )
     if not (0.0 < delta < 1.0):
         raise ConfigurationError(f"delta must be in (0, 1), got {delta}")
@@ -334,6 +377,7 @@ def certify_max_reducer_load(
         # Sampled bounds certify only the maximum; the per-reducer profile
         # is reserved for exact histograms (ISSUE: certified-load pricing).
         load=LoadSummary(bound),
+        method="hoeffding-sample",
     )
 
 
@@ -397,6 +441,7 @@ def certify_sample_graph_load(schema, profile: DatasetProfile) -> Certification:
             float(worst),
             detail=f"coarse degree-sequence bound ({slots} heaviest buckets)",
             load=LoadSummary(float(worst)),
+            method="degree-sequence",
         )
     worst = 0
     for size in range(1, slots + 1):
@@ -409,4 +454,5 @@ def certify_sample_graph_load(schema, profile: DatasetProfile) -> Certification:
         float(worst),
         detail="degree-sequence bound per bucket multiset",
         load=LoadSummary(float(worst)),
+        method="degree-sequence",
     )

@@ -99,6 +99,16 @@ class ExecutionPlan:
         return certification.label if certification is not None else "exact"
 
     @property
+    def bound_method(self) -> Optional[str]:
+        """Which bound family produced ``q`` (``"closed-form"``,
+        ``"per-bucket-histogram"``, ``"hoeffding-sample"``, ...), or
+        ``None`` for candidates predating method tracking."""
+        certification = self.candidate.certification
+        if certification is None or not certification.method:
+            return None
+        return certification.method
+
+    @property
     def total_cost(self) -> float:
         return self.cost.total
 
@@ -165,6 +175,7 @@ class ExecutionPlan:
             "plan": self.name,
             "q": self.q,
             "certified": self.certification_label,
+            "bound_method": self.bound_method,
             "pricing": self.cost_pricing,
             "replication_rate": self.replication_rate,
             "rounds": self.rounds,
@@ -307,6 +318,7 @@ class SweepResult:
                         "plan": None,
                         "q": None,
                         "certified": None,
+                        "bound_method": None,
                         "pricing": None,
                         "replication_rate": None,
                         "lower_bound": None,
@@ -322,6 +334,7 @@ class SweepResult:
                         "plan": best.name,
                         "q": best.q,
                         "certified": best.certification_label,
+                        "bound_method": best.bound_method,
                         "pricing": best.cost_pricing,
                         "replication_rate": best.replication_rate,
                         "lower_bound": best.lower_bound,

@@ -59,6 +59,7 @@ from repro.planner.certify import Certification, certify_max_reducer_load
 from repro.problems.joins import JoinQuery
 from repro.schemas.join_shares import (
     SharesSchema,
+    SkewAwareSharesSchema,
     binary_join_share_grid,
     chain_join_shares,
     shares_communication,
@@ -80,6 +81,9 @@ _MAX_LOCAL_SEARCH_STEPS = 64
 #: automatically in the optimizer's scored pool too.
 GRID_REDUCER_SWEEP = (2, 4, 8, 16, 27, 32, 64, 128, 256)
 GRID_UNIFORM_SHARES = (2, 3, 4, 6, 8)
+#: Uniform per-value sub-grid shares tried for heavy-hitter isolation —
+#: the fixed sweep the skew-aware sub-grid optimizer must never lose to.
+GRID_SKEW_SUBSHARES = (2, 4, 8)
 
 ShareVector = Dict[str, int]
 
@@ -475,5 +479,161 @@ def optimize_shares(
         metric=metric,
         budget=budget,
         certification=certifications.get(_vector_key(chosen)),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+# ----------------------------------------------------------------------
+# Skew-aware sub-grid optimization
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SkewShareOptimization:
+    """Outcome of one heavy-hitter sub-grid optimization at one budget.
+
+    ``shares`` is the main-grid vector (chosen by :func:`optimize_shares`
+    at the same budget), ``heavy_shares`` the per-heavy-value sub-grid
+    shares over the attributes co-occurring with the skew attribute, and
+    ``score`` the winner's certified maximum reducer load over the full
+    skew-aware schema (main grid and every sub-grid, broadcast cost
+    included).
+    """
+
+    shares: ShareVector
+    heavy_shares: ShareVector
+    skew_attribute: str
+    heavy_values: Tuple[int, ...]
+    score: float
+    budget: int
+    certification: Optional[Certification] = None
+    elapsed_seconds: float = 0.0
+
+
+def optimize_skew_shares(
+    query: JoinQuery,
+    budget: int,
+    profile: DatasetProfile,
+    domain_size: int,
+    skew_attribute: str,
+    heavy_values: Sequence[int],
+    shares: Optional[Mapping[str, int]] = None,
+    bucket_cache: Optional[Dict[Tuple, Tuple[float, ...]]] = None,
+) -> SkewShareOptimization:
+    """Hill-climb a *non-uniform* heavy-hitter sub-grid, certified.
+
+    The fixed enumeration (:data:`GRID_SKEW_SUBSHARES` crossed with the
+    grid share vectors) only ever tries the same sub-share on every
+    co-occurring attribute, yet the heavy value's residual join is its own
+    little Shares problem whose optimal grid is generally lopsided (a
+    heavy FK value joining a wide dimension wants all its sub-shares on
+    the dimension's key, none on payload attributes).  This optimizer
+    scores whole :class:`~repro.schemas.join_shares.SkewAwareSharesSchema`
+    instances by :func:`~repro.planner.certify.certify_max_reducer_load`
+    — the exact per-bucket certificates the planner enforces, so broadcast
+    cost and main-grid load are priced in, not just the sub-grid — and
+    hill-climbs ±1 moves on individual sub-shares from the best seed.
+
+    The seed pool always contains the uniform
+    :data:`GRID_SKEW_SUBSHARES` vectors and the trivial all-ones vector,
+    so the result is **never worse under the certified bound than the
+    fixed sub-grid sweep** for the same main-grid vector.  Growth moves
+    keep the sub-grid's reducer product within ``budget`` (the uniform
+    seeds are exempt — the fixed sweep never budgeted them either, and
+    dropping them would break the floor).
+
+    ``shares`` optionally pins the main-grid vector; by default it is the
+    certified winner of :func:`optimize_shares` at the same budget.
+    ``profile`` must cover the query's relations — scoring is by
+    certificate, which needs the histograms.
+    """
+    if budget < 1:
+        raise ConfigurationError(f"reducer budget must be >= 1, got {budget}")
+    if not profile.covers([relation.name for relation in query.relations]):
+        raise ConfigurationError(
+            "optimize_skew_shares needs a profile covering every relation of "
+            f"query {query.name!r}; scoring is by certified reducer load"
+        )
+    if not heavy_values:
+        raise ConfigurationError(
+            "optimize_skew_shares needs at least one heavy value; use "
+            "optimize_shares when the profile shows no skew"
+        )
+    started = time.perf_counter()
+    co_occurring = tuple(
+        dict.fromkeys(
+            attribute
+            for relation in query.relations
+            if skew_attribute in relation.attributes
+            for attribute in relation.attributes
+            if attribute != skew_attribute
+        )
+    )
+    if not co_occurring:
+        raise ConfigurationError(
+            f"skew attribute {skew_attribute!r} co-occurs with no other "
+            "attribute; a sub-grid cannot spread its tuples"
+        )
+    if shares is not None:
+        main_shares: ShareVector = repair_shares(shares, budget)
+    else:
+        main_shares = optimize_shares(
+            query,
+            budget,
+            profile=profile,
+            domain_size=domain_size,
+            bucket_cache=bucket_cache,
+        ).shares
+    if bucket_cache is None:
+        bucket_cache = {}
+
+    score_cache: Dict[Tuple[Tuple[str, int], ...], Tuple[float, float]] = {}
+    certifications: Dict[Tuple[Tuple[str, int], ...], Certification] = {}
+
+    def score(heavy: ShareVector) -> Tuple[float, float]:
+        key = _vector_key(heavy)
+        cached = score_cache.get(key)
+        if cached is not None:
+            return cached
+        schema = SkewAwareSharesSchema(
+            query,
+            main_shares,
+            domain_size,
+            skew_attribute=skew_attribute,
+            heavy_values=heavy_values,
+            heavy_shares=heavy,
+        )
+        certification = certify_max_reducer_load(
+            schema, profile, bucket_cache=bucket_cache
+        )
+        certifications[key] = certification
+        result = (certification.bound, schema.replication_rate_formula())
+        score_cache[key] = result
+        return result
+
+    pool: Dict[Tuple[Tuple[str, int], ...], ShareVector] = {}
+    trivial = {attribute: 1 for attribute in co_occurring}
+    pool[_vector_key(trivial)] = trivial
+    for sub_share in GRID_SKEW_SUBSHARES:
+        uniform = {attribute: sub_share for attribute in co_occurring}
+        pool.setdefault(_vector_key(uniform), uniform)
+
+    best = min(pool.values(), key=lambda v: (score(v), _vector_key(v)))
+    for _ in range(_MAX_LOCAL_SEARCH_STEPS):
+        improved = False
+        for neighbour in _neighbours(best, max(budget, share_product(best))):
+            if score(neighbour) < score(best):
+                best = neighbour
+                improved = True
+        if not improved:
+            break
+
+    best_key = _vector_key(best)
+    return SkewShareOptimization(
+        shares=main_shares,
+        heavy_shares=best,
+        skew_attribute=skew_attribute,
+        heavy_values=tuple(heavy_values),
+        score=score(best)[0],
+        budget=budget,
+        certification=certifications.get(best_key),
         elapsed_seconds=time.perf_counter() - started,
     )

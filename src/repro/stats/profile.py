@@ -58,6 +58,17 @@ class AttributeProfile:
     lower bounds* on their frequency and ``heavy_hitter_error`` is the
     summary's maximum undercount, so ``lower + error`` upper-bounds any
     tracked value's true frequency deterministically.
+
+    ``max_degree`` is the exact maximum multiplicity of any value in the
+    column — a *degree constraint* in the Abo Khamis–Ngo–Suciu sense.  It
+    is one scalar, so the collectors keep it exact even in ``sample`` mode
+    (only the scalar is retained, never the per-value counts behind it),
+    which is what makes the degree-constraint bounds sound on sampled
+    profiles.  ``functional_dependencies`` lists the sibling attributes
+    this column functionally determines within its relation (a key column
+    has ``max_degree == 1`` and determines every sibling).  Both default
+    to "unknown" so profiles serialized before these fields existed load
+    unchanged and certify exactly as they used to.
     """
 
     attribute: str
@@ -68,6 +79,8 @@ class AttributeProfile:
     sample_population: int = 0
     heavy_hitters: Mapping[Hashable, int] = field(default_factory=dict)
     heavy_hitter_error: int = 0
+    max_degree: Optional[int] = None
+    functional_dependencies: Tuple[str, ...] = ()
 
     @property
     def exact(self) -> bool:
@@ -78,15 +91,33 @@ class AttributeProfile:
         """A deterministic upper bound on the most frequent value's count."""
         if self.histogram is not None:
             return max(self.histogram.values(), default=0)
+        bound = self.total_count
         if self.heavy_hitters:
-            return max(self.heavy_hitters.values()) + self.heavy_hitter_error
-        return self.total_count
+            bound = max(self.heavy_hitters.values()) + self.heavy_hitter_error
+        if self.max_degree is not None:
+            bound = min(bound, self.max_degree)
+        return bound
+
+    @property
+    def degree_cap(self) -> int:
+        """A sound cap on any single value's multiplicity in this column.
+
+        The exact ``max_degree`` when the collectors recorded one, else the
+        deterministic Misra–Gries / histogram bound — never an estimate, so
+        degree-constraint size bounds built on it are sound in both modes.
+        """
+        if self.max_degree is not None:
+            return self.max_degree
+        return self.max_frequency_bound
 
     def frequency_upper_bound(self, value: Hashable) -> int:
         """A deterministic upper bound on one value's frequency."""
         if self.histogram is not None:
             return self.histogram.get(value, 0)
-        return self.heavy_hitters.get(value, 0) + self.heavy_hitter_error
+        bound = self.heavy_hitters.get(value, 0) + self.heavy_hitter_error
+        if self.max_degree is not None:
+            bound = min(bound, self.max_degree)
+        return bound
 
     def top_values(self, k: int) -> List[Tuple[Hashable, int]]:
         """Most frequent values with guaranteed *lower-bound* counts."""
@@ -236,6 +267,8 @@ def _attribute_to_dict(profile: AttributeProfile) -> Dict[str, Any]:
         "sample_population": profile.sample_population,
         "heavy_hitters": _encode_counts(profile.heavy_hitters),
         "heavy_hitter_error": profile.heavy_hitter_error,
+        "max_degree": profile.max_degree,
+        "functional_dependencies": sorted(profile.functional_dependencies),
     }
 
 
@@ -250,6 +283,8 @@ def _attribute_from_dict(name: str, data: Mapping[str, Any]) -> AttributeProfile
         sample_population=data.get("sample_population", 0),
         heavy_hitters=_decode_counts(data.get("heavy_hitters", ())),
         heavy_hitter_error=data.get("heavy_hitter_error", 0),
+        max_degree=data.get("max_degree"),
+        functional_dependencies=tuple(data.get("functional_dependencies", ())),
     )
 
 
@@ -294,6 +329,16 @@ class StreamingRelationProfiler:
         self.attributes: Tuple[str, ...] = tuple(attributes)
         self._histograms = {attribute: ExactHistogram() for attribute in self.attributes}
         self._rows = 0
+        # Functional-dependency witnesses: for each ordered attribute pair
+        # still believed functional, the value → value mapping seen so far.
+        # A pair is dropped at the first violating row, so the per-row cost
+        # stays O(arity²) and shrinks as dependencies are refuted.
+        self._fd_witnesses: Dict[Tuple[int, int], Dict[Hashable, Hashable]] = {
+            (i, j): {}
+            for i in range(len(self.attributes))
+            for j in range(len(self.attributes))
+            if i != j
+        }
 
     @property
     def rows_seen(self) -> int:
@@ -308,6 +353,13 @@ class StreamingRelationProfiler:
         self._rows += 1
         for attribute, value in zip(self.attributes, row):
             self._histograms[attribute].add(value)
+        violated = []
+        for (i, j), mapping in self._fd_witnesses.items():
+            seen = mapping.setdefault(row[i], row[j])
+            if seen != row[j]:
+                violated.append((i, j))
+        for pair in violated:
+            del self._fd_witnesses[pair]
 
     def wrap(self, rows):
         """Yield ``rows`` unchanged while observing each one in passing."""
@@ -317,6 +369,11 @@ class StreamingRelationProfiler:
 
     def finish(self) -> RelationProfile:
         """The exact profile of everything observed so far."""
+        determined: Dict[str, List[str]] = {
+            attribute: [] for attribute in self.attributes
+        }
+        for i, j in self._fd_witnesses:
+            determined[self.attributes[i]].append(self.attributes[j])
         attributes: Dict[str, AttributeProfile] = {}
         for attribute in self.attributes:
             histogram = self._histograms[attribute]
@@ -325,6 +382,8 @@ class StreamingRelationProfiler:
                 total_count=histogram.total,
                 distinct_estimate=float(histogram.distinct_count),
                 histogram=dict(histogram.counts),
+                max_degree=max(histogram.counts.values(), default=0),
+                functional_dependencies=tuple(sorted(determined[attribute])),
             )
         return RelationProfile(
             name=self.name, total_rows=self._rows, attributes=attributes
@@ -341,6 +400,7 @@ def _profile_column(
     sample_size: int,
     heavy_hitter_capacity: int,
     seed: int,
+    functional_dependencies: Tuple[str, ...] = (),
 ) -> AttributeProfile:
     if mode == "exact":
         histogram = ExactHistogram()
@@ -353,15 +413,28 @@ def _profile_column(
             histogram=histogram.counts,
             heavy_hitters=dict(top),
             heavy_hitter_error=0,
+            max_degree=max(histogram.counts.values(), default=0),
+            functional_dependencies=functional_dependencies,
         )
     if mode == "sample":
         reservoir = ReservoirSample(sample_size, seed=seed)
         summary = MisraGries(heavy_hitter_capacity)
         distinct = KMVDistinctEstimator()
+        # One exact scalar rides along with the sketches: the maximum
+        # multiplicity seen for any value.  Only the running counts live
+        # here at collection time; the profile keeps just the max, which
+        # is what makes degree-constraint bounds sound on sampled
+        # profiles.
+        degree_counts: Dict[Hashable, int] = {}
+        max_degree = 0
         for value in values:
             reservoir.add(value)
             summary.add(value)
             distinct.add(value)
+            degree = degree_counts.get(value, 0) + 1
+            degree_counts[value] = degree
+            if degree > max_degree:
+                max_degree = degree
         return AttributeProfile(
             attribute=attribute,
             total_count=len(values),
@@ -371,8 +444,39 @@ def _profile_column(
             sample_population=reservoir.population_size,
             heavy_hitters=summary.counters,
             heavy_hitter_error=summary.error_bound,
+            max_degree=max_degree,
+            functional_dependencies=functional_dependencies,
         )
     raise ConfigurationError(f"unknown profiling mode {mode!r}; use 'exact' or 'sample'")
+
+
+def _functional_dependencies(
+    attributes: Sequence[str], rows: Sequence[Sequence[Hashable]]
+) -> Dict[str, Tuple[str, ...]]:
+    """Per attribute, the sibling attributes it functionally determines.
+
+    Checks every ordered attribute pair against the rows, so a key column
+    (``max_degree == 1``) determines every sibling and a foreign-key chain
+    records exactly the dependencies the degree-constraint bound exploits.
+    """
+    arity = len(attributes)
+    determined: Dict[str, List[str]] = {attribute: [] for attribute in attributes}
+    for i in range(arity):
+        for j in range(arity):
+            if i == j:
+                continue
+            mapping: Dict[Hashable, Hashable] = {}
+            functional = True
+            for row in rows:
+                seen = mapping.setdefault(row[i], row[j])
+                if seen != row[j]:
+                    functional = False
+                    break
+            if functional:
+                determined[attributes[i]].append(attributes[j])
+    return {
+        attribute: tuple(sorted(names)) for attribute, names in determined.items()
+    }
 
 
 def profile_relation(
@@ -384,6 +488,7 @@ def profile_relation(
 ) -> RelationProfile:
     """Profile every attribute of one relation instance."""
     attributes: Dict[str, AttributeProfile] = {}
+    dependencies = _functional_dependencies(relation.attributes, relation.tuples)
     for index, attribute in enumerate(relation.attributes):
         column = [row[index] for row in relation.tuples]
         attributes[attribute] = _profile_column(
@@ -393,6 +498,7 @@ def profile_relation(
             sample_size,
             heavy_hitter_capacity,
             seed=seed + index,
+            functional_dependencies=dependencies[attribute],
         )
     return RelationProfile(
         name=relation.name,

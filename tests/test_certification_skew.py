@@ -159,7 +159,9 @@ class TestZipfAcceptanceScenario:
         # one carrying an exact certificate that fits the budget.
         assert len(result.plans) > 0
         for plan in result.plans:
-            assert plan.name.startswith(("opt-shares", "skew-shares"))
+            assert plan.name.startswith(
+                ("opt-shares", "skew-shares", "opt-skew-shares")
+            )
             assert plan.certification.kind is CertificationKind.EXACT
             assert plan.q <= self.BUDGET
         assert any(
