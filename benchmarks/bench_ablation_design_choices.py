@@ -140,7 +140,7 @@ def test_greedy_worker_assignment_reduces_imbalance(benchmark, table_printer):
     assert greedy_row["worker imbalance"] <= hash_row["worker imbalance"] + 1e-9
 
 
-def test_aspect_ratio_two_to_one_wins(benchmark, table_printer):
+def test_aspect_ratio_two_to_one_wins(benchmark, table_printer, bench_recorder):
     rows = benchmark(aspect_ratio_ablation)
     table_printer("Ablation: two-phase matmul cube shape (n=24)", list(rows[0].keys()), [list(r.values()) for r in rows])
     for row in rows:
@@ -150,3 +150,4 @@ def test_aspect_ratio_two_to_one_wins(benchmark, table_printer):
     # Among shapes with the same reducer budget q = 2st, the 2:1 shape wins.
     same_budget = [row for row in rows if row["q = 2st"] == paper["q = 2st"]]
     assert min(same_budget, key=lambda row: row["measured comm"]) is paper
+    bench_recorder.note(paper_shape_comm=paper["measured comm"])

@@ -23,7 +23,6 @@ the per-method tightness trajectory across commits.
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro.bounds import (
@@ -41,6 +40,7 @@ from repro.datagen.relations import (
     skewed_chain_join_instance,
 )
 from repro.mapreduce import MapReduceEngine
+from repro.obs.harness import write_bench_artifact
 from repro.pipeline import PipelinePlanner
 from repro.planner import CostBasedPlanner
 from repro.problems import JoinQuery, MultiwayJoinProblem
@@ -178,29 +178,11 @@ def run_tightness():
                 }
             )
     flip = _flip_outcome()
-    with open(ARTIFACT, "w", encoding="utf-8") as handle:
-        json.dump(
-            {
-                "bench": "bound_tightness",
-                "rows": artifact_rows,
-                "flip": {
-                    "seed": FLIP_SEED,
-                    "size_each": FLIP_SIZE,
-                    "domain": FLIP_DOMAIN,
-                    "fk_skew": FLIP_SKEW,
-                    "sample_size": FLIP_SAMPLE,
-                    "q_budget": FLIP_Q,
-                    **flip,
-                },
-            },
-            handle,
-            indent=2,
-        )
-    return rows, flip
+    return rows, artifact_rows, flip
 
 
-def test_bound_tightness(benchmark, table_printer):
-    rows, flip = benchmark(run_tightness)
+def test_bound_tightness(benchmark, table_printer, quick):
+    rows, artifact_rows, flip = benchmark(run_tightness)
     table_printer(
         f"Per-method bound vs true join size: 3-chain workloads, |R|={SIZE_EACH}",
         ["dataset", "context", "method", "bound", "truth", "ratio"],
@@ -234,4 +216,35 @@ def test_bound_tightness(benchmark, table_printer):
     assert flip["correct"]
     assert flip["certificates_hold"]
     assert flip["max_certified_load"] >= flip["max_observed_load"]
+    # Archive the normalized envelope and extend the telemetry trajectory.
+    ratios = {}
+    for _, _, method, _, _, ratio in rows:
+        ratios.setdefault(method, []).append(ratio)
+    metrics = {
+        f"mean_ratio.{method}": sum(values) / len(values)
+        for method, values in ratios.items()
+    }
+    metrics["degree_over_agm_fd_chain"] = (
+        by_key[("fk-chain", "3-chain", METHOD_DEGREE)]
+        / by_key[("fk-chain", "3-chain", METHOD_AGM)]
+    )
+    write_bench_artifact(
+        "bounds",
+        {
+            "rows": artifact_rows,
+            "flip": {
+                "seed": FLIP_SEED,
+                "size_each": FLIP_SIZE,
+                "domain": FLIP_DOMAIN,
+                "fk_skew": FLIP_SKEW,
+                "sample_size": FLIP_SAMPLE,
+                "q_budget": FLIP_Q,
+                **flip,
+            },
+        },
+        quick=quick,
+        artifact=ARTIFACT,
+        metrics=metrics,
+        fingerprint_extra={"size_each": SIZE_EACH, "flip_seed": FLIP_SEED},
+    )
     assert os.path.exists(ARTIFACT)

@@ -26,12 +26,13 @@ measured speedups next to the other benchmark artifacts.
 
 from __future__ import annotations
 
-import json
 import os
 import random
 import time
 
 import pytest
+
+from repro.obs.harness import write_bench_artifact
 
 from repro.datagen import gnm_random_graph
 from repro.datagen.relations import RelationInstance
@@ -42,11 +43,6 @@ from repro.schemas.join_shares import SharesSchema, SkewAwareSharesSchema
 
 ARTIFACT = os.environ.get("BENCH_COLUMNAR_JSON", "BENCH_columnar.json")
 SPEEDUP_TARGET = 5.0  # acceptance: columnar vs records, non-quick workloads
-
-
-@pytest.fixture
-def quick(request) -> bool:
-    return request.config.getoption("--quick")
 
 
 def _assert_speedup() -> bool:
@@ -158,18 +154,23 @@ _ARTIFACT_SECTIONS = {}
 
 
 def _archive(workload: str, rows, quick: bool) -> None:
+    # Rewrites the normalized envelope cumulatively as workloads finish,
+    # so a partial run still leaves a valid artifact on disk.
     _ARTIFACT_SECTIONS[workload] = rows
-    with open(ARTIFACT, "w") as handle:
-        json.dump(
-            {
-                "bench": "columnar_data_plane",
-                "quick": quick,
-                "speedup_target": SPEEDUP_TARGET,
-                "workloads": _ARTIFACT_SECTIONS,
-            },
-            handle,
-            indent=2,
-        )
+    write_bench_artifact(
+        "columnar",
+        {
+            "speedup_target": SPEEDUP_TARGET,
+            "workloads": _ARTIFACT_SECTIONS,
+        },
+        quick=quick,
+        artifact=ARTIFACT,
+        metrics={
+            f"speedup.{name}": _columnar_speedup(section)
+            for name, section in _ARTIFACT_SECTIONS.items()
+        },
+        fingerprint_extra={"workloads": sorted(_ARTIFACT_SECTIONS)},
+    )
 
 
 def test_triangle_columnar_speedup(table_printer, quick):

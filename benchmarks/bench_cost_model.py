@@ -113,7 +113,7 @@ def test_algorithm_selection_follows_prices(benchmark, table_printer):
     assert rows[-1]["chosen algorithm"] == f"splitting-c={B}"
 
 
-def test_wall_clock_term_shrinks_reducers(benchmark, table_printer):
+def test_wall_clock_term_shrinks_reducers(benchmark, table_printer, bench_recorder):
     rows = benchmark(wall_clock_example)
     table_printer(
         f"Example 1.1: adding the c·q² wall-clock term (matrix multiplication, n={N_MATMUL})",
@@ -122,3 +122,4 @@ def test_wall_clock_term_shrinks_reducers(benchmark, table_printer):
     )
     optima = [row["optimal q"] for row in rows]
     assert optima == sorted(optima, reverse=True), "a pricier wall-clock term shrinks the optimal q"
+    bench_recorder.note(optimal_q_max=optima[0], optimal_q_min=optima[-1])

@@ -90,7 +90,7 @@ def test_fig1_lower_bound_curve(benchmark, table_printer):
     assert rates == sorted(rates, reverse=True)
 
 
-def test_fig1_measured_on_engine(benchmark, table_printer):
+def test_fig1_measured_on_engine(benchmark, table_printer, bench_recorder):
     measured = benchmark(run_algorithms_on_engine)
     table_printer(
         f"Figure 1 (measured): planner-chosen algorithms executed on the engine (b={B_EXECUTED})",
@@ -111,3 +111,7 @@ def test_fig1_measured_on_engine(benchmark, table_printer):
     for row in measured:
         assert row["measured_r"] == pytest.approx(row["lower_bound_r"])
         assert row["max_reducer_size"] <= 2 ** int(row["log2_q"])
+    bench_recorder.note(
+        points=len(measured),
+        max_measured_r=max(row["measured_r"] for row in measured),
+    )

@@ -114,7 +114,7 @@ def test_fig2_d_dimensional_sweep(benchmark, table_printer):
     assert rates == sorted(rates)
 
 
-def test_fig2_measured_on_engine(benchmark, table_printer):
+def test_fig2_measured_on_engine(benchmark, table_printer, bench_recorder):
     rows = benchmark(run_on_engine)
     table_printer(
         f"Section 3.4 (measured): all distance-1 pairs of the full {2**B_EXECUTED}-string universe",
@@ -127,3 +127,7 @@ def test_fig2_measured_on_engine(benchmark, table_printer):
     for row in rows:
         assert row["pairs_found"] == row["pairs_expected"]
         assert row["measured_r"] == pytest.approx(row["exact_r"])
+    bench_recorder.note(
+        pairs_found=sum(row["pairs_found"] for row in rows),
+        max_measured_r=max(row["measured_r"] for row in rows),
+    )

@@ -106,7 +106,7 @@ def test_ball2_quadratic_coverage(benchmark, table_printer):
         assert row["outputs_covered"] >= 0.4 * row["q^2/2"]
 
 
-def test_distance_two_executed(benchmark, table_printer):
+def test_distance_two_executed(benchmark, table_printer, bench_recorder):
     row = benchmark(run_distance_two_on_engine)
     table_printer(
         f"Section 3.6 (measured): distance-2 similarity join, b={B_EXECUTED}",
@@ -115,3 +115,4 @@ def test_distance_two_executed(benchmark, table_printer):
     )
     assert row["exact"]
     assert row["measured_r"] == pytest.approx(row["formula_r"])
+    bench_recorder.note(distance2_measured_r=row["measured_r"])

@@ -165,7 +165,7 @@ def test_fig5_aspect_ratio_optimum(benchmark, table_printer):
     assert best["aspect s/t"] == pytest.approx(2.0)
 
 
-def test_both_methods_executed(benchmark, table_printer):
+def test_both_methods_executed(benchmark, table_printer, bench_recorder):
     rows = benchmark(execute_both_methods)
     table_printer(
         f"Section 6 (measured): n={N_EXECUTED} product on the engine",
@@ -179,3 +179,7 @@ def test_both_methods_executed(benchmark, table_printer):
         # less — and the planner's top-ranked plan is the two-round one.
         assert row["two-phase comm"] < row["one-phase comm"]
         assert row["planner pick"] == 2
+    bench_recorder.note(
+        best_two_phase_comm=min(row["two-phase comm"] for row in rows),
+        best_one_phase_comm=min(row["one-phase comm"] for row in rows),
+    )

@@ -124,7 +124,7 @@ def test_star_join_bounds(benchmark, table_printer):
         assert lowers == sorted(lowers, reverse=True)
 
 
-def test_chain_join_executed(benchmark, table_printer):
+def test_chain_join_executed(benchmark, table_printer, bench_recorder):
     rows = benchmark(execute_chain_join)
     table_printer(
         "Section 5.5 (measured): 3-relation chain join on the engine",
@@ -139,3 +139,6 @@ def test_chain_join_executed(benchmark, table_printer):
     max_sizes = [row["max reducer size"] for row in rows]
     assert measured == sorted(measured)
     assert max_sizes == sorted(max_sizes, reverse=True)
+    bench_recorder.note(
+        min_measured_r=measured[0], max_measured_r=measured[-1]
+    )

@@ -26,6 +26,7 @@ from __future__ import annotations
 import json
 import multiprocessing
 import os
+import tempfile
 import time
 
 import pytest
@@ -44,6 +45,8 @@ from repro.obs import (
     query_phase_rows,
     write_chrome_trace,
 )
+from repro.obs.harness import trajectory_path, write_bench_artifact
+from repro.obs.history import TelemetryStore
 from repro.service import QueryService
 
 ARTIFACT = os.environ.get("BENCH_OBS_JSON", "BENCH_obs.json")
@@ -53,11 +56,9 @@ TRACE_ARTIFACT = os.environ.get("BENCH_OBS_TRACE", "BENCH_obs_trace.json")
 #: elsewhere: bench_service_throughput runs with the null objects wired
 #: and must still clear its 2x-over-serial speedup target.
 TRACED_OVERHEAD_CEILING = 0.25
-
-
-@pytest.fixture
-def quick(request) -> bool:
-    return request.config.getoption("--quick")
+#: Ceiling on the telemetry-recording slowdown (prediction accumulation +
+#: RunRecord export + trajectory append) vs the fully-null service.
+RECORDING_OVERHEAD_CEILING = 0.02
 
 
 def _executor_spec() -> str:
@@ -68,8 +69,11 @@ def _executor_spec() -> str:
     )
 
 
-def _run_workload(quick: bool, observer=None):
-    """Submit the full workload once; returns (seconds, outputs, service snapshot)."""
+def _run_workload(quick: bool, observer=None, telemetry=True, record_store=None):
+    """Submit the full workload once; returns (seconds, outputs, snapshot,
+    #queries, RunRecord-or-None).  When ``record_store`` is given, the
+    timed window includes exporting the service's RunRecord and appending
+    it to that trajectory store — the full recording cost."""
     cluster = None
     if observer is not None:
         cluster = ClusterConfig(tracer=observer.tracer, metrics=observer.metrics)
@@ -83,6 +87,7 @@ def _run_workload(quick: bool, observer=None):
         executor=_executor_spec(),
         max_workers=8,
         observer=observer,
+        telemetry=telemetry,
     )
     started = time.perf_counter()
     handles = [
@@ -90,23 +95,45 @@ def _run_workload(quick: bool, observer=None):
         for t in queries
     ]
     runs = [handle.result(timeout=900) for handle in handles]
+    record = None
+    if record_store is not None:
+        record = service.run_record("obs", quick=quick)
+        TelemetryStore(record_store).append(record)
     seconds = time.perf_counter() - started
     snapshot = service.describe()
     service.close()
-    return seconds, [run.outputs for run in runs], snapshot, len(queries)
+    return seconds, [run.outputs for run in runs], snapshot, len(queries), record
 
 
 def run_null_vs_traced(quick: bool):
-    null_seconds, null_outputs, _, num_queries = _run_workload(quick)
+    # Null leg: no observer *and* telemetry off — the true do-nothing path.
+    null_seconds, null_outputs, _, num_queries, _ = _run_workload(
+        quick, telemetry=False
+    )
     obs = Observability.collecting()
-    traced_seconds, traced_outputs, snapshot, _ = _run_workload(
+    traced_seconds, traced_outputs, snapshot, _, _ = _run_workload(
         quick, observer=obs
+    )
+    # Recorded leg: default telemetry accumulates per-round prediction
+    # pairs, then the RunRecord export + trajectory append is timed in.
+    store_path = trajectory_path()
+    if store_path is None:
+        handle = tempfile.NamedTemporaryFile(
+            suffix=".jsonl", delete=False
+        )
+        handle.close()
+        store_path = handle.name
+    recorded_seconds, recorded_outputs, _, _, record = _run_workload(
+        quick, record_store=store_path
     )
     return {
         "null_seconds": null_seconds,
         "traced_seconds": traced_seconds,
+        "recorded_seconds": recorded_seconds,
         "null_outputs": null_outputs,
         "traced_outputs": traced_outputs,
+        "recorded_outputs": recorded_outputs,
+        "record": record,
         "snapshot": snapshot,
         "queries": num_queries,
         "obs": obs,
@@ -122,11 +149,25 @@ def test_observability_overhead_and_export(benchmark, table_printer, quick):
         if outcome["null_seconds"] > 0
         else 0.0
     )
+    recording_overhead = (
+        outcome["recorded_seconds"] / outcome["null_seconds"] - 1.0
+        if outcome["null_seconds"] > 0
+        else 0.0
+    )
 
     # ---- observation must not perturb the computation ------------------
     assert outcome["traced_outputs"] == outcome["null_outputs"], (
         "traced run produced different outputs than the unobserved run"
     )
+    assert outcome["recorded_outputs"] == outcome["null_outputs"], (
+        "telemetry recording perturbed the computation"
+    )
+
+    # ---- the recorded leg exported real prediction pairs ---------------
+    record = outcome["record"]
+    assert record is not None and record.predictions
+    assert record.metrics["queries_finished"] == num_queries
+    assert all(not p.violated for p in record.predictions)
 
     # ---- the trace decomposes every query's latency --------------------
     spans = obs.tracer.spans()
@@ -181,7 +222,10 @@ def test_observability_overhead_and_export(benchmark, table_printer, quick):
              num_queries / outcome["null_seconds"]],
             ["traced", outcome["traced_seconds"],
              num_queries / outcome["traced_seconds"]],
-            ["overhead", f"{overhead * 100:+.1f}%", ""],
+            ["recorded", outcome["recorded_seconds"],
+             num_queries / outcome["recorded_seconds"]],
+            ["tracing overhead", f"{overhead * 100:+.1f}%", ""],
+            ["recording overhead", f"{recording_overhead * 100:+.1f}%", ""],
         ],
     )
     print()
@@ -193,22 +237,33 @@ def test_observability_overhead_and_export(benchmark, table_printer, quick):
             f"enabled tracing cost {overhead * 100:.1f}% "
             f"(ceiling {TRACED_OVERHEAD_CEILING * 100:.0f}%)"
         )
-
-    with open(ARTIFACT, "w") as handle:
-        json.dump(
-            {
-                "bench": "obs_overhead",
-                "quick": quick,
-                "executor": _executor_spec(),
-                "queries": num_queries,
-                "null_seconds": outcome["null_seconds"],
-                "traced_seconds": outcome["traced_seconds"],
-                "tracing_overhead_pct": overhead * 100,
-                "spans": len(spans),
-                "span_census": span_census,
-                "trace_artifact": TRACE_ARTIFACT,
-                "bit_identical": True,
-            },
-            handle,
-            indent=2,
+        assert recording_overhead <= RECORDING_OVERHEAD_CEILING, (
+            f"telemetry recording cost {recording_overhead * 100:.2f}% "
+            f"(ceiling {RECORDING_OVERHEAD_CEILING * 100:.0f}%)"
         )
+
+    write_bench_artifact(
+        "obs",
+        {
+            "queries": num_queries,
+            "null_seconds": outcome["null_seconds"],
+            "traced_seconds": outcome["traced_seconds"],
+            "recorded_seconds": outcome["recorded_seconds"],
+            "tracing_overhead_pct": overhead * 100,
+            "recording_overhead_pct": recording_overhead * 100,
+            "predictions_recorded": len(record.predictions),
+            "spans": len(spans),
+            "span_census": span_census,
+            "trace_artifact": TRACE_ARTIFACT,
+            "bit_identical": True,
+        },
+        quick=quick,
+        executor=_executor_spec(),
+        artifact=ARTIFACT,
+        metrics={
+            "tracing_overhead_pct": overhead * 100,
+            "recording_overhead_pct": recording_overhead * 100,
+            "null_seconds": outcome["null_seconds"],
+        },
+        fingerprint_extra={"queries": num_queries},
+    )

@@ -30,11 +30,6 @@ WORKER_COUNTS = (2, 4)
 SPEEDUP_TARGET = 1.5  # acceptance: 4 workers on the default triangle size
 
 
-@pytest.fixture
-def quick(request) -> bool:
-    return request.config.getoption("--quick")
-
-
 def _timed_run(engine: MapReduceEngine, job, inputs):
     start = time.perf_counter()
     result = engine.run(job, inputs)
@@ -90,7 +85,7 @@ def hamming_d2_workload(quick: bool):
     return family.job(emit_distance=2), list(range(2**b))
 
 
-def test_triangle_scaling(benchmark, table_printer, quick):
+def test_triangle_scaling(benchmark, table_printer, quick, bench_recorder):
     job, edges = triangle_workload(quick)
     rows = benchmark(lambda: _scaling_rows(job, edges, map_batch_size=512))
     table_printer(
@@ -99,6 +94,8 @@ def test_triangle_scaling(benchmark, table_printer, quick):
         [list(row.values()) for row in rows],
     )
     assert all(row["identical"] for row in rows)
+    four = next(r for r in rows if "4 workers" in r["executor"])
+    bench_recorder.note(triangle_speedup_4w=four["speedup"])
     if not quick and (os.cpu_count() or 1) >= 4:
         four_workers = next(r for r in rows if "4 workers" in r["executor"])
         assert four_workers["speedup"] >= SPEEDUP_TARGET, (
@@ -107,7 +104,7 @@ def test_triangle_scaling(benchmark, table_printer, quick):
         )
 
 
-def test_hamming_d2_scaling(benchmark, table_printer, quick):
+def test_hamming_d2_scaling(benchmark, table_printer, quick, bench_recorder):
     job, words = hamming_d2_workload(quick)
     rows = benchmark(lambda: _scaling_rows(job, words, map_batch_size=256))
     table_printer(
@@ -118,3 +115,5 @@ def test_hamming_d2_scaling(benchmark, table_printer, quick):
     assert all(row["identical"] for row in rows)
     # Equivalence is the hard requirement at any core count; speedup is
     # asserted on the flagship triangle workload above.
+    four_workers = next(r for r in rows if "4 workers" in r["executor"])
+    bench_recorder.note(hamming_d2_speedup_4w=four_workers["speedup"])

@@ -27,7 +27,6 @@ cascade-vs-one-round costs and re-plan counts across commits.
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro.datagen.relations import (
@@ -36,6 +35,7 @@ from repro.datagen.relations import (
     skewed_chain_join_instance,
 )
 from repro.mapreduce import MapReduceEngine
+from repro.obs.harness import write_bench_artifact
 from repro.pipeline import PipelinePlanner
 from repro.planner import CostBasedPlanner
 from repro.problems import JoinQuery, MultiwayJoinProblem
@@ -152,7 +152,7 @@ def run_pipeline_comparison():
     return rows, outcomes
 
 
-def test_pipeline_cascades(benchmark, table_printer):
+def test_pipeline_cascades(benchmark, table_printer, quick):
     rows, outcomes = benchmark(run_pipeline_comparison)
     table_printer(
         f"Multi-round pipelines: 3-chain joins, |R|={SIZE_EACH} "
@@ -205,20 +205,28 @@ def test_pipeline_cascades(benchmark, table_printer):
         }
         for scenario, structure, rounds, cost, certified, picked in rows
     ]
-    with open(ARTIFACT, "w") as handle:
-        json.dump(
-            {
-                "bench": "pipeline_joins",
-                "rows": artifact_rows,
-                "replans": [
-                    event.describe()
-                    for event in outcomes["sampled-replan"]["run"].replan_events
-                ],
-                "zipf_sparse": {
-                    "cascade_cost": outcomes["zipf-sparse"]["best"].total_cost,
-                    "one_round_cost": outcomes["zipf-sparse"]["one_round"].total_cost,
-                },
-            },
-            handle,
-            indent=2,
-        )
+    zipf_sparse = {
+        "cascade_cost": outcomes["zipf-sparse"]["best"].total_cost,
+        "one_round_cost": outcomes["zipf-sparse"]["one_round"].total_cost,
+    }
+    write_bench_artifact(
+        "pipeline",
+        {
+            "rows": artifact_rows,
+            "replans": [
+                event.describe()
+                for event in outcomes["sampled-replan"]["run"].replan_events
+            ],
+            "zipf_sparse": zipf_sparse,
+        },
+        quick=quick,
+        artifact=ARTIFACT,
+        metrics={
+            "zipf_cascade_over_one_round": (
+                zipf_sparse["cascade_cost"] / zipf_sparse["one_round_cost"]
+            ),
+            "replan_count": float(run.replan_count),
+            "max_certified_load": float(run.max_certified_load),
+        },
+        fingerprint_extra={"scenarios": sorted(outcomes)},
+    )

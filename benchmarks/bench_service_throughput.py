@@ -27,7 +27,7 @@ violated.  Results land in ``BENCH_service.json`` (override with the
 
 from __future__ import annotations
 
-import json
+import dataclasses
 import multiprocessing
 import os
 import threading
@@ -45,6 +45,7 @@ from repro.datagen.relations import (
     skewed_chain_join_instance,
 )
 from repro.mapreduce import MapReduceEngine
+from repro.obs.harness import write_bench_artifact
 from repro.mapreduce.executor import resolve_executor
 from repro.pipeline import PipelinePlanner
 from repro.planner import CostBasedPlanner
@@ -60,11 +61,6 @@ SPEEDUP_TARGET = 2.0
 #: Admission capacity as a multiple of the workload's largest round price:
 #: roomy enough that rounds overlap, tight enough that queueing happens.
 CAPACITY_FACTOR = 1.5
-
-
-@pytest.fixture
-def quick(request) -> bool:
-    return request.config.getoption("--quick")
 
 
 def _executor_spec() -> str:
@@ -213,6 +209,11 @@ def run_service_vs_serial(quick: bool):
     stop_monitor.set()
     monitor_thread.join()
     snapshot = service.describe()
+    run_record = service.run_record(
+        "service",
+        quick=quick,
+        fingerprint_extra={"executor": spec, "templates": len(templates)},
+    )
     service.close()
 
     # ---- serial one-shot baseline (same backend, warm caches) ----------
@@ -245,6 +246,7 @@ def run_service_vs_serial(quick: bool):
         "service_seconds": service_seconds,
         "serial_seconds": serial_seconds,
         "executor": spec,
+        "run_record": run_record,
     }
 
 
@@ -333,27 +335,38 @@ def test_service_throughput(benchmark, table_printer, quick):
             f"{os.cpu_count()} cores, measured {speedup:.2f}x"
         )
 
-    # ---- artifact -------------------------------------------------------
-    with open(ARTIFACT, "w") as handle:
-        json.dump(
-            {
-                "bench": "service_throughput",
-                "quick": quick,
-                "executor": outcome["executor"],
-                "queries": len(queries),
-                "service_seconds": outcome["service_seconds"],
-                "serial_seconds": outcome["serial_seconds"],
-                "speedup": speedup,
-                "capacity": capacity,
-                "peak_in_flight_load": snapshot["admission"][
-                    "peak_in_flight_load"
-                ],
-                "deferrals": snapshot["admission"]["deferrals"],
-                "load_samples": len(outcome["load_samples"]),
-                "intermediates": snapshot["intermediates"],
-                "tuner": snapshot["tuner"],
-                "bit_identical": True,
-            },
-            handle,
-            indent=2,
-        )
+    # ---- artifact + trajectory -----------------------------------------
+    # The service's own RunRecord (with per-round prediction pairs) goes
+    # to the trajectory; the serial baseline's numbers ride along so the
+    # sentinel can watch the speedup headline too.
+    record = dataclasses.replace(
+        outcome["run_record"],
+        metrics={
+            **outcome["run_record"].metrics,
+            "serial_seconds": outcome["serial_seconds"],
+            "speedup": speedup,
+        },
+    )
+    write_bench_artifact(
+        "service",
+        {
+            "queries": len(queries),
+            "service_seconds": outcome["service_seconds"],
+            "serial_seconds": outcome["serial_seconds"],
+            "speedup": speedup,
+            "capacity": capacity,
+            "peak_in_flight_load": snapshot["admission"][
+                "peak_in_flight_load"
+            ],
+            "deferrals": snapshot["admission"]["deferrals"],
+            "deferral_rate": snapshot["admission"]["deferral_rate"],
+            "load_samples": len(outcome["load_samples"]),
+            "intermediates": snapshot["intermediates"],
+            "tuner": snapshot["tuner"],
+            "bit_identical": True,
+        },
+        quick=quick,
+        executor=outcome["executor"],
+        artifact=ARTIFACT,
+        run_record=record,
+    )

@@ -23,7 +23,6 @@ the optimizer-vs-grid trajectory across commits.
 
 from __future__ import annotations
 
-import json
 import os
 
 from repro.datagen.relations import (
@@ -32,6 +31,7 @@ from repro.datagen.relations import (
     skewed_chain_join_instance,
 )
 from repro.mapreduce import MapReduceEngine
+from repro.obs.harness import write_bench_artifact
 from repro.planner import CostBasedPlanner, optimize_shares
 from repro.planner.certify import certify_max_reducer_load
 from repro.planner.share_opt import grid_share_vectors
@@ -138,17 +138,15 @@ def run_comparison():
                 "selected_observed": outcomes[label]["selected_observed"],
             }
         )
-    with open(ARTIFACT, "w", encoding="utf-8") as handle:
-        json.dump({"bench": "share_optimizer", "rows": artifact_rows}, handle, indent=2)
-    return rows, outcomes
+    return rows, outcomes, artifact_rows
 
 
 def _shares_text(shares) -> str:
     return ",".join(f"{a}={s}" for a, s in sorted(shares.items()) if s > 1) or "-"
 
 
-def test_share_optimizer_vs_grid(benchmark, table_printer):
-    rows, outcomes = benchmark(run_comparison)
+def test_share_optimizer_vs_grid(benchmark, table_printer, quick):
+    rows, outcomes, artifact_rows = benchmark(run_comparison)
     table_printer(
         f"Optimized vs fixed-grid Shares: 3-chain join, n={DOMAIN}, "
         f"|R|={SIZE_EACH}, planner budget q={PLAN_BUDGET}",
@@ -192,4 +190,24 @@ def test_share_optimizer_vs_grid(benchmark, table_printer):
     assert headline["opt_certified"] <= PLAN_BUDGET
     assert headline["opt_certified"] < headline["grid_certified"]
     assert zipf["selected"].certification.bound <= PLAN_BUDGET
+    # Archive the normalized envelope and extend the telemetry trajectory.
+    write_bench_artifact(
+        "share_optimizer",
+        {"rows": artifact_rows},
+        quick=quick,
+        artifact=ARTIFACT,
+        metrics={
+            "zipf_opt_over_grid_at_128": (
+                headline["opt_certified"] / headline["grid_certified"]
+            ),
+            "zipf_selected_certified": float(
+                zipf["selected"].certification.bound
+            ),
+        },
+        fingerprint_extra={
+            "domain": DOMAIN,
+            "size_each": SIZE_EACH,
+            "plan_budget": PLAN_BUDGET,
+        },
+    )
     assert os.path.exists(ARTIFACT)

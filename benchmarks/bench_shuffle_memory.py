@@ -140,12 +140,7 @@ def _run_child(backend: str, n: int, m: int, k: int) -> dict:
     return json.loads(completed.stdout.strip().splitlines()[-1])
 
 
-@pytest.fixture
-def quick(request) -> bool:
-    return request.config.getoption("--quick")
-
-
-def test_partitioned_shuffle_bounds_peak_rss(benchmark, table_printer, quick):
+def test_partitioned_shuffle_bounds_peak_rss(benchmark, table_printer, quick, bench_recorder):
     # Default size: ~m*k shuffled pairs (~480k), tens of MB resident for the
     # in-memory backend — enough to dwarf the interpreter baseline that both
     # children share.  Quick mode only smoke-tests the harness.
@@ -177,6 +172,10 @@ def test_partitioned_shuffle_bounds_peak_rss(benchmark, table_printer, quick):
     for field in ("communication", "outputs", "max_reducer_size"):
         assert in_memory[field] == partitioned[field]
     assert in_memory["spills"] == 0
+    bench_recorder.note(
+        rss_ratio=partitioned["peak_rss_kb"] / in_memory["peak_rss_kb"],
+        spills=partitioned["spills"],
+    )
     if not quick:
         assert partitioned["spills"] > NUM_PARTITIONS, "workload too small to spill"
         # The memory claim: spilling caps the resident shuffle.  The bound is

@@ -97,7 +97,7 @@ def run_comparison():
     return rows, outcomes
 
 
-def test_skew_join_certification(benchmark, table_printer):
+def test_skew_join_certification(benchmark, table_printer, bench_recorder):
     rows, outcomes = benchmark(run_comparison)
     table_printer(
         f"Skew-aware Shares: 3-chain join, n={DOMAIN}, |R|={SIZE_EACH}, "
@@ -137,3 +137,8 @@ def test_skew_join_certification(benchmark, table_printer):
     assert zipf["profiled_observed"] <= profiled.certification.bound
     # The profile-found plan really flattens the load.
     assert zipf["profiled_observed"] < zipf["vanilla_observed"]
+    bench_recorder.note(
+        zipf_vanilla_observed=zipf["vanilla_observed"],
+        zipf_profiled_observed=zipf["profiled_observed"],
+        zipf_profiled_certified=profiled.certification.bound,
+    )

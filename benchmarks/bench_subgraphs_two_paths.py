@@ -152,7 +152,7 @@ def test_non_alon_graph_detected(benchmark):
     assert benchmark(check) is False
 
 
-def test_two_path_tradeoff_and_execution(benchmark, table_printer):
+def test_two_path_tradeoff_and_execution(benchmark, table_printer, bench_recorder):
     rows = benchmark(two_path_sweep_and_run)
     table_printer(
         f"Section 5.4: 2-paths on n={N_EXECUTED} nodes (m=120 random edges)",
@@ -164,3 +164,6 @@ def test_two_path_tradeoff_and_execution(benchmark, table_printer):
         assert row["measured r"] == pytest.approx(row["upper r = 2(k-1)"])
         lower = row["lower r = 2n/q"]
         assert lower - 1e-9 <= row["upper r = 2(k-1)"] <= 2.0 * lower + 1e-9
+    bench_recorder.note(
+        max_measured_r=max(row["measured r"] for row in rows)
+    )

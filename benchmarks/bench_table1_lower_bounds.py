@@ -37,7 +37,7 @@ def build_table1():
     return rows, evaluated
 
 
-def test_table1_rows(benchmark, table_printer):
+def test_table1_rows(benchmark, table_printer, bench_recorder):
     rows, evaluated = benchmark(build_table1)
     header = list(evaluated[0].keys())
     table_printer("Table 1: lower bounds on replication rate", header, [list(r.values()) for r in evaluated])
@@ -46,6 +46,7 @@ def test_table1_rows(benchmark, table_printer):
     for row in rows:
         values = [row.evaluate(float(q)) for q in Q_SWEEP]
         assert all(earlier >= later - 1e-9 for earlier, later in zip(values, values[1:]))
+    bench_recorder.note(problems=len(rows), q_points=len(Q_SWEEP))
 
 
 def test_recipe_reproduces_closed_forms(benchmark):

@@ -47,7 +47,7 @@ def test_table2_rows(benchmark, table_printer):
     assert len(rows) == 6
 
 
-def test_upper_to_lower_gaps(benchmark, table_printer):
+def test_upper_to_lower_gaps(benchmark, table_printer, bench_recorder):
     """Gap (upper / lower) per problem: 1.0 for Hamming-1 and matmul, a small
     constant for triangles and 2-paths — the paper's matching claims."""
 
@@ -80,3 +80,7 @@ def test_upper_to_lower_gaps(benchmark, table_printer):
         assert gap["chain_join_3"] == pytest.approx(1.0)
         assert 1.0 <= gap["triangles"] <= 3.1
         assert 1.0 <= gap["two_paths"] <= 2.1
+    bench_recorder.note(
+        max_gap_triangles=max(g["triangles"] for g in gaps),
+        max_gap_two_paths=max(g["two_paths"] for g in gaps),
+    )

@@ -118,7 +118,7 @@ def test_sparse_graph_run(benchmark, table_printer):
     assert measured == sorted(measured, reverse=True)
 
 
-def test_exact_g_vs_analytic(benchmark, table_printer):
+def test_exact_g_vs_analytic(benchmark, table_printer, bench_recorder):
     """Extremal coverage check behind the bound: the densest q-edge subgraph
     never yields more than (√2/3)·q^{3/2} triangles."""
 
@@ -140,3 +140,8 @@ def test_exact_g_vs_analytic(benchmark, table_printer):
     for row in rows:
         assert row["exact g(q)"] <= row["analytic g(q)"] + 1e-9
         assert row["exact g(q)"] >= 0.5 * row["analytic g(q)"] - 1.0
+    bench_recorder.note(
+        min_coverage_ratio=min(
+            row["exact g(q)"] / row["analytic g(q)"] for row in rows
+        )
+    )

@@ -16,7 +16,8 @@ pytest.ini maps collection onto the ``bench_*.py`` naming).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import time
+from typing import Any, Dict, Iterable, Mapping, Sequence
 
 import pytest
 
@@ -64,3 +65,63 @@ def _format(value: object) -> str:
 def table_printer():
     """Fixture exposing the table printer to benchmark tests."""
     return print_table
+
+
+@pytest.fixture
+def quick(request) -> bool:
+    """Smoke mode flag (``--quick``), shared by every bench module."""
+    return request.config.getoption("--quick")
+
+
+class BenchRecorder:
+    """Accumulates one bench module's headline numbers, then writes the
+    normalized ``BENCH_*.json`` envelope and extends the telemetry
+    trajectory (see :mod:`repro.obs.harness`) when the module finishes.
+
+    Tests call :meth:`note` with the scalar metrics worth tracking
+    across runs and :meth:`section` with richer payload to archive in
+    the artifact; modules that assemble a full
+    :class:`~repro.obs.record.RunRecord` themselves (the service bench)
+    attach it via :attr:`run_record` instead.
+    """
+
+    def __init__(self, bench: str, quick: bool) -> None:
+        self.bench = bench
+        self.quick = quick
+        self.executor: str | None = None
+        self.metrics: Dict[str, float] = {}
+        self.sections: Dict[str, Any] = {}
+        self.run_record = None
+
+    def note(self, **metrics: float) -> None:
+        self.metrics.update(
+            {key: float(value) for key, value in metrics.items()}
+        )
+
+    def section(self, name: str, value: Any) -> None:
+        self.sections[name] = value
+
+    def finalize(self, wall_seconds: float, artifact: str | None) -> None:
+        from repro.obs.harness import write_bench_artifact
+
+        self.note(wall_seconds=wall_seconds)
+        write_bench_artifact(
+            self.bench,
+            {"metrics": dict(self.metrics), **self.sections},
+            quick=self.quick,
+            executor=self.executor,
+            artifact=artifact,
+            metrics=self.metrics,
+            run_record=self.run_record,
+        )
+
+
+@pytest.fixture(scope="module")
+def bench_recorder(request):
+    """One artifact + trajectory append per bench module run."""
+    bench = request.module.__name__.removeprefix("bench_")
+    artifact = getattr(request.module, "ARTIFACT", None)
+    recorder = BenchRecorder(bench, request.config.getoption("--quick"))
+    started = time.perf_counter()
+    yield recorder
+    recorder.finalize(time.perf_counter() - started, artifact)

@@ -37,6 +37,7 @@ from repro.obs.export import (
     query_phase_rows,
     write_chrome_trace,
 )
+from repro.obs.history import NoiseBand, TelemetryStore, metric_samples
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     NULL_METRICS,
@@ -46,6 +47,14 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     NullMetricsRegistry,
+)
+from repro.obs.record import (
+    PredictionRecord,
+    RunRecord,
+    capture_env,
+    current_git_rev,
+    make_run_record,
+    run_fingerprint,
 )
 from repro.obs.trace import NULL_TRACER, NullTracer, Span, Tracer, walk
 
@@ -58,18 +67,27 @@ __all__ = [
     "NULL_METRICS",
     "NULL_OBSERVABILITY",
     "NULL_TRACER",
+    "NoiseBand",
     "NullMetricsRegistry",
     "NullTracer",
     "Observability",
     "PHASES",
     "POWER_OF_TWO_BUCKETS",
+    "PredictionRecord",
+    "RunRecord",
     "SPAN_PHASE",
     "Span",
+    "TelemetryStore",
     "Tracer",
+    "capture_env",
     "chrome_trace",
+    "current_git_rev",
     "latency_breakdown",
+    "make_run_record",
+    "metric_samples",
     "prometheus_text",
     "query_phase_rows",
+    "run_fingerprint",
     "walk",
     "write_chrome_trace",
 ]

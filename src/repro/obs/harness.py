@@ -1,0 +1,132 @@
+"""The one way benchmarks write artifacts: envelope + trajectory append.
+
+Every ``bench_*.py`` used to hand-roll its own ``json.dump`` with
+drifting keys (``bench``/``quick``/``executor`` inconsistently present).
+:func:`write_bench_artifact` normalizes that: one canonical envelope —
+
+.. code-block:: python
+
+    {"schema": 1, "bench": ..., "quick": ..., "executor": ..., **payload}
+
+— written to the bench's ``BENCH_*.json`` path (still overridable per
+bench via its environment variable), *and* a
+:class:`~repro.obs.record.RunRecord` appended to the telemetry
+trajectory store, so every benchmark run — CI smoke or local full run —
+extends the history the sentinel and calibration reports read.
+
+The trajectory path comes from ``BENCH_TRAJECTORY`` (default
+``BENCH_trajectory.jsonl`` in the working directory); set it to the
+empty string to skip the append (unit tests of the benches themselves).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, Mapping, Optional, Sequence
+
+from repro.obs.history import TelemetryStore
+from repro.obs.record import PredictionRecord, RunRecord, make_run_record
+
+#: Envelope layout version, asserted by the schema test.
+ENVELOPE_SCHEMA = 1
+
+#: Keys every normalized ``BENCH_*.json`` starts with, in order.
+ENVELOPE_KEYS = ("schema", "bench", "quick", "executor")
+
+TRAJECTORY_ENV = "BENCH_TRAJECTORY"
+DEFAULT_TRAJECTORY = "BENCH_trajectory.jsonl"
+
+
+def trajectory_path() -> Optional[str]:
+    """The configured trajectory store path, or ``None`` when disabled."""
+    path = os.environ.get(TRAJECTORY_ENV, DEFAULT_TRAJECTORY)
+    return path or None
+
+
+def build_envelope(
+    bench: str,
+    payload: Mapping[str, Any],
+    *,
+    quick: bool,
+    executor: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The canonical artifact document (envelope keys first, then payload)."""
+    for key in ENVELOPE_KEYS:
+        if key in payload:
+            raise ValueError(
+                f"payload must not shadow envelope key {key!r}; "
+                "pass it through the harness arguments instead"
+            )
+    envelope: Dict[str, Any] = {
+        "schema": ENVELOPE_SCHEMA,
+        "bench": bench,
+        "quick": bool(quick),
+        "executor": executor,
+    }
+    envelope.update(payload)
+    return envelope
+
+
+def validate_envelope(document: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``document`` is a normalized envelope."""
+    for key in ENVELOPE_KEYS:
+        if key not in document:
+            raise ValueError(f"artifact is missing envelope key {key!r}")
+    if document["schema"] != ENVELOPE_SCHEMA:
+        raise ValueError(f"unknown artifact schema {document['schema']!r}")
+    if not isinstance(document["bench"], str) or not document["bench"]:
+        raise ValueError("artifact 'bench' must be a non-empty string")
+    if not isinstance(document["quick"], bool):
+        raise ValueError("artifact 'quick' must be a boolean")
+    if document["executor"] is not None and not isinstance(
+        document["executor"], str
+    ):
+        raise ValueError("artifact 'executor' must be a string or null")
+
+
+def write_bench_artifact(
+    bench: str,
+    payload: Mapping[str, Any],
+    *,
+    quick: bool,
+    executor: Optional[str] = None,
+    artifact: Optional[str] = None,
+    metrics: Optional[Mapping[str, float]] = None,
+    predictions: Sequence[PredictionRecord] = (),
+    meta: Optional[Mapping[str, Any]] = None,
+    fingerprint_extra: Optional[Mapping[str, Any]] = None,
+    trajectory: Optional[str] = None,
+    run_record: Optional[RunRecord] = None,
+) -> Dict[str, Any]:
+    """Write the normalized ``BENCH_*.json`` and extend the trajectory.
+
+    ``metrics`` are the scalar headlines worth tracking across runs
+    (throughput, overhead %, rates); ``payload`` is the full document
+    archived in the JSON artifact.  When the caller already assembled a
+    :class:`RunRecord` (e.g. :meth:`QueryService.run_record`), pass it
+    as ``run_record`` and only the artifact envelope is added on top.
+    Returns the envelope written.
+    """
+    envelope = build_envelope(bench, payload, quick=quick, executor=executor)
+    if artifact is None:
+        artifact = f"BENCH_{bench}.json"
+    with open(artifact, "w", encoding="utf-8") as handle:
+        json.dump(envelope, handle, indent=2)
+
+    if run_record is None:
+        run_record = make_run_record(
+            bench,
+            quick=quick,
+            metrics=metrics,
+            meta=meta,
+            predictions=predictions,
+            fingerprint_extra={
+                "executor": executor,
+                **(fingerprint_extra or {}),
+            },
+        )
+    store_path = trajectory if trajectory is not None else trajectory_path()
+    if store_path:
+        TelemetryStore(store_path).append(run_record)
+    return envelope

@@ -1,0 +1,142 @@
+"""The append-only telemetry trajectory: a JSONL store of run records.
+
+One :class:`TelemetryStore` wraps one ``*.jsonl`` file, one
+:class:`~repro.obs.record.RunRecord` per line.  Appends are atomic at
+the line level (single ``write`` of one newline-terminated JSON
+document), so concurrent benchmark processes can share a store; corrupt
+or newer-schema lines are skipped on read rather than poisoning the
+trajectory.
+
+Baseline selection is fingerprint-keyed: :meth:`TelemetryStore.baseline`
+returns the last *N* records whose workload fingerprint matches a fresh
+record's, which is what the sentinel compares against.  :class:`NoiseBand`
+turns those baseline samples into an acceptance interval — the wider of
+a relative band around the mean, an absolute floor, and a k-sigma band —
+so noisy metrics (wall-clock) get room while exact ones (violation
+counts) stay tight.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.obs.record import RECORD_SCHEMA, RunRecord
+
+
+class TelemetryStore:
+    """An append-only JSONL file of :class:`RunRecord`\\ s."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+
+    def append(self, record: RunRecord) -> None:
+        """Append one record; creates the file (and parents) on demand."""
+        parent = os.path.dirname(os.path.abspath(self.path))
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(record.to_json() + "\n")
+
+    def records(
+        self,
+        *,
+        bench: Optional[str] = None,
+        fingerprint: Optional[str] = None,
+    ) -> List[RunRecord]:
+        """All readable records, oldest first, optionally filtered."""
+        if not os.path.exists(self.path):
+            return []
+        out: List[RunRecord] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn or hand-edited line; keep reading
+                if not isinstance(payload, dict):
+                    continue
+                if int(payload.get("schema", RECORD_SCHEMA)) > RECORD_SCHEMA:
+                    continue  # written by a newer layout than we read
+                record = RunRecord.from_dict(payload)
+                if bench is not None and record.bench != bench:
+                    continue
+                if fingerprint is not None and record.fingerprint != fingerprint:
+                    continue
+                out.append(record)
+        out.sort(key=lambda record: record.created_unix)
+        return out
+
+    def latest(self, *, bench: Optional[str] = None) -> Optional[RunRecord]:
+        """The most recent record, optionally restricted to one bench."""
+        records = self.records(bench=bench)
+        return records[-1] if records else None
+
+    def baseline(
+        self,
+        record: RunRecord,
+        *,
+        last: int = 3,
+        same_quick: bool = True,
+    ) -> List[RunRecord]:
+        """The last ``last`` same-fingerprint records preceding ``record``.
+
+        The candidate itself (matched by creation time + fingerprint) is
+        excluded, so comparing a just-appended record against its own
+        store is safe.
+        """
+        matches = [
+            candidate
+            for candidate in self.records(fingerprint=record.fingerprint)
+            if not (
+                candidate.created_unix == record.created_unix
+                and candidate.bench == record.bench
+            )
+            and (not same_quick or candidate.quick == record.quick)
+        ]
+        return matches[-last:] if last > 0 else matches
+
+
+@dataclass(frozen=True)
+class NoiseBand:
+    """How far a metric may drift from baseline before it's a regression.
+
+    The acceptance half-width is the *widest* of ``relative * |mean|``,
+    ``absolute``, and ``sigmas * stdev(samples)`` — relative bands absorb
+    proportional noise, the absolute floor keeps near-zero baselines from
+    collapsing the band to a point, and the sigma term adapts to however
+    noisy the baseline actually ran.
+    """
+
+    relative: float = 0.25
+    absolute: float = 0.0
+    sigmas: float = 3.0
+
+    def interval(self, samples: Sequence[float]) -> Tuple[float, float]:
+        """The ``(low, high)`` acceptance interval around the baseline."""
+        if not samples:
+            raise ValueError("a noise band needs at least one baseline sample")
+        mean = sum(samples) / len(samples)
+        spread = max(self.relative * abs(mean), self.absolute)
+        if len(samples) > 1 and self.sigmas > 0:
+            variance = sum((value - mean) ** 2 for value in samples) / (
+                len(samples) - 1
+            )
+            spread = max(spread, self.sigmas * math.sqrt(variance))
+        return mean - spread, mean + spread
+
+
+def metric_samples(records: Iterable[RunRecord], key: str) -> List[float]:
+    """The values of one metric across records (absent entries skipped)."""
+    out: List[float] = []
+    for record in records:
+        value = record.metrics.get(key)
+        if value is not None:
+            out.append(float(value))
+    return out

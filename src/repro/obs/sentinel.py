@@ -1,0 +1,289 @@
+"""The regression sentinel: fresh run vs. trajectory baseline, pass/fail.
+
+``python -m repro.obs.sentinel`` loads a fresh
+:class:`~repro.obs.record.RunRecord` (by default the newest record in
+the store), selects its baseline — the last *N* records sharing its
+workload fingerprint — and checks every tracked headline metric against
+the baseline's :class:`~repro.obs.history.NoiseBand`.  A metric outside
+the band in its *bad* direction (throughput down, overhead/deferrals/
+q-error up) is a regression; any regression exits nonzero unless
+``--report-only`` is set (the CI bootstrap mode, so trajectories can
+fill before they gate).
+
+Derived accuracy metrics (mean q-error, certificate-violation rate) are
+computed from each record's prediction pairs when the producer didn't
+flatten them into ``metrics`` — so the sentinel watches bound-tightness
+drift even for records that only carried raw predictions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.calibrate import calibration_metrics
+from repro.obs.history import NoiseBand, TelemetryStore
+from repro.obs.record import RunRecord
+from repro.reports import render_table
+
+#: Direction labels: which way a metric regresses.
+LOWER_IS_BETTER = "lower"
+HIGHER_IS_BETTER = "higher"
+
+
+@dataclass(frozen=True)
+class TrackedMetric:
+    """One headline metric the sentinel gates on."""
+
+    key: str
+    direction: str  # LOWER_IS_BETTER | HIGHER_IS_BETTER
+    band: NoiseBand
+
+
+#: The default watchlist.  Bands are deliberately loose on wall-clock
+#: metrics (shared CI runners) and tight on correctness-adjacent ones —
+#: a certificate violation over a clean baseline always flags.
+DEFAULT_TRACKED: Tuple[TrackedMetric, ...] = (
+    TrackedMetric("queries_per_second", HIGHER_IS_BETTER, NoiseBand(relative=0.25)),
+    TrackedMetric("wall_seconds", LOWER_IS_BETTER, NoiseBand(relative=0.30)),
+    TrackedMetric("speedup", HIGHER_IS_BETTER, NoiseBand(relative=0.30)),
+    TrackedMetric(
+        "tracing_overhead_pct", LOWER_IS_BETTER, NoiseBand(relative=0.50, absolute=5.0)
+    ),
+    TrackedMetric(
+        "recording_overhead_pct",
+        LOWER_IS_BETTER,
+        NoiseBand(relative=0.50, absolute=2.0),
+    ),
+    TrackedMetric(
+        "deferral_rate", LOWER_IS_BETTER, NoiseBand(relative=0.50, absolute=0.05)
+    ),
+    TrackedMetric("mean_q_error", LOWER_IS_BETTER, NoiseBand(relative=0.50)),
+    TrackedMetric(
+        "certificate_violation_rate",
+        LOWER_IS_BETTER,
+        NoiseBand(relative=0.0, absolute=1e-9, sigmas=0.0),
+    ),
+)
+
+#: Check outcomes.
+OK = "ok"
+REGRESSION = "regression"
+IMPROVED = "improved"
+NO_BASELINE = "no-baseline"
+
+
+@dataclass(frozen=True)
+class SentinelCheck:
+    """One metric's verdict against the baseline band."""
+
+    key: str
+    status: str
+    observed: float
+    baseline_mean: Optional[float] = None
+    low: Optional[float] = None
+    high: Optional[float] = None
+    samples: int = 0
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status == REGRESSION
+
+
+def effective_metrics(record: RunRecord) -> Dict[str, float]:
+    """The record's metrics plus accuracy metrics derived from predictions."""
+    metrics = dict(record.metrics)
+    if record.predictions:
+        for key, value in calibration_metrics(record.predictions).items():
+            metrics.setdefault(key, value)
+    return metrics
+
+
+def compare(
+    record: RunRecord,
+    baselines: Sequence[RunRecord],
+    tracked: Sequence[TrackedMetric] = DEFAULT_TRACKED,
+) -> List[SentinelCheck]:
+    """Check every tracked metric the record carries against baseline."""
+    observed_metrics = effective_metrics(record)
+    baseline_metrics = [effective_metrics(baseline) for baseline in baselines]
+    checks: List[SentinelCheck] = []
+    for spec in tracked:
+        if spec.key not in observed_metrics:
+            continue
+        observed = observed_metrics[spec.key]
+        samples = [
+            metrics[spec.key]
+            for metrics in baseline_metrics
+            if spec.key in metrics
+        ]
+        if not samples:
+            checks.append(
+                SentinelCheck(key=spec.key, status=NO_BASELINE, observed=observed)
+            )
+            continue
+        low, high = spec.band.interval(samples)
+        mean = sum(samples) / len(samples)
+        if spec.direction == LOWER_IS_BETTER:
+            status = REGRESSION if observed > high else (
+                IMPROVED if observed < low else OK
+            )
+        else:
+            status = REGRESSION if observed < low else (
+                IMPROVED if observed > high else OK
+            )
+        checks.append(
+            SentinelCheck(
+                key=spec.key,
+                status=status,
+                observed=observed,
+                baseline_mean=mean,
+                low=low,
+                high=high,
+                samples=len(samples),
+            )
+        )
+    return checks
+
+
+def render_checks(record: RunRecord, checks: Sequence[SentinelCheck]) -> str:
+    rows = [
+        [
+            check.key,
+            check.status,
+            check.observed,
+            check.baseline_mean if check.baseline_mean is not None else "-",
+            check.low if check.low is not None else "-",
+            check.high if check.high is not None else "-",
+            check.samples,
+        ]
+        for check in checks
+    ]
+    return render_table(
+        f"Sentinel: {record.bench} @ {record.git_rev} "
+        f"(fingerprint {record.fingerprint})",
+        ["metric", "status", "observed", "baseline", "low", "high", "n"],
+        rows,
+    )
+
+
+def _load_baseline_records(path: str) -> List[RunRecord]:
+    """Records from one ``.jsonl``/``.json`` file or every one in a dir."""
+    records: List[RunRecord] = []
+    if os.path.isdir(path):
+        for name in sorted(os.listdir(path)):
+            if name.endswith((".jsonl", ".json")):
+                records.extend(_load_baseline_records(os.path.join(path, name)))
+        return records
+    if path.endswith(".json") and not path.endswith(".jsonl"):
+        with open(path, "r", encoding="utf-8") as handle:
+            records.append(RunRecord.from_json(handle.read()))
+        return records
+    records.extend(TelemetryStore(path).records())
+    return records
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.sentinel",
+        description=(
+            "Compare a fresh run record against its trajectory baseline; "
+            "exit nonzero on regressions beyond the noise band."
+        ),
+    )
+    parser.add_argument(
+        "--store",
+        default="BENCH_trajectory.jsonl",
+        help="trajectory store holding the fresh record(s)",
+    )
+    parser.add_argument(
+        "--record",
+        default=None,
+        help="a single-record .json file to check instead of the store's newest",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "baseline source: a .jsonl store, a directory of them, or a "
+            ".json record file (default: the --store itself)"
+        ),
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        help="check only this bench's records (default: every bench in the store)",
+    )
+    parser.add_argument(
+        "--last", type=int, default=3, help="baseline depth (same-fingerprint runs)"
+    )
+    parser.add_argument(
+        "--report-only",
+        action="store_true",
+        help="print the comparison but always exit 0 (CI bootstrap)",
+    )
+    args = parser.parse_args(argv)
+
+    store = TelemetryStore(args.store)
+    if args.record is not None:
+        with open(args.record, "r", encoding="utf-8") as handle:
+            candidates = [RunRecord.from_json(handle.read())]
+    else:
+        records = store.records(bench=args.bench)
+        if not records:
+            print(f"sentinel: no records in {args.store}; nothing to check")
+            return 0
+        # Newest record per bench: one CI run appends several benches'
+        # records and each should be judged against its own baseline.
+        newest: Dict[str, RunRecord] = {}
+        for record in records:
+            newest[record.bench] = record
+        candidates = [newest[bench] for bench in sorted(newest)]
+
+    baseline_pool = (
+        _load_baseline_records(args.baseline)
+        if args.baseline is not None
+        else store.records()
+    )
+
+    failed = False
+    for record in candidates:
+        matches = [
+            baseline
+            for baseline in baseline_pool
+            if baseline.fingerprint == record.fingerprint
+            and not (
+                baseline.created_unix == record.created_unix
+                and baseline.bench == record.bench
+            )
+        ]
+        baselines = matches[-args.last:]
+        checks = compare(record, baselines)
+        if not baselines:
+            print(
+                f"sentinel: no baseline for {record.bench} "
+                f"(fingerprint {record.fingerprint}); bootstrap pass"
+            )
+            continue
+        print(render_checks(record, checks))
+        regressions = [check for check in checks if check.is_regression]
+        if regressions:
+            failed = True
+            for check in regressions:
+                print(
+                    f"REGRESSION {record.bench}.{check.key}: "
+                    f"{check.observed:.4g} outside "
+                    f"[{check.low:.4g}, {check.high:.4g}] "
+                    f"(baseline {check.baseline_mean:.4g}, n={check.samples})"
+                )
+    if failed and not args.report_only:
+        return 1
+    if failed:
+        print("sentinel: regressions found (report-only mode; exit 0)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI tests
+    raise SystemExit(main())

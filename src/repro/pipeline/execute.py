@@ -37,6 +37,7 @@ materialized intermediate to every pipeline that needs it.
 from __future__ import annotations
 
 import logging
+import time
 from dataclasses import dataclass, field
 from typing import (
     Any,
@@ -55,6 +56,7 @@ from repro.mapreduce.columnar import SpilledRows
 from repro.mapreduce.engine import JobResult, MapReduceEngine, PipelineResult
 from repro.mapreduce.metrics import PipelineMetrics
 from repro.mapreduce.partitioner import stable_hash
+from repro.obs.record import PredictionRecord
 from repro.pipeline.logical import BinaryJoinOp, RelationLeaf
 from repro.pipeline.planner import PipelinePlan, PipelineRound, replan_round
 from repro.planner.cache import default_schema_cache
@@ -132,6 +134,15 @@ class ExecutedRound:
     #: round via the service's shared-intermediate store (nothing executed
     #: for this query; the observed metrics are the producer's).
     reused: bool = False
+    #: Which size-bound estimator priced the round at planning time.
+    estimate_method: str = ""
+    #: What admission control charged to run the round (the service's
+    #: ledger price; equals the certificate bound when one exists).
+    admission_price: Optional[float] = None
+    #: Wall-clock of the round's engine execution (0.0 for reused rounds
+    #: and for the trailing jobs of a multi-job chain, whose first job
+    #: carries the chain's full time).
+    seconds: float = 0.0
 
     @property
     def certified_load(self) -> Optional[float]:
@@ -208,6 +219,41 @@ class PipelineRunResult:
             )
         return rows
 
+    def prediction_records(self, query: str = "") -> List[PredictionRecord]:
+        """Per-round prediction/observation pairs for the telemetry ledger.
+
+        ``query`` labels the records (a service handle label, a benchmark
+        scenario name); defaults to the plan's name.
+        """
+        label = query or self.plan.name
+        records: List[PredictionRecord] = []
+        for executed in self.executed:
+            certification = executed.certification
+            records.append(
+                PredictionRecord(
+                    query=label,
+                    round_index=executed.index,
+                    op=executed.op_label,
+                    plan=executed.plan_name,
+                    method=executed.estimate_method
+                    or (certification.method if certification is not None else ""),
+                    kind=(
+                        certification.kind.value
+                        if certification is not None
+                        else ""
+                    ),
+                    estimated_rows=executed.estimated_output,
+                    observed_rows=float(executed.observed_output),
+                    certified_load=executed.certified_load,
+                    observed_max_load=float(executed.observed_max_load),
+                    admission_price=executed.admission_price,
+                    replanned=executed.replanned,
+                    reused=executed.reused,
+                    seconds=executed.seconds,
+                )
+            )
+        return records
+
 
 # ----------------------------------------------------------------------
 # The round protocol: yield work, receive outcomes
@@ -230,6 +276,8 @@ class RoundOutcome:
     rows: Optional[List[Any]] = None
     profile: Optional[RelationProfile] = None
     reused: bool = False
+    #: Wall-clock seconds the round's runner took (0.0 when reused).
+    seconds: float = 0.0
 
 
 @dataclass
@@ -263,7 +311,9 @@ class RoundWork:
 
     def execute(self) -> RoundOutcome:
         """Run the round now, in the calling thread, and wrap its result."""
-        return RoundOutcome(job=self._runner())
+        started = time.perf_counter()
+        job = self._runner()
+        return RoundOutcome(job=job, seconds=time.perf_counter() - started)
 
 
 #: The coroutine type: yields RoundWork, receives RoundOutcome via
@@ -425,6 +475,9 @@ def _single_rounds(
             observed_max_load=job.metrics.shuffle.max_reducer_size,
             replanned=False,
             reused=received.reused,
+            estimate_method=round_.estimate_method,
+            admission_price=work.admission_load,
+            seconds=received.seconds if index == 0 else 0.0,
         )
         for index, job in enumerate(job_results)
     ]
@@ -753,6 +806,9 @@ def _cascade_rounds(
                 observed_max_load=job.metrics.shuffle.max_reducer_size,
                 replanned=replanned,
                 reused=received.reused,
+                estimate_method=round_.estimate_method,
+                admission_price=work.admission_load,
+                seconds=received.seconds,
             )
         )
     final_rows = node_outputs[plan.op.schema.name]

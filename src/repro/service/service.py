@@ -57,6 +57,7 @@ from repro.exceptions import AdmissionError, ConfigurationError
 from repro.mapreduce.engine import MapReduceEngine
 from repro.mapreduce.executor import Executor, ExecutorSpec, resolve_executor
 from repro.obs import NULL_METRICS, NULL_OBSERVABILITY, NULL_TRACER, Observability
+from repro.obs.record import PredictionRecord, RunRecord, make_run_record
 from repro.pipeline.execute import (
     PipelineRunResult,
     RoundOutcome,
@@ -70,6 +71,11 @@ from repro.service.intermediates import IntermediateStore
 from repro.service.tuning import ReplanTuner
 
 logger = logging.getLogger(__name__)
+
+#: Ceiling on retained per-round prediction records; beyond it new
+#: records are counted as dropped instead of growing without bound in a
+#: long-lived service.
+TELEMETRY_PREDICTION_CAP = 20000
 
 
 class QueryHandle:
@@ -185,6 +191,20 @@ class QueryService:
         pipeline-level telemetry lands in the same trace.  Defaults to
         the shared no-op bundle; the regression suite pins that the
         default is bit-identical to an unobserved service.
+    aging_seconds:
+        Starvation bound for queued rounds.  Every ``aging_seconds`` a
+        round waits for admission raises its *effective* priority by one
+        whole class (whole classes only, so sub-threshold waits keep the
+        cheapest-first dispatch order unchanged), and once a round has
+        aged at least one class, failing to admit it stops backfill
+        behind it that dispatch pass — in-flight load then drains until
+        the starved round fits.  ``None`` disables aging (the pre-PR-10
+        behaviour: strict priority, unbounded starvation).
+    telemetry:
+        Whether finished queries' per-round
+        :class:`~repro.obs.record.PredictionRecord`\\ s are accumulated
+        for :meth:`run_record` (bounded by a fixed cap).  On by default;
+        the overhead benchmark's null leg turns it off.
     """
 
     def __init__(
@@ -196,11 +216,19 @@ class QueryService:
         tuner: Optional[ReplanTuner] = None,
         spill_threshold: Optional[int] = None,
         observer: Optional[Observability] = None,
+        aging_seconds: Optional[float] = 30.0,
+        telemetry: bool = True,
     ) -> None:
         if max_workers <= 0:
             raise ConfigurationError(
                 f"max_workers must be positive, got {max_workers}"
             )
+        if aging_seconds is not None and aging_seconds <= 0:
+            raise ConfigurationError(
+                f"aging_seconds must be positive or None, got {aging_seconds}"
+            )
+        self.aging_seconds = aging_seconds
+        self.telemetry = telemetry
         self.observer = observer or NULL_OBSERVABILITY
         self._tracer = self.observer.tracer
         self._metrics = self.observer.metrics
@@ -238,6 +266,14 @@ class QueryService:
         #: class — the starvation witness surfaced by ``describe()``
         #: (merged there with the live ages of still-queued rounds).
         self._max_queued_wait: Dict[float, float] = {}
+        #: Finished queries' prediction/observation pairs (capped), the
+        #: raw material of :meth:`run_record`.
+        self._predictions: List[PredictionRecord] = []
+        self._predictions_dropped = 0
+        #: First-submit / last-settle timestamps: the workload wall-clock
+        #: window :meth:`run_record` derives throughput from.
+        self._first_submit_at: Optional[float] = None
+        self._last_settle_at: Optional[float] = None
 
     def _register_instruments(self) -> None:
         """Create the service's metric instruments once, up front.
@@ -306,6 +342,7 @@ class QueryService:
             load = round_.certified_load
             price = load if load is not None else plan.q_budget
             if price > self.admission.capacity:
+                self._note_rejected(plan, priority)
                 raise AdmissionError(
                     f"round {round_.index} of {plan.name!r} is priced at "
                     f"certified load {price:g}, above the service capacity "
@@ -326,6 +363,8 @@ class QueryService:
             )
             self._active_queries[query_id] = state
             self._submitted += 1
+            if self._first_submit_at is None:
+                self._first_submit_at = time.perf_counter()
         state.handle.replan_factor = state.replan_factor
         state.submitted_at = time.perf_counter()
         state.span = self._tracer.start_span(
@@ -357,6 +396,25 @@ class QueryService:
             self._fail_query(state, exc)
             raise exc
         return state.handle
+
+    def _note_rejected(self, plan: PipelinePlan, priority: float) -> None:
+        """Leave an observable footprint for a submit-time rejection.
+
+        Rejected queries never get a :class:`_QueryState`, so without
+        this they would be invisible to ``query_phase_rows`` — a
+        zero-duration root span with ``status="rejected"`` keeps the
+        breakdown's census complete.
+        """
+        self._m_queries.inc(status="rejected")
+        if self.observer is not NULL_OBSERVABILITY:
+            self._tracer.record_span(
+                "query",
+                time.perf_counter(),
+                0.0,
+                label=plan.name,
+                priority=priority,
+                status="rejected",
+            )
 
     def _observed_cluster(self, cluster: Any) -> Any:
         """The submitted plan's cluster, inheriting the service's observer.
@@ -424,11 +482,30 @@ class QueryService:
         self._dispatch_locked()
 
     def _dispatch_locked(self) -> None:
-        """Admit every queued round that fits, best-priced first."""
+        """Admit every queued round that fits, best-priced first.
+
+        Queued waits age a round's *effective* priority by one whole
+        class per ``aging_seconds`` (see the constructor), and a round
+        that has aged at least one class acts as a barrier when it cannot
+        fit: no round sorted behind it is admitted this pass, so the
+        in-flight load drains until the starved round runs.  Together the
+        two bound every round's wait by roughly the priority spread times
+        ``aging_seconds`` plus one drain.
+        """
         if not self._ready:
             return
+        aging = self.aging_seconds
+        now = time.perf_counter() if aging is not None else 0.0
+
+        def effective(state: _QueryState) -> float:
+            if aging is None or state.queued_at is None:
+                return state.priority
+            # Whole classes only: sub-threshold waits must not perturb
+            # the cheapest-certified-load-first order within a class.
+            return state.priority + int((now - state.queued_at) / aging)
+
         self._ready.sort(
-            key=lambda s: (-s.priority, s.pending_work.admission_load, s.seq)
+            key=lambda s: (-effective(s), s.pending_work.admission_load, s.seq)
         )
         admitted: List[_QueryState] = []
         for state in self._ready:
@@ -454,6 +531,14 @@ class QueryService:
                 admitted.append(state)
             else:
                 self._m_deferrals.inc()
+                if (
+                    aging is not None
+                    and state.queued_at is not None
+                    and now - state.queued_at >= aging
+                ):
+                    # Starvation barrier: stop backfilling behind an aged
+                    # round so released capacity reaches it next pass.
+                    break
         # Unqueue every admitted round before spawning any: a spawn
         # failure fails the query, whose cleanup re-enters dispatch and
         # must not re-admit rounds this pass already holds reservations
@@ -622,9 +707,21 @@ class QueryService:
     # Completion / failure
     # ------------------------------------------------------------------
     def _finish_query(self, state: _QueryState, result: PipelineRunResult) -> None:
+        # Duck-typed: scripted/stub results in the scheduler tests (and
+        # any custom driver) may not be PipelineRunResults.
+        extractor = (
+            getattr(result, "prediction_records", None) if self.telemetry else None
+        )
+        records = extractor(state.handle.label) if callable(extractor) else []
         with self._lock:
             self._active_queries.pop(state.query_id, None)
             self._finished += 1
+            if records:
+                room = TELEMETRY_PREDICTION_CAP - len(self._predictions)
+                if room < len(records):
+                    self._predictions_dropped += len(records) - max(room, 0)
+                if room > 0:
+                    self._predictions.extend(records[:room])
             self._idle.notify_all()
         self._settle_observation(state, "ok")
         logger.debug(
@@ -647,9 +744,10 @@ class QueryService:
             )
             state.span.finish()
         self._m_queries.inc(status=status)
+        self._last_settle_at = time.perf_counter()
         if state.submitted_at:
             self._m_query_latency.observe(
-                time.perf_counter() - state.submitted_at, status=status
+                self._last_settle_at - state.submitted_at, status=status
             )
 
     def _fail_query(self, state: _QueryState, exc: BaseException) -> None:
@@ -731,6 +829,7 @@ class QueryService:
                 "schema_cache": default_schema_cache.stats().__dict__.copy(),
             }
             admission = self.admission.stats()
+            attempts = admission.admitted + admission.deferrals
             snapshot["admission"] = {
                 "capacity": admission.capacity,
                 "in_flight_load": admission.in_flight,
@@ -738,6 +837,17 @@ class QueryService:
                 "headroom": admission.headroom,
                 "admitted": admission.admitted,
                 "deferrals": admission.deferrals,
+                "attempts": attempts,
+                # Raw deferral counts sum queue depth over dispatch
+                # passes, so they scale superlinearly with how slowly a
+                # run happened to go; the rate is the comparable number.
+                "deferral_rate": (
+                    admission.deferrals / attempts if attempts else 0.0
+                ),
+            }
+            snapshot["telemetry"] = {
+                "predictions": len(self._predictions),
+                "predictions_dropped": self._predictions_dropped,
             }
             warm_stats = getattr(self.executor, "warm_stats", None)
             if callable(warm_stats):
@@ -761,6 +871,72 @@ class QueryService:
         return {
             f"{priority:g}": wait for priority, wait in sorted(waits.items())
         }
+
+    def run_record(
+        self,
+        bench: str = "service",
+        *,
+        quick: bool = False,
+        fingerprint: Optional[str] = None,
+        fingerprint_extra: Optional[Dict[str, Any]] = None,
+        extra_metrics: Optional[Dict[str, float]] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> RunRecord:
+        """Export this service's run as a telemetry
+        :class:`~repro.obs.record.RunRecord`.
+
+        Headline metrics come from :meth:`describe` (throughput over the
+        first-submit → last-settle window, the self-normalizing deferral
+        rate, replan win rate, reuse and capacity accounting); the
+        prediction pairs are every finished query's per-round records
+        (when ``telemetry`` is on).  ``extra_metrics`` lets benchmarks
+        add their own headlines (speedup, overhead %) before the record
+        is appended to a trajectory store.
+        """
+        snapshot = self.describe()
+        with self._lock:
+            predictions = tuple(self._predictions)
+            first = self._first_submit_at
+            last = self._last_settle_at
+        wall = (last - first) if first is not None and last is not None else 0.0
+        queries = snapshot["queries"]
+        tuner = snapshot["tuner"]
+        scored = tuner.get("wins", 0) + tuner.get("losses", 0)
+        metrics: Dict[str, float] = {
+            "queries_submitted": float(queries["submitted"]),
+            "queries_finished": float(queries["finished"]),
+            "queries_failed": float(queries["failed"]),
+            "wall_seconds": wall,
+            "queries_per_second": queries["finished"] / wall if wall > 0 else 0.0,
+            "deferrals": float(snapshot["admission"]["deferrals"]),
+            "deferral_rate": snapshot["admission"]["deferral_rate"],
+            "peak_in_flight_load": snapshot["admission"]["peak_in_flight_load"],
+            "capacity": snapshot["admission"]["capacity"],
+            "rounds_reused": float(snapshot["intermediates"].get("reused", 0)),
+            "replan_wins": float(tuner.get("wins", 0)),
+            "replan_losses": float(tuner.get("losses", 0)),
+            "replan_win_rate": tuner.get("wins", 0) / scored if scored else 0.0,
+            "overcapacity_clamped": float(
+                snapshot["rounds"]["overcapacity_clamped"]
+            ),
+        }
+        waits = snapshot["rounds"]["max_queued_wait_by_priority"].values()
+        if waits:
+            metrics["max_queued_wait"] = max(waits)
+        metrics.update(extra_metrics or {})
+        return make_run_record(
+            bench,
+            quick=quick,
+            fingerprint=fingerprint,
+            metrics=metrics,
+            meta={"snapshot": snapshot, **(meta or {})},
+            predictions=predictions,
+            fingerprint_extra={
+                "capacity": snapshot["admission"]["capacity"],
+                "submitted": queries["submitted"],
+                **(fingerprint_extra or {}),
+            },
+        )
 
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every submitted query has finished or failed."""

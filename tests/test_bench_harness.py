@@ -1,0 +1,69 @@
+"""Benchmark artifact schema: no drift back to hand-rolled writers.
+
+The ``BENCH_*.json`` artifacts used to be written by per-bench
+``json.dump`` calls with drifting key sets.  PR 10 normalized all of
+them onto :mod:`repro.obs.harness`; this test pins that state:
+
+* every ``benchmarks/bench_*.py`` routes its artifact through the shared
+  harness (``write_bench_artifact`` directly, or the module-scoped
+  ``bench_recorder`` fixture) — and none hand-rolls ``json.dump(``;
+* every committed ``BENCH_*.json`` parses as the canonical envelope
+  (``BENCH_obs_trace.json`` is exempt: it is a Chrome trace whose format
+  Perfetto owns, not a bench envelope).
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+import pytest
+
+from repro.obs.harness import validate_envelope
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DIR = os.path.join(REPO_ROOT, "benchmarks")
+
+#: Chrome-trace artifact: Perfetto's format, not a bench envelope.
+ENVELOPE_EXEMPT = {"BENCH_obs_trace.json"}
+
+
+def _bench_modules():
+    return sorted(glob.glob(os.path.join(BENCH_DIR, "bench_*.py")))
+
+
+def test_bench_modules_exist():
+    assert len(_bench_modules()) == 20
+
+
+@pytest.mark.parametrize(
+    "path", _bench_modules(), ids=lambda p: os.path.basename(p)
+)
+def test_every_bench_uses_the_shared_harness(path):
+    with open(path, encoding="utf-8") as handle:
+        source = handle.read()
+    assert "write_bench_artifact" in source or "bench_recorder" in source, (
+        f"{os.path.basename(path)} does not route its artifact through "
+        "repro.obs.harness (write_bench_artifact or the bench_recorder "
+        "fixture)"
+    )
+    # json.dumps (subprocess IPC) stays legal; hand-rolled artifact
+    # writers (json.dump to a file) are what drifted.
+    assert "json.dump(" not in source, (
+        f"{os.path.basename(path)} hand-rolls a json.dump artifact "
+        "writer; use repro.obs.harness.write_bench_artifact"
+    )
+
+
+def test_committed_artifacts_are_normalized_envelopes():
+    committed = sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    checked = 0
+    for path in committed:
+        if os.path.basename(path) in ENVELOPE_EXEMPT:
+            continue
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        validate_envelope(document)
+        checked += 1
+    assert checked >= 3  # bounds, obs, service at minimum

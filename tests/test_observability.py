@@ -20,7 +20,7 @@ import threading
 import pytest
 
 from repro.datagen.relations import skewed_chain_join_instance
-from repro.exceptions import ConfigurationError
+from repro.exceptions import AdmissionError, ConfigurationError
 from repro.mapreduce import (
     ClusterConfig,
     MapReduceEngine,
@@ -591,3 +591,87 @@ class TestServiceObservability:
         )
         deferrals = snap["service_deferrals_total"]["series"]
         assert deferrals and deferrals[0]["value"] > 0
+
+
+class TestQueryOutcomeBreakdowns:
+    """Non-ok outcomes must still land in the phase breakdown: rejected
+    submissions (AdmissionError before any round), queries that fail
+    mid-pipeline, and queries swept by ``close(wait=False)`` all record
+    a root ``query`` span, so `query_phase_rows`/`latency_breakdown`
+    report every submission, not just the happy path."""
+
+    def test_rejected_submission_recorded(self):
+        plan, records = _chain_plan()
+        price = max(
+            r.certified_load if r.certified_load is not None else plan.q_budget
+            for r in plan.rounds
+        )
+        obs = Observability.collecting()
+        service = QueryService(capacity=price * 0.5, observer=obs)
+        try:
+            with pytest.raises(AdmissionError, match="never be admitted"):
+                service.submit(plan, records, priority=3.0)
+        finally:
+            service.close()
+        (row,) = query_phase_rows(obs.tracer)
+        assert row["status"] == "rejected"
+        assert row["total_s"] == 0.0  # rejected before any phase ran
+        assert row["other_s"] == 0.0
+        assert "(1 queries)" in latency_breakdown(obs.tracer)
+        snap = obs.metrics.snapshot()
+        assert snap["service_queries_total"]["series"] == [
+            {"labels": {"status": "rejected"}, "value": 1.0}
+        ]
+
+    def test_failed_query_recorded_with_status(self):
+        plan, records = _chain_plan()
+        obs = Observability.collecting()
+        service = QueryService(capacity=400.0, observer=obs)
+        try:
+            ok = service.submit(plan, records)
+            # Records naming a relation outside the query fail planning.
+            bad = service.submit(plan, [("NOPE", (1, 2))])
+            with pytest.raises(ConfigurationError, match="NOPE"):
+                bad.result(60)
+            ok.result(60)
+        finally:
+            service.close()
+        rows = query_phase_rows(obs.tracer)
+        status_by_query = {row["query"]: row["status"] for row in rows}
+        assert sorted(status_by_query.values()) == ["failed", "ok"]
+        for row in rows:
+            assert row["total_s"] >= 0.0
+        assert "(2 queries)" in latency_breakdown(obs.tracer)
+        snap = obs.metrics.snapshot()
+        statuses = {
+            tuple(s["labels"].items()): s["value"]
+            for s in snap["service_queries_total"]["series"]
+        }
+        assert statuses[(("status", "failed"),)] == 1.0
+        assert statuses[(("status", "ok"),)] == 1.0
+
+    def test_close_mid_flight_queries_recorded(self):
+        plan, records = _chain_plan()
+        price = max(
+            r.certified_load if r.certified_load is not None else plan.q_budget
+            for r in plan.rounds
+        )
+        obs = Observability.collecting()
+        # Capacity fits one round: later submissions queue, then the
+        # immediate close sweeps them.
+        service = QueryService(capacity=price * 1.05, observer=obs)
+        handles = [service.submit(plan, records) for _ in range(3)]
+        service.close(wait=False)
+        outcomes = []
+        for handle in handles:
+            try:
+                handle.result(60)
+                outcomes.append("ok")
+            except AdmissionError:
+                outcomes.append("failed")
+        assert "failed" in outcomes  # queued queries cannot survive
+        rows = query_phase_rows(obs.tracer)
+        assert len(rows) == 3
+        assert sorted(row["status"] for row in rows) == sorted(outcomes)
+        assert all(row["total_s"] >= 0.0 for row in rows)
+        assert "(3 queries)" in latency_breakdown(obs.tracer)

@@ -633,3 +633,99 @@ class TestSchedulerScripted:
         finally:
             gate.set()
             service.close(wait=False)
+
+
+class TestStarvationAging:
+    """Queued-wait aging: deferred rounds gain whole priority classes as
+    they wait, and an aged round raises a dispatch barrier so constant
+    small-round backfill cannot starve it indefinitely."""
+
+    @staticmethod
+    def _setup(service):
+        """Two gated load-4.0 priority-2 rounds running, one gated
+        load-10.0 priority-0.5 round queued behind them."""
+        g1, g2, gbig = (threading.Event() for _ in range(3))
+        h1 = service.submit(_ScriptedPlan("s1", [_scripted_work(4.0, gate=g1)]), [], priority=2.0)
+        h2 = service.submit(_ScriptedPlan("s2", [_scripted_work(4.0, gate=g2)]), [], priority=2.0)
+        _wait_until(lambda: service.describe()["rounds"]["running"] == 2)
+        hbig = service.submit(
+            _ScriptedPlan("big", [_scripted_work(10.0, gate=gbig)]), [], priority=0.5
+        )
+        _wait_until(lambda: service.describe()["rounds"]["queued"] == 1)
+        return (g1, g2, gbig), (h1, h2, hbig)
+
+    def test_aged_round_barrier_bounds_wait_under_backfill(self, scripted):
+        aging = 0.4
+        service = QueryService(capacity=10.0, max_workers=4, aging_seconds=aging)
+        g3 = threading.Event()
+        try:
+            (g1, g2, gbig), (h1, h2, hbig) = self._setup(service)
+            # Let the big round age two classes: effective 0.5 + 2 = 2.5,
+            # above the fresh backfill's priority 2.
+            time.sleep(2.5 * aging)
+            h3 = service.submit(
+                _ScriptedPlan("s3", [_scripted_work(4.0, gate=g3)]), [], priority=2.0
+            )
+            g1.set()
+            # s1's release frees 4.0 — enough for s3 but not for big.
+            # Without the barrier s3 would backfill past the aged big
+            # round (and any stream of such rounds would starve it);
+            # with it, dispatch stops and the remaining load drains.
+            _wait_until(
+                lambda: service.describe()["rounds"]["running"] == 1
+                and service.describe()["rounds"]["queued"] == 2
+            )
+            assert h1.result(timeout=30) == "s1-done"
+            assert service.describe()["admission"]["in_flight_load"] == 4.0
+            g2.set()
+            # Full drain: the aged round is admitted first, alone.
+            _wait_until(
+                lambda: service.describe()["admission"]["in_flight_load"] == 10.0
+            )
+            assert service.describe()["rounds"]["queued"] == 1  # s3 still waits
+            gbig.set()
+            assert hbig.result(timeout=30) == "big-done"
+            g3.set()
+            assert h2.result(timeout=30) == "s2-done"
+            assert h3.result(timeout=30) == "s3-done"
+            snapshot = service.describe()
+        finally:
+            for gate in (g1, g2, g3, gbig):
+                gate.set()
+            service.close(wait=False)
+        # The low-priority round waited roughly its aging ramp plus one
+        # drain of the in-flight load — bounded, and recorded per class.
+        waits = snapshot["rounds"]["max_queued_wait_by_priority"]
+        assert waits["0.5"] == pytest.approx(2.5 * aging, abs=2.0)
+        assert snapshot["admission"]["deferrals"] >= 1
+        assert 0.0 < snapshot["admission"]["deferral_rate"] < 1.0
+
+    def test_aging_disabled_keeps_backfill_order(self, scripted):
+        service = QueryService(capacity=10.0, max_workers=4, aging_seconds=None)
+        g3 = threading.Event()
+        try:
+            (g1, g2, gbig), (h1, h2, hbig) = self._setup(service)
+            time.sleep(0.6)  # would age two classes were aging enabled
+            h3 = service.submit(
+                _ScriptedPlan("s3", [_scripted_work(4.0, gate=g3)]), [], priority=2.0
+            )
+            g1.set()
+            # No aging: priority-2 backfill keeps passing the big round.
+            _wait_until(lambda: service.describe()["rounds"]["running"] == 2)
+            assert service.describe()["rounds"]["queued"] == 1
+            g2.set(), g3.set()
+            assert h2.result(timeout=30) == "s2-done"
+            assert h3.result(timeout=30) == "s3-done"
+            gbig.set()
+            assert h1.result(timeout=30) == "s1-done"
+            assert hbig.result(timeout=30) == "big-done"
+        finally:
+            for gate in (g1, g2, g3, gbig):
+                gate.set()
+            service.close(wait=False)
+
+    def test_aging_seconds_validated(self):
+        with pytest.raises(ConfigurationError, match="aging_seconds"):
+            QueryService(capacity=10.0, aging_seconds=0.0)
+        with pytest.raises(ConfigurationError, match="aging_seconds"):
+            QueryService(capacity=10.0, aging_seconds=-1.0)
